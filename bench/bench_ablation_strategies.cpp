@@ -1,0 +1,89 @@
+/// Ablations of the paper's design choices (§IV, §IV-C1):
+///  (1) master-worker vs multiple-owner dispatch — the paper saw a small win
+///      for multiple-owner that deteriorates with core count (and it cannot
+///      be combined with replication-based load balancing);
+///  (2) one-sided RMA result accumulation vs two-sided sends — the paper's
+///      fix for the master-side result-collection bottleneck.
+
+#include <cstdio>
+
+#include "annsim/common/timer.hpp"
+#include "annsim/core/engine.hpp"
+#include "annsim/des/search_sim.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace annsim;
+
+void strategies_functional() {
+  bench::print_header(
+      "Ablation 1 (functional): master-worker vs multiple-owner dispatch");
+  auto w = data::make_sift_like(bench::scaled(16384), 1024, 777);
+
+  std::printf("%8s %18s %18s\n", "workers", "master-worker (s)",
+              "multiple-owner (s)");
+  for (std::size_t workers : {4u, 8u, 16u}) {
+    core::EngineConfig cfg;
+    cfg.n_workers = workers;
+    cfg.n_probe = 4;
+    cfg.one_sided = false;  // multiple-owner supports two-sided only
+    cfg.threads_per_worker = 1;
+    cfg.hnsw.M = 12;
+    cfg.hnsw.ef_construction = 80;
+    cfg.partitioner.vantage_candidates = 8;
+    cfg.partitioner.vantage_sample = 64;
+
+    core::DistributedAnnEngine mw(&w.base, cfg);
+    mw.build();
+    cfg.strategy = core::DispatchStrategy::kMultipleOwner;
+    core::DistributedAnnEngine owner(&w.base, cfg);
+    owner.build();
+
+    core::SearchStats s1, s2;
+    (void)mw.search(w.queries, 10, 0, &s1);
+    (void)owner.search(w.queries, 10, 0, &s2);
+    std::printf("%8zu %18.3f %18.3f\n", workers, s1.total_seconds,
+                s2.total_seconds);
+  }
+}
+
+void onesided_model() {
+  bench::print_header(
+      "Ablation 2 (model): one-sided RMA vs two-sided result returns, SIFT1B");
+  const auto& costs = bench::costs();
+  auto w = data::make_sift_like(bench::scaled(131072), 10000, 778);
+
+  std::printf("%8s %16s %16s %10s\n", "cores", "one-sided (s)",
+              "two-sided (s)", "gain");
+  for (std::size_t cores : {256u, 1024u, 4096u, 8192u}) {
+    auto routed = bench::route_workload(w.base, w.queries, cores, 4);
+    const auto& plans = routed.plans;
+    std::vector<double> cost(cores,
+                             costs.hnsw_query_seconds_at_scale(1'000'000'000 / cores));
+    des::SearchSimConfig sim;
+    sim.n_cores = cores;
+    sim.dim = w.base.dim();
+    sim.route_seconds = costs.route_seconds(cores);
+    sim.one_sided = true;
+    const auto one = des::simulate_search(sim, plans, cost);
+    sim.one_sided = false;
+    const auto two = des::simulate_search(sim, plans, cost);
+    std::printf("%8zu %16.3f %16.3f %9.1f%%\n", cores, one.makespan_seconds,
+                two.makespan_seconds,
+                (two.makespan_seconds - one.makespan_seconds) /
+                    two.makespan_seconds * 100.0);
+  }
+  std::printf(
+      "\nThe two-sided master-side merge serializes result collection — the\n"
+      "scalability bottleneck §IV-C1 reports; one-sided accumulation removes\n"
+      "it, and the gain grows with core count (result volume).\n");
+}
+
+}  // namespace
+
+int main() {
+  strategies_functional();
+  onesided_model();
+  return 0;
+}

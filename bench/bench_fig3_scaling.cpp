@@ -1,0 +1,88 @@
+/// Reproduces Figure 3: strong scaling of the total query time.
+///  (a) SYN_1M (512-d) and SYN_10M (256-d), speedup normalized to 32 cores,
+///      cores in {32, 64, ..., 1024};
+///  (b) ANN_SIFT1B (128-d) and DEEP1B (96-d), speedup normalized to 256
+///      cores, cores in {256, ..., 8192}.
+///
+/// Method (two planes, see DESIGN.md): the VP router is built for real on a
+/// downscaled corpus at each core count and routes the real query set; the
+/// discrete-event simulator replays those plans with per-partition HNSW
+/// search costs calibrated on this host and scaled to the paper's partition
+/// sizes. The executions correspond to the paper's configuration: one-sided
+/// communication, no replication (r = 1), k = 10.
+
+#include <cstdio>
+
+#include "annsim/des/search_sim.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace annsim;
+
+struct DatasetSpec {
+  const char* name;
+  const char* recipe;
+  std::size_t paper_n;       ///< dataset size the paper ran
+  std::size_t downscaled_n;  ///< corpus size for real routing here
+  std::size_t n_queries;     ///< paper's query count
+  std::vector<std::size_t> cores;
+  std::size_t base_cores;    ///< normalization point
+};
+
+void run_spec(const DatasetSpec& spec) {
+  const auto& costs = bench::costs();
+  auto w = data::make_by_name(spec.recipe, bench::scaled(spec.downscaled_n),
+                              spec.n_queries, 97 + spec.paper_n);
+
+  std::printf("\n%-12s (paper N=%zu, %zu-d, %zu queries, k=10, n_probe=4)\n",
+              spec.name, spec.paper_n, w.base.dim(), spec.n_queries);
+  std::printf("%8s %14s %10s %10s\n", "cores", "query time (s)", "speedup",
+              "ideal");
+
+  double base_time = 0.0;
+  for (std::size_t cores : spec.cores) {
+    auto routed = bench::route_workload(w.base, w.queries, cores, 4);
+    const auto& plans = routed.plans;
+
+    std::vector<double> cost(cores);
+    for (std::size_t p = 0; p < cores; ++p) {
+      cost[p] = costs.hnsw_query_seconds_at_scale(spec.paper_n / cores);
+    }
+    des::SearchSimConfig sim;
+    sim.n_cores = cores;
+    sim.dim = w.base.dim();
+    sim.one_sided = true;
+    sim.route_seconds = costs.route_seconds(cores);
+    auto res = des::simulate_search(sim, plans, cost);
+
+    if (cores == spec.base_cores) base_time = res.makespan_seconds;
+    const double speedup =
+        base_time > 0 ? base_time / res.makespan_seconds : 1.0;
+    std::printf("%8zu %14.4f %10.2f %10.2f\n", cores, res.makespan_seconds,
+                speedup, double(cores) / double(spec.base_cores));
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Figure 3(a): strong scaling, SYN_1M & SYN_10M (speedup vs 32 cores)");
+  run_spec({"SYN_1M", "SYN_1M", 1'000'000, 32768, 10000,
+            {32, 64, 128, 256, 512, 1024}, 32});
+  run_spec({"SYN_10M", "SYN_10M", 10'000'000, 32768, 10000,
+            {32, 64, 128, 256, 512, 1024}, 32});
+
+  bench::print_header(
+      "Figure 3(b): strong scaling, ANN_SIFT1B & DEEP1B (speedup vs 256 cores)");
+  run_spec({"ANN_SIFT1B", "SIFT", 1'000'000'000, 131072, 10000,
+            {256, 512, 1024, 2048, 4096, 8192}, 256});
+  run_spec({"DEEP1B", "DEEP", 1'000'000'000, 131072, 10000,
+            {256, 512, 1024, 2048, 4096, 8192}, 256});
+
+  std::printf(
+      "\nPaper reference: ~13x (SYN_1M) and ~18x (SYN_10M) at 1024/32 cores;\n"
+      "~25x for both billion-scale datasets at 8192/256 cores (near-linear).\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+/// Reproduces Figure 4: replication-based load balancing on ANN_SIFT1B at
+/// 8192 cores.
+///  (a) total querying time for replication factors r = 1..5;
+///  (b) the distribution of the number of queries processed per process.
+///
+/// Real VP routing of a clustered query set at 8192 partitions; the DES
+/// replays Algorithm 5's workgroup round-robin at each r. The paper reports
+/// up to ~11% improvement at r = 5 and a visibly tighter per-process
+/// distribution.
+
+#include <cstdio>
+
+#include "annsim/common/rng.hpp"
+#include "annsim/common/stats.hpp"
+#include "annsim/des/search_sim.hpp"
+#include "bench_common.hpp"
+
+int main() {
+  using namespace annsim;
+  bench::print_header(
+      "Figure 4: load balancing via partition replication (SIFT1B, 8192 cores)");
+
+  const std::size_t cores = 8192;
+  const std::size_t paper_n = 1'000'000'000;
+  const auto& costs = bench::costs();
+
+  // Real query workloads concentrate on popular regions; Fig 4(b)'s wide
+  // per-process spread shows SIFT1B's query set is skewed. Model that by
+  // drawing most queries near a small set of hot base points, with a
+  // uniform remainder.
+  auto w = data::make_sift_like(bench::scaled(131072), 10000, 4242);
+  {
+    Rng rng(77);
+    const std::size_t n_hot = 96;
+    for (std::size_t q = 0; q < w.queries.size(); ++q) {
+      if (rng.uniform() >= 0.45) continue;  // majority stay uniform
+      const std::size_t src =
+          rng.uniform_below(n_hot) * (w.base.size() / n_hot);
+      float* dst = w.queries.row(q);
+      const float* s = w.base.row(src);
+      for (std::size_t d = 0; d < w.base.dim(); ++d) {
+        dst[d] = s[d] + float(rng.normal(0.0, 2.0));
+      }
+    }
+  }
+  auto routed = bench::route_workload(w.base, w.queries, cores, 4);
+  const auto& plans = routed.plans;
+
+  std::vector<double> cost(cores, costs.hnsw_query_seconds_at_scale(paper_n / cores));
+
+  std::printf("%6s %18s %12s   %s\n", "r", "query time (s)", "vs r=1",
+              "queries/process: min/p25/med/p75/max (mean)");
+  double base_time = 0.0;
+  for (std::size_t r = 1; r <= 5; ++r) {
+    des::SearchSimConfig sim;
+    sim.n_cores = cores;
+    sim.dim = w.base.dim();
+    sim.replication = r;
+    sim.route_seconds = costs.route_seconds(cores);
+    auto res = des::simulate_search(sim, plans, cost);
+    if (r == 1) base_time = res.makespan_seconds;
+
+    std::vector<double> counts;
+    counts.reserve(res.jobs_per_core.size());
+    for (auto c : res.jobs_per_core) counts.push_back(double(c));
+    const auto s = summarize(counts);
+
+    std::printf("%6zu %18.4f %+11.1f%%  p99 lat %.3fs   %s\n", r,
+                res.makespan_seconds,
+                (base_time - res.makespan_seconds) / base_time * 100.0,
+                percentile(res.query_latency, 99.0), to_string(s).c_str());
+  }
+  std::printf(
+      "\nPaper reference: performance improvement grows with r, reaching ~11%%\n"
+      "at r = 5; the per-process query count range tightens with r.\n");
+  return 0;
+}

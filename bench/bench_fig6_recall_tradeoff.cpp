@@ -1,0 +1,133 @@
+/// Reproduces Figure 6: search recall vs total query time for ANN_SIFT1B on
+/// 1024 cores, sweeping the HNSW connectivity parameter M over {8,16,32,64}
+/// (default 16). The paper reaches near-perfect recall at M = 64 while
+/// answering 10^4 queries in 167 s.
+///
+/// Recall is *measured* (never modeled): the full distributed engine runs on
+/// a downscaled corpus at each M and is scored against exact ground truth.
+/// The time axis comes from the DES at 1024 cores, with the per-M local
+/// search cost measured on a real HNSW index and rescaled by the ln-n law.
+
+#include <cmath>
+#include <cstdio>
+
+#include "annsim/common/timer.hpp"
+#include "annsim/core/engine.hpp"
+#include "annsim/des/search_sim.hpp"
+#include "annsim/pq/ivfpq_index.hpp"
+#include "bench_common.hpp"
+
+int main() {
+  using namespace annsim;
+  bench::print_header(
+      "Figure 6: recall vs total query time, SIFT1B @ 1024 cores, M sweep");
+
+  const std::size_t cores = 1024;
+  const std::size_t paper_n = 1'000'000'000;
+  const auto& costs = bench::costs();
+
+  auto w = data::make_sift_like(bench::scaled(16384), 512, 666);
+  auto gt = data::brute_force_knn(w.base, w.queries, 10, simd::Metric::kL2);
+
+  // Routing plans are independent of M.
+  auto big = data::make_sift_like(bench::scaled(65536), 1024, 667);
+  auto routed = bench::route_workload(big.base, big.queries, cores, 4);
+  auto plans = bench::tile_plans(routed.plans, 10000);
+
+  std::printf("%6s %16s %10s %18s\n", "M", "query time (s)", "recall",
+              "per-query local (us)");
+  double recall_at_m64 = 0.0;
+  for (std::size_t M : {8u, 16u, 32u, 64u}) {
+    // --- measured recall through the full engine.
+    // Recall must be HNSW-bound (the knob Fig 6 turns), not routing-bound:
+    // probe generously and let the beam scale with M, as HNSW's default
+    // ef tuning does.
+    core::EngineConfig cfg;
+    cfg.n_workers = 8;
+    cfg.n_probe = 6;
+    cfg.threads_per_worker = 1;
+    cfg.hnsw.M = M;
+    cfg.hnsw.ef_construction = std::max<std::size_t>(2 * M, 40);
+    cfg.hnsw.ef_search = M;
+    cfg.partitioner.vantage_candidates = 8;
+    cfg.partitioner.vantage_sample = 64;
+    core::DistributedAnnEngine eng(&w.base, cfg);
+    eng.build();
+    const double recall = data::mean_recall(eng.search(w.queries, 10), gt, 10);
+
+    // --- measured per-query cost on a standalone index at this M.
+    const std::size_t idx_n = std::min<std::size_t>(w.base.size(), 16384);
+    data::Dataset sub = w.base.slice(0, idx_n);
+    hnsw::HnswParams hp = cfg.hnsw;
+    hnsw::HnswIndex index(&sub, hp);
+    index.build();
+    WallTimer t;
+    const std::size_t reps = 256;
+    for (std::size_t q = 0; q < reps; ++q) {
+      (void)index.search(w.queries.row(q % w.queries.size()), 10, M);
+    }
+    const double per_query = t.seconds() / double(reps);
+    // Rescale the measured cost to the paper-scale partition: ln-law growth
+    // plus the memory-pressure factor (the beam itself is already the
+    // measured per-M quantity, so no beam_ratio here).
+    const double scaled_cost = per_query *
+                               std::log(double(paper_n / cores)) /
+                               std::log(double(idx_n)) *
+                               costs.memory_factor(paper_n / cores);
+
+    des::SearchSimConfig sim;
+    sim.n_cores = cores;
+    sim.dim = 128;
+    sim.route_seconds = costs.route_seconds(cores);
+    std::vector<double> cost(cores, scaled_cost);
+    const auto res = des::simulate_search(sim, plans, cost);
+
+    std::printf("%6zu %16.2f %10.3f %18.1f\n", M, res.makespan_seconds, recall,
+                per_query * 1e6);
+    if (M == 64) recall_at_m64 = recall;
+  }
+  std::printf(
+      "\nPaper reference: recall rises with M (more memory, more time);\n"
+      "M = 64 achieves near-perfect recall answering 10^4 queries in 167 s.\n");
+
+  // --- §V-F's closing comparison: compressed single-node indexes (IVF-PQ,
+  // refs [13][14]) answer quickly in little memory, but their recall
+  // *plateaus* below the uncompressed system's — quantization error is a
+  // floor no probe budget crosses.
+  bench::print_header(
+      "Fig 6 addendum (§V-F): IVF-PQ recall ceiling on the same corpus");
+  auto gt_ids = data::brute_force_knn(w.base, w.queries, 10, simd::Metric::kL2);
+  pq::IvfPqParams ip;
+  ip.nlist = 64;
+  ip.pq.m = 8;
+  ip.pq.ks = 256;
+  const auto ivf = pq::IvfPqIndex::build(w.base, ip);
+  auto id_recall = [&](const data::KnnResults& results) {
+    double sum = 0;
+    for (std::size_t q = 0; q < results.size(); ++q) {
+      std::size_t hits = 0;
+      for (std::size_t i = 0; i < std::min<std::size_t>(10, results[q].size()); ++i) {
+        for (std::size_t j = 0; j < gt_ids[q].size(); ++j) {
+          if (results[q][i].id == gt_ids[q][j].id) { ++hits; break; }
+        }
+      }
+      sum += double(hits) / 10.0;
+    }
+    return sum / double(results.size());
+  };
+  std::printf("%10s %10s   (codes: %zu bytes/vector vs %zu raw)\n", "nprobe",
+              "recall", ip.pq.m, w.base.dim() * sizeof(float));
+  for (std::size_t nprobe : {1u, 4u, 16u, 64u}) {
+    data::KnnResults results(w.queries.size());
+    for (std::size_t q = 0; q < w.queries.size(); ++q) {
+      results[q] = ivf.search(w.queries.row(q), 10, nprobe);
+    }
+    std::printf("%10zu %10.3f%s\n", nprobe, id_recall(results),
+                nprobe == ip.nlist ? "   <- ceiling: every list scanned" : "");
+  }
+  std::printf(
+      "\nPaper: \"Compression methods ... cannot achieve near perfect "
+      "recalls\";\nthe uncompressed engine above reaches %.3f at M = 64.\n",
+      recall_at_m64);
+  return 0;
+}

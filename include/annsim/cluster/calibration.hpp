@@ -1,0 +1,102 @@
+#pragma once
+/// \file calibration.hpp
+/// \brief Calibrates the compute-side cost models of the performance
+/// simulator from *measured* wall-clock on this host.
+///
+/// The scaling experiments run at 256-8192 simulated cores over 10^9-point
+/// datasets; those cannot execute for real here. Instead we measure the real
+/// kernels (HNSW search/insert, exact KD/VP scans, distance evaluations) on
+/// downscaled indexes built from the same data recipes, fit the published
+/// asymptotics (HNSW search ~ ln n, HNSW insert ~ ln n per point, exact scan
+/// ~ n), and let the discrete-event simulator extrapolate. Shapes — who
+/// wins, scaling slopes, crossovers — come from the model structure; the
+/// constants come from this calibration.
+
+#include <cstddef>
+
+#include "annsim/data/dataset.hpp"
+#include "annsim/hnsw/hnsw_index.hpp"
+#include "annsim/simd/distance.hpp"
+
+namespace annsim::cluster {
+
+/// Compute-side cost constants (all seconds), fitted on this host and then
+/// rescaled to the paper's per-core speed via `core_speed_ratio`.
+struct CalibratedCosts {
+  /// HNSW search: t(n) = hnsw_query_c * ln(n) for an n-point partition.
+  double hnsw_query_c = 0.0;
+  /// HNSW insert: t(n) = hnsw_insert_c * ln(n) per point.
+  double hnsw_insert_c = 0.0;
+  /// One distance evaluation at the calibrated dimensionality.
+  double dist_eval = 0.0;
+  /// Exact scan of one point (distance + heap push).
+  double exact_scan_per_point = 0.0;
+  /// VP-tree routing of one query at the master: t = route_c * ln(parts).
+  double route_c = 0.0;
+
+  /// Ratio of paper-machine per-core speed to this host (1.0 = identical).
+  double core_speed_ratio = 1.0;
+
+  // --- at-scale corrections -------------------------------------------
+  // The calibration runs on cache-resident indexes with the default beam
+  // width; the paper's billion-scale runs search multi-GB partitions with
+  // beams tuned for 0.85-0.91 recall at 10^9 points. Working backward from
+  // the paper's absolute times (~4 core-seconds per query at 256 cores on
+  // SIFT1B), their per-job cost sits in the tens of milliseconds — these
+  // two factors reproduce that regime. The *shapes* the benches report are
+  // insensitive to their exact values as long as local search dominates the
+  // master's dispatch loop, which is the regime the paper demonstrably ran
+  // in.
+
+  /// Paper-scale beam width relative to the calibrated ef (recall tuning).
+  double beam_ratio = 8.0;
+  /// Slowdown of pointer-chasing search once a partition far exceeds cache.
+  double dram_penalty = 18.0;
+  /// Partition size up to which the index is considered cache-resident.
+  std::size_t cache_resident_n = 4000;
+  /// Exact KD-tree search vs a perfect blocked SIMD scan: tree traversal
+  /// and backtracking touch points with poor locality (PANDA mitigates but
+  /// does not eliminate this with SIMD leaf buckets).
+  double kd_traversal_overhead = 3.0;
+
+  [[nodiscard]] double hnsw_query_seconds(std::size_t partition_n) const;
+  [[nodiscard]] double hnsw_build_seconds(std::size_t partition_n) const;
+  [[nodiscard]] double exact_search_seconds(std::size_t partition_n) const;
+  [[nodiscard]] double route_seconds(std::size_t n_partitions) const;
+
+  /// Memory-pressure multiplier alone (1 at cache-resident sizes, ramping
+  /// to dram_penalty) — for callers that measured their own beam cost.
+  [[nodiscard]] double memory_factor(std::size_t partition_n) const;
+
+  /// Per-query HNSW cost in the paper's deployment regime (recall-tuned
+  /// beam + memory pressure on out-of-cache partitions). `beam_override`
+  /// replaces beam_ratio when nonzero — smaller corpora (e.g. GIST1M) hit
+  /// the paper's recall targets with beams close to the calibrated ef.
+  [[nodiscard]] double hnsw_query_seconds_at_scale(
+      std::size_t partition_n, double beam_override = 0.0) const;
+  /// Exact KD search cost: scan fraction x traversal overhead x a
+  /// bandwidth-bound share of the memory penalty.
+  [[nodiscard]] double exact_search_seconds_at_scale(std::size_t partition_n,
+                                                     double scan_fraction) const;
+};
+
+struct CalibrationConfig {
+  /// Index sizes to measure (the ln-n fit is over these).
+  std::size_t small_n = 4000;
+  std::size_t large_n = 16000;
+  std::size_t n_queries = 64;
+  std::size_t k = 10;
+  hnsw::HnswParams hnsw;
+  std::uint64_t seed = 99;
+};
+
+/// Run the measurements on (a sample of) `base` and fit the cost constants.
+[[nodiscard]] CalibratedCosts calibrate(const data::Dataset& base,
+                                        const data::Dataset& queries,
+                                        const CalibrationConfig& config);
+
+/// A pre-measured default (used by fast unit tests and when benches opt out
+/// of live calibration); derived from a SIFT-like run on a typical x86 core.
+[[nodiscard]] CalibratedCosts default_costs();
+
+}  // namespace annsim::cluster

@@ -1,0 +1,66 @@
+#pragma once
+/// \file machine_model.hpp
+/// \brief Cray-XC40-like machine model used by the discrete-event
+/// performance simulator.
+///
+/// The paper's testbed: 1376 nodes, 2 x 12-core Intel Xeon Haswell @2.5 GHz,
+/// 128 GB per node, Cray Aries interconnect. Message time follows the
+/// Hockney model (latency + size/bandwidth), with distinct intra-node
+/// (shared-memory) and inter-node (network) parameters.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace annsim::cluster {
+
+struct MachineParams {
+  std::size_t cores_per_node = 24;      ///< 2 sockets x 12 cores
+
+  // Hockney parameters (seconds, bytes/second).
+  double intra_node_latency = 3.0e-7;   ///< shared-memory copy start-up
+  double intra_node_bandwidth = 2.0e10; ///< ~20 GB/s effective
+  double inter_node_latency = 1.3e-6;   ///< Aries ~1.3 us
+  double inter_node_bandwidth = 8.0e9;  ///< ~8 GB/s effective per pair
+
+  /// Software overhead charged to the CPU for posting a nonblocking
+  /// send/receive (distinct from wire time, which is overlappable).
+  double message_cpu_overhead = 4.0e-7;
+
+  /// One-sided get_accumulate end-to-end latency (network RTT + atomic).
+  double rma_op_latency = 2.5e-6;
+};
+
+class MachineModel {
+ public:
+  explicit MachineModel(MachineParams params = {}) noexcept : p_(params) {}
+
+  [[nodiscard]] const MachineParams& params() const noexcept { return p_; }
+
+  /// Node index hosting a given core (cores are packed by node).
+  [[nodiscard]] std::size_t node_of_core(std::size_t core) const noexcept {
+    return core / p_.cores_per_node;
+  }
+
+  [[nodiscard]] std::size_t nodes_for_cores(std::size_t cores) const noexcept {
+    return (cores + p_.cores_per_node - 1) / p_.cores_per_node;
+  }
+
+  /// Hockney time for one message between two cores.
+  [[nodiscard]] double message_seconds(std::size_t src_core, std::size_t dst_core,
+                                       std::size_t bytes) const noexcept {
+    if (node_of_core(src_core) == node_of_core(dst_core)) {
+      return p_.intra_node_latency + double(bytes) / p_.intra_node_bandwidth;
+    }
+    return p_.inter_node_latency + double(bytes) / p_.inter_node_bandwidth;
+  }
+
+  /// Wire time of a one-sided accumulate of `bytes` to a remote core.
+  [[nodiscard]] double rma_seconds(std::size_t bytes) const noexcept {
+    return p_.rma_op_latency + double(bytes) / p_.inter_node_bandwidth;
+  }
+
+ private:
+  MachineParams p_;
+};
+
+}  // namespace annsim::cluster

@@ -1,0 +1,104 @@
+#pragma once
+/// \file aligned_buffer.hpp
+/// \brief Cache-line / SIMD-register aligned storage for vector data.
+
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <span>
+#include <utility>
+
+#include "annsim/common/error.hpp"
+
+namespace annsim {
+
+inline constexpr std::size_t kSimdAlignment = 64;  // AVX-512 / cache line
+
+/// Owning, 64-byte-aligned, fixed-capacity float/byte buffer.
+///
+/// Dataset rows are stored in AlignedBuffer<float> so the SIMD distance
+/// kernels can use aligned loads on every row when the stride is a multiple
+/// of 16 floats.
+template <typename T>
+class AlignedBuffer {
+ public:
+  AlignedBuffer() noexcept = default;
+
+  explicit AlignedBuffer(std::size_t count) { allocate(count); }
+
+  AlignedBuffer(const AlignedBuffer& other) {
+    allocate(other.size_);
+    if (size_ != 0) std::memcpy(data_, other.data_, size_ * sizeof(T));
+  }
+
+  AlignedBuffer& operator=(const AlignedBuffer& other) {
+    if (this != &other) {
+      AlignedBuffer tmp(other);
+      swap(tmp);
+    }
+    return *this;
+  }
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+
+  ~AlignedBuffer() { release(); }
+
+  void swap(AlignedBuffer& other) noexcept {
+    std::swap(data_, other.data_);
+    std::swap(size_, other.size_);
+  }
+
+  /// Discard contents and reallocate to hold `count` elements (zero-filled).
+  void reset(std::size_t count) {
+    release();
+    allocate(count);
+  }
+
+  [[nodiscard]] T* data() noexcept { return data_; }
+  [[nodiscard]] const T* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  T& operator[](std::size_t i) noexcept { return data_[i]; }
+  const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+
+  [[nodiscard]] std::span<T> span() noexcept { return {data_, size_}; }
+  [[nodiscard]] std::span<const T> span() const noexcept { return {data_, size_}; }
+
+ private:
+  void allocate(std::size_t count) {
+    size_ = count;
+    if (count == 0) {
+      data_ = nullptr;
+      return;
+    }
+    const std::size_t bytes = (count * sizeof(T) + kSimdAlignment - 1) /
+                              kSimdAlignment * kSimdAlignment;
+    data_ = static_cast<T*>(std::aligned_alloc(kSimdAlignment, bytes));
+    if (data_ == nullptr) throw std::bad_alloc();
+    std::memset(data_, 0, bytes);
+  }
+
+  void release() noexcept {
+    std::free(data_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace annsim

@@ -1,0 +1,47 @@
+#pragma once
+/// \file error.hpp
+/// \brief Error type and checked-invariant macros used across the library.
+
+#include <stdexcept>
+#include <string>
+#include <sstream>
+
+namespace annsim {
+
+/// Exception thrown on violated preconditions and unrecoverable runtime
+/// failures (bad file formats, dimension mismatches, protocol violations in
+/// the simulated MPI runtime, ...).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "ANNSIM_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace annsim
+
+/// Precondition / invariant check that stays on in release builds.
+/// Use for API-boundary validation; hot inner loops should rely on tests.
+#define ANNSIM_CHECK(expr)                                                  \
+  do {                                                                      \
+    if (!(expr)) [[unlikely]]                                               \
+      ::annsim::detail::throw_check_failure(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define ANNSIM_CHECK_MSG(expr, msg)                                       \
+  do {                                                                    \
+    if (!(expr)) [[unlikely]] {                                           \
+      std::ostringstream annsim_os_;                                      \
+      annsim_os_ << msg;                                                  \
+      ::annsim::detail::throw_check_failure(#expr, __FILE__, __LINE__,    \
+                                            annsim_os_.str());            \
+    }                                                                     \
+  } while (0)

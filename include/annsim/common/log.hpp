@@ -1,0 +1,36 @@
+#pragma once
+/// \file log.hpp
+/// \brief Minimal leveled logger (stderr), thread-safe, off by default in
+/// tests/benches so output stays machine-parsable.
+
+#include <sstream>
+#include <string>
+
+namespace annsim {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are discarded.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+}
+
+}  // namespace annsim
+
+#define ANNSIM_LOG(level, expr)                                   \
+  do {                                                            \
+    if (static_cast<int>(level) >=                                \
+        static_cast<int>(::annsim::log_level())) {                \
+      std::ostringstream annsim_log_os_;                          \
+      annsim_log_os_ << expr;                                     \
+      ::annsim::detail::log_emit(level, annsim_log_os_.str());    \
+    }                                                             \
+  } while (0)
+
+#define ANNSIM_DEBUG(expr) ANNSIM_LOG(::annsim::LogLevel::kDebug, expr)
+#define ANNSIM_INFO(expr) ANNSIM_LOG(::annsim::LogLevel::kInfo, expr)
+#define ANNSIM_WARN(expr) ANNSIM_LOG(::annsim::LogLevel::kWarn, expr)
+#define ANNSIM_ERROR(expr) ANNSIM_LOG(::annsim::LogLevel::kError, expr)

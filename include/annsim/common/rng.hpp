@@ -1,0 +1,129 @@
+#pragma once
+/// \file rng.hpp
+/// \brief Deterministic, splittable random number generation.
+///
+/// All randomness in annsim flows from these generators so that a run with a
+/// fixed seed is bit-reproducible regardless of thread scheduling: each rank,
+/// each partition build, and each generator stage derives its own stream via
+/// SplitMix64 seeding.
+
+#include <cstdint>
+#include <cmath>
+#include <numbers>
+
+namespace annsim {
+
+/// SplitMix64 — used to expand a user seed into independent stream seeds.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256** — the workhorse generator (fast, high quality, tiny state).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  /// Derive an independent child stream (e.g. one per rank or per thread).
+  [[nodiscard]] Rng split(std::uint64_t stream_id) const noexcept {
+    SplitMix64 sm(s_[0] ^ (stream_id * 0x9e3779b97f4a7c15ULL + 0x1234567899ULL));
+    Rng child(sm.next());
+    return child;
+  }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // UniformRandomBitGenerator interface (usable with <algorithm> shuffles).
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+  result_type operator()() noexcept { return next(); }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept { return double(next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform float in [0, 1).
+  float uniformf() noexcept { return float(next() >> 40) * 0x1.0p-24f; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t uniform_below(std::uint64_t n) noexcept {
+    // Lemire's multiply-shift rejection method.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto l = static_cast<std::uint64_t>(m);
+    if (l < n) {
+      const std::uint64_t t = (0 - n) % n;
+      while (l < t) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * n;
+        l = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Standard normal via Box–Muller (cached second value).
+  double normal() noexcept {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u1 = 0.0;
+    while (u1 == 0.0) u1 = uniform();
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double th = 2.0 * std::numbers::pi * u2;
+    cached_ = r * std::sin(th);
+    has_cached_ = true;
+    return r * std::cos(th);
+  }
+
+  double normal(double mean, double stddev) noexcept { return mean + stddev * normal(); }
+
+  /// Exponential with rate lambda.
+  double exponential(double lambda) noexcept {
+    double u = 0.0;
+    while (u == 0.0) u = uniform();
+    return -std::log(u) / lambda;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4]{};
+  double cached_ = 0.0;
+  bool has_cached_ = false;
+};
+
+}  // namespace annsim

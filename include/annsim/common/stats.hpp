@@ -1,0 +1,79 @@
+#pragma once
+/// \file stats.hpp
+/// \brief Streaming statistics and percentile summaries for benchmark output.
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace annsim {
+
+/// Welford's online mean/variance plus min/max.
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / double(n_);
+    m2_ += d * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 1 ? m2_ / double(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+
+  void merge(const RunningStats& o) noexcept {
+    if (o.n_ == 0) return;
+    if (n_ == 0) { *this = o; return; }
+    const double d = o.mean_ - mean_;
+    const std::size_t n = n_ + o.n_;
+    m2_ += o.m2_ + d * d * double(n_) * double(o.n_) / double(n);
+    mean_ += d * double(o.n_) / double(n);
+    n_ = n;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+    sum_ += o.sum_;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Five-number summary + mean of a sample (used for Fig 4(b)-style
+/// load-distribution reporting).
+struct Summary {
+  double min = 0, p25 = 0, median = 0, p75 = 0, max = 0, mean = 0;
+  std::size_t count = 0;
+};
+
+/// Linear-interpolated percentile of an unsorted sample (copies the input).
+[[nodiscard]] double percentile(std::span<const double> sample, double p);
+
+/// Build a five-number summary of a sample.
+[[nodiscard]] Summary summarize(std::span<const double> sample);
+
+/// Median of an unsorted sample (copies).
+[[nodiscard]] double median(std::span<const double> sample);
+
+/// Render a Summary as "min/p25/med/p75/max (mean)" for table output.
+[[nodiscard]] std::string to_string(const Summary& s);
+
+}  // namespace annsim

@@ -1,0 +1,56 @@
+#pragma once
+/// \file thread_pool.hpp
+/// \brief Shared-memory worker pool modelling the OpenMP thread team inside a
+/// compute node (Algorithm 4 spawns "a set T threads" per worker process).
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace annsim {
+
+/// Fixed-size pool executing void() jobs; parallel_for provides the
+/// static-chunked loop idiom used for distance sweeps and ground-truth
+/// computation.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads = std::thread::hardware_concurrency());
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue one job. Jobs must not throw (they run detached from callers).
+  void submit(std::function<void()> job);
+
+  /// Block until every submitted job has finished.
+  void wait_idle();
+
+  /// Run body(i) for i in [begin, end), split into size()*4 chunks, then wait.
+  /// body receives (index). Safe to call from a non-pool thread only.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body);
+
+  /// Run body(chunk_begin, chunk_end) over contiguous ranges, then wait.
+  void parallel_for_chunks(std::size_t begin, std::size_t end,
+                           const std::function<void(std::size_t, std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_job_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace annsim

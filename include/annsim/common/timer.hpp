@@ -1,0 +1,67 @@
+#pragma once
+/// \file timer.hpp
+/// \brief Wall-clock timers used for calibration and benchmark reporting.
+
+#include <chrono>
+#include <cstdint>
+
+namespace annsim {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() noexcept { reset(); }
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction / last reset().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double millis() const noexcept { return seconds() * 1e3; }
+  [[nodiscard]] double micros() const noexcept { return seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates time across many start/stop intervals (phase accounting).
+class PhaseTimer {
+ public:
+  void start() noexcept { timer_.reset(); running_ = true; }
+
+  void stop() noexcept {
+    if (running_) {
+      total_ += timer_.seconds();
+      ++intervals_;
+      running_ = false;
+    }
+  }
+
+  [[nodiscard]] double total_seconds() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t intervals() const noexcept { return intervals_; }
+
+  void reset() noexcept { total_ = 0.0; intervals_ = 0; running_ = false; }
+
+ private:
+  WallTimer timer_;
+  double total_ = 0.0;
+  std::uint64_t intervals_ = 0;
+  bool running_ = false;
+};
+
+/// RAII guard that adds its lifetime to a PhaseTimer.
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(PhaseTimer& t) noexcept : t_(t) { t_.start(); }
+  ~ScopedPhase() { t_.stop(); }
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseTimer& t_;
+};
+
+}  // namespace annsim

@@ -1,0 +1,51 @@
+#pragma once
+/// \file types.hpp
+/// \brief Fundamental value types shared by every annsim module.
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+
+namespace annsim {
+
+/// Identifier of a vector within the global (distributed) dataset.
+using GlobalId = std::uint64_t;
+
+/// Identifier of a vector within one partition / one local index.
+using LocalId = std::uint32_t;
+
+/// Identifier of a data partition produced by the space-partitioning tree.
+using PartitionId = std::uint32_t;
+
+/// Identifier of a (simulated) MPI rank / processing core.
+using RankId = std::uint32_t;
+
+inline constexpr GlobalId kInvalidGlobalId = std::numeric_limits<GlobalId>::max();
+inline constexpr LocalId kInvalidLocalId = std::numeric_limits<LocalId>::max();
+inline constexpr PartitionId kInvalidPartition = std::numeric_limits<PartitionId>::max();
+
+/// One k-NN candidate: squared/true distance plus the global id of the point.
+///
+/// Ordering is by distance first (then id for determinism), so a max-heap of
+/// Neighbor keeps the *worst* current candidate on top — the shape every
+/// search routine in the library wants.
+struct Neighbor {
+  float dist = std::numeric_limits<float>::infinity();
+  GlobalId id = kInvalidGlobalId;
+
+  friend constexpr bool operator<(const Neighbor& a, const Neighbor& b) noexcept {
+    return a.dist < b.dist || (a.dist == b.dist && a.id < b.id);
+  }
+  friend constexpr bool operator>(const Neighbor& a, const Neighbor& b) noexcept {
+    return b < a;
+  }
+  friend constexpr bool operator<=(const Neighbor& a, const Neighbor& b) noexcept {
+    return !(b < a);
+  }
+  friend constexpr bool operator>=(const Neighbor& a, const Neighbor& b) noexcept {
+    return !(a < b);
+  }
+  friend constexpr bool operator==(const Neighbor&, const Neighbor&) = default;
+};
+
+}  // namespace annsim

@@ -1,0 +1,30 @@
+#pragma once
+/// \file dataset_transfer.hpp
+/// \brief Packing/unpacking of dataset rows (with global ids) for transport
+/// through the simulated MPI runtime — used by the construction shuffle and
+/// by partition replication.
+
+#include <span>
+#include <vector>
+
+#include "annsim/common/serialize.hpp"
+#include "annsim/data/dataset.hpp"
+
+namespace annsim::core {
+
+/// Serialize the given rows of `d` (values + global ids).
+[[nodiscard]] std::vector<std::byte> pack_dataset_rows(
+    const data::Dataset& d, std::span<const std::size_t> rows);
+
+/// Serialize all rows of `d`.
+[[nodiscard]] std::vector<std::byte> pack_dataset(const data::Dataset& d);
+
+/// Concatenate several packed buffers (same dim) into one Dataset.
+[[nodiscard]] data::Dataset unpack_datasets(
+    const std::vector<std::vector<std::byte>>& buffers, std::size_t dim);
+
+/// Unpack a single packed buffer.
+[[nodiscard]] data::Dataset unpack_dataset(std::span<const std::byte> buffer,
+                                           std::size_t dim);
+
+}  // namespace annsim::core

@@ -1,0 +1,152 @@
+#pragma once
+/// \file engine.hpp
+/// \brief The paper's system: a distributed approximate k-NN engine with
+/// VP-tree partitioning, per-partition HNSW indexes, master-worker batched
+/// search (Algorithms 3-4), one-sided result accumulation (§IV-C1),
+/// replication-based load balancing (Algorithm 5), and the multiple-owner
+/// dispatch variant (§IV).
+///
+/// The engine runs SPMD phases on the simulated MPI runtime with
+/// `n_workers + 1` ranks (rank 0 = master process; worker w = rank w+1, and
+/// partition w lives on worker w after construction). Because the runtime is
+/// threads-as-ranks, per-worker state (partitions, local indexes) persists in
+/// engine-owned storage between the build phase and search phases.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "annsim/core/local_index.hpp"
+#include "annsim/core/partitioner.hpp"
+#include "annsim/data/dataset.hpp"
+#include "annsim/data/ground_truth.hpp"
+#include "annsim/hnsw/hnsw_index.hpp"
+#include "annsim/mpi/mpi.hpp"
+#include "annsim/vptree/partition_vp_tree.hpp"
+
+namespace annsim::core {
+
+/// Who computes F(q) and dispatches jobs (§IV discusses both).
+enum class DispatchStrategy {
+  kMasterWorker,   ///< master routes every query (Algorithms 3 & 5)
+  kMultipleOwner,  ///< queries hashed to owner workers, each owning routing
+};
+
+struct EngineConfig {
+  std::size_t n_workers = 8;   ///< P processing cores (power of two)
+  std::size_t replication = 1; ///< r; 1 = no replication (baseline)
+  std::size_t n_probe = 4;     ///< |F(q)| in single-pass routing mode
+  bool one_sided = true;       ///< RMA result accumulation vs two-sided sends
+  bool exact_routing = false;  ///< two-phase F(q): nearest first, then the
+                               ///< exact ball at the observed k-th distance
+  DispatchStrategy strategy = DispatchStrategy::kMasterWorker;
+  std::size_t threads_per_worker = 2;  ///< Algorithm 4's thread team size
+  /// Build each worker's local index with threads_per_worker threads (the
+  /// paper's multi-threaded HNSW construction). Off by default because
+  /// parallel insertion order makes the graph — and therefore approximate
+  /// results — run-to-run nondeterministic.
+  bool parallel_local_build = false;
+
+  /// Per-partition search algorithm (§VI: "any algorithm can be used for
+  /// local indexing"). kBruteForce + exact_routing = exact distributed k-NN.
+  LocalIndexKind local_index = LocalIndexKind::kHnsw;
+  hnsw::HnswParams hnsw;
+  pq::IvfPqParams ivfpq;  ///< used when local_index == kIvfPq
+  PartitionerConfig partitioner;
+  std::uint64_t seed = 123;
+};
+
+struct BuildStats {
+  double total_seconds = 0.0;
+  double vp_tree_seconds = 0.0;      ///< max across workers
+  double hnsw_seconds = 0.0;         ///< max across workers
+  double replication_seconds = 0.0;  ///< max across workers
+  std::vector<std::size_t> partition_sizes;
+};
+
+struct SearchStats {
+  double total_seconds = 0.0;
+  double master_route_seconds = 0.0;     ///< F(q) computation at master
+  double master_dispatch_seconds = 0.0;  ///< isend loop at master
+  double master_merge_seconds = 0.0;     ///< result merging at master
+  double worker_compute_seconds = 0.0;   ///< sum over workers: local searches
+  double worker_comm_seconds = 0.0;      ///< sum over workers: result returns
+  std::vector<std::uint64_t> jobs_per_worker;  ///< Fig 4(b) raw data
+  std::uint64_t total_jobs = 0;
+  double mean_partitions_per_query = 0.0;
+  mpi::TrafficStats traffic;  ///< runtime traffic during this search
+};
+
+class DistributedAnnEngine {
+ public:
+  /// `base` is referenced, not owned, and must outlive the engine.
+  DistributedAnnEngine(const data::Dataset* base, EngineConfig config);
+  ~DistributedAnnEngine();
+
+  DistributedAnnEngine(const DistributedAnnEngine&) = delete;
+  DistributedAnnEngine& operator=(const DistributedAnnEngine&) = delete;
+  DistributedAnnEngine(DistributedAnnEngine&&) noexcept = default;
+  DistributedAnnEngine& operator=(DistributedAnnEngine&&) noexcept = default;
+
+  /// Distributed construction: VP-tree partitioning (Algorithms 1-2), local
+  /// HNSW builds, and partition replication.
+  void build();
+
+  [[nodiscard]] bool built() const noexcept { return router_.has_value(); }
+  [[nodiscard]] const BuildStats& build_stats() const noexcept { return build_stats_; }
+
+  /// Batched k-NN search (Algorithms 3-5). `ef` = 0 uses the index default.
+  [[nodiscard]] data::KnnResults search(const data::Dataset& queries,
+                                        std::size_t k, std::size_t ef = 0,
+                                        SearchStats* stats = nullptr);
+
+  /// The master's routing tree (valid after build()).
+  [[nodiscard]] const vptree::PartitionVpTree& router() const;
+
+  [[nodiscard]] std::vector<std::size_t> partition_sizes() const;
+  [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
+
+  /// Per-query routing plans — the F(q) the master would compute. Exposed so
+  /// the discrete-event performance simulator replays the *identical*
+  /// dispatch decisions at scale.
+  [[nodiscard]] std::vector<std::vector<PartitionId>> plan_queries(
+      const data::Dataset& queries) const;
+
+  /// Persist the built index (router + every partition's data and local
+  /// index) to one file; `load` restores a search-ready engine without the
+  /// original corpus.
+  void save(const std::string& path) const;
+  static DistributedAnnEngine load(const std::string& path);
+
+ private:
+  DistributedAnnEngine() = default;  // for load()
+
+  struct Replica {
+    // Heap-allocated so the index's dataset pointer stays valid when the
+    // Replica moves into the worker store.
+    std::unique_ptr<data::Dataset> data;
+    std::unique_ptr<LocalIndex> index;
+  };
+  /// All replicas a worker hosts, keyed by partition id.
+  using WorkerStore = std::map<PartitionId, Replica>;
+
+  void master_search(mpi::Comm& world, const data::Dataset& queries,
+                     std::size_t k, std::size_t ef, data::KnnResults& results,
+                     SearchStats& stats);
+  void worker_search(mpi::Comm& world, std::size_t k);
+  void master_search_owner(mpi::Comm& world, const data::Dataset& queries,
+                           std::size_t k, std::size_t ef,
+                           data::KnnResults& results, SearchStats& stats);
+  void worker_search_owner(mpi::Comm& world, const data::Dataset& queries,
+                           std::size_t k, std::size_t ef);
+
+  const data::Dataset* base_ = nullptr;  ///< null after load()
+  EngineConfig config_;
+  std::optional<vptree::PartitionVpTree> router_;
+  std::vector<WorkerStore> workers_;  ///< indexed by worker id (0..P-1)
+  BuildStats build_stats_;
+};
+
+}  // namespace annsim::core

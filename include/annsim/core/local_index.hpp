@@ -1,0 +1,77 @@
+#pragma once
+/// \file local_index.hpp
+/// \brief Pluggable per-partition index — the paper's extensibility point:
+/// "Our approach is extensible in that any algorithm can be used for local
+/// indexing and searching instead of HNSW" (§VI).
+///
+/// Three implementations ship: HNSW (the paper's choice), an exact
+/// brute-force scan, and an exact VP-tree. Workers build/serialize replicas
+/// through this interface, so swapping the local algorithm never touches the
+/// distributed machinery.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "annsim/common/thread_pool.hpp"
+#include "annsim/common/types.hpp"
+#include "annsim/data/dataset.hpp"
+#include "annsim/hnsw/hnsw_index.hpp"
+#include "annsim/pq/ivfpq_index.hpp"
+#include "annsim/simd/distance.hpp"
+#include "annsim/vptree/vp_tree.hpp"
+
+namespace annsim::core {
+
+/// Which algorithm serves local k-NN inside each partition.
+enum class LocalIndexKind : std::uint8_t {
+  kHnsw = 0,        ///< approximate, the paper's configuration
+  kBruteForce = 1,  ///< exact linear scan (turns the engine into exact k-NN
+                    ///< when combined with exact_routing)
+  kVpTree = 2,      ///< exact metric-tree search
+  kIvfPq = 3,       ///< compressed (IVF-PQ): tiny memory, recall ceiling
+};
+
+[[nodiscard]] const char* local_index_kind_name(LocalIndexKind kind) noexcept;
+
+/// Per-partition search index. Implementations reference (not own) the
+/// partition's Dataset, which must outlive them.
+class LocalIndex {
+ public:
+  virtual ~LocalIndex() = default;
+
+  /// k-NN over the partition; `ef` is a beam-width hint (HNSW) and ignored
+  /// by exact implementations. Returns global ids, sorted by distance.
+  [[nodiscard]] virtual std::vector<Neighbor> search(const float* query,
+                                                     std::size_t k,
+                                                     std::size_t ef) const = 0;
+
+  [[nodiscard]] virtual LocalIndexKind kind() const noexcept = 0;
+  [[nodiscard]] virtual std::size_t size() const noexcept = 0;
+
+  /// Serialize the index structure (not the vectors) for replica shipping.
+  [[nodiscard]] virtual std::vector<std::byte> to_bytes() const = 0;
+};
+
+/// Construction parameters shared by every kind.
+struct LocalIndexParams {
+  LocalIndexKind kind = LocalIndexKind::kHnsw;
+  hnsw::HnswParams hnsw;    ///< used when kind == kHnsw
+  pq::IvfPqParams ivfpq;    ///< used when kind == kIvfPq (L2 only)
+  simd::Metric metric = simd::Metric::kL2;
+};
+
+/// Build a fresh index over `data` (runs the build immediately). A pool
+/// parallelizes HNSW construction inside the worker, matching the paper's
+/// multi-threaded local index builds.
+[[nodiscard]] std::unique_ptr<LocalIndex> build_local_index(
+    const data::Dataset* data, const LocalIndexParams& params,
+    ThreadPool* pool = nullptr);
+
+/// Reconstruct a replica index from `to_bytes()` output.
+[[nodiscard]] std::unique_ptr<LocalIndex> local_index_from_bytes(
+    std::span<const std::byte> bytes, const data::Dataset* data,
+    const LocalIndexParams& params);
+
+}  // namespace annsim::core

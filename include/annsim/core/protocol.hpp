@@ -1,0 +1,101 @@
+#pragma once
+/// \file protocol.hpp
+/// \brief Wire formats of the master/worker search protocol (Algorithms 3-5)
+/// and the layout of the master's one-sided result window (§IV-C1, Fig 2).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "annsim/common/serialize.hpp"
+#include "annsim/common/topk.hpp"
+#include "annsim/common/types.hpp"
+#include "annsim/mpi/mpi.hpp"
+
+namespace annsim::core {
+
+// Message tags of the search protocol.
+inline constexpr mpi::Tag kTagQuery = 1;    ///< master -> worker: one (q, d) job
+inline constexpr mpi::Tag kTagResult = 2;   ///< worker -> master: local k-NN (two-sided mode)
+inline constexpr mpi::Tag kTagEoq = 3;      ///< master -> worker: End of Queries
+inline constexpr mpi::Tag kTagDone = 4;     ///< worker -> master: all jobs finished
+inline constexpr mpi::Tag kTagTree = 5;     ///< worker 0 -> master: serialized VP tree
+inline constexpr mpi::Tag kTagOwnerResult = 6;  ///< worker -> owner (multiple-owner mode)
+inline constexpr mpi::Tag kTagOwnerBatch = 8;   ///< master -> owner: its query share
+inline constexpr mpi::Tag kTagExpect = 9;       ///< master -> worker: total jobs to expect
+inline constexpr mpi::Tag kTagDispatchCounts = 10;  ///< owner -> master: jobs per dest
+inline constexpr mpi::Tag kTagReplica = 11;     ///< worker -> worker: partition replica
+
+/// One dispatched search job: query `query_id` on partition `partition`.
+struct QueryJob {
+  std::uint32_t query_id = 0;
+  PartitionId partition = kInvalidPartition;
+  std::uint32_t k = 0;
+  std::uint32_t ef = 0;          ///< 0 = index default
+  std::uint32_t reply_to = 0;    ///< comm rank that merges the result
+  std::vector<float> query;      ///< the query vector
+};
+
+[[nodiscard]] std::vector<std::byte> encode_query_job(const QueryJob& job);
+[[nodiscard]] QueryJob decode_query_job(std::span<const std::byte> bytes);
+
+/// A worker's local k-NN result for one job.
+struct LocalResult {
+  std::uint32_t query_id = 0;
+  PartitionId partition = kInvalidPartition;
+  std::vector<Neighbor> neighbors;  ///< sorted ascending by distance
+};
+
+[[nodiscard]] std::vector<std::byte> encode_local_result(const LocalResult& r);
+[[nodiscard]] LocalResult decode_local_result(std::span<const std::byte> bytes);
+
+/// Completion notice: how many jobs this worker processed (Fig 4(b) data).
+struct DoneNotice {
+  std::uint64_t jobs_processed = 0;
+  double compute_seconds = 0.0;  ///< time spent in local searches
+  double comm_seconds = 0.0;     ///< time spent in send/accumulate calls
+  double route_seconds = 0.0;    ///< owner-side routing (multiple-owner mode)
+};
+
+// ---- one-sided result window -----------------------------------------
+//
+// The master exposes one fixed-size slot per query:
+//   [ u32 merged_count | u32 pad | Neighbor[k] ]
+// Workers fold their local k-NN into a slot with a single atomic
+// get_accumulate whose merge op performs the sorted k-NN merge and bumps
+// merged_count. The master knows |F(q)| per query, so a slot is final once
+// merged_count reaches it.
+
+struct SlotLayout {
+  std::size_t k = 0;
+
+  [[nodiscard]] std::size_t slot_bytes() const noexcept {
+    return sizeof(std::uint64_t) + k * sizeof(Neighbor);
+  }
+  [[nodiscard]] std::size_t window_bytes(std::size_t n_queries) const noexcept {
+    return n_queries * slot_bytes();
+  }
+  [[nodiscard]] std::size_t slot_offset(std::size_t query_id) const noexcept {
+    return query_id * slot_bytes();
+  }
+};
+
+/// Serialize a local result into the accumulate origin-buffer format
+/// (count=1, then exactly k neighbors, padded with +inf sentinels).
+[[nodiscard]] std::vector<std::byte> encode_slot_update(
+    std::span<const Neighbor> neighbors, const SlotLayout& layout);
+
+/// The merge op passed to Window::get_accumulate: k-NN-merge the origin
+/// neighbors into the target slot and add the origin's merged_count.
+[[nodiscard]] mpi::Window::MergeOp knn_slot_merge(const SlotLayout& layout);
+
+/// Decode a final slot into (merged_count, sorted neighbors without
+/// sentinels).
+struct DecodedSlot {
+  std::uint32_t merged_count = 0;
+  std::vector<Neighbor> neighbors;
+};
+[[nodiscard]] DecodedSlot decode_slot(std::span<const std::byte> slot,
+                                      const SlotLayout& layout);
+
+}  // namespace annsim::core

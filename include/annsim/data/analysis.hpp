@@ -1,0 +1,46 @@
+#pragma once
+/// \file analysis.hpp
+/// \brief Dataset geometry diagnostics: intrinsic dimensionality, neighbor
+/// distance profiles, and partition-skew measures.
+///
+/// These quantities drive the paper-scale extrapolations (Table III's
+/// density-rescaled F(q) radii) and help users predict how well VP routing
+/// will localize their own data.
+
+#include <cstddef>
+
+#include "annsim/data/dataset.hpp"
+#include "annsim/data/ground_truth.hpp"
+
+namespace annsim::data {
+
+/// Estimate intrinsic dimensionality from a ground-truth profile using the
+/// k-NN distance growth law r_k ~ k^(1/d):  d = ln(k) / ln(r_k / r_1),
+/// averaged over queries and clamped to [4, ambient_dim]. High-dimensional
+/// descriptor sets typically land far below their ambient dimension.
+[[nodiscard]] double intrinsic_dimension(const KnnResults& gt,
+                                         std::size_t ambient_dim);
+
+/// How the k-th-neighbor radius rescales when the corpus grows from
+/// `n_from` to `n_to` points at fixed intrinsic dimension:
+/// factor = (n_from / n_to)^(1/d_int). Multiplying measured GT radii by this
+/// simulates billion-point density on a downscaled corpus.
+[[nodiscard]] double density_radius_scale(std::size_t n_from, std::size_t n_to,
+                                          double intrinsic_dim);
+
+/// Distance-profile summary of a ground-truth set.
+struct NeighborProfile {
+  double mean_r1 = 0.0;        ///< mean distance to the nearest neighbor
+  double mean_rk = 0.0;        ///< mean distance to the k-th neighbor
+  double contrast = 0.0;       ///< mean (r_k - r_1) / r_k; -> 0 in high-d
+  std::size_t k = 0;
+};
+
+[[nodiscard]] NeighborProfile neighbor_profile(const KnnResults& gt);
+
+/// Coefficient of variation of per-partition query loads — the scalar
+/// behind Fig 4(b): 0 = perfectly balanced.
+[[nodiscard]] double load_imbalance_cv(
+    const std::vector<std::uint64_t>& jobs_per_worker);
+
+}  // namespace annsim::data

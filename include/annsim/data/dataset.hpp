@@ -1,0 +1,113 @@
+#pragma once
+/// \file dataset.hpp
+/// \brief Row-major, SIMD-padded vector dataset with global-id tracking.
+///
+/// A Dataset is both the full corpus and — after partitioning — each
+/// partition's local slice; `ids()` maps local row indices back to global
+/// point ids so partial k-NN results can be merged at the master.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "annsim/common/aligned_buffer.hpp"
+#include "annsim/common/error.hpp"
+#include "annsim/common/types.hpp"
+
+namespace annsim::data {
+
+class Dataset {
+ public:
+  Dataset() noexcept = default;
+
+  /// Allocate an n x dim dataset (zero-filled) with identity global ids.
+  Dataset(std::size_t n, std::size_t dim) { reset(n, dim); }
+
+  void reset(std::size_t n, std::size_t dim) {
+    ANNSIM_CHECK(dim > 0 || n == 0);
+    n_ = n;
+    dim_ = dim;
+    stride_ = (dim + 7) / 8 * 8;  // pad rows to 8 floats for SIMD tails
+    storage_.reset(n * stride_);
+    ids_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) ids_[i] = static_cast<GlobalId>(i);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+  [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
+  [[nodiscard]] std::size_t stride() const noexcept { return stride_; }
+  [[nodiscard]] bool empty() const noexcept { return n_ == 0; }
+
+  [[nodiscard]] float* row(std::size_t i) noexcept { return storage_.data() + i * stride_; }
+  [[nodiscard]] const float* row(std::size_t i) const noexcept {
+    return storage_.data() + i * stride_;
+  }
+
+  [[nodiscard]] std::span<float> row_span(std::size_t i) noexcept {
+    return {row(i), dim_};
+  }
+  [[nodiscard]] std::span<const float> row_span(std::size_t i) const noexcept {
+    return {row(i), dim_};
+  }
+
+  void set_row(std::size_t i, std::span<const float> values) {
+    ANNSIM_CHECK(i < n_ && values.size() == dim_);
+    std::copy(values.begin(), values.end(), row(i));
+  }
+
+  /// Global id of local row i.
+  [[nodiscard]] GlobalId id(std::size_t i) const noexcept { return ids_[i]; }
+  void set_id(std::size_t i, GlobalId id) noexcept { ids_[i] = id; }
+  [[nodiscard]] std::span<const GlobalId> ids() const noexcept { return ids_; }
+
+  /// Extract the given rows (with their global ids) into a new Dataset.
+  [[nodiscard]] Dataset subset(std::span<const std::size_t> rows) const {
+    Dataset out(rows.size(), dim_);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      ANNSIM_CHECK(rows[i] < n_);
+      out.set_row(i, row_span(rows[i]));
+      out.set_id(i, ids_[rows[i]]);
+    }
+    return out;
+  }
+
+  /// Contiguous range [begin, end) as a new Dataset.
+  [[nodiscard]] Dataset slice(std::size_t begin, std::size_t end) const {
+    ANNSIM_CHECK(begin <= end && end <= n_);
+    Dataset out(end - begin, dim_);
+    for (std::size_t i = begin; i < end; ++i) {
+      out.set_row(i - begin, row_span(i));
+      out.set_id(i - begin, ids_[i]);
+    }
+    return out;
+  }
+
+  /// Append all rows of another dataset (same dim), keeping its global ids.
+  void append(const Dataset& other) {
+    if (other.empty()) return;
+    if (empty() && dim_ == 0) {
+      *this = other;
+      return;
+    }
+    ANNSIM_CHECK(other.dim_ == dim_);
+    Dataset merged(n_ + other.n_, dim_);
+    for (std::size_t i = 0; i < n_; ++i) {
+      merged.set_row(i, row_span(i));
+      merged.set_id(i, ids_[i]);
+    }
+    for (std::size_t i = 0; i < other.n_; ++i) {
+      merged.set_row(n_ + i, other.row_span(i));
+      merged.set_id(n_ + i, other.ids_[i]);
+    }
+    *this = std::move(merged);
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t dim_ = 0;
+  std::size_t stride_ = 0;
+  AlignedBuffer<float> storage_;
+  std::vector<GlobalId> ids_;
+};
+
+}  // namespace annsim::data

@@ -1,0 +1,37 @@
+#pragma once
+/// \file ground_truth.hpp
+/// \brief Exact brute-force k-NN (the recall reference) and recall metrics.
+
+#include <cstddef>
+#include <vector>
+
+#include "annsim/common/thread_pool.hpp"
+#include "annsim/common/types.hpp"
+#include "annsim/data/dataset.hpp"
+#include "annsim/simd/distance.hpp"
+
+namespace annsim::data {
+
+/// Per-query exact k-NN lists, sorted ascending by distance.
+using KnnResults = std::vector<std::vector<Neighbor>>;
+
+/// Exact k-NN of every query against the base set (multi-threaded blocked
+/// scan). Distances follow the DistanceComputer convention (true metric
+/// distance for kL2).
+[[nodiscard]] KnnResults brute_force_knn(const Dataset& base,
+                                         const Dataset& queries, std::size_t k,
+                                         simd::Metric metric,
+                                         ThreadPool* pool = nullptr);
+
+/// recall@k of one result list against its ground truth: fraction of the k
+/// true neighbors present in the result (by id). Ties at the boundary are
+/// credited via distance equality, matching standard ANN-benchmark practice.
+[[nodiscard]] double recall_at_k(const std::vector<Neighbor>& result,
+                                 const std::vector<Neighbor>& truth,
+                                 std::size_t k);
+
+/// Mean recall@k over a query batch.
+[[nodiscard]] double mean_recall(const KnnResults& results,
+                                 const KnnResults& truth, std::size_t k);
+
+}  // namespace annsim::data

@@ -1,0 +1,74 @@
+#pragma once
+/// \file mdcgen.hpp
+/// \brief MDCGen-style multidimensional cluster generator (Iglesias et al.,
+/// Journal of Classification 2019) — the tool the paper used to produce the
+/// SYN_1M and SYN_10M datasets — re-implemented from scratch.
+///
+/// Supports per-cluster Gaussian or uniform intra-cluster distributions,
+/// cluster-mass imbalance, outlier injection, and compactness-controlled
+/// query-set generation inside a single cluster (the paper generates query
+/// sets "using uniform distribution in a single cluster with a compactness
+/// factor of 0.01").
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "annsim/common/rng.hpp"
+#include "annsim/data/dataset.hpp"
+
+namespace annsim::data {
+
+/// Intra-cluster point distribution.
+enum class ClusterDistribution { kGaussian, kUniform };
+
+struct MDCGenParams {
+  std::size_t n_points = 100000;  ///< Total points, including outliers.
+  std::size_t dim = 64;
+  std::size_t n_clusters = 10;
+  std::size_t n_outliers = 500;   ///< Uniform noise over the whole domain.
+
+  /// Per-cluster distributions; cycled if shorter than n_clusters. Empty
+  /// means alternate Gaussian/uniform (the paper uses both kinds).
+  std::vector<ClusterDistribution> distributions;
+
+  double domain_min = 0.0;       ///< Hyper-box domain lower bound (per axis).
+  double domain_max = 1.0;       ///< Hyper-box domain upper bound (per axis).
+  double compactness = 0.05;     ///< Cluster radius as a fraction of domain span.
+  double mass_imbalance = 0.3;   ///< 0 = equal-size clusters; 1 = highly skewed.
+  std::uint64_t seed = 42;
+};
+
+/// Generator output: the points plus the cluster geometry needed to derive
+/// query sets and to verify generator properties in tests.
+struct MDCGenOutput {
+  Dataset points;
+  std::vector<std::uint32_t> labels;    ///< Cluster id per point; n_clusters = outlier.
+  Dataset centroids;                    ///< n_clusters x dim.
+  std::vector<double> radii;            ///< Cluster radius (domain units).
+  std::vector<std::size_t> cluster_sizes;
+};
+
+class MDCGenerator {
+ public:
+  explicit MDCGenerator(MDCGenParams params);
+
+  /// Generate the full dataset.
+  [[nodiscard]] MDCGenOutput generate() const;
+
+  /// Generate `n_queries` queries uniformly inside cluster `cluster_id` of a
+  /// previous output, with the given compactness factor (radius fraction of
+  /// the domain span) — the paper's query-set recipe.
+  [[nodiscard]] Dataset generate_queries(const MDCGenOutput& out,
+                                         std::size_t n_queries,
+                                         std::size_t cluster_id,
+                                         double compactness,
+                                         std::uint64_t seed) const;
+
+  [[nodiscard]] const MDCGenParams& params() const noexcept { return params_; }
+
+ private:
+  MDCGenParams params_;
+};
+
+}  // namespace annsim::data

@@ -1,0 +1,54 @@
+#pragma once
+/// \file recipes.hpp
+/// \brief Synthetic stand-ins for the paper's datasets (Table I).
+///
+/// The real corpora (ANN_SIFT1B, DEEP1B, ANN_GIST1M) are hundreds of GB and
+/// unavailable offline; each recipe reproduces the *geometry that matters* —
+/// dimension, value range/normalisation, and cluster structure — at a
+/// configurable scale, with a matching query distribution. SYN_1M/SYN_10M are
+/// regenerated with our MDCGen re-implementation exactly as in the paper.
+
+#include <cstdint>
+#include <string>
+
+#include "annsim/data/dataset.hpp"
+#include "annsim/data/mdcgen.hpp"
+
+namespace annsim::data {
+
+/// A base corpus plus its query set (ground truth is computed separately).
+struct Workload {
+  std::string name;
+  Dataset base;
+  Dataset queries;
+};
+
+/// SIFT-like: 128-d, non-negative byte-range descriptor-style vectors with
+/// strong cluster structure (stands in for ANN_SIFT1B, downscaled).
+[[nodiscard]] Workload make_sift_like(std::size_t n_base, std::size_t n_queries,
+                                      std::uint64_t seed = 20200901);
+
+/// DEEP-like: 96-d, L2-normalised CNN-descriptor-style vectors
+/// (stands in for DEEP1B, downscaled).
+[[nodiscard]] Workload make_deep_like(std::size_t n_base, std::size_t n_queries,
+                                      std::uint64_t seed = 20200902);
+
+/// GIST-like: 960-d heavy-tailed clustered vectors (stands in for
+/// ANN_GIST1M, downscaled) — the extreme-dimension regime of Table III.
+[[nodiscard]] Workload make_gist_like(std::size_t n_base, std::size_t n_queries,
+                                      std::uint64_t seed = 20200903);
+
+/// SYN recipe from the paper: MDCGen, 10 clusters, Gaussian+uniform,
+/// outliers, queries uniform in a single cluster with compactness 0.01.
+/// `dim` is 512 for SYN_1M and 256 for SYN_10M in the paper.
+[[nodiscard]] Workload make_syn(std::size_t n_base, std::size_t dim,
+                                std::size_t n_outliers, std::size_t n_queries,
+                                std::uint64_t seed = 20200904);
+
+/// Look up a recipe by paper dataset name ("SIFT", "DEEP", "GIST",
+/// "SYN_1M", "SYN_10M"), downscaled to n_base points.
+[[nodiscard]] Workload make_by_name(const std::string& name, std::size_t n_base,
+                                    std::size_t n_queries,
+                                    std::uint64_t seed = 20200905);
+
+}  // namespace annsim::data

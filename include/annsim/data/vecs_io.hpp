@@ -1,0 +1,32 @@
+#pragma once
+/// \file vecs_io.hpp
+/// \brief Readers/writers for the TEXMEX .fvecs / .bvecs / .ivecs formats
+/// used by ANN_SIFT1B, DEEP1B and ANN_GIST1M.
+///
+/// Format: each row is a little-endian int32 `dim` followed by `dim` values
+/// (float32 for fvecs, uint8 for bvecs, int32 for ivecs).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "annsim/data/dataset.hpp"
+
+namespace annsim::data {
+
+/// Load an .fvecs file; `max_rows` = 0 means all rows.
+[[nodiscard]] Dataset load_fvecs(const std::string& path, std::size_t max_rows = 0);
+
+/// Load a .bvecs file (bytes are widened to float); `max_rows` = 0 means all.
+[[nodiscard]] Dataset load_bvecs(const std::string& path, std::size_t max_rows = 0);
+
+/// Load an .ivecs file (e.g. ground-truth neighbor id lists).
+[[nodiscard]] std::vector<std::vector<std::int32_t>> load_ivecs(
+    const std::string& path, std::size_t max_rows = 0);
+
+void save_fvecs(const std::string& path, const Dataset& ds);
+void save_bvecs(const std::string& path, const Dataset& ds);
+void save_ivecs(const std::string& path,
+                const std::vector<std::vector<std::int32_t>>& rows);
+
+}  // namespace annsim::data

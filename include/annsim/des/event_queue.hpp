@@ -1,0 +1,57 @@
+#pragma once
+/// \file event_queue.hpp
+/// \brief Minimal discrete-event engine: a time-ordered queue of closures.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace annsim::des {
+
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Schedule `fn` at absolute simulated time `when` (seconds).
+  void schedule(double when, Handler fn) {
+    events_.push(Event{when, seq_++, std::move(fn)});
+  }
+
+  /// Schedule `fn` `delay` seconds from now.
+  void schedule_in(double delay, Handler fn) {
+    schedule(now_ + delay, std::move(fn));
+  }
+
+  /// Current simulated time.
+  [[nodiscard]] double now() const noexcept { return now_; }
+
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+
+  /// Process events in time order until the queue drains.
+  void run() {
+    while (!events_.empty()) {
+      Event e = std::move(const_cast<Event&>(events_.top()));
+      events_.pop();
+      now_ = e.when;
+      e.fn();
+    }
+  }
+
+ private:
+  struct Event {
+    double when;
+    std::uint64_t seq;  ///< FIFO tie-break for simultaneous events
+    Handler fn;
+    friend bool operator<(const Event& a, const Event& b) noexcept {
+      // priority_queue is a max-heap; invert for earliest-first.
+      return a.when > b.when || (a.when == b.when && a.seq > b.seq);
+    }
+  };
+
+  std::priority_queue<Event> events_;
+  double now_ = 0.0;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace annsim::des

@@ -1,0 +1,59 @@
+#pragma once
+/// \file ivfpq_index.hpp
+/// \brief IVF-PQ: an inverted-file index over a coarse k-means quantizer
+/// with product-quantized residuals — the compressed single-node index
+/// family ([13], [14]) that §V-F contrasts against the paper's uncompressed
+/// distributed design.
+
+#include <cstdint>
+#include <vector>
+
+#include "annsim/common/types.hpp"
+#include "annsim/data/dataset.hpp"
+#include "annsim/pq/kmeans.hpp"
+#include "annsim/pq/product_quantizer.hpp"
+
+namespace annsim::pq {
+
+struct IvfPqParams {
+  std::size_t nlist = 64;   ///< coarse centroids (inverted lists)
+  std::size_t nprobe = 8;   ///< default lists scanned per query
+  PqParams pq;              ///< residual quantizer
+  std::size_t coarse_iters = 15;
+  std::uint64_t seed = 23;
+};
+
+/// Memory-resident compressed index: stores only m bytes per vector plus the
+/// coarse assignment. Search = probe the nprobe nearest lists, score codes
+/// with per-list residual ADC tables.
+class IvfPqIndex {
+ public:
+  /// Build over `data` (referenced for ids only; vectors are not retained —
+  /// that is the point of a compressed index).
+  static IvfPqIndex build(const data::Dataset& data, const IvfPqParams& params);
+
+  /// Approximate k-NN; `nprobe` = 0 uses the configured default. Distances
+  /// are ADC approximations of L2 (not exact), sorted ascending.
+  [[nodiscard]] std::vector<Neighbor> search(const float* query, std::size_t k,
+                                             std::size_t nprobe = 0) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+  [[nodiscard]] std::size_t dim() const noexcept { return pq_.dim(); }
+  [[nodiscard]] const IvfPqParams& params() const noexcept { return params_; }
+
+  /// Compressed footprint in bytes (codes + ids + codebooks + centroids).
+  [[nodiscard]] std::size_t memory_bytes() const noexcept;
+
+ private:
+  IvfPqIndex() = default;
+
+  IvfPqParams params_;
+  std::size_t n_ = 0;
+  ProductQuantizer pq_;
+  data::Dataset coarse_centroids_;  ///< nlist x dim
+  /// Per list: codes (m bytes per vector) and the matching global ids.
+  std::vector<std::vector<std::uint8_t>> list_codes_;
+  std::vector<std::vector<GlobalId>> list_ids_;
+};
+
+}  // namespace annsim::pq

@@ -1,0 +1,36 @@
+#pragma once
+/// \file kmeans.hpp
+/// \brief Lloyd's k-means — the coarse quantizer of the IVF-PQ comparison
+/// index and the sub-space codebook trainer of the product quantizer.
+
+#include <cstdint>
+#include <vector>
+
+#include "annsim/common/thread_pool.hpp"
+#include "annsim/data/dataset.hpp"
+
+namespace annsim::pq {
+
+struct KMeansParams {
+  std::size_t k = 256;
+  std::size_t max_iters = 15;
+  /// Stop when the relative inertia improvement falls below this.
+  double tolerance = 1e-4;
+  std::uint64_t seed = 5;
+};
+
+struct KMeansResult {
+  data::Dataset centroids;               ///< k x dim
+  std::vector<std::uint32_t> assignment; ///< per input row
+  double inertia = 0.0;                  ///< sum of squared distances
+  std::size_t iters_run = 0;
+};
+
+/// Standard Lloyd iterations with k-means++-style seeding (first center
+/// uniform, subsequent centers distance-weighted). Empty clusters are
+/// re-seeded from the farthest points.
+[[nodiscard]] KMeansResult kmeans(const data::Dataset& data,
+                                  const KMeansParams& params,
+                                  ThreadPool* pool = nullptr);
+
+}  // namespace annsim::pq

@@ -1,0 +1,73 @@
+#pragma once
+/// \file distance.hpp
+/// \brief Vector distance kernels: scalar reference paths plus AVX2/FMA
+/// implementations selected at runtime.
+///
+/// Conventions:
+///  * `l2_sq`, `inner_product`, `l1` are raw kernels over `dim` floats.
+///  * `DistanceComputer` converts a raw kernel into the *ranking distance*
+///    used uniformly across the library (true L2 norm for Metric::kL2, so the
+///    VP-tree's triangle-inequality pruning and HNSW's candidate ordering use
+///    the same numbers and partial results merge without conversion).
+
+#include <cstddef>
+#include <string>
+
+namespace annsim::simd {
+
+/// Supported dissimilarity functions.
+enum class Metric {
+  kL2,            ///< Euclidean distance (a true metric; VP-tree compatible).
+  kL1,            ///< Manhattan distance (a true metric; VP-tree compatible).
+  kInnerProduct,  ///< 1 - <a,b>; NOT a metric (no VP/KD routing).
+  kCosine,        ///< 1 - cos(a,b); NOT a metric.
+};
+
+[[nodiscard]] const char* metric_name(Metric m) noexcept;
+
+/// True metrics satisfy the triangle inequality and may be used with the
+/// VP-tree partitioner / router.
+[[nodiscard]] constexpr bool is_true_metric(Metric m) noexcept {
+  return m == Metric::kL2 || m == Metric::kL1;
+}
+
+// ---- raw kernels (runtime-dispatched: AVX2+FMA when available) ----
+
+/// Squared Euclidean distance.
+[[nodiscard]] float l2_sq(const float* a, const float* b, std::size_t dim) noexcept;
+/// Dot product <a, b>.
+[[nodiscard]] float inner_product(const float* a, const float* b, std::size_t dim) noexcept;
+/// Manhattan distance.
+[[nodiscard]] float l1(const float* a, const float* b, std::size_t dim) noexcept;
+/// Euclidean norm of a vector.
+[[nodiscard]] float l2_norm(const float* a, std::size_t dim) noexcept;
+
+// ---- scalar reference kernels (exported for differential testing) ----
+
+[[nodiscard]] float l2_sq_scalar(const float* a, const float* b, std::size_t dim) noexcept;
+[[nodiscard]] float inner_product_scalar(const float* a, const float* b, std::size_t dim) noexcept;
+[[nodiscard]] float l1_scalar(const float* a, const float* b, std::size_t dim) noexcept;
+
+/// Which instruction set the dispatched kernels use ("avx2+fma" or "scalar").
+[[nodiscard]] std::string kernel_isa();
+
+/// Computes the ranking distance for a fixed metric and dimension.
+///
+/// Cheap to copy; hot loops should hoist `metric()`/`dim()` decisions by
+/// calling through operator() which switches once per call.
+class DistanceComputer {
+ public:
+  DistanceComputer(Metric metric, std::size_t dim) noexcept
+      : metric_(metric), dim_(dim) {}
+
+  [[nodiscard]] float operator()(const float* a, const float* b) const noexcept;
+
+  [[nodiscard]] Metric metric() const noexcept { return metric_; }
+  [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
+
+ private:
+  Metric metric_;
+  std::size_t dim_;
+};
+
+}  // namespace annsim::simd

@@ -1,0 +1,110 @@
+#pragma once
+/// \file partition_vp_tree.hpp
+/// \brief The master's routing structure: a VP-tree whose *leaves are data
+/// partitions* (one per processing core), used to compute F(q) — the subset
+/// of partitions whose local results suffice to reconstruct the global k-NN
+/// (§III-B, §IV).
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "annsim/common/rng.hpp"
+#include "annsim/common/serialize.hpp"
+#include "annsim/common/types.hpp"
+#include "annsim/data/dataset.hpp"
+#include "annsim/simd/distance.hpp"
+
+namespace annsim::vptree {
+
+struct PartitionVpTreeParams {
+  /// Number of leaf partitions; must be a power of two (median splits halve
+  /// the data, matching the paper's "half the processes build each child").
+  std::size_t target_partitions = 8;
+  /// Vantage-point candidates sampled per node (paper: 100).
+  std::size_t vantage_candidates = 100;
+  /// Evaluation rows sampled per candidate scoring pass.
+  std::size_t vantage_sample = 256;
+  std::uint64_t seed = 11;
+  simd::Metric metric = simd::Metric::kL2;
+};
+
+/// Per-query routing decision, ordered most-promising first.
+struct RoutingDecision {
+  std::vector<PartitionId> partitions;
+  /// Lower bound on the distance from the query to any point of each
+  /// routed partition (same order as `partitions`).
+  std::vector<float> lower_bounds;
+};
+
+struct PartitionBuildResult;
+
+class PartitionVpTree {
+ public:
+  /// Sequential construction (the distributed variant in annsim::core must
+  /// produce an equivalent tree; tests compare the two).
+  static PartitionBuildResult build(const data::Dataset& data,
+                                    const PartitionVpTreeParams& params);
+
+  /// All partitions whose region intersects ball(query, radius) — the exact
+  /// F(q) when `radius` is (an upper bound on) the k-th neighbor distance.
+  [[nodiscard]] std::vector<PartitionId> route_ball(const float* query,
+                                                    float radius) const;
+
+  /// The single partition whose region contains the query.
+  [[nodiscard]] PartitionId route_nearest(const float* query) const;
+
+  /// Up to `max_partitions` partitions ordered by ascending lower-bound
+  /// distance to the query (best-first traversal). This is the single-pass
+  /// F(q) heuristic used in the throughput-oriented batched search; the
+  /// number of probes trades recall for time exactly like IVF nprobe.
+  [[nodiscard]] RoutingDecision route_topk(const float* query,
+                                           std::size_t max_partitions) const;
+
+  [[nodiscard]] std::size_t n_partitions() const noexcept { return n_partitions_; }
+  [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
+  [[nodiscard]] simd::Metric metric() const noexcept { return params_.metric; }
+  [[nodiscard]] const PartitionVpTreeParams& params() const noexcept { return params_; }
+
+  /// Tree depth (root=0 depth of deepest leaf).
+  [[nodiscard]] std::size_t depth() const;
+
+  void serialize(BinaryWriter& w) const;
+  static PartitionVpTree deserialize(BinaryReader& r);
+
+  /// Internal node layout, exposed for the distributed builder in
+  /// annsim::core which assembles a tree from per-level broadcast results.
+  struct Node {
+    std::vector<float> vp;        ///< vantage point (copied vector)
+    float mu = 0.f;               ///< median split radius
+    std::int32_t left = -1;       ///< child node index, -1 for leaf
+    std::int32_t right = -1;
+    PartitionId leaf = kInvalidPartition;  ///< set when this node is a leaf
+  };
+
+  /// Assemble a router directly from nodes (used by the distributed builder).
+  PartitionVpTree(std::vector<Node> nodes, std::int32_t root,
+                  std::size_t n_partitions, std::size_t dim,
+                  PartitionVpTreeParams params);
+
+  [[nodiscard]] const std::vector<Node>& nodes() const noexcept { return nodes_; }
+
+ private:
+  PartitionVpTree() = default;
+
+  std::vector<Node> nodes_;
+  std::int32_t root_ = -1;
+  std::size_t n_partitions_ = 0;
+  std::size_t dim_ = 0;
+  PartitionVpTreeParams params_;
+};
+
+/// Result of building: the router plus each row's partition assignment.
+struct PartitionBuildResult {
+  PartitionVpTree tree;
+  std::vector<PartitionId> assignment;  ///< per dataset row
+  std::vector<std::size_t> partition_sizes;
+};
+
+}  // namespace annsim::vptree

@@ -1,0 +1,57 @@
+#pragma once
+/// \file vp_tree.hpp
+/// \brief Classic Yianilos VP-tree: one point per node, exact k-NN with
+/// triangle-inequality pruning. Serves as the metric-space reference index
+/// and as the correctness oracle for the partition router.
+
+#include <cstddef>
+#include <vector>
+
+#include "annsim/common/rng.hpp"
+#include "annsim/common/types.hpp"
+#include "annsim/data/dataset.hpp"
+#include "annsim/simd/distance.hpp"
+
+namespace annsim::vptree {
+
+struct VpTreeParams {
+  std::size_t vantage_candidates = 16;  ///< candidates sampled per node
+  std::size_t vantage_sample = 64;      ///< eval rows sampled per node
+  std::uint64_t seed = 7;
+  simd::Metric metric = simd::Metric::kL2;
+};
+
+/// Exact k-NN index over a Dataset (referenced, not owned).
+class VpTree {
+ public:
+  VpTree(const data::Dataset* data, VpTreeParams params);
+
+  /// Exact k-NN; also reports how many distance evaluations were spent
+  /// through `evals_out` when non-null (the pruning-quality metric the
+  /// VP-vs-KD ablation reports).
+  [[nodiscard]] std::vector<Neighbor> search(const float* query, std::size_t k,
+                                             std::size_t* evals_out = nullptr) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return data_->size(); }
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+
+ private:
+  struct Node {
+    std::size_t row = 0;  ///< vantage point (dataset row)
+    float mu = 0.f;       ///< partition radius
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+  };
+
+  std::int32_t build(std::vector<std::size_t>& rows, std::size_t begin,
+                     std::size_t end, Rng& rng);
+  void search_node(std::int32_t node, const float* query, class TopKRef& topk) const;
+
+  const data::Dataset* data_;
+  VpTreeParams params_;
+  simd::DistanceComputer dist_;
+  std::vector<Node> nodes_;
+  std::int32_t root_ = -1;
+};
+
+}  // namespace annsim::vptree

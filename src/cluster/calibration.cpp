@@ -1,0 +1,143 @@
+#include "annsim/cluster/calibration.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "annsim/common/error.hpp"
+#include "annsim/common/timer.hpp"
+#include "annsim/common/topk.hpp"
+
+namespace annsim::cluster {
+
+double CalibratedCosts::hnsw_query_seconds(std::size_t partition_n) const {
+  const double n = std::max<double>(2.0, double(partition_n));
+  return hnsw_query_c * std::log(n) * core_speed_ratio;
+}
+
+double CalibratedCosts::hnsw_build_seconds(std::size_t partition_n) const {
+  const double n = std::max<double>(2.0, double(partition_n));
+  return hnsw_insert_c * n * std::log(n) * core_speed_ratio;
+}
+
+double CalibratedCosts::exact_search_seconds(std::size_t partition_n) const {
+  return exact_scan_per_point * double(partition_n) * core_speed_ratio;
+}
+
+double CalibratedCosts::route_seconds(std::size_t n_partitions) const {
+  const double p = std::max<double>(2.0, double(n_partitions));
+  return route_c * std::log(p) * core_speed_ratio;
+}
+
+namespace {
+
+/// Smooth ramp from 1 to `full` as n grows past `knee` (over ~1.5 decades);
+/// a step function would put an artificial cliff into the scaling curves
+/// right where partitions cross the cache size.
+double memory_ramp(std::size_t n, std::size_t knee, double full) {
+  if (n <= knee) return 1.0;
+  const double s =
+      std::min(1.0, std::log(double(n) / double(knee)) / std::log(32.0));
+  return 1.0 + (full - 1.0) * s;
+}
+
+}  // namespace
+
+double CalibratedCosts::memory_factor(std::size_t partition_n) const {
+  return memory_ramp(partition_n, cache_resident_n, dram_penalty);
+}
+
+double CalibratedCosts::hnsw_query_seconds_at_scale(
+    std::size_t partition_n, double beam_override) const {
+  const double beam = beam_override > 0.0 ? beam_override : beam_ratio;
+  return hnsw_query_seconds(partition_n) * beam *
+         memory_ramp(partition_n, cache_resident_n, dram_penalty);
+}
+
+double CalibratedCosts::exact_search_seconds_at_scale(
+    std::size_t partition_n, double scan_fraction) const {
+  // The scan itself is bandwidth-bound rather than latency-bound (a quarter
+  // of the pointer-chasing penalty); tree traversal adds its own factor.
+  return exact_search_seconds(partition_n) * scan_fraction *
+         kd_traversal_overhead *
+         memory_ramp(partition_n, cache_resident_n, dram_penalty / 4.0);
+}
+
+CalibratedCosts calibrate(const data::Dataset& base, const data::Dataset& queries,
+                          const CalibrationConfig& config) {
+  ANNSIM_CHECK(base.size() >= config.large_n);
+  ANNSIM_CHECK(config.small_n >= 64 && config.small_n < config.large_n);
+  ANNSIM_CHECK(!queries.empty());
+
+  CalibratedCosts out;
+  const std::size_t dim = base.dim();
+  const std::size_t nq = std::min(config.n_queries, queries.size());
+
+  // --- distance evaluation cost ---
+  {
+    const simd::DistanceComputer dist(config.hnsw.metric, dim);
+    volatile float sink = 0.f;
+    const std::size_t reps = 20000;
+    WallTimer t;
+    for (std::size_t i = 0; i < reps; ++i) {
+      sink = sink + dist(base.row(i % config.small_n),
+                         base.row((i * 7 + 1) % config.small_n));
+    }
+    out.dist_eval = t.seconds() / double(reps);
+  }
+
+  // --- exact scan cost per point (distance + heap maintenance) ---
+  {
+    const simd::DistanceComputer dist(config.hnsw.metric, dim);
+    WallTimer t;
+    for (std::size_t q = 0; q < nq; ++q) {
+      TopK topk(config.k);
+      for (std::size_t i = 0; i < config.small_n; ++i) {
+        topk.push(dist(queries.row(q), base.row(i)), GlobalId(i));
+      }
+    }
+    out.exact_scan_per_point =
+        t.seconds() / double(nq) / double(config.small_n);
+  }
+
+  // --- HNSW build + query at two sizes; fit c from the ln-n law ---
+  auto measure = [&](std::size_t n, double* insert_c, double* query_c) {
+    data::Dataset sub = base.slice(0, n);
+    hnsw::HnswIndex index(&sub, config.hnsw);
+    WallTimer tb;
+    index.build();
+    const double build_s = tb.seconds();
+    *insert_c = build_s / double(n) / std::log(double(n));
+
+    WallTimer ts;
+    for (std::size_t q = 0; q < nq; ++q) {
+      (void)index.search(queries.row(q), config.k);
+    }
+    *query_c = ts.seconds() / double(nq) / std::log(double(n));
+  };
+
+  double ic_small = 0, qc_small = 0, ic_large = 0, qc_large = 0;
+  measure(config.small_n, &ic_small, &qc_small);
+  measure(config.large_n, &ic_large, &qc_large);
+  // Geometric mean of the two fits damps measurement noise.
+  out.hnsw_insert_c = std::sqrt(ic_small * ic_large);
+  out.hnsw_query_c = std::sqrt(qc_small * qc_large);
+
+  // --- routing cost: a VP-tree descent is ~1 distance per level plus a
+  // handful of heap operations; model as 4 distance evals per level.
+  out.route_c = 4.0 * out.dist_eval;
+
+  return out;
+}
+
+CalibratedCosts default_costs() {
+  // Measured on a SIFT-like 128-d corpus, x86-64 AVX2 host, M=16, ef=64.
+  CalibratedCosts c;
+  c.hnsw_query_c = 9.0e-6;        // ~85 us per query at n=16k
+  c.hnsw_insert_c = 2.2e-5;       // ~210 us per insert at n=16k
+  c.dist_eval = 3.5e-8;           // 35 ns per 128-d L2
+  c.exact_scan_per_point = 4.5e-8;
+  c.route_c = 1.4e-7;
+  return c;
+}
+
+}  // namespace annsim::cluster

@@ -1,0 +1,55 @@
+#include "annsim/common/stats.hpp"
+
+#include <cstdio>
+
+#include "annsim/common/error.hpp"
+
+namespace annsim {
+
+double percentile(std::span<const double> sample, double p) {
+  ANNSIM_CHECK(!sample.empty());
+  ANNSIM_CHECK(p >= 0.0 && p <= 100.0);
+  std::vector<double> v(sample.begin(), sample.end());
+  std::sort(v.begin(), v.end());
+  if (v.size() == 1) return v[0];
+  const double pos = p / 100.0 * double(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - double(lo);
+  return v[lo] + frac * (v[hi] - v[lo]);
+}
+
+Summary summarize(std::span<const double> sample) {
+  Summary s;
+  if (sample.empty()) return s;
+  std::vector<double> v(sample.begin(), sample.end());
+  std::sort(v.begin(), v.end());
+  auto at = [&](double p) {
+    const double pos = p / 100.0 * double(v.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, v.size() - 1);
+    const double frac = pos - double(lo);
+    return v[lo] + frac * (v[hi] - v[lo]);
+  };
+  s.min = v.front();
+  s.p25 = at(25);
+  s.median = at(50);
+  s.p75 = at(75);
+  s.max = v.back();
+  s.count = v.size();
+  double sum = 0;
+  for (double x : v) sum += x;
+  s.mean = sum / double(v.size());
+  return s;
+}
+
+double median(std::span<const double> sample) { return percentile(sample, 50.0); }
+
+std::string to_string(const Summary& s) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%.3g/%.3g/%.3g/%.3g/%.3g (mean %.3g)",
+                s.min, s.p25, s.median, s.p75, s.max, s.mean);
+  return buf;
+}
+
+}  // namespace annsim

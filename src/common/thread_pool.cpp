@@ -1,0 +1,80 @@
+#include "annsim/common/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace annsim {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  num_threads = std::max<std::size_t>(1, num_threads);
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_job_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  {
+    std::lock_guard lk(mu_);
+    queue_.push_back(std::move(job));
+    ++in_flight_;
+  }
+  cv_job_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lk(mu_);
+  cv_idle_.wait(lk, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body) {
+  parallel_for_chunks(begin, end, [&body](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) body(i);
+  });
+}
+
+void ThreadPool::parallel_for_chunks(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t chunks = std::min(n, size() * 4);
+  const std::size_t chunk = (n + chunks - 1) / chunks;
+  for (std::size_t lo = begin; lo < end; lo += chunk) {
+    const std::size_t hi = std::min(lo + chunk, end);
+    submit([&body, lo, hi] { body(lo, hi); });
+  }
+  wait_idle();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock lk(mu_);
+      cv_job_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+    {
+      std::lock_guard lk(mu_);
+      if (--in_flight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace annsim

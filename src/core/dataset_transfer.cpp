@@ -1,0 +1,54 @@
+#include "annsim/core/dataset_transfer.hpp"
+
+namespace annsim::core {
+
+std::vector<std::byte> pack_dataset_rows(const data::Dataset& d,
+                                         std::span<const std::size_t> rows) {
+  BinaryWriter w;
+  w.write(std::uint64_t(rows.size()));
+  for (std::size_t r : rows) {
+    w.write(d.id(r));
+    const float* row = d.row(r);
+    for (std::size_t i = 0; i < d.dim(); ++i) w.write(row[i]);
+  }
+  return w.take();
+}
+
+std::vector<std::byte> pack_dataset(const data::Dataset& d) {
+  std::vector<std::size_t> rows(d.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  return pack_dataset_rows(d, rows);
+}
+
+data::Dataset unpack_datasets(const std::vector<std::vector<std::byte>>& buffers,
+                              std::size_t dim) {
+  std::size_t total = 0;
+  for (const auto& b : buffers) {
+    if (b.empty()) continue;
+    BinaryReader r(b);
+    total += r.read<std::uint64_t>();
+  }
+  data::Dataset out(total, dim);
+  std::size_t row = 0;
+  std::vector<float> tmp(dim);
+  for (const auto& b : buffers) {
+    if (b.empty()) continue;
+    BinaryReader r(b);
+    const auto n = r.read<std::uint64_t>();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      out.set_id(row, r.read<GlobalId>());
+      for (std::size_t d2 = 0; d2 < dim; ++d2) tmp[d2] = r.read<float>();
+      out.set_row(row, tmp);
+      ++row;
+    }
+  }
+  return out;
+}
+
+data::Dataset unpack_dataset(std::span<const std::byte> buffer, std::size_t dim) {
+  std::vector<std::vector<std::byte>> one;
+  one.emplace_back(buffer.begin(), buffer.end());
+  return unpack_datasets(one, dim);
+}
+
+}  // namespace annsim::core

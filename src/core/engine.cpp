@@ -1,0 +1,591 @@
+#include "annsim/core/engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <fstream>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "annsim/common/error.hpp"
+#include "annsim/common/timer.hpp"
+#include "annsim/common/topk.hpp"
+#include "annsim/core/dataset_transfer.hpp"
+#include "annsim/core/protocol.hpp"
+
+namespace annsim::core {
+
+DistributedAnnEngine::DistributedAnnEngine(const data::Dataset* base,
+                                           EngineConfig config)
+    : base_(base), config_(std::move(config)) {
+  ANNSIM_CHECK(base_ != nullptr);
+  ANNSIM_CHECK_MSG(std::has_single_bit(config_.n_workers),
+                   "n_workers must be a power of two");
+  ANNSIM_CHECK(config_.replication >= 1 &&
+               config_.replication <= config_.n_workers);
+  ANNSIM_CHECK(config_.n_probe >= 1);
+  ANNSIM_CHECK(config_.threads_per_worker >= 1);
+  ANNSIM_CHECK_MSG(base_->size() >= config_.n_workers * 2,
+                   "dataset too small for the requested partition count");
+  if (config_.strategy == DispatchStrategy::kMultipleOwner) {
+    ANNSIM_CHECK_MSG(!config_.one_sided && !config_.exact_routing,
+                     "multiple-owner mode supports two-sided single-pass only");
+  }
+  // Validate here rather than inside the SPMD region: a rank that throws
+  // mid-collective would leave its peers blocked, as in real MPI.
+  ANNSIM_CHECK_MSG(simd::is_true_metric(config_.hnsw.metric),
+                   "VP-tree partitioning requires a true metric (L2 or L1)");
+  if (config_.local_index == LocalIndexKind::kIvfPq) {
+    ANNSIM_CHECK_MSG(config_.hnsw.metric == simd::Metric::kL2,
+                     "IVF-PQ local indexes support L2 only");
+  }
+  config_.partitioner.metric = config_.hnsw.metric;
+}
+
+DistributedAnnEngine::~DistributedAnnEngine() = default;
+
+const vptree::PartitionVpTree& DistributedAnnEngine::router() const {
+  ANNSIM_CHECK_MSG(router_.has_value(), "engine not built yet");
+  return *router_;
+}
+
+std::vector<std::size_t> DistributedAnnEngine::partition_sizes() const {
+  ANNSIM_CHECK_MSG(router_.has_value(), "engine not built yet");
+  return build_stats_.partition_sizes;
+}
+
+// ----------------------------------------------------------------- build ---
+
+void DistributedAnnEngine::build() {
+  ANNSIM_CHECK_MSG(!router_.has_value(), "engine already built");
+  const std::size_t P = config_.n_workers;
+  const std::size_t n = base_->size();
+  workers_.clear();
+  workers_.resize(P);
+
+  std::vector<double> vp_seconds(P, 0.0), hnsw_seconds(P, 0.0),
+      repl_seconds(P, 0.0);
+  std::vector<std::size_t> part_sizes(P, 0);
+  std::vector<std::byte> tree_bytes;
+
+  WallTimer total_timer;
+  mpi::Runtime rt(int(P) + 1);
+  rt.run([&](mpi::Comm& world) {
+    const int wr = world.rank();
+    mpi::Comm grp = world.split(wr == 0 ? 0 : 1);
+
+    if (wr == 0) {
+      // Master: receive the assembled routing tree from worker 0.
+      mpi::Message m = world.recv(1, kTagTree);
+      tree_bytes = std::move(m.payload);
+      return;
+    }
+
+    const std::size_t w = std::size_t(wr) - 1;
+    // Initial equi-partition of D across the P worker cores (§IV).
+    data::Dataset slice = base_->slice(w * n / P, (w + 1) * n / P);
+
+    // Algorithms 1-2: distributed VP-tree construction.
+    PartitionerResult res =
+        build_distributed_vp_tree(grp, std::move(slice), config_.partitioner);
+    vp_seconds[w] = res.build_seconds;
+    ANNSIM_CHECK(res.partition_id == PartitionId(w));
+    if (grp.rank() == 0) {
+      world.send(0, kTagTree, res.serialized_tree);
+    }
+
+    // Local index over the owned partition (HNSW by default; §VI allows
+    // any algorithm here).
+    WallTimer hnsw_timer;
+    Replica primary;
+    primary.data = std::make_unique<data::Dataset>(std::move(res.partition));
+    LocalIndexParams lp;
+    lp.kind = config_.local_index;
+    lp.hnsw = config_.hnsw;
+    lp.hnsw.seed = Rng(config_.seed).split(w).next();
+    lp.ivfpq = config_.ivfpq;
+    lp.metric = config_.hnsw.metric;
+    if (config_.parallel_local_build && config_.threads_per_worker > 1) {
+      // The paper's hybrid model: each MPI process builds its local index
+      // with an OpenMP-style thread team.
+      ThreadPool pool(config_.threads_per_worker);
+      primary.index = build_local_index(primary.data.get(), lp, &pool);
+    } else {
+      primary.index = build_local_index(primary.data.get(), lp);
+    }
+    hnsw_seconds[w] = hnsw_timer.seconds();
+    part_sizes[w] = primary.data->size();
+
+    // §IV-C2: replicate partition w onto its workgroup
+    // W_w = {w, w+1, ..., w+r-1 mod P}.
+    WallTimer repl_timer;
+    const std::size_t r = config_.replication;
+    if (r > 1) {
+      BinaryWriter pack;
+      pack.write(PartitionId(w));
+      pack.write_vector(pack_dataset(*primary.data));
+      pack.write_vector(primary.index->to_bytes());
+      for (std::size_t j = 1; j < r; ++j) {
+        const int dest = int((w + j) % P);
+        grp.send(dest, kTagReplica, pack.bytes());
+      }
+      for (std::size_t j = 1; j < r; ++j) {
+        mpi::Message m = grp.recv(mpi::kAnySource, kTagReplica);
+        BinaryReader rd(m.payload);
+        const auto pid = rd.read<PartitionId>();
+        const auto data_bytes = rd.read_vector<std::byte>();
+        const auto index_bytes = rd.read_vector<std::byte>();
+        Replica rep;
+        rep.data = std::make_unique<data::Dataset>(
+            unpack_dataset(data_bytes, base_->dim()));
+        LocalIndexParams rep_lp;
+        rep_lp.kind = config_.local_index;
+        rep_lp.hnsw = config_.hnsw;
+        rep_lp.ivfpq = config_.ivfpq;
+        rep_lp.metric = config_.hnsw.metric;
+        rep.index = local_index_from_bytes(index_bytes, rep.data.get(), rep_lp);
+        workers_[w].emplace(pid, std::move(rep));
+      }
+    }
+    repl_seconds[w] = repl_timer.seconds();
+    workers_[w].emplace(PartitionId(w), std::move(primary));
+  });
+
+  BinaryReader rd(tree_bytes);
+  router_.emplace(vptree::PartitionVpTree::deserialize(rd));
+
+  build_stats_.total_seconds = total_timer.seconds();
+  build_stats_.vp_tree_seconds = *std::max_element(vp_seconds.begin(), vp_seconds.end());
+  build_stats_.hnsw_seconds = *std::max_element(hnsw_seconds.begin(), hnsw_seconds.end());
+  build_stats_.replication_seconds =
+      *std::max_element(repl_seconds.begin(), repl_seconds.end());
+  build_stats_.partition_sizes = std::move(part_sizes);
+}
+
+// ------------------------------------------------------------------ plan ---
+
+std::vector<std::vector<PartitionId>> DistributedAnnEngine::plan_queries(
+    const data::Dataset& queries) const {
+  const auto& tree = router();
+  std::vector<std::vector<PartitionId>> plans(queries.size());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    plans[q] = tree.route_topk(queries.row(q),
+                               std::min(config_.n_probe, tree.n_partitions()))
+                   .partitions;
+  }
+  return plans;
+}
+
+// ---------------------------------------------------------------- search ---
+
+data::KnnResults DistributedAnnEngine::search(const data::Dataset& queries,
+                                              std::size_t k, std::size_t ef,
+                                              SearchStats* stats) {
+  ANNSIM_CHECK_MSG(router_.has_value(), "engine not built yet");
+  ANNSIM_CHECK(queries.dim() == router_->dim());
+  ANNSIM_CHECK(k >= 1);
+
+  data::KnnResults results(queries.size());
+  SearchStats st;
+  st.jobs_per_worker.assign(config_.n_workers, 0);
+
+  WallTimer timer;
+  mpi::Runtime rt(int(config_.n_workers) + 1);
+  rt.run([&](mpi::Comm& world) {
+    if (config_.strategy == DispatchStrategy::kMultipleOwner) {
+      if (world.rank() == 0) {
+        master_search_owner(world, queries, k, ef, results, st);
+      } else {
+        worker_search_owner(world, queries, k, ef);
+      }
+    } else {
+      if (world.rank() == 0) {
+        master_search(world, queries, k, ef, results, st);
+      } else {
+        worker_search(world, k);
+      }
+    }
+  });
+  st.total_seconds = timer.seconds();
+  st.traffic = rt.total_traffic();
+  if (stats != nullptr) *stats = st;
+  return results;
+}
+
+// Algorithm 3 (baseline) / Algorithm 5 (replication): the master routine.
+void DistributedAnnEngine::master_search(mpi::Comm& world,
+                                         const data::Dataset& queries,
+                                         std::size_t k, std::size_t ef,
+                                         data::KnnResults& results,
+                                         SearchStats& stats) {
+  const std::size_t P = config_.n_workers;
+  const std::size_t nq = queries.size();
+  const auto& tree = *router_;
+  const SlotLayout layout{k};
+  const bool one_sided = config_.one_sided && !config_.exact_routing;
+
+  mpi::Window win;
+  if (one_sided) {
+    win = world.create_window(layout.window_bytes(nq));
+  }
+
+  PhaseTimer route_t, dispatch_t, merge_t;
+
+  // --- Algorithm 5 scaffolding: one round-robin pointer per workgroup
+  // W_i = {p_i, p_{i+1 mod P}, ..., p_{i+r-1 mod P}}.
+  std::vector<std::uint32_t> next(P, 0);
+  auto dispatch_job = [&](std::uint32_t qid, PartitionId d) {
+    const std::size_t member = (d + next[d]) % P;
+    next[d] = (next[d] + 1) % std::uint32_t(config_.replication);
+    QueryJob job;
+    job.query_id = qid;
+    job.partition = d;
+    job.k = std::uint32_t(k);
+    job.ef = std::uint32_t(ef);
+    job.reply_to = 0;
+    const float* qv = queries.row(qid);
+    job.query.assign(qv, qv + queries.dim());
+    ScopedPhase p(dispatch_t);
+    (void)world.isend(int(member) + 1, kTagQuery, encode_query_job(job));
+  };
+
+  std::vector<std::uint32_t> expected(nq, 0);
+  std::vector<TopK> acc;  // two-sided merge accumulators
+  if (!one_sided) acc.assign(nq, TopK(k));
+
+  std::uint64_t total_jobs = 0;
+
+  if (!config_.exact_routing) {
+    // Single-pass F(q): best-first top-n_probe partitions.
+    for (std::size_t q = 0; q < nq; ++q) {
+      route_t.start();
+      auto plan = tree.route_topk(queries.row(q),
+                                  std::min(config_.n_probe, P));
+      route_t.stop();
+      expected[q] = std::uint32_t(plan.partitions.size());
+      total_jobs += plan.partitions.size();
+      for (PartitionId d : plan.partitions) dispatch_job(std::uint32_t(q), d);
+    }
+    for (std::size_t w = 0; w < P; ++w) {
+      ScopedPhase p(dispatch_t);
+      (void)world.isend(int(w) + 1, kTagEoq, {});
+    }
+  } else {
+    // Two-phase exact F(q): nearest partition first, then every partition
+    // intersecting the ball at the observed k-th distance.
+    std::vector<PartitionId> first(nq);
+    for (std::size_t q = 0; q < nq; ++q) {
+      route_t.start();
+      first[q] = tree.route_nearest(queries.row(q));
+      route_t.stop();
+      expected[q] = 1;
+      ++total_jobs;
+      dispatch_job(std::uint32_t(q), first[q]);
+    }
+    // Collect phase-1 results (two-sided).
+    std::vector<float> radius(nq, std::numeric_limits<float>::infinity());
+    for (std::size_t i = 0; i < nq; ++i) {
+      mpi::Message m = world.recv(mpi::kAnySource, kTagResult);
+      ScopedPhase p(merge_t);
+      LocalResult r = decode_local_result(m.payload);
+      acc[r.query_id].merge(r.neighbors);
+      if (r.neighbors.size() >= k) radius[r.query_id] = r.neighbors[k - 1].dist;
+    }
+    // Phase 2: exact ball routing, skipping the partition already searched.
+    for (std::size_t q = 0; q < nq; ++q) {
+      route_t.start();
+      auto parts = tree.route_ball(queries.row(q), radius[q]);
+      route_t.stop();
+      for (PartitionId d : parts) {
+        if (d == first[q]) continue;
+        ++expected[q];
+        ++total_jobs;
+        dispatch_job(std::uint32_t(q), d);
+      }
+    }
+    for (std::size_t w = 0; w < P; ++w) {
+      ScopedPhase p(dispatch_t);
+      (void)world.isend(int(w) + 1, kTagEoq, {});
+    }
+  }
+
+  // --- result collection.
+  if (!one_sided) {
+    std::uint64_t outstanding = total_jobs;
+    // Phase-1 results of exact routing were already merged above.
+    if (config_.exact_routing) outstanding -= nq;
+    for (std::uint64_t i = 0; i < outstanding; ++i) {
+      mpi::Message m = world.recv(mpi::kAnySource, kTagResult);
+      ScopedPhase p(merge_t);
+      LocalResult r = decode_local_result(m.payload);
+      acc[r.query_id].merge(r.neighbors);
+    }
+  }
+
+  // --- completion notices (also carry the Fig 4(b) per-process job counts).
+  for (std::size_t w = 0; w < P; ++w) {
+    mpi::Message m = world.recv(mpi::kAnySource, kTagDone);
+    BinaryReader rd(m.payload);
+    const auto notice = rd.read<DoneNotice>();
+    stats.jobs_per_worker[std::size_t(m.source) - 1] = notice.jobs_processed;
+    stats.worker_compute_seconds += notice.compute_seconds;
+    stats.worker_comm_seconds += notice.comm_seconds;
+  }
+
+  // --- finalize results.
+  if (one_sided) {
+    // All workers are done, so every accumulate has landed; read the window.
+    // (A real MPI master reads its exposed buffer directly; we go through
+    // get() so the C++ memory model sees the same synchronisation the
+    // window's target lock provides.)
+    ScopedPhase p(merge_t);
+    win.lock_shared(0);
+    for (std::size_t q = 0; q < nq; ++q) {
+      auto bytes = win.get(0, layout.slot_offset(q), layout.slot_bytes());
+      DecodedSlot slot = decode_slot(bytes, layout);
+      ANNSIM_CHECK_MSG(slot.merged_count == expected[q],
+                       "slot " << q << ": merged " << slot.merged_count
+                               << " of " << expected[q] << " results");
+      results[q] = std::move(slot.neighbors);
+    }
+    win.unlock(0);
+  } else {
+    ScopedPhase p(merge_t);
+    for (std::size_t q = 0; q < nq; ++q) results[q] = acc[q].take_sorted();
+  }
+
+  stats.master_route_seconds = route_t.total_seconds();
+  stats.master_dispatch_seconds = dispatch_t.total_seconds();
+  stats.master_merge_seconds = merge_t.total_seconds();
+  stats.total_jobs = total_jobs;
+  stats.mean_partitions_per_query = nq ? double(total_jobs) / double(nq) : 0.0;
+}
+
+// Algorithm 4: the worker routine (a team of threads, each polling with
+// MPI_Test and terminating through the shared Done flag).
+void DistributedAnnEngine::worker_search(mpi::Comm& world, std::size_t k) {
+  const std::size_t me = std::size_t(world.rank()) - 1;
+  const SlotLayout layout{k};
+  const bool one_sided = config_.one_sided && !config_.exact_routing;
+
+  mpi::Window win;
+  if (one_sided) {
+    win = world.create_window(0);
+    // Passive-target access epoch at the master, shared mode (§IV-C1): one
+    // epoch for the whole batch, shared by this worker's thread team.
+    win.lock_shared(0);
+  }
+  const auto merge_op = knn_slot_merge(layout);
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> jobs{0};
+  std::mutex agg_mu;
+  double compute_s = 0.0, comm_s = 0.0;
+
+  auto thread_main = [&] {
+    double my_compute = 0.0, my_comm = 0.0;
+    for (;;) {
+      mpi::Request req = world.irecv(0, mpi::kAnyTag);
+      int spins = 0;
+      bool cancelled = false;
+      while (!req.test()) {
+        if (done.load(std::memory_order_acquire)) {
+          if (req.cancel()) {
+            cancelled = true;
+            break;
+          }
+          // Completed concurrently with the flag: fall through and take it.
+        }
+        if (++spins > 256) {
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+        } else {
+          std::this_thread::yield();
+        }
+      }
+      if (cancelled) break;
+      mpi::Message m = req.take();
+      if (m.tag == kTagEoq) {
+        done.store(true, std::memory_order_release);
+        break;
+      }
+
+      const QueryJob job = decode_query_job(m.payload);
+      const auto it = workers_[me].find(job.partition);
+      ANNSIM_CHECK_MSG(it != workers_[me].end(),
+                       "worker " << me << " has no replica of partition "
+                                 << job.partition);
+      WallTimer tc;
+      auto local = it->second.index->search(job.query.data(), job.k, job.ef);
+      my_compute += tc.seconds();
+
+      WallTimer tm;
+      if (one_sided) {
+        win.get_accumulate(0, layout.slot_offset(job.query_id),
+                           encode_slot_update(local, layout), merge_op);
+      } else {
+        LocalResult r;
+        r.query_id = job.query_id;
+        r.partition = job.partition;
+        r.neighbors = std::move(local);
+        (void)world.isend(int(job.reply_to), kTagResult, encode_local_result(r));
+      }
+      my_comm += tm.seconds();
+      jobs.fetch_add(1, std::memory_order_relaxed);
+    }
+    std::lock_guard lk(agg_mu);
+    compute_s += my_compute;
+    comm_s += my_comm;
+  };
+
+  std::vector<std::thread> team;
+  team.reserve(config_.threads_per_worker);
+  for (std::size_t t = 0; t < config_.threads_per_worker; ++t) {
+    team.emplace_back(thread_main);
+  }
+  for (auto& t : team) t.join();
+
+  if (one_sided) win.unlock(0);
+
+  DoneNotice notice;
+  notice.jobs_processed = jobs.load();
+  notice.compute_seconds = compute_s;
+  notice.comm_seconds = comm_s;
+  BinaryWriter w;
+  w.write(notice);
+  world.send(0, kTagDone, w.bytes());
+}
+
+// ----------------------------------------------------------- persistence ---
+
+void DistributedAnnEngine::save(const std::string& path) const {
+  ANNSIM_CHECK_MSG(router_.has_value(), "engine not built yet");
+  BinaryWriter w;
+  w.write(std::uint32_t{0x414E4945});  // "ANIE"
+  w.write(std::uint64_t(config_.n_workers));
+  w.write(std::uint64_t(config_.replication));
+  w.write(std::uint64_t(config_.n_probe));
+  w.write(std::uint8_t(config_.one_sided ? 1 : 0));
+  w.write(std::uint8_t(config_.exact_routing ? 1 : 0));
+  w.write(std::uint8_t(config_.strategy == DispatchStrategy::kMultipleOwner));
+  w.write(std::uint64_t(config_.threads_per_worker));
+  w.write(std::uint8_t(config_.local_index));
+  w.write(std::uint64_t(config_.hnsw.M));
+  w.write(std::uint64_t(config_.hnsw.ef_construction));
+  w.write(std::uint64_t(config_.hnsw.ef_search));
+  w.write(config_.hnsw.level_mult);
+  w.write(config_.hnsw.seed);
+  w.write(std::int32_t(config_.hnsw.metric));
+  w.write(config_.seed);
+  w.write(std::uint64_t(config_.ivfpq.nlist));
+  w.write(std::uint64_t(config_.ivfpq.nprobe));
+  w.write(std::uint64_t(config_.ivfpq.pq.m));
+  w.write(std::uint64_t(config_.ivfpq.pq.ks));
+  w.write(std::uint64_t(config_.ivfpq.pq.train_iters));
+  w.write(config_.ivfpq.pq.seed);
+  w.write(std::uint64_t(config_.ivfpq.coarse_iters));
+  w.write(config_.ivfpq.seed);
+
+  BinaryWriter tree;
+  router_->serialize(tree);
+  w.write_vector(tree.take());
+
+  w.write(std::uint64_t(workers_.size()));
+  for (const auto& store : workers_) {
+    w.write(std::uint64_t(store.size()));
+    for (const auto& [pid, rep] : store) {
+      w.write(pid);
+      w.write_vector(pack_dataset(*rep.data));
+      w.write_vector(rep.index->to_bytes());
+    }
+  }
+
+  // Build stats travel along so a loaded engine reports sane metadata.
+  w.write(build_stats_.total_seconds);
+  w.write(build_stats_.vp_tree_seconds);
+  w.write(build_stats_.hnsw_seconds);
+  w.write(build_stats_.replication_seconds);
+  w.write_vector(build_stats_.partition_sizes);
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ANNSIM_CHECK_MSG(out.good(), "cannot open for writing: " << path);
+  out.write(reinterpret_cast<const char*>(w.bytes().data()),
+            std::streamsize(w.size()));
+  ANNSIM_CHECK(out.good());
+}
+
+DistributedAnnEngine DistributedAnnEngine::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  ANNSIM_CHECK_MSG(in.good(), "cannot open for reading: " << path);
+  in.seekg(0, std::ios::end);
+  std::vector<std::byte> bytes(std::size_t(in.tellg()));
+  in.seekg(0, std::ios::beg);
+  in.read(reinterpret_cast<char*>(bytes.data()), std::streamsize(bytes.size()));
+  ANNSIM_CHECK(in.good());
+
+  BinaryReader r(bytes);
+  ANNSIM_CHECK_MSG(r.read<std::uint32_t>() == 0x414E4945,
+                   "bad engine file magic");
+  DistributedAnnEngine eng;
+  eng.config_.n_workers = r.read<std::uint64_t>();
+  eng.config_.replication = r.read<std::uint64_t>();
+  eng.config_.n_probe = r.read<std::uint64_t>();
+  eng.config_.one_sided = r.read<std::uint8_t>() != 0;
+  eng.config_.exact_routing = r.read<std::uint8_t>() != 0;
+  eng.config_.strategy = r.read<std::uint8_t>() != 0
+                             ? DispatchStrategy::kMultipleOwner
+                             : DispatchStrategy::kMasterWorker;
+  eng.config_.threads_per_worker = r.read<std::uint64_t>();
+  eng.config_.local_index = LocalIndexKind(r.read<std::uint8_t>());
+  eng.config_.hnsw.M = r.read<std::uint64_t>();
+  eng.config_.hnsw.ef_construction = r.read<std::uint64_t>();
+  eng.config_.hnsw.ef_search = r.read<std::uint64_t>();
+  eng.config_.hnsw.level_mult = r.read<double>();
+  eng.config_.hnsw.seed = r.read<std::uint64_t>();
+  eng.config_.hnsw.metric = simd::Metric(r.read<std::int32_t>());
+  eng.config_.seed = r.read<std::uint64_t>();
+  eng.config_.ivfpq.nlist = r.read<std::uint64_t>();
+  eng.config_.ivfpq.nprobe = r.read<std::uint64_t>();
+  eng.config_.ivfpq.pq.m = r.read<std::uint64_t>();
+  eng.config_.ivfpq.pq.ks = r.read<std::uint64_t>();
+  eng.config_.ivfpq.pq.train_iters = r.read<std::uint64_t>();
+  eng.config_.ivfpq.pq.seed = r.read<std::uint64_t>();
+  eng.config_.ivfpq.coarse_iters = r.read<std::uint64_t>();
+  eng.config_.ivfpq.seed = r.read<std::uint64_t>();
+
+  auto tree_bytes = r.read_vector<std::byte>();
+  BinaryReader tr(tree_bytes);
+  eng.router_.emplace(vptree::PartitionVpTree::deserialize(tr));
+
+  const auto n_workers = r.read<std::uint64_t>();
+  ANNSIM_CHECK(n_workers == eng.config_.n_workers);
+  eng.workers_.resize(n_workers);
+  LocalIndexParams lp;
+  lp.kind = eng.config_.local_index;
+  lp.hnsw = eng.config_.hnsw;
+  lp.ivfpq = eng.config_.ivfpq;
+  lp.metric = eng.config_.hnsw.metric;
+  for (auto& store : eng.workers_) {
+    const auto n_replicas = r.read<std::uint64_t>();
+    for (std::uint64_t i = 0; i < n_replicas; ++i) {
+      const auto pid = r.read<PartitionId>();
+      const auto data_bytes = r.read_vector<std::byte>();
+      const auto index_bytes = r.read_vector<std::byte>();
+      Replica rep;
+      rep.data = std::make_unique<data::Dataset>(
+          unpack_dataset(data_bytes, eng.router_->dim()));
+      rep.index = local_index_from_bytes(index_bytes, rep.data.get(), lp);
+      store.emplace(pid, std::move(rep));
+    }
+  }
+
+  eng.build_stats_.total_seconds = r.read<double>();
+  eng.build_stats_.vp_tree_seconds = r.read<double>();
+  eng.build_stats_.hnsw_seconds = r.read<double>();
+  eng.build_stats_.replication_seconds = r.read<double>();
+  eng.build_stats_.partition_sizes = r.read_vector<std::size_t>();
+  ANNSIM_CHECK_MSG(r.exhausted(), "trailing bytes in engine file");
+  return eng;
+}
+
+}  // namespace annsim::core

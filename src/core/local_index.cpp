@@ -1,0 +1,161 @@
+#include "annsim/core/local_index.hpp"
+
+#include "annsim/common/error.hpp"
+#include "annsim/common/serialize.hpp"
+
+namespace annsim::core {
+
+namespace {
+
+class HnswLocalIndex final : public LocalIndex {
+ public:
+  HnswLocalIndex(hnsw::HnswIndex index) : index_(std::move(index)) {}
+
+  std::vector<Neighbor> search(const float* query, std::size_t k,
+                               std::size_t ef) const override {
+    return index_.search(query, k, ef);
+  }
+
+  LocalIndexKind kind() const noexcept override { return LocalIndexKind::kHnsw; }
+  std::size_t size() const noexcept override { return index_.size(); }
+
+  std::vector<std::byte> to_bytes() const override { return index_.to_bytes(); }
+
+ private:
+  hnsw::HnswIndex index_;
+};
+
+class BruteForceLocalIndex final : public LocalIndex {
+ public:
+  BruteForceLocalIndex(const data::Dataset* data, simd::Metric metric)
+      : index_(data, metric), n_(data->size()) {}
+
+  std::vector<Neighbor> search(const float* query, std::size_t k,
+                               std::size_t /*ef*/) const override {
+    return index_.search(query, k);
+  }
+
+  LocalIndexKind kind() const noexcept override {
+    return LocalIndexKind::kBruteForce;
+  }
+  std::size_t size() const noexcept override { return n_; }
+
+  std::vector<std::byte> to_bytes() const override { return {}; }  // stateless
+
+ private:
+  hnsw::BruteForceIndex index_;
+  std::size_t n_;
+};
+
+class VpTreeLocalIndex final : public LocalIndex {
+ public:
+  VpTreeLocalIndex(const data::Dataset* data, simd::Metric metric) : tree_([&] {
+    vptree::VpTreeParams p;
+    p.metric = metric;
+    return vptree::VpTree(data, p);
+  }()) {}
+
+  std::vector<Neighbor> search(const float* query, std::size_t k,
+                               std::size_t /*ef*/) const override {
+    return tree_.search(query, k);
+  }
+
+  LocalIndexKind kind() const noexcept override { return LocalIndexKind::kVpTree; }
+  std::size_t size() const noexcept override { return tree_.size(); }
+
+  // The tree rebuilds deterministically from the data; ship nothing.
+  std::vector<std::byte> to_bytes() const override { return {}; }
+
+ private:
+  vptree::VpTree tree_;
+};
+
+class IvfPqLocalIndex final : public LocalIndex {
+ public:
+  IvfPqLocalIndex(const data::Dataset* data, pq::IvfPqParams params)
+      : index_(pq::IvfPqIndex::build(
+            *data, clamp_params(std::move(params), data->size()))) {}
+
+  std::vector<Neighbor> search(const float* query, std::size_t k,
+                               std::size_t ef) const override {
+    // Interpret the beam-width hint as nprobe (both are the recall dial).
+    return index_.search(query, k, ef);
+  }
+
+  LocalIndexKind kind() const noexcept override { return LocalIndexKind::kIvfPq; }
+  std::size_t size() const noexcept override { return index_.size(); }
+
+  // IVF-PQ rebuilds deterministically from the partition data; replicas
+  // re-train rather than ship codebooks.
+  std::vector<std::byte> to_bytes() const override { return {}; }
+
+ private:
+  static pq::IvfPqParams clamp_params(pq::IvfPqParams p, std::size_t n) {
+    p.nlist = std::min(p.nlist, std::max<std::size_t>(1, n / 8));
+    p.pq.ks = std::min(p.pq.ks, n);
+    return p;
+  }
+
+  pq::IvfPqIndex index_;
+};
+
+}  // namespace
+
+const char* local_index_kind_name(LocalIndexKind kind) noexcept {
+  switch (kind) {
+    case LocalIndexKind::kHnsw: return "hnsw";
+    case LocalIndexKind::kBruteForce: return "bruteforce";
+    case LocalIndexKind::kVpTree: return "vptree";
+    case LocalIndexKind::kIvfPq: return "ivfpq";
+  }
+  return "?";
+}
+
+std::unique_ptr<LocalIndex> build_local_index(const data::Dataset* data,
+                                              const LocalIndexParams& params,
+                                              ThreadPool* pool) {
+  ANNSIM_CHECK(data != nullptr);
+  switch (params.kind) {
+    case LocalIndexKind::kHnsw: {
+      hnsw::HnswParams hp = params.hnsw;
+      hp.metric = params.metric;
+      hnsw::HnswIndex index(data, hp);
+      index.build(pool);
+      return std::make_unique<HnswLocalIndex>(std::move(index));
+    }
+    case LocalIndexKind::kBruteForce:
+      return std::make_unique<BruteForceLocalIndex>(data, params.metric);
+    case LocalIndexKind::kVpTree:
+      return std::make_unique<VpTreeLocalIndex>(data, params.metric);
+    case LocalIndexKind::kIvfPq:
+      ANNSIM_CHECK_MSG(params.metric == simd::Metric::kL2,
+                       "IVF-PQ local index supports L2 only");
+      return std::make_unique<IvfPqLocalIndex>(data, params.ivfpq);
+  }
+  ANNSIM_CHECK_MSG(false, "unknown local index kind");
+  return nullptr;
+}
+
+std::unique_ptr<LocalIndex> local_index_from_bytes(
+    std::span<const std::byte> bytes, const data::Dataset* data,
+    const LocalIndexParams& params) {
+  ANNSIM_CHECK(data != nullptr);
+  switch (params.kind) {
+    case LocalIndexKind::kHnsw: {
+      hnsw::HnswParams hp = params.hnsw;
+      hp.metric = params.metric;
+      return std::make_unique<HnswLocalIndex>(
+          hnsw::HnswIndex::from_bytes(bytes, data));
+    }
+    case LocalIndexKind::kBruteForce:
+      return std::make_unique<BruteForceLocalIndex>(data, params.metric);
+    case LocalIndexKind::kVpTree:
+      return std::make_unique<VpTreeLocalIndex>(data, params.metric);
+    case LocalIndexKind::kIvfPq:
+      return std::make_unique<IvfPqLocalIndex>(data, params.ivfpq);
+  }
+  ANNSIM_CHECK_MSG(false, "unknown local index kind");
+  return nullptr;
+}
+
+}  // namespace annsim::core

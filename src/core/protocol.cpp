@@ -1,0 +1,114 @@
+#include "annsim/core/protocol.hpp"
+
+#include <cstring>
+
+#include "annsim/common/error.hpp"
+
+namespace annsim::core {
+
+std::vector<std::byte> encode_query_job(const QueryJob& job) {
+  BinaryWriter w;
+  w.write(job.query_id);
+  w.write(job.partition);
+  w.write(job.k);
+  w.write(job.ef);
+  w.write(job.reply_to);
+  w.write_vector(job.query);
+  return w.take();
+}
+
+QueryJob decode_query_job(std::span<const std::byte> bytes) {
+  BinaryReader r(bytes);
+  QueryJob job;
+  job.query_id = r.read<std::uint32_t>();
+  job.partition = r.read<PartitionId>();
+  job.k = r.read<std::uint32_t>();
+  job.ef = r.read<std::uint32_t>();
+  job.reply_to = r.read<std::uint32_t>();
+  job.query = r.read_vector<float>();
+  ANNSIM_CHECK(r.exhausted());
+  return job;
+}
+
+std::vector<std::byte> encode_local_result(const LocalResult& r) {
+  BinaryWriter w;
+  w.write(r.query_id);
+  w.write(r.partition);
+  w.write_span(std::span<const Neighbor>(r.neighbors));
+  return w.take();
+}
+
+LocalResult decode_local_result(std::span<const std::byte> bytes) {
+  BinaryReader r(bytes);
+  LocalResult out;
+  out.query_id = r.read<std::uint32_t>();
+  out.partition = r.read<PartitionId>();
+  out.neighbors = r.read_vector<Neighbor>();
+  ANNSIM_CHECK(r.exhausted());
+  return out;
+}
+
+std::vector<std::byte> encode_slot_update(std::span<const Neighbor> neighbors,
+                                          const SlotLayout& layout) {
+  std::vector<std::byte> out(layout.slot_bytes());
+  const std::uint32_t count = 1;
+  std::memcpy(out.data(), &count, sizeof(count));
+  std::vector<Neighbor> padded(layout.k);  // default = +inf sentinels
+  const std::size_t n = std::min(neighbors.size(), layout.k);
+  std::copy(neighbors.begin(), neighbors.begin() + std::ptrdiff_t(n),
+            padded.begin());
+  std::memcpy(out.data() + sizeof(std::uint64_t), padded.data(),
+              layout.k * sizeof(Neighbor));
+  return out;
+}
+
+mpi::Window::MergeOp knn_slot_merge(const SlotLayout& layout) {
+  return [layout](std::span<std::byte> target,
+                  std::span<const std::byte> origin) {
+    ANNSIM_CHECK(target.size() == layout.slot_bytes());
+    ANNSIM_CHECK(origin.size() == layout.slot_bytes());
+
+    std::uint32_t t_count = 0, o_count = 0;
+    std::memcpy(&t_count, target.data(), sizeof(t_count));
+    std::memcpy(&o_count, origin.data(), sizeof(o_count));
+
+    std::vector<Neighbor> t_nb(layout.k), o_nb(layout.k);
+    std::memcpy(t_nb.data(), target.data() + sizeof(std::uint64_t),
+                layout.k * sizeof(Neighbor));
+    std::memcpy(o_nb.data(), origin.data() + sizeof(std::uint64_t),
+                layout.k * sizeof(Neighbor));
+
+    // A fresh slot holds zero-initialized neighbors (dist 0, id 0) when
+    // count == 0; treat it as empty rather than as k bogus zero-distance hits.
+    const std::vector<Neighbor> merged =
+        t_count == 0 ? std::vector<Neighbor>(o_nb.begin(), o_nb.end())
+                     : merge_sorted_knn(t_nb, o_nb, layout.k);
+
+    const std::uint32_t new_count = t_count + o_count;
+    std::memcpy(target.data(), &new_count, sizeof(new_count));
+    std::vector<Neighbor> padded(layout.k);
+    std::copy(merged.begin(),
+              merged.begin() + std::ptrdiff_t(std::min(merged.size(), layout.k)),
+              padded.begin());
+    std::memcpy(target.data() + sizeof(std::uint64_t), padded.data(),
+                layout.k * sizeof(Neighbor));
+  };
+}
+
+DecodedSlot decode_slot(std::span<const std::byte> slot,
+                        const SlotLayout& layout) {
+  ANNSIM_CHECK(slot.size() >= layout.slot_bytes());
+  DecodedSlot out;
+  std::memcpy(&out.merged_count, slot.data(), sizeof(out.merged_count));
+  out.neighbors.resize(layout.k);
+  std::memcpy(out.neighbors.data(), slot.data() + sizeof(std::uint64_t),
+              layout.k * sizeof(Neighbor));
+  // Drop +inf padding sentinels.
+  while (!out.neighbors.empty() &&
+         out.neighbors.back().id == kInvalidGlobalId) {
+    out.neighbors.pop_back();
+  }
+  return out;
+}
+
+}  // namespace annsim::core

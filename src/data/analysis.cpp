@@ -1,0 +1,69 @@
+#include "annsim/data/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "annsim/common/error.hpp"
+
+namespace annsim::data {
+
+double intrinsic_dimension(const KnnResults& gt, std::size_t ambient_dim) {
+  ANNSIM_CHECK(ambient_dim >= 1);
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& row : gt) {
+    if (row.size() < 2) continue;
+    const double r1 = row.front().dist;
+    const double rk = row.back().dist;
+    if (r1 <= 0.0 || rk <= r1 * 1.0001) continue;
+    sum += std::log(double(row.size())) / std::log(rk / r1);
+    ++n;
+  }
+  if (n == 0) return double(ambient_dim);
+  return std::clamp(sum / double(n), 4.0, double(ambient_dim));
+}
+
+double density_radius_scale(std::size_t n_from, std::size_t n_to,
+                            double intrinsic_dim) {
+  ANNSIM_CHECK(n_from >= 1 && n_to >= 1);
+  ANNSIM_CHECK(intrinsic_dim > 0.0);
+  return std::pow(double(n_from) / double(n_to), 1.0 / intrinsic_dim);
+}
+
+NeighborProfile neighbor_profile(const KnnResults& gt) {
+  NeighborProfile p;
+  std::size_t n = 0;
+  for (const auto& row : gt) {
+    if (row.empty()) continue;
+    p.k = std::max(p.k, row.size());
+    p.mean_r1 += row.front().dist;
+    p.mean_rk += row.back().dist;
+    if (row.back().dist > 0.0) {
+      p.contrast += (row.back().dist - row.front().dist) / row.back().dist;
+    }
+    ++n;
+  }
+  if (n > 0) {
+    p.mean_r1 /= double(n);
+    p.mean_rk /= double(n);
+    p.contrast /= double(n);
+  }
+  return p;
+}
+
+double load_imbalance_cv(const std::vector<std::uint64_t>& jobs_per_worker) {
+  if (jobs_per_worker.empty()) return 0.0;
+  double mean = 0.0;
+  for (auto j : jobs_per_worker) mean += double(j);
+  mean /= double(jobs_per_worker.size());
+  if (mean == 0.0) return 0.0;
+  double var = 0.0;
+  for (auto j : jobs_per_worker) {
+    const double d = double(j) - mean;
+    var += d * d;
+  }
+  var /= double(jobs_per_worker.size());
+  return std::sqrt(var) / mean;
+}
+
+}  // namespace annsim::data

@@ -1,0 +1,68 @@
+#include "annsim/data/ground_truth.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "annsim/common/error.hpp"
+#include "annsim/common/topk.hpp"
+
+namespace annsim::data {
+
+KnnResults brute_force_knn(const Dataset& base, const Dataset& queries,
+                           std::size_t k, simd::Metric metric,
+                           ThreadPool* pool) {
+  ANNSIM_CHECK(base.dim() == queries.dim());
+  ANNSIM_CHECK(k > 0);
+  const simd::DistanceComputer dist(metric, base.dim());
+  KnnResults results(queries.size());
+
+  auto run_query = [&](std::size_t q) {
+    TopK topk(k);
+    const float* qv = queries.row(q);
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      topk.push(dist(qv, base.row(i)), base.id(i));
+    }
+    results[q] = topk.take_sorted();
+  };
+
+  if (pool != nullptr && pool->size() > 1) {
+    pool->parallel_for(0, queries.size(), run_query);
+  } else {
+    for (std::size_t q = 0; q < queries.size(); ++q) run_query(q);
+  }
+  return results;
+}
+
+double recall_at_k(const std::vector<Neighbor>& result,
+                   const std::vector<Neighbor>& truth, std::size_t k) {
+  ANNSIM_CHECK(k > 0);
+  const std::size_t kk = std::min(k, truth.size());
+  if (kk == 0) return 1.0;
+
+  std::unordered_set<GlobalId> truth_ids;
+  truth_ids.reserve(kk);
+  for (std::size_t i = 0; i < kk; ++i) truth_ids.insert(truth[i].id);
+  // Distance ties straddling the k boundary: any result at distance equal to
+  // the k-th true distance counts as correct.
+  const float kth_dist = truth[kk - 1].dist;
+
+  std::size_t hits = 0;
+  const std::size_t limit = std::min(k, result.size());
+  for (std::size_t i = 0; i < limit; ++i) {
+    if (truth_ids.contains(result[i].id) || result[i].dist <= kth_dist) ++hits;
+  }
+  return double(hits) / double(kk);
+}
+
+double mean_recall(const KnnResults& results, const KnnResults& truth,
+                   std::size_t k) {
+  ANNSIM_CHECK(results.size() == truth.size());
+  if (results.empty()) return 1.0;
+  double sum = 0.0;
+  for (std::size_t q = 0; q < results.size(); ++q) {
+    sum += recall_at_k(results[q], truth[q], k);
+  }
+  return sum / double(results.size());
+}
+
+}  // namespace annsim::data

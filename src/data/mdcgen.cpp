@@ -1,0 +1,138 @@
+#include "annsim/data/mdcgen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "annsim/common/error.hpp"
+
+namespace annsim::data {
+
+MDCGenerator::MDCGenerator(MDCGenParams params) : params_(std::move(params)) {
+  ANNSIM_CHECK(params_.dim > 0);
+  ANNSIM_CHECK(params_.n_clusters > 0);
+  ANNSIM_CHECK(params_.n_outliers <= params_.n_points);
+  ANNSIM_CHECK(params_.domain_max > params_.domain_min);
+  ANNSIM_CHECK(params_.compactness > 0.0 && params_.compactness < 1.0);
+  ANNSIM_CHECK(params_.mass_imbalance >= 0.0 && params_.mass_imbalance <= 1.0);
+}
+
+MDCGenOutput MDCGenerator::generate() const {
+  const auto& p = params_;
+  Rng rng(p.seed);
+  const double span = p.domain_max - p.domain_min;
+
+  MDCGenOutput out;
+  out.points.reset(p.n_points, p.dim);
+  out.labels.assign(p.n_points, 0);
+  out.centroids.reset(p.n_clusters, p.dim);
+  out.radii.resize(p.n_clusters);
+
+  // --- cluster geometry: centroids spread inside the domain, kept away
+  // from the boundary so cluster balls stay inside.
+  const double margin = p.compactness * span;
+  Rng geom_rng = rng.split(1);
+  for (std::size_t c = 0; c < p.n_clusters; ++c) {
+    for (std::size_t d = 0; d < p.dim; ++d) {
+      out.centroids.row(c)[d] = float(
+          geom_rng.uniform(p.domain_min + margin, p.domain_max - margin));
+    }
+    // Radii vary ±50% around the compactness-derived base radius.
+    out.radii[c] = p.compactness * span * geom_rng.uniform(0.5, 1.5);
+  }
+
+  // --- cluster masses: a Dirichlet-like skew controlled by mass_imbalance.
+  const std::size_t cluster_points = p.n_points - p.n_outliers;
+  std::vector<double> weights(p.n_clusters);
+  Rng mass_rng = rng.split(2);
+  double wsum = 0.0;
+  for (auto& w : weights) {
+    const double u = mass_rng.uniform();
+    w = 1.0 + p.mass_imbalance * (std::pow(u, 3.0) * double(p.n_clusters) - 1.0);
+    w = std::max(w, 0.05);
+    wsum += w;
+  }
+  out.cluster_sizes.assign(p.n_clusters, 0);
+  std::size_t assigned = 0;
+  for (std::size_t c = 0; c < p.n_clusters; ++c) {
+    const auto sz = (c + 1 == p.n_clusters)
+                        ? cluster_points - assigned
+                        : std::size_t(double(cluster_points) * weights[c] / wsum);
+    out.cluster_sizes[c] = sz;
+    assigned += sz;
+  }
+
+  // --- point synthesis.
+  Rng point_rng = rng.split(3);
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < p.n_clusters; ++c) {
+    const auto dist =
+        p.distributions.empty()
+            ? (c % 2 == 0 ? ClusterDistribution::kGaussian
+                          : ClusterDistribution::kUniform)
+            : p.distributions[c % p.distributions.size()];
+    const float* centroid = out.centroids.row(c);
+    const double radius = out.radii[c];
+    for (std::size_t i = 0; i < out.cluster_sizes[c]; ++i, ++row) {
+      float* dst = out.points.row(row);
+      if (dist == ClusterDistribution::kGaussian) {
+        // In d dimensions the radial distance concentrates at sigma*sqrt(d);
+        // scale sigma so the cluster's radial extent matches `radius`.
+        const double sigma = radius / std::sqrt(double(p.dim));
+        for (std::size_t d = 0; d < p.dim; ++d) {
+          dst[d] = float(centroid[d] + point_rng.normal(0.0, sigma));
+        }
+      } else {
+        for (std::size_t d = 0; d < p.dim; ++d) {
+          dst[d] = float(centroid[d] + point_rng.uniform(-radius, radius));
+        }
+      }
+      out.labels[row] = std::uint32_t(c);
+    }
+  }
+
+  // --- outliers: uniform over the entire domain.
+  Rng outlier_rng = rng.split(4);
+  for (std::size_t i = 0; i < p.n_outliers; ++i, ++row) {
+    float* dst = out.points.row(row);
+    for (std::size_t d = 0; d < p.dim; ++d) {
+      dst[d] = float(outlier_rng.uniform(p.domain_min, p.domain_max));
+    }
+    out.labels[row] = std::uint32_t(p.n_clusters);
+  }
+  ANNSIM_CHECK(row == p.n_points);
+
+  // --- shuffle so partitioning code cannot rely on generation order.
+  Rng shuffle_rng = rng.split(5);
+  for (std::size_t i = p.n_points; i > 1; --i) {
+    const std::size_t j = shuffle_rng.uniform_below(i);
+    if (j == i - 1) continue;
+    std::swap_ranges(out.points.row(i - 1), out.points.row(i - 1) + p.dim,
+                     out.points.row(j));
+    std::swap(out.labels[i - 1], out.labels[j]);
+  }
+  return out;
+}
+
+Dataset MDCGenerator::generate_queries(const MDCGenOutput& out,
+                                       std::size_t n_queries,
+                                       std::size_t cluster_id,
+                                       double compactness,
+                                       std::uint64_t seed) const {
+  ANNSIM_CHECK(cluster_id < params_.n_clusters);
+  ANNSIM_CHECK(compactness > 0.0 && compactness < 1.0);
+  const double span = params_.domain_max - params_.domain_min;
+  const double radius = compactness * span;
+  const float* centroid = out.centroids.row(cluster_id);
+
+  Dataset queries(n_queries, params_.dim);
+  Rng rng(seed);
+  for (std::size_t q = 0; q < n_queries; ++q) {
+    float* dst = queries.row(q);
+    for (std::size_t d = 0; d < params_.dim; ++d) {
+      dst[d] = float(centroid[d] + rng.uniform(-radius, radius));
+    }
+  }
+  return queries;
+}
+
+}  // namespace annsim::data

@@ -1,0 +1,181 @@
+#include "annsim/data/recipes.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "annsim/common/error.hpp"
+#include "annsim/common/rng.hpp"
+#include "annsim/simd/distance.hpp"
+
+namespace annsim::data {
+
+namespace {
+
+/// Descriptor-style corpus: points drawn from a Gaussian mixture whose
+/// component count grows with n (image descriptors form many small modes),
+/// then post-processed per recipe. Queries are drawn from the same mixture
+/// (held-out draws), matching how SIFT/DEEP/GIST query sets are produced
+/// from held-out images.
+struct MixtureSpec {
+  std::size_t dim;
+  std::size_t n_components;
+  double center_scale;   ///< Spread of component means.
+  double within_sigma;   ///< Intra-component standard deviation.
+};
+
+void fill_mixture(Dataset& ds, const MixtureSpec& spec, Rng& rng,
+                  const Dataset& centers) {
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    const std::size_t c = rng.uniform_below(centers.size());
+    const float* mu = centers.row(c);
+    float* dst = ds.row(i);
+    for (std::size_t d = 0; d < spec.dim; ++d) {
+      dst[d] = float(mu[d] + rng.normal(0.0, spec.within_sigma));
+    }
+  }
+}
+
+Dataset make_centers(const MixtureSpec& spec, Rng& rng) {
+  Dataset centers(spec.n_components, spec.dim);
+  for (std::size_t c = 0; c < spec.n_components; ++c) {
+    float* dst = centers.row(c);
+    for (std::size_t d = 0; d < spec.dim; ++d) {
+      dst[d] = float(rng.normal(0.0, spec.center_scale));
+    }
+  }
+  return centers;
+}
+
+void clamp_to_byte_range(Dataset& ds) {
+  // SIFT descriptors are non-negative uint8 histograms: shift+clamp.
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    float* row = ds.row(i);
+    for (std::size_t d = 0; d < ds.dim(); ++d) {
+      row[d] = std::round(std::clamp(row[d] * 40.0f + 60.0f, 0.0f, 255.0f));
+    }
+  }
+}
+
+void l2_normalize(Dataset& ds) {
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    float* row = ds.row(i);
+    const float norm = simd::l2_norm(row, ds.dim());
+    if (norm > 0.f) {
+      for (std::size_t d = 0; d < ds.dim(); ++d) row[d] /= norm;
+    }
+  }
+}
+
+void heavy_tail(Dataset& ds, Rng& rng) {
+  // GIST-style: sparse heavy-tailed coordinates (many near zero, a few big).
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    float* row = ds.row(i);
+    for (std::size_t d = 0; d < ds.dim(); ++d) {
+      const double boost = rng.uniform() < 0.05 ? 4.0 : 1.0;
+      row[d] = float(row[d] * boost);
+    }
+  }
+}
+
+}  // namespace
+
+Workload make_sift_like(std::size_t n_base, std::size_t n_queries,
+                        std::uint64_t seed) {
+  ANNSIM_CHECK(n_base > 0 && n_queries > 0);
+  const MixtureSpec spec{128, std::max<std::size_t>(32, n_base / 2000), 1.0, 0.35};
+  Rng rng(seed);
+  Dataset centers = make_centers(spec, rng);
+
+  Workload w;
+  w.name = "SIFT-like";
+  w.base.reset(n_base, spec.dim);
+  w.queries.reset(n_queries, spec.dim);
+  Rng base_rng = rng.split(1);
+  Rng query_rng = rng.split(2);
+  fill_mixture(w.base, spec, base_rng, centers);
+  fill_mixture(w.queries, spec, query_rng, centers);
+  clamp_to_byte_range(w.base);
+  clamp_to_byte_range(w.queries);
+  return w;
+}
+
+Workload make_deep_like(std::size_t n_base, std::size_t n_queries,
+                        std::uint64_t seed) {
+  ANNSIM_CHECK(n_base > 0 && n_queries > 0);
+  const MixtureSpec spec{96, std::max<std::size_t>(32, n_base / 2000), 1.0, 0.45};
+  Rng rng(seed);
+  Dataset centers = make_centers(spec, rng);
+
+  Workload w;
+  w.name = "DEEP-like";
+  w.base.reset(n_base, spec.dim);
+  w.queries.reset(n_queries, spec.dim);
+  Rng base_rng = rng.split(1);
+  Rng query_rng = rng.split(2);
+  fill_mixture(w.base, spec, base_rng, centers);
+  fill_mixture(w.queries, spec, query_rng, centers);
+  l2_normalize(w.base);
+  l2_normalize(w.queries);
+  return w;
+}
+
+Workload make_gist_like(std::size_t n_base, std::size_t n_queries,
+                        std::uint64_t seed) {
+  ANNSIM_CHECK(n_base > 0 && n_queries > 0);
+  const MixtureSpec spec{960, std::max<std::size_t>(16, n_base / 4000), 0.6, 0.3};
+  Rng rng(seed);
+  Dataset centers = make_centers(spec, rng);
+
+  Workload w;
+  w.name = "GIST-like";
+  w.base.reset(n_base, spec.dim);
+  w.queries.reset(n_queries, spec.dim);
+  Rng base_rng = rng.split(1);
+  Rng query_rng = rng.split(2);
+  fill_mixture(w.base, spec, base_rng, centers);
+  fill_mixture(w.queries, spec, query_rng, centers);
+  Rng tail_rng = rng.split(3);
+  heavy_tail(w.base, tail_rng);
+  heavy_tail(w.queries, tail_rng);
+  return w;
+}
+
+Workload make_syn(std::size_t n_base, std::size_t dim, std::size_t n_outliers,
+                  std::size_t n_queries, std::uint64_t seed) {
+  MDCGenParams p;
+  p.n_points = n_base;
+  p.dim = dim;
+  p.n_clusters = 10;  // paper: "10 clusters"
+  p.n_outliers = std::min(n_outliers, n_base / 2);
+  p.distributions = {ClusterDistribution::kGaussian, ClusterDistribution::kUniform};
+  p.seed = seed;
+  MDCGenerator gen(p);
+  MDCGenOutput out = gen.generate();
+
+  Workload w;
+  w.name = "SYN-" + std::to_string(n_base) + "x" + std::to_string(dim);
+  // Paper: queries "using uniform distribution in a single cluster with a
+  // compactness factor of 0.01". We read this as MDCGen semantics — the
+  // query set is a uniform cluster co-located with a data cluster — so the
+  // queries span the host cluster's extent. (Reading 0.01 as a radius
+  // fraction of the whole domain would collapse every query onto a single
+  // point and route the entire batch to a handful of partitions.)
+  const double query_spread = out.radii[0] / (p.domain_max - p.domain_min);
+  w.queries = gen.generate_queries(out, n_queries, /*cluster_id=*/0,
+                                   query_spread, seed ^ 0xfeedULL);
+  w.base = std::move(out.points);
+  return w;
+}
+
+Workload make_by_name(const std::string& name, std::size_t n_base,
+                      std::size_t n_queries, std::uint64_t seed) {
+  if (name == "SIFT" || name == "ANN_SIFT1B") return make_sift_like(n_base, n_queries, seed);
+  if (name == "DEEP" || name == "DEEP1B") return make_deep_like(n_base, n_queries, seed);
+  if (name == "GIST" || name == "ANN_GIST1M") return make_gist_like(n_base, n_queries, seed);
+  if (name == "SYN_1M") return make_syn(n_base, 512, n_base / 200, n_queries, seed);
+  if (name == "SYN_10M") return make_syn(n_base, 256, n_base / 200, n_queries, seed);
+  ANNSIM_CHECK_MSG(false, "unknown dataset recipe: " << name);
+  return {};
+}
+
+}  // namespace annsim::data

@@ -1,0 +1,149 @@
+#include "annsim/data/vecs_io.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "annsim/common/error.hpp"
+
+namespace annsim::data {
+
+namespace {
+
+std::ifstream open_in(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  ANNSIM_CHECK_MSG(in.good(), "cannot open for reading: " << path);
+  return in;
+}
+
+std::ofstream open_out(const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ANNSIM_CHECK_MSG(out.good(), "cannot open for writing: " << path);
+  return out;
+}
+
+std::size_t count_rows(std::ifstream& in, std::size_t value_size) {
+  std::int32_t dim = 0;
+  in.read(reinterpret_cast<char*>(&dim), sizeof(dim));
+  ANNSIM_CHECK_MSG(in.good() && dim > 0, "corrupt vecs header");
+  in.seekg(0, std::ios::end);
+  const auto bytes = static_cast<std::size_t>(in.tellg());
+  const std::size_t row_bytes = sizeof(std::int32_t) + std::size_t(dim) * value_size;
+  ANNSIM_CHECK_MSG(bytes % row_bytes == 0, "vecs file size not a multiple of row size");
+  in.seekg(0, std::ios::beg);
+  return bytes / row_bytes;
+}
+
+}  // namespace
+
+Dataset load_fvecs(const std::string& path, std::size_t max_rows) {
+  auto in = open_in(path);
+  const std::size_t rows_in_file = count_rows(in, sizeof(float));
+  const std::size_t rows =
+      max_rows == 0 ? rows_in_file : std::min(max_rows, rows_in_file);
+
+  Dataset ds;
+  std::vector<float> buf;
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::int32_t dim = 0;
+    in.read(reinterpret_cast<char*>(&dim), sizeof(dim));
+    ANNSIM_CHECK_MSG(in.good() && dim > 0, "corrupt fvecs row header at row " << r);
+    if (r == 0) {
+      ds.reset(rows, std::size_t(dim));
+      buf.resize(std::size_t(dim));
+    }
+    ANNSIM_CHECK_MSG(std::size_t(dim) == ds.dim(), "ragged fvecs file at row " << r);
+    in.read(reinterpret_cast<char*>(buf.data()),
+            std::streamsize(buf.size() * sizeof(float)));
+    ANNSIM_CHECK(in.good());
+    ds.set_row(r, buf);
+  }
+  return ds;
+}
+
+Dataset load_bvecs(const std::string& path, std::size_t max_rows) {
+  auto in = open_in(path);
+  const std::size_t rows_in_file = count_rows(in, sizeof(std::uint8_t));
+  const std::size_t rows =
+      max_rows == 0 ? rows_in_file : std::min(max_rows, rows_in_file);
+
+  Dataset ds;
+  std::vector<std::uint8_t> raw;
+  std::vector<float> buf;
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::int32_t dim = 0;
+    in.read(reinterpret_cast<char*>(&dim), sizeof(dim));
+    ANNSIM_CHECK_MSG(in.good() && dim > 0, "corrupt bvecs row header at row " << r);
+    if (r == 0) {
+      ds.reset(rows, std::size_t(dim));
+      raw.resize(std::size_t(dim));
+      buf.resize(std::size_t(dim));
+    }
+    ANNSIM_CHECK_MSG(std::size_t(dim) == ds.dim(), "ragged bvecs file at row " << r);
+    in.read(reinterpret_cast<char*>(raw.data()), std::streamsize(raw.size()));
+    ANNSIM_CHECK(in.good());
+    for (std::size_t i = 0; i < raw.size(); ++i) buf[i] = float(raw[i]);
+    ds.set_row(r, buf);
+  }
+  return ds;
+}
+
+std::vector<std::vector<std::int32_t>> load_ivecs(const std::string& path,
+                                                  std::size_t max_rows) {
+  auto in = open_in(path);
+  std::vector<std::vector<std::int32_t>> rows;
+  while (in.peek() != EOF) {
+    std::int32_t dim = 0;
+    in.read(reinterpret_cast<char*>(&dim), sizeof(dim));
+    if (!in.good()) break;
+    ANNSIM_CHECK_MSG(dim >= 0, "corrupt ivecs row header");
+    std::vector<std::int32_t> row(static_cast<std::size_t>(dim), 0);
+    in.read(reinterpret_cast<char*>(row.data()),
+            std::streamsize(row.size() * sizeof(std::int32_t)));
+    ANNSIM_CHECK(in.good());
+    rows.push_back(std::move(row));
+    if (max_rows != 0 && rows.size() == max_rows) break;
+  }
+  return rows;
+}
+
+void save_fvecs(const std::string& path, const Dataset& ds) {
+  auto out = open_out(path);
+  const auto dim = static_cast<std::int32_t>(ds.dim());
+  for (std::size_t r = 0; r < ds.size(); ++r) {
+    out.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
+    out.write(reinterpret_cast<const char*>(ds.row(r)),
+              std::streamsize(ds.dim() * sizeof(float)));
+  }
+  ANNSIM_CHECK(out.good());
+}
+
+void save_bvecs(const std::string& path, const Dataset& ds) {
+  auto out = open_out(path);
+  const auto dim = static_cast<std::int32_t>(ds.dim());
+  std::vector<std::uint8_t> raw(ds.dim());
+  for (std::size_t r = 0; r < ds.size(); ++r) {
+    out.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
+    const float* row = ds.row(r);
+    for (std::size_t i = 0; i < ds.dim(); ++i) {
+      const float clamped = std::min(255.0f, std::max(0.0f, std::round(row[i])));
+      raw[i] = static_cast<std::uint8_t>(clamped);
+    }
+    out.write(reinterpret_cast<const char*>(raw.data()), std::streamsize(raw.size()));
+  }
+  ANNSIM_CHECK(out.good());
+}
+
+void save_ivecs(const std::string& path,
+                const std::vector<std::vector<std::int32_t>>& rows) {
+  auto out = open_out(path);
+  for (const auto& row : rows) {
+    const auto dim = static_cast<std::int32_t>(row.size());
+    out.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
+    out.write(reinterpret_cast<const char*>(row.data()),
+              std::streamsize(row.size() * sizeof(std::int32_t)));
+  }
+  ANNSIM_CHECK(out.good());
+}
+
+}  // namespace annsim::data

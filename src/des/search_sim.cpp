@@ -1,0 +1,172 @@
+#include "annsim/des/search_sim.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "annsim/common/error.hpp"
+#include "annsim/des/event_queue.hpp"
+
+namespace annsim::des {
+
+namespace {
+
+struct Job {
+  double duration = 0.0;
+  std::size_t query = 0;
+};
+
+struct NodeState {
+  std::vector<std::size_t> idle_cores;  ///< core ids (global) currently free
+  std::deque<Job> backlog;
+};
+
+}  // namespace
+
+SearchSimResult simulate_search(const SearchSimConfig& config,
+                                const std::vector<std::vector<PartitionId>>& plans,
+                                const std::vector<double>& partition_cost) {
+  const std::size_t P = config.n_cores;
+  ANNSIM_CHECK(P >= 1);
+  ANNSIM_CHECK(config.replication >= 1 && config.replication <= P);
+  ANNSIM_CHECK(partition_cost.size() >= P);
+
+  const auto& machine = config.machine;
+  const auto& mp = machine.params();
+  const std::size_t n_nodes = machine.nodes_for_cores(P);
+  const auto node_of = [&](std::size_t core) {
+    return config.cyclic_rank_mapping ? core % n_nodes
+                                      : machine.node_of_core(core);
+  };
+
+  // The master occupies its own node (node index n_nodes in "node space"),
+  // so master<->worker traffic is inter-node, as on the real system.
+  const double query_bytes = double(config.dim) * 4.0 + 32.0;
+  const double result_bytes = double(config.k) * 16.0 + 16.0;
+  const double q_msg_wire =
+      mp.inter_node_latency + query_bytes / mp.inter_node_bandwidth;
+  const double r_msg_wire =
+      mp.inter_node_latency + result_bytes / mp.inter_node_bandwidth;
+  const double rma_wire = machine.rma_seconds(std::size_t(result_bytes));
+
+  SearchSimResult res;
+  res.jobs_per_core.assign(P, 0);
+  res.busy_per_core.assign(P, 0.0);
+
+  // ---- master dispatch timeline (Algorithm 3/5: route + isend per job).
+  struct Dispatch {
+    double arrival;
+    std::size_t node;
+    double duration;
+    std::size_t query;
+  };
+  std::vector<Dispatch> dispatches;
+  std::vector<std::uint32_t> next(P, 0);  // workgroup round-robin pointers
+  double t_master = 0.0;
+  double wire_total = 0.0;
+
+  res.query_latency.assign(plans.size(), 0.0);
+  for (std::size_t q = 0; q < plans.size(); ++q) {
+    t_master += config.route_seconds;
+    for (PartitionId d : plans[q]) {
+      ANNSIM_CHECK(d < P);
+      const std::size_t member = (d + next[d]) % P;
+      next[d] = (next[d] + 1) % std::uint32_t(config.replication);
+      t_master += mp.message_cpu_overhead;
+      dispatches.push_back(Dispatch{t_master + q_msg_wire, node_of(member),
+                                    partition_cost[d], q});
+      wire_total += q_msg_wire;
+      ++res.total_jobs;
+    }
+  }
+  const double dispatch_end = t_master;
+
+  // ---- event-driven node service.
+  EventQueue eq;
+  std::vector<NodeState> nodes(n_nodes);
+  for (std::size_t c = 0; c < P; ++c) {
+    nodes[node_of(c)].idle_cores.push_back(c);
+  }
+
+  double master_free = dispatch_end;  // two-sided merging starts after dispatch
+  double master_merge_busy = 0.0;
+  double last_result = dispatch_end;
+  double worker_comm_cpu = 0.0;
+
+  // start_job/complete are mutually recursive through the event queue.
+  std::function<void(std::size_t, std::size_t, Job)> start_job =
+      [&](std::size_t node, std::size_t core, Job job) {
+        ++res.jobs_per_core[core];
+        const double busy = job.duration + mp.message_cpu_overhead;
+        res.busy_per_core[core] += busy;
+        res.compute_seconds += job.duration;
+        worker_comm_cpu += mp.message_cpu_overhead;
+        eq.schedule_in(busy, [&, node, core, job] {
+          // Result return.
+          double done = 0.0;
+          if (config.one_sided) {
+            done = eq.now() + rma_wire;
+            wire_total += rma_wire;
+          } else {
+            const double arrival = eq.now() + r_msg_wire;
+            wire_total += r_msg_wire;
+            master_free = std::max(master_free, arrival) + config.merge_seconds;
+            master_merge_busy += config.merge_seconds;
+            done = master_free;
+          }
+          last_result = std::max(last_result, done);
+          res.query_latency[job.query] =
+              std::max(res.query_latency[job.query], done);
+          // Serve the node backlog.
+          NodeState& ns = nodes[node];
+          if (!ns.backlog.empty()) {
+            Job nextjob = ns.backlog.front();
+            ns.backlog.pop_front();
+            start_job(node, core, nextjob);
+          } else {
+            ns.idle_cores.push_back(core);
+          }
+        });
+      };
+
+  for (const auto& d : dispatches) {
+    eq.schedule(d.arrival, [&, d] {
+      NodeState& ns = nodes[d.node];
+      if (!ns.idle_cores.empty()) {
+        const std::size_t core = ns.idle_cores.back();
+        ns.idle_cores.pop_back();
+        start_job(d.node, core, Job{d.duration, d.query});
+      } else {
+        ns.backlog.push_back(Job{d.duration, d.query});
+      }
+    });
+  }
+  eq.run();
+
+  // ---- one-sided mode: the master reads its window once everyone is done
+  // (constant small cost per query slot).
+  double master_read = 0.0;
+  if (config.one_sided) {
+    master_read = double(plans.size()) * config.merge_seconds * 0.5;
+    last_result += master_read;
+  }
+
+  res.makespan_seconds = std::max(last_result, dispatch_end);
+  const double route_total = double(plans.size()) * config.route_seconds;
+  const double dispatch_cpu = double(res.total_jobs) * mp.message_cpu_overhead;
+  res.master_busy_seconds =
+      route_total + dispatch_cpu + master_merge_busy + master_read;
+  res.comm_cpu_seconds =
+      dispatch_cpu + worker_comm_cpu + master_merge_busy + master_read;
+  res.wire_seconds = wire_total;
+
+  // ---- Fig 5 breakdown over (P+1) cores x makespan.
+  const double total_core_seconds = double(P + 1) * res.makespan_seconds;
+  const double computation = res.compute_seconds + route_total;
+  res.computation_fraction = computation / total_core_seconds;
+  res.communication_fraction = res.comm_cpu_seconds / total_core_seconds;
+  res.idle_fraction =
+      std::max(0.0, 1.0 - res.computation_fraction - res.communication_fraction);
+  return res;
+}
+
+}  // namespace annsim::des

@@ -1,0 +1,479 @@
+#include "annsim/hnsw/hnsw_index.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <fstream>
+#include <queue>
+
+#include "annsim/common/error.hpp"
+#include "annsim/common/serialize.hpp"
+#include "annsim/common/topk.hpp"
+
+namespace annsim::hnsw {
+
+namespace {
+
+/// Candidate ordered by distance to the query; min-heap via std::greater.
+struct Cand {
+  float dist;
+  LocalId node;
+  friend bool operator<(const Cand& a, const Cand& b) noexcept {
+    return a.dist < b.dist || (a.dist == b.dist && a.node < b.node);
+  }
+  friend bool operator>(const Cand& a, const Cand& b) noexcept { return b < a; }
+};
+
+/// Epoch-stamped visited set, reusable across searches without clearing.
+class VisitedSet {
+ public:
+  void resize(std::size_t n) {
+    if (stamp_.size() < n) stamp_.resize(n, 0);
+  }
+
+  void new_epoch() noexcept {
+    if (++epoch_ == 0) {  // wrapped: reset all stamps
+      std::fill(stamp_.begin(), stamp_.end(), 0);
+      epoch_ = 1;
+    }
+  }
+
+  bool test_and_set(LocalId v) noexcept {
+    if (stamp_[v] == epoch_) return true;
+    stamp_[v] = epoch_;
+    return false;
+  }
+
+ private:
+  std::vector<std::uint32_t> stamp_;
+  std::uint32_t epoch_ = 0;
+};
+
+/// Pool of VisitedSet so concurrent searches don't allocate per query.
+class VisitedPool {
+ public:
+  explicit VisitedPool(std::size_t n) : n_(n) {}
+
+  std::unique_ptr<VisitedSet> acquire() {
+    {
+      std::lock_guard lk(mu_);
+      if (!free_.empty()) {
+        auto v = std::move(free_.back());
+        free_.pop_back();
+        v->resize(n_);
+        return v;
+      }
+    }
+    auto v = std::make_unique<VisitedSet>();
+    v->resize(n_);
+    return v;
+  }
+
+  void release(std::unique_ptr<VisitedSet> v) {
+    std::lock_guard lk(mu_);
+    free_.push_back(std::move(v));
+  }
+
+ private:
+  std::size_t n_;
+  std::mutex mu_;
+  std::vector<std::unique_ptr<VisitedSet>> free_;
+};
+
+}  // namespace
+
+struct HnswIndex::Impl {
+  /// links[node][layer] = neighbor list; layer 0 capacity 2M, others M.
+  struct Node {
+    std::vector<std::vector<LocalId>> layers;  // size = level + 1
+    bool inserted = false;
+  };
+
+  explicit Impl(std::size_t n)
+      : nodes(n), locks(std::make_unique<std::mutex[]>(n)), visited(n) {}
+
+  std::vector<Node> nodes;
+  std::unique_ptr<std::mutex[]> locks;
+  mutable VisitedPool visited;
+
+  std::mutex entry_mu;
+  LocalId entry_point = kInvalidLocalId;
+  int max_level = -1;
+  std::atomic<std::size_t> n_inserted{0};
+};
+
+HnswIndex::HnswIndex(const data::Dataset* data, HnswParams params)
+    : data_(data),
+      params_(params),
+      impl_(std::make_unique<Impl>(data->size())) {
+  ANNSIM_CHECK(data_ != nullptr);
+  ANNSIM_CHECK(params_.M >= 2);
+  ANNSIM_CHECK(params_.ef_construction >= params_.M);
+  if (params_.level_mult <= 0.0) {
+    params_.level_mult = 1.0 / std::log(double(params_.M));
+  }
+}
+
+HnswIndex::HnswIndex(const data::Dataset* data, HnswParams params,
+                     std::unique_ptr<Impl> impl)
+    : data_(data), params_(params), impl_(std::move(impl)) {}
+
+HnswIndex::~HnswIndex() = default;
+HnswIndex::HnswIndex(HnswIndex&&) noexcept = default;
+HnswIndex& HnswIndex::operator=(HnswIndex&&) noexcept = default;
+
+std::size_t HnswIndex::size() const noexcept {
+  return impl_->n_inserted.load(std::memory_order_relaxed);
+}
+
+namespace {
+
+/// Beam search within one layer (Algorithm 2 of the HNSW paper). Returns up
+/// to `ef` nearest candidates as a max-heap-ordered vector (unsorted).
+std::vector<Cand> search_layer(const data::Dataset& data,
+                               const simd::DistanceComputer& dist,
+                               const HnswIndex::Impl* impl, const float* query,
+                               std::span<const LocalId> entries, int layer,
+                               std::size_t ef, VisitedSet& visited,
+                               bool lock_links) {
+  visited.new_epoch();
+  std::priority_queue<Cand, std::vector<Cand>, std::greater<>> frontier;  // min
+  std::priority_queue<Cand> best;                                         // max
+
+  for (LocalId e : entries) {
+    if (visited.test_and_set(e)) continue;
+    const float d = dist(query, data.row(e));
+    frontier.push({d, e});
+    best.push({d, e});
+    if (best.size() > ef) best.pop();
+  }
+
+  std::vector<LocalId> neigh_copy;
+  while (!frontier.empty()) {
+    const Cand c = frontier.top();
+    if (best.size() >= ef && c.dist > best.top().dist) break;
+    frontier.pop();
+
+    const auto& node = impl->nodes[c.node];
+    if (std::size_t(layer) >= node.layers.size()) continue;
+    if (lock_links) {
+      std::lock_guard lk(impl->locks[c.node]);
+      neigh_copy = node.layers[layer];
+    } else {
+      neigh_copy = node.layers[layer];
+    }
+    for (LocalId nb : neigh_copy) {
+      if (visited.test_and_set(nb)) continue;
+      const float d = dist(query, data.row(nb));
+      if (best.size() < ef || d < best.top().dist) {
+        frontier.push({d, nb});
+        best.push({d, nb});
+        if (best.size() > ef) best.pop();
+      }
+    }
+  }
+
+  std::vector<Cand> out;
+  out.reserve(best.size());
+  while (!best.empty()) {
+    out.push_back(best.top());
+    best.pop();
+  }
+  return out;  // descending by distance
+}
+
+/// Heuristic neighbor selection (Algorithm 4 of the HNSW paper): scan
+/// candidates nearest-first, keep one only if it is closer to the query than
+/// to every already-kept neighbor; backfill with pruned candidates.
+std::vector<LocalId> select_neighbors(const data::Dataset& data,
+                                      const simd::DistanceComputer& dist,
+                                      std::vector<Cand> candidates,
+                                      std::size_t m) {
+  std::sort(candidates.begin(), candidates.end());  // ascending distance
+  std::vector<LocalId> kept;
+  std::vector<LocalId> pruned;
+  kept.reserve(m);
+  for (const Cand& c : candidates) {
+    if (kept.size() >= m) break;
+    bool closer_to_kept = false;
+    for (LocalId s : kept) {
+      if (dist(data.row(c.node), data.row(s)) < c.dist) {
+        closer_to_kept = true;
+        break;
+      }
+    }
+    if (closer_to_kept) {
+      pruned.push_back(c.node);
+    } else {
+      kept.push_back(c.node);
+    }
+  }
+  for (LocalId p : pruned) {
+    if (kept.size() >= m) break;
+    kept.push_back(p);  // keepPrunedConnections
+  }
+  return kept;
+}
+
+}  // namespace
+
+void HnswIndex::insert(LocalId node) {
+  ANNSIM_CHECK(node < data_->size());
+  Impl& im = *impl_;
+  ANNSIM_CHECK_MSG(!im.nodes[node].inserted, "node inserted twice: " << node);
+
+  const simd::DistanceComputer dist(params_.metric, data_->dim());
+  const float* qv = data_->row(node);
+
+  // Level assignment: floor(-ln(U) * mL), derived deterministically from the
+  // seed and the node id so parallel builds are reproducible.
+  Rng rng = Rng(params_.seed).split(node);
+  double u = 0.0;
+  while (u == 0.0) u = rng.uniform();
+  const int level = int(-std::log(u) * params_.level_mult);
+
+  {
+    std::lock_guard lk(im.locks[node]);
+    im.nodes[node].layers.assign(std::size_t(level) + 1, {});
+  }
+
+  // Snapshot the entry point / top level.
+  LocalId entry;
+  int top_level;
+  {
+    std::lock_guard lk(im.entry_mu);
+    entry = im.entry_point;
+    top_level = im.max_level;
+    if (entry == kInvalidLocalId) {
+      // First node becomes the entry point.
+      im.entry_point = node;
+      im.max_level = level;
+      im.nodes[node].inserted = true;
+      im.n_inserted.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+
+  auto visited = im.visited.acquire();
+
+  // Greedy descent through layers above the node's level.
+  std::vector<LocalId> eps{entry};
+  for (int layer = top_level; layer > level; --layer) {
+    auto res = search_layer(*data_, dist, impl_.get(), qv, eps, layer, 1,
+                            *visited, /*lock_links=*/true);
+    if (!res.empty()) eps = {res.back().node};  // nearest is last (descending)
+  }
+
+  // Connect at each layer from min(level, top_level) down to 0.
+  for (int layer = std::min(level, top_level); layer >= 0; --layer) {
+    auto candidates = search_layer(*data_, dist, impl_.get(), qv, eps, layer,
+                                   params_.ef_construction, *visited,
+                                   /*lock_links=*/true);
+    const std::size_t m_layer = layer == 0 ? params_.M * 2 : params_.M;
+    auto neighbors =
+        select_neighbors(*data_, dist, candidates, params_.M);
+
+    {
+      std::lock_guard lk(im.locks[node]);
+      im.nodes[node].layers[layer] = neighbors;
+    }
+
+    // Back-links, shrinking the neighbor's list when it overflows.
+    for (LocalId nb : neighbors) {
+      std::lock_guard lk(im.locks[nb]);
+      auto& links = im.nodes[nb].layers[layer];
+      if (links.size() < m_layer) {
+        links.push_back(node);
+      } else {
+        std::vector<Cand> cands;
+        cands.reserve(links.size() + 1);
+        const float* nbv = data_->row(nb);
+        cands.push_back({dist(nbv, qv), node});
+        for (LocalId x : links) cands.push_back({dist(nbv, data_->row(x)), x});
+        links = select_neighbors(*data_, dist, std::move(cands), m_layer);
+      }
+    }
+
+    // Next layer starts from this layer's candidates.
+    eps.clear();
+    for (const Cand& c : candidates) eps.push_back(c.node);
+  }
+
+  {
+    std::lock_guard lk(im.entry_mu);
+    if (level > im.max_level) {
+      im.max_level = level;
+      im.entry_point = node;
+    }
+  }
+  {
+    std::lock_guard lk(im.locks[node]);
+    im.nodes[node].inserted = true;
+  }
+  im.n_inserted.fetch_add(1, std::memory_order_relaxed);
+  im.visited.release(std::move(visited));
+}
+
+void HnswIndex::build(ThreadPool* pool) {
+  const std::size_t n = data_->size();
+  if (n == 0) return;
+  if (pool != nullptr && pool->size() > 1) {
+    // Seed the graph with one node to fix the entry point, then parallelize.
+    insert(0);
+    pool->parallel_for(1, n, [this](std::size_t i) { insert(LocalId(i)); });
+  } else {
+    for (std::size_t i = 0; i < n; ++i) insert(LocalId(i));
+  }
+}
+
+std::vector<Neighbor> HnswIndex::search(const float* query, std::size_t k,
+                                        std::size_t ef) const {
+  ANNSIM_CHECK(k > 0);
+  const Impl& im = *impl_;
+  if (im.entry_point == kInvalidLocalId) return {};
+  if (ef == 0) ef = params_.ef_search;
+  ef = std::max(ef, k);
+
+  const simd::DistanceComputer dist(params_.metric, data_->dim());
+  auto visited = im.visited.acquire();
+
+  std::vector<LocalId> eps{im.entry_point};
+  for (int layer = im.max_level; layer > 0; --layer) {
+    auto res = search_layer(*data_, dist, impl_.get(), query, eps, layer, 1,
+                            *visited, /*lock_links=*/false);
+    if (!res.empty()) eps = {res.back().node};
+  }
+  auto candidates = search_layer(*data_, dist, impl_.get(), query, eps, 0, ef,
+                                 *visited, /*lock_links=*/false);
+  im.visited.release(std::move(visited));
+
+  // candidates are descending by distance; take the k nearest.
+  std::vector<Neighbor> out;
+  out.reserve(std::min(k, candidates.size()));
+  for (auto it = candidates.rbegin();
+       it != candidates.rend() && out.size() < k; ++it) {
+    out.push_back({it->dist, data_->id(it->node)});
+  }
+  return out;
+}
+
+data::KnnResults HnswIndex::search_batch(const data::Dataset& queries,
+                                         std::size_t k, std::size_t ef,
+                                         ThreadPool* pool) const {
+  ANNSIM_CHECK(queries.dim() == data_->dim());
+  data::KnnResults results(queries.size());
+  auto run = [&](std::size_t q) { results[q] = search(queries.row(q), k, ef); };
+  if (pool != nullptr && pool->size() > 1) {
+    pool->parallel_for(0, queries.size(), run);
+  } else {
+    for (std::size_t q = 0; q < queries.size(); ++q) run(q);
+  }
+  return results;
+}
+
+HnswStats HnswIndex::stats() const {
+  const Impl& im = *impl_;
+  HnswStats s;
+  s.n_nodes = size();
+  s.max_level = im.max_level;
+  s.nodes_per_level.assign(std::size_t(im.max_level + 1), 0);
+  std::size_t deg0 = 0, n0 = 0;
+  for (const auto& node : im.nodes) {
+    if (node.layers.empty()) continue;
+    for (std::size_t l = 0; l < node.layers.size(); ++l) {
+      if (l < s.nodes_per_level.size()) ++s.nodes_per_level[l];
+    }
+    deg0 += node.layers[0].size();
+    ++n0;
+  }
+  s.avg_degree_level0 = n0 ? double(deg0) / double(n0) : 0.0;
+  return s;
+}
+
+std::vector<std::byte> HnswIndex::to_bytes() const {
+  const Impl& im = *impl_;
+  BinaryWriter w;
+  w.write(std::uint32_t{0x414E4E31});  // "ANN1"
+  w.write(std::uint64_t(params_.M));
+  w.write(std::uint64_t(params_.ef_construction));
+  w.write(std::uint64_t(params_.ef_search));
+  w.write(params_.level_mult);
+  w.write(params_.seed);
+  w.write(std::int32_t(params_.metric));
+  w.write(std::uint64_t(data_->size()));
+  w.write(std::int32_t(im.max_level));
+  w.write(std::uint32_t(im.entry_point));
+  for (const auto& node : im.nodes) {
+    w.write(std::uint32_t(node.layers.size()));
+    for (const auto& layer : node.layers) {
+      w.write_span(std::span<const LocalId>(layer));
+    }
+  }
+  return w.take();
+}
+
+void HnswIndex::save(const std::string& path) const {
+  const auto bytes = to_bytes();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ANNSIM_CHECK_MSG(out.good(), "cannot open for writing: " << path);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            std::streamsize(bytes.size()));
+  ANNSIM_CHECK(out.good());
+}
+
+HnswIndex HnswIndex::load(const std::string& path, const data::Dataset* data) {
+  std::ifstream in(path, std::ios::binary);
+  ANNSIM_CHECK_MSG(in.good(), "cannot open for reading: " << path);
+  std::vector<std::byte> bytes;
+  in.seekg(0, std::ios::end);
+  const auto size = static_cast<std::size_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
+  bytes.resize(size);
+  in.read(reinterpret_cast<char*>(bytes.data()), std::streamsize(size));
+  ANNSIM_CHECK(in.good());
+  return from_bytes(bytes, data);
+}
+
+HnswIndex HnswIndex::from_bytes(std::span<const std::byte> bytes,
+                                const data::Dataset* data) {
+  ANNSIM_CHECK(data != nullptr);
+  BinaryReader r(bytes);
+  ANNSIM_CHECK_MSG(r.read<std::uint32_t>() == 0x414E4E31, "bad HNSW file magic");
+  HnswParams p;
+  p.M = r.read<std::uint64_t>();
+  p.ef_construction = r.read<std::uint64_t>();
+  p.ef_search = r.read<std::uint64_t>();
+  p.level_mult = r.read<double>();
+  p.seed = r.read<std::uint64_t>();
+  p.metric = simd::Metric(r.read<std::int32_t>());
+  const auto n = r.read<std::uint64_t>();
+  ANNSIM_CHECK_MSG(n == data->size(), "HNSW file does not match dataset size");
+
+  auto impl = std::make_unique<Impl>(n);
+  impl->max_level = r.read<std::int32_t>();
+  impl->entry_point = r.read<std::uint32_t>();
+  std::size_t inserted = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const auto n_layers = r.read<std::uint32_t>();
+    auto& node = impl->nodes[i];
+    node.layers.resize(n_layers);
+    for (auto& layer : node.layers) layer = r.read_vector<LocalId>();
+    if (n_layers > 0) {
+      node.inserted = true;
+      ++inserted;
+    }
+  }
+  impl->n_inserted.store(inserted);
+  return HnswIndex(data, p, std::move(impl));
+}
+
+std::vector<Neighbor> BruteForceIndex::search(const float* query,
+                                              std::size_t k) const {
+  TopK topk(k);
+  for (std::size_t i = 0; i < data_->size(); ++i) {
+    topk.push(dist_(query, data_->row(i)), data_->id(i));
+  }
+  return topk.take_sorted();
+}
+
+}  // namespace annsim::hnsw

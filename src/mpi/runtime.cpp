@@ -1,0 +1,535 @@
+#include "annsim/mpi/mpi.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <list>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "annsim/common/error.hpp"
+
+namespace annsim::mpi {
+
+namespace detail {
+
+// Internal collective tags (user tags must be >= 0; kAnyTag is -1).
+inline constexpr Tag kTagBarrier = -10;
+inline constexpr Tag kTagBarrierRelease = -11;
+inline constexpr Tag kTagBcast = -12;
+inline constexpr Tag kTagGather = -13;
+inline constexpr Tag kTagScatter = -14;
+inline constexpr Tag kTagAlltoallv = -15;
+
+/// In-flight message inside a mailbox.
+struct Envelope {
+  std::uint64_t comm_id = 0;
+  int source_local = kAnySource;  ///< sender's rank within the communicator
+  Tag tag = kAnyTag;
+  std::vector<std::byte> payload;
+};
+
+struct Mailbox;
+
+/// Shared state of one posted (i)recv.
+struct RecvState {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool completed = false;
+  bool cancelled = false;
+  Message msg;
+
+  // matching criteria
+  std::uint64_t comm_id = 0;
+  int source = kAnySource;  ///< comm-local source filter
+  Tag tag = kAnyTag;
+
+  Mailbox* owner = nullptr;  ///< mailbox holding this pending recv
+};
+
+struct Mailbox {
+  std::mutex mu;
+  std::list<Envelope> queue;                          ///< unmatched messages, FIFO
+  std::list<std::shared_ptr<RecvState>> pending;      ///< posted recvs, in order
+};
+
+struct WindowState {
+  std::vector<std::vector<std::byte>> buffers;        ///< per comm rank
+  std::vector<std::unique_ptr<std::mutex>> target_mu; ///< per-target atomicity
+  std::vector<std::vector<char>> locked;              ///< [origin][target] epoch flags
+  RuntimeState* rt = nullptr;
+  std::vector<int> members;                           ///< global rank per comm rank
+};
+
+struct RuntimeState {
+  int n_ranks = 0;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes;   ///< per global rank
+  std::atomic<std::uint64_t> next_comm_id{1};
+  std::atomic<std::uint64_t> next_window_id{1};
+  std::vector<TrafficStats> traffic;                 ///< per global rank
+
+  std::mutex win_mu;
+  std::map<std::uint64_t, std::shared_ptr<WindowState>> windows;
+};
+
+namespace {
+
+bool matches(const Envelope& e, std::uint64_t comm_id, int source, Tag tag) {
+  if (e.comm_id != comm_id) return false;
+  if (source != kAnySource && e.source_local != source) return false;
+  if (tag != kAnyTag && e.tag != tag) return false;
+  return true;
+}
+
+/// Deliver an envelope to a mailbox: complete the first matching pending
+/// recv, or queue the message.
+void deliver(Mailbox& box, Envelope env) {
+  std::shared_ptr<RecvState> match;
+  {
+    std::lock_guard lk(box.mu);
+    for (auto it = box.pending.begin(); it != box.pending.end(); ++it) {
+      if (matches(env, (*it)->comm_id, (*it)->source, (*it)->tag)) {
+        match = *it;
+        box.pending.erase(it);
+        break;
+      }
+    }
+    if (!match) {
+      box.queue.push_back(std::move(env));
+      return;
+    }
+  }
+  {
+    std::lock_guard lk(match->mu);
+    match->msg = Message{env.source_local, env.tag, std::move(env.payload)};
+    match->completed = true;
+  }
+  match->cv.notify_all();
+}
+
+/// Post a recv: immediately complete against a queued message, or park it.
+std::shared_ptr<RecvState> post_recv(Mailbox& box, std::uint64_t comm_id,
+                                     int source, Tag tag) {
+  auto state = std::make_shared<RecvState>();
+  state->comm_id = comm_id;
+  state->source = source;
+  state->tag = tag;
+  state->owner = &box;
+
+  std::lock_guard lk(box.mu);
+  for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
+    if (matches(*it, comm_id, source, tag)) {
+      state->msg = Message{it->source_local, it->tag, std::move(it->payload)};
+      state->completed = true;
+      box.queue.erase(it);
+      return state;
+    }
+  }
+  box.pending.push_back(state);
+  return state;
+}
+
+}  // namespace
+}  // namespace detail
+
+// ------------------------------------------------------------- Request ---
+
+Request::Request(std::shared_ptr<detail::RecvState> state)
+    : state_(std::move(state)) {}
+
+bool Request::valid() const noexcept { return state_ != nullptr; }
+
+bool Request::test() {
+  if (!state_) return true;  // sends complete immediately
+  std::lock_guard lk(state_->mu);
+  return state_->completed;
+}
+
+void Request::wait() {
+  if (!state_) return;
+  std::unique_lock lk(state_->mu);
+  state_->cv.wait(lk, [this] { return state_->completed || state_->cancelled; });
+}
+
+bool Request::cancel() {
+  if (!state_) return false;
+  // Remove from the owning mailbox's pending list if still parked there.
+  {
+    std::lock_guard box_lk(state_->owner->mu);
+    std::lock_guard lk(state_->mu);
+    if (state_->completed) return false;
+    auto& pending = state_->owner->pending;
+    for (auto it = pending.begin(); it != pending.end(); ++it) {
+      if (it->get() == state_.get()) {
+        pending.erase(it);
+        break;
+      }
+    }
+    state_->cancelled = true;
+  }
+  state_->cv.notify_all();
+  return true;
+}
+
+Message Request::take() {
+  if (!state_) return {};
+  std::lock_guard lk(state_->mu);
+  ANNSIM_CHECK_MSG(state_->completed, "Request::take on incomplete request");
+  return std::move(state_->msg);
+}
+
+// ---------------------------------------------------------------- Comm ---
+
+Comm::Comm(std::shared_ptr<detail::RuntimeState> rt, std::uint64_t comm_id,
+           std::vector<int> members, int my_index)
+    : rt_(std::move(rt)),
+      comm_id_(comm_id),
+      members_(std::move(members)),
+      my_index_(my_index) {}
+
+namespace {
+
+void check_user_tag(Tag tag) {
+  ANNSIM_CHECK_MSG(tag >= 0, "user message tags must be >= 0");
+}
+
+}  // namespace
+
+void Comm::send(int dest, Tag tag, std::span<const std::byte> payload) {
+  check_user_tag(tag);
+  (void)isend(dest, tag, payload);
+}
+
+Request Comm::isend(int dest, Tag tag, std::span<const std::byte> payload) {
+  ANNSIM_CHECK_MSG(dest >= 0 && dest < size(), "isend: bad destination " << dest);
+  detail::Envelope env;
+  env.comm_id = comm_id_;
+  env.source_local = my_index_;
+  env.tag = tag;
+  env.payload.assign(payload.begin(), payload.end());
+
+  auto& stats = rt_->traffic[std::size_t(members_[std::size_t(my_index_)])];
+  if (tag >= 0) {
+    ++stats.p2p_messages;
+    stats.p2p_bytes += payload.size();
+  } else {
+    ++stats.collective_ops;
+    stats.collective_bytes += payload.size();
+  }
+
+  detail::deliver(*rt_->mailboxes[std::size_t(members_[std::size_t(dest)])],
+                  std::move(env));
+  return Request{};  // in-process: the send buffer is copied, so complete
+}
+
+Message Comm::recv(int source, Tag tag) {
+  Request r = irecv(source, tag);
+  r.wait();
+  return r.take();
+}
+
+Request Comm::irecv(int source, Tag tag) {
+  ANNSIM_CHECK_MSG(source == kAnySource || (source >= 0 && source < size()),
+                   "irecv: bad source " << source);
+  auto state = detail::post_recv(
+      *rt_->mailboxes[std::size_t(members_[std::size_t(my_index_)])], comm_id_,
+      source, tag);
+  return Request(std::move(state));
+}
+
+bool Comm::iprobe(int source, Tag tag) {
+  auto& box = *rt_->mailboxes[std::size_t(members_[std::size_t(my_index_)])];
+  std::lock_guard lk(box.mu);
+  for (const auto& env : box.queue) {
+    if (detail::matches(env, comm_id_, source, tag)) return true;
+  }
+  return false;
+}
+
+void Comm::barrier() {
+  // Linear barrier: everyone reports to local root, root releases everyone.
+  const std::byte dummy{0};
+  const std::span<const std::byte> empty(&dummy, 0);
+  if (my_index_ == 0) {
+    for (int i = 1; i < size(); ++i) {
+      (void)recv(i, detail::kTagBarrier);
+    }
+    for (int i = 1; i < size(); ++i) {
+      (void)isend(i, detail::kTagBarrierRelease, empty);
+    }
+  } else {
+    (void)isend(0, detail::kTagBarrier, empty);
+    (void)recv(0, detail::kTagBarrierRelease);
+  }
+}
+
+std::vector<std::byte> Comm::bcast(std::span<const std::byte> buf, int root) {
+  ANNSIM_CHECK(root >= 0 && root < size());
+  if (my_index_ == root) {
+    for (int i = 0; i < size(); ++i) {
+      if (i == root) continue;
+      (void)isend(i, detail::kTagBcast, buf);
+    }
+    return {buf.begin(), buf.end()};
+  }
+  return recv(root, detail::kTagBcast).payload;
+}
+
+std::vector<std::vector<std::byte>> Comm::gather(std::span<const std::byte> buf,
+                                                 int root) {
+  ANNSIM_CHECK(root >= 0 && root < size());
+  if (my_index_ == root) {
+    std::vector<std::vector<std::byte>> out(static_cast<std::size_t>(size()));
+    out[std::size_t(root)].assign(buf.begin(), buf.end());
+    for (int i = 0; i < size(); ++i) {
+      if (i == root) continue;
+      out[std::size_t(i)] = recv(i, detail::kTagGather).payload;
+    }
+    return out;
+  }
+  (void)isend(root, detail::kTagGather, buf);
+  return {};
+}
+
+std::vector<std::byte> Comm::scatter(
+    const std::vector<std::vector<std::byte>>& bufs, int root) {
+  ANNSIM_CHECK(root >= 0 && root < size());
+  if (my_index_ == root) {
+    ANNSIM_CHECK_MSG(bufs.size() == std::size_t(size()),
+                     "scatter: need one buffer per rank");
+    for (int i = 0; i < size(); ++i) {
+      if (i == root) continue;
+      (void)isend(i, detail::kTagScatter, bufs[std::size_t(i)]);
+    }
+    return bufs[std::size_t(root)];
+  }
+  return recv(root, detail::kTagScatter).payload;
+}
+
+std::vector<std::vector<std::byte>> Comm::alltoallv(
+    const std::vector<std::vector<std::byte>>& send_bufs) {
+  ANNSIM_CHECK_MSG(send_bufs.size() == std::size_t(size()),
+                   "alltoallv: need one buffer per rank");
+  // All sends complete immediately (copied), so no deadlock risk.
+  for (int i = 0; i < size(); ++i) {
+    (void)isend(i, detail::kTagAlltoallv, send_bufs[std::size_t(i)]);
+  }
+  std::vector<std::vector<std::byte>> out(static_cast<std::size_t>(size()));
+  for (int i = 0; i < size(); ++i) {
+    out[std::size_t(i)] = recv(i, detail::kTagAlltoallv).payload;
+  }
+  return out;
+}
+
+Comm Comm::split(int color) const {
+  // Gather all colors at root 0, which assigns new communicator ids and
+  // sends every member its new (comm_id, member list, index).
+  Comm& self = const_cast<Comm&>(*this);
+  auto colors = self.gather_values(color, 0);
+
+  BinaryWriter my_info;
+  if (my_index_ == 0) {
+    std::map<int, std::vector<int>> groups;  // color -> comm indices (sorted)
+    for (int i = 0; i < size(); ++i) groups[colors[std::size_t(i)]].push_back(i);
+
+    std::map<int, std::uint64_t> comm_ids;
+    for (const auto& [c, g] : groups) {
+      comm_ids[c] = rt_->next_comm_id.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    std::vector<std::vector<std::byte>> payloads(static_cast<std::size_t>(size()));
+    for (const auto& [c, g] : groups) {
+      for (std::size_t idx = 0; idx < g.size(); ++idx) {
+        BinaryWriter w;
+        w.write(comm_ids[c]);
+        w.write(std::uint32_t(idx));
+        std::vector<int> globals;
+        globals.reserve(g.size());
+        for (int member : g) globals.push_back(members_[std::size_t(member)]);
+        w.write_vector(globals);
+        payloads[std::size_t(g[idx])] = w.take();
+      }
+    }
+    auto mine = self.scatter(payloads, 0);
+    BinaryReader r(mine);
+    const auto comm_id = r.read<std::uint64_t>();
+    const auto idx = r.read<std::uint32_t>();
+    auto globals = r.read_vector<int>();
+    return Comm(rt_, comm_id, std::move(globals), int(idx));
+  }
+
+  auto mine = self.scatter({}, 0);
+  BinaryReader r(mine);
+  const auto comm_id = r.read<std::uint64_t>();
+  const auto idx = r.read<std::uint32_t>();
+  auto globals = r.read_vector<int>();
+  return Comm(rt_, comm_id, std::move(globals), int(idx));
+}
+
+Window Comm::create_window(std::size_t local_bytes) {
+  auto sizes = gather_values(std::uint64_t(local_bytes), 0);
+  std::uint64_t win_id = 0;
+  if (my_index_ == 0) {
+    auto ws = std::make_shared<detail::WindowState>();
+    ws->buffers.resize(std::size_t(size()));
+    ws->target_mu.resize(std::size_t(size()));
+    ws->locked.assign(std::size_t(size()),
+                      std::vector<char>(std::size_t(size()), 0));
+    ws->rt = rt_.get();
+    ws->members = members_;
+    for (int i = 0; i < size(); ++i) {
+      ws->buffers[std::size_t(i)].resize(sizes[std::size_t(i)]);
+      ws->target_mu[std::size_t(i)] = std::make_unique<std::mutex>();
+    }
+    win_id = rt_->next_window_id.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard lk(rt_->win_mu);
+    rt_->windows[win_id] = std::move(ws);
+  }
+  win_id = bcast_value(win_id, 0);
+
+  std::shared_ptr<detail::WindowState> ws;
+  {
+    std::lock_guard lk(rt_->win_mu);
+    ws = rt_->windows.at(win_id);
+  }
+  return Window(std::move(ws), my_index_);
+}
+
+TrafficStats Comm::traffic() const {
+  return rt_->traffic[std::size_t(members_[std::size_t(my_index_)])];
+}
+
+// -------------------------------------------------------------- Window ---
+
+Window::Window(std::shared_ptr<detail::WindowState> state, int my_rank)
+    : state_(std::move(state)), my_rank_(my_rank) {}
+
+void Window::lock_shared(int target) {
+  ANNSIM_CHECK(state_ != nullptr);
+  auto& flag = state_->locked[std::size_t(my_rank_)][std::size_t(target)];
+  ANNSIM_CHECK_MSG(flag == 0, "Window: nested lock at target " << target);
+  flag = 1;
+}
+
+void Window::unlock(int target) {
+  ANNSIM_CHECK(state_ != nullptr);
+  auto& flag = state_->locked[std::size_t(my_rank_)][std::size_t(target)];
+  ANNSIM_CHECK_MSG(flag == 1, "Window: unlock without lock at target " << target);
+  flag = 0;
+}
+
+namespace {
+
+void check_epoch(const detail::WindowState& ws, int origin, int target) {
+  ANNSIM_CHECK_MSG(ws.locked[std::size_t(origin)][std::size_t(target)] == 1,
+                   "Window: RMA op outside an access epoch (call lock_shared)");
+}
+
+void account_rma(detail::WindowState& ws, int origin, std::size_t bytes) {
+  auto& stats = ws.rt->traffic[std::size_t(ws.members[std::size_t(origin)])];
+  ++stats.rma_ops;
+  stats.rma_bytes += bytes;
+}
+
+}  // namespace
+
+void Window::put(int target, std::size_t offset, std::span<const std::byte> data) {
+  auto& ws = *state_;
+  check_epoch(ws, my_rank_, target);
+  auto& buf = ws.buffers[std::size_t(target)];
+  ANNSIM_CHECK_MSG(offset + data.size() <= buf.size(), "Window::put out of range");
+  std::lock_guard lk(*ws.target_mu[std::size_t(target)]);
+  std::copy(data.begin(), data.end(), buf.begin() + std::ptrdiff_t(offset));
+  account_rma(ws, my_rank_, data.size());
+}
+
+std::vector<std::byte> Window::get(int target, std::size_t offset,
+                                   std::size_t len) {
+  auto& ws = *state_;
+  check_epoch(ws, my_rank_, target);
+  auto& buf = ws.buffers[std::size_t(target)];
+  ANNSIM_CHECK_MSG(offset + len <= buf.size(), "Window::get out of range");
+  std::lock_guard lk(*ws.target_mu[std::size_t(target)]);
+  account_rma(ws, my_rank_, len);
+  return {buf.begin() + std::ptrdiff_t(offset),
+          buf.begin() + std::ptrdiff_t(offset + len)};
+}
+
+void Window::get_accumulate(int target, std::size_t offset,
+                            std::span<const std::byte> origin_data,
+                            const MergeOp& op, std::vector<std::byte>* prev_out) {
+  auto& ws = *state_;
+  check_epoch(ws, my_rank_, target);
+  auto& buf = ws.buffers[std::size_t(target)];
+  ANNSIM_CHECK_MSG(offset + origin_data.size() <= buf.size(),
+                   "Window::get_accumulate out of range");
+  std::lock_guard lk(*ws.target_mu[std::size_t(target)]);
+  const std::span<std::byte> region(buf.data() + offset, origin_data.size());
+  if (prev_out != nullptr) prev_out->assign(region.begin(), region.end());
+  op(region, origin_data);
+  account_rma(ws, my_rank_, origin_data.size());
+}
+
+std::span<std::byte> Window::local_data() {
+  ANNSIM_CHECK(state_ != nullptr);
+  return state_->buffers[std::size_t(my_rank_)];
+}
+
+std::size_t Window::local_size() const {
+  ANNSIM_CHECK(state_ != nullptr);
+  return state_->buffers[std::size_t(my_rank_)].size();
+}
+
+// ------------------------------------------------------------- Runtime ---
+
+Runtime::Runtime(int n_ranks) : state_(std::make_shared<detail::RuntimeState>()) {
+  ANNSIM_CHECK_MSG(n_ranks >= 1, "Runtime needs at least one rank");
+  state_->n_ranks = n_ranks;
+  state_->mailboxes.reserve(std::size_t(n_ranks));
+  for (int i = 0; i < n_ranks; ++i) {
+    state_->mailboxes.push_back(std::make_unique<detail::Mailbox>());
+  }
+  state_->traffic.assign(std::size_t(n_ranks), {});
+}
+
+Runtime::~Runtime() = default;
+
+int Runtime::size() const noexcept { return state_->n_ranks; }
+
+void Runtime::run(const std::function<void(Comm&)>& rank_main) {
+  const int n = state_->n_ranks;
+  std::vector<int> world(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) world[std::size_t(i)] = i;
+
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  std::vector<std::thread> threads;
+  threads.reserve(std::size_t(n));
+  for (int i = 0; i < n; ++i) {
+    threads.emplace_back([&, i] {
+      Comm comm(state_, /*comm_id=*/0, world, i);
+      try {
+        rank_main(comm);
+      } catch (...) {
+        std::lock_guard lk(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+TrafficStats Runtime::total_traffic() const {
+  TrafficStats total;
+  for (const auto& t : state_->traffic) total += t;
+  return total;
+}
+
+std::vector<TrafficStats> Runtime::per_rank_traffic() const {
+  return state_->traffic;
+}
+
+}  // namespace annsim::mpi

@@ -1,0 +1,102 @@
+#include "annsim/pq/ivfpq_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "annsim/common/error.hpp"
+#include "annsim/common/topk.hpp"
+#include "annsim/simd/distance.hpp"
+
+namespace annsim::pq {
+
+IvfPqIndex IvfPqIndex::build(const data::Dataset& data,
+                             const IvfPqParams& params) {
+  ANNSIM_CHECK(params.nlist >= 1);
+  ANNSIM_CHECK(data.size() >= params.nlist);
+
+  IvfPqIndex index;
+  index.params_ = params;
+  index.n_ = data.size();
+
+  // --- coarse quantizer.
+  KMeansParams coarse;
+  coarse.k = params.nlist;
+  coarse.max_iters = params.coarse_iters;
+  coarse.seed = params.seed;
+  KMeansResult km = kmeans(data, coarse);
+  index.coarse_centroids_ = std::move(km.centroids);
+
+  // --- residual training set: x - centroid(list(x)).
+  data::Dataset residuals(data.size(), data.dim());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const float* x = data.row(i);
+    const float* c = index.coarse_centroids_.row(km.assignment[i]);
+    float* r = residuals.row(i);
+    for (std::size_t d = 0; d < data.dim(); ++d) r[d] = x[d] - c[d];
+  }
+  index.pq_ = ProductQuantizer::train(residuals, params.pq);
+
+  // --- encode into inverted lists.
+  index.list_codes_.resize(params.nlist);
+  index.list_ids_.resize(params.nlist);
+  const std::size_t m = index.pq_.code_bytes();
+  std::vector<std::uint8_t> code(m);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto list = km.assignment[i];
+    index.pq_.encode(residuals.row(i), code.data());
+    auto& codes = index.list_codes_[list];
+    codes.insert(codes.end(), code.begin(), code.end());
+    index.list_ids_[list].push_back(data.id(i));
+  }
+  return index;
+}
+
+std::vector<Neighbor> IvfPqIndex::search(const float* query, std::size_t k,
+                                         std::size_t nprobe) const {
+  ANNSIM_CHECK(k >= 1);
+  if (nprobe == 0) nprobe = params_.nprobe;
+  nprobe = std::min(nprobe, params_.nlist);
+
+  // Rank coarse lists by centroid distance.
+  std::vector<std::pair<float, std::uint32_t>> lists;
+  lists.reserve(params_.nlist);
+  for (std::size_t c = 0; c < params_.nlist; ++c) {
+    lists.emplace_back(
+        simd::l2_sq(query, coarse_centroids_.row(c), coarse_centroids_.dim()),
+        std::uint32_t(c));
+  }
+  std::partial_sort(lists.begin(), lists.begin() + std::ptrdiff_t(nprobe),
+                    lists.end());
+
+  // ADC scan of the probed lists with per-list residual tables.
+  TopK topk(k);
+  std::vector<float> residual(dim());
+  const std::size_t m = pq_.code_bytes();
+  for (std::size_t p = 0; p < nprobe; ++p) {
+    const auto list = lists[p].second;
+    const auto& ids = list_ids_[list];
+    if (ids.empty()) continue;
+    const float* c = coarse_centroids_.row(list);
+    for (std::size_t d = 0; d < dim(); ++d) residual[d] = query[d] - c[d];
+    const auto table = pq_.adc_table(residual.data());
+    const std::uint8_t* codes = list_codes_[list].data();
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      const float d2 = pq_.adc_distance(table, codes + i * m);
+      topk.push(std::sqrt(std::max(0.f, d2)), ids[i]);
+    }
+  }
+  return topk.take_sorted();
+}
+
+std::size_t IvfPqIndex::memory_bytes() const noexcept {
+  std::size_t bytes =
+      coarse_centroids_.size() * coarse_centroids_.dim() * sizeof(float) +
+      params_.pq.m * params_.pq.ks * (dim() / params_.pq.m) * sizeof(float);
+  for (std::size_t l = 0; l < list_codes_.size(); ++l) {
+    bytes += list_codes_[l].size() + list_ids_[l].size() * sizeof(GlobalId);
+  }
+  return bytes;
+}
+
+}  // namespace annsim::pq

@@ -1,0 +1,137 @@
+#include "annsim/pq/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "annsim/common/error.hpp"
+#include "annsim/common/rng.hpp"
+#include "annsim/simd/distance.hpp"
+
+namespace annsim::pq {
+
+namespace {
+
+/// Index of the centroid nearest to `v` (squared L2).
+std::pair<std::uint32_t, float> nearest_centroid(const float* v,
+                                                 const data::Dataset& centroids,
+                                                 std::size_t dim) {
+  std::uint32_t best = 0;
+  float best_d = std::numeric_limits<float>::infinity();
+  for (std::size_t c = 0; c < centroids.size(); ++c) {
+    const float d = simd::l2_sq(v, centroids.row(c), dim);
+    if (d < best_d) {
+      best_d = d;
+      best = std::uint32_t(c);
+    }
+  }
+  return {best, best_d};
+}
+
+}  // namespace
+
+KMeansResult kmeans(const data::Dataset& data, const KMeansParams& params,
+                    ThreadPool* pool) {
+  ANNSIM_CHECK(params.k >= 1);
+  ANNSIM_CHECK_MSG(data.size() >= params.k,
+                   "k-means needs at least k points (" << data.size() << " < "
+                                                       << params.k << ")");
+  const std::size_t n = data.size();
+  const std::size_t dim = data.dim();
+  const std::size_t k = params.k;
+  Rng rng(params.seed);
+
+  KMeansResult res;
+  res.centroids.reset(k, dim);
+  res.assignment.assign(n, 0);
+
+  // --- k-means++-style seeding.
+  std::vector<float> min_d(n, std::numeric_limits<float>::infinity());
+  std::size_t first = rng.uniform_below(n);
+  res.centroids.set_row(0, data.row_span(first));
+  for (std::size_t c = 1; c < k; ++c) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const float d = simd::l2_sq(data.row(i), res.centroids.row(c - 1), dim);
+      min_d[i] = std::min(min_d[i], d);
+      total += double(min_d[i]);
+    }
+    // Distance-weighted draw (fall back to uniform on degenerate data).
+    std::size_t pick = rng.uniform_below(n);
+    if (total > 0.0) {
+      double target = rng.uniform() * total;
+      for (std::size_t i = 0; i < n; ++i) {
+        target -= double(min_d[i]);
+        if (target <= 0.0) {
+          pick = i;
+          break;
+        }
+      }
+    }
+    res.centroids.set_row(c, data.row_span(pick));
+  }
+
+  // --- Lloyd iterations.
+  std::vector<double> sums(k * dim);
+  std::vector<std::size_t> counts(k);
+  double prev_inertia = std::numeric_limits<double>::infinity();
+
+  for (std::size_t iter = 0; iter < params.max_iters; ++iter) {
+    // Assignment step (parallel over rows).
+    std::vector<float> dists(n);
+    auto assign = [&](std::size_t i) {
+      auto [c, d] = nearest_centroid(data.row(i), res.centroids, dim);
+      res.assignment[i] = c;
+      dists[i] = d;
+    };
+    if (pool != nullptr && pool->size() > 1) {
+      pool->parallel_for(0, n, assign);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) assign(i);
+    }
+    res.inertia = 0.0;
+    for (std::size_t i = 0; i < n; ++i) res.inertia += double(dists[i]);
+    res.iters_run = iter + 1;
+
+    // Update step.
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto c = res.assignment[i];
+      const float* row = data.row(i);
+      double* s = sums.data() + std::size_t(c) * dim;
+      for (std::size_t d = 0; d < dim; ++d) s[d] += double(row[d]);
+      ++counts[c];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster from the point farthest from its center.
+        std::size_t far = 0;
+        float far_d = -1.f;
+        for (std::size_t i = 0; i < n; ++i) {
+          if (dists[i] > far_d) {
+            far_d = dists[i];
+            far = i;
+          }
+        }
+        res.centroids.set_row(c, data.row_span(far));
+        dists[far] = 0.f;
+        continue;
+      }
+      float* dst = res.centroids.row(c);
+      const double* s = sums.data() + c * dim;
+      for (std::size_t d = 0; d < dim; ++d) {
+        dst[d] = float(s[d] / double(counts[c]));
+      }
+    }
+
+    if (prev_inertia < std::numeric_limits<double>::infinity() &&
+        prev_inertia - res.inertia <= params.tolerance * prev_inertia) {
+      break;
+    }
+    prev_inertia = res.inertia;
+  }
+  return res;
+}
+
+}  // namespace annsim::pq

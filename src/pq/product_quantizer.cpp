@@ -1,0 +1,135 @@
+#include "annsim/pq/product_quantizer.hpp"
+
+#include <cstring>
+#include <limits>
+
+#include "annsim/common/error.hpp"
+#include "annsim/pq/kmeans.hpp"
+#include "annsim/simd/distance.hpp"
+
+namespace annsim::pq {
+
+ProductQuantizer ProductQuantizer::train(const data::Dataset& train,
+                                         const PqParams& params) {
+  ANNSIM_CHECK(params.m >= 1 && params.ks >= 2 && params.ks <= 256);
+  ANNSIM_CHECK_MSG(train.dim() % params.m == 0,
+                   "dim " << train.dim() << " not divisible by m " << params.m);
+  ANNSIM_CHECK_MSG(train.size() >= params.ks,
+                   "need at least ks training vectors");
+
+  ProductQuantizer pq;
+  pq.params_ = params;
+  pq.dim_ = train.dim();
+  pq.sub_dim_ = train.dim() / params.m;
+  pq.codebooks_.resize(params.m * params.ks * pq.sub_dim_);
+
+  // Train one k-means per sub-space on the projected training set.
+  for (std::size_t sub = 0; sub < params.m; ++sub) {
+    data::Dataset slice(train.size(), pq.sub_dim_);
+    for (std::size_t i = 0; i < train.size(); ++i) {
+      const float* src = train.row(i) + sub * pq.sub_dim_;
+      std::copy(src, src + pq.sub_dim_, slice.row(i));
+    }
+    KMeansParams km;
+    km.k = params.ks;
+    km.max_iters = params.train_iters;
+    km.seed = params.seed + sub * 7919;
+    const KMeansResult res = kmeans(slice, km);
+    for (std::size_t c = 0; c < params.ks; ++c) {
+      float* dst = pq.codebooks_.data() +
+                   (sub * params.ks + c) * pq.sub_dim_;
+      std::copy(res.centroids.row(c), res.centroids.row(c) + pq.sub_dim_, dst);
+    }
+  }
+  return pq;
+}
+
+void ProductQuantizer::encode(const float* v, std::uint8_t* code) const {
+  for (std::size_t sub = 0; sub < params_.m; ++sub) {
+    const float* part = v + sub * sub_dim_;
+    std::size_t best = 0;
+    float best_d = std::numeric_limits<float>::infinity();
+    for (std::size_t c = 0; c < params_.ks; ++c) {
+      const float d = simd::l2_sq(part, centroid(sub, c), sub_dim_);
+      if (d < best_d) {
+        best_d = d;
+        best = c;
+      }
+    }
+    code[sub] = std::uint8_t(best);
+  }
+}
+
+std::vector<std::uint8_t> ProductQuantizer::encode(const float* v) const {
+  std::vector<std::uint8_t> code(params_.m);
+  encode(v, code.data());
+  return code;
+}
+
+std::vector<std::uint8_t> ProductQuantizer::encode_dataset(
+    const data::Dataset& data) const {
+  ANNSIM_CHECK(data.dim() == dim_);
+  std::vector<std::uint8_t> codes(data.size() * params_.m);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    encode(data.row(i), codes.data() + i * params_.m);
+  }
+  return codes;
+}
+
+std::vector<float> ProductQuantizer::decode(const std::uint8_t* code) const {
+  std::vector<float> out(dim_);
+  for (std::size_t sub = 0; sub < params_.m; ++sub) {
+    const float* c = centroid(sub, code[sub]);
+    std::copy(c, c + sub_dim_, out.data() + sub * sub_dim_);
+  }
+  return out;
+}
+
+std::vector<float> ProductQuantizer::adc_table(const float* query) const {
+  std::vector<float> table(params_.m * params_.ks);
+  for (std::size_t sub = 0; sub < params_.m; ++sub) {
+    const float* part = query + sub * sub_dim_;
+    float* row = table.data() + sub * params_.ks;
+    for (std::size_t c = 0; c < params_.ks; ++c) {
+      row[c] = simd::l2_sq(part, centroid(sub, c), sub_dim_);
+    }
+  }
+  return table;
+}
+
+float ProductQuantizer::adc_distance(const std::vector<float>& table,
+                                     const std::uint8_t* code) const {
+  float acc = 0.f;
+  for (std::size_t sub = 0; sub < params_.m; ++sub) {
+    acc += table[sub * params_.ks + code[sub]];
+  }
+  return acc;
+}
+
+void ProductQuantizer::serialize(BinaryWriter& w) const {
+  w.write(std::uint32_t{0x50513144});  // "PQ1D"
+  w.write(std::uint64_t(params_.m));
+  w.write(std::uint64_t(params_.ks));
+  w.write(std::uint64_t(params_.train_iters));
+  w.write(params_.seed);
+  w.write(std::uint64_t(dim_));
+  w.write_vector(codebooks_);
+}
+
+ProductQuantizer ProductQuantizer::deserialize(BinaryReader& r) {
+  ANNSIM_CHECK_MSG(r.read<std::uint32_t>() == 0x50513144, "bad PQ magic");
+  ProductQuantizer pq;
+  pq.params_.m = r.read<std::uint64_t>();
+  pq.params_.ks = r.read<std::uint64_t>();
+  pq.params_.train_iters = r.read<std::uint64_t>();
+  pq.params_.seed = r.read<std::uint64_t>();
+  pq.dim_ = r.read<std::uint64_t>();
+  ANNSIM_CHECK(pq.params_.m > 0 && pq.dim_ % pq.params_.m == 0);
+  pq.sub_dim_ = pq.dim_ / pq.params_.m;
+  pq.codebooks_ = r.read_vector<float>();
+  ANNSIM_CHECK(pq.codebooks_.size() ==
+               pq.params_.m * pq.params_.ks * pq.sub_dim_);
+  return pq;
+}
+
+}  // namespace annsim::pq

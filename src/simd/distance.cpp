@@ -1,0 +1,169 @@
+#include "annsim/simd/distance.hpp"
+
+#include <cmath>
+#include <immintrin.h>
+
+namespace annsim::simd {
+
+// ---------------------------------------------------------------- scalar ---
+
+float l2_sq_scalar(const float* a, const float* b, std::size_t dim) noexcept {
+  float acc = 0.f;
+  for (std::size_t i = 0; i < dim; ++i) {
+    const float d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+float inner_product_scalar(const float* a, const float* b, std::size_t dim) noexcept {
+  float acc = 0.f;
+  for (std::size_t i = 0; i < dim; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+float l1_scalar(const float* a, const float* b, std::size_t dim) noexcept {
+  float acc = 0.f;
+  for (std::size_t i = 0; i < dim; ++i) acc += std::fabs(a[i] - b[i]);
+  return acc;
+}
+
+// ------------------------------------------------------------- AVX2+FMA ---
+
+namespace {
+
+__attribute__((target("avx2,fma"))) float hsum256(__m256 v) noexcept {
+  __m128 lo = _mm256_castps256_ps128(v);
+  __m128 hi = _mm256_extractf128_ps(v, 1);
+  lo = _mm_add_ps(lo, hi);
+  __m128 shuf = _mm_movehdup_ps(lo);
+  __m128 sums = _mm_add_ps(lo, shuf);
+  shuf = _mm_movehl_ps(shuf, sums);
+  sums = _mm_add_ss(sums, shuf);
+  return _mm_cvtss_f32(sums);
+}
+
+__attribute__((target("avx2,fma"))) float l2_sq_avx2(const float* a, const float* b,
+                                                     std::size_t dim) noexcept {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 16 <= dim; i += 16) {
+    const __m256 d0 = _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    const __m256 d1 =
+        _mm256_sub_ps(_mm256_loadu_ps(a + i + 8), _mm256_loadu_ps(b + i + 8));
+    acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+    acc1 = _mm256_fmadd_ps(d1, d1, acc1);
+  }
+  for (; i + 8 <= dim; i += 8) {
+    const __m256 d = _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    acc0 = _mm256_fmadd_ps(d, d, acc0);
+  }
+  float acc = hsum256(_mm256_add_ps(acc0, acc1));
+  for (; i < dim; ++i) {
+    const float d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+__attribute__((target("avx2,fma"))) float ip_avx2(const float* a, const float* b,
+                                                  std::size_t dim) noexcept {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 16 <= dim; i += 16) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i), acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 8), _mm256_loadu_ps(b + i + 8), acc1);
+  }
+  for (; i + 8 <= dim; i += 8) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i), acc0);
+  }
+  float acc = hsum256(_mm256_add_ps(acc0, acc1));
+  for (; i < dim; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+__attribute__((target("avx2,fma"))) float l1_avx2(const float* a, const float* b,
+                                                  std::size_t dim) noexcept {
+  const __m256 sign_mask = _mm256_set1_ps(-0.0f);
+  __m256 acc = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 8 <= dim; i += 8) {
+    const __m256 d = _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    acc = _mm256_add_ps(acc, _mm256_andnot_ps(sign_mask, d));
+  }
+  float s = hsum256(acc);
+  for (; i < dim; ++i) s += std::fabs(a[i] - b[i]);
+  return s;
+}
+
+bool cpu_has_avx2_fma() noexcept {
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+}
+
+using Kernel = float (*)(const float*, const float*, std::size_t) noexcept;
+
+struct Dispatch {
+  Kernel l2_sq;
+  Kernel ip;
+  Kernel l1;
+  bool avx2;
+};
+
+const Dispatch& dispatch() noexcept {
+  static const Dispatch d = [] {
+    if (cpu_has_avx2_fma()) return Dispatch{l2_sq_avx2, ip_avx2, l1_avx2, true};
+    return Dispatch{l2_sq_scalar, inner_product_scalar, l1_scalar, false};
+  }();
+  return d;
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- public ---
+
+float l2_sq(const float* a, const float* b, std::size_t dim) noexcept {
+  return dispatch().l2_sq(a, b, dim);
+}
+
+float inner_product(const float* a, const float* b, std::size_t dim) noexcept {
+  return dispatch().ip(a, b, dim);
+}
+
+float l1(const float* a, const float* b, std::size_t dim) noexcept {
+  return dispatch().l1(a, b, dim);
+}
+
+float l2_norm(const float* a, std::size_t dim) noexcept {
+  return std::sqrt(dispatch().ip(a, a, dim));
+}
+
+std::string kernel_isa() { return dispatch().avx2 ? "avx2+fma" : "scalar"; }
+
+const char* metric_name(Metric m) noexcept {
+  switch (m) {
+    case Metric::kL2: return "L2";
+    case Metric::kL1: return "L1";
+    case Metric::kInnerProduct: return "InnerProduct";
+    case Metric::kCosine: return "Cosine";
+  }
+  return "?";
+}
+
+float DistanceComputer::operator()(const float* a, const float* b) const noexcept {
+  switch (metric_) {
+    case Metric::kL2: return std::sqrt(l2_sq(a, b, dim_));
+    case Metric::kL1: return l1(a, b, dim_);
+    case Metric::kInnerProduct: return 1.0f - inner_product(a, b, dim_);
+    case Metric::kCosine: {
+      const float na = l2_norm(a, dim_);
+      const float nb = l2_norm(b, dim_);
+      if (na == 0.f || nb == 0.f) return 1.0f;
+      return 1.0f - inner_product(a, b, dim_) / (na * nb);
+    }
+  }
+  return 0.f;
+}
+
+}  // namespace annsim::simd

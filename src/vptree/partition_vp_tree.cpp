@@ -1,0 +1,240 @@
+#include "annsim/vptree/partition_vp_tree.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <queue>
+
+#include "annsim/common/error.hpp"
+#include "annsim/vptree/vantage.hpp"
+
+namespace annsim::vptree {
+
+namespace {
+
+struct Builder {
+  const data::Dataset& data;
+  const PartitionVpTreeParams& params;
+  simd::DistanceComputer dist;
+  std::vector<PartitionVpTree::Node> nodes;
+  std::vector<PartitionId> assignment;
+  PartitionId next_partition = 0;
+  Rng rng;
+
+  Builder(const data::Dataset& d, const PartitionVpTreeParams& p)
+      : data(d),
+        params(p),
+        dist(p.metric, d.dim()),
+        assignment(d.size(), kInvalidPartition),
+        rng(p.seed) {}
+
+  /// Recursively split rows[begin, end) into `parts` partitions.
+  std::int32_t build(std::vector<std::size_t>& rows, std::size_t begin,
+                     std::size_t end, std::size_t parts) {
+    const std::int32_t id = std::int32_t(nodes.size());
+    nodes.emplace_back();
+
+    if (parts == 1) {
+      nodes[id].leaf = next_partition++;
+      for (std::size_t i = begin; i < end; ++i) {
+        assignment[rows[i]] = nodes[id].leaf;
+      }
+      return id;
+    }
+
+    ANNSIM_CHECK_MSG(end - begin >= parts,
+                     "cannot split " << (end - begin) << " rows into " << parts
+                                     << " partitions");
+    const std::span<const std::size_t> range(rows.data() + begin, end - begin);
+    const std::size_t vp_row = select_vantage_point_sampled(
+        data, range, params.vantage_candidates, params.vantage_sample, dist, rng);
+    const float* vp = data.row(vp_row);
+    nodes[id].vp.assign(vp, vp + data.dim());
+
+    // Median split: left = inside the vantage sphere (the paper equates the
+    // median radius with the equipartitioning sphere).
+    const std::size_t mid = begin + (end - begin) / 2;
+    std::nth_element(rows.begin() + std::ptrdiff_t(begin),
+                     rows.begin() + std::ptrdiff_t(mid),
+                     rows.begin() + std::ptrdiff_t(end),
+                     [&](std::size_t a, std::size_t b) {
+                       return dist(vp, data.row(a)) < dist(vp, data.row(b));
+                     });
+    nodes[id].mu = dist(vp, data.row(rows[mid]));
+
+    const std::int32_t left = build(rows, begin, mid, parts / 2);
+    const std::int32_t right = build(rows, mid, end, parts - parts / 2);
+    nodes[id].left = left;
+    nodes[id].right = right;
+    return id;
+  }
+};
+
+}  // namespace
+
+PartitionVpTree::PartitionVpTree(std::vector<Node> nodes, std::int32_t root,
+                                 std::size_t n_partitions, std::size_t dim,
+                                 PartitionVpTreeParams params)
+    : nodes_(std::move(nodes)),
+      root_(root),
+      n_partitions_(n_partitions),
+      dim_(dim),
+      params_(params) {}
+
+PartitionBuildResult PartitionVpTree::build(const data::Dataset& data,
+                                            const PartitionVpTreeParams& params) {
+  ANNSIM_CHECK(params.target_partitions >= 1);
+  ANNSIM_CHECK_MSG(std::has_single_bit(params.target_partitions),
+                   "target_partitions must be a power of two");
+  ANNSIM_CHECK(data.size() >= params.target_partitions);
+  ANNSIM_CHECK_MSG(simd::is_true_metric(params.metric),
+                   "VP routing requires a true metric");
+
+  Builder b(data, params);
+  std::vector<std::size_t> rows(data.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  const std::int32_t root = b.build(rows, 0, rows.size(), params.target_partitions);
+
+  PartitionBuildResult result{
+      PartitionVpTree(std::move(b.nodes), root, params.target_partitions,
+                      data.dim(), params),
+      std::move(b.assignment),
+      {}};
+  result.partition_sizes.assign(params.target_partitions, 0);
+  for (PartitionId p : result.assignment) {
+    ANNSIM_CHECK(p != kInvalidPartition);
+    ++result.partition_sizes[p];
+  }
+  return result;
+}
+
+std::vector<PartitionId> PartitionVpTree::route_ball(const float* query,
+                                                     float radius) const {
+  ANNSIM_CHECK(root_ >= 0);
+  const simd::DistanceComputer dist(params_.metric, dim_);
+  std::vector<PartitionId> out;
+  std::vector<std::int32_t> stack{root_};
+  while (!stack.empty()) {
+    const Node& n = nodes_[std::size_t(stack.back())];
+    stack.pop_back();
+    if (n.leaf != kInvalidPartition) {
+      out.push_back(n.leaf);
+      continue;
+    }
+    const float d = dist(query, n.vp.data());
+    if (d - radius <= n.mu) stack.push_back(n.left);    // ball reaches inside
+    if (d + radius >= n.mu) stack.push_back(n.right);   // ball reaches outside
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+PartitionId PartitionVpTree::route_nearest(const float* query) const {
+  ANNSIM_CHECK(root_ >= 0);
+  const simd::DistanceComputer dist(params_.metric, dim_);
+  std::int32_t cur = root_;
+  for (;;) {
+    const Node& n = nodes_[std::size_t(cur)];
+    if (n.leaf != kInvalidPartition) return n.leaf;
+    cur = dist(query, n.vp.data()) < n.mu ? n.left : n.right;
+  }
+}
+
+RoutingDecision PartitionVpTree::route_topk(const float* query,
+                                            std::size_t max_partitions) const {
+  ANNSIM_CHECK(root_ >= 0);
+  ANNSIM_CHECK(max_partitions >= 1);
+  const simd::DistanceComputer dist(params_.metric, dim_);
+
+  // Best-first traversal on the lower-bound distance from the query to each
+  // subtree's region (|d(q,vp) - mu| across the separating sphere).
+  struct Entry {
+    float lb;
+    std::int32_t node;
+  };
+  const auto worse = [](const Entry& a, const Entry& b) noexcept {
+    return a.lb > b.lb;  // min-heap on lower bound
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(worse)> heap(worse);
+  heap.push({0.f, root_});
+
+  RoutingDecision out;
+  while (!heap.empty() && out.partitions.size() < max_partitions) {
+    const Entry e = heap.top();
+    heap.pop();
+    const Node& n = nodes_[std::size_t(e.node)];
+    if (n.leaf != kInvalidPartition) {
+      out.partitions.push_back(n.leaf);
+      out.lower_bounds.push_back(e.lb);
+      continue;
+    }
+    const float d = dist(query, n.vp.data());
+    const float left_lb = d < n.mu ? e.lb : std::max(e.lb, d - n.mu);
+    const float right_lb = d >= n.mu ? e.lb : std::max(e.lb, n.mu - d);
+    heap.push({left_lb, n.left});
+    heap.push({right_lb, n.right});
+  }
+  return out;
+}
+
+std::size_t PartitionVpTree::depth() const {
+  if (root_ < 0) return 0;
+  std::size_t max_depth = 0;
+  std::vector<std::pair<std::int32_t, std::size_t>> stack{{root_, 0}};
+  while (!stack.empty()) {
+    auto [node, d] = stack.back();
+    stack.pop_back();
+    const Node& n = nodes_[std::size_t(node)];
+    if (n.leaf != kInvalidPartition) {
+      max_depth = std::max(max_depth, d);
+      continue;
+    }
+    stack.push_back({n.left, d + 1});
+    stack.push_back({n.right, d + 1});
+  }
+  return max_depth;
+}
+
+void PartitionVpTree::serialize(BinaryWriter& w) const {
+  w.write(std::uint32_t{0x56505431});  // "VPT1"
+  w.write(std::uint64_t(n_partitions_));
+  w.write(std::uint64_t(dim_));
+  w.write(std::int32_t(root_));
+  w.write(std::int32_t(params_.metric));
+  w.write(std::uint64_t(params_.target_partitions));
+  w.write(std::uint64_t(params_.vantage_candidates));
+  w.write(std::uint64_t(params_.vantage_sample));
+  w.write(params_.seed);
+  w.write(std::uint64_t(nodes_.size()));
+  for (const Node& n : nodes_) {
+    w.write_span(std::span<const float>(n.vp));
+    w.write(n.mu);
+    w.write(n.left);
+    w.write(n.right);
+    w.write(n.leaf);
+  }
+}
+
+PartitionVpTree PartitionVpTree::deserialize(BinaryReader& r) {
+  ANNSIM_CHECK_MSG(r.read<std::uint32_t>() == 0x56505431, "bad VPT file magic");
+  PartitionVpTree t;
+  t.n_partitions_ = r.read<std::uint64_t>();
+  t.dim_ = r.read<std::uint64_t>();
+  t.root_ = r.read<std::int32_t>();
+  t.params_.metric = simd::Metric(r.read<std::int32_t>());
+  t.params_.target_partitions = r.read<std::uint64_t>();
+  t.params_.vantage_candidates = r.read<std::uint64_t>();
+  t.params_.vantage_sample = r.read<std::uint64_t>();
+  t.params_.seed = r.read<std::uint64_t>();
+  const auto n_nodes = r.read<std::uint64_t>();
+  t.nodes_.resize(n_nodes);
+  for (auto& n : t.nodes_) {
+    n.vp = r.read_vector<float>();
+    n.mu = r.read<float>();
+    n.left = r.read<std::int32_t>();
+    n.right = r.read<std::int32_t>();
+    n.leaf = r.read<PartitionId>();
+  }
+  return t;
+}
+
+}  // namespace annsim::vptree

@@ -1,0 +1,65 @@
+#include "annsim/vptree/vantage.hpp"
+
+#include <algorithm>
+
+#include "annsim/common/error.hpp"
+#include "annsim/common/stats.hpp"
+
+namespace annsim::vptree {
+
+double vantage_spread(const float* candidate, const data::Dataset& data,
+                      std::span<const std::size_t> eval_rows,
+                      const simd::DistanceComputer& dist) {
+  ANNSIM_CHECK(!eval_rows.empty());
+  std::vector<double> dists;
+  dists.reserve(eval_rows.size());
+  for (std::size_t r : eval_rows) {
+    dists.push_back(dist(candidate, data.row(r)));
+  }
+  const double med = median(dists);
+  double second_moment = 0.0;
+  for (double d : dists) {
+    const double dev = d - med;
+    second_moment += dev * dev;
+  }
+  return second_moment / double(dists.size());
+}
+
+std::size_t select_vantage_point(const data::Dataset& data,
+                                 std::span<const std::size_t> candidate_rows,
+                                 std::span<const std::size_t> eval_rows,
+                                 const simd::DistanceComputer& dist) {
+  ANNSIM_CHECK(!candidate_rows.empty() && !eval_rows.empty());
+  std::size_t best = candidate_rows[0];
+  double best_spread = -1.0;
+  for (std::size_t c : candidate_rows) {
+    const double spread = vantage_spread(data.row(c), data, eval_rows, dist);
+    if (spread > best_spread) {
+      best_spread = spread;
+      best = c;
+    }
+  }
+  return best;
+}
+
+std::size_t select_vantage_point_sampled(const data::Dataset& data,
+                                         std::span<const std::size_t> rows,
+                                         std::size_t n_candidates,
+                                         std::size_t n_eval,
+                                         const simd::DistanceComputer& dist,
+                                         Rng& rng) {
+  ANNSIM_CHECK(!rows.empty());
+  auto sample = [&](std::size_t n) {
+    std::vector<std::size_t> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(rows[rng.uniform_below(rows.size())]);
+    }
+    return out;
+  };
+  const auto candidates = sample(std::min(n_candidates, rows.size()));
+  const auto eval = sample(std::min(n_eval, rows.size()));
+  return select_vantage_point(data, candidates, eval, dist);
+}
+
+}  // namespace annsim::vptree

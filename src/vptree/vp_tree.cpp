@@ -1,0 +1,105 @@
+#include "annsim/vptree/vp_tree.hpp"
+
+#include <algorithm>
+
+#include "annsim/common/error.hpp"
+#include "annsim/common/topk.hpp"
+#include "annsim/vptree/vantage.hpp"
+
+namespace annsim::vptree {
+
+/// Thin adapter bundling the TopK with an eval counter during recursion.
+class TopKRef {
+ public:
+  TopKRef(std::size_t k, std::size_t* evals) : topk_(k), evals_(evals) {}
+  TopK topk_;
+  std::size_t* evals_;
+};
+
+VpTree::VpTree(const data::Dataset* data, VpTreeParams params)
+    : data_(data),
+      params_(params),
+      dist_(params.metric, data->dim()) {
+  ANNSIM_CHECK(data_ != nullptr);
+  ANNSIM_CHECK_MSG(simd::is_true_metric(params_.metric),
+                   "VP-tree requires a true metric");
+  if (data_->empty()) return;
+  std::vector<std::size_t> rows(data_->size());
+  for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  nodes_.reserve(data_->size());
+  Rng rng(params_.seed);
+  root_ = build(rows, 0, rows.size(), rng);
+}
+
+std::int32_t VpTree::build(std::vector<std::size_t>& rows, std::size_t begin,
+                           std::size_t end, Rng& rng) {
+  if (begin >= end) return -1;
+  const std::int32_t id = std::int32_t(nodes_.size());
+  nodes_.emplace_back();
+
+  const std::span<const std::size_t> range(rows.data() + begin, end - begin);
+  const std::size_t vp_row =
+      range.size() == 1
+          ? range[0]
+          : select_vantage_point_sampled(*data_, range,
+                                         params_.vantage_candidates,
+                                         params_.vantage_sample, dist_, rng);
+  nodes_[id].row = vp_row;
+
+  // Move the vantage point out of the working range.
+  const auto it = std::find(rows.begin() + std::ptrdiff_t(begin),
+                            rows.begin() + std::ptrdiff_t(end), vp_row);
+  std::iter_swap(it, rows.begin() + std::ptrdiff_t(begin));
+  const std::size_t lo = begin + 1;
+  if (lo >= end) return id;  // leaf: vantage point only
+
+  // Median split on distance to the vantage point.
+  const float* vp = data_->row(vp_row);
+  const std::size_t mid = lo + (end - lo) / 2;
+  std::nth_element(rows.begin() + std::ptrdiff_t(lo),
+                   rows.begin() + std::ptrdiff_t(mid),
+                   rows.begin() + std::ptrdiff_t(end),
+                   [&](std::size_t a, std::size_t b) {
+                     return dist_(vp, data_->row(a)) < dist_(vp, data_->row(b));
+                   });
+  nodes_[id].mu = dist_(vp, data_->row(rows[mid]));
+
+  const std::int32_t left = build(rows, lo, mid, rng);
+  const std::int32_t right = build(rows, mid, end, rng);
+  nodes_[id].left = left;
+  nodes_[id].right = right;
+  return id;
+}
+
+void VpTree::search_node(std::int32_t node, const float* query,
+                         TopKRef& ref) const {
+  if (node < 0) return;
+  const Node& n = nodes_[std::size_t(node)];
+  const float d = dist_(query, data_->row(n.row));
+  if (ref.evals_ != nullptr) ++*ref.evals_;
+  ref.topk_.push(d, data_->id(n.row));
+
+  if (n.left < 0 && n.right < 0) return;
+  const float tau = ref.topk_.worst_dist();
+
+  if (d < n.mu) {
+    // Query ball centred inside the vantage sphere: search left first.
+    if (d - tau <= n.mu) search_node(n.left, query, ref);
+    if (d + ref.topk_.worst_dist() >= n.mu) search_node(n.right, query, ref);
+  } else {
+    if (d + tau >= n.mu) search_node(n.right, query, ref);
+    if (d - ref.topk_.worst_dist() <= n.mu) search_node(n.left, query, ref);
+  }
+}
+
+std::vector<Neighbor> VpTree::search(const float* query, std::size_t k,
+                                     std::size_t* evals_out) const {
+  ANNSIM_CHECK(k > 0);
+  if (root_ < 0) return {};
+  if (evals_out != nullptr) *evals_out = 0;
+  TopKRef ref(k, evals_out);
+  search_node(root_, query, ref);
+  return ref.topk_.take_sorted();
+}
+
+}  // namespace annsim::vptree

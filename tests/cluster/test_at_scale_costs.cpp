@@ -1,0 +1,78 @@
+/// The at-scale cost corrections feeding the performance plane: smooth
+/// memory ramp, beam overrides, and the KD traversal overhead.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "annsim/cluster/calibration.hpp"
+
+namespace annsim::cluster {
+namespace {
+
+TEST(AtScaleCosts, MemoryFactorIsOneWhenCacheResident) {
+  const auto c = default_costs();
+  EXPECT_DOUBLE_EQ(c.memory_factor(100), 1.0);
+  EXPECT_DOUBLE_EQ(c.memory_factor(c.cache_resident_n), 1.0);
+}
+
+TEST(AtScaleCosts, MemoryFactorRampsSmoothly) {
+  const auto c = default_costs();
+  // The ramp is linear in log n: each doubling adds at most
+  // (dram_penalty - 1) * ln2 / ln32 — no cliffs.
+  const double max_step = (c.dram_penalty - 1.0) * std::log(2.0) /
+                              std::log(32.0) +
+                          1e-9;
+  double prev = 1.0;
+  for (std::size_t n = c.cache_resident_n; n < 100'000'000; n *= 2) {
+    const double f = c.memory_factor(n);
+    EXPECT_GE(f, prev);            // monotone
+    EXPECT_LE(f, c.dram_penalty);  // bounded
+    EXPECT_LE(f - prev, max_step);
+    prev = f;
+  }
+  EXPECT_NEAR(c.memory_factor(1'000'000'000), c.dram_penalty, 1e-9);
+}
+
+TEST(AtScaleCosts, AtScaleQueryIncludesBeamAndMemory) {
+  const auto c = default_costs();
+  const std::size_t n = 1'000'000;
+  EXPECT_NEAR(c.hnsw_query_seconds_at_scale(n),
+              c.hnsw_query_seconds(n) * c.beam_ratio * c.memory_factor(n),
+              1e-12);
+}
+
+TEST(AtScaleCosts, BeamOverrideReplacesDefault) {
+  const auto c = default_costs();
+  const std::size_t n = 500'000;
+  EXPECT_NEAR(c.hnsw_query_seconds_at_scale(n, 2.0),
+              c.hnsw_query_seconds_at_scale(n) * 2.0 / c.beam_ratio, 1e-12);
+}
+
+TEST(AtScaleCosts, ExactScanScalesWithFraction) {
+  const auto c = default_costs();
+  const std::size_t n = 200'000;
+  EXPECT_NEAR(c.exact_search_seconds_at_scale(n, 0.5),
+              c.exact_search_seconds_at_scale(n, 1.0) * 0.5, 1e-12);
+}
+
+TEST(AtScaleCosts, ExactScanIncludesTraversalOverhead) {
+  auto c = default_costs();
+  const std::size_t n = 200'000;
+  const double with3 = c.exact_search_seconds_at_scale(n, 1.0);
+  c.kd_traversal_overhead = 1.0;
+  const double with1 = c.exact_search_seconds_at_scale(n, 1.0);
+  EXPECT_NEAR(with3 / with1, 3.0, 1e-9);
+}
+
+TEST(AtScaleCosts, HnswBeatsExactScanAtPaperPartitionSizes) {
+  // The Table III mechanism at the cost level: on a 122k-point partition
+  // (1B / 8192 cores) a beam search must be far cheaper than a full scan.
+  const auto c = default_costs();
+  const std::size_t n = 1'000'000'000 / 8192;
+  EXPECT_LT(c.hnsw_query_seconds_at_scale(n),
+            c.exact_search_seconds_at_scale(n, 0.8));
+}
+
+}  // namespace
+}  // namespace annsim::cluster

@@ -1,0 +1,73 @@
+#include "annsim/cluster/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+#include "annsim/data/recipes.hpp"
+
+namespace annsim::cluster {
+namespace {
+
+TEST(CalibratedCosts, DefaultsArePositiveAndOrdered) {
+  const auto c = default_costs();
+  EXPECT_GT(c.dist_eval, 0.0);
+  EXPECT_GT(c.hnsw_query_c, 0.0);
+  EXPECT_GT(c.hnsw_insert_c, 0.0);
+  EXPECT_GT(c.exact_scan_per_point, 0.0);
+  // One HNSW query at n=1e6 must be far cheaper than an exact scan.
+  EXPECT_LT(c.hnsw_query_seconds(1'000'000), c.exact_search_seconds(1'000'000));
+}
+
+TEST(CalibratedCosts, QueryCostGrowsLogarithmically) {
+  const auto c = default_costs();
+  const double t1k = c.hnsw_query_seconds(1'000);
+  const double t1m = c.hnsw_query_seconds(1'000'000);
+  EXPECT_GT(t1m, t1k);
+  EXPECT_LT(t1m, 3.0 * t1k);  // ln growth, not linear
+}
+
+TEST(CalibratedCosts, BuildCostSuperlinearInN) {
+  const auto c = default_costs();
+  EXPECT_GT(c.hnsw_build_seconds(200'000), 10.0 * c.hnsw_build_seconds(10'000));
+}
+
+TEST(CalibratedCosts, CoreSpeedRatioScalesEverything) {
+  auto c = default_costs();
+  const double base = c.hnsw_query_seconds(100'000);
+  c.core_speed_ratio = 2.0;
+  EXPECT_DOUBLE_EQ(c.hnsw_query_seconds(100'000), 2.0 * base);
+}
+
+TEST(CalibratedCosts, RouteCostGrowsWithPartitions) {
+  const auto c = default_costs();
+  EXPECT_GT(c.route_seconds(8192), c.route_seconds(256));
+}
+
+TEST(Calibrate, MeasuresPlausibleConstantsOnRealKernels) {
+  auto w = data::make_sift_like(20000, 64, 5);
+  CalibrationConfig cfg;
+  cfg.small_n = 2000;
+  cfg.large_n = 8000;
+  cfg.n_queries = 16;
+  cfg.hnsw.M = 8;
+  cfg.hnsw.ef_construction = 40;
+  const auto c = calibrate(w.base, w.queries, cfg);
+  // Sanity windows, generous enough for any host.
+  EXPECT_GT(c.dist_eval, 1e-10);
+  EXPECT_LT(c.dist_eval, 1e-4);
+  EXPECT_GT(c.hnsw_query_c, 1e-9);
+  EXPECT_LT(c.hnsw_query_c, 1e-1);
+  EXPECT_GT(c.hnsw_insert_c, 1e-9);
+  EXPECT_GT(c.exact_scan_per_point, c.dist_eval * 0.5);
+  EXPECT_GT(c.route_c, 0.0);
+}
+
+TEST(Calibrate, ValidatesConfig) {
+  auto w = data::make_sift_like(1000, 8, 6);
+  CalibrationConfig cfg;
+  cfg.small_n = 500;
+  cfg.large_n = 2000;  // larger than the dataset
+  EXPECT_THROW((void)calibrate(w.base, w.queries, cfg), Error);
+}
+
+}  // namespace
+}  // namespace annsim::cluster

@@ -1,0 +1,57 @@
+#include "annsim/cluster/machine_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace annsim::cluster {
+namespace {
+
+TEST(MachineModel, NodeMapping) {
+  MachineModel m;  // 24 cores/node
+  EXPECT_EQ(m.node_of_core(0), 0u);
+  EXPECT_EQ(m.node_of_core(23), 0u);
+  EXPECT_EQ(m.node_of_core(24), 1u);
+  EXPECT_EQ(m.node_of_core(8191), 341u);
+}
+
+TEST(MachineModel, NodesForCoresRoundsUp) {
+  MachineModel m;
+  EXPECT_EQ(m.nodes_for_cores(1), 1u);
+  EXPECT_EQ(m.nodes_for_cores(24), 1u);
+  EXPECT_EQ(m.nodes_for_cores(25), 2u);
+  EXPECT_EQ(m.nodes_for_cores(8192), 342u);
+}
+
+TEST(MachineModel, IntraNodeFasterThanInterNode) {
+  MachineModel m;
+  const double intra = m.message_seconds(0, 1, 1024);
+  const double inter = m.message_seconds(0, 24, 1024);
+  EXPECT_LT(intra, inter);
+}
+
+TEST(MachineModel, HockneyLatencyPlusBandwidth) {
+  MachineParams p;
+  p.inter_node_latency = 1e-6;
+  p.inter_node_bandwidth = 1e9;
+  MachineModel m(p);
+  EXPECT_DOUBLE_EQ(m.message_seconds(0, 100, 0), 1e-6);
+  EXPECT_DOUBLE_EQ(m.message_seconds(0, 100, 1000), 1e-6 + 1e-6);
+}
+
+TEST(MachineModel, MessageTimeMonotoneInSize) {
+  MachineModel m;
+  double prev = 0.0;
+  for (std::size_t bytes : {0u, 64u, 4096u, 1u << 20}) {
+    const double t = m.message_seconds(0, 100, bytes);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(MachineModel, RmaCostsAtLeastLatency) {
+  MachineModel m;
+  EXPECT_GE(m.rma_seconds(0), m.params().rma_op_latency);
+  EXPECT_GT(m.rma_seconds(1 << 20), m.rma_seconds(64));
+}
+
+}  // namespace
+}  // namespace annsim::cluster

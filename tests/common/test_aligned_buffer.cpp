@@ -1,0 +1,81 @@
+#include "annsim/common/aligned_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace annsim {
+namespace {
+
+TEST(AlignedBuffer, DataIsSimdAligned) {
+  AlignedBuffer<float> buf(37);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % kSimdAlignment, 0u);
+  EXPECT_EQ(buf.size(), 37u);
+}
+
+TEST(AlignedBuffer, ZeroInitialized) {
+  AlignedBuffer<float> buf(100);
+  for (std::size_t i = 0; i < buf.size(); ++i) EXPECT_EQ(buf[i], 0.f);
+}
+
+TEST(AlignedBuffer, EmptyBuffer) {
+  AlignedBuffer<double> buf;
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.data(), nullptr);
+  AlignedBuffer<double> zero(0);
+  EXPECT_TRUE(zero.empty());
+}
+
+TEST(AlignedBuffer, CopyIsDeep) {
+  AlignedBuffer<int> a(4);
+  a[0] = 7;
+  AlignedBuffer<int> b(a);
+  b[0] = 9;
+  EXPECT_EQ(a[0], 7);
+  EXPECT_EQ(b[0], 9);
+  EXPECT_NE(a.data(), b.data());
+}
+
+TEST(AlignedBuffer, CopyAssign) {
+  AlignedBuffer<int> a(4), b(2);
+  a[3] = 5;
+  b = a;
+  EXPECT_EQ(b.size(), 4u);
+  EXPECT_EQ(b[3], 5);
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  AlignedBuffer<int> a(4);
+  a[1] = 3;
+  int* p = a.data();
+  AlignedBuffer<int> b(std::move(a));
+  EXPECT_EQ(b.data(), p);
+  EXPECT_EQ(b[1], 3);
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(AlignedBuffer, ResetReallocates) {
+  AlignedBuffer<float> buf(8);
+  buf[0] = 1.f;
+  buf.reset(16);
+  EXPECT_EQ(buf.size(), 16u);
+  EXPECT_EQ(buf[0], 0.f);  // zero-filled again
+}
+
+TEST(AlignedBuffer, SpanViewsWholeBuffer) {
+  AlignedBuffer<int> buf(5);
+  auto s = buf.span();
+  EXPECT_EQ(s.size(), 5u);
+  EXPECT_EQ(s.data(), buf.data());
+}
+
+TEST(AlignedBuffer, SelfAssignIsNoop) {
+  AlignedBuffer<int> a(3);
+  a[0] = 4;
+  a = *&a;
+  EXPECT_EQ(a[0], 4);
+  EXPECT_EQ(a.size(), 3u);
+}
+
+}  // namespace
+}  // namespace annsim

@@ -1,0 +1,114 @@
+#include "annsim/common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "annsim/common/error.hpp"
+#include "annsim/common/rng.hpp"
+
+namespace annsim {
+namespace {
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(x);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 15.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeEqualsSingleStream) {
+  Rng rng(1);
+  RunningStats whole, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(5.0, 3.0);
+    whole.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(2.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Percentile, KnownValues) {
+  std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 2.0);
+}
+
+TEST(Percentile, Interpolates) {
+  std::vector<double> v{0, 10};
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 10), 1.0);
+}
+
+TEST(Percentile, SingleElement) {
+  std::vector<double> v{7};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 99), 7.0);
+}
+
+TEST(Percentile, RejectsEmptyAndBadP) {
+  std::vector<double> empty;
+  EXPECT_THROW(percentile(empty, 50), Error);
+  std::vector<double> v{1.0};
+  EXPECT_THROW(percentile(v, -1), Error);
+  EXPECT_THROW(percentile(v, 101), Error);
+}
+
+TEST(Median, OddAndEven) {
+  std::vector<double> odd{3, 1, 2};
+  EXPECT_DOUBLE_EQ(median(odd), 2.0);
+  std::vector<double> even{4, 1, 3, 2};
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+}
+
+TEST(Summary, FiveNumbers) {
+  std::vector<double> v{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const Summary s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.median, 5.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.p25, 3.0);
+  EXPECT_DOUBLE_EQ(s.p75, 7.0);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_EQ(s.count, 9u);
+}
+
+TEST(Summary, EmptyIsAllZero) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+}
+
+TEST(Summary, ToStringMentionsMean) {
+  std::vector<double> v{1, 2, 3};
+  EXPECT_NE(to_string(summarize(v)).find("mean"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace annsim

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "annsim/common/log.hpp"
+#include "annsim/common/timer.hpp"
+
+namespace annsim {
+namespace {
+
+TEST(WallTimer, MonotoneNonNegative) {
+  WallTimer t;
+  const double a = t.seconds();
+  const double b = t.seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+TEST(WallTimer, MeasuresSleep) {
+  WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(t.millis(), 18.0);
+  EXPECT_LT(t.seconds(), 5.0);
+}
+
+TEST(WallTimer, ResetRestarts) {
+  WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  t.reset();
+  EXPECT_LT(t.millis(), 9.0);
+}
+
+TEST(WallTimer, UnitConversions) {
+  WallTimer t;
+  const double s = t.seconds();
+  EXPECT_NEAR(t.millis(), s * 1e3, 2.0);
+  EXPECT_NEAR(t.micros() / 1e6, t.seconds(), 1e-2);
+}
+
+TEST(PhaseTimer, AccumulatesIntervals) {
+  PhaseTimer p;
+  for (int i = 0; i < 3; ++i) {
+    p.start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    p.stop();
+  }
+  EXPECT_EQ(p.intervals(), 3u);
+  EXPECT_GE(p.total_seconds(), 0.012);
+}
+
+TEST(PhaseTimer, StopWithoutStartIsNoop) {
+  PhaseTimer p;
+  p.stop();
+  EXPECT_EQ(p.intervals(), 0u);
+  EXPECT_DOUBLE_EQ(p.total_seconds(), 0.0);
+}
+
+TEST(PhaseTimer, DoubleStopCountsOnce) {
+  PhaseTimer p;
+  p.start();
+  p.stop();
+  p.stop();
+  EXPECT_EQ(p.intervals(), 1u);
+}
+
+TEST(PhaseTimer, ResetClears) {
+  PhaseTimer p;
+  p.start();
+  p.stop();
+  p.reset();
+  EXPECT_EQ(p.intervals(), 0u);
+  EXPECT_DOUBLE_EQ(p.total_seconds(), 0.0);
+}
+
+TEST(ScopedPhase, AddsOnDestruction) {
+  PhaseTimer p;
+  {
+    ScopedPhase guard(p);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(p.intervals(), 1u);
+  EXPECT_GT(p.total_seconds(), 0.003);
+}
+
+TEST(Log, LevelRoundTrip) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kOff);
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+  ANNSIM_INFO("suppressed at kOff: " << 42);  // must not crash
+  set_log_level(before);
+}
+
+TEST(Log, MacroEvaluatesLazily) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kOff);
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return 1;
+  };
+  ANNSIM_DEBUG("value " << expensive());
+  EXPECT_EQ(evaluations, 0);  // below threshold: stream never built
+  set_log_level(before);
+}
+
+}  // namespace
+}  // namespace annsim

@@ -1,0 +1,156 @@
+#include "annsim/common/topk.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "annsim/common/rng.hpp"
+
+namespace annsim {
+namespace {
+
+TEST(TopK, KeepsKSmallest) {
+  TopK t(3);
+  for (float d : {5.f, 1.f, 4.f, 2.f, 3.f}) t.push(d, GlobalId(d));
+  auto out = t.take_sorted();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_FLOAT_EQ(out[0].dist, 1.f);
+  EXPECT_FLOAT_EQ(out[1].dist, 2.f);
+  EXPECT_FLOAT_EQ(out[2].dist, 3.f);
+}
+
+TEST(TopK, WorstDistInfUntilFull) {
+  TopK t(2);
+  EXPECT_EQ(t.worst_dist(), std::numeric_limits<float>::infinity());
+  t.push(1.f, 1);
+  EXPECT_EQ(t.worst_dist(), std::numeric_limits<float>::infinity());
+  t.push(2.f, 2);
+  EXPECT_FLOAT_EQ(t.worst_dist(), 2.f);
+  t.push(0.5f, 3);
+  EXPECT_FLOAT_EQ(t.worst_dist(), 1.f);
+}
+
+TEST(TopK, PushReportsAcceptance) {
+  TopK t(1);
+  EXPECT_TRUE(t.push(2.f, 1));
+  EXPECT_FALSE(t.push(3.f, 2));
+  EXPECT_TRUE(t.push(1.f, 3));
+}
+
+TEST(TopK, RejectsZeroK) { EXPECT_THROW(TopK(0), Error); }
+
+TEST(TopK, TieBreakById) {
+  TopK t(2);
+  t.push(1.f, 9);
+  t.push(1.f, 3);
+  t.push(1.f, 7);
+  auto out = t.take_sorted();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].id, 3u);
+  EXPECT_EQ(out[1].id, 7u);
+}
+
+TEST(TopK, SortedIsNonDestructive) {
+  TopK t(2);
+  t.push(2.f, 1);
+  t.push(1.f, 2);
+  auto copy = t.sorted();
+  EXPECT_EQ(copy.size(), 2u);
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(TopK, MergePullsFromOtherResultSet) {
+  TopK t(3);
+  t.push(5.f, 1);
+  std::vector<Neighbor> other{{1.f, 2}, {2.f, 3}, {9.f, 4}};
+  t.merge(other);
+  auto out = t.take_sorted();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].id, 2u);
+  EXPECT_EQ(out[1].id, 3u);
+  EXPECT_EQ(out[2].id, 1u);
+}
+
+/// Property: TopK over a random stream == sort + truncate.
+class TopKProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TopKProperty, MatchesSortTruncate) {
+  const std::size_t k = GetParam();
+  Rng rng(k * 31 + 1);
+  std::vector<Neighbor> all;
+  TopK t(k);
+  for (int i = 0; i < 500; ++i) {
+    const Neighbor n{rng.uniformf(), GlobalId(i)};
+    all.push_back(n);
+    t.push(n);
+  }
+  std::sort(all.begin(), all.end());
+  all.resize(std::min(all.size(), k));
+  EXPECT_EQ(t.take_sorted(), all);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, TopKProperty,
+                         ::testing::Values(1, 2, 3, 5, 10, 64, 1000));
+
+TEST(MergeSortedKnn, BasicMerge) {
+  std::vector<Neighbor> a{{1.f, 1}, {3.f, 3}};
+  std::vector<Neighbor> b{{2.f, 2}, {4.f, 4}};
+  auto out = merge_sorted_knn(a, b, 3);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].id, 1u);
+  EXPECT_EQ(out[1].id, 2u);
+  EXPECT_EQ(out[2].id, 3u);
+}
+
+TEST(MergeSortedKnn, DropsDuplicateIds) {
+  std::vector<Neighbor> a{{1.f, 7}, {3.f, 8}};
+  std::vector<Neighbor> b{{1.f, 7}, {2.f, 9}};
+  auto out = merge_sorted_knn(a, b, 4);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].id, 7u);
+  EXPECT_EQ(out[1].id, 9u);
+  EXPECT_EQ(out[2].id, 8u);
+}
+
+TEST(MergeSortedKnn, HandlesEmptySides) {
+  std::vector<Neighbor> a;
+  std::vector<Neighbor> b{{2.f, 2}};
+  EXPECT_EQ(merge_sorted_knn(a, b, 3).size(), 1u);
+  EXPECT_EQ(merge_sorted_knn(b, a, 3).size(), 1u);
+  EXPECT_TRUE(merge_sorted_knn(a, a, 3).empty());
+}
+
+TEST(MergeSortedKnn, TruncatesAtK) {
+  std::vector<Neighbor> a{{1.f, 1}, {2.f, 2}, {3.f, 3}};
+  std::vector<Neighbor> b{{1.5f, 4}, {2.5f, 5}};
+  auto out = merge_sorted_knn(a, b, 2);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].id, 1u);
+  EXPECT_EQ(out[1].id, 4u);
+}
+
+/// Property: merge_sorted_knn is associative enough for the RMA accumulate —
+/// merging partitions in any order gives the same final top-k.
+TEST(MergeSortedKnn, OrderIndependentAcrossPartitions) {
+  Rng rng(123);
+  const std::size_t k = 10;
+  std::vector<std::vector<Neighbor>> parts(5);
+  GlobalId id = 0;
+  for (auto& p : parts) {
+    for (int i = 0; i < 20; ++i) p.push_back({rng.uniformf(), id++});
+    std::sort(p.begin(), p.end());
+  }
+  auto merge_order = [&](std::vector<std::size_t> order) {
+    std::vector<Neighbor> acc;
+    for (std::size_t idx : order) {
+      acc = merge_sorted_knn(acc, parts[idx], k);
+    }
+    return acc;
+  };
+  const auto ref = merge_order({0, 1, 2, 3, 4});
+  EXPECT_EQ(ref, merge_order({4, 3, 2, 1, 0}));
+  EXPECT_EQ(ref, merge_order({2, 0, 4, 1, 3}));
+}
+
+}  // namespace
+}  // namespace annsim

@@ -1,0 +1,63 @@
+#include "annsim/core/dataset_transfer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "annsim/common/error.hpp"
+#include "annsim/data/recipes.hpp"
+
+namespace annsim::core {
+namespace {
+
+TEST(DatasetTransfer, PackUnpackRoundTrip) {
+  auto w = data::make_sift_like(50, 1, 801);
+  for (std::size_t i = 0; i < w.base.size(); ++i) w.base.set_id(i, 900 + i);
+  auto bytes = pack_dataset(w.base);
+  auto back = unpack_dataset(bytes, w.base.dim());
+  ASSERT_EQ(back.size(), w.base.size());
+  ASSERT_EQ(back.dim(), w.base.dim());
+  for (std::size_t i = 0; i < back.size(); ++i) {
+    EXPECT_EQ(back.id(i), 900 + i);
+    for (std::size_t j = 0; j < back.dim(); ++j) {
+      EXPECT_EQ(back.row(i)[j], w.base.row(i)[j]);
+    }
+  }
+}
+
+TEST(DatasetTransfer, PackSelectedRows) {
+  auto w = data::make_sift_like(20, 1, 802);
+  std::vector<std::size_t> rows{3, 17, 5};
+  auto bytes = pack_dataset_rows(w.base, rows);
+  auto back = unpack_dataset(bytes, w.base.dim());
+  ASSERT_EQ(back.size(), 3u);
+  EXPECT_EQ(back.id(0), 3u);
+  EXPECT_EQ(back.id(1), 17u);
+  EXPECT_EQ(back.id(2), 5u);
+}
+
+TEST(DatasetTransfer, ConcatenatesMultipleBuffers) {
+  auto w = data::make_sift_like(12, 1, 803);
+  std::vector<std::size_t> a{0, 1}, b{5}, c{};
+  std::vector<std::vector<std::byte>> bufs{
+      pack_dataset_rows(w.base, a), {}, pack_dataset_rows(w.base, b),
+      pack_dataset_rows(w.base, c)};
+  auto back = unpack_datasets(bufs, w.base.dim());
+  ASSERT_EQ(back.size(), 3u);
+  EXPECT_EQ(back.id(2), 5u);
+}
+
+TEST(DatasetTransfer, EmptyPack) {
+  data::Dataset d(0, 16);
+  auto bytes = pack_dataset(d);
+  auto back = unpack_dataset(bytes, 16);
+  EXPECT_EQ(back.size(), 0u);
+}
+
+TEST(DatasetTransfer, TruncatedBufferThrows) {
+  auto w = data::make_sift_like(8, 1, 804);
+  auto bytes = pack_dataset(w.base);
+  bytes.resize(bytes.size() / 2);
+  EXPECT_THROW((void)unpack_dataset(bytes, w.base.dim()), Error);
+}
+
+}  // namespace
+}  // namespace annsim::core

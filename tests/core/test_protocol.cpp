@@ -1,0 +1,121 @@
+#include "annsim/core/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include "annsim/common/rng.hpp"
+
+namespace annsim::core {
+namespace {
+
+TEST(Protocol, QueryJobRoundTrip) {
+  QueryJob job;
+  job.query_id = 42;
+  job.partition = 7;
+  job.k = 10;
+  job.ef = 128;
+  job.reply_to = 3;
+  job.query = {1.f, 2.f, 3.f};
+  auto bytes = encode_query_job(job);
+  QueryJob back = decode_query_job(bytes);
+  EXPECT_EQ(back.query_id, 42u);
+  EXPECT_EQ(back.partition, 7u);
+  EXPECT_EQ(back.k, 10u);
+  EXPECT_EQ(back.ef, 128u);
+  EXPECT_EQ(back.reply_to, 3u);
+  EXPECT_EQ(back.query, job.query);
+}
+
+TEST(Protocol, QueryJobRejectsTrailingGarbage) {
+  auto bytes = encode_query_job({});
+  bytes.push_back(std::byte{1});
+  EXPECT_THROW((void)decode_query_job(bytes), Error);
+}
+
+TEST(Protocol, LocalResultRoundTrip) {
+  LocalResult r;
+  r.query_id = 5;
+  r.partition = 2;
+  r.neighbors = {{0.5f, 100}, {1.5f, 200}};
+  auto bytes = encode_local_result(r);
+  LocalResult back = decode_local_result(bytes);
+  EXPECT_EQ(back.query_id, 5u);
+  EXPECT_EQ(back.partition, 2u);
+  EXPECT_EQ(back.neighbors, r.neighbors);
+}
+
+TEST(SlotLayout, SizesAndOffsets) {
+  SlotLayout layout{10};
+  EXPECT_EQ(layout.slot_bytes(), 8u + 10 * sizeof(Neighbor));
+  EXPECT_EQ(layout.slot_offset(0), 0u);
+  EXPECT_EQ(layout.slot_offset(3), 3 * layout.slot_bytes());
+  EXPECT_EQ(layout.window_bytes(100), 100 * layout.slot_bytes());
+}
+
+TEST(SlotUpdate, PadsWithSentinels) {
+  SlotLayout layout{5};
+  std::vector<Neighbor> two{{1.f, 1}, {2.f, 2}};
+  auto bytes = encode_slot_update(two, layout);
+  EXPECT_EQ(bytes.size(), layout.slot_bytes());
+  DecodedSlot slot = decode_slot(bytes, layout);
+  EXPECT_EQ(slot.merged_count, 1u);
+  ASSERT_EQ(slot.neighbors.size(), 2u);  // sentinels stripped
+  EXPECT_EQ(slot.neighbors[0].id, 1u);
+}
+
+TEST(SlotMerge, EmptySlotTakesOriginAsIs) {
+  SlotLayout layout{3};
+  std::vector<std::byte> slot(layout.slot_bytes());  // zeroed: count == 0
+  std::vector<Neighbor> mine{{1.f, 10}, {2.f, 20}};
+  auto update = encode_slot_update(mine, layout);
+  knn_slot_merge(layout)(slot, update);
+  DecodedSlot out = decode_slot(slot, layout);
+  EXPECT_EQ(out.merged_count, 1u);
+  ASSERT_EQ(out.neighbors.size(), 2u);
+  EXPECT_EQ(out.neighbors[0].id, 10u);
+  EXPECT_EQ(out.neighbors[1].id, 20u);
+}
+
+TEST(SlotMerge, AccumulatesAcrossPartitions) {
+  SlotLayout layout{3};
+  std::vector<std::byte> slot(layout.slot_bytes());
+  const auto merge = knn_slot_merge(layout);
+  merge(slot, encode_slot_update(std::vector<Neighbor>{{3.f, 1}, {5.f, 2}}, layout));
+  merge(slot, encode_slot_update(std::vector<Neighbor>{{1.f, 3}, {4.f, 4}}, layout));
+  merge(slot, encode_slot_update(std::vector<Neighbor>{{2.f, 5}}, layout));
+  DecodedSlot out = decode_slot(slot, layout);
+  EXPECT_EQ(out.merged_count, 3u);
+  ASSERT_EQ(out.neighbors.size(), 3u);
+  EXPECT_EQ(out.neighbors[0].id, 3u);  // 1.0
+  EXPECT_EQ(out.neighbors[1].id, 5u);  // 2.0
+  EXPECT_EQ(out.neighbors[2].id, 1u);  // 3.0
+}
+
+TEST(SlotMerge, OrderIndependent) {
+  SlotLayout layout{4};
+  Rng rng(3);
+  std::vector<std::vector<Neighbor>> parts(4);
+  GlobalId id = 0;
+  for (auto& p : parts) {
+    for (int i = 0; i < 6; ++i) p.push_back({rng.uniformf(), id++});
+    std::sort(p.begin(), p.end());
+  }
+  auto run = [&](std::vector<std::size_t> order) {
+    std::vector<std::byte> slot(layout.slot_bytes());
+    const auto merge = knn_slot_merge(layout);
+    for (auto i : order) merge(slot, encode_slot_update(parts[i], layout));
+    return decode_slot(slot, layout).neighbors;
+  };
+  const auto ref = run({0, 1, 2, 3});
+  EXPECT_EQ(ref, run({3, 2, 1, 0}));
+  EXPECT_EQ(ref, run({1, 3, 0, 2}));
+}
+
+TEST(SlotMerge, ValidatesRegionSizes) {
+  SlotLayout layout{2};
+  std::vector<std::byte> small(4);
+  std::vector<std::byte> slot(layout.slot_bytes());
+  EXPECT_THROW(knn_slot_merge(layout)(slot, small), Error);
+}
+
+}  // namespace
+}  // namespace annsim::core

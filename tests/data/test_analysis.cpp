@@ -1,0 +1,108 @@
+#include "annsim/data/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "annsim/common/rng.hpp"
+#include "annsim/data/recipes.hpp"
+
+namespace annsim::data {
+namespace {
+
+/// Synthetic GT rows following r_k = c * k^(1/d) exactly.
+KnnResults power_law_gt(double d, std::size_t k, std::size_t n_queries) {
+  KnnResults gt(n_queries);
+  for (auto& row : gt) {
+    for (std::size_t i = 1; i <= k; ++i) {
+      row.push_back({float(std::pow(double(i), 1.0 / d)), GlobalId(i)});
+    }
+  }
+  return gt;
+}
+
+TEST(IntrinsicDim, RecoversPowerLawExponent) {
+  for (double d : {6.0, 12.0, 24.0}) {
+    const double est = intrinsic_dimension(power_law_gt(d, 10, 50), 128);
+    EXPECT_NEAR(est, d, 0.5) << "d=" << d;
+  }
+}
+
+TEST(IntrinsicDim, ClampsToAmbient) {
+  // Nearly flat profile => enormous raw estimate => clamped to ambient.
+  KnnResults gt(10);
+  for (auto& row : gt) {
+    row = {{1.0f, 1}, {1.0000005f, 2}, {1.000001f, 3}, {1.0000015f, 4},
+           {1.000002f, 5}, {1.0000025f, 6}, {1.000003f, 7}, {1.0000035f, 8},
+           {1.000004f, 9}, {1.0000045f, 10}};
+  }
+  EXPECT_DOUBLE_EQ(intrinsic_dimension(gt, 64), 64.0);
+}
+
+TEST(IntrinsicDim, DegenerateInputFallsBackToAmbient) {
+  EXPECT_DOUBLE_EQ(intrinsic_dimension({}, 96), 96.0);
+  KnnResults zero(3);
+  for (auto& row : zero) row = {{0.f, 1}, {0.f, 2}};
+  EXPECT_DOUBLE_EQ(intrinsic_dimension(zero, 96), 96.0);
+}
+
+TEST(IntrinsicDim, RealDescriptorDataIsBelowAmbient) {
+  auto w = make_sift_like(4000, 50, 401);
+  auto gt = brute_force_knn(w.base, w.queries, 10, simd::Metric::kL2);
+  const double d = intrinsic_dimension(gt, 128);
+  EXPECT_GE(d, 4.0);
+  EXPECT_LT(d, 128.0);  // descriptor manifolds are much thinner than R^128
+}
+
+TEST(DensityRadiusScale, ShrinksWithDensityGrowth) {
+  // 1000x more points at intrinsic dim 10 => radius shrinks by 1000^(1/10).
+  const double s = density_radius_scale(1'000'000, 1'000'000'000, 10.0);
+  EXPECT_NEAR(s, std::pow(1e-3, 0.1), 1e-9);
+  EXPECT_LT(s, 1.0);
+}
+
+TEST(DensityRadiusScale, IdentityAndInverse) {
+  EXPECT_DOUBLE_EQ(density_radius_scale(5000, 5000, 12.0), 1.0);
+  const double down = density_radius_scale(1000, 8000, 8.0);
+  const double up = density_radius_scale(8000, 1000, 8.0);
+  EXPECT_NEAR(down * up, 1.0, 1e-12);
+}
+
+TEST(DensityRadiusScale, HighIntrinsicDimBarelyMoves) {
+  // The curse of dimensionality: density helps little at high d_int.
+  const double s = density_radius_scale(8192, 1'000'000, 52.0);
+  EXPECT_GT(s, 0.9);
+}
+
+TEST(NeighborProfile, ComputesMeansAndContrast) {
+  KnnResults gt(2);
+  gt[0] = {{1.f, 1}, {2.f, 2}};
+  gt[1] = {{3.f, 3}, {4.f, 4}};
+  const auto p = neighbor_profile(gt);
+  EXPECT_DOUBLE_EQ(p.mean_r1, 2.0);
+  EXPECT_DOUBLE_EQ(p.mean_rk, 3.0);
+  EXPECT_NEAR(p.contrast, (0.5 + 0.25) / 2, 1e-12);
+  EXPECT_EQ(p.k, 2u);
+}
+
+TEST(NeighborProfile, EmptyIsZero) {
+  const auto p = neighbor_profile({});
+  EXPECT_DOUBLE_EQ(p.mean_r1, 0.0);
+  EXPECT_EQ(p.k, 0u);
+}
+
+TEST(LoadImbalanceCv, BalancedIsZero) {
+  EXPECT_DOUBLE_EQ(load_imbalance_cv({5, 5, 5, 5}), 0.0);
+  EXPECT_DOUBLE_EQ(load_imbalance_cv({}), 0.0);
+  EXPECT_DOUBLE_EQ(load_imbalance_cv({0, 0}), 0.0);
+}
+
+TEST(LoadImbalanceCv, SkewRaisesCv) {
+  const double even = load_imbalance_cv({9, 10, 11, 10});
+  const double skew = load_imbalance_cv({1, 1, 1, 37});
+  EXPECT_LT(even, 0.1);
+  EXPECT_GT(skew, 1.0);
+}
+
+}  // namespace
+}  // namespace annsim::data

@@ -1,0 +1,122 @@
+#include "annsim/data/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace annsim::data {
+namespace {
+
+Dataset make_counting(std::size_t n, std::size_t dim) {
+  Dataset d(n, dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < dim; ++j) d.row(i)[j] = float(i * 100 + j);
+  }
+  return d;
+}
+
+TEST(Dataset, ShapeAndStride) {
+  Dataset d(10, 13);
+  EXPECT_EQ(d.size(), 10u);
+  EXPECT_EQ(d.dim(), 13u);
+  EXPECT_EQ(d.stride(), 16u);  // padded to 8 floats
+  EXPECT_EQ(d.stride() % 8, 0u);
+}
+
+TEST(Dataset, RowsAreAligned) {
+  Dataset d(5, 16);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(d.row(i)) % 64, 0u);
+  }
+}
+
+TEST(Dataset, IdentityIdsByDefault) {
+  Dataset d(4, 2);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(d.id(i), GlobalId(i));
+}
+
+TEST(Dataset, SetRowValidatesShape) {
+  Dataset d(2, 3);
+  std::vector<float> bad(2);
+  EXPECT_THROW(d.set_row(0, bad), Error);
+  std::vector<float> good{1, 2, 3};
+  d.set_row(1, good);
+  EXPECT_FLOAT_EQ(d.row(1)[2], 3.f);
+  EXPECT_THROW(d.set_row(2, good), Error);
+}
+
+TEST(Dataset, SubsetPreservesIdsAndValues) {
+  Dataset d = make_counting(10, 4);
+  d.set_id(7, 777);
+  std::vector<std::size_t> rows{7, 2};
+  Dataset s = d.subset(rows);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.id(0), 777u);
+  EXPECT_EQ(s.id(1), 2u);
+  EXPECT_FLOAT_EQ(s.row(0)[1], 701.f);
+  EXPECT_FLOAT_EQ(s.row(1)[0], 200.f);
+}
+
+TEST(Dataset, SubsetRejectsOutOfRange) {
+  Dataset d = make_counting(3, 2);
+  std::vector<std::size_t> rows{5};
+  EXPECT_THROW((void)d.subset(rows), Error);
+}
+
+TEST(Dataset, SliceContiguousRange) {
+  Dataset d = make_counting(10, 2);
+  Dataset s = d.slice(3, 6);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.id(0), 3u);
+  EXPECT_FLOAT_EQ(s.row(2)[0], 500.f);
+  EXPECT_THROW((void)d.slice(6, 3), Error);
+  EXPECT_THROW((void)d.slice(0, 11), Error);
+  EXPECT_EQ(d.slice(4, 4).size(), 0u);
+}
+
+TEST(Dataset, AppendConcatenates) {
+  Dataset a = make_counting(2, 3);
+  Dataset b = make_counting(3, 3);
+  b.set_id(0, 99);
+  a.append(b);
+  ASSERT_EQ(a.size(), 5u);
+  EXPECT_EQ(a.id(2), 99u);
+  EXPECT_FLOAT_EQ(a.row(4)[2], 202.f);
+}
+
+TEST(Dataset, AppendDimMismatchThrows) {
+  Dataset a = make_counting(2, 3);
+  Dataset b = make_counting(2, 4);
+  EXPECT_THROW(a.append(b), Error);
+}
+
+TEST(Dataset, AppendToDefaultConstructed) {
+  Dataset a;
+  Dataset b = make_counting(2, 3);
+  a.append(b);
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(a.dim(), 3u);
+}
+
+TEST(Dataset, AppendEmptyIsNoop) {
+  Dataset a = make_counting(2, 3);
+  Dataset empty;
+  a.append(empty);
+  EXPECT_EQ(a.size(), 2u);
+}
+
+TEST(Dataset, RowSpanMatchesDim) {
+  Dataset d = make_counting(2, 5);
+  EXPECT_EQ(d.row_span(0).size(), 5u);
+  EXPECT_FLOAT_EQ(d.row_span(1)[4], 104.f);
+}
+
+TEST(Dataset, PaddingBeyondDimIsZero) {
+  Dataset d(1, 3);
+  d.row(0)[0] = 1.f;
+  // stride is 8; padding floats 3..7 must stay zero for SIMD tails.
+  for (std::size_t j = 3; j < d.stride(); ++j) EXPECT_EQ(d.row(0)[j], 0.f);
+}
+
+}  // namespace
+}  // namespace annsim::data

@@ -1,0 +1,103 @@
+#include "annsim/data/ground_truth.hpp"
+
+#include <gtest/gtest.h>
+
+#include "annsim/common/rng.hpp"
+#include "annsim/data/recipes.hpp"
+
+namespace annsim::data {
+namespace {
+
+TEST(BruteForce, FindsExactNeighborsInPlantedSet) {
+  // Base points on a line; queries between them with known answers.
+  Dataset base(10, 2);
+  for (std::size_t i = 0; i < 10; ++i) base.row(i)[0] = float(i);
+  Dataset queries(1, 2);
+  queries.row(0)[0] = 3.2f;
+  auto res = brute_force_knn(base, queries, 3, simd::Metric::kL2);
+  ASSERT_EQ(res.size(), 1u);
+  ASSERT_EQ(res[0].size(), 3u);
+  EXPECT_EQ(res[0][0].id, 3u);
+  EXPECT_EQ(res[0][1].id, 4u);
+  EXPECT_EQ(res[0][2].id, 2u);
+  EXPECT_NEAR(res[0][0].dist, 0.2f, 1e-5f);
+}
+
+TEST(BruteForce, SortedAscending) {
+  auto w = make_sift_like(300, 5);
+  auto res = brute_force_knn(w.base, w.queries, 10, simd::Metric::kL2);
+  for (const auto& r : res) {
+    for (std::size_t i = 1; i < r.size(); ++i) {
+      EXPECT_LE(r[i - 1].dist, r[i].dist);
+    }
+  }
+}
+
+TEST(BruteForce, ParallelMatchesSerial) {
+  auto w = make_deep_like(400, 20);
+  ThreadPool pool(4);
+  auto serial = brute_force_knn(w.base, w.queries, 5, simd::Metric::kL2);
+  auto parallel = brute_force_knn(w.base, w.queries, 5, simd::Metric::kL2, &pool);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t q = 0; q < serial.size(); ++q) {
+    EXPECT_EQ(serial[q], parallel[q]);
+  }
+}
+
+TEST(BruteForce, UsesGlobalIds) {
+  Dataset base(3, 1);
+  base.row(1)[0] = 0.1f;
+  base.set_id(1, 500);
+  Dataset q(1, 1);
+  auto res = brute_force_knn(base, q, 1, simd::Metric::kL2);
+  EXPECT_EQ(res[0][0].id, 0u);
+  q.row(0)[0] = 0.1f;
+  res = brute_force_knn(base, q, 1, simd::Metric::kL2);
+  EXPECT_EQ(res[0][0].id, 500u);
+}
+
+TEST(BruteForce, DimMismatchThrows) {
+  Dataset base(5, 3), q(1, 4);
+  EXPECT_THROW((void)brute_force_knn(base, q, 1, simd::Metric::kL2), Error);
+}
+
+TEST(Recall, PerfectAndZero) {
+  std::vector<Neighbor> truth{{1.f, 1}, {2.f, 2}, {3.f, 3}};
+  std::vector<Neighbor> perfect = truth;
+  EXPECT_DOUBLE_EQ(recall_at_k(perfect, truth, 3), 1.0);
+  std::vector<Neighbor> wrong{{9.f, 7}, {9.f, 8}, {9.f, 9}};
+  EXPECT_DOUBLE_EQ(recall_at_k(wrong, truth, 3), 0.0);
+}
+
+TEST(Recall, PartialOverlap) {
+  std::vector<Neighbor> truth{{1.f, 1}, {2.f, 2}, {3.f, 3}, {4.f, 4}};
+  std::vector<Neighbor> got{{1.f, 1}, {9.f, 9}, {3.f, 3}, {8.f, 8}};
+  EXPECT_DOUBLE_EQ(recall_at_k(got, truth, 4), 0.5);
+}
+
+TEST(Recall, DistanceTiesAtBoundaryCount) {
+  // id 9 is not in the truth list, but its distance equals the k-th true
+  // distance — an equally-correct answer, so it must count.
+  std::vector<Neighbor> truth{{1.f, 1}, {2.f, 2}};
+  std::vector<Neighbor> got{{1.f, 1}, {2.f, 9}};
+  EXPECT_DOUBLE_EQ(recall_at_k(got, truth, 2), 1.0);
+}
+
+TEST(Recall, ShortResultPenalized) {
+  std::vector<Neighbor> truth{{1.f, 1}, {2.f, 2}};
+  std::vector<Neighbor> got{{1.f, 1}};
+  EXPECT_DOUBLE_EQ(recall_at_k(got, truth, 2), 0.5);
+}
+
+TEST(Recall, MeanAcrossQueries) {
+  KnnResults truth{{{1.f, 1}}, {{1.f, 2}}};
+  KnnResults got{{{1.f, 1}}, {{5.f, 9}}};
+  EXPECT_DOUBLE_EQ(mean_recall(got, truth, 1), 0.5);
+}
+
+TEST(Recall, EmptyBatchIsPerfect) {
+  EXPECT_DOUBLE_EQ(mean_recall({}, {}, 5), 1.0);
+}
+
+}  // namespace
+}  // namespace annsim::data

@@ -1,0 +1,162 @@
+#include "annsim/data/mdcgen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "annsim/simd/distance.hpp"
+
+namespace annsim::data {
+namespace {
+
+MDCGenParams small_params() {
+  MDCGenParams p;
+  p.n_points = 5000;
+  p.dim = 16;
+  p.n_clusters = 10;
+  p.n_outliers = 50;
+  p.seed = 42;
+  return p;
+}
+
+TEST(MDCGen, ShapesAndCounts) {
+  MDCGenerator gen(small_params());
+  auto out = gen.generate();
+  EXPECT_EQ(out.points.size(), 5000u);
+  EXPECT_EQ(out.points.dim(), 16u);
+  EXPECT_EQ(out.labels.size(), 5000u);
+  EXPECT_EQ(out.centroids.size(), 10u);
+  EXPECT_EQ(out.radii.size(), 10u);
+  EXPECT_EQ(out.cluster_sizes.size(), 10u);
+}
+
+TEST(MDCGen, OutlierCountMatches) {
+  MDCGenerator gen(small_params());
+  auto out = gen.generate();
+  const auto outliers =
+      std::count(out.labels.begin(), out.labels.end(), std::uint32_t(10));
+  EXPECT_EQ(outliers, 50);
+}
+
+TEST(MDCGen, ClusterSizesSumToNonOutliers) {
+  MDCGenerator gen(small_params());
+  auto out = gen.generate();
+  std::size_t sum = 0;
+  for (auto s : out.cluster_sizes) sum += s;
+  EXPECT_EQ(sum, 5000u - 50u);
+}
+
+TEST(MDCGen, DeterministicForSameSeed) {
+  MDCGenerator gen(small_params());
+  auto a = gen.generate();
+  auto b = gen.generate();
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    for (std::size_t j = 0; j < a.points.dim(); ++j) {
+      ASSERT_EQ(a.points.row(i)[j], b.points.row(i)[j]);
+    }
+    ASSERT_EQ(a.labels[i], b.labels[i]);
+  }
+}
+
+TEST(MDCGen, DifferentSeedsDiffer) {
+  auto p = small_params();
+  MDCGenerator gen_a(p);
+  p.seed = 43;
+  MDCGenerator gen_b(p);
+  auto a = gen_a.generate();
+  auto b = gen_b.generate();
+  bool any_diff = false;
+  for (std::size_t j = 0; j < a.points.dim(); ++j) {
+    if (a.points.row(0)[j] != b.points.row(0)[j]) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(MDCGen, GaussianClusterMembersNearCentroid) {
+  auto p = small_params();
+  p.n_outliers = 0;
+  p.distributions = {ClusterDistribution::kGaussian};
+  MDCGenerator gen(p);
+  auto out = gen.generate();
+  const simd::DistanceComputer dist(simd::Metric::kL2, p.dim);
+  // Nearly all members should sit within ~3 sigma = 1.5 radii.
+  std::size_t far = 0, total = 0;
+  for (std::size_t i = 0; i < out.points.size(); ++i) {
+    const auto c = out.labels[i];
+    ASSERT_LT(c, p.n_clusters);
+    const float d = dist(out.points.row(i), out.centroids.row(c));
+    if (d > 1.6 * out.radii[c]) ++far;
+    ++total;
+  }
+  EXPECT_LT(double(far) / double(total), 0.05);
+}
+
+TEST(MDCGen, UniformClusterMembersInsideBox) {
+  auto p = small_params();
+  p.n_outliers = 0;
+  p.distributions = {ClusterDistribution::kUniform};
+  MDCGenerator gen(p);
+  auto out = gen.generate();
+  for (std::size_t i = 0; i < out.points.size(); ++i) {
+    const auto c = out.labels[i];
+    for (std::size_t j = 0; j < p.dim; ++j) {
+      ASSERT_LE(std::fabs(out.points.row(i)[j] - out.centroids.row(c)[j]),
+                float(out.radii[c]) + 1e-5f);
+    }
+  }
+}
+
+TEST(MDCGen, MassImbalanceSkewsClusterSizes) {
+  auto p = small_params();
+  p.mass_imbalance = 0.0;
+  auto balanced = MDCGenerator(p).generate();
+  p.mass_imbalance = 1.0;
+  p.seed = 42;
+  auto skewed = MDCGenerator(p).generate();
+  auto spread = [](const std::vector<std::size_t>& v) {
+    auto [lo, hi] = std::minmax_element(v.begin(), v.end());
+    return double(*hi) - double(*lo);
+  };
+  EXPECT_GT(spread(skewed.cluster_sizes), spread(balanced.cluster_sizes));
+}
+
+TEST(MDCGen, QueriesStayWithinCompactnessBall) {
+  auto p = small_params();
+  MDCGenerator gen(p);
+  auto out = gen.generate();
+  const double compactness = 0.01;
+  Dataset q = gen.generate_queries(out, 200, 3, compactness, 7);
+  EXPECT_EQ(q.size(), 200u);
+  const double span = p.domain_max - p.domain_min;
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    for (std::size_t j = 0; j < p.dim; ++j) {
+      ASSERT_LE(std::fabs(q.row(i)[j] - out.centroids.row(3)[j]),
+                compactness * span + 1e-6);
+    }
+  }
+}
+
+TEST(MDCGen, RejectsBadParams) {
+  auto p = small_params();
+  p.n_clusters = 0;
+  EXPECT_THROW(MDCGenerator{p}, Error);
+  p = small_params();
+  p.compactness = 0.0;
+  EXPECT_THROW(MDCGenerator{p}, Error);
+  p = small_params();
+  p.n_outliers = p.n_points + 1;
+  EXPECT_THROW(MDCGenerator{p}, Error);
+  p = small_params();
+  p.domain_max = p.domain_min;
+  EXPECT_THROW(MDCGenerator{p}, Error);
+}
+
+TEST(MDCGen, QueryGenValidatesClusterId) {
+  MDCGenerator gen(small_params());
+  auto out = gen.generate();
+  EXPECT_THROW((void)gen.generate_queries(out, 1, 10, 0.01, 1), Error);
+}
+
+}  // namespace
+}  // namespace annsim::data

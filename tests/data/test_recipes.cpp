@@ -1,0 +1,105 @@
+#include "annsim/data/recipes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "annsim/simd/distance.hpp"
+
+namespace annsim::data {
+namespace {
+
+TEST(Recipes, SiftLikeShapeAndRange) {
+  auto w = make_sift_like(2000, 50);
+  EXPECT_EQ(w.base.dim(), 128u);
+  EXPECT_EQ(w.base.size(), 2000u);
+  EXPECT_EQ(w.queries.size(), 50u);
+  EXPECT_EQ(w.queries.dim(), 128u);
+  // SIFT descriptors: non-negative integral byte range.
+  for (std::size_t i = 0; i < 100; ++i) {
+    for (std::size_t j = 0; j < w.base.dim(); ++j) {
+      const float v = w.base.row(i)[j];
+      ASSERT_GE(v, 0.f);
+      ASSERT_LE(v, 255.f);
+      ASSERT_FLOAT_EQ(v, std::round(v));
+    }
+  }
+}
+
+TEST(Recipes, DeepLikeIsUnitNorm) {
+  auto w = make_deep_like(1000, 20);
+  EXPECT_EQ(w.base.dim(), 96u);
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_NEAR(simd::l2_norm(w.base.row(i), 96), 1.f, 1e-4f);
+    if (i < w.queries.size()) {
+      EXPECT_NEAR(simd::l2_norm(w.queries.row(i), 96), 1.f, 1e-4f);
+    }
+  }
+}
+
+TEST(Recipes, GistLikeHighDim) {
+  auto w = make_gist_like(500, 10);
+  EXPECT_EQ(w.base.dim(), 960u);
+  EXPECT_EQ(w.base.size(), 500u);
+}
+
+TEST(Recipes, SynMatchesPaperSetup) {
+  auto w = make_syn(4000, 512, 20, 100);
+  EXPECT_EQ(w.base.dim(), 512u);
+  EXPECT_EQ(w.base.size(), 4000u);
+  EXPECT_EQ(w.queries.size(), 100u);
+}
+
+TEST(Recipes, DeterministicBySeed) {
+  auto a = make_sift_like(500, 10, 1);
+  auto b = make_sift_like(500, 10, 1);
+  auto c = make_sift_like(500, 10, 2);
+  EXPECT_EQ(a.base.row(3)[5], b.base.row(3)[5]);
+  bool diff = false;
+  for (std::size_t j = 0; j < a.base.dim(); ++j) {
+    if (a.base.row(3)[j] != c.base.row(3)[j]) diff = true;
+  }
+  EXPECT_TRUE(diff);
+}
+
+TEST(Recipes, QueriesComeFromSameDistribution) {
+  // Mean query-to-nearest-base distance should be comparable to mean
+  // base-to-nearest-base distance (same mixture), not an outlier regime.
+  auto w = make_deep_like(1000, 30, 5);
+  const simd::DistanceComputer dist(simd::Metric::kL2, w.base.dim());
+  auto nearest = [&](const float* v, std::size_t skip) {
+    float best = std::numeric_limits<float>::infinity();
+    for (std::size_t i = 0; i < w.base.size(); ++i) {
+      if (i == skip) continue;
+      best = std::min(best, dist(v, w.base.row(i)));
+    }
+    return best;
+  };
+  double q_sum = 0, b_sum = 0;
+  for (std::size_t i = 0; i < 20; ++i) {
+    q_sum += nearest(w.queries.row(i), SIZE_MAX);
+    b_sum += nearest(w.base.row(i), i);
+  }
+  EXPECT_LT(q_sum / 20.0, 3.0 * (b_sum / 20.0));
+}
+
+class RecipeByName : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RecipeByName, LooksUpAndBuilds) {
+  auto w = make_by_name(GetParam(), 600, 10);
+  EXPECT_EQ(w.base.size(), 600u);
+  EXPECT_EQ(w.queries.size(), 10u);
+  EXPECT_GT(w.base.dim(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Names, RecipeByName,
+                         ::testing::Values("SIFT", "ANN_SIFT1B", "DEEP",
+                                           "DEEP1B", "GIST", "ANN_GIST1M",
+                                           "SYN_1M", "SYN_10M"));
+
+TEST(Recipes, UnknownNameThrows) {
+  EXPECT_THROW((void)make_by_name("NOPE", 100, 10), Error);
+}
+
+}  // namespace
+}  // namespace annsim::data

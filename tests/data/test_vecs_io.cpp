@@ -1,0 +1,103 @@
+#include "annsim/data/vecs_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+#include "annsim/common/rng.hpp"
+
+namespace annsim::data {
+namespace {
+
+class VecsIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("annsim_vecs_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(VecsIoTest, FvecsRoundTrip) {
+  Dataset d(7, 5);
+  Rng rng(1);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    for (std::size_t j = 0; j < d.dim(); ++j) d.row(i)[j] = float(rng.normal());
+  }
+  save_fvecs(path("a.fvecs"), d);
+  Dataset back = load_fvecs(path("a.fvecs"));
+  ASSERT_EQ(back.size(), 7u);
+  ASSERT_EQ(back.dim(), 5u);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    for (std::size_t j = 0; j < d.dim(); ++j) {
+      EXPECT_FLOAT_EQ(back.row(i)[j], d.row(i)[j]);
+    }
+  }
+}
+
+TEST_F(VecsIoTest, FvecsMaxRowsLimitsLoad) {
+  Dataset d(10, 3);
+  save_fvecs(path("b.fvecs"), d);
+  Dataset back = load_fvecs(path("b.fvecs"), 4);
+  EXPECT_EQ(back.size(), 4u);
+}
+
+TEST_F(VecsIoTest, BvecsRoundTripQuantizes) {
+  Dataset d(3, 4);
+  d.row(0)[0] = 0.f;
+  d.row(0)[1] = 255.f;
+  d.row(0)[2] = 300.f;   // clamped to 255
+  d.row(0)[3] = -5.f;    // clamped to 0
+  d.row(1)[0] = 127.4f;  // rounds to 127
+  d.row(1)[1] = 127.6f;  // rounds to 128
+  save_bvecs(path("c.bvecs"), d);
+  Dataset back = load_bvecs(path("c.bvecs"));
+  ASSERT_EQ(back.size(), 3u);
+  EXPECT_FLOAT_EQ(back.row(0)[0], 0.f);
+  EXPECT_FLOAT_EQ(back.row(0)[1], 255.f);
+  EXPECT_FLOAT_EQ(back.row(0)[2], 255.f);
+  EXPECT_FLOAT_EQ(back.row(0)[3], 0.f);
+  EXPECT_FLOAT_EQ(back.row(1)[0], 127.f);
+  EXPECT_FLOAT_EQ(back.row(1)[1], 128.f);
+}
+
+TEST_F(VecsIoTest, IvecsRoundTrip) {
+  std::vector<std::vector<std::int32_t>> rows{{1, 2, 3}, {}, {42}};
+  save_ivecs(path("d.ivecs"), rows);
+  auto back = load_ivecs(path("d.ivecs"));
+  EXPECT_EQ(back, rows);
+}
+
+TEST_F(VecsIoTest, IvecsMaxRows) {
+  std::vector<std::vector<std::int32_t>> rows{{1}, {2}, {3}};
+  save_ivecs(path("e.ivecs"), rows);
+  EXPECT_EQ(load_ivecs(path("e.ivecs"), 2).size(), 2u);
+}
+
+TEST_F(VecsIoTest, MissingFileThrows) {
+  EXPECT_THROW((void)load_fvecs(path("missing.fvecs")), Error);
+  EXPECT_THROW((void)load_bvecs(path("missing.bvecs")), Error);
+  EXPECT_THROW((void)load_ivecs(path("missing.ivecs")), Error);
+}
+
+TEST_F(VecsIoTest, CorruptSizeThrows) {
+  // A file whose size is not a whole number of rows.
+  Dataset d(2, 3);
+  save_fvecs(path("f.fvecs"), d);
+  {
+    std::ofstream out(path("f.fvecs"), std::ios::binary | std::ios::app);
+    out.put('x');
+  }
+  EXPECT_THROW((void)load_fvecs(path("f.fvecs")), Error);
+}
+
+}  // namespace
+}  // namespace annsim::data

@@ -1,0 +1,69 @@
+#include "annsim/des/construction_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace annsim::des {
+namespace {
+
+ConstructionModelConfig sift1b(std::size_t cores) {
+  ConstructionModelConfig c;
+  c.n_points = 1'000'000'000;
+  c.dim = 128;
+  c.n_cores = cores;
+  c.costs = cluster::default_costs();
+  return c;
+}
+
+TEST(ConstructionModel, ComponentsArePositive) {
+  auto est = estimate_construction(sift1b(256));
+  EXPECT_GT(est.total_seconds, 0.0);
+  EXPECT_GT(est.hnsw_seconds, 0.0);
+  EXPECT_GT(est.vp_tree_seconds, 0.0);
+  EXPECT_GT(est.load_seconds, 0.0);
+  EXPECT_GT(est.startup_seconds, 0.0);
+  EXPECT_NEAR(est.total_seconds,
+              est.hnsw_seconds + est.vp_tree_seconds + est.load_seconds +
+                  est.startup_seconds,
+              1e-9);
+}
+
+TEST(ConstructionModel, HnswTimeDropsSteeplyWithCores) {
+  // Table II: HNSW construction 17.6 min at 256 cores -> 4.3 min at 8192.
+  const auto e256 = estimate_construction(sift1b(256));
+  const auto e8192 = estimate_construction(sift1b(8192));
+  EXPECT_GT(e256.hnsw_seconds / e8192.hnsw_seconds, 10.0);
+}
+
+TEST(ConstructionModel, TotalTimeDecreasesWithCores) {
+  double prev = std::numeric_limits<double>::infinity();
+  for (std::size_t cores : {256u, 512u, 1024u, 2048u, 4096u, 8192u}) {
+    const auto est = estimate_construction(sift1b(cores));
+    EXPECT_LT(est.total_seconds, prev) << "cores=" << cores;
+    prev = est.total_seconds;
+  }
+}
+
+TEST(ConstructionModel, NonHnswShareGrowsWithCores) {
+  // Table II: Total - HNSW grows from ~3.9 min (256) to ~10.4 min (8192).
+  const auto e256 = estimate_construction(sift1b(256));
+  const auto e8192 = estimate_construction(sift1b(8192));
+  const double other256 = e256.total_seconds - e256.hnsw_seconds;
+  const double other8192 = e8192.total_seconds - e8192.hnsw_seconds;
+  EXPECT_GT(other8192, other256);
+}
+
+TEST(ConstructionModel, RejectsNonPowerOfTwo) {
+  auto cfg = sift1b(300);
+  EXPECT_THROW((void)estimate_construction(cfg), Error);
+}
+
+TEST(ConstructionModel, ScalesWithDatasetSize) {
+  auto big = sift1b(1024);
+  auto small = sift1b(1024);
+  small.n_points = 10'000'000;
+  EXPECT_GT(estimate_construction(big).hnsw_seconds,
+            estimate_construction(small).hnsw_seconds);
+}
+
+}  // namespace
+}  // namespace annsim::des

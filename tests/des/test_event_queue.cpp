@@ -1,0 +1,67 @@
+#include "annsim/des/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace annsim::des {
+namespace {
+
+TEST(EventQueue, ProcessesInTimeOrder) {
+  EventQueue eq;
+  std::vector<int> order;
+  eq.schedule(3.0, [&] { order.push_back(3); });
+  eq.schedule(1.0, [&] { order.push_back(1); });
+  eq.schedule(2.0, [&] { order.push_back(2); });
+  eq.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, NowAdvancesWithEvents) {
+  EventQueue eq;
+  double seen = -1;
+  eq.schedule(5.5, [&] { seen = eq.now(); });
+  eq.run();
+  EXPECT_DOUBLE_EQ(seen, 5.5);
+  EXPECT_DOUBLE_EQ(eq.now(), 5.5);
+}
+
+TEST(EventQueue, SimultaneousEventsFifo) {
+  EventQueue eq;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    eq.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  eq.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[std::size_t(i)], i);
+}
+
+TEST(EventQueue, HandlersCanScheduleMoreEvents) {
+  EventQueue eq;
+  int hops = 0;
+  std::function<void()> hop = [&] {
+    if (++hops < 5) eq.schedule_in(1.0, hop);
+  };
+  eq.schedule(0.0, hop);
+  eq.run();
+  EXPECT_EQ(hops, 5);
+  EXPECT_DOUBLE_EQ(eq.now(), 4.0);
+}
+
+TEST(EventQueue, ScheduleInIsRelative) {
+  EventQueue eq;
+  double when = -1;
+  eq.schedule(2.0, [&] { eq.schedule_in(3.0, [&] { when = eq.now(); }); });
+  eq.run();
+  EXPECT_DOUBLE_EQ(when, 5.0);
+}
+
+TEST(EventQueue, EmptyQueueRunsInstantly) {
+  EventQueue eq;
+  eq.run();
+  EXPECT_TRUE(eq.empty());
+  EXPECT_DOUBLE_EQ(eq.now(), 0.0);
+}
+
+}  // namespace
+}  // namespace annsim::des

@@ -1,0 +1,164 @@
+#include "annsim/des/search_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "annsim/common/error.hpp"
+#include "annsim/common/rng.hpp"
+
+namespace annsim::des {
+namespace {
+
+/// Uniform plans: every query probes `probes` random partitions.
+std::vector<std::vector<PartitionId>> uniform_plans(std::size_t nq,
+                                                    std::size_t n_parts,
+                                                    std::size_t probes,
+                                                    std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<PartitionId>> plans(nq);
+  for (auto& plan : plans) {
+    while (plan.size() < probes) {
+      const auto p = PartitionId(rng.uniform_below(n_parts));
+      if (std::find(plan.begin(), plan.end(), p) == plan.end()) {
+        plan.push_back(p);
+      }
+    }
+  }
+  return plans;
+}
+
+/// Skewed plans: all queries hammer partition 0 (worst-case imbalance).
+std::vector<std::vector<PartitionId>> skewed_plans(std::size_t nq) {
+  return {nq, std::vector<PartitionId>{0}};
+}
+
+SearchSimConfig config(std::size_t cores) {
+  SearchSimConfig c;
+  c.n_cores = cores;
+  return c;
+}
+
+TEST(SearchSim, JobConservation) {
+  const auto plans = uniform_plans(500, 64, 4, 1);
+  const std::vector<double> cost(64, 1e-4);
+  auto res = simulate_search(config(64), plans, cost);
+  EXPECT_EQ(res.total_jobs, 2000u);
+  const auto sum = std::accumulate(res.jobs_per_core.begin(),
+                                   res.jobs_per_core.end(), std::uint64_t{0});
+  EXPECT_EQ(sum, 2000u);
+  EXPECT_NEAR(res.compute_seconds, 2000 * 1e-4, 1e-9);
+}
+
+TEST(SearchSim, MakespanAtLeastCriticalPath) {
+  const auto plans = skewed_plans(100);
+  const std::vector<double> cost(16, 1e-3);
+  auto res = simulate_search(config(16), plans, cost);
+  // All 100 jobs target partition 0's node (24 cores, but only jobs for one
+  // node): lower bound = 100 jobs / 16 available... in fact all jobs land on
+  // node 0 which hosts all 16 cores, so >= 100/16 * 1ms.
+  EXPECT_GE(res.makespan_seconds, 100.0 / 16.0 * 1e-3 * 0.99);
+}
+
+TEST(SearchSim, MoreCoresReduceMakespan) {
+  const std::vector<double> cost(1024, 5e-4);
+  const auto plans256 = uniform_plans(2000, 256, 4, 2);
+  const auto plans1024 = uniform_plans(2000, 1024, 4, 2);
+  auto r256 = simulate_search(config(256), plans256, cost);
+  auto r1024 = simulate_search(config(1024), plans1024, cost);
+  EXPECT_LT(r1024.makespan_seconds, r256.makespan_seconds);
+}
+
+TEST(SearchSim, NearLinearScalingInTheDenseRegime) {
+  // Plenty of jobs per core: doubling cores should give ~2x speedup.
+  const std::vector<double> cost(512, 1e-3);
+  auto r64 = simulate_search(config(64), uniform_plans(5000, 64, 4, 3), cost);
+  auto r128 = simulate_search(config(128), uniform_plans(5000, 128, 4, 3), cost);
+  const double speedup = r64.makespan_seconds / r128.makespan_seconds;
+  EXPECT_GT(speedup, 1.6);
+  EXPECT_LT(speedup, 2.4);
+}
+
+TEST(SearchSim, ReplicationFlattensSkewedLoad) {
+  // The Fig 4 mechanism: replication spreads a hot partition's queries over
+  // its workgroup. With the default cyclic rank placement, consecutive
+  // cores live on distinct nodes, so the r=5 workgroup of the hot partition
+  // engages five nodes instead of one.
+  std::vector<std::vector<PartitionId>> plans;
+  Rng rng(4);
+  for (int q = 0; q < 2000; ++q) {
+    const auto p = rng.uniform() < 0.8 ? PartitionId(23)
+                                       : PartitionId(rng.uniform_below(256));
+    plans.push_back({p});
+  }
+  const std::vector<double> cost(256, 1e-3);
+  auto cfg = config(256);
+  cfg.replication = 1;
+  auto base = simulate_search(cfg, plans, cost);
+  cfg.replication = 5;
+  auto repl = simulate_search(cfg, plans, cost);
+
+  EXPECT_LT(repl.makespan_seconds, base.makespan_seconds);
+  const auto max_base = *std::max_element(base.jobs_per_core.begin(),
+                                          base.jobs_per_core.end());
+  const auto max_repl = *std::max_element(repl.jobs_per_core.begin(),
+                                          repl.jobs_per_core.end());
+  EXPECT_LT(max_repl, max_base);
+}
+
+TEST(SearchSim, OneSidedRemovesMasterMergeBottleneck) {
+  // Two-sided returns serialize at the master; one-sided must be at least as
+  // fast, and strictly faster when results are plentiful.
+  const auto plans = uniform_plans(20000, 1024, 4, 5);
+  const std::vector<double> cost(1024, 2e-4);
+  auto cfg = config(1024);
+  cfg.one_sided = false;
+  auto two = simulate_search(cfg, plans, cost);
+  cfg.one_sided = true;
+  auto one = simulate_search(cfg, plans, cost);
+  EXPECT_LT(one.makespan_seconds, two.makespan_seconds);
+  EXPECT_LT(one.master_busy_seconds, two.master_busy_seconds);
+}
+
+TEST(SearchSim, BreakdownFractionsSumToOne) {
+  const auto plans = uniform_plans(1000, 128, 4, 6);
+  const std::vector<double> cost(128, 1e-3);
+  auto res = simulate_search(config(128), plans, cost);
+  EXPECT_NEAR(res.computation_fraction + res.communication_fraction +
+                  res.idle_fraction,
+              1.0, 1e-9);
+  EXPECT_GT(res.computation_fraction, 0.0);
+  EXPECT_GT(res.communication_fraction, 0.0);
+  // Fig 5's claim in the dense regime: communication is a small share.
+  EXPECT_LT(res.communication_fraction, 0.1);
+}
+
+TEST(SearchSim, EmptyPlansDegenerate) {
+  const std::vector<double> cost(8, 1e-4);
+  auto res = simulate_search(config(8), {}, cost);
+  EXPECT_EQ(res.total_jobs, 0u);
+  EXPECT_DOUBLE_EQ(res.compute_seconds, 0.0);
+}
+
+TEST(SearchSim, ValidatesInputs) {
+  const std::vector<double> cost(4, 1e-4);
+  auto cfg = config(8);  // cost vector too small
+  EXPECT_THROW((void)simulate_search(cfg, {}, cost), Error);
+  cfg = config(8);
+  cfg.replication = 9;
+  const std::vector<double> ok(8, 1e-4);
+  EXPECT_THROW((void)simulate_search(cfg, {}, ok), Error);
+}
+
+TEST(SearchSim, DeterministicReplay) {
+  const auto plans = uniform_plans(300, 64, 3, 7);
+  const std::vector<double> cost(64, 1e-4);
+  auto a = simulate_search(config(64), plans, cost);
+  auto b = simulate_search(config(64), plans, cost);
+  EXPECT_DOUBLE_EQ(a.makespan_seconds, b.makespan_seconds);
+  EXPECT_EQ(a.jobs_per_core, b.jobs_per_core);
+}
+
+}  // namespace
+}  // namespace annsim::des

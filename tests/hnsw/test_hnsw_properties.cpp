@@ -1,0 +1,171 @@
+/// Structural and statistical properties of the HNSW implementation beyond
+/// end-to-end recall: level distribution, parameter effects, batch search,
+/// and graph invariants.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "annsim/data/ground_truth.hpp"
+#include "annsim/data/recipes.hpp"
+#include "annsim/hnsw/hnsw_index.hpp"
+
+namespace annsim::hnsw {
+namespace {
+
+HnswParams params(std::size_t M = 12) {
+  HnswParams p;
+  p.M = M;
+  p.ef_construction = 80;
+  p.ef_search = 64;
+  return p;
+}
+
+TEST(HnswProperties, LevelOccupancyDecaysGeometrically) {
+  // With level_mult = 1/ln(M), P(level >= l) = M^-l: each level should hold
+  // roughly a 1/M fraction of the one below.
+  auto w = data::make_sift_like(8000, 1, 601);
+  HnswIndex index(&w.base, params(12));
+  index.build();
+  const auto s = index.stats();
+  ASSERT_GE(s.nodes_per_level.size(), 2u);
+  const double ratio =
+      double(s.nodes_per_level[1]) / double(s.nodes_per_level[0]);
+  EXPECT_NEAR(ratio, 1.0 / 12.0, 0.035);
+}
+
+TEST(HnswProperties, LevelMultOverrideChangesHierarchyDepth) {
+  auto w = data::make_sift_like(3000, 1, 602);
+  HnswParams flat = params();
+  flat.level_mult = 0.05;  // almost everything stays on layer 0
+  HnswParams tall = params();
+  tall.level_mult = 0.9;
+  HnswIndex f(&w.base, flat);
+  HnswIndex t(&w.base, tall);
+  f.build();
+  t.build();
+  EXPECT_LT(f.stats().max_level, t.stats().max_level);
+}
+
+TEST(HnswProperties, GraphDegreesRespectCaps) {
+  auto w = data::make_sift_like(3000, 1, 603);
+  const std::size_t M = 10;
+  HnswIndex index(&w.base, params(M));
+  index.build();
+  const auto s = index.stats();
+  EXPECT_LE(s.avg_degree_level0, double(2 * M));
+  EXPECT_GT(s.avg_degree_level0, 2.0);  // graph is actually connected
+}
+
+TEST(HnswProperties, SearchBatchMatchesSequentialSearch) {
+  auto w = data::make_sift_like(2000, 50, 604);
+  HnswIndex index(&w.base, params());
+  index.build();
+  auto batch = index.search_batch(w.queries, 10);
+  ASSERT_EQ(batch.size(), w.queries.size());
+  for (std::size_t q = 0; q < w.queries.size(); ++q) {
+    EXPECT_EQ(batch[q], index.search(w.queries.row(q), 10));
+  }
+}
+
+TEST(HnswProperties, SearchBatchParallelMatchesSerial) {
+  auto w = data::make_sift_like(2000, 50, 605);
+  HnswIndex index(&w.base, params());
+  index.build();
+  ThreadPool pool(4);
+  auto serial = index.search_batch(w.queries, 10);
+  auto parallel = index.search_batch(w.queries, 10, 0, &pool);
+  for (std::size_t q = 0; q < serial.size(); ++q) {
+    EXPECT_EQ(serial[q], parallel[q]);
+  }
+}
+
+TEST(HnswProperties, SearchBatchValidatesDim) {
+  auto w = data::make_sift_like(500, 5, 606);
+  HnswIndex index(&w.base, params());
+  index.build();
+  data::Dataset wrong(2, 64);
+  EXPECT_THROW((void)index.search_batch(wrong, 5), Error);
+}
+
+TEST(HnswProperties, InsertionOrderInvariantQuality) {
+  // Insert the same corpus in two different orders; both graphs must reach
+  // comparable recall (the structure differs, the quality should not).
+  auto w = data::make_sift_like(2000, 40, 607);
+  auto gt = data::brute_force_knn(w.base, w.queries, 10, simd::Metric::kL2);
+
+  HnswIndex fwd(&w.base, params());
+  for (std::size_t i = 0; i < w.base.size(); ++i) fwd.insert(LocalId(i));
+  HnswIndex rev(&w.base, params());
+  for (std::size_t i = w.base.size(); i-- > 0;) rev.insert(LocalId(i));
+
+  const double r_fwd = data::mean_recall(fwd.search_batch(w.queries, 10), gt, 10);
+  const double r_rev = data::mean_recall(rev.search_batch(w.queries, 10), gt, 10);
+  EXPECT_GT(r_fwd, 0.85);
+  EXPECT_GT(r_rev, 0.85);
+  EXPECT_NEAR(r_fwd, r_rev, 0.08);
+}
+
+TEST(HnswProperties, PartialIndexSearchesOnlyInserted) {
+  auto w = data::make_sift_like(1000, 10, 608);
+  HnswIndex index(&w.base, params());
+  for (std::size_t i = 0; i < 100; ++i) index.insert(LocalId(i));
+  EXPECT_EQ(index.size(), 100u);
+  auto res = index.search(w.queries.row(0), 20);
+  for (const auto& nb : res) EXPECT_LT(nb.id, 100u);
+}
+
+TEST(HnswProperties, DuplicatePointsHandled) {
+  // Many identical vectors: the graph must still build and return each id
+  // at distance 0 exactly once.
+  data::Dataset d(64, 8);
+  for (std::size_t i = 0; i < 32; ++i) d.row(i)[0] = 1.f;  // 32 duplicates
+  for (std::size_t i = 32; i < 64; ++i) d.row(i)[0] = float(i);
+  HnswIndex index(&d, params(4));
+  index.build();
+  float q[8] = {1.f, 0, 0, 0, 0, 0, 0, 0};
+  auto res = index.search(q, 10, 64);
+  ASSERT_EQ(res.size(), 10u);
+  std::set<GlobalId> ids;
+  for (const auto& nb : res) {
+    EXPECT_NEAR(nb.dist, 0.f, 1e-6f);
+    EXPECT_TRUE(ids.insert(nb.id).second);
+  }
+}
+
+TEST(HnswProperties, MetricParameterHonored) {
+  auto w = data::make_syn(800, 16, 0, 20, 609);
+  HnswParams p = params();
+  p.metric = simd::Metric::kL1;
+  HnswIndex index(&w.base, p);
+  index.build();
+  auto gt = data::brute_force_knn(w.base, w.queries, 10, simd::Metric::kL1);
+  const double recall =
+      data::mean_recall(index.search_batch(w.queries, 10, 128), gt, 10);
+  EXPECT_GT(recall, 0.85);
+}
+
+/// Recall grows (weakly) with ef across a parameter sweep.
+class EfSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EfSweep, RecallAtLeastFloor) {
+  static auto w = data::make_sift_like(2000, 30, 610);
+  static auto gt = data::brute_force_knn(w.base, w.queries, 10, simd::Metric::kL2);
+  static HnswIndex index = [] {
+    HnswIndex idx(&w.base, params());
+    idx.build();
+    return idx;
+  }();
+  const std::size_t ef = GetParam();
+  const double recall =
+      data::mean_recall(index.search_batch(w.queries, 10, ef), gt, 10);
+  // Coarse floors per beam width; exact values are data-dependent.
+  const double floor = ef >= 128 ? 0.95 : ef >= 32 ? 0.8 : 0.45;
+  EXPECT_GT(recall, floor) << "ef=" << ef;
+}
+
+INSTANTIATE_TEST_SUITE_P(Efs, EfSweep, ::testing::Values(10, 32, 64, 128, 256));
+
+}  // namespace
+}  // namespace annsim::hnsw

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# End-to-end test of the annsim CLI: generate -> ground truth -> build ->
+# search -> eval -> info, asserting the reported recall is high.
+set -euo pipefail
+
+CLI="$1"
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+
+"$CLI" gen SIFT 4000 100 "$DIR/demo" 7
+"$CLI" gt "$DIR/demo_base.fvecs" "$DIR/demo_query.fvecs" 10 "$DIR/gt.ivecs"
+"$CLI" build "$DIR/demo_base.fvecs" "$DIR/demo.idx" --workers 8 --M 12 --efc 80
+"$CLI" search "$DIR/demo.idx" "$DIR/demo_query.fvecs" 10 "$DIR/res.ivecs"
+"$CLI" info "$DIR/demo.idx" | grep -q "8 partitions"
+
+RECALL_LINE="$("$CLI" eval "$DIR/res.ivecs" "$DIR/gt.ivecs" 10)"
+echo "$RECALL_LINE"
+RECALL="$(echo "$RECALL_LINE" | sed -n 's/recall@10 = \([0-9.]*\).*/\1/p')"
+awk -v r="$RECALL" 'BEGIN { exit !(r > 0.85) }' || {
+  echo "FAIL: recall $RECALL too low"
+  exit 1
+}
+
+# Exact configuration: brute-force local indexes must hit recall 1.0 when
+# probing everything.
+"$CLI" build "$DIR/demo_base.fvecs" "$DIR/exact.idx" --workers 4 --nprobe 4 \
+  --local bruteforce
+"$CLI" search "$DIR/exact.idx" "$DIR/demo_query.fvecs" 10 "$DIR/res2.ivecs"
+RECALL2="$("$CLI" eval "$DIR/res2.ivecs" "$DIR/gt.ivecs" 10 |
+  sed -n 's/recall@10 = \([0-9.]*\).*/\1/p')"
+awk -v r="$RECALL2" 'BEGIN { exit !(r > 0.9999) }' || {
+  echo "FAIL: exact recall $RECALL2 != 1.0"
+  exit 1
+}
+
+echo "CLI pipeline OK (recall $RECALL, exact $RECALL2)"

@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "annsim/common/error.hpp"
+#include "annsim/common/serialize.hpp"
+#include "annsim/mpi/mpi.hpp"
+
+namespace annsim::mpi {
+namespace {
+
+std::vector<std::byte> bytes_of(const std::string& s) {
+  const auto* p = reinterpret_cast<const std::byte*>(s.data());
+  return {p, p + s.size()};
+}
+
+std::string string_of(const std::vector<std::byte>& b) {
+  return {reinterpret_cast<const char*>(b.data()), b.size()};
+}
+
+TEST(MpiCollectives, BarrierSynchronizes) {
+  const int n = 6;
+  Runtime rt(n);
+  std::atomic<int> before{0}, after{0};
+  rt.run([&](Comm& c) {
+    before.fetch_add(1);
+    c.barrier();
+    // Every rank must have passed `before` by now.
+    EXPECT_EQ(before.load(), n);
+    after.fetch_add(1);
+  });
+  EXPECT_EQ(after.load(), n);
+}
+
+TEST(MpiCollectives, RepeatedBarriersDoNotInterleave) {
+  Runtime rt(4);
+  rt.run([&](Comm& c) {
+    for (int i = 0; i < 25; ++i) c.barrier();
+  });
+  SUCCEED();
+}
+
+TEST(MpiCollectives, BcastDeliversRootBuffer) {
+  Runtime rt(5);
+  rt.run([&](Comm& c) {
+    auto payload = c.rank() == 2 ? bytes_of("from-two") : bytes_of("junk");
+    auto out = c.bcast(payload, 2);
+    EXPECT_EQ(string_of(out), "from-two");
+  });
+}
+
+TEST(MpiCollectives, BcastValueTyped) {
+  Runtime rt(4);
+  rt.run([&](Comm& c) {
+    const double v = c.bcast_value(c.rank() == 0 ? 3.5 : -1.0, 0);
+    EXPECT_DOUBLE_EQ(v, 3.5);
+  });
+}
+
+TEST(MpiCollectives, GatherCollectsAtRootOnly) {
+  Runtime rt(4);
+  rt.run([&](Comm& c) {
+    BinaryWriter w;
+    w.write(c.rank() * 11);
+    auto out = c.gather(w.bytes(), 1);
+    if (c.rank() == 1) {
+      ASSERT_EQ(out.size(), 4u);
+      for (int i = 0; i < 4; ++i) {
+        BinaryReader r(out[std::size_t(i)]);
+        EXPECT_EQ(r.read<int>(), i * 11);
+      }
+    } else {
+      EXPECT_TRUE(out.empty());
+    }
+  });
+}
+
+TEST(MpiCollectives, GatherValuesTyped) {
+  Runtime rt(3);
+  rt.run([&](Comm& c) {
+    auto vals = c.gather_values(std::uint64_t(c.rank() + 1), 0);
+    if (c.rank() == 0) {
+      EXPECT_EQ(vals, (std::vector<std::uint64_t>{1, 2, 3}));
+    }
+  });
+}
+
+TEST(MpiCollectives, ScatterDistributesPerRankBuffers) {
+  Runtime rt(3);
+  rt.run([&](Comm& c) {
+    std::vector<std::vector<std::byte>> bufs;
+    if (c.rank() == 0) {
+      bufs = {bytes_of("r0"), bytes_of("r1"), bytes_of("r2")};
+    }
+    auto mine = c.scatter(bufs, 0);
+    EXPECT_EQ(string_of(mine), "r" + std::to_string(c.rank()));
+  });
+}
+
+TEST(MpiCollectives, ScatterValidatesBufferCount) {
+  // Single-rank runtime: a throwing rank with live peers would deadlock the
+  // collective (as it would in real MPI).
+  Runtime rt(1);
+  EXPECT_THROW(rt.run([&](Comm& c) {
+    std::vector<std::vector<std::byte>> bufs(3);
+    (void)c.scatter(bufs, 0);
+  }),
+               Error);
+}
+
+TEST(MpiCollectives, AlltoallvPersonalizedExchange) {
+  const int n = 5;
+  Runtime rt(n);
+  rt.run([&](Comm& c) {
+    std::vector<std::vector<std::byte>> send(static_cast<std::size_t>(n));
+    for (int d = 0; d < n; ++d) {
+      BinaryWriter w;
+      w.write(c.rank() * 100 + d);  // "from rank, for dest"
+      send[std::size_t(d)] = w.take();
+    }
+    auto recv = c.alltoallv(send);
+    ASSERT_EQ(recv.size(), std::size_t(n));
+    for (int s = 0; s < n; ++s) {
+      BinaryReader r(recv[std::size_t(s)]);
+      EXPECT_EQ(r.read<int>(), s * 100 + c.rank());
+    }
+  });
+}
+
+TEST(MpiCollectives, AlltoallvVariableSizes) {
+  Runtime rt(3);
+  rt.run([&](Comm& c) {
+    std::vector<std::vector<std::byte>> send(3);
+    // Rank r sends r+1 copies of 'x' to each destination d weighted by d.
+    for (int d = 0; d < 3; ++d) {
+      send[std::size_t(d)] =
+          bytes_of(std::string(std::size_t((c.rank() + 1) * d), 'x'));
+    }
+    auto recv = c.alltoallv(send);
+    for (int s = 0; s < 3; ++s) {
+      EXPECT_EQ(recv[std::size_t(s)].size(),
+                std::size_t((s + 1) * c.rank()));
+    }
+  });
+}
+
+TEST(MpiCollectives, AllreduceSumAndMax) {
+  Runtime rt(6);
+  rt.run([&](Comm& c) {
+    const auto sum = c.allreduce(std::uint64_t(c.rank() + 1),
+                                 [](std::uint64_t a, std::uint64_t b) { return a + b; });
+    EXPECT_EQ(sum, 21u);
+    const auto mx = c.allreduce(double(c.rank()),
+                                [](double a, double b) { return std::max(a, b); });
+    EXPECT_DOUBLE_EQ(mx, 5.0);
+  });
+}
+
+TEST(MpiCollectives, SplitByParity) {
+  Runtime rt(6);
+  rt.run([&](Comm& c) {
+    Comm sub = c.split(c.rank() % 2);
+    EXPECT_EQ(sub.size(), 3);
+    EXPECT_EQ(sub.rank(), c.rank() / 2);
+    // The new communicator is fully functional.
+    const auto sum = sub.allreduce(std::uint64_t(c.rank()),
+                                   [](std::uint64_t a, std::uint64_t b) { return a + b; });
+    EXPECT_EQ(sum, c.rank() % 2 == 0 ? 6u : 9u);  // 0+2+4 or 1+3+5
+  });
+}
+
+TEST(MpiCollectives, SplitIsolatesTraffic) {
+  Runtime rt(4);
+  rt.run([&](Comm& c) {
+    Comm sub = c.split(c.rank() / 2);  // {0,1} and {2,3}
+    // Same local ranks and tags in both halves must not cross-deliver.
+    if (sub.rank() == 0) {
+      BinaryWriter w;
+      w.write(c.rank());
+      sub.send(1, 1, w.bytes());
+    } else {
+      Message m = sub.recv(0, 1);
+      BinaryReader r(m.payload);
+      EXPECT_EQ(r.read<int>(), c.rank() < 2 ? 0 : 2);
+    }
+  });
+}
+
+TEST(MpiCollectives, RecursiveSplitToSingletons) {
+  // The construction algorithm halves the communicator log2(P) times.
+  Runtime rt(8);
+  rt.run([&](Comm& c) {
+    Comm cur = c.split(0);
+    while (cur.size() > 1) {
+      const int half = cur.size() / 2;
+      cur = cur.split(cur.rank() < half ? 0 : 1);
+    }
+    EXPECT_EQ(cur.size(), 1);
+    EXPECT_EQ(cur.rank(), 0);
+  });
+}
+
+TEST(MpiCollectives, SplitSingleColorKeepsOrder) {
+  Runtime rt(5);
+  rt.run([&](Comm& c) {
+    Comm sub = c.split(42);
+    EXPECT_EQ(sub.size(), 5);
+    EXPECT_EQ(sub.rank(), c.rank());
+  });
+}
+
+}  // namespace
+}  // namespace annsim::mpi

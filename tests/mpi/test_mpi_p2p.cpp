@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "annsim/common/error.hpp"
+#include "annsim/common/serialize.hpp"
+#include "annsim/mpi/mpi.hpp"
+
+namespace annsim::mpi {
+namespace {
+
+std::vector<std::byte> bytes_of(const std::string& s) {
+  const auto* p = reinterpret_cast<const std::byte*>(s.data());
+  return {p, p + s.size()};
+}
+
+std::string string_of(const std::vector<std::byte>& b) {
+  return {reinterpret_cast<const char*>(b.data()), b.size()};
+}
+
+TEST(MpiP2p, SendRecvDeliversPayload) {
+  Runtime rt(2);
+  rt.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      c.send(1, 5, bytes_of("hello"));
+    } else {
+      Message m = c.recv(0, 5);
+      EXPECT_EQ(m.source, 0);
+      EXPECT_EQ(m.tag, 5);
+      EXPECT_EQ(string_of(m.payload), "hello");
+    }
+  });
+}
+
+TEST(MpiP2p, SelfSendWorks) {
+  Runtime rt(1);
+  rt.run([&](Comm& c) {
+    c.send(0, 1, bytes_of("self"));
+    Message m = c.recv(0, 1);
+    EXPECT_EQ(string_of(m.payload), "self");
+  });
+}
+
+TEST(MpiP2p, FifoOrderPerSender) {
+  Runtime rt(2);
+  rt.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      for (int i = 0; i < 50; ++i) {
+        BinaryWriter w;
+        w.write(i);
+        c.send(1, 7, w.bytes());
+      }
+    } else {
+      for (int i = 0; i < 50; ++i) {
+        Message m = c.recv(0, 7);
+        BinaryReader r(m.payload);
+        EXPECT_EQ(r.read<int>(), i);
+      }
+    }
+  });
+}
+
+TEST(MpiP2p, TagMatchingSelectsMessages) {
+  Runtime rt(2);
+  rt.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      c.send(1, 1, bytes_of("one"));
+      c.send(1, 2, bytes_of("two"));
+    } else {
+      // Receive out of send order, by tag.
+      EXPECT_EQ(string_of(c.recv(0, 2).payload), "two");
+      EXPECT_EQ(string_of(c.recv(0, 1).payload), "one");
+    }
+  });
+}
+
+TEST(MpiP2p, AnySourceAnyTagWildcards) {
+  Runtime rt(3);
+  rt.run([&](Comm& c) {
+    if (c.rank() != 0) {
+      c.send(0, c.rank() * 10, bytes_of("x"));
+    } else {
+      for (int i = 0; i < 2; ++i) {
+        Message m = c.recv(kAnySource, kAnyTag);
+        EXPECT_EQ(m.tag, m.source * 10);
+      }
+    }
+  });
+}
+
+TEST(MpiP2p, NegativeUserTagRejected) {
+  Runtime rt(1);
+  EXPECT_THROW(rt.run([&](Comm& c) { c.send(0, -5, {}); }), Error);
+}
+
+TEST(MpiP2p, BadDestinationRejected) {
+  Runtime rt(1);
+  EXPECT_THROW(rt.run([&](Comm& c) { c.send(3, 1, {}); }), Error);
+}
+
+TEST(MpiP2p, IsendCompletesImmediately) {
+  Runtime rt(2);
+  rt.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      Request r = c.isend(1, 3, bytes_of("a"));
+      EXPECT_TRUE(r.test());
+      r.wait();  // must not block
+    } else {
+      (void)c.recv(0, 3);
+    }
+  });
+}
+
+TEST(MpiP2p, IrecvTestPollsUntilArrival) {
+  Runtime rt(2);
+  rt.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      c.send(1, 9, bytes_of("late"));
+    } else {
+      Request r = c.irecv(0, 9);
+      // MPI_Test-style polling loop (Algorithm 4's idiom).
+      while (!r.test()) std::this_thread::yield();
+      Message m = r.take();
+      EXPECT_EQ(string_of(m.payload), "late");
+    }
+  });
+}
+
+TEST(MpiP2p, IrecvMatchesAlreadyQueuedMessage) {
+  Runtime rt(2);
+  rt.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      c.send(1, 4, bytes_of("early"));
+      c.barrier();
+    } else {
+      c.barrier();  // message is queued before the irecv is posted
+      Request r = c.irecv(0, 4);
+      EXPECT_TRUE(r.test());
+      EXPECT_EQ(string_of(r.take().payload), "early");
+    }
+  });
+}
+
+TEST(MpiP2p, CancelPendingRecv) {
+  Runtime rt(1);
+  rt.run([&](Comm& c) {
+    Request r = c.irecv(kAnySource, 8);
+    EXPECT_FALSE(r.test());
+    EXPECT_TRUE(r.cancel());
+  });
+}
+
+TEST(MpiP2p, CancelCompletedRecvFails) {
+  Runtime rt(1);
+  rt.run([&](Comm& c) {
+    c.send(0, 2, bytes_of("z"));
+    Request r = c.irecv(0, 2);
+    EXPECT_TRUE(r.test());
+    EXPECT_FALSE(r.cancel());
+    EXPECT_EQ(string_of(r.take().payload), "z");
+  });
+}
+
+TEST(MpiP2p, CancelledRecvDoesNotStealMessage) {
+  Runtime rt(2);
+  rt.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      c.barrier();
+      c.send(1, 6, bytes_of("keep"));
+    } else {
+      Request r = c.irecv(0, 6);
+      EXPECT_TRUE(r.cancel());
+      c.barrier();
+      // The message must still be deliverable to a fresh recv.
+      EXPECT_EQ(string_of(c.recv(0, 6).payload), "keep");
+    }
+  });
+}
+
+TEST(MpiP2p, IprobeSeesQueuedMessageOnly) {
+  Runtime rt(2);
+  rt.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      EXPECT_FALSE(c.iprobe(kAnySource, kAnyTag));
+      c.barrier();
+      c.send(1, 11, bytes_of("p"));
+      c.barrier();
+    } else {
+      c.barrier();
+      c.barrier();
+      EXPECT_TRUE(c.iprobe(0, 11));
+      EXPECT_FALSE(c.iprobe(0, 12));
+      (void)c.recv(0, 11);
+      EXPECT_FALSE(c.iprobe(0, 11));
+    }
+  });
+}
+
+TEST(MpiP2p, ManyToOneStress) {
+  const int n = 8;
+  Runtime rt(n);
+  rt.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      std::uint64_t sum = 0;
+      for (int i = 0; i < (n - 1) * 20; ++i) {
+        Message m = c.recv(kAnySource, 1);
+        BinaryReader r(m.payload);
+        sum += r.read<std::uint64_t>();
+      }
+      EXPECT_EQ(sum, std::uint64_t(20 * (1 + 2 + 3 + 4 + 5 + 6 + 7)));
+    } else {
+      for (int i = 0; i < 20; ++i) {
+        BinaryWriter w;
+        w.write(std::uint64_t(c.rank()));
+        c.send(0, 1, w.bytes());
+      }
+    }
+  });
+}
+
+TEST(MpiP2p, ConcurrentReceiverThreadsShareOneRank) {
+  // Algorithm 4 posts irecvs from several OpenMP-style threads of the same
+  // worker process; every message must be consumed exactly once.
+  Runtime rt(2);
+  rt.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      for (int i = 0; i < 40; ++i) c.send(1, 1, bytes_of("m"));
+    } else {
+      std::atomic<int> got{0};
+      auto consume = [&] {
+        for (;;) {
+          if (got.load() >= 40) return;
+          Request r = c.irecv(0, 1);
+          while (!r.test()) {
+            if (got.load() >= 40) {
+              if (r.cancel()) return;
+              break;
+            }
+            std::this_thread::yield();
+          }
+          (void)r.take();
+          got.fetch_add(1);
+        }
+      };
+      std::thread t1(consume), t2(consume);
+      t1.join();
+      t2.join();
+      EXPECT_EQ(got.load(), 40);
+    }
+  });
+}
+
+TEST(MpiP2p, ExceptionInRankPropagates) {
+  Runtime rt(1);
+  EXPECT_THROW(rt.run([](Comm&) { throw Error("rank boom"); }), Error);
+}
+
+TEST(MpiP2p, TrafficCountersTrackMessages) {
+  Runtime rt(2);
+  rt.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      c.send(1, 1, bytes_of("abcd"));
+    } else {
+      (void)c.recv(0, 1);
+    }
+  });
+  const auto t = rt.total_traffic();
+  EXPECT_EQ(t.p2p_messages, 1u);
+  EXPECT_EQ(t.p2p_bytes, 4u);
+  EXPECT_EQ(rt.per_rank_traffic().size(), 2u);
+  EXPECT_EQ(rt.per_rank_traffic()[0].p2p_messages, 1u);
+  EXPECT_EQ(rt.per_rank_traffic()[1].p2p_messages, 0u);
+}
+
+TEST(MpiP2p, RuntimeRejectsZeroRanks) { EXPECT_THROW(Runtime(0), Error); }
+
+}  // namespace
+}  // namespace annsim::mpi

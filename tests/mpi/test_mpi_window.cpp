@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "annsim/common/error.hpp"
+#include "annsim/mpi/mpi.hpp"
+
+namespace annsim::mpi {
+namespace {
+
+TEST(MpiWindow, PutThenGet) {
+  Runtime rt(3);
+  rt.run([&](Comm& c) {
+    // Rank 0 exposes 64 bytes; others expose nothing (the paper's setup:
+    // only the master passes a buffer to MPI_Win_create).
+    Window win = c.create_window(c.rank() == 0 ? 64 : 0);
+    c.barrier();
+    if (c.rank() == 1) {
+      const char msg[] = "rma!";
+      win.lock_shared(0);
+      win.put(0, 8, std::as_bytes(std::span<const char>(msg, 4)));
+      win.unlock(0);
+    }
+    c.barrier();
+    if (c.rank() == 0) {
+      win.lock_shared(0);
+      auto bytes = win.get(0, 8, 4);
+      win.unlock(0);
+      EXPECT_EQ(std::memcmp(bytes.data(), "rma!", 4), 0);
+    }
+  });
+}
+
+TEST(MpiWindow, LocalDataViewsOwnBuffer) {
+  Runtime rt(2);
+  rt.run([&](Comm& c) {
+    Window win = c.create_window(c.rank() == 0 ? 16 : 0);
+    if (c.rank() == 0) {
+      EXPECT_EQ(win.local_size(), 16u);
+      EXPECT_EQ(win.local_data().size(), 16u);
+    } else {
+      EXPECT_EQ(win.local_size(), 0u);
+    }
+  });
+}
+
+TEST(MpiWindow, RmaOutsideEpochRejected) {
+  Runtime rt(1);
+  EXPECT_THROW(rt.run([&](Comm& c) {
+    Window win = c.create_window(8);
+    win.put(0, 0, {});
+  }),
+               Error);
+}
+
+TEST(MpiWindow, NestedLockRejected) {
+  Runtime rt(1);
+  EXPECT_THROW(rt.run([&](Comm& c) {
+    Window win = c.create_window(8);
+    win.lock_shared(0);
+    win.lock_shared(0);
+  }),
+               Error);
+}
+
+TEST(MpiWindow, UnlockWithoutLockRejected) {
+  Runtime rt(1);
+  EXPECT_THROW(rt.run([&](Comm& c) {
+    Window win = c.create_window(8);
+    win.unlock(0);
+  }),
+               Error);
+}
+
+TEST(MpiWindow, OutOfRangeAccessRejected) {
+  Runtime rt(1);
+  EXPECT_THROW(rt.run([&](Comm& c) {
+    Window win = c.create_window(8);
+    win.lock_shared(0);
+    (void)win.get(0, 4, 8);
+  }),
+               Error);
+}
+
+TEST(MpiWindow, GetAccumulateReturnsPreviousContents) {
+  Runtime rt(2);
+  rt.run([&](Comm& c) {
+    Window win = c.create_window(c.rank() == 0 ? 8 : 0);
+    c.barrier();
+    if (c.rank() == 1) {
+      win.lock_shared(0);
+      auto add = [](std::span<std::byte> target, std::span<const std::byte> in) {
+        std::uint64_t t, v;
+        std::memcpy(&t, target.data(), 8);
+        std::memcpy(&v, in.data(), 8);
+        t += v;
+        std::memcpy(target.data(), &t, 8);
+      };
+      const std::uint64_t five = 5;
+      std::vector<std::byte> prev;
+      win.get_accumulate(0, 0, std::as_bytes(std::span<const std::uint64_t>(&five, 1)),
+                         add, &prev);
+      std::uint64_t old;
+      std::memcpy(&old, prev.data(), 8);
+      EXPECT_EQ(old, 0u);
+      win.get_accumulate(0, 0, std::as_bytes(std::span<const std::uint64_t>(&five, 1)),
+                         add, &prev);
+      std::memcpy(&old, prev.data(), 8);
+      EXPECT_EQ(old, 5u);
+      win.unlock(0);
+    }
+    c.barrier();
+    if (c.rank() == 0) {
+      win.lock_shared(0);
+      auto bytes = win.get(0, 0, 8);
+      win.unlock(0);
+      std::uint64_t v;
+      std::memcpy(&v, bytes.data(), 8);
+      EXPECT_EQ(v, 10u);
+    }
+  });
+}
+
+TEST(MpiWindow, ConcurrentAccumulatesAreAtomic) {
+  // Every worker increments a shared counter many times through
+  // get_accumulate; the final value proves read-modify-write atomicity —
+  // the property §IV-C1 relies on.
+  const int n = 8;
+  const int reps = 500;
+  Runtime rt(n);
+  rt.run([&](Comm& c) {
+    Window win = c.create_window(c.rank() == 0 ? 8 : 0);
+    c.barrier();
+    if (c.rank() != 0) {
+      auto add1 = [](std::span<std::byte> target, std::span<const std::byte>) {
+        std::uint64_t t;
+        std::memcpy(&t, target.data(), 8);
+        ++t;
+        std::memcpy(target.data(), &t, 8);
+      };
+      const std::uint64_t dummy = 0;
+      win.lock_shared(0);
+      for (int i = 0; i < reps; ++i) {
+        win.get_accumulate(0, 0,
+                           std::as_bytes(std::span<const std::uint64_t>(&dummy, 1)),
+                           add1);
+      }
+      win.unlock(0);
+    }
+    c.barrier();
+    if (c.rank() == 0) {
+      win.lock_shared(0);
+      auto bytes = win.get(0, 0, 8);
+      win.unlock(0);
+      std::uint64_t v;
+      std::memcpy(&v, bytes.data(), 8);
+      EXPECT_EQ(v, std::uint64_t((n - 1) * reps));
+    }
+  });
+}
+
+TEST(MpiWindow, TrafficCountsRmaOps) {
+  Runtime rt(2);
+  rt.run([&](Comm& c) {
+    Window win = c.create_window(c.rank() == 0 ? 32 : 0);
+    c.barrier();
+    if (c.rank() == 1) {
+      win.lock_shared(0);
+      std::vector<std::byte> data(16);
+      win.put(0, 0, data);
+      (void)win.get(0, 0, 16);
+      win.unlock(0);
+    }
+    c.barrier();
+  });
+  const auto t = rt.total_traffic();
+  EXPECT_EQ(t.rma_ops, 2u);
+  EXPECT_EQ(t.rma_bytes, 32u);
+}
+
+TEST(MpiWindow, MultipleWindowsCoexist) {
+  Runtime rt(2);
+  rt.run([&](Comm& c) {
+    Window a = c.create_window(c.rank() == 0 ? 8 : 0);
+    Window b = c.create_window(c.rank() == 0 ? 8 : 0);
+    c.barrier();
+    if (c.rank() == 1) {
+      const std::uint64_t va = 1, vb = 2;
+      a.lock_shared(0);
+      a.put(0, 0, std::as_bytes(std::span<const std::uint64_t>(&va, 1)));
+      a.unlock(0);
+      b.lock_shared(0);
+      b.put(0, 0, std::as_bytes(std::span<const std::uint64_t>(&vb, 1)));
+      b.unlock(0);
+    }
+    c.barrier();
+    if (c.rank() == 0) {
+      std::uint64_t va, vb;
+      a.lock_shared(0);
+      auto ba = a.get(0, 0, 8);
+      a.unlock(0);
+      b.lock_shared(0);
+      auto bb = b.get(0, 0, 8);
+      b.unlock(0);
+      std::memcpy(&va, ba.data(), 8);
+      std::memcpy(&vb, bb.data(), 8);
+      EXPECT_EQ(va, 1u);
+      EXPECT_EQ(vb, 2u);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace annsim::mpi

@@ -1,0 +1,131 @@
+#include "annsim/pq/kmeans.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "annsim/common/error.hpp"
+#include "annsim/data/recipes.hpp"
+#include "annsim/simd/distance.hpp"
+
+namespace annsim::pq {
+namespace {
+
+TEST(KMeans, RecoversWellSeparatedClusters) {
+  // 4 tight clusters far apart: k-means must put one centroid in each.
+  data::Dataset d(400, 2);
+  Rng rng(1);
+  const float centers[4][2] = {{0, 0}, {100, 0}, {0, 100}, {100, 100}};
+  for (std::size_t i = 0; i < 400; ++i) {
+    d.row(i)[0] = centers[i % 4][0] + float(rng.normal());
+    d.row(i)[1] = centers[i % 4][1] + float(rng.normal());
+  }
+  KMeansParams p;
+  p.k = 4;
+  p.max_iters = 25;
+  const auto res = kmeans(d, p);
+  // Every centroid should sit within a few units of a true center, and all
+  // four true centers should be claimed.
+  std::set<int> claimed;
+  for (std::size_t c = 0; c < 4; ++c) {
+    float best = std::numeric_limits<float>::infinity();
+    int which = -1;
+    for (int t = 0; t < 4; ++t) {
+      const float dx = res.centroids.row(c)[0] - centers[t][0];
+      const float dy = res.centroids.row(c)[1] - centers[t][1];
+      if (dx * dx + dy * dy < best) {
+        best = dx * dx + dy * dy;
+        which = t;
+      }
+    }
+    EXPECT_LT(best, 25.f);
+    claimed.insert(which);
+  }
+  EXPECT_EQ(claimed.size(), 4u);
+}
+
+TEST(KMeans, AssignmentsAreNearest) {
+  auto w = data::make_sift_like(500, 1, 2);
+  KMeansParams p;
+  p.k = 8;
+  const auto res = kmeans(w.base, p);
+  ASSERT_EQ(res.assignment.size(), 500u);
+  for (std::size_t i = 0; i < 50; ++i) {
+    const float assigned =
+        simd::l2_sq(w.base.row(i), res.centroids.row(res.assignment[i]), 128);
+    for (std::size_t c = 0; c < 8; ++c) {
+      EXPECT_LE(assigned,
+                simd::l2_sq(w.base.row(i), res.centroids.row(c), 128) + 1e-3f);
+    }
+  }
+}
+
+TEST(KMeans, InertiaImprovesOverSingleIteration) {
+  auto w = data::make_deep_like(600, 1, 3);
+  KMeansParams one;
+  one.k = 16;
+  one.max_iters = 1;
+  KMeansParams many = one;
+  many.max_iters = 20;
+  EXPECT_LE(kmeans(w.base, many).inertia, kmeans(w.base, one).inertia);
+}
+
+TEST(KMeans, DeterministicAcrossRuns) {
+  auto w = data::make_sift_like(300, 1, 4);
+  KMeansParams p;
+  p.k = 8;
+  const auto a = kmeans(w.base, p);
+  const auto b = kmeans(w.base, p);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+TEST(KMeans, ParallelMatchesSerial) {
+  auto w = data::make_sift_like(400, 1, 5);
+  KMeansParams p;
+  p.k = 8;
+  ThreadPool pool(4);
+  const auto serial = kmeans(w.base, p);
+  const auto parallel = kmeans(w.base, p, &pool);
+  EXPECT_EQ(serial.assignment, parallel.assignment);
+}
+
+TEST(KMeans, KEqualsNPutsOneCentroidPerPoint) {
+  data::Dataset d(8, 2);
+  Rng rng(6);
+  for (std::size_t i = 0; i < 8; ++i) {
+    d.row(i)[0] = float(i) * 10;
+    d.row(i)[1] = float(rng.normal());
+  }
+  KMeansParams p;
+  p.k = 8;
+  p.max_iters = 10;
+  const auto res = kmeans(d, p);
+  EXPECT_NEAR(res.inertia, 0.0, 1e-6);
+}
+
+TEST(KMeans, RejectsTooFewPoints) {
+  data::Dataset d(3, 2);
+  KMeansParams p;
+  p.k = 4;
+  EXPECT_THROW((void)kmeans(d, p), Error);
+}
+
+TEST(KMeans, HandlesDuplicateHeavyData) {
+  // Many duplicates force empty clusters; the re-seeding path must not
+  // produce NaNs or infinite loops.
+  data::Dataset d(100, 2);
+  for (std::size_t i = 0; i < 90; ++i) d.row(i)[0] = 1.f;  // 90 identical
+  for (std::size_t i = 90; i < 100; ++i) d.row(i)[0] = float(i);
+  KMeansParams p;
+  p.k = 8;
+  const auto res = kmeans(d, p);
+  for (std::size_t c = 0; c < 8; ++c) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      EXPECT_TRUE(std::isfinite(res.centroids.row(c)[j]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace annsim::pq

@@ -1,0 +1,136 @@
+#include "annsim/pq/product_quantizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "annsim/common/error.hpp"
+#include "annsim/data/recipes.hpp"
+#include "annsim/simd/distance.hpp"
+
+namespace annsim::pq {
+namespace {
+
+PqParams small_params() {
+  PqParams p;
+  p.m = 8;
+  p.ks = 16;  // small codebooks keep tests fast
+  p.train_iters = 8;
+  return p;
+}
+
+TEST(ProductQuantizer, ValidatesParams) {
+  auto w = data::make_sift_like(300, 1, 11);
+  PqParams p = small_params();
+  p.m = 7;  // 128 % 7 != 0
+  EXPECT_THROW((void)ProductQuantizer::train(w.base, p), Error);
+  p = small_params();
+  p.ks = 512;  // > 8-bit codes
+  EXPECT_THROW((void)ProductQuantizer::train(w.base, p), Error);
+}
+
+TEST(ProductQuantizer, CodeShape) {
+  auto w = data::make_sift_like(300, 5, 12);
+  const auto pq = ProductQuantizer::train(w.base, small_params());
+  EXPECT_EQ(pq.dim(), 128u);
+  EXPECT_EQ(pq.m(), 8u);
+  EXPECT_EQ(pq.sub_dim(), 16u);
+  const auto code = pq.encode(w.base.row(0));
+  EXPECT_EQ(code.size(), 8u);
+  for (auto c : code) EXPECT_LT(c, 16);
+}
+
+TEST(ProductQuantizer, ReconstructionReducesError) {
+  // Decoding a code must approximate the original far better than a random
+  // other vector does.
+  auto w = data::make_sift_like(1000, 1, 13);
+  const auto pq = ProductQuantizer::train(w.base, small_params());
+  double err = 0, baseline = 0;
+  for (std::size_t i = 0; i < 100; ++i) {
+    const auto code = pq.encode(w.base.row(i));
+    const auto rec = pq.decode(code.data());
+    err += simd::l2_sq(w.base.row(i), rec.data(), 128);
+    baseline += simd::l2_sq(w.base.row(i), w.base.row((i + 500) % 1000), 128);
+  }
+  EXPECT_LT(err, baseline * 0.25);
+}
+
+TEST(ProductQuantizer, AdcMatchesSymmetricDistanceToReconstruction) {
+  // ADC(q, code) must equal ||q - decode(code)||^2 exactly (same centroids).
+  auto w = data::make_sift_like(500, 10, 14);
+  const auto pq = ProductQuantizer::train(w.base, small_params());
+  for (std::size_t q = 0; q < w.queries.size(); ++q) {
+    const auto table = pq.adc_table(w.queries.row(q));
+    const auto code = pq.encode(w.base.row(q * 3));
+    const auto rec = pq.decode(code.data());
+    const float adc = pq.adc_distance(table, code.data());
+    const float direct = simd::l2_sq(w.queries.row(q), rec.data(), 128);
+    EXPECT_NEAR(adc, direct, 1e-1f + direct * 1e-4f);
+  }
+}
+
+TEST(ProductQuantizer, AdcPreservesRankingRoughly) {
+  // The ADC nearest neighbor should be among the true near neighbors much
+  // more often than chance.
+  auto w = data::make_sift_like(1000, 20, 15);
+  const auto pq = ProductQuantizer::train(w.base, small_params());
+  const auto codes = pq.encode_dataset(w.base);
+  std::size_t good = 0;
+  for (std::size_t q = 0; q < w.queries.size(); ++q) {
+    const auto table = pq.adc_table(w.queries.row(q));
+    std::size_t best = 0;
+    float best_d = std::numeric_limits<float>::infinity();
+    for (std::size_t i = 0; i < w.base.size(); ++i) {
+      const float d = pq.adc_distance(table, codes.data() + i * pq.m());
+      if (d < best_d) {
+        best_d = d;
+        best = i;
+      }
+    }
+    // True rank of the ADC winner.
+    const float true_d = simd::l2_sq(w.queries.row(q), w.base.row(best), 128);
+    std::size_t rank = 0;
+    for (std::size_t i = 0; i < w.base.size(); ++i) {
+      if (simd::l2_sq(w.queries.row(q), w.base.row(i), 128) < true_d) ++rank;
+    }
+    if (rank < 20) ++good;
+  }
+  EXPECT_GE(good, w.queries.size() / 2);  // far above the ~2% chance level
+}
+
+TEST(ProductQuantizer, EncodeDatasetMatchesPerVector) {
+  auto w = data::make_sift_like(200, 1, 16);
+  const auto pq = ProductQuantizer::train(w.base, small_params());
+  const auto codes = pq.encode_dataset(w.base);
+  ASSERT_EQ(codes.size(), 200u * 8u);
+  for (std::size_t i = 0; i < 20; ++i) {
+    const auto single = pq.encode(w.base.row(i));
+    for (std::size_t s = 0; s < 8; ++s) {
+      EXPECT_EQ(codes[i * 8 + s], single[s]);
+    }
+  }
+}
+
+TEST(ProductQuantizer, SerializeRoundTrip) {
+  auto w = data::make_sift_like(300, 5, 17);
+  const auto pq = ProductQuantizer::train(w.base, small_params());
+  BinaryWriter wtr;
+  pq.serialize(wtr);
+  auto bytes = wtr.take();
+  BinaryReader rd(bytes);
+  const auto back = ProductQuantizer::deserialize(rd);
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(back.encode(w.base.row(i)), pq.encode(w.base.row(i)));
+  }
+}
+
+TEST(ProductQuantizer, DeserializeRejectsBadMagic) {
+  BinaryWriter w;
+  w.write(std::uint32_t{0});
+  auto bytes = w.take();
+  BinaryReader r(bytes);
+  EXPECT_THROW((void)ProductQuantizer::deserialize(r), Error);
+}
+
+}  // namespace
+}  // namespace annsim::pq

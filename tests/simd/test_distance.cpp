@@ -1,0 +1,168 @@
+#include "annsim/simd/distance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "annsim/common/rng.hpp"
+
+namespace annsim::simd {
+namespace {
+
+std::vector<float> random_vec(std::size_t dim, Rng& rng) {
+  std::vector<float> v(dim);
+  for (auto& x : v) x = float(rng.normal());
+  return v;
+}
+
+/// Dispatched kernels must agree with the scalar reference across dims that
+/// exercise every SIMD tail path (0, <8, 8, 8..16, 16k, odd).
+class KernelParity : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KernelParity, L2MatchesScalar) {
+  const std::size_t dim = GetParam();
+  Rng rng(dim + 1);
+  for (int rep = 0; rep < 10; ++rep) {
+    auto a = random_vec(dim, rng);
+    auto b = random_vec(dim, rng);
+    const float simd_v = l2_sq(a.data(), b.data(), dim);
+    const float ref = l2_sq_scalar(a.data(), b.data(), dim);
+    EXPECT_NEAR(simd_v, ref, 1e-3f * (1.f + std::fabs(ref)));
+  }
+}
+
+TEST_P(KernelParity, InnerProductMatchesScalar) {
+  const std::size_t dim = GetParam();
+  Rng rng(dim + 2);
+  for (int rep = 0; rep < 10; ++rep) {
+    auto a = random_vec(dim, rng);
+    auto b = random_vec(dim, rng);
+    const float simd_v = inner_product(a.data(), b.data(), dim);
+    const float ref = inner_product_scalar(a.data(), b.data(), dim);
+    EXPECT_NEAR(simd_v, ref, 1e-3f * (1.f + std::fabs(ref)));
+  }
+}
+
+TEST_P(KernelParity, L1MatchesScalar) {
+  const std::size_t dim = GetParam();
+  Rng rng(dim + 3);
+  for (int rep = 0; rep < 10; ++rep) {
+    auto a = random_vec(dim, rng);
+    auto b = random_vec(dim, rng);
+    const float simd_v = l1(a.data(), b.data(), dim);
+    const float ref = l1_scalar(a.data(), b.data(), dim);
+    EXPECT_NEAR(simd_v, ref, 1e-3f * (1.f + std::fabs(ref)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, KernelParity,
+                         ::testing::Values(0, 1, 3, 7, 8, 9, 15, 16, 17, 31,
+                                           63, 96, 128, 257, 960));
+
+TEST(Distance, L2SqOfSelfIsZero) {
+  Rng rng(5);
+  auto a = random_vec(128, rng);
+  EXPECT_FLOAT_EQ(l2_sq(a.data(), a.data(), a.size()), 0.f);
+}
+
+TEST(Distance, L2Symmetry) {
+  Rng rng(6);
+  auto a = random_vec(50, rng);
+  auto b = random_vec(50, rng);
+  EXPECT_FLOAT_EQ(l2_sq(a.data(), b.data(), 50), l2_sq(b.data(), a.data(), 50));
+}
+
+TEST(Distance, KnownValues) {
+  const float a[4] = {0, 0, 0, 0};
+  const float b[4] = {3, 4, 0, 0};
+  EXPECT_FLOAT_EQ(l2_sq(a, b, 4), 25.f);
+  EXPECT_FLOAT_EQ(l1(a, b, 4), 7.f);
+  EXPECT_FLOAT_EQ(inner_product(b, b, 4), 25.f);
+  EXPECT_FLOAT_EQ(l2_norm(b, 4), 5.f);
+}
+
+TEST(Distance, TriangleInequalityL2) {
+  Rng rng(7);
+  const DistanceComputer d(Metric::kL2, 32);
+  for (int rep = 0; rep < 50; ++rep) {
+    auto a = random_vec(32, rng);
+    auto b = random_vec(32, rng);
+    auto c = random_vec(32, rng);
+    EXPECT_LE(d(a.data(), c.data()),
+              d(a.data(), b.data()) + d(b.data(), c.data()) + 1e-4f);
+  }
+}
+
+TEST(Distance, TriangleInequalityL1) {
+  Rng rng(8);
+  const DistanceComputer d(Metric::kL1, 32);
+  for (int rep = 0; rep < 50; ++rep) {
+    auto a = random_vec(32, rng);
+    auto b = random_vec(32, rng);
+    auto c = random_vec(32, rng);
+    EXPECT_LE(d(a.data(), c.data()),
+              d(a.data(), b.data()) + d(b.data(), c.data()) + 1e-4f);
+  }
+}
+
+TEST(DistanceComputer, L2IsSqrtOfL2Sq) {
+  Rng rng(9);
+  auto a = random_vec(64, rng);
+  auto b = random_vec(64, rng);
+  const DistanceComputer d(Metric::kL2, 64);
+  EXPECT_NEAR(d(a.data(), b.data()),
+              std::sqrt(l2_sq(a.data(), b.data(), 64)), 1e-4f);
+}
+
+TEST(DistanceComputer, CosineOfParallelVectorsIsZero) {
+  std::vector<float> a{1, 2, 3, 4};
+  std::vector<float> b{2, 4, 6, 8};
+  const DistanceComputer d(Metric::kCosine, 4);
+  EXPECT_NEAR(d(a.data(), b.data()), 0.f, 1e-5f);
+}
+
+TEST(DistanceComputer, CosineOfOrthogonalIsOne) {
+  std::vector<float> a{1, 0, 0, 0};
+  std::vector<float> b{0, 1, 0, 0};
+  const DistanceComputer d(Metric::kCosine, 4);
+  EXPECT_NEAR(d(a.data(), b.data()), 1.f, 1e-5f);
+}
+
+TEST(DistanceComputer, CosineHandlesZeroVector) {
+  std::vector<float> a{0, 0, 0, 0};
+  std::vector<float> b{1, 1, 1, 1};
+  const DistanceComputer d(Metric::kCosine, 4);
+  EXPECT_FLOAT_EQ(d(a.data(), b.data()), 1.f);
+}
+
+TEST(DistanceComputer, InnerProductRanking) {
+  // Larger dot product => smaller "distance".
+  std::vector<float> q{1, 1};
+  std::vector<float> close{1, 1};
+  std::vector<float> far{0.1f, 0.1f};
+  const DistanceComputer d(Metric::kInnerProduct, 2);
+  EXPECT_LT(d(q.data(), close.data()), d(q.data(), far.data()));
+}
+
+TEST(Metric, TrueMetricFlags) {
+  EXPECT_TRUE(is_true_metric(Metric::kL2));
+  EXPECT_TRUE(is_true_metric(Metric::kL1));
+  EXPECT_FALSE(is_true_metric(Metric::kInnerProduct));
+  EXPECT_FALSE(is_true_metric(Metric::kCosine));
+}
+
+TEST(Metric, NamesAreStable) {
+  EXPECT_STREQ(metric_name(Metric::kL2), "L2");
+  EXPECT_STREQ(metric_name(Metric::kL1), "L1");
+  EXPECT_STREQ(metric_name(Metric::kInnerProduct), "InnerProduct");
+  EXPECT_STREQ(metric_name(Metric::kCosine), "Cosine");
+}
+
+TEST(KernelIsa, ReportsKnownString) {
+  const auto isa = kernel_isa();
+  EXPECT_TRUE(isa == "avx2+fma" || isa == "scalar") << isa;
+}
+
+}  // namespace
+}  // namespace annsim::simd

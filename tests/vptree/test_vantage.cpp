@@ -1,0 +1,100 @@
+#include "annsim/vptree/vantage.hpp"
+
+#include <gtest/gtest.h>
+
+#include "annsim/data/recipes.hpp"
+
+namespace annsim::vptree {
+namespace {
+
+TEST(VantageSpread, ZeroForEquidistantPoints) {
+  // All eval points at distance 1 from the candidate: spread must be 0.
+  data::Dataset d(4, 2);
+  d.row(0)[0] = 1.f;
+  d.row(1)[0] = -1.f;
+  d.row(2)[1] = 1.f;
+  d.row(3)[1] = -1.f;
+  const float center[2] = {0.f, 0.f};
+  std::vector<std::size_t> eval{0, 1, 2, 3};
+  const simd::DistanceComputer dist(simd::Metric::kL2, 2);
+  EXPECT_NEAR(vantage_spread(center, d, eval, dist), 0.0, 1e-9);
+}
+
+TEST(VantageSpread, LargerForSpreadDistances) {
+  data::Dataset d(4, 1);
+  d.row(0)[0] = 1.f;
+  d.row(1)[0] = 2.f;
+  d.row(2)[0] = 3.f;
+  d.row(3)[0] = 10.f;
+  const float origin[1] = {0.f};
+  const float near_mid[1] = {2.f};  // distances {1,0,1,8}: tighter around median
+  std::vector<std::size_t> eval{0, 1, 2, 3};
+  const simd::DistanceComputer dist(simd::Metric::kL2, 1);
+  EXPECT_GT(vantage_spread(origin, d, eval, dist), 0.0);
+  EXPECT_NE(vantage_spread(origin, d, eval, dist),
+            vantage_spread(near_mid, d, eval, dist));
+}
+
+TEST(SelectVantagePoint, PicksHighestSpreadCandidate) {
+  // Points clustered at x=0 plus one far outlier at x=100. The outlier sees
+  // all cluster points at ~equal distance... actually the outlier gives tiny
+  // spread; a cluster-edge point separates the cluster best. Verify the
+  // function maximizes the published score rather than asserting geometry.
+  data::Dataset d(5, 1);
+  d.row(0)[0] = 0.f;
+  d.row(1)[0] = 0.1f;
+  d.row(2)[0] = -0.1f;
+  d.row(3)[0] = 0.05f;
+  d.row(4)[0] = 100.f;
+  std::vector<std::size_t> cands{0, 4};
+  std::vector<std::size_t> eval{0, 1, 2, 3, 4};
+  const simd::DistanceComputer dist(simd::Metric::kL2, 1);
+  const std::size_t best = select_vantage_point(d, cands, eval, dist);
+  const double s0 = vantage_spread(d.row(0), d, eval, dist);
+  const double s4 = vantage_spread(d.row(4), d, eval, dist);
+  EXPECT_EQ(best, s0 >= s4 ? 0u : 4u);
+}
+
+TEST(SelectVantagePoint, RejectsEmptyInputs) {
+  data::Dataset d(2, 1);
+  const simd::DistanceComputer dist(simd::Metric::kL2, 1);
+  std::vector<std::size_t> some{0};
+  std::vector<std::size_t> none;
+  EXPECT_THROW((void)select_vantage_point(d, none, some, dist), Error);
+  EXPECT_THROW((void)select_vantage_point(d, some, none, dist), Error);
+}
+
+TEST(SelectVantagePointSampled, ReturnsRowFromInput) {
+  auto w = data::make_sift_like(300, 5, 21);
+  std::vector<std::size_t> rows;
+  for (std::size_t i = 100; i < 200; ++i) rows.push_back(i);
+  const simd::DistanceComputer dist(simd::Metric::kL2, w.base.dim());
+  Rng rng(5);
+  for (int rep = 0; rep < 10; ++rep) {
+    const std::size_t vp =
+        select_vantage_point_sampled(w.base, rows, 10, 32, dist, rng);
+    EXPECT_GE(vp, 100u);
+    EXPECT_LT(vp, 200u);
+  }
+}
+
+TEST(SelectVantagePointSampled, DeterministicGivenRngState) {
+  auto w = data::make_sift_like(300, 5, 22);
+  std::vector<std::size_t> rows(300);
+  for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  const simd::DistanceComputer dist(simd::Metric::kL2, w.base.dim());
+  Rng a(9), b(9);
+  EXPECT_EQ(select_vantage_point_sampled(w.base, rows, 16, 64, dist, a),
+            select_vantage_point_sampled(w.base, rows, 16, 64, dist, b));
+}
+
+TEST(SelectVantagePointSampled, SingleRow) {
+  data::Dataset d(3, 2);
+  std::vector<std::size_t> rows{2};
+  const simd::DistanceComputer dist(simd::Metric::kL2, 2);
+  Rng rng(1);
+  EXPECT_EQ(select_vantage_point_sampled(d, rows, 100, 100, dist, rng), 2u);
+}
+
+}  // namespace
+}  // namespace annsim::vptree

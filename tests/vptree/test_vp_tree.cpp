@@ -1,0 +1,107 @@
+#include "annsim/vptree/vp_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "annsim/data/ground_truth.hpp"
+#include "annsim/data/recipes.hpp"
+
+namespace annsim::vptree {
+namespace {
+
+TEST(VpTree, ExactOnSiftLike) {
+  auto w = data::make_sift_like(1500, 30, 31);
+  VpTree tree(&w.base, {});
+  auto gt = data::brute_force_knn(w.base, w.queries, 10, simd::Metric::kL2);
+  for (std::size_t q = 0; q < w.queries.size(); ++q) {
+    auto res = tree.search(w.queries.row(q), 10);
+    ASSERT_EQ(res.size(), 10u);
+    for (std::size_t i = 0; i < 10; ++i) {
+      EXPECT_EQ(res[i].id, gt[q][i].id) << "query " << q << " pos " << i;
+      EXPECT_NEAR(res[i].dist, gt[q][i].dist, 1e-4f);
+    }
+  }
+}
+
+TEST(VpTree, ExactUnderL1) {
+  auto w = data::make_deep_like(800, 20, 32);
+  VpTreeParams p;
+  p.metric = simd::Metric::kL1;
+  VpTree tree(&w.base, p);
+  auto gt = data::brute_force_knn(w.base, w.queries, 5, simd::Metric::kL1);
+  for (std::size_t q = 0; q < w.queries.size(); ++q) {
+    auto res = tree.search(w.queries.row(q), 5);
+    for (std::size_t i = 0; i < res.size(); ++i) {
+      EXPECT_EQ(res[i].id, gt[q][i].id);
+    }
+  }
+}
+
+TEST(VpTree, RejectsNonMetric) {
+  data::Dataset d(10, 4);
+  VpTreeParams p;
+  p.metric = simd::Metric::kInnerProduct;
+  EXPECT_THROW(VpTree(&d, p), Error);
+}
+
+TEST(VpTree, EmptyDataset) {
+  data::Dataset d(0, 4);
+  VpTree tree(&d, {});
+  float q[4] = {};
+  EXPECT_TRUE(tree.search(q, 3).empty());
+}
+
+TEST(VpTree, SinglePoint) {
+  data::Dataset d(1, 2);
+  d.row(0)[0] = 5.f;
+  VpTree tree(&d, {});
+  float q[2] = {5.f, 0.f};
+  auto res = tree.search(q, 4);
+  ASSERT_EQ(res.size(), 1u);
+  EXPECT_EQ(res[0].id, 0u);
+}
+
+TEST(VpTree, OneNodePerPoint) {
+  auto w = data::make_sift_like(200, 1, 33);
+  VpTree tree(&w.base, {});
+  EXPECT_EQ(tree.node_count(), 200u);
+}
+
+TEST(VpTree, PruningBeatsLinearScanOnClusteredData) {
+  // On well-clustered data the triangle-inequality pruning must skip a
+  // meaningful share of the dataset.
+  auto w = data::make_syn(2000, 16, 0, 20, 34);
+  VpTree tree(&w.base, {});
+  std::size_t total_evals = 0;
+  for (std::size_t q = 0; q < w.queries.size(); ++q) {
+    std::size_t evals = 0;
+    (void)tree.search(w.queries.row(q), 1, &evals);
+    total_evals += evals;
+  }
+  const double mean_evals = double(total_evals) / double(w.queries.size());
+  EXPECT_LT(mean_evals, 0.8 * double(w.base.size()));
+}
+
+TEST(VpTree, KLargerThanDatasetReturnsAll) {
+  auto w = data::make_sift_like(20, 3, 35);
+  VpTree tree(&w.base, {});
+  auto res = tree.search(w.queries.row(0), 50);
+  EXPECT_EQ(res.size(), 20u);
+}
+
+TEST(VpTree, DeterministicAcrossSeeds) {
+  // Different vantage seeds must not change *results* (only pruning).
+  auto w = data::make_deep_like(500, 10, 36);
+  VpTreeParams p1, p2;
+  p1.seed = 1;
+  p2.seed = 999;
+  VpTree t1(&w.base, p1), t2(&w.base, p2);
+  for (std::size_t q = 0; q < w.queries.size(); ++q) {
+    auto r1 = t1.search(w.queries.row(q), 8);
+    auto r2 = t2.search(w.queries.row(q), 8);
+    ASSERT_EQ(r1.size(), r2.size());
+    for (std::size_t i = 0; i < r1.size(); ++i) EXPECT_EQ(r1[i].id, r2[i].id);
+  }
+}
+
+}  // namespace
+}  // namespace annsim::vptree

@@ -1,0 +1,235 @@
+/// annsim — command-line driver for the distributed ANN engine.
+///
+/// Works on the standard TEXMEX file formats (.fvecs vectors, .ivecs
+/// neighbor lists), so it interoperates with the ANN-benchmarks ecosystem:
+///
+///   annsim gen SIFT 100000 1000 /tmp/demo          # synthetic corpus
+///   annsim gt /tmp/demo_base.fvecs /tmp/demo_query.fvecs 10 /tmp/demo_gt.ivecs
+///   annsim build /tmp/demo_base.fvecs /tmp/demo.idx --workers 16 --M 16
+///   annsim search /tmp/demo.idx /tmp/demo_query.fvecs 10 /tmp/demo_res.ivecs
+///   annsim eval /tmp/demo_res.ivecs /tmp/demo_gt.ivecs 10
+///   annsim info /tmp/demo.idx
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "annsim/common/timer.hpp"
+#include "annsim/core/engine.hpp"
+#include "annsim/data/analysis.hpp"
+#include "annsim/data/ground_truth.hpp"
+#include "annsim/data/recipes.hpp"
+#include "annsim/data/vecs_io.hpp"
+
+namespace {
+
+using namespace annsim;
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  annsim gen <SIFT|DEEP|GIST|SYN_1M|SYN_10M> <n_base> "
+               "<n_queries> <out_prefix> [seed]\n"
+               "  annsim gt <base.fvecs> <query.fvecs> <k> <out.ivecs>\n"
+               "  annsim build <base.fvecs> <out.idx> [--workers N] "
+               "[--replication R] [--nprobe P] [--M m] [--efc e] [--local "
+               "hnsw|bruteforce|vptree|ivfpq] [--two-sided]\n"
+               "  annsim search <index.idx> <query.fvecs> <k> <out.ivecs> "
+               "[--ef E]\n"
+               "  annsim eval <result.ivecs> <gt.ivecs> <k>\n"
+               "  annsim info <index.idx>\n");
+  std::exit(2);
+}
+
+std::size_t arg_num(const char* s) { return std::size_t(std::atoll(s)); }
+
+/// Find "--name value" in argv; returns fallback when absent.
+std::string opt(int argc, char** argv, const char* name,
+                const std::string& fallback) {
+  for (int i = 0; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+bool flag(int argc, char** argv, const char* name) {
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
+int cmd_gen(int argc, char** argv) {
+  if (argc < 4) usage();
+  const std::string recipe = argv[0];
+  const std::size_t n_base = arg_num(argv[1]);
+  const std::size_t n_queries = arg_num(argv[2]);
+  const std::string prefix = argv[3];
+  const std::uint64_t seed = argc > 4 ? arg_num(argv[4]) : 42;
+
+  auto w = data::make_by_name(recipe, n_base, n_queries, seed);
+  data::save_fvecs(prefix + "_base.fvecs", w.base);
+  data::save_fvecs(prefix + "_query.fvecs", w.queries);
+  std::printf("wrote %s_base.fvecs (%zu x %zu) and %s_query.fvecs (%zu x %zu)\n",
+              prefix.c_str(), w.base.size(), w.base.dim(), prefix.c_str(),
+              w.queries.size(), w.queries.dim());
+  return 0;
+}
+
+int cmd_gt(int argc, char** argv) {
+  if (argc < 4) usage();
+  auto base = data::load_fvecs(argv[0]);
+  auto queries = data::load_fvecs(argv[1]);
+  const std::size_t k = arg_num(argv[2]);
+
+  ThreadPool pool;
+  WallTimer t;
+  auto gt = data::brute_force_knn(base, queries, k, simd::Metric::kL2, &pool);
+  std::printf("exact %zu-NN of %zu queries over %zu points in %.2fs\n", k,
+              queries.size(), base.size(), t.seconds());
+
+  const double d_int = data::intrinsic_dimension(gt, base.dim());
+  const auto prof = data::neighbor_profile(gt);
+  std::printf("geometry: intrinsic dim ~%.1f, mean r1 %.3g, mean rk %.3g, "
+              "contrast %.3f\n",
+              d_int, prof.mean_r1, prof.mean_rk, prof.contrast);
+
+  std::vector<std::vector<std::int32_t>> rows(gt.size());
+  for (std::size_t q = 0; q < gt.size(); ++q) {
+    for (const auto& nb : gt[q]) rows[q].push_back(std::int32_t(nb.id));
+  }
+  data::save_ivecs(argv[3], rows);
+  std::printf("wrote %s\n", argv[3]);
+  return 0;
+}
+
+core::LocalIndexKind parse_local(const std::string& s) {
+  if (s == "hnsw") return core::LocalIndexKind::kHnsw;
+  if (s == "bruteforce") return core::LocalIndexKind::kBruteForce;
+  if (s == "vptree") return core::LocalIndexKind::kVpTree;
+  if (s == "ivfpq") return core::LocalIndexKind::kIvfPq;
+  std::fprintf(stderr, "unknown local index kind: %s\n", s.c_str());
+  std::exit(2);
+}
+
+int cmd_build(int argc, char** argv) {
+  if (argc < 2) usage();
+  auto base = data::load_fvecs(argv[0]);
+  core::EngineConfig cfg;
+  cfg.n_workers = arg_num(opt(argc, argv, "--workers", "8").c_str());
+  cfg.replication = arg_num(opt(argc, argv, "--replication", "1").c_str());
+  cfg.n_probe = arg_num(opt(argc, argv, "--nprobe", "4").c_str());
+  cfg.hnsw.M = arg_num(opt(argc, argv, "--M", "16").c_str());
+  cfg.hnsw.ef_construction = arg_num(opt(argc, argv, "--efc", "200").c_str());
+  cfg.local_index = parse_local(opt(argc, argv, "--local", "hnsw"));
+  if (flag(argc, argv, "--two-sided")) cfg.one_sided = false;
+
+  std::printf("building: %zu points x %zu-d, %zu workers, r=%zu, local=%s\n",
+              base.size(), base.dim(), cfg.n_workers, cfg.replication,
+              core::local_index_kind_name(cfg.local_index));
+  core::DistributedAnnEngine engine(&base, cfg);
+  engine.build();
+  const auto& bs = engine.build_stats();
+  std::printf("built in %.2fs (VP %.2fs, local indexes %.2fs, replication "
+              "%.2fs)\n",
+              bs.total_seconds, bs.vp_tree_seconds, bs.hnsw_seconds,
+              bs.replication_seconds);
+  engine.save(argv[1]);
+  std::printf("wrote %s\n", argv[1]);
+  return 0;
+}
+
+int cmd_search(int argc, char** argv) {
+  if (argc < 4) usage();
+  auto engine = core::DistributedAnnEngine::load(argv[0]);
+  auto queries = data::load_fvecs(argv[1]);
+  const std::size_t k = arg_num(argv[2]);
+  const std::size_t ef = arg_num(opt(argc, argv, "--ef", "0").c_str());
+
+  core::SearchStats st;
+  auto results = engine.search(queries, k, ef, &st);
+  std::printf("%zu queries, k=%zu: %.3fs total (%.0f q/s), %llu jobs, "
+              "load CV %.3f\n",
+              queries.size(), k, st.total_seconds,
+              double(queries.size()) / st.total_seconds,
+              static_cast<unsigned long long>(st.total_jobs),
+              data::load_imbalance_cv(st.jobs_per_worker));
+
+  std::vector<std::vector<std::int32_t>> rows(results.size());
+  for (std::size_t q = 0; q < results.size(); ++q) {
+    for (const auto& nb : results[q]) rows[q].push_back(std::int32_t(nb.id));
+  }
+  data::save_ivecs(argv[3], rows);
+  std::printf("wrote %s\n", argv[3]);
+  return 0;
+}
+
+int cmd_eval(int argc, char** argv) {
+  if (argc < 3) usage();
+  auto result = data::load_ivecs(argv[0]);
+  auto truth = data::load_ivecs(argv[1]);
+  const std::size_t k = arg_num(argv[2]);
+  if (result.size() != truth.size()) {
+    std::fprintf(stderr, "row count mismatch: %zu results vs %zu truth\n",
+                 result.size(), truth.size());
+    return 1;
+  }
+  double recall = 0.0;
+  for (std::size_t q = 0; q < result.size(); ++q) {
+    const std::size_t kk = std::min(k, truth[q].size());
+    if (kk == 0) continue;
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < std::min(k, result[q].size()); ++i) {
+      for (std::size_t j = 0; j < kk; ++j) {
+        if (result[q][i] == truth[q][j]) {
+          ++hits;
+          break;
+        }
+      }
+    }
+    recall += double(hits) / double(kk);
+  }
+  std::printf("recall@%zu = %.4f over %zu queries\n", k,
+              recall / double(result.size()), result.size());
+  return 0;
+}
+
+int cmd_info(int argc, char** argv) {
+  if (argc < 1) usage();
+  auto engine = core::DistributedAnnEngine::load(argv[0]);
+  const auto& cfg = engine.config();
+  const auto sizes = engine.partition_sizes();
+  std::size_t total = 0;
+  for (auto s : sizes) total += s;
+  std::printf("index: %zu points x %zu-d in %zu partitions\n", total,
+              engine.router().dim(), sizes.size());
+  std::printf("config: r=%zu n_probe=%zu local=%s M=%zu efc=%zu %s\n",
+              cfg.replication, cfg.n_probe,
+              core::local_index_kind_name(cfg.local_index), cfg.hnsw.M,
+              cfg.hnsw.ef_construction,
+              cfg.one_sided ? "one-sided" : "two-sided");
+  std::printf("router depth %zu, build time %.2fs\n", engine.router().depth(),
+              engine.build_stats().total_seconds);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "gen") return cmd_gen(argc - 2, argv + 2);
+    if (cmd == "gt") return cmd_gt(argc - 2, argv + 2);
+    if (cmd == "build") return cmd_build(argc - 2, argv + 2);
+    if (cmd == "search") return cmd_search(argc - 2, argv + 2);
+    if (cmd == "eval") return cmd_eval(argc - 2, argv + 2);
+    if (cmd == "info") return cmd_info(argc - 2, argv + 2);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  usage();
+}
