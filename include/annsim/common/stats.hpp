@@ -5,9 +5,11 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace annsim {
@@ -55,6 +57,59 @@ class RunningStats {
   double sum_ = 0.0;
   double min_ = std::numeric_limits<double>::infinity();
   double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Streaming geometric-bucket histogram for positive, latency-like samples.
+///
+/// Buckets grow by a constant factor (`growth`), so percentile estimates
+/// carry a bounded *relative* error of at most `growth - 1` while memory
+/// stays fixed — the standard layout for serving-latency telemetry, where
+/// p50 may be microseconds and p999 may be seconds. Exact min/max/mean/sum
+/// are tracked on the side, and `percentile(0)` / `percentile(100)` return
+/// the exact observed extremes.
+///
+/// Samples below `lo` land in an underflow bucket, samples at or above the
+/// top bucket in an overflow bucket; both interpolate against the exact
+/// observed min/max, so out-of-range data degrades gracefully instead of
+/// being dropped.
+class Histogram {
+ public:
+  /// `lo`..`hi` is the resolvable range; `growth` the per-bucket factor.
+  explicit Histogram(double lo = 1e-6, double hi = 1e6, double growth = 1.08);
+
+  void add(double x) noexcept;
+
+  /// Merge another histogram; layouts (lo/hi/growth) must match.
+  void merge(const Histogram& o);
+
+  [[nodiscard]] std::size_t count() const noexcept { return raw_.count(); }
+  [[nodiscard]] double min() const noexcept { return raw_.min(); }
+  [[nodiscard]] double max() const noexcept { return raw_.max(); }
+  [[nodiscard]] double mean() const noexcept { return raw_.mean(); }
+  [[nodiscard]] double sum() const noexcept { return raw_.sum(); }
+
+  /// Estimated percentile, p in [0, 100] (throws annsim::Error outside).
+  /// Empty histogram returns 0.0; p=0 and p=100 are the exact min/max.
+  [[nodiscard]] double percentile(double p) const;
+
+  /// Convenience tail quantiles for serving telemetry.
+  [[nodiscard]] double p50() const { return percentile(50.0); }
+  [[nodiscard]] double p95() const { return percentile(95.0); }
+  [[nodiscard]] double p99() const { return percentile(99.0); }
+  [[nodiscard]] double p999() const { return percentile(99.9); }
+
+  [[nodiscard]] std::size_t bucket_count() const noexcept { return counts_.size(); }
+
+ private:
+  [[nodiscard]] std::size_t bucket_of(double x) const noexcept;
+  /// [lower, upper) value bounds of bucket b, clamped to observed extremes.
+  [[nodiscard]] std::pair<double, double> bucket_bounds(std::size_t b) const noexcept;
+
+  double lo_ = 0.0;
+  double inv_log_growth_ = 0.0;
+  double growth_ = 0.0;
+  std::vector<std::uint64_t> counts_;  ///< [underflow, b0..bn-1, overflow]
+  RunningStats raw_;                   ///< exact min/max/mean/sum on the side
 };
 
 /// Five-number summary + mean of a sample (used for Fig 4(b)-style

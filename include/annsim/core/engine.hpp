@@ -13,6 +13,7 @@
 /// engine-owned storage between the build phase and search phases.
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -79,6 +80,20 @@ struct SearchStats {
   mpi::TrafficStats traffic;  ///< runtime traffic during this search
 };
 
+/// Per-query completion hook for batched search: invoked by the master as
+/// soon as query `qid`'s final merged result is known (before `search`
+/// returns). In two-sided mode this fires as each query's last partial
+/// arrives; in one-sided mode all slots finalize together at the end of the
+/// batch epoch. Runs on a runtime-internal thread — keep it cheap, and
+/// synchronize any state it shares with the caller.
+using QueryDoneFn =
+    std::function<void(std::size_t qid, const std::vector<Neighbor>& result)>;
+
+/// Throws annsim::Error with a field-specific message when `config` is
+/// unusable (zero workers/probes, replication outside [1, n_workers], ...).
+/// Called from the engine constructor and again from build().
+void validate_engine_config(const EngineConfig& config);
+
 class DistributedAnnEngine {
  public:
   /// `base` is referenced, not owned, and must outlive the engine.
@@ -98,9 +113,12 @@ class DistributedAnnEngine {
   [[nodiscard]] const BuildStats& build_stats() const noexcept { return build_stats_; }
 
   /// Batched k-NN search (Algorithms 3-5). `ef` = 0 uses the index default.
+  /// `on_query_done`, when set, reports each query's completion to online
+  /// callers (the serving plane) before the batch as a whole returns.
   [[nodiscard]] data::KnnResults search(const data::Dataset& queries,
                                         std::size_t k, std::size_t ef = 0,
-                                        SearchStats* stats = nullptr);
+                                        SearchStats* stats = nullptr,
+                                        const QueryDoneFn& on_query_done = {});
 
   /// The master's routing tree (valid after build()).
   [[nodiscard]] const vptree::PartitionVpTree& router() const;
@@ -134,11 +152,12 @@ class DistributedAnnEngine {
 
   void master_search(mpi::Comm& world, const data::Dataset& queries,
                      std::size_t k, std::size_t ef, data::KnnResults& results,
-                     SearchStats& stats);
+                     SearchStats& stats, const QueryDoneFn& on_query_done);
   void worker_search(mpi::Comm& world, std::size_t k);
   void master_search_owner(mpi::Comm& world, const data::Dataset& queries,
                            std::size_t k, std::size_t ef,
-                           data::KnnResults& results, SearchStats& stats);
+                           data::KnnResults& results, SearchStats& stats,
+                           const QueryDoneFn& on_query_done);
   void worker_search_owner(mpi::Comm& world, const data::Dataset& queries,
                            std::size_t k, std::size_t ef);
 

@@ -1,0 +1,39 @@
+#pragma once
+/// \file load_gen.hpp
+/// \brief Load generators for the serving plane: open-loop Poisson arrivals
+/// at a configured QPS (the standard tail-latency methodology — arrivals do
+/// not slow down when the server does) and a closed-loop mode (N clients,
+/// each submit-then-wait) for saturation throughput.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "annsim/data/dataset.hpp"
+#include "annsim/serve/query_server.hpp"
+
+namespace annsim::serve {
+
+struct LoadGenConfig {
+  bool open_loop = true;       ///< Poisson arrivals; false = closed loop
+  double qps = 2000.0;         ///< open-loop mean arrival rate
+  std::size_t n_requests = 2000;
+  std::size_t n_clients = 4;   ///< closed-loop client thread count
+  std::size_t k = 10;
+  double deadline_ms = 0.0;    ///< per-request deadline; <= 0 disables
+  std::uint64_t seed = 1;      ///< Poisson inter-arrival stream seed
+};
+
+struct LoadGenReport {
+  double wall_seconds = 0.0;       ///< submission start -> last response
+  double offered_qps = 0.0;        ///< n_requests / wall (open loop: ~cfg.qps)
+  std::size_t ok = 0, rejected = 0, expired = 0, failed = 0;
+  MetricsReport metrics;           ///< server-side telemetry snapshot
+};
+
+/// Drive `server` with requests drawn cyclically from `queries`. Blocks
+/// until every response has arrived.
+[[nodiscard]] LoadGenReport run_load(QueryServer& server,
+                                     const data::Dataset& queries,
+                                     const LoadGenConfig& cfg);
+
+}  // namespace annsim::serve

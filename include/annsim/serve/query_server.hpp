@@ -1,0 +1,127 @@
+#pragma once
+/// \file query_server.hpp
+/// \brief Online query-serving front end for the distributed ANN engine.
+///
+/// The paper's engine answers one pre-materialized offline batch
+/// (Algorithms 3-5). Production traffic instead arrives as individual
+/// requests over time, so web-scale ANN deployments put a serving tier in
+/// front of the index (LANNS batches online lookups the same way). The
+/// QueryServer is that tier:
+///
+///     clients ──submit()──► bounded admission queue ──► micro-batcher
+///         ◄──future◄── per-request completion ◄── DistributedAnnEngine
+///
+/// A dynamic micro-batching scheduler groups pending requests and flushes a
+/// batch when it reaches `max_batch` requests or the oldest pending request
+/// has waited `max_delay_ms` — whichever comes first — trading per-request
+/// latency against the batch efficiency the engine's master-worker dispatch
+/// was designed for. Each request carries an optional deadline; expired
+/// requests complete with a timeout status instead of blocking their
+/// callers. Admission is bounded: when the queue is full the server either
+/// rejects (default, load-shedding) or blocks the submitter (backpressure).
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "annsim/core/engine.hpp"
+#include "annsim/serve/server_metrics.hpp"
+
+namespace annsim::serve {
+
+enum class QueryStatus : std::uint8_t {
+  kOk = 0,        ///< answered within deadline
+  kRejected,      ///< bounced at admission (queue full, reject policy)
+  kDeadlineExpired,  ///< deadline passed; neighbors may be present if the
+                     ///< search finished late (partial service)
+  kShutdown,      ///< server stopped before the request could be served
+  kError,         ///< engine failure while serving the batch
+};
+
+[[nodiscard]] const char* to_string(QueryStatus s) noexcept;
+
+struct QueryResponse {
+  QueryStatus status = QueryStatus::kShutdown;
+  std::vector<Neighbor> neighbors;  ///< ascending by distance, <= requested k
+  double queue_ms = 0.0;   ///< admission -> batch dispatch
+  double total_ms = 0.0;   ///< admission -> completion (end-to-end latency)
+  std::size_t batch_size = 0;  ///< size of the micro-batch this request rode in
+};
+
+/// What to do with a submit() when the admission queue is full.
+enum class OverflowPolicy : std::uint8_t {
+  kReject,  ///< complete immediately with kRejected (load shedding)
+  kBlock,   ///< block the submitting thread until space frees (backpressure)
+};
+
+struct ServerConfig {
+  std::size_t max_batch = 32;      ///< flush when this many requests pend
+  double max_delay_ms = 2.0;       ///< ... or when the oldest waited this long
+  std::size_t queue_capacity = 1024;  ///< bounded admission queue
+  OverflowPolicy overflow = OverflowPolicy::kReject;
+  std::size_t ef = 0;              ///< engine ef_search override (0 = default)
+};
+
+/// Thread-safe online front end over a built DistributedAnnEngine. The
+/// engine is referenced, not owned, and must outlive the server; batches are
+/// serialized through one scheduler thread, matching the engine's
+/// one-batch-at-a-time master.
+class QueryServer {
+ public:
+  QueryServer(core::DistributedAnnEngine* engine, ServerConfig config);
+  ~QueryServer();  ///< graceful stop(): drains pending requests
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// Submit one query from any thread. `deadline_ms` <= 0 means no deadline.
+  /// The returned future completes exactly once — with results, a timeout,
+  /// a rejection, or a shutdown status; it never blocks forever.
+  [[nodiscard]] std::future<QueryResponse> submit(std::vector<float> query,
+                                                  std::size_t k,
+                                                  double deadline_ms = 0.0);
+
+  /// Stop accepting requests, drain everything already admitted, and join
+  /// the scheduler. Idempotent; called by the destructor.
+  void stop();
+
+  [[nodiscard]] MetricsReport metrics() const { return metrics_.report(); }
+  [[nodiscard]] const ServerConfig& config() const noexcept { return config_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Pending {
+    std::vector<float> query;
+    std::size_t k = 0;
+    Clock::time_point admitted{};
+    Clock::time_point deadline = Clock::time_point::max();
+    std::promise<QueryResponse> promise;
+  };
+
+  void scheduler_main();
+  /// Complete every queued request whose deadline has passed. Caller holds mu_.
+  void expire_overdue_locked(Clock::time_point now);
+  void run_batch(std::vector<Pending> batch);
+
+  core::DistributedAnnEngine* engine_;
+  ServerConfig config_;
+  std::size_t dim_ = 0;
+  std::chrono::duration<double, std::milli> max_delay_{};
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_work_;   ///< scheduler wakeups
+  std::condition_variable cv_space_;  ///< blocked submitters (kBlock policy)
+  std::deque<Pending> queue_;
+  bool stopping_ = false;
+
+  ServerMetrics metrics_;
+  std::thread scheduler_;
+};
+
+}  // namespace annsim::serve

@@ -1,0 +1,77 @@
+#pragma once
+/// \file server_metrics.hpp
+/// \brief Telemetry for the online serving plane: latency histogram with
+/// tail quantiles (p50/p95/p99/p999), queue-depth and batch-size
+/// distributions, throughput, and rejection/expiry counters.
+///
+/// All recording methods are thread-safe — clients submit concurrently and
+/// completions fire from the engine's master thread — and cheap enough to
+/// sit on the request path (one mutex, one histogram increment).
+
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "annsim/common/stats.hpp"
+
+namespace annsim::serve {
+
+/// Immutable snapshot of the server's counters and distributions.
+struct MetricsReport {
+  std::size_t submitted = 0;      ///< admitted into the queue
+  std::size_t completed_ok = 0;   ///< answered within deadline
+  std::size_t rejected = 0;       ///< bounced by backpressure (queue full)
+  std::size_t expired = 0;        ///< deadline passed before/after dispatch
+  std::size_t failed = 0;         ///< engine error or shutdown drop
+  std::size_t batches = 0;        ///< engine batch invocations
+
+  double wall_seconds = 0.0;      ///< first admission -> last completion
+  double throughput_qps = 0.0;    ///< completed_ok / wall_seconds
+
+  double latency_mean_ms = 0.0;   ///< end-to-end latency of ok completions
+  double latency_p50_ms = 0.0;
+  double latency_p95_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  double latency_p999_ms = 0.0;
+  double latency_max_ms = 0.0;
+
+  double queue_wait_mean_ms = 0.0;  ///< admission -> batch dispatch
+
+  Summary queue_depth;  ///< depth observed after each admission
+  Summary batch_size;   ///< size of each dispatched batch
+};
+
+/// Multi-line human-readable rendering (bench / CLI output).
+[[nodiscard]] std::string to_string(const MetricsReport& r);
+
+class ServerMetrics {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  void on_submit(std::size_t queue_depth_after_admission);
+  void on_reject();
+  void on_expire();
+  void on_fail();
+  void on_batch(std::size_t batch_size);
+  /// An in-deadline completion; latencies in milliseconds.
+  void on_complete_ok(double latency_ms, double queue_wait_ms);
+
+  [[nodiscard]] MetricsReport report() const;
+
+ private:
+  mutable std::mutex mu_;
+  // Latency from 1us to 100s at ~8% bucket resolution.
+  Histogram latency_ms_{1e-3, 1e5, 1.08};
+  RunningStats queue_wait_ms_;
+  std::vector<double> queue_depths_;
+  std::vector<double> batch_sizes_;
+  std::size_t submitted_ = 0, completed_ok_ = 0, rejected_ = 0, expired_ = 0,
+              failed_ = 0, batches_ = 0;
+  bool saw_submit_ = false;
+  Clock::time_point first_submit_{};
+  Clock::time_point last_complete_{};
+};
+
+}  // namespace annsim::serve

@@ -16,30 +16,47 @@
 
 namespace annsim::core {
 
+// Validate outside the SPMD region: a rank that throws mid-collective would
+// leave its peers blocked, as in real MPI. Field-specific messages so a
+// misconfigured caller learns which knob is wrong, not just that something is.
+void validate_engine_config(const EngineConfig& config) {
+  ANNSIM_CHECK_MSG(config.n_workers >= 1,
+                   "n_workers must be nonzero: the engine needs at least one "
+                   "worker process");
+  ANNSIM_CHECK_MSG(std::has_single_bit(config.n_workers),
+                   "n_workers must be a power of two (got "
+                       << config.n_workers << ")");
+  ANNSIM_CHECK_MSG(config.replication >= 1,
+                   "replication must be nonzero (r=1 means no replication)");
+  ANNSIM_CHECK_MSG(config.replication <= config.n_workers,
+                   "replication (" << config.replication
+                                   << ") cannot exceed n_workers ("
+                                   << config.n_workers
+                                   << "): a workgroup has at most P members");
+  ANNSIM_CHECK_MSG(config.n_probe >= 1,
+                   "n_probe must be nonzero: every query probes at least one "
+                   "partition");
+  ANNSIM_CHECK_MSG(config.threads_per_worker >= 1,
+                   "threads_per_worker must be nonzero");
+  if (config.strategy == DispatchStrategy::kMultipleOwner) {
+    ANNSIM_CHECK_MSG(!config.one_sided && !config.exact_routing,
+                     "multiple-owner mode supports two-sided single-pass only");
+  }
+  ANNSIM_CHECK_MSG(simd::is_true_metric(config.hnsw.metric),
+                   "VP-tree partitioning requires a true metric (L2 or L1)");
+  if (config.local_index == LocalIndexKind::kIvfPq) {
+    ANNSIM_CHECK_MSG(config.hnsw.metric == simd::Metric::kL2,
+                     "IVF-PQ local indexes support L2 only");
+  }
+}
+
 DistributedAnnEngine::DistributedAnnEngine(const data::Dataset* base,
                                            EngineConfig config)
     : base_(base), config_(std::move(config)) {
   ANNSIM_CHECK(base_ != nullptr);
-  ANNSIM_CHECK_MSG(std::has_single_bit(config_.n_workers),
-                   "n_workers must be a power of two");
-  ANNSIM_CHECK(config_.replication >= 1 &&
-               config_.replication <= config_.n_workers);
-  ANNSIM_CHECK(config_.n_probe >= 1);
-  ANNSIM_CHECK(config_.threads_per_worker >= 1);
+  validate_engine_config(config_);
   ANNSIM_CHECK_MSG(base_->size() >= config_.n_workers * 2,
                    "dataset too small for the requested partition count");
-  if (config_.strategy == DispatchStrategy::kMultipleOwner) {
-    ANNSIM_CHECK_MSG(!config_.one_sided && !config_.exact_routing,
-                     "multiple-owner mode supports two-sided single-pass only");
-  }
-  // Validate here rather than inside the SPMD region: a rank that throws
-  // mid-collective would leave its peers blocked, as in real MPI.
-  ANNSIM_CHECK_MSG(simd::is_true_metric(config_.hnsw.metric),
-                   "VP-tree partitioning requires a true metric (L2 or L1)");
-  if (config_.local_index == LocalIndexKind::kIvfPq) {
-    ANNSIM_CHECK_MSG(config_.hnsw.metric == simd::Metric::kL2,
-                     "IVF-PQ local indexes support L2 only");
-  }
   config_.partitioner.metric = config_.hnsw.metric;
 }
 
@@ -59,6 +76,9 @@ std::vector<std::size_t> DistributedAnnEngine::partition_sizes() const {
 
 void DistributedAnnEngine::build() {
   ANNSIM_CHECK_MSG(!router_.has_value(), "engine already built");
+  // Re-validate at build time: the config travels through save/load and
+  // default construction, so the constructor check alone is not airtight.
+  validate_engine_config(config_);
   const std::size_t P = config_.n_workers;
   const std::size_t n = base_->size();
   workers_.clear();
@@ -181,7 +201,8 @@ std::vector<std::vector<PartitionId>> DistributedAnnEngine::plan_queries(
 
 data::KnnResults DistributedAnnEngine::search(const data::Dataset& queries,
                                               std::size_t k, std::size_t ef,
-                                              SearchStats* stats) {
+                                              SearchStats* stats,
+                                              const QueryDoneFn& on_query_done) {
   ANNSIM_CHECK_MSG(router_.has_value(), "engine not built yet");
   ANNSIM_CHECK(queries.dim() == router_->dim());
   ANNSIM_CHECK(k >= 1);
@@ -195,13 +216,13 @@ data::KnnResults DistributedAnnEngine::search(const data::Dataset& queries,
   rt.run([&](mpi::Comm& world) {
     if (config_.strategy == DispatchStrategy::kMultipleOwner) {
       if (world.rank() == 0) {
-        master_search_owner(world, queries, k, ef, results, st);
+        master_search_owner(world, queries, k, ef, results, st, on_query_done);
       } else {
         worker_search_owner(world, queries, k, ef);
       }
     } else {
       if (world.rank() == 0) {
-        master_search(world, queries, k, ef, results, st);
+        master_search(world, queries, k, ef, results, st, on_query_done);
       } else {
         worker_search(world, k);
       }
@@ -218,7 +239,8 @@ void DistributedAnnEngine::master_search(mpi::Comm& world,
                                          const data::Dataset& queries,
                                          std::size_t k, std::size_t ef,
                                          data::KnnResults& results,
-                                         SearchStats& stats) {
+                                         SearchStats& stats,
+                                         const QueryDoneFn& on_query_done) {
   const std::size_t P = config_.n_workers;
   const std::size_t nq = queries.size();
   const auto& tree = *router_;
@@ -310,16 +332,34 @@ void DistributedAnnEngine::master_search(mpi::Comm& world,
     }
   }
 
-  // --- result collection.
+  // --- result collection (two-sided): finalize each query as its last
+  // partial arrives, so `on_query_done` streams completions in finish order
+  // rather than batch order — the serving plane's latency signal.
+  std::vector<char> finalized(nq, 0);
   if (!one_sided) {
-    std::uint64_t outstanding = total_jobs;
-    // Phase-1 results of exact routing were already merged above.
-    if (config_.exact_routing) outstanding -= nq;
+    auto finalize_query = [&](std::size_t q) {
+      results[q] = acc[q].take_sorted();
+      finalized[q] = 1;
+      if (on_query_done) on_query_done(q, results[q]);
+    };
+    std::vector<std::uint32_t> remaining(nq);
+    std::uint64_t outstanding = 0;
+    for (std::size_t q = 0; q < nq; ++q) {
+      // Phase-1 results of exact routing were already merged above.
+      remaining[q] = expected[q] - (config_.exact_routing ? 1 : 0);
+      outstanding += remaining[q];
+    }
+    if (config_.exact_routing) {
+      for (std::size_t q = 0; q < nq; ++q) {
+        if (remaining[q] == 0) finalize_query(q);
+      }
+    }
     for (std::uint64_t i = 0; i < outstanding; ++i) {
       mpi::Message m = world.recv(mpi::kAnySource, kTagResult);
       ScopedPhase p(merge_t);
       LocalResult r = decode_local_result(m.payload);
       acc[r.query_id].merge(r.neighbors);
+      if (--remaining[r.query_id] == 0) finalize_query(r.query_id);
     }
   }
 
@@ -348,11 +388,12 @@ void DistributedAnnEngine::master_search(mpi::Comm& world,
                        "slot " << q << ": merged " << slot.merged_count
                                << " of " << expected[q] << " results");
       results[q] = std::move(slot.neighbors);
+      if (on_query_done) on_query_done(q, results[q]);
     }
     win.unlock(0);
   } else {
-    ScopedPhase p(merge_t);
-    for (std::size_t q = 0; q < nq; ++q) results[q] = acc[q].take_sorted();
+    // Two-sided results were finalized (and reported) in the streaming loop.
+    for (std::size_t q = 0; q < nq; ++q) ANNSIM_CHECK(finalized[q]);
   }
 
   stats.master_route_seconds = route_t.total_seconds();

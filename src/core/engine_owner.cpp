@@ -30,7 +30,8 @@ void DistributedAnnEngine::master_search_owner(mpi::Comm& world,
                                                const data::Dataset& queries,
                                                std::size_t k, std::size_t ef,
                                                data::KnnResults& results,
-                                               SearchStats& stats) {
+                                               SearchStats& stats,
+                                               const QueryDoneFn& on_query_done) {
   const std::size_t P = config_.n_workers;
   const std::size_t nq = queries.size();
   PhaseTimer dispatch_t, merge_t;
@@ -81,6 +82,7 @@ void DistributedAnnEngine::master_search_owner(mpi::Comm& world,
     ScopedPhase p(merge_t);
     LocalResult r = decode_local_result(m.payload);
     results[r.query_id] = std::move(r.neighbors);
+    if (on_query_done) on_query_done(r.query_id, results[r.query_id]);
   }
 
   // --- completion notices.
@@ -103,6 +105,7 @@ void DistributedAnnEngine::master_search_owner(mpi::Comm& world,
 void DistributedAnnEngine::worker_search_owner(mpi::Comm& world,
                                                const data::Dataset& queries,
                                                std::size_t k, std::size_t ef) {
+  (void)queries;  // owners receive their queries via kTagOwnerBatch
   (void)ef;
   const std::size_t P = config_.n_workers;
   const std::size_t me = std::size_t(world.rank()) - 1;

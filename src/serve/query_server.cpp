@@ -1,0 +1,250 @@
+#include "annsim/serve/query_server.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "annsim/common/error.hpp"
+#include "annsim/common/log.hpp"
+#include "annsim/data/dataset.hpp"
+
+namespace annsim::serve {
+
+namespace {
+
+double to_ms(std::chrono::steady_clock::duration d) noexcept {
+  return std::chrono::duration<double, std::milli>(d).count();
+}
+
+}  // namespace
+
+const char* to_string(QueryStatus s) noexcept {
+  switch (s) {
+    case QueryStatus::kOk: return "ok";
+    case QueryStatus::kRejected: return "rejected";
+    case QueryStatus::kDeadlineExpired: return "deadline-expired";
+    case QueryStatus::kShutdown: return "shutdown";
+    case QueryStatus::kError: return "error";
+  }
+  return "unknown";
+}
+
+QueryServer::QueryServer(core::DistributedAnnEngine* engine,
+                         ServerConfig config)
+    : engine_(engine), config_(config) {
+  ANNSIM_CHECK(engine_ != nullptr);
+  ANNSIM_CHECK_MSG(engine_->built(),
+                   "QueryServer requires a built engine (call build() first)");
+  ANNSIM_CHECK_MSG(config_.max_batch >= 1, "max_batch must be nonzero");
+  ANNSIM_CHECK_MSG(config_.queue_capacity >= 1,
+                   "queue_capacity must be nonzero");
+  ANNSIM_CHECK_MSG(config_.max_delay_ms >= 0.0,
+                   "max_delay_ms cannot be negative");
+  dim_ = engine_->router().dim();
+  max_delay_ = std::chrono::duration<double, std::milli>(config_.max_delay_ms);
+  scheduler_ = std::thread([this] { scheduler_main(); });
+}
+
+QueryServer::~QueryServer() { stop(); }
+
+std::future<QueryResponse> QueryServer::submit(std::vector<float> query,
+                                               std::size_t k,
+                                               double deadline_ms) {
+  ANNSIM_CHECK_MSG(query.size() == dim_, "query dimension "
+                                             << query.size()
+                                             << " != index dimension " << dim_);
+  ANNSIM_CHECK_MSG(k >= 1, "k must be nonzero");
+
+  Pending p;
+  p.query = std::move(query);
+  p.k = k;
+  p.admitted = Clock::now();
+  if (deadline_ms > 0.0) {
+    p.deadline = p.admitted +
+                 std::chrono::duration_cast<Clock::duration>(
+                     std::chrono::duration<double, std::milli>(deadline_ms));
+  }
+  auto fut = p.promise.get_future();
+
+  std::unique_lock lk(mu_);
+  if (!stopping_ && queue_.size() >= config_.queue_capacity) {
+    if (config_.overflow == OverflowPolicy::kReject) {
+      lk.unlock();
+      metrics_.on_reject();
+      QueryResponse resp;
+      resp.status = QueryStatus::kRejected;
+      p.promise.set_value(std::move(resp));
+      return fut;
+    }
+    // kBlock: backpressure the submitter until the scheduler drains a slot.
+    cv_space_.wait(lk, [&] {
+      return stopping_ || queue_.size() < config_.queue_capacity;
+    });
+  }
+  if (stopping_) {
+    lk.unlock();
+    metrics_.on_fail();
+    QueryResponse resp;
+    resp.status = QueryStatus::kShutdown;
+    resp.total_ms = to_ms(Clock::now() - p.admitted);
+    p.promise.set_value(std::move(resp));
+    return fut;
+  }
+  queue_.push_back(std::move(p));
+  const std::size_t depth = queue_.size();
+  lk.unlock();
+  metrics_.on_submit(depth);
+  cv_work_.notify_one();
+  return fut;
+}
+
+void QueryServer::expire_overdue_locked(Clock::time_point now) {
+  bool freed = false;
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (it->deadline <= now) {
+      QueryResponse resp;
+      resp.status = QueryStatus::kDeadlineExpired;
+      resp.total_ms = to_ms(now - it->admitted);
+      // Record before fulfilling: a client woken by this future may snapshot
+      // metrics immediately, and the expiry must already be counted.
+      metrics_.on_expire();
+      it->promise.set_value(std::move(resp));
+      it = queue_.erase(it);
+      freed = true;
+    } else {
+      ++it;
+    }
+  }
+  if (freed) cv_space_.notify_all();
+}
+
+void QueryServer::scheduler_main() {
+  std::unique_lock lk(mu_);
+  for (;;) {
+    if (queue_.empty()) {
+      if (stopping_) break;
+      cv_work_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
+      continue;
+    }
+
+    const auto now = Clock::now();
+    // Deadlines are honored even for requests still waiting in the queue:
+    // an expired request completes at its deadline, never later.
+    expire_overdue_locked(now);
+    if (queue_.empty()) continue;
+
+    const auto flush_at =
+        queue_.front().admitted +
+        std::chrono::duration_cast<Clock::duration>(max_delay_);
+    if (!stopping_ && queue_.size() < config_.max_batch && now < flush_at) {
+      // Sleep until the max_delay flush point, the earliest queued deadline,
+      // a batch-filling arrival, or stop() — whichever comes first.
+      auto wake = flush_at;
+      for (const auto& p : queue_) wake = std::min(wake, p.deadline);
+      const std::size_t seen = queue_.size();
+      cv_work_.wait_until(lk, wake, [&] {
+        return stopping_ || queue_.size() >= config_.max_batch ||
+               queue_.size() != seen;
+      });
+      continue;  // re-evaluate flush conditions from scratch
+    }
+
+    // Flush: reached max_batch, the oldest waited max_delay, or draining.
+    std::vector<Pending> batch;
+    const std::size_t n = std::min(config_.max_batch, queue_.size());
+    batch.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    cv_space_.notify_all();
+    lk.unlock();
+    run_batch(std::move(batch));
+    lk.lock();
+  }
+}
+
+void QueryServer::run_batch(std::vector<Pending> batch) {
+  const auto dispatched = Clock::now();
+  metrics_.on_batch(batch.size());
+
+  data::Dataset queries(batch.size(), dim_);
+  std::size_t k_max = 1;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    queries.set_row(i, batch[i].query);
+    k_max = std::max(k_max, batch[i].k);
+  }
+
+  std::vector<char> completed(batch.size(), 0);
+  // Fires on the engine's master thread as each query's merge finishes, so a
+  // fast query's future completes before its batch-mates are done.
+  auto complete_one = [&](std::size_t i, const std::vector<Neighbor>& nn) {
+    Pending& p = batch[i];
+    const auto now = Clock::now();
+    QueryResponse resp;
+    resp.batch_size = batch.size();
+    resp.queue_ms = to_ms(dispatched - p.admitted);
+    resp.total_ms = to_ms(now - p.admitted);
+    resp.neighbors.assign(nn.begin(),
+                          nn.begin() + std::ptrdiff_t(std::min(p.k, nn.size())));
+    if (now > p.deadline) {
+      // The search outlived the deadline: hand back what we computed, but
+      // flagged — late answers must not masquerade as on-time ones.
+      resp.status = QueryStatus::kDeadlineExpired;
+      metrics_.on_expire();
+    } else {
+      resp.status = QueryStatus::kOk;
+      metrics_.on_complete_ok(resp.total_ms, resp.queue_ms);
+    }
+    completed[i] = 1;
+    p.promise.set_value(std::move(resp));
+  };
+
+  try {
+    (void)engine_->search(queries, k_max, config_.ef, nullptr,
+                          [&](std::size_t qid,
+                              const std::vector<Neighbor>& nn) {
+                            complete_one(qid, nn);
+                          });
+  } catch (const std::exception& e) {
+    ANNSIM_ERROR("serve: batch of " << batch.size()
+                                    << " failed in engine search: "
+                                    << e.what());
+  }
+  // Safety net: any request the hook did not reach completes as an error
+  // instead of leaving its client blocked on the future.
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (completed[i]) continue;
+    metrics_.on_fail();
+    QueryResponse resp;
+    resp.status = QueryStatus::kError;
+    resp.batch_size = batch.size();
+    resp.total_ms = to_ms(Clock::now() - batch[i].admitted);
+    batch[i].promise.set_value(std::move(resp));
+  }
+}
+
+void QueryServer::stop() {
+  {
+    std::lock_guard lk(mu_);
+    stopping_ = true;
+  }
+  cv_work_.notify_all();
+  cv_space_.notify_all();
+  if (scheduler_.joinable()) scheduler_.join();
+  // The scheduler drains everything admitted before it exits; this sweep only
+  // catches a submit that raced with stop().
+  std::deque<Pending> leftover;
+  {
+    std::lock_guard lk(mu_);
+    leftover.swap(queue_);
+  }
+  for (auto& p : leftover) {
+    metrics_.on_fail();
+    QueryResponse resp;
+    resp.status = QueryStatus::kShutdown;
+    p.promise.set_value(std::move(resp));
+  }
+}
+
+}  // namespace annsim::serve

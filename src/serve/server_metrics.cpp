@@ -1,0 +1,96 @@
+#include "annsim/serve/server_metrics.hpp"
+
+#include <cstdio>
+
+namespace annsim::serve {
+
+void ServerMetrics::on_submit(std::size_t queue_depth_after_admission) {
+  std::lock_guard lk(mu_);
+  ++submitted_;
+  queue_depths_.push_back(double(queue_depth_after_admission));
+  if (!saw_submit_) {
+    saw_submit_ = true;
+    first_submit_ = Clock::now();
+    last_complete_ = first_submit_;
+  }
+}
+
+void ServerMetrics::on_reject() {
+  std::lock_guard lk(mu_);
+  ++rejected_;
+}
+
+void ServerMetrics::on_expire() {
+  std::lock_guard lk(mu_);
+  ++expired_;
+  last_complete_ = Clock::now();
+}
+
+void ServerMetrics::on_fail() {
+  std::lock_guard lk(mu_);
+  ++failed_;
+  last_complete_ = Clock::now();
+}
+
+void ServerMetrics::on_batch(std::size_t batch_size) {
+  std::lock_guard lk(mu_);
+  ++batches_;
+  batch_sizes_.push_back(double(batch_size));
+}
+
+void ServerMetrics::on_complete_ok(double latency_ms, double queue_wait_ms) {
+  std::lock_guard lk(mu_);
+  ++completed_ok_;
+  latency_ms_.add(latency_ms);
+  queue_wait_ms_.add(queue_wait_ms);
+  last_complete_ = Clock::now();
+}
+
+MetricsReport ServerMetrics::report() const {
+  std::lock_guard lk(mu_);
+  MetricsReport r;
+  r.submitted = submitted_;
+  r.completed_ok = completed_ok_;
+  r.rejected = rejected_;
+  r.expired = expired_;
+  r.failed = failed_;
+  r.batches = batches_;
+  if (saw_submit_) {
+    r.wall_seconds =
+        std::chrono::duration<double>(last_complete_ - first_submit_).count();
+  }
+  if (r.wall_seconds > 0) {
+    r.throughput_qps = double(completed_ok_) / r.wall_seconds;
+  }
+  r.latency_mean_ms = latency_ms_.mean();
+  r.latency_p50_ms = latency_ms_.p50();
+  r.latency_p95_ms = latency_ms_.p95();
+  r.latency_p99_ms = latency_ms_.p99();
+  r.latency_p999_ms = latency_ms_.p999();
+  r.latency_max_ms = latency_ms_.max();
+  r.queue_wait_mean_ms = queue_wait_ms_.mean();
+  r.queue_depth = summarize(queue_depths_);
+  r.batch_size = summarize(batch_sizes_);
+  return r;
+}
+
+std::string to_string(const MetricsReport& r) {
+  char buf[640];
+  std::snprintf(
+      buf, sizeof(buf),
+      "requests: %zu submitted, %zu ok, %zu rejected, %zu expired, %zu failed\n"
+      "throughput: %.0f q/s over %.3fs (%zu batches)\n"
+      "latency ms: mean %.3f p50 %.3f p95 %.3f p99 %.3f p999 %.3f max %.3f "
+      "(queue wait mean %.3f)\n"
+      "batch size: %s\n"
+      "queue depth: %s",
+      r.submitted, r.completed_ok, r.rejected, r.expired, r.failed,
+      r.throughput_qps, r.wall_seconds, r.batches, r.latency_mean_ms,
+      r.latency_p50_ms, r.latency_p95_ms, r.latency_p99_ms, r.latency_p999_ms,
+      r.latency_max_ms, r.queue_wait_mean_ms,
+      annsim::to_string(r.batch_size).c_str(),
+      annsim::to_string(r.queue_depth).c_str());
+  return buf;
+}
+
+}  // namespace annsim::serve

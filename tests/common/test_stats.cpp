@@ -110,5 +110,102 @@ TEST(Summary, ToStringMentionsMean) {
   EXPECT_NE(to_string(summarize(v)).find("mean"), std::string::npos);
 }
 
+TEST(Histogram, EmptyReturnsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(h.p999(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, SingleElementIsEveryPercentile) {
+  Histogram h;
+  h.add(7.25);
+  EXPECT_EQ(h.count(), 1u);
+  for (double p : {0.0, 1.0, 50.0, 99.9, 100.0}) {
+    EXPECT_DOUBLE_EQ(h.percentile(p), 7.25) << "p=" << p;
+  }
+}
+
+TEST(Histogram, ExtremesAreExact) {
+  Histogram h(1e-3, 1e3, 1.5);  // coarse buckets on purpose
+  for (double x : {0.017, 0.4, 3.0, 11.0, 250.0}) h.add(x);
+  EXPECT_DOUBLE_EQ(h.percentile(0), 0.017);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 250.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.017);
+  EXPECT_DOUBLE_EQ(h.max(), 250.0);
+}
+
+TEST(Histogram, RejectsBadPercentileAndBadLayout) {
+  Histogram h;
+  h.add(1.0);
+  EXPECT_THROW(h.percentile(-0.1), Error);
+  EXPECT_THROW(h.percentile(100.1), Error);
+  EXPECT_THROW(Histogram(0.0, 1.0), Error);
+  EXPECT_THROW(Histogram(1.0, 1.0), Error);
+  EXPECT_THROW(Histogram(1.0, 2.0, 1.0), Error);
+}
+
+TEST(Histogram, BoundedRelativeErrorVsExactPercentile) {
+  const double growth = 1.08;
+  Histogram h(1e-4, 1e5, growth);
+  Rng rng(7);
+  std::vector<double> exact;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.exponential(1.0 / 3.0) + 0.01;  // latency-like tail
+    h.add(x);
+    exact.push_back(x);
+  }
+  for (double p : {10.0, 50.0, 90.0, 95.0, 99.0, 99.9}) {
+    const double e = percentile(exact, p);
+    // One bucket of slack: the estimate and the exact value may sit on
+    // opposite ends of the bucket containing the target rank.
+    EXPECT_NEAR(h.percentile(p), e, e * (growth - 1.0) * 1.5 + 1e-9) << "p=" << p;
+  }
+}
+
+TEST(Histogram, PercentilesAreMonotone) {
+  Histogram h;
+  Rng rng(9);
+  for (int i = 0; i < 5000; ++i) h.add(rng.uniform(0.5, 80.0));
+  double prev = h.percentile(0);
+  for (double p = 1; p <= 100; p += 1) {
+    const double cur = h.percentile(p);
+    EXPECT_GE(cur, prev - 1e-12);
+    prev = cur;
+  }
+}
+
+TEST(Histogram, UnderflowAndOverflowLandInExtremeBuckets) {
+  Histogram h(1.0, 100.0, 2.0);
+  h.add(1e-9);   // below lo
+  h.add(1e9);    // above hi
+  h.add(-3.0);   // negative: underflow, interpolates against exact min
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.percentile(0), -3.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 1e9);
+  // Everything in between stays within the observed range.
+  const double mid = h.percentile(50);
+  EXPECT_GE(mid, -3.0);
+  EXPECT_LE(mid, 1e9);
+}
+
+TEST(Histogram, MergeMatchesSingleStream) {
+  Histogram whole, a, b;
+  Rng rng(11);
+  for (int i = 0; i < 4000; ++i) {
+    const double x = rng.uniform(0.001, 50.0);
+    whole.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  for (double p : {5.0, 50.0, 95.0, 99.9}) {
+    EXPECT_DOUBLE_EQ(a.percentile(p), whole.percentile(p)) << "p=" << p;
+  }
+  Histogram other(0.5, 2.0, 1.5);
+  EXPECT_THROW(a.merge(other), Error);
+}
+
 }  // namespace
 }  // namespace annsim

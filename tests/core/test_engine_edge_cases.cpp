@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <string>
+#include <vector>
 
 #include "annsim/core/engine.hpp"
 #include "annsim/data/analysis.hpp"
@@ -36,6 +38,66 @@ TEST(EngineEdge, L1MetricEndToEnd) {
   auto res = eng.search(w.queries, 5);
   auto gt = data::brute_force_knn(w.base, w.queries, 5, simd::Metric::kL1);
   EXPECT_GT(data::mean_recall(res, gt, 5), 0.7);
+}
+
+TEST(EngineEdge, ConfigValidationMessagesNameTheField) {
+  auto w = data::make_sift_like(600, 5, 506);
+  auto expect_msg = [&](EngineConfig cfg, const char* needle) {
+    try {
+      DistributedAnnEngine eng(&w.base, cfg);
+      FAIL() << "expected Error mentioning: " << needle;
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << "message was: " << e.what();
+    }
+  };
+  { auto c = small_config(); c.n_workers = 0;
+    expect_msg(c, "n_workers must be nonzero"); }
+  { auto c = small_config(); c.n_workers = 6;
+    expect_msg(c, "power of two"); }
+  { auto c = small_config(); c.replication = 0;
+    expect_msg(c, "replication must be nonzero"); }
+  { auto c = small_config(4); c.replication = 5;
+    expect_msg(c, "cannot exceed n_workers"); }
+  { auto c = small_config(); c.n_probe = 0;
+    expect_msg(c, "n_probe must be nonzero"); }
+  { auto c = small_config(); c.threads_per_worker = 0;
+    expect_msg(c, "threads_per_worker must be nonzero"); }
+  // The same validation is callable standalone (used again inside build()).
+  EXPECT_NO_THROW(validate_engine_config(small_config()));
+}
+
+TEST(EngineEdge, PerQueryCompletionHookFiresExactlyOncePerQuery) {
+  auto w = data::make_sift_like(800, 12, 507);
+  DistributedAnnEngine eng(&w.base, small_config());
+  eng.build();
+  std::vector<int> fired(w.queries.size(), 0);
+  auto res = eng.search(w.queries, 5, 0, nullptr,
+                        [&](std::size_t qid, const std::vector<Neighbor>& nn) {
+                          ++fired[qid];
+                          EXPECT_LE(nn.size(), 5u);
+                          EXPECT_FALSE(nn.empty());
+                        });
+  for (std::size_t q = 0; q < w.queries.size(); ++q) {
+    EXPECT_EQ(fired[q], 1) << "query " << q;
+    EXPECT_EQ(res[q].size(), 5u);
+  }
+}
+
+TEST(EngineEdge, CompletionHookMatchesReturnedResultsTwoSided) {
+  auto w = data::make_sift_like(800, 10, 508);
+  auto cfg = small_config();
+  cfg.one_sided = false;  // streaming finalize path
+  DistributedAnnEngine eng(&w.base, cfg);
+  eng.build();
+  data::KnnResults streamed(w.queries.size());
+  auto res = eng.search(w.queries, 4, 0, nullptr,
+                        [&](std::size_t qid, const std::vector<Neighbor>& nn) {
+                          streamed[qid] = nn;
+                        });
+  for (std::size_t q = 0; q < w.queries.size(); ++q) {
+    EXPECT_EQ(streamed[q], res[q]) << "query " << q;
+  }
 }
 
 TEST(EngineEdge, NonMetricDistanceRejectedAtConstruction) {

@@ -1,0 +1,104 @@
+/// ServerMetrics: counter accounting, report derivation (throughput, tail
+/// quantiles, distributions), thread-safety of concurrent recording, and the
+/// human-readable rendering used by bench_serving / the serve-bench CLI.
+
+#include "annsim/serve/server_metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace annsim::serve {
+namespace {
+
+TEST(ServerMetrics, EmptyReportIsAllZeros) {
+  ServerMetrics m;
+  const MetricsReport r = m.report();
+  EXPECT_EQ(r.submitted, 0u);
+  EXPECT_EQ(r.completed_ok, 0u);
+  EXPECT_EQ(r.rejected, 0u);
+  EXPECT_EQ(r.expired, 0u);
+  EXPECT_EQ(r.failed, 0u);
+  EXPECT_EQ(r.batches, 0u);
+  EXPECT_DOUBLE_EQ(r.throughput_qps, 0.0);
+  EXPECT_DOUBLE_EQ(r.latency_p999_ms, 0.0);
+}
+
+TEST(ServerMetrics, CountersAndDistributionsAddUp) {
+  ServerMetrics m;
+  for (std::size_t i = 0; i < 10; ++i) m.on_submit(/*depth=*/i + 1);
+  m.on_reject();
+  m.on_reject();
+  m.on_expire();
+  m.on_fail();
+  m.on_batch(4);
+  m.on_batch(6);
+  for (int i = 0; i < 8; ++i) {
+    m.on_complete_ok(/*latency_ms=*/1.0 + i, /*queue_wait_ms=*/0.5);
+  }
+
+  const MetricsReport r = m.report();
+  EXPECT_EQ(r.submitted, 10u);
+  EXPECT_EQ(r.rejected, 2u);
+  EXPECT_EQ(r.expired, 1u);
+  EXPECT_EQ(r.failed, 1u);
+  EXPECT_EQ(r.batches, 2u);
+  EXPECT_EQ(r.completed_ok, 8u);
+
+  EXPECT_NEAR(r.latency_mean_ms, 4.5, 1e-9);  // mean of 1..8
+  EXPECT_NEAR(r.latency_max_ms, 8.0, 1e-9);
+  EXPECT_NEAR(r.queue_wait_mean_ms, 0.5, 1e-9);
+  // Tail quantiles are monotone and bracketed by the observed range.
+  EXPECT_GE(r.latency_p50_ms, 1.0);
+  EXPECT_LE(r.latency_p50_ms, r.latency_p95_ms);
+  EXPECT_LE(r.latency_p95_ms, r.latency_p99_ms);
+  EXPECT_LE(r.latency_p99_ms, r.latency_p999_ms);
+  EXPECT_LE(r.latency_p999_ms, r.latency_max_ms + 1e-9);
+
+  EXPECT_NEAR(r.batch_size.mean, 5.0, 1e-9);
+  EXPECT_NEAR(r.batch_size.max, 6.0, 1e-9);
+  EXPECT_NEAR(r.queue_depth.max, 10.0, 1e-9);
+  EXPECT_NEAR(r.queue_depth.min, 1.0, 1e-9);
+
+  EXPECT_GE(r.wall_seconds, 0.0);
+  if (r.wall_seconds > 0.0) {
+    EXPECT_NEAR(r.throughput_qps, 8.0 / r.wall_seconds, 1e-6);
+  }
+}
+
+TEST(ServerMetrics, ConcurrentRecordingLosesNothing) {
+  ServerMetrics m;
+  const std::size_t kThreads = 4, kEach = 500;
+  std::vector<std::thread> ts;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&m] {
+      for (std::size_t i = 0; i < kEach; ++i) {
+        m.on_submit(1);
+        m.on_complete_ok(0.25 + double(i % 7), 0.1);
+        if (i % 10 == 0) m.on_reject();
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+
+  const MetricsReport r = m.report();
+  EXPECT_EQ(r.submitted, kThreads * kEach);
+  EXPECT_EQ(r.completed_ok, kThreads * kEach);
+  EXPECT_EQ(r.rejected, kThreads * (kEach / 10));
+}
+
+TEST(ServerMetrics, ToStringMentionsTheHeadlineNumbers) {
+  ServerMetrics m;
+  m.on_submit(1);
+  m.on_batch(1);
+  m.on_complete_ok(2.0, 0.5);
+  const std::string s = to_string(m.report());
+  EXPECT_NE(s.find("p999"), std::string::npos);
+  EXPECT_NE(s.find("throughput"), std::string::npos);
+  EXPECT_NE(s.find("rejected"), std::string::npos);
+  EXPECT_NE(s.find("batch"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace annsim::serve

@@ -22,6 +22,7 @@
 #include "annsim/data/ground_truth.hpp"
 #include "annsim/data/recipes.hpp"
 #include "annsim/data/vecs_io.hpp"
+#include "annsim/serve/load_gen.hpp"
 
 namespace {
 
@@ -39,7 +40,11 @@ using namespace annsim;
                "  annsim search <index.idx> <query.fvecs> <k> <out.ivecs> "
                "[--ef E]\n"
                "  annsim eval <result.ivecs> <gt.ivecs> <k>\n"
-               "  annsim info <index.idx>\n");
+               "  annsim info <index.idx>\n"
+               "  annsim serve-bench <index.idx> <query.fvecs> <k> [--qps Q] "
+               "[--requests N] [--max-batch B] [--max-delay-ms D] "
+               "[--queue-cap C] [--block] [--deadline-ms X] [--closed-loop] "
+               "[--clients N] [--ef E]\n");
   std::exit(2);
 }
 
@@ -215,6 +220,55 @@ int cmd_info(int argc, char** argv) {
   return 0;
 }
 
+/// Online serving benchmark: drive a loaded index with a Poisson (open-loop)
+/// or N-client (closed-loop) request stream through the QueryServer's
+/// micro-batching tier and print the latency/throughput telemetry.
+int cmd_serve_bench(int argc, char** argv) {
+  if (argc < 3) usage();
+  auto engine = core::DistributedAnnEngine::load(argv[0]);
+  auto queries = data::load_fvecs(argv[1]);
+
+  serve::ServerConfig sc;
+  sc.max_batch = arg_num(opt(argc, argv, "--max-batch", "32").c_str());
+  sc.max_delay_ms = std::atof(opt(argc, argv, "--max-delay-ms", "2").c_str());
+  sc.queue_capacity = arg_num(opt(argc, argv, "--queue-cap", "1024").c_str());
+  sc.ef = arg_num(opt(argc, argv, "--ef", "0").c_str());
+  if (flag(argc, argv, "--block")) sc.overflow = serve::OverflowPolicy::kBlock;
+
+  serve::LoadGenConfig lg;
+  lg.open_loop = !flag(argc, argv, "--closed-loop");
+  lg.qps = std::atof(opt(argc, argv, "--qps", "1000").c_str());
+  lg.n_requests = arg_num(opt(argc, argv, "--requests", "2000").c_str());
+  lg.n_clients = arg_num(opt(argc, argv, "--clients", "4").c_str());
+  lg.k = arg_num(argv[2]);
+  lg.deadline_ms = std::atof(opt(argc, argv, "--deadline-ms", "0").c_str());
+
+  if (lg.open_loop) {
+    std::printf("serve-bench: open-loop Poisson, %.0f q/s offered, %zu "
+                "requests, k=%zu\n",
+                lg.qps, lg.n_requests, lg.k);
+  } else {
+    std::printf("serve-bench: closed-loop, %zu clients, %zu requests, k=%zu\n",
+                lg.n_clients, lg.n_requests, lg.k);
+  }
+  std::printf("policy: max_batch=%zu max_delay=%.2fms queue=%zu on-full=%s "
+              "deadline=%.2fms\n",
+              sc.max_batch, sc.max_delay_ms, sc.queue_capacity,
+              sc.overflow == serve::OverflowPolicy::kBlock ? "block" : "reject",
+              lg.deadline_ms);
+
+  serve::QueryServer server(&engine, sc);
+  const auto rep = serve::run_load(server, queries, lg);
+  server.stop();
+
+  std::printf("%s\n", serve::to_string(rep.metrics).c_str());
+  std::printf("client-side: %zu ok, %zu rejected, %zu expired, %zu failed in "
+              "%.3fs (offered %.0f q/s)\n",
+              rep.ok, rep.rejected, rep.expired, rep.failed, rep.wall_seconds,
+              rep.offered_qps);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -227,6 +281,7 @@ int main(int argc, char** argv) {
     if (cmd == "search") return cmd_search(argc - 2, argv + 2);
     if (cmd == "eval") return cmd_eval(argc - 2, argv + 2);
     if (cmd == "info") return cmd_info(argc - 2, argv + 2);
+    if (cmd == "serve-bench") return cmd_serve_bench(argc - 2, argv + 2);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
