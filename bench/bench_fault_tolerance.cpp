@@ -1,0 +1,87 @@
+/// Fault-tolerance sweep: what does replication buy when workers die?
+///
+/// For each replication factor r in {1, 2, 3}, a fault-free baseline search
+/// is followed by chaos runs killing one worker at three points in the batch
+/// (early / mid / late, expressed as the victim's delivered-op count before
+/// it goes silent). Reported per cell: recall vs exact ground truth, batch
+/// time, and the failover ledger (retries, failovers, degraded queries).
+///
+/// Expected shape: at r = 1 a death converts straight into degraded queries
+/// and lost recall (bounded by how many plans touched the dead partition);
+/// at r >= 2 recall matches the fault-free baseline exactly — the cost of a
+/// death is retries plus one detection timeout, not answer quality.
+
+#include <cstdio>
+
+#include "annsim/core/engine.hpp"
+#include "annsim/data/analysis.hpp"
+#include "annsim/data/ground_truth.hpp"
+#include "bench_common.hpp"
+
+int main() {
+  using namespace annsim;
+  bench::print_header(
+      "Fault tolerance: recall/latency under worker failure vs replication");
+
+  const std::size_t n_base = bench::scaled(8192);
+  const std::size_t n_queries = 128;
+  const std::size_t k = 10;
+  const std::size_t workers = 8;
+  const int victim_rank = 2;  // worker 1
+  const std::uint64_t kill_points[] = {2, 16, 64};
+
+  auto w = data::make_sift_like(n_base, n_queries, 4242);
+  auto gt = data::brute_force_knn(w.base, w.queries, k, simd::Metric::kL2);
+
+  core::EngineConfig base_cfg;
+  base_cfg.n_workers = workers;
+  base_cfg.n_probe = 4;
+  base_cfg.threads_per_worker = 1;
+  base_cfg.hnsw.M = 12;
+  base_cfg.hnsw.ef_construction = 96;
+
+  std::printf("%zu base x %zu-d, %zu queries, k=%zu, %zu workers, "
+              "kill = worker 1 after N delivered ops\n\n",
+              w.base.size(), w.base.dim(), n_queries, k, workers);
+  std::printf("%3s %12s %10s %9s %9s %9s %9s %10s\n", "r", "kill-after",
+              "recall@10", "time(s)", "retries", "failover", "degraded",
+              "vs clean");
+
+  for (std::size_t r = 1; r <= 3; ++r) {
+    auto cfg = base_cfg;
+    cfg.replication = r;
+    core::DistributedAnnEngine clean(&w.base, cfg);
+    clean.build();
+    core::SearchStats clean_st;
+    auto clean_res = clean.search(w.queries, k, 0, &clean_st);
+    const double clean_recall = data::mean_recall(clean_res, gt, k);
+    std::printf("%3zu %12s %10.4f %9.3f %9s %9s %9s %10s\n", r, "none",
+                clean_recall, clean_st.total_seconds, "-", "-", "-", "-");
+
+    for (const std::uint64_t kill_after : kill_points) {
+      auto chaos = cfg;
+      chaos.result_timeout_ms = 100.0;
+      chaos.fault.seed = 7;
+      chaos.fault.kills.push_back({victim_rank, kill_after, mpi::kNeverFires});
+      core::DistributedAnnEngine eng(&w.base, chaos);
+      eng.build();
+      core::SearchStats st;
+      auto res = eng.search(w.queries, k, 0, &st);
+      const double recall = data::mean_recall(res, gt, k);
+      std::printf("%3zu %12llu %10.4f %9.3f %9llu %9llu %9llu %+9.4f\n", r,
+                  static_cast<unsigned long long>(kill_after), recall,
+                  st.total_seconds,
+                  static_cast<unsigned long long>(st.retries),
+                  static_cast<unsigned long long>(st.failovers),
+                  static_cast<unsigned long long>(st.degraded_queries),
+                  recall - clean_recall);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Reading: with r = 1 the dead partition is unrecoverable — every plan\n"
+      "that touched it comes back degraded and recall drops. From r = 2 on,\n"
+      "failover re-dispatches the lost jobs to live replicas and recall is\n"
+      "identical to the fault-free run; the death costs only detection time.\n");
+  return 0;
+}

@@ -57,6 +57,19 @@ struct EngineConfig {
   pq::IvfPqParams ivfpq;  ///< used when local_index == kIvfPq
   PartitionerConfig partitioner;
   std::uint64_t seed = 123;
+
+  // ---- fault tolerance (see fault.hpp for the failure model) ----
+  /// Fault schedule injected into the search runtime (chaos runs). Runtime
+  /// ranks: 0 is the master, worker w is rank w + 1 — kill rules must name
+  /// worker ranks. An enabled plan requires `result_timeout_ms > 0`, or the
+  /// master would hang waiting on a silent worker.
+  mpi::FaultPlan fault;
+  /// Failure-detection deadline: a worker with outstanding jobs that shows
+  /// no progress for this long is declared dead for the rest of the batch
+  /// and its jobs fail over to live replicas. 0 (default) disables detection
+  /// entirely — the search runs the exact pre-fault-tolerance code path.
+  /// Detection supports master-worker single-pass routing only.
+  double result_timeout_ms = 0.0;
 };
 
 struct BuildStats {
@@ -65,6 +78,18 @@ struct BuildStats {
   double hnsw_seconds = 0.0;         ///< max across workers
   double replication_seconds = 0.0;  ///< max across workers
   std::vector<std::size_t> partition_sizes;
+};
+
+/// How much of a query's routing plan was actually searched. Equal counts
+/// mean the full plan was covered; `searched < planned` marks a degraded
+/// result (a partition lost all its live replicas mid-batch).
+struct QueryCoverage {
+  std::uint32_t partitions_searched = 0;
+  std::uint32_t partitions_planned = 0;
+
+  [[nodiscard]] bool degraded() const noexcept {
+    return partitions_searched < partitions_planned;
+  }
 };
 
 struct SearchStats {
@@ -78,16 +103,26 @@ struct SearchStats {
   std::uint64_t total_jobs = 0;
   double mean_partitions_per_query = 0.0;
   mpi::TrafficStats traffic;  ///< runtime traffic during this search
+
+  // ---- fault tolerance (nonzero only with result_timeout_ms > 0) ----
+  std::uint64_t retries = 0;          ///< jobs re-dispatched after a death
+  std::uint64_t failovers = 0;        ///< retried jobs a live replica completed
+  std::uint64_t workers_failed = 0;   ///< workers declared dead this batch
+  std::uint64_t degraded_queries = 0; ///< queries with partial coverage
+  /// Per-query coverage (filled when failure detection is armed).
+  std::vector<QueryCoverage> coverage;
 };
 
 /// Per-query completion hook for batched search: invoked by the master as
 /// soon as query `qid`'s final merged result is known (before `search`
 /// returns). In two-sided mode this fires as each query's last partial
 /// arrives; in one-sided mode all slots finalize together at the end of the
-/// batch epoch. Runs on a runtime-internal thread — keep it cheap, and
-/// synchronize any state it shares with the caller.
+/// batch epoch. `coverage.degraded()` flags a partial result (possible only
+/// under failure detection). Runs on a runtime-internal thread — keep it
+/// cheap, and synchronize any state it shares with the caller.
 using QueryDoneFn =
-    std::function<void(std::size_t qid, const std::vector<Neighbor>& result)>;
+    std::function<void(std::size_t qid, const std::vector<Neighbor>& result,
+                       const QueryCoverage& coverage)>;
 
 /// Throws annsim::Error with a field-specific message when `config` is
 /// unusable (zero workers/probes, replication outside [1, n_workers], ...).

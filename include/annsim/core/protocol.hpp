@@ -60,17 +60,33 @@ struct DoneNotice {
 // ---- one-sided result window -----------------------------------------
 //
 // The master exposes one fixed-size slot per query:
-//   [ u32 merged_count | u32 pad | Neighbor[k] ]
+//   [ u32 merged_count | u32 pad | u64 partition_mask[W] | Neighbor[k] ]
 // Workers fold their local k-NN into a slot with a single atomic
 // get_accumulate whose merge op performs the sorted k-NN merge and bumps
 // merged_count. The master knows |F(q)| per query, so a slot is final once
 // merged_count reaches it.
+//
+// The partition mask (W = ceil(n_partitions / 64) words, present only when
+// the layout declares n_partitions > 0) records which partitions have been
+// merged. It makes failover retries idempotent: a worker that died mid-batch
+// may already have landed some of its merges, and a replica re-running the
+// same job must not double-merge the partition. The merge op skips an origin
+// whose partition bit is already set, and the master reads the mask both to
+// poll progress and to attribute per-query coverage. With n_partitions == 0
+// the mask is absent and the byte layout is exactly the legacy one.
 
 struct SlotLayout {
   std::size_t k = 0;
+  std::size_t n_partitions = 0;  ///< 0 = no partition mask (legacy layout)
 
+  [[nodiscard]] std::size_t mask_words() const noexcept {
+    return (n_partitions + 63) / 64;
+  }
+  [[nodiscard]] std::size_t header_bytes() const noexcept {
+    return sizeof(std::uint64_t) + mask_words() * sizeof(std::uint64_t);
+  }
   [[nodiscard]] std::size_t slot_bytes() const noexcept {
-    return sizeof(std::uint64_t) + k * sizeof(Neighbor);
+    return header_bytes() + k * sizeof(Neighbor);
   }
   [[nodiscard]] std::size_t window_bytes(std::size_t n_queries) const noexcept {
     return n_queries * slot_bytes();
@@ -80,20 +96,46 @@ struct SlotLayout {
   }
 };
 
+/// True when `mask` (slot partition-mask words) has partition `p`'s bit set.
+[[nodiscard]] bool mask_contains(std::span<const std::uint64_t> mask,
+                                 PartitionId p) noexcept;
+
 /// Serialize a local result into the accumulate origin-buffer format
-/// (count=1, then exactly k neighbors, padded with +inf sentinels).
+/// (count=1, then exactly k neighbors, padded with +inf sentinels). When the
+/// layout carries a partition mask, `partition` must identify the searched
+/// partition so the merge can deduplicate failover retries.
 [[nodiscard]] std::vector<std::byte> encode_slot_update(
-    std::span<const Neighbor> neighbors, const SlotLayout& layout);
+    std::span<const Neighbor> neighbors, const SlotLayout& layout,
+    PartitionId partition = kInvalidPartition);
 
 /// The merge op passed to Window::get_accumulate: k-NN-merge the origin
-/// neighbors into the target slot and add the origin's merged_count.
+/// neighbors into the target slot and add the origin's merged_count. With a
+/// partition mask, an origin whose partition bit is already set in the target
+/// is dropped (idempotent retry).
 [[nodiscard]] mpi::Window::MergeOp knn_slot_merge(const SlotLayout& layout);
 
-/// Decode a final slot into (merged_count, sorted neighbors without
-/// sentinels).
+/// Slot header only (cheap poll): merged count plus partition mask.
+struct SlotHeader {
+  std::uint32_t merged_count = 0;
+  std::vector<std::uint64_t> mask;  ///< empty when the layout has no mask
+
+  [[nodiscard]] bool contains_partition(PartitionId p) const noexcept {
+    return mask_contains(mask, p);
+  }
+};
+[[nodiscard]] SlotHeader decode_slot_header(std::span<const std::byte> slot,
+                                            const SlotLayout& layout);
+
+/// Decode a final slot into (merged_count, partition mask, sorted neighbors
+/// without sentinels).
 struct DecodedSlot {
   std::uint32_t merged_count = 0;
+  std::vector<std::uint64_t> mask;  ///< empty when the layout has no mask
   std::vector<Neighbor> neighbors;
+
+  [[nodiscard]] bool contains_partition(PartitionId p) const noexcept {
+    return mask_contains(mask, p);
+  }
 };
 [[nodiscard]] DecodedSlot decode_slot(std::span<const std::byte> slot,
                                       const SlotLayout& layout);

@@ -1,0 +1,101 @@
+#pragma once
+/// \file fault.hpp
+/// \brief Deterministic, seeded fault injection for the simulated MPI runtime.
+///
+/// The threads-as-ranks runtime makes worker failure cheap to reproduce: a
+/// "killed" rank keeps running (its thread cannot be torn out from under the
+/// C++ runtime), but every user-visible effect it would have on other ranks —
+/// point-to-point sends with user tags and one-sided RMA mutations (put /
+/// get_accumulate) — is silently dropped from the kill point onward. That is
+/// the classic fail-silent model: peers observe only missing messages, never
+/// an error, and must detect the failure with timeouts (Comm::recv_for,
+/// Request::wait_for).
+///
+/// Failure model boundaries, chosen deliberately:
+///  * Collective traffic (internal tags < 0) is never faulted. Injecting
+///    faults into barrier/bcast would deadlock every rank by construction;
+///    the interesting failures — and the ones the engine's failover handles —
+///    live on the request/response data plane.
+///  * Window::get (a pure read) is not faulted: a dead rank reading remote
+///    memory has no observable effect on its peers.
+///  * Traffic counters record *attempted* sends: the sender paid the cost
+///    even when the fabric (or its own death) ate the message.
+///
+/// Every probabilistic decision is a pure function of (seed, rank, op index),
+/// so a chaos run is replayable from its logged seed regardless of thread
+/// scheduling.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace annsim::mpi {
+
+/// Sentinel for kill triggers that never fire.
+inline constexpr std::uint64_t kNeverFires = ~std::uint64_t{0};
+
+/// One kill schedule entry: the rank goes silent once either trigger fires.
+struct KillRule {
+  int rank = -1;                           ///< global runtime rank to kill
+  std::uint64_t after_ops = kNeverFires;   ///< deliver this many user ops, then die
+  std::uint64_t at_step = kNeverFires;     ///< die once the logical step clock reaches this
+};
+
+/// A reproducible fault schedule for one Runtime. Default-constructed plans
+/// are inert (enabled() == false) and cost nothing on the send path.
+struct FaultPlan {
+  std::uint64_t seed = 0;            ///< stream seed for drop/delay decisions
+  double drop_probability = 0.0;     ///< per user op, uniform in [0, 1]
+  double delay_probability = 0.0;    ///< per user op, uniform in [0, 1]
+  std::chrono::microseconds delay{0};  ///< sender-side stall for delayed ops
+  std::vector<KillRule> kills;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return drop_probability > 0.0 || delay_probability > 0.0 || !kills.empty();
+  }
+};
+
+/// Runtime state of one plan: per-rank op counters, death flags, and the
+/// logical step clock. Thread-safe — a worker's whole thread team funnels its
+/// sends through allow_op concurrently.
+class FaultInjector {
+ public:
+  FaultInjector(FaultPlan plan, int n_ranks);
+
+  /// Consult the plan for the next user-visible op (p2p send or RMA
+  /// mutation) of `global_rank`. Returns false when the op must be dropped —
+  /// the rank is dead, just died, or lost the drop roll — and sleeps inline
+  /// on delay rolls (the sender thread stalls, exactly like a slow link).
+  bool allow_op(int global_rank);
+
+  /// Advance the logical step clock that `KillRule::at_step` triggers on.
+  /// The application defines what a step is (a batch, a phase, an epoch).
+  void advance_step() noexcept { step_.fetch_add(1, std::memory_order_acq_rel); }
+
+  [[nodiscard]] std::uint64_t step() const noexcept {
+    return step_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] bool is_dead(int global_rank) const;
+  /// Ranks whose kill rule has fired so far, ascending.
+  [[nodiscard]] std::vector<int> dead_ranks() const;
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+
+ private:
+  struct RankState {
+    std::atomic<std::uint64_t> ops{0};
+    std::atomic<bool> dead{false};
+    std::uint64_t kill_after_ops = kNeverFires;
+    std::uint64_t kill_at_step = kNeverFires;
+  };
+
+  FaultPlan plan_;
+  int n_ranks_ = 0;
+  std::atomic<std::uint64_t> step_{0};
+  std::unique_ptr<RankState[]> ranks_;
+};
+
+}  // namespace annsim::mpi

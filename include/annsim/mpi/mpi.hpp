@@ -26,15 +26,18 @@
 /// The runtime also keeps per-rank traffic counters (messages/bytes by
 /// class) that the discrete-event performance model consumes.
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "annsim/common/serialize.hpp"
 #include "annsim/common/types.hpp"
+#include "annsim/mpi/fault.hpp"
 
 namespace annsim::mpi {
 
@@ -88,6 +91,13 @@ class Request {
 
   /// Block until complete (MPI_Wait).
   void wait();
+
+  /// Bounded wait: true when the operation completed within `timeout` (its
+  /// message can be taken), false on timeout or cancellation. A timed-out
+  /// request stays posted — the caller may wait again or cancel() it. This is
+  /// the primitive honest MPI codes need to survive a silent peer: a master
+  /// waiting on a dead worker gets `false` instead of hanging forever.
+  [[nodiscard]] bool wait_for(std::chrono::microseconds timeout);
 
   /// Cancel a pending receive (MPI_Cancel); returns false if the operation
   /// already completed (its message must then be taken).
@@ -156,6 +166,11 @@ class Comm {
   void send(int dest, Tag tag, std::span<const std::byte> payload);
   Request isend(int dest, Tag tag, std::span<const std::byte> payload);
   [[nodiscard]] Message recv(int source = kAnySource, Tag tag = kAnyTag);
+  /// recv with a deadline: `std::nullopt` if no matching message arrived
+  /// within `timeout` (the posted receive is cancelled — a later message is
+  /// NOT consumed). Never hangs on a dead peer.
+  [[nodiscard]] std::optional<Message> recv_for(int source, Tag tag,
+                                                std::chrono::microseconds timeout);
   [[nodiscard]] Request irecv(int source = kAnySource, Tag tag = kAnyTag);
   /// Is a matching message waiting? (MPI_Iprobe)
   [[nodiscard]] bool iprobe(int source = kAnySource, Tag tag = kAnyTag);
@@ -242,6 +257,10 @@ class Comm {
 class Runtime {
  public:
   explicit Runtime(int n_ranks);
+  /// Construct with a fault schedule (see fault.hpp). An inert plan
+  /// (enabled() == false) behaves exactly like the plain constructor.
+  /// Injector state (op counters, death flags) persists across run() calls.
+  Runtime(int n_ranks, const FaultPlan& plan);
   ~Runtime();
 
   Runtime(const Runtime&) = delete;
@@ -255,6 +274,13 @@ class Runtime {
   [[nodiscard]] TrafficStats total_traffic() const;
   /// One entry per rank.
   [[nodiscard]] std::vector<TrafficStats> per_rank_traffic() const;
+
+  /// The installed fault injector, or nullptr when constructed without a
+  /// plan (or with an inert one). Use it to advance the logical step clock
+  /// or inspect which ranks have died.
+  [[nodiscard]] FaultInjector* fault_injector() noexcept;
+  /// Ranks whose kill rule fired (empty without fault injection).
+  [[nodiscard]] std::vector<int> failed_ranks() const;
 
  private:
   std::shared_ptr<detail::RuntimeState> state_;

@@ -41,6 +41,8 @@ enum class QueryStatus : std::uint8_t {
                      ///< search finished late (partial service)
   kShutdown,      ///< server stopped before the request could be served
   kError,         ///< engine failure while serving the batch
+  kDegraded,      ///< answered, but workers failed mid-batch and the retry
+                  ///< budget ran out: partial coverage (see partitions_*)
 };
 
 [[nodiscard]] const char* to_string(QueryStatus s) noexcept;
@@ -51,6 +53,10 @@ struct QueryResponse {
   double queue_ms = 0.0;   ///< admission -> batch dispatch
   double total_ms = 0.0;   ///< admission -> completion (end-to-end latency)
   std::size_t batch_size = 0;  ///< size of the micro-batch this request rode in
+  /// Coverage the engine reported for this query (searched < planned marks a
+  /// degraded answer; both 0 when the engine runs without failure detection).
+  std::uint32_t partitions_searched = 0;
+  std::uint32_t partitions_planned = 0;
 };
 
 /// What to do with a submit() when the admission queue is full.
@@ -65,6 +71,13 @@ struct ServerConfig {
   std::size_t queue_capacity = 1024;  ///< bounded admission queue
   OverflowPolicy overflow = OverflowPolicy::kReject;
   std::size_t ef = 0;              ///< engine ef_search override (0 = default)
+  /// Degraded-answer retry budget: a query the engine answers with partial
+  /// coverage is requeued up to this many times (0 = surface kDegraded
+  /// immediately) as long as a retry can still beat the request's deadline.
+  std::size_t max_retries = 0;
+  /// Wait this long before a degraded retry re-enters a batch, giving the
+  /// engine's failover a fresh worker set time to absorb the load.
+  double retry_backoff_ms = 0.0;
 };
 
 /// Thread-safe online front end over a built DistributedAnnEngine. The
@@ -102,6 +115,9 @@ class QueryServer {
     Clock::time_point admitted{};
     Clock::time_point deadline = Clock::time_point::max();
     std::promise<QueryResponse> promise;
+    std::size_t retries_used = 0;  ///< degraded re-runs consumed so far
+    /// Backoff gate: the scheduler skips this request until the gate opens.
+    Clock::time_point not_before = Clock::time_point::min();
   };
 
   void scheduler_main();

@@ -25,6 +25,8 @@ struct MetricsReport {
   std::size_t rejected = 0;       ///< bounced by backpressure (queue full)
   std::size_t expired = 0;        ///< deadline passed before/after dispatch
   std::size_t failed = 0;         ///< engine error or shutdown drop
+  std::size_t degraded = 0;       ///< answered with partial coverage
+  std::size_t retries = 0;        ///< degraded re-runs consumed (budget spend)
   std::size_t batches = 0;        ///< engine batch invocations
 
   double wall_seconds = 0.0;      ///< first admission -> last completion
@@ -57,6 +59,12 @@ class ServerMetrics {
   void on_batch(std::size_t batch_size);
   /// An in-deadline completion; latencies in milliseconds.
   void on_complete_ok(double latency_ms, double queue_wait_ms);
+  /// An in-deadline completion with partial coverage (kDegraded). Feeds the
+  /// same latency histogram as ok completions — a degraded answer is still
+  /// an answer the client waited for.
+  void on_complete_degraded(double latency_ms, double queue_wait_ms);
+  /// A degraded result withheld and requeued for another attempt.
+  void on_retry();
 
   [[nodiscard]] MetricsReport report() const;
 
@@ -68,7 +76,7 @@ class ServerMetrics {
   std::vector<double> queue_depths_;
   std::vector<double> batch_sizes_;
   std::size_t submitted_ = 0, completed_ok_ = 0, rejected_ = 0, expired_ = 0,
-              failed_ = 0, batches_ = 0;
+              failed_ = 0, degraded_ = 0, retries_ = 0, batches_ = 0;
   bool saw_submit_ = false;
   Clock::time_point first_submit_{};
   Clock::time_point last_complete_{};

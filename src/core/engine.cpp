@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "annsim/common/error.hpp"
+#include "annsim/common/log.hpp"
 #include "annsim/common/timer.hpp"
 #include "annsim/common/topk.hpp"
 #include "annsim/core/dataset_transfer.hpp"
@@ -47,6 +48,37 @@ void validate_engine_config(const EngineConfig& config) {
   if (config.local_index == LocalIndexKind::kIvfPq) {
     ANNSIM_CHECK_MSG(config.hnsw.metric == simd::Metric::kL2,
                      "IVF-PQ local indexes support L2 only");
+  }
+  ANNSIM_CHECK_MSG(config.result_timeout_ms >= 0.0,
+                   "result_timeout_ms cannot be negative (0 disables failure "
+                   "detection)");
+  if (config.result_timeout_ms > 0.0) {
+    ANNSIM_CHECK_MSG(config.strategy == DispatchStrategy::kMasterWorker,
+                     "result_timeout_ms (failure detection) requires the "
+                     "master-worker dispatch strategy");
+    ANNSIM_CHECK_MSG(!config.exact_routing,
+                     "result_timeout_ms (failure detection) does not support "
+                     "exact_routing's two-phase protocol");
+  }
+  ANNSIM_CHECK_MSG(
+      config.fault.drop_probability >= 0.0 && config.fault.drop_probability <= 1.0,
+      "fault.drop_probability must be within [0, 1]");
+  ANNSIM_CHECK_MSG(config.fault.delay_probability >= 0.0 &&
+                       config.fault.delay_probability <= 1.0,
+                   "fault.delay_probability must be within [0, 1]");
+  ANNSIM_CHECK_MSG(config.fault.delay.count() >= 0,
+                   "fault.delay cannot be negative");
+  if (config.fault.enabled()) {
+    ANNSIM_CHECK_MSG(config.result_timeout_ms > 0.0,
+                     "fault injection without failure detection would hang the "
+                     "master: set result_timeout_ms > 0");
+    for (const mpi::KillRule& kill : config.fault.kills) {
+      ANNSIM_CHECK_MSG(kill.rank >= 1 && kill.rank <= int(config.n_workers),
+                       "fault.kills rank " << kill.rank
+                                           << " must name a worker rank in [1, "
+                                           << config.n_workers
+                                           << "] (rank 0 is the master)");
+    }
   }
 }
 
@@ -212,7 +244,15 @@ data::KnnResults DistributedAnnEngine::search(const data::Dataset& queries,
   st.jobs_per_worker.assign(config_.n_workers, 0);
 
   WallTimer timer;
-  mpi::Runtime rt(int(config_.n_workers) + 1);
+  mpi::Runtime rt(int(config_.n_workers) + 1, config_.fault);
+  if (config_.fault.enabled()) {
+    // Log the seed so any chaos run is replayable bit-for-bit.
+    ANNSIM_INFO("fault injection armed: seed=" << config_.fault.seed
+                << " drop_p=" << config_.fault.drop_probability
+                << " delay_p=" << config_.fault.delay_probability
+                << " kills=" << config_.fault.kills.size()
+                << " result_timeout_ms=" << config_.result_timeout_ms);
+  }
   rt.run([&](mpi::Comm& world) {
     if (config_.strategy == DispatchStrategy::kMultipleOwner) {
       if (world.rank() == 0) {
@@ -235,6 +275,11 @@ data::KnnResults DistributedAnnEngine::search(const data::Dataset& queries,
 }
 
 // Algorithm 3 (baseline) / Algorithm 5 (replication): the master routine.
+// With `result_timeout_ms > 0` the collection loops additionally detect
+// workers that stop making progress, fail their outstanding jobs over to
+// live replicas of the same partition, and finalize queries that lose every
+// replica as degraded partial results. With the default timeout of 0 the
+// function runs the exact legacy code path.
 void DistributedAnnEngine::master_search(mpi::Comm& world,
                                          const data::Dataset& queries,
                                          std::size_t k, std::size_t ef,
@@ -244,8 +289,14 @@ void DistributedAnnEngine::master_search(mpi::Comm& world,
   const std::size_t P = config_.n_workers;
   const std::size_t nq = queries.size();
   const auto& tree = *router_;
-  const SlotLayout layout{k};
   const bool one_sided = config_.one_sided && !config_.exact_routing;
+  const bool detect = config_.result_timeout_ms > 0.0;
+  // Detection needs the slot partition mask (idempotent failover merges and
+  // coverage attribution); without it the layout is the legacy one.
+  const SlotLayout layout{k, one_sided && detect ? P : 0};
+  const auto timeout = std::chrono::microseconds(
+      std::int64_t(config_.result_timeout_ms * 1000.0));
+  using Clock = std::chrono::steady_clock;
 
   mpi::Window win;
   if (one_sided) {
@@ -255,26 +306,52 @@ void DistributedAnnEngine::master_search(mpi::Comm& world,
   PhaseTimer route_t, dispatch_t, merge_t;
 
   // --- Algorithm 5 scaffolding: one round-robin pointer per workgroup
-  // W_i = {p_i, p_{i+1 mod P}, ..., p_{i+r-1 mod P}}.
+  // W_i = {p_i, p_{i+1 mod P}, ..., p_{i+r-1 mod P}}. Members declared dead
+  // are skipped; the first probe matches the legacy choice exactly, so a
+  // fault-free run dispatches identically whether or not detection is armed.
   std::vector<std::uint32_t> next(P, 0);
-  auto dispatch_job = [&](std::uint32_t qid, PartitionId d) {
-    const std::size_t member = (d + next[d]) % P;
-    next[d] = (next[d] + 1) % std::uint32_t(config_.replication);
-    QueryJob job;
-    job.query_id = qid;
-    job.partition = d;
-    job.k = std::uint32_t(k);
-    job.ef = std::uint32_t(ef);
-    job.reply_to = 0;
-    const float* qv = queries.row(qid);
-    job.query.assign(qv, qv + queries.dim());
-    ScopedPhase p(dispatch_t);
-    (void)world.isend(int(member) + 1, kTagQuery, encode_query_job(job));
+  std::vector<char> alive(P, 1);
+  auto dispatch_job = [&](std::uint32_t qid, PartitionId d) -> int {
+    const auto r = std::uint32_t(config_.replication);
+    for (std::uint32_t probe = 0; probe < r; ++probe) {
+      const std::size_t member = (d + next[d]) % P;
+      next[d] = (next[d] + 1) % r;
+      if (!alive[member]) continue;
+      QueryJob job;
+      job.query_id = qid;
+      job.partition = d;
+      job.k = std::uint32_t(k);
+      job.ef = std::uint32_t(ef);
+      job.reply_to = 0;
+      const float* qv = queries.row(qid);
+      job.query.assign(qv, qv + queries.dim());
+      ScopedPhase p(dispatch_t);
+      (void)world.isend(int(member) + 1, kTagQuery, encode_query_job(job));
+      return int(member);
+    }
+    return -1;  // no live replica hosts partition d
   };
 
   std::vector<std::uint32_t> expected(nq, 0);
   std::vector<TopK> acc;  // two-sided merge accumulators
   if (!one_sided) acc.assign(nq, TopK(k));
+
+  // --- failover bookkeeping (used only when detection is armed).
+  enum class JobState : char { kPending, kMerged, kAbandoned };
+  struct JobInfo {
+    JobState state = JobState::kPending;
+    int worker = -1;       ///< current assignee (worker id, not rank)
+    bool retried = false;  ///< re-dispatched after its first assignee died
+  };
+  auto jkey = [](std::uint32_t q, PartitionId d) {
+    return (std::uint64_t(q) << 32) | std::uint64_t(d);
+  };
+  std::map<std::uint64_t, JobInfo> jobs;         // keyed by (query, partition)
+  std::vector<std::uint32_t> pending_per_worker(P, 0);
+  std::vector<std::uint32_t> remaining(nq, 0);   // pending jobs per query
+  std::vector<std::uint32_t> searched(nq, 0);    // merged partitions per query
+  std::vector<Clock::time_point> last_activity(P, Clock::now());
+  if (detect) stats.coverage.assign(nq, {});
 
   std::uint64_t total_jobs = 0;
 
@@ -287,11 +364,23 @@ void DistributedAnnEngine::master_search(mpi::Comm& world,
       route_t.stop();
       expected[q] = std::uint32_t(plan.partitions.size());
       total_jobs += plan.partitions.size();
-      for (PartitionId d : plan.partitions) dispatch_job(std::uint32_t(q), d);
+      for (PartitionId d : plan.partitions) {
+        const int m = dispatch_job(std::uint32_t(q), d);
+        if (detect) {
+          // Nobody has been declared dead yet, so dispatch cannot fail.
+          jobs[jkey(std::uint32_t(q), d)] = JobInfo{JobState::kPending, m, false};
+          ++pending_per_worker[std::size_t(m)];
+          ++remaining[q];
+        }
+      }
     }
-    for (std::size_t w = 0; w < P; ++w) {
-      ScopedPhase p(dispatch_t);
-      (void)world.isend(int(w) + 1, kTagEoq, {});
+    // With detection armed, EOQ is deferred until every query finalizes so
+    // live workers stay available for failover jobs.
+    if (!detect) {
+      for (std::size_t w = 0; w < P; ++w) {
+        ScopedPhase p(dispatch_t);
+        (void)world.isend(int(w) + 1, kTagEoq, {});
+      }
     }
   } else {
     // Two-phase exact F(q): nearest partition first, then every partition
@@ -336,46 +425,185 @@ void DistributedAnnEngine::master_search(mpi::Comm& world,
   // partial arrives, so `on_query_done` streams completions in finish order
   // rather than batch order — the serving plane's latency signal.
   std::vector<char> finalized(nq, 0);
-  if (!one_sided) {
-    auto finalize_query = [&](std::size_t q) {
-      results[q] = acc[q].take_sorted();
-      finalized[q] = 1;
-      if (on_query_done) on_query_done(q, results[q]);
-    };
-    std::vector<std::uint32_t> remaining(nq);
-    std::uint64_t outstanding = 0;
+  auto coverage_of = [&](std::size_t q) {
+    return detect ? QueryCoverage{searched[q], expected[q]}
+                  : QueryCoverage{expected[q], expected[q]};
+  };
+  auto finalize_query = [&](std::size_t q) {
+    results[q] = acc[q].take_sorted();
+    finalized[q] = 1;
+    const QueryCoverage cov = coverage_of(q);
+    if (detect) {
+      stats.coverage[q] = cov;
+      if (cov.degraded()) ++stats.degraded_queries;
+    }
+    if (on_query_done) on_query_done(q, results[q], cov);
+  };
+
+  // Declare worker `w` dead for the rest of the batch: fail each of its
+  // pending jobs over to the next live replica of the partition; a job with
+  // no live replica left is abandoned and its query completes degraded.
+  std::uint64_t outstanding = 0;  // pending jobs across the batch (detect)
+  auto declare_dead = [&](std::size_t w) {
+    alive[w] = 0;
+    ++stats.workers_failed;
+    for (auto& [key, info] : jobs) {
+      if (info.state != JobState::kPending || info.worker != int(w)) continue;
+      const auto q = std::uint32_t(key >> 32);
+      const auto d = PartitionId(key & 0xffffffffULL);
+      const int m = dispatch_job(q, d);
+      if (m >= 0) {
+        info.worker = m;
+        info.retried = true;
+        ++stats.retries;
+        ++pending_per_worker[std::size_t(m)];
+        last_activity[std::size_t(m)] = Clock::now();  // fresh deadline
+      } else {
+        info.state = JobState::kAbandoned;
+        --outstanding;
+        if (--remaining[q] == 0 && !one_sided) finalize_query(q);
+      }
+    }
+    pending_per_worker[w] = 0;
+  };
+  auto check_deadlines = [&](Clock::time_point now) {
+    for (std::size_t w = 0; w < P; ++w) {
+      if (alive[w] && pending_per_worker[w] > 0 &&
+          now - last_activity[w] >= timeout) {
+        declare_dead(w);
+      }
+    }
+  };
+
+  if (!one_sided && !detect) {
+    std::vector<std::uint32_t> todo(nq);
+    std::uint64_t legacy_outstanding = 0;
     for (std::size_t q = 0; q < nq; ++q) {
       // Phase-1 results of exact routing were already merged above.
-      remaining[q] = expected[q] - (config_.exact_routing ? 1 : 0);
-      outstanding += remaining[q];
+      todo[q] = expected[q] - (config_.exact_routing ? 1 : 0);
+      legacy_outstanding += todo[q];
     }
     if (config_.exact_routing) {
       for (std::size_t q = 0; q < nq; ++q) {
-        if (remaining[q] == 0) finalize_query(q);
+        if (todo[q] == 0) finalize_query(q);
       }
     }
-    for (std::uint64_t i = 0; i < outstanding; ++i) {
+    for (std::uint64_t i = 0; i < legacy_outstanding; ++i) {
       mpi::Message m = world.recv(mpi::kAnySource, kTagResult);
       ScopedPhase p(merge_t);
       LocalResult r = decode_local_result(m.payload);
       acc[r.query_id].merge(r.neighbors);
-      if (--remaining[r.query_id] == 0) finalize_query(r.query_id);
+      if (--todo[r.query_id] == 0) finalize_query(r.query_id);
+    }
+  } else if (!one_sided && detect) {
+    for (std::size_t q = 0; q < nq; ++q) outstanding += remaining[q];
+    for (std::size_t w = 0; w < P; ++w) last_activity[w] = Clock::now();
+    while (outstanding > 0) {
+      auto msg = world.recv_for(mpi::kAnySource, kTagResult, timeout);
+      const auto now = Clock::now();
+      if (msg.has_value()) {
+        ScopedPhase p(merge_t);
+        LocalResult r = decode_local_result(msg->payload);
+        last_activity[std::size_t(msg->source) - 1] = now;
+        const auto it = jobs.find(jkey(r.query_id, r.partition));
+        if (it != jobs.end() && it->second.state == JobState::kPending) {
+          it->second.state = JobState::kMerged;
+          if (it->second.retried) ++stats.failovers;
+          --pending_per_worker[std::size_t(it->second.worker)];
+          acc[r.query_id].merge(r.neighbors);
+          ++searched[r.query_id];
+          --outstanding;
+          if (--remaining[r.query_id] == 0) finalize_query(r.query_id);
+        }
+        // else: late duplicate from a worker declared dead too eagerly; the
+        // job already completed elsewhere (or was abandoned) — drop it.
+      }
+      check_deadlines(now);
+    }
+  } else if (one_sided && detect) {
+    // One-sided collection: poll slot headers for progress. A job is done
+    // once its partition bit appears in the query's mask; a worker whose
+    // pending jobs show no new bits for `timeout` is declared dead.
+    for (std::size_t q = 0; q < nq; ++q) outstanding += remaining[q];
+    for (std::size_t w = 0; w < P; ++w) last_activity[w] = Clock::now();
+    const auto poll = std::max(timeout / 8, std::chrono::microseconds(100));
+    win.lock_shared(0);
+    while (outstanding > 0) {
+      bool progress = false;
+      const auto now = Clock::now();
+      for (std::size_t q = 0; q < nq; ++q) {
+        if (remaining[q] == 0) continue;
+        auto hdr_bytes =
+            win.get(0, layout.slot_offset(q), layout.header_bytes());
+        const SlotHeader hdr = decode_slot_header(hdr_bytes, layout);
+        for (auto it = jobs.lower_bound(jkey(std::uint32_t(q), 0));
+             it != jobs.end() && (it->first >> 32) == q; ++it) {
+          auto& info = it->second;
+          if (info.state != JobState::kPending) continue;
+          const auto d = PartitionId(it->first & 0xffffffffULL);
+          if (!hdr.contains_partition(d)) continue;
+          info.state = JobState::kMerged;
+          if (info.retried) ++stats.failovers;
+          --pending_per_worker[std::size_t(info.worker)];
+          last_activity[std::size_t(info.worker)] = now;
+          ++searched[q];
+          --remaining[q];
+          --outstanding;
+          progress = true;
+        }
+      }
+      if (outstanding == 0) break;
+      check_deadlines(now);
+      if (!progress) std::this_thread::sleep_for(poll);
+    }
+    win.unlock(0);
+  }
+
+  // With detection armed, EOQ goes out only now — after every query has
+  // either completed or been abandoned — so live workers could serve
+  // failover jobs until the very end of the batch.
+  if (detect) {
+    for (std::size_t w = 0; w < P; ++w) {
+      ScopedPhase p(dispatch_t);
+      (void)world.isend(int(w) + 1, kTagEoq, {});
     }
   }
 
   // --- completion notices (also carry the Fig 4(b) per-process job counts).
-  for (std::size_t w = 0; w < P; ++w) {
-    mpi::Message m = world.recv(mpi::kAnySource, kTagDone);
-    BinaryReader rd(m.payload);
-    const auto notice = rd.read<DoneNotice>();
-    stats.jobs_per_worker[std::size_t(m.source) - 1] = notice.jobs_processed;
-    stats.worker_compute_seconds += notice.compute_seconds;
-    stats.worker_comm_seconds += notice.comm_seconds;
+  if (!detect) {
+    for (std::size_t w = 0; w < P; ++w) {
+      mpi::Message m = world.recv(mpi::kAnySource, kTagDone);
+      BinaryReader rd(m.payload);
+      const auto notice = rd.read<DoneNotice>();
+      stats.jobs_per_worker[std::size_t(m.source) - 1] = notice.jobs_processed;
+      stats.worker_compute_seconds += notice.compute_seconds;
+      stats.worker_comm_seconds += notice.comm_seconds;
+    }
+  } else {
+    // A dead worker's notice was eaten by the injector; collect per source
+    // with a deadline instead of blocking on a wildcard that may never match.
+    for (std::size_t w = 0; w < P; ++w) {
+      if (!alive[w]) continue;
+      auto m = world.recv_for(int(w) + 1, kTagDone, timeout);
+      if (!m.has_value()) {
+        // Died after its last result but before the done notice.
+        declare_dead(w);
+        continue;
+      }
+      BinaryReader rd(m->payload);
+      const auto notice = rd.read<DoneNotice>();
+      stats.jobs_per_worker[w] = notice.jobs_processed;
+      stats.worker_compute_seconds += notice.compute_seconds;
+      stats.worker_comm_seconds += notice.comm_seconds;
+    }
   }
 
   // --- finalize results.
   if (one_sided) {
-    // All workers are done, so every accumulate has landed; read the window.
+    // Legacy mode: all workers are done, so every accumulate has landed.
+    // Detect mode: every job is merged or abandoned; coverage comes from the
+    // final mask, which also absorbs merges that landed after their worker
+    // was (too eagerly) declared dead.
     // (A real MPI master reads its exposed buffer directly; we go through
     // get() so the C++ memory model sees the same synchronisation the
     // window's target lock provides.)
@@ -384,11 +612,30 @@ void DistributedAnnEngine::master_search(mpi::Comm& world,
     for (std::size_t q = 0; q < nq; ++q) {
       auto bytes = win.get(0, layout.slot_offset(q), layout.slot_bytes());
       DecodedSlot slot = decode_slot(bytes, layout);
-      ANNSIM_CHECK_MSG(slot.merged_count == expected[q],
-                       "slot " << q << ": merged " << slot.merged_count
-                               << " of " << expected[q] << " results");
+      if (!detect) {
+        ANNSIM_CHECK_MSG(slot.merged_count == expected[q],
+                         "slot " << q << ": merged " << slot.merged_count
+                                 << " of " << expected[q] << " results");
+      } else {
+        std::uint32_t landed = 0;
+        for (auto it = jobs.lower_bound(jkey(std::uint32_t(q), 0));
+             it != jobs.end() && (it->first >> 32) == q; ++it) {
+          if (slot.contains_partition(PartitionId(it->first & 0xffffffffULL))) {
+            ++landed;
+          }
+        }
+        ANNSIM_CHECK_MSG(slot.merged_count == landed,
+                         "slot " << q << ": merged " << slot.merged_count
+                                 << " but mask shows " << landed);
+        searched[q] = landed;
+      }
       results[q] = std::move(slot.neighbors);
-      if (on_query_done) on_query_done(q, results[q]);
+      const QueryCoverage cov = coverage_of(q);
+      if (detect) {
+        stats.coverage[q] = cov;
+        if (cov.degraded()) ++stats.degraded_queries;
+      }
+      if (on_query_done) on_query_done(q, results[q], cov);
     }
     win.unlock(0);
   } else {
@@ -407,8 +654,10 @@ void DistributedAnnEngine::master_search(mpi::Comm& world,
 // MPI_Test and terminating through the shared Done flag).
 void DistributedAnnEngine::worker_search(mpi::Comm& world, std::size_t k) {
   const std::size_t me = std::size_t(world.rank()) - 1;
-  const SlotLayout layout{k};
   const bool one_sided = config_.one_sided && !config_.exact_routing;
+  const bool detect = config_.result_timeout_ms > 0.0;
+  // Must mirror the master's layout choice exactly (same window geometry).
+  const SlotLayout layout{k, one_sided && detect ? config_.n_workers : 0};
 
   mpi::Window win;
   if (one_sided) {
@@ -463,7 +712,8 @@ void DistributedAnnEngine::worker_search(mpi::Comm& world, std::size_t k) {
       WallTimer tm;
       if (one_sided) {
         win.get_accumulate(0, layout.slot_offset(job.query_id),
-                           encode_slot_update(local, layout), merge_op);
+                           encode_slot_update(local, layout, job.partition),
+                           merge_op);
       } else {
         LocalResult r;
         r.query_id = job.query_id;

@@ -82,7 +82,9 @@ void DistributedAnnEngine::master_search_owner(mpi::Comm& world,
     ScopedPhase p(merge_t);
     LocalResult r = decode_local_result(m.payload);
     results[r.query_id] = std::move(r.neighbors);
-    if (on_query_done) on_query_done(r.query_id, results[r.query_id]);
+    // Owner mode runs without failure detection; coverage is always full
+    // (a zero/zero QueryCoverage is never degraded).
+    if (on_query_done) on_query_done(r.query_id, results[r.query_id], {});
   }
 
   // --- completion notices.

@@ -48,16 +48,49 @@ LocalResult decode_local_result(std::span<const std::byte> bytes) {
   return out;
 }
 
+bool mask_contains(std::span<const std::uint64_t> mask,
+                   PartitionId p) noexcept {
+  const std::size_t word = std::size_t(p) / 64;
+  if (word >= mask.size()) return false;
+  return (mask[word] >> (std::size_t(p) % 64)) & 1U;
+}
+
+namespace {
+
+std::vector<std::uint64_t> read_mask(std::span<const std::byte> slot,
+                                     const SlotLayout& layout) {
+  std::vector<std::uint64_t> mask(layout.mask_words());
+  if (!mask.empty()) {
+    std::memcpy(mask.data(), slot.data() + sizeof(std::uint64_t),
+                mask.size() * sizeof(std::uint64_t));
+  }
+  return mask;
+}
+
+}  // namespace
+
 std::vector<std::byte> encode_slot_update(std::span<const Neighbor> neighbors,
-                                          const SlotLayout& layout) {
+                                          const SlotLayout& layout,
+                                          PartitionId partition) {
   std::vector<std::byte> out(layout.slot_bytes());
   const std::uint32_t count = 1;
   std::memcpy(out.data(), &count, sizeof(count));
+  if (layout.mask_words() > 0) {
+    ANNSIM_CHECK_MSG(partition != kInvalidPartition &&
+                         std::size_t(partition) < layout.n_partitions,
+                     "encode_slot_update: masked layout needs the searched "
+                     "partition id");
+    std::vector<std::uint64_t> mask(layout.mask_words(), 0);
+    mask[std::size_t(partition) / 64] |= std::uint64_t{1}
+                                         << (std::size_t(partition) % 64);
+    std::memcpy(out.data() + sizeof(std::uint64_t), mask.data(),
+                mask.size() * sizeof(std::uint64_t));
+  }
   std::vector<Neighbor> padded(layout.k);  // default = +inf sentinels
   const std::size_t n = std::min(neighbors.size(), layout.k);
   std::copy(neighbors.begin(), neighbors.begin() + std::ptrdiff_t(n),
             padded.begin());
-  std::memcpy(out.data() + sizeof(std::uint64_t), padded.data(),
+  std::memcpy(out.data() + layout.header_bytes(), padded.data(),
               layout.k * sizeof(Neighbor));
   return out;
 }
@@ -72,10 +105,24 @@ mpi::Window::MergeOp knn_slot_merge(const SlotLayout& layout) {
     std::memcpy(&t_count, target.data(), sizeof(t_count));
     std::memcpy(&o_count, origin.data(), sizeof(o_count));
 
+    const std::size_t words = layout.mask_words();
+    std::vector<std::uint64_t> t_mask, o_mask;
+    if (words > 0) {
+      t_mask = read_mask(target, layout);
+      o_mask = read_mask(origin, layout);
+      // Failover retry that already landed: every origin partition is merged
+      // into this slot already, so the whole update is a duplicate. Drop it.
+      bool duplicate = true;
+      for (std::size_t w = 0; w < words; ++w) {
+        if ((o_mask[w] & ~t_mask[w]) != 0) duplicate = false;
+      }
+      if (duplicate) return;
+    }
+
     std::vector<Neighbor> t_nb(layout.k), o_nb(layout.k);
-    std::memcpy(t_nb.data(), target.data() + sizeof(std::uint64_t),
+    std::memcpy(t_nb.data(), target.data() + layout.header_bytes(),
                 layout.k * sizeof(Neighbor));
-    std::memcpy(o_nb.data(), origin.data() + sizeof(std::uint64_t),
+    std::memcpy(o_nb.data(), origin.data() + layout.header_bytes(),
                 layout.k * sizeof(Neighbor));
 
     // A fresh slot holds zero-initialized neighbors (dist 0, id 0) when
@@ -86,13 +133,27 @@ mpi::Window::MergeOp knn_slot_merge(const SlotLayout& layout) {
 
     const std::uint32_t new_count = t_count + o_count;
     std::memcpy(target.data(), &new_count, sizeof(new_count));
+    if (words > 0) {
+      for (std::size_t w = 0; w < words; ++w) t_mask[w] |= o_mask[w];
+      std::memcpy(target.data() + sizeof(std::uint64_t), t_mask.data(),
+                  words * sizeof(std::uint64_t));
+    }
     std::vector<Neighbor> padded(layout.k);
     std::copy(merged.begin(),
               merged.begin() + std::ptrdiff_t(std::min(merged.size(), layout.k)),
               padded.begin());
-    std::memcpy(target.data() + sizeof(std::uint64_t), padded.data(),
+    std::memcpy(target.data() + layout.header_bytes(), padded.data(),
                 layout.k * sizeof(Neighbor));
   };
+}
+
+SlotHeader decode_slot_header(std::span<const std::byte> slot,
+                              const SlotLayout& layout) {
+  ANNSIM_CHECK(slot.size() >= layout.header_bytes());
+  SlotHeader out;
+  std::memcpy(&out.merged_count, slot.data(), sizeof(out.merged_count));
+  out.mask = read_mask(slot, layout);
+  return out;
 }
 
 DecodedSlot decode_slot(std::span<const std::byte> slot,
@@ -100,8 +161,9 @@ DecodedSlot decode_slot(std::span<const std::byte> slot,
   ANNSIM_CHECK(slot.size() >= layout.slot_bytes());
   DecodedSlot out;
   std::memcpy(&out.merged_count, slot.data(), sizeof(out.merged_count));
+  out.mask = read_mask(slot, layout);
   out.neighbors.resize(layout.k);
-  std::memcpy(out.neighbors.data(), slot.data() + sizeof(std::uint64_t),
+  std::memcpy(out.neighbors.data(), slot.data() + layout.header_bytes(),
               layout.k * sizeof(Neighbor));
   // Drop +inf padding sentinels.
   while (!out.neighbors.empty() &&

@@ -1,0 +1,83 @@
+#include "annsim/mpi/fault.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "annsim/common/error.hpp"
+#include "annsim/common/rng.hpp"
+
+namespace annsim::mpi {
+
+namespace {
+
+// Stateless uniform draw: a pure function of (seed, rank, op, salt) so the
+// decision for "rank r's op number n" is identical across runs even though
+// the rank's threads race to claim op indices.
+double u01(std::uint64_t seed, int rank, std::uint64_t op, std::uint64_t salt) {
+  SplitMix64 sm(seed ^ (std::uint64_t(rank) + 1) * 0x9e3779b97f4a7c15ULL ^
+                (op + 1) * 0xc2b2ae3d27d4eb4fULL ^ salt * 0x165667b19e3779f9ULL);
+  (void)sm.next();  // decorrelate nearby inputs
+  return double(sm.next() >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan, int n_ranks)
+    : plan_(std::move(plan)), n_ranks_(n_ranks) {
+  ANNSIM_CHECK_MSG(n_ranks_ >= 1, "FaultInjector needs at least one rank");
+  ANNSIM_CHECK_MSG(
+      plan_.drop_probability >= 0.0 && plan_.drop_probability <= 1.0,
+      "fault.drop_probability must be within [0, 1]");
+  ANNSIM_CHECK_MSG(
+      plan_.delay_probability >= 0.0 && plan_.delay_probability <= 1.0,
+      "fault.delay_probability must be within [0, 1]");
+  ANNSIM_CHECK_MSG(plan_.delay.count() >= 0, "fault.delay cannot be negative");
+  ranks_ = std::make_unique<RankState[]>(std::size_t(n_ranks_));
+  for (const KillRule& kill : plan_.kills) {
+    ANNSIM_CHECK_MSG(kill.rank >= 0 && kill.rank < n_ranks_,
+                     "fault.kills rank " << kill.rank
+                                         << " outside runtime ranks [0, "
+                                         << n_ranks_ << ")");
+    auto& rs = ranks_[std::size_t(kill.rank)];
+    rs.kill_after_ops = std::min(rs.kill_after_ops, kill.after_ops);
+    rs.kill_at_step = std::min(rs.kill_at_step, kill.at_step);
+  }
+}
+
+bool FaultInjector::allow_op(int global_rank) {
+  ANNSIM_CHECK(global_rank >= 0 && global_rank < n_ranks_);
+  auto& rs = ranks_[std::size_t(global_rank)];
+  const std::uint64_t op = rs.ops.fetch_add(1, std::memory_order_acq_rel);
+  if (rs.dead.load(std::memory_order_acquire)) return false;
+  if (op >= rs.kill_after_ops ||
+      step_.load(std::memory_order_acquire) >= rs.kill_at_step) {
+    rs.dead.store(true, std::memory_order_release);
+    return false;
+  }
+  if (plan_.drop_probability > 0.0 &&
+      u01(plan_.seed, global_rank, op, 1) < plan_.drop_probability) {
+    return false;
+  }
+  if (plan_.delay_probability > 0.0 && plan_.delay.count() > 0 &&
+      u01(plan_.seed, global_rank, op, 2) < plan_.delay_probability) {
+    std::this_thread::sleep_for(plan_.delay);
+  }
+  return true;
+}
+
+bool FaultInjector::is_dead(int global_rank) const {
+  ANNSIM_CHECK(global_rank >= 0 && global_rank < n_ranks_);
+  return ranks_[std::size_t(global_rank)].dead.load(std::memory_order_acquire);
+}
+
+std::vector<int> FaultInjector::dead_ranks() const {
+  std::vector<int> out;
+  for (int r = 0; r < n_ranks_; ++r) {
+    if (ranks_[std::size_t(r)].dead.load(std::memory_order_acquire)) {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+}  // namespace annsim::mpi

@@ -62,12 +62,36 @@ struct WindowState {
   std::vector<int> members;                           ///< global rank per comm rank
 };
 
+/// Per-rank traffic counters. Atomic because a rank's whole thread team (the
+/// engine runs a search team per worker rank) funnels sends and RMA ops
+/// through the same entry concurrently.
+struct AtomicTraffic {
+  std::atomic<std::uint64_t> p2p_messages{0};
+  std::atomic<std::uint64_t> p2p_bytes{0};
+  std::atomic<std::uint64_t> rma_ops{0};
+  std::atomic<std::uint64_t> rma_bytes{0};
+  std::atomic<std::uint64_t> collective_ops{0};
+  std::atomic<std::uint64_t> collective_bytes{0};
+
+  [[nodiscard]] TrafficStats snapshot() const {
+    TrafficStats s;
+    s.p2p_messages = p2p_messages.load(std::memory_order_relaxed);
+    s.p2p_bytes = p2p_bytes.load(std::memory_order_relaxed);
+    s.rma_ops = rma_ops.load(std::memory_order_relaxed);
+    s.rma_bytes = rma_bytes.load(std::memory_order_relaxed);
+    s.collective_ops = collective_ops.load(std::memory_order_relaxed);
+    s.collective_bytes = collective_bytes.load(std::memory_order_relaxed);
+    return s;
+  }
+};
+
 struct RuntimeState {
   int n_ranks = 0;
   std::vector<std::unique_ptr<Mailbox>> mailboxes;   ///< per global rank
   std::atomic<std::uint64_t> next_comm_id{1};
   std::atomic<std::uint64_t> next_window_id{1};
-  std::vector<TrafficStats> traffic;                 ///< per global rank
+  std::unique_ptr<AtomicTraffic[]> traffic;          ///< per global rank
+  std::unique_ptr<FaultInjector> fault;              ///< null = no injection
 
   std::mutex win_mu;
   std::map<std::uint64_t, std::shared_ptr<WindowState>> windows;
@@ -78,12 +102,23 @@ namespace {
 bool matches(const Envelope& e, std::uint64_t comm_id, int source, Tag tag) {
   if (e.comm_id != comm_id) return false;
   if (source != kAnySource && e.source_local != source) return false;
-  if (tag != kAnyTag && e.tag != tag) return false;
-  return true;
+  // The tag wildcard spans user tags only: internal collective traffic
+  // (negative tags) lives in its own context, as in real MPI, so a user's
+  // iprobe/recv(kAnyTag) never observes an in-flight barrier token. Internal
+  // receives always name their exact tag.
+  if (tag == kAnyTag) return e.tag >= 0;
+  return e.tag == tag;
 }
 
 /// Deliver an envelope to a mailbox: complete the first matching pending
 /// recv, or queue the message.
+///
+/// The match is completed while box.mu is still held. Request::cancel takes
+/// box.mu before inspecting its state, so a recv it finds incomplete is
+/// guaranteed not to be mid-delivery — without this ordering, a wildcard
+/// irecv could be unlinked from `pending` here, then "successfully"
+/// cancelled, and the envelope would vanish with it (a latent hang for
+/// whichever rank is owed that message).
 void deliver(Mailbox& box, Envelope env) {
   std::shared_ptr<RecvState> match;
   {
@@ -99,9 +134,7 @@ void deliver(Mailbox& box, Envelope env) {
       box.queue.push_back(std::move(env));
       return;
     }
-  }
-  {
-    std::lock_guard lk(match->mu);
+    std::lock_guard mlk(match->mu);
     match->msg = Message{env.source_local, env.tag, std::move(env.payload)};
     match->completed = true;
   }
@@ -150,6 +183,15 @@ void Request::wait() {
   if (!state_) return;
   std::unique_lock lk(state_->mu);
   state_->cv.wait(lk, [this] { return state_->completed || state_->cancelled; });
+}
+
+bool Request::wait_for(std::chrono::microseconds timeout) {
+  if (!state_) return true;  // sends complete immediately
+  std::unique_lock lk(state_->mu);
+  (void)state_->cv.wait_for(lk, timeout, [this] {
+    return state_->completed || state_->cancelled;
+  });
+  return state_->completed;
 }
 
 bool Request::cancel() {
@@ -211,11 +253,19 @@ Request Comm::isend(int dest, Tag tag, std::span<const std::byte> payload) {
 
   auto& stats = rt_->traffic[std::size_t(members_[std::size_t(my_index_)])];
   if (tag >= 0) {
-    ++stats.p2p_messages;
-    stats.p2p_bytes += payload.size();
+    stats.p2p_messages.fetch_add(1, std::memory_order_relaxed);
+    stats.p2p_bytes.fetch_add(payload.size(), std::memory_order_relaxed);
   } else {
-    ++stats.collective_ops;
-    stats.collective_bytes += payload.size();
+    stats.collective_ops.fetch_add(1, std::memory_order_relaxed);
+    stats.collective_bytes.fetch_add(payload.size(), std::memory_order_relaxed);
+  }
+
+  // Fault injection gates user messages only: a dead rank stays silent on
+  // the data plane, but internal collective traffic (tag < 0) is reliable —
+  // see fault.hpp for the failure model.
+  if (tag >= 0 && rt_->fault != nullptr &&
+      !rt_->fault->allow_op(members_[std::size_t(my_index_)])) {
+    return Request{};  // dropped: the envelope never reaches the mailbox
   }
 
   detail::deliver(*rt_->mailboxes[std::size_t(members_[std::size_t(dest)])],
@@ -227,6 +277,14 @@ Message Comm::recv(int source, Tag tag) {
   Request r = irecv(source, tag);
   r.wait();
   return r.take();
+}
+
+std::optional<Message> Comm::recv_for(int source, Tag tag,
+                                      std::chrono::microseconds timeout) {
+  Request r = irecv(source, tag);
+  if (r.wait_for(timeout)) return r.take();
+  if (r.cancel()) return std::nullopt;
+  return r.take();  // completed in the cancel race window: take it, never lose it
 }
 
 Request Comm::irecv(int source, Tag tag) {
@@ -397,7 +455,7 @@ Window Comm::create_window(std::size_t local_bytes) {
 }
 
 TrafficStats Comm::traffic() const {
-  return rt_->traffic[std::size_t(members_[std::size_t(my_index_)])];
+  return rt_->traffic[std::size_t(members_[std::size_t(my_index_)])].snapshot();
 }
 
 // -------------------------------------------------------------- Window ---
@@ -428,8 +486,14 @@ void check_epoch(const detail::WindowState& ws, int origin, int target) {
 
 void account_rma(detail::WindowState& ws, int origin, std::size_t bytes) {
   auto& stats = ws.rt->traffic[std::size_t(ws.members[std::size_t(origin)])];
-  ++stats.rma_ops;
-  stats.rma_bytes += bytes;
+  stats.rma_ops.fetch_add(1, std::memory_order_relaxed);
+  stats.rma_bytes.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+/// RMA mutations from a dead/faulted origin vanish silently, like its sends.
+bool rma_op_allowed(detail::WindowState& ws, int origin) {
+  return ws.rt->fault == nullptr ||
+         ws.rt->fault->allow_op(ws.members[std::size_t(origin)]);
 }
 
 }  // namespace
@@ -439,9 +503,10 @@ void Window::put(int target, std::size_t offset, std::span<const std::byte> data
   check_epoch(ws, my_rank_, target);
   auto& buf = ws.buffers[std::size_t(target)];
   ANNSIM_CHECK_MSG(offset + data.size() <= buf.size(), "Window::put out of range");
+  account_rma(ws, my_rank_, data.size());
+  if (!rma_op_allowed(ws, my_rank_)) return;
   std::lock_guard lk(*ws.target_mu[std::size_t(target)]);
   std::copy(data.begin(), data.end(), buf.begin() + std::ptrdiff_t(offset));
-  account_rma(ws, my_rank_, data.size());
 }
 
 std::vector<std::byte> Window::get(int target, std::size_t offset,
@@ -464,11 +529,12 @@ void Window::get_accumulate(int target, std::size_t offset,
   auto& buf = ws.buffers[std::size_t(target)];
   ANNSIM_CHECK_MSG(offset + origin_data.size() <= buf.size(),
                    "Window::get_accumulate out of range");
+  account_rma(ws, my_rank_, origin_data.size());
+  if (!rma_op_allowed(ws, my_rank_)) return;
   std::lock_guard lk(*ws.target_mu[std::size_t(target)]);
   const std::span<std::byte> region(buf.data() + offset, origin_data.size());
   if (prev_out != nullptr) prev_out->assign(region.begin(), region.end());
   op(region, origin_data);
-  account_rma(ws, my_rank_, origin_data.size());
 }
 
 std::span<std::byte> Window::local_data() {
@@ -490,7 +556,13 @@ Runtime::Runtime(int n_ranks) : state_(std::make_shared<detail::RuntimeState>())
   for (int i = 0; i < n_ranks; ++i) {
     state_->mailboxes.push_back(std::make_unique<detail::Mailbox>());
   }
-  state_->traffic.assign(std::size_t(n_ranks), {});
+  state_->traffic = std::make_unique<detail::AtomicTraffic[]>(std::size_t(n_ranks));
+}
+
+Runtime::Runtime(int n_ranks, const FaultPlan& plan) : Runtime(n_ranks) {
+  if (plan.enabled()) {
+    state_->fault = std::make_unique<FaultInjector>(plan, n_ranks);
+  }
 }
 
 Runtime::~Runtime() = default;
@@ -524,12 +596,25 @@ void Runtime::run(const std::function<void(Comm&)>& rank_main) {
 
 TrafficStats Runtime::total_traffic() const {
   TrafficStats total;
-  for (const auto& t : state_->traffic) total += t;
+  for (int i = 0; i < state_->n_ranks; ++i) {
+    total += state_->traffic[std::size_t(i)].snapshot();
+  }
   return total;
 }
 
 std::vector<TrafficStats> Runtime::per_rank_traffic() const {
-  return state_->traffic;
+  std::vector<TrafficStats> out;
+  out.reserve(std::size_t(state_->n_ranks));
+  for (int i = 0; i < state_->n_ranks; ++i) {
+    out.push_back(state_->traffic[std::size_t(i)].snapshot());
+  }
+  return out;
+}
+
+FaultInjector* Runtime::fault_injector() noexcept { return state_->fault.get(); }
+
+std::vector<int> Runtime::failed_ranks() const {
+  return state_->fault ? state_->fault->dead_ranks() : std::vector<int>{};
 }
 
 }  // namespace annsim::mpi

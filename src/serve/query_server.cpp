@@ -25,6 +25,7 @@ const char* to_string(QueryStatus s) noexcept {
     case QueryStatus::kDeadlineExpired: return "deadline-expired";
     case QueryStatus::kShutdown: return "shutdown";
     case QueryStatus::kError: return "error";
+    case QueryStatus::kDegraded: return "degraded";
   }
   return "unknown";
 }
@@ -40,6 +41,8 @@ QueryServer::QueryServer(core::DistributedAnnEngine* engine,
                    "queue_capacity must be nonzero");
   ANNSIM_CHECK_MSG(config_.max_delay_ms >= 0.0,
                    "max_delay_ms cannot be negative");
+  ANNSIM_CHECK_MSG(config_.retry_backoff_ms >= 0.0,
+                   "retry_backoff_ms cannot be negative");
   dim_ = engine_->router().dim();
   max_delay_ = std::chrono::duration<double, std::milli>(config_.max_delay_ms);
   scheduler_ = std::thread([this] { scheduler_main(); });
@@ -133,14 +136,29 @@ void QueryServer::scheduler_main() {
     expire_overdue_locked(now);
     if (queue_.empty()) continue;
 
-    const auto flush_at =
-        queue_.front().admitted +
-        std::chrono::duration_cast<Clock::duration>(max_delay_);
-    if (!stopping_ && queue_.size() < config_.max_batch && now < flush_at) {
+    // Requests in retry backoff (not_before in the future) are invisible to
+    // the flush decision until their gate opens — except when draining, when
+    // everything still queued goes out immediately.
+    std::size_t eligible = 0;
+    auto flush_at = Clock::time_point::max();
+    auto wake = Clock::time_point::max();
+    for (const auto& p : queue_) {
+      wake = std::min(wake, p.deadline);
+      if (stopping_ || p.not_before <= now) {
+        ++eligible;
+        flush_at = std::min(
+            flush_at,
+            p.admitted + std::chrono::duration_cast<Clock::duration>(max_delay_));
+      } else {
+        wake = std::min(wake, p.not_before);
+      }
+    }
+    if (!stopping_ && (eligible == 0 ||
+                       (eligible < config_.max_batch && now < flush_at))) {
       // Sleep until the max_delay flush point, the earliest queued deadline,
-      // a batch-filling arrival, or stop() — whichever comes first.
-      auto wake = flush_at;
-      for (const auto& p : queue_) wake = std::min(wake, p.deadline);
+      // the earliest backoff gate, a batch-filling arrival, or stop() —
+      // whichever comes first.
+      if (eligible > 0) wake = std::min(wake, flush_at);
       const std::size_t seen = queue_.size();
       cv_work_.wait_until(lk, wake, [&] {
         return stopping_ || queue_.size() >= config_.max_batch ||
@@ -151,11 +169,15 @@ void QueryServer::scheduler_main() {
 
     // Flush: reached max_batch, the oldest waited max_delay, or draining.
     std::vector<Pending> batch;
-    const std::size_t n = std::min(config_.max_batch, queue_.size());
-    batch.reserve(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      batch.push_back(std::move(queue_.front()));
-      queue_.pop_front();
+    batch.reserve(std::min(config_.max_batch, eligible));
+    for (auto it = queue_.begin();
+         it != queue_.end() && batch.size() < config_.max_batch;) {
+      if (stopping_ || it->not_before <= now) {
+        batch.push_back(std::move(*it));
+        it = queue_.erase(it);
+      } else {
+        ++it;
+      }
     }
     cv_space_.notify_all();
     lk.unlock();
@@ -176,15 +198,29 @@ void QueryServer::run_batch(std::vector<Pending> batch) {
   }
 
   std::vector<char> completed(batch.size(), 0);
+  std::vector<char> requeue(batch.size(), 0);
+  const auto backoff = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double, std::milli>(config_.retry_backoff_ms));
   // Fires on the engine's master thread as each query's merge finishes, so a
   // fast query's future completes before its batch-mates are done.
-  auto complete_one = [&](std::size_t i, const std::vector<Neighbor>& nn) {
+  auto complete_one = [&](std::size_t i, const std::vector<Neighbor>& nn,
+                          const core::QueryCoverage& cov) {
     Pending& p = batch[i];
     const auto now = Clock::now();
+    if (cov.degraded() && p.retries_used < config_.max_retries &&
+        now + backoff < p.deadline) {
+      // Workers died under this query and budget remains: hold the future and
+      // requeue once the search returns, behind the backoff gate.
+      requeue[i] = 1;
+      metrics_.on_retry();
+      return;
+    }
     QueryResponse resp;
     resp.batch_size = batch.size();
     resp.queue_ms = to_ms(dispatched - p.admitted);
     resp.total_ms = to_ms(now - p.admitted);
+    resp.partitions_searched = cov.partitions_searched;
+    resp.partitions_planned = cov.partitions_planned;
     resp.neighbors.assign(nn.begin(),
                           nn.begin() + std::ptrdiff_t(std::min(p.k, nn.size())));
     if (now > p.deadline) {
@@ -192,6 +228,9 @@ void QueryServer::run_batch(std::vector<Pending> batch) {
       // flagged — late answers must not masquerade as on-time ones.
       resp.status = QueryStatus::kDeadlineExpired;
       metrics_.on_expire();
+    } else if (cov.degraded()) {
+      resp.status = QueryStatus::kDegraded;
+      metrics_.on_complete_degraded(resp.total_ms, resp.queue_ms);
     } else {
       resp.status = QueryStatus::kOk;
       metrics_.on_complete_ok(resp.total_ms, resp.queue_ms);
@@ -202,9 +241,9 @@ void QueryServer::run_batch(std::vector<Pending> batch) {
 
   try {
     (void)engine_->search(queries, k_max, config_.ef, nullptr,
-                          [&](std::size_t qid,
-                              const std::vector<Neighbor>& nn) {
-                            complete_one(qid, nn);
+                          [&](std::size_t qid, const std::vector<Neighbor>& nn,
+                              const core::QueryCoverage& cov) {
+                            complete_one(qid, nn, cov);
                           });
   } catch (const std::exception& e) {
     ANNSIM_ERROR("serve: batch of " << batch.size()
@@ -214,7 +253,7 @@ void QueryServer::run_batch(std::vector<Pending> batch) {
   // Safety net: any request the hook did not reach completes as an error
   // instead of leaving its client blocked on the future.
   for (std::size_t i = 0; i < batch.size(); ++i) {
-    if (completed[i]) continue;
+    if (completed[i] || requeue[i]) continue;
     metrics_.on_fail();
     QueryResponse resp;
     resp.status = QueryStatus::kError;
@@ -222,6 +261,21 @@ void QueryServer::run_batch(std::vector<Pending> batch) {
     resp.total_ms = to_ms(Clock::now() - batch[i].admitted);
     batch[i].promise.set_value(std::move(resp));
   }
+  // Re-admit degraded requests whose retry budget allows another attempt.
+  bool readmitted = false;
+  {
+    std::lock_guard lk(mu_);
+    const auto now = Clock::now();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (!requeue[i]) continue;
+      Pending& p = batch[i];
+      ++p.retries_used;
+      p.not_before = now + backoff;
+      queue_.push_back(std::move(p));
+      readmitted = true;
+    }
+  }
+  if (readmitted) cv_work_.notify_one();
 }
 
 void QueryServer::stop() {

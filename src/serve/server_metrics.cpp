@@ -46,6 +46,20 @@ void ServerMetrics::on_complete_ok(double latency_ms, double queue_wait_ms) {
   last_complete_ = Clock::now();
 }
 
+void ServerMetrics::on_complete_degraded(double latency_ms,
+                                         double queue_wait_ms) {
+  std::lock_guard lk(mu_);
+  ++degraded_;
+  latency_ms_.add(latency_ms);
+  queue_wait_ms_.add(queue_wait_ms);
+  last_complete_ = Clock::now();
+}
+
+void ServerMetrics::on_retry() {
+  std::lock_guard lk(mu_);
+  ++retries_;
+}
+
 MetricsReport ServerMetrics::report() const {
   std::lock_guard lk(mu_);
   MetricsReport r;
@@ -54,6 +68,8 @@ MetricsReport ServerMetrics::report() const {
   r.rejected = rejected_;
   r.expired = expired_;
   r.failed = failed_;
+  r.degraded = degraded_;
+  r.retries = retries_;
   r.batches = batches_;
   if (saw_submit_) {
     r.wall_seconds =
@@ -78,13 +94,15 @@ std::string to_string(const MetricsReport& r) {
   char buf[640];
   std::snprintf(
       buf, sizeof(buf),
-      "requests: %zu submitted, %zu ok, %zu rejected, %zu expired, %zu failed\n"
+      "requests: %zu submitted, %zu ok, %zu rejected, %zu expired, %zu failed, "
+      "%zu degraded (%zu retries)\n"
       "throughput: %.0f q/s over %.3fs (%zu batches)\n"
       "latency ms: mean %.3f p50 %.3f p95 %.3f p99 %.3f p999 %.3f max %.3f "
       "(queue wait mean %.3f)\n"
       "batch size: %s\n"
       "queue depth: %s",
-      r.submitted, r.completed_ok, r.rejected, r.expired, r.failed,
+      r.submitted, r.completed_ok, r.rejected, r.expired, r.failed, r.degraded,
+      r.retries,
       r.throughput_qps, r.wall_seconds, r.batches, r.latency_mean_ms,
       r.latency_p50_ms, r.latency_p95_ms, r.latency_p99_ms, r.latency_p999_ms,
       r.latency_max_ms, r.queue_wait_mean_ms,

@@ -73,10 +73,12 @@ TEST(EngineEdge, PerQueryCompletionHookFiresExactlyOncePerQuery) {
   eng.build();
   std::vector<int> fired(w.queries.size(), 0);
   auto res = eng.search(w.queries, 5, 0, nullptr,
-                        [&](std::size_t qid, const std::vector<Neighbor>& nn) {
+                        [&](std::size_t qid, const std::vector<Neighbor>& nn,
+                            const QueryCoverage& cov) {
                           ++fired[qid];
                           EXPECT_LE(nn.size(), 5u);
                           EXPECT_FALSE(nn.empty());
+                          EXPECT_FALSE(cov.degraded());
                         });
   for (std::size_t q = 0; q < w.queries.size(); ++q) {
     EXPECT_EQ(fired[q], 1) << "query " << q;
@@ -92,7 +94,8 @@ TEST(EngineEdge, CompletionHookMatchesReturnedResultsTwoSided) {
   eng.build();
   data::KnnResults streamed(w.queries.size());
   auto res = eng.search(w.queries, 4, 0, nullptr,
-                        [&](std::size_t qid, const std::vector<Neighbor>& nn) {
+                        [&](std::size_t qid, const std::vector<Neighbor>& nn,
+                            const QueryCoverage&) {
                           streamed[qid] = nn;
                         });
   for (std::size_t q = 0; q < w.queries.size(); ++q) {

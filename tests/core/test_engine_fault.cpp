@@ -1,0 +1,247 @@
+/// Chaos tests: the engine's failover path under injected worker failure.
+/// The contract being pinned down:
+///  * failure detection disarmed (result_timeout_ms == 0) is the exact legacy
+///    code path, and detection armed with no faults returns identical results;
+///  * with replication >= 2, a worker killed mid-batch costs nothing but
+///    retries — every query still gets its full plan via live replicas;
+///  * with replication == 1, queries that lose a partition come back degraded
+///    (partial top-k, coverage says how partial) instead of hanging;
+///  * a batch with a dead worker always returns.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "annsim/core/engine.hpp"
+#include "annsim/data/analysis.hpp"
+#include "annsim/data/ground_truth.hpp"
+#include "annsim/data/recipes.hpp"
+
+namespace annsim::core {
+namespace {
+
+EngineConfig chaos_config(std::size_t workers = 4) {
+  EngineConfig cfg;
+  cfg.n_workers = workers;
+  cfg.n_probe = 2;
+  cfg.threads_per_worker = 1;  // deterministic per-worker op order
+  cfg.hnsw.M = 8;
+  cfg.hnsw.ef_construction = 48;
+  cfg.partitioner.vantage_candidates = 8;
+  cfg.partitioner.vantage_sample = 32;
+  return cfg;
+}
+
+data::KnnResults fault_free_baseline(const data::Workload& w,
+                                     const EngineConfig& cfg, std::size_t k) {
+  EngineConfig clean = cfg;
+  clean.fault = {};
+  clean.result_timeout_ms = 0.0;
+  DistributedAnnEngine eng(&w.base, clean);
+  eng.build();
+  return eng.search(w.queries, k);
+}
+
+TEST(EngineFault, DetectionArmedNoFaultMatchesLegacyOneSided) {
+  auto w = data::make_sift_like(800, 25, 601);
+  auto cfg = chaos_config();
+  auto legacy = fault_free_baseline(w, cfg, 10);
+
+  cfg.result_timeout_ms = 250.0;  // armed, but nothing will die
+  DistributedAnnEngine eng(&w.base, cfg);
+  eng.build();
+  SearchStats st;
+  auto res = eng.search(w.queries, 10, 0, &st);
+  for (std::size_t q = 0; q < legacy.size(); ++q) {
+    EXPECT_EQ(res[q], legacy[q]) << "query " << q;
+  }
+  EXPECT_EQ(st.workers_failed, 0u);
+  EXPECT_EQ(st.retries, 0u);
+  EXPECT_EQ(st.degraded_queries, 0u);
+  ASSERT_EQ(st.coverage.size(), w.queries.size());
+  for (const auto& cov : st.coverage) {
+    EXPECT_FALSE(cov.degraded());
+    EXPECT_EQ(cov.partitions_searched, cov.partitions_planned);
+  }
+}
+
+TEST(EngineFault, DetectionArmedNoFaultMatchesLegacyTwoSided) {
+  auto w = data::make_sift_like(800, 25, 602);
+  auto cfg = chaos_config();
+  cfg.one_sided = false;
+  auto legacy = fault_free_baseline(w, cfg, 10);
+
+  cfg.result_timeout_ms = 250.0;
+  DistributedAnnEngine eng(&w.base, cfg);
+  eng.build();
+  SearchStats st;
+  auto res = eng.search(w.queries, 10, 0, &st);
+  for (std::size_t q = 0; q < legacy.size(); ++q) {
+    EXPECT_EQ(res[q], legacy[q]) << "query " << q;
+  }
+  EXPECT_EQ(st.workers_failed, 0u);
+  EXPECT_EQ(st.degraded_queries, 0u);
+}
+
+class EngineFaultSided : public ::testing::TestWithParam<bool> {};
+
+TEST_P(EngineFaultSided, ReplicatedKillFailsOverWithoutDegradation) {
+  const bool one_sided = GetParam();
+  auto w = data::make_sift_like(800, 25, 603);
+  auto cfg = chaos_config(4);
+  cfg.one_sided = one_sided;
+  cfg.replication = 2;  // every partition has a second live home
+  auto clean = fault_free_baseline(w, cfg, 10);
+
+  cfg.result_timeout_ms = 250.0;
+  cfg.fault.seed = 77;
+  // Worker 1 (runtime rank 2) delivers three results, then goes silent.
+  cfg.fault.kills.push_back({/*rank=*/2, /*after_ops=*/3, mpi::kNeverFires});
+  DistributedAnnEngine eng(&w.base, cfg);
+  eng.build();
+  SearchStats st;
+  auto res = eng.search(w.queries, 10, 0, &st);  // must return, not hang
+
+  EXPECT_EQ(st.workers_failed, 1u);
+  EXPECT_GT(st.retries, 0u);
+  EXPECT_GT(st.failovers, 0u);
+  // Replicas covered everything: zero degradation, and every query's result
+  // is identical to the fault-free run (failover merges are idempotent).
+  EXPECT_EQ(st.degraded_queries, 0u);
+  ASSERT_EQ(res.size(), clean.size());
+  for (std::size_t q = 0; q < clean.size(); ++q) {
+    EXPECT_EQ(res[q], clean[q]) << "query " << q;
+  }
+}
+
+TEST_P(EngineFaultSided, UnreplicatedKillDegradesOnlyAffectedQueries) {
+  const bool one_sided = GetParam();
+  auto w = data::make_sift_like(800, 25, 604);
+  auto cfg = chaos_config(4);
+  cfg.one_sided = one_sided;
+  cfg.replication = 1;  // no failover possible: losses become degradation
+  auto clean = fault_free_baseline(w, cfg, 10);
+
+  cfg.result_timeout_ms = 250.0;
+  cfg.fault.seed = 78;
+  cfg.fault.kills.push_back({/*rank=*/2, /*after_ops=*/2, mpi::kNeverFires});
+  DistributedAnnEngine eng(&w.base, cfg);
+  eng.build();
+  SearchStats st;
+  auto res = eng.search(w.queries, 10, 0, &st);  // must return, not hang
+
+  EXPECT_EQ(st.workers_failed, 1u);
+  ASSERT_EQ(st.coverage.size(), w.queries.size());
+  std::size_t degraded = 0;
+  for (std::size_t q = 0; q < w.queries.size(); ++q) {
+    const auto& cov = st.coverage[q];
+    EXPECT_LE(cov.partitions_searched, cov.partitions_planned);
+    if (cov.degraded()) {
+      ++degraded;
+      // Partial, not empty: the live partitions still answered.
+      EXPECT_GT(cov.partitions_searched, 0u);
+      EXPECT_FALSE(res[q].empty());
+    } else {
+      // Full coverage => bit-identical to the fault-free run.
+      EXPECT_EQ(res[q], clean[q]) << "query " << q;
+    }
+  }
+  EXPECT_EQ(st.degraded_queries, degraded);
+  // Worker 1's partition sat in some plans beyond its two delivered jobs.
+  EXPECT_GT(degraded, 0u);
+  EXPECT_LT(degraded, w.queries.size());
+}
+
+TEST_P(EngineFaultSided, DegradedHookReportsCoverage) {
+  const bool one_sided = GetParam();
+  auto w = data::make_sift_like(800, 20, 605);
+  auto cfg = chaos_config(4);
+  cfg.one_sided = one_sided;
+  cfg.result_timeout_ms = 250.0;
+  cfg.fault.kills.push_back({/*rank=*/2, /*after_ops=*/2, mpi::kNeverFires});
+  DistributedAnnEngine eng(&w.base, cfg);
+  eng.build();
+  std::vector<int> fired(w.queries.size(), 0);
+  std::vector<QueryCoverage> seen(w.queries.size());
+  SearchStats st;
+  (void)eng.search(w.queries, 5, 0, &st,
+                   [&](std::size_t qid, const std::vector<Neighbor>&,
+                       const QueryCoverage& cov) {
+                     ++fired[qid];
+                     seen[qid] = cov;
+                   });
+  std::size_t hook_degraded = 0;
+  for (std::size_t q = 0; q < w.queries.size(); ++q) {
+    EXPECT_EQ(fired[q], 1) << "query " << q;
+    EXPECT_EQ(seen[q].partitions_searched, st.coverage[q].partitions_searched);
+    EXPECT_EQ(seen[q].partitions_planned, st.coverage[q].partitions_planned);
+    if (seen[q].degraded()) ++hook_degraded;
+  }
+  EXPECT_EQ(hook_degraded, st.degraded_queries);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothTransports, EngineFaultSided,
+                         ::testing::Values(true, false),
+                         [](const ::testing::TestParamInfo<bool>& p) {
+                           return p.param ? "OneSided" : "TwoSided";
+                         });
+
+TEST(EngineFault, ChaosRunIsSeedDeterministic) {
+  auto w = data::make_sift_like(800, 20, 606);
+  auto cfg = chaos_config(4);
+  cfg.replication = 2;
+  cfg.result_timeout_ms = 250.0;
+  cfg.fault.seed = 99;
+  cfg.fault.kills.push_back({/*rank=*/3, /*after_ops=*/4, mpi::kNeverFires});
+
+  auto run_once = [&] {
+    DistributedAnnEngine eng(&w.base, cfg);
+    eng.build();
+    return eng.search(w.queries, 8);
+  };
+  auto a = run_once();
+  auto b = run_once();
+  for (std::size_t q = 0; q < a.size(); ++q) {
+    EXPECT_EQ(a[q], b[q]) << "query " << q;
+  }
+}
+
+TEST(EngineFault, ConfigValidationNamesTheField) {
+  auto w = data::make_sift_like(600, 5, 607);
+  auto expect_msg = [&](EngineConfig cfg, const char* needle) {
+    try {
+      DistributedAnnEngine eng(&w.base, cfg);
+      FAIL() << "expected Error mentioning: " << needle;
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << "message was: " << e.what();
+    }
+  };
+  { auto c = chaos_config(); c.result_timeout_ms = -1.0;
+    expect_msg(c, "result_timeout_ms cannot be negative"); }
+  { auto c = chaos_config(); c.fault.drop_probability = 2.0;
+    c.result_timeout_ms = 10.0;
+    expect_msg(c, "fault.drop_probability must be within [0, 1]"); }
+  { auto c = chaos_config();  // enabled plan but detection left off
+    c.fault.kills.push_back({/*rank=*/1, /*after_ops=*/0, mpi::kNeverFires});
+    expect_msg(c, "set result_timeout_ms > 0"); }
+  { auto c = chaos_config(4);  // rank 0 is the master, not killable
+    c.result_timeout_ms = 10.0;
+    c.fault.kills.push_back({/*rank=*/0, /*after_ops=*/0, mpi::kNeverFires});
+    expect_msg(c, "rank 0 is the master"); }
+  { auto c = chaos_config(4);  // rank 5 would be worker 4 of 4
+    c.result_timeout_ms = 10.0;
+    c.fault.kills.push_back({/*rank=*/5, /*after_ops=*/0, mpi::kNeverFires});
+    expect_msg(c, "must name a worker rank"); }
+  { auto c = chaos_config(); c.one_sided = false;
+    c.strategy = DispatchStrategy::kMultipleOwner;
+    c.result_timeout_ms = 10.0;
+    expect_msg(c, "master-worker dispatch strategy"); }
+  { auto c = chaos_config(); c.exact_routing = true;
+    c.result_timeout_ms = 10.0;
+    expect_msg(c, "exact_routing"); }
+}
+
+}  // namespace
+}  // namespace annsim::core

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "annsim/common/rng.hpp"
 
 namespace annsim::core {
@@ -115,6 +117,89 @@ TEST(SlotMerge, ValidatesRegionSizes) {
   std::vector<std::byte> small(4);
   std::vector<std::byte> slot(layout.slot_bytes());
   EXPECT_THROW(knn_slot_merge(layout)(slot, small), Error);
+}
+
+// ---- masked layout (failure detection arms n_partitions > 0) ----------
+
+TEST(MaskedSlot, LayoutSizesGrowByMaskWords) {
+  SlotLayout legacy{10};
+  EXPECT_EQ(legacy.mask_words(), 0u);
+  EXPECT_EQ(legacy.header_bytes(), 8u);
+
+  SlotLayout masked{10, 64};
+  EXPECT_EQ(masked.mask_words(), 1u);
+  EXPECT_EQ(masked.header_bytes(), 16u);
+  EXPECT_EQ(masked.slot_bytes(), legacy.slot_bytes() + 8u);
+
+  SlotLayout wide{10, 65};  // 65 partitions need a second mask word
+  EXPECT_EQ(wide.mask_words(), 2u);
+  EXPECT_EQ(wide.header_bytes(), 24u);
+}
+
+TEST(MaskedSlot, UpdateRecordsSearchedPartition) {
+  SlotLayout layout{3, 8};
+  std::vector<Neighbor> mine{{1.f, 10}};
+  auto update = encode_slot_update(mine, layout, /*partition=*/5);
+  std::vector<std::byte> slot(layout.slot_bytes());
+  knn_slot_merge(layout)(slot, update);
+  DecodedSlot out = decode_slot(slot, layout);
+  EXPECT_EQ(out.merged_count, 1u);
+  EXPECT_TRUE(out.contains_partition(5));
+  EXPECT_FALSE(out.contains_partition(4));
+  SlotHeader header = decode_slot_header(slot, layout);
+  EXPECT_EQ(header.merged_count, 1u);
+  EXPECT_TRUE(header.contains_partition(5));
+}
+
+TEST(MaskedSlot, MaskedEncodeRequiresThePartitionId) {
+  SlotLayout layout{3, 8};
+  std::vector<Neighbor> mine{{1.f, 10}};
+  EXPECT_THROW((void)encode_slot_update(mine, layout), Error);
+}
+
+TEST(MaskedSlot, DuplicatePartitionMergeIsIdempotent) {
+  // A failover retry may replay a merge the dead worker already landed; the
+  // second copy must be dropped, leaving count, mask, and neighbors intact.
+  SlotLayout layout{3, 4};
+  std::vector<std::byte> slot(layout.slot_bytes());
+  const auto merge = knn_slot_merge(layout);
+  merge(slot, encode_slot_update(std::vector<Neighbor>{{1.f, 10}}, layout, 2));
+  merge(slot, encode_slot_update(std::vector<Neighbor>{{0.5f, 99}}, layout, 2));
+  DecodedSlot out = decode_slot(slot, layout);
+  EXPECT_EQ(out.merged_count, 1u);
+  ASSERT_EQ(out.neighbors.size(), 1u);
+  EXPECT_EQ(out.neighbors[0].id, 10u);  // the retry's payload never merged
+}
+
+TEST(MaskedSlot, DistinctPartitionsAccumulateMaskBits) {
+  SlotLayout layout{4, 70};  // two mask words, bits in both
+  std::vector<std::byte> slot(layout.slot_bytes());
+  const auto merge = knn_slot_merge(layout);
+  merge(slot, encode_slot_update(std::vector<Neighbor>{{3.f, 1}}, layout, 0));
+  merge(slot, encode_slot_update(std::vector<Neighbor>{{1.f, 2}}, layout, 69));
+  DecodedSlot out = decode_slot(slot, layout);
+  EXPECT_EQ(out.merged_count, 2u);
+  EXPECT_TRUE(out.contains_partition(0));
+  EXPECT_TRUE(out.contains_partition(69));
+  EXPECT_FALSE(out.contains_partition(1));
+  ASSERT_EQ(out.neighbors.size(), 2u);
+  EXPECT_EQ(out.neighbors[0].id, 2u);  // still distance-sorted
+}
+
+TEST(MaskedSlot, LegacyLayoutBytesUnchangedByMaskSupport) {
+  // n_partitions == 0 must produce the exact pre-mask wire bytes, or
+  // fault-free runs would stop being bit-identical to the old engine.
+  SlotLayout layout{2};
+  std::vector<Neighbor> mine{{1.f, 7}};
+  auto update = encode_slot_update(mine, layout);
+  ASSERT_EQ(update.size(), 8u + 2 * sizeof(Neighbor));
+  std::uint32_t count = 0;
+  std::memcpy(&count, update.data(), sizeof(count));
+  EXPECT_EQ(count, 1u);
+  Neighbor first;
+  std::memcpy(&first, update.data() + 8, sizeof(first));
+  EXPECT_EQ(first.id, 7u);
+  EXPECT_TRUE(decode_slot(update, layout).mask.empty());
 }
 
 }  // namespace

@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "annsim/common/error.hpp"
+#include "annsim/mpi/fault.hpp"
+#include "annsim/mpi/mpi.hpp"
+
+namespace annsim::mpi {
+namespace {
+
+std::vector<std::byte> bytes_of(const std::string& s) {
+  const auto* p = reinterpret_cast<const std::byte*>(s.data());
+  return {p, p + s.size()};
+}
+
+TEST(MpiFault, InertPlanInstallsNoInjector) {
+  Runtime rt(2, FaultPlan{});
+  EXPECT_EQ(rt.fault_injector(), nullptr);
+  EXPECT_TRUE(rt.failed_ranks().empty());
+  rt.run([&](Comm& c) {
+    if (c.rank() == 0) c.send(1, 1, bytes_of("x"));
+    else (void)c.recv(0, 1);
+  });
+}
+
+TEST(MpiFault, KillAfterOpsSilencesLaterSends) {
+  FaultPlan plan;
+  plan.kills.push_back({/*rank=*/0, /*after_ops=*/3, kNeverFires});
+  Runtime rt(2, plan);
+  rt.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      for (int i = 0; i < 10; ++i) c.send(1, 1, bytes_of("m"));
+      c.barrier();  // collectives survive the kill
+    } else {
+      c.barrier();
+      // Exactly the first three sends got through.
+      for (int i = 0; i < 3; ++i) (void)c.recv(0, 1);
+      EXPECT_FALSE(c.iprobe(0, 1));
+    }
+  });
+  EXPECT_EQ(rt.failed_ranks(), std::vector<int>{0});
+  ASSERT_NE(rt.fault_injector(), nullptr);
+  EXPECT_TRUE(rt.fault_injector()->is_dead(0));
+  EXPECT_FALSE(rt.fault_injector()->is_dead(1));
+}
+
+TEST(MpiFault, KillAtLogicalStep) {
+  FaultPlan plan;
+  plan.kills.push_back({/*rank=*/1, kNeverFires, /*at_step=*/2});
+  Runtime rt(2, plan);
+  FaultInjector* inj = rt.fault_injector();
+  ASSERT_NE(inj, nullptr);
+
+  rt.run([&](Comm& c) {
+    if (c.rank() == 1) c.send(0, 1, bytes_of("before"));
+    else (void)c.recv(1, 1);
+  });
+  EXPECT_TRUE(rt.failed_ranks().empty());
+
+  inj->advance_step();
+  inj->advance_step();
+  EXPECT_EQ(inj->step(), 2u);
+
+  // Injector state persists across run() calls: rank 1 is now past its step.
+  rt.run([&](Comm& c) {
+    if (c.rank() == 1) {
+      c.send(0, 1, bytes_of("after"));
+      c.barrier();
+    } else {
+      c.barrier();
+      EXPECT_FALSE(c.iprobe(1, 1));
+    }
+  });
+  EXPECT_EQ(rt.failed_ranks(), std::vector<int>{1});
+}
+
+TEST(MpiFault, DropProbabilityOneEatsEveryUserSend) {
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.drop_probability = 1.0;
+  Runtime rt(2, plan);
+  rt.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      for (int i = 0; i < 5; ++i) c.send(1, 1, bytes_of("gone"));
+      c.barrier();  // internal tags are never dropped
+    } else {
+      c.barrier();
+      EXPECT_FALSE(c.iprobe(0, 1));
+    }
+  });
+  // Dropping is not death: no rank's kill rule fired.
+  EXPECT_TRUE(rt.failed_ranks().empty());
+  // The sender still paid for the attempted messages.
+  EXPECT_EQ(rt.per_rank_traffic()[0].p2p_messages, 5u);
+}
+
+TEST(MpiFault, DropDecisionsAreSeedDeterministic) {
+  // The op-indexed hash must give the same verdicts run after run.
+  auto delivered_count = [](std::uint64_t seed) {
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.drop_probability = 0.5;
+    Runtime rt(2, plan);
+    int got = 0;
+    rt.run([&](Comm& c) {
+      if (c.rank() == 0) {
+        for (int i = 0; i < 64; ++i) c.send(1, 1, bytes_of("d"));
+        c.barrier();
+      } else {
+        c.barrier();
+        while (c.iprobe(0, 1)) {
+          (void)c.recv(0, 1);
+          ++got;
+        }
+      }
+    });
+    return got;
+  };
+  const int a = delivered_count(7);
+  EXPECT_EQ(a, delivered_count(7));
+  EXPECT_GT(a, 0);
+  EXPECT_LT(a, 64);
+}
+
+TEST(MpiFault, DelayStallsTheSenderButDelivers) {
+  FaultPlan plan;
+  plan.delay_probability = 1.0;
+  plan.delay = std::chrono::microseconds(2000);
+  Runtime rt(2, plan);
+  rt.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int i = 0; i < 5; ++i) c.send(1, 1, bytes_of("slow"));
+      const auto elapsed = std::chrono::steady_clock::now() - t0;
+      EXPECT_GE(elapsed, std::chrono::microseconds(5 * 2000));
+    } else {
+      for (int i = 0; i < 5; ++i) (void)c.recv(0, 1);
+    }
+  });
+}
+
+TEST(MpiFault, RmaMutationsFromDeadRankVanish) {
+  FaultPlan plan;
+  plan.kills.push_back({/*rank=*/1, /*after_ops=*/0, kNeverFires});
+  Runtime rt(2, plan);
+  rt.run([&](Comm& c) {
+    Window win = c.create_window(c.rank() == 0 ? 8 : 0);
+    c.barrier();
+    if (c.rank() == 1) {
+      win.lock_shared(0);
+      const std::uint64_t v = 0xdeadbeef;
+      win.put(0, 0, std::as_bytes(std::span<const std::uint64_t, 1>(&v, 1)));
+      // Reads are never faulted: the dead rank still sees the target.
+      auto back = win.get(0, 0, 8);
+      std::uint64_t read_back = 1;
+      std::memcpy(&read_back, back.data(), 8);
+      EXPECT_EQ(read_back, 0u);  // its own put was swallowed
+      win.unlock(0);
+    }
+    c.barrier();
+    if (c.rank() == 0) {
+      std::uint64_t mine = 1;
+      std::memcpy(&mine, win.local_data().data(), 8);
+      EXPECT_EQ(mine, 0u);
+    }
+  });
+  EXPECT_EQ(rt.failed_ranks(), std::vector<int>{1});
+}
+
+TEST(MpiFault, PlanValidationRejectsBadFields) {
+  {
+    FaultPlan p;
+    p.drop_probability = 1.5;
+    EXPECT_THROW(FaultInjector(p, 2), Error);
+  }
+  {
+    FaultPlan p;
+    p.delay_probability = -0.1;
+    EXPECT_THROW(FaultInjector(p, 2), Error);
+  }
+  {
+    FaultPlan p;
+    p.kills.push_back({/*rank=*/5, 0, kNeverFires});
+    EXPECT_THROW(FaultInjector(p, 2), Error);
+  }
+}
+
+TEST(MpiFault, ThreadTeamRacesOnOneRankKillExactlyOnce) {
+  // A killed worker's whole thread team funnels through allow_op; the op
+  // budget must be consumed exactly once per send regardless of interleaving.
+  FaultPlan plan;
+  plan.kills.push_back({/*rank=*/0, /*after_ops=*/100, kNeverFires});
+  Runtime rt(2, plan);
+  rt.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<std::thread> team;
+      for (int t = 0; t < 4; ++t) {
+        team.emplace_back([&] {
+          for (int i = 0; i < 50; ++i) c.send(1, 1, bytes_of("t"));
+        });
+      }
+      for (auto& t : team) t.join();
+      c.barrier();
+    } else {
+      c.barrier();
+      int got = 0;
+      while (c.iprobe(0, 1)) {
+        (void)c.recv(0, 1);
+        ++got;
+      }
+      // 200 attempted, first 100 ops allowed.
+      EXPECT_EQ(got, 100);
+    }
+  });
+  EXPECT_EQ(rt.failed_ranks(), std::vector<int>{0});
+}
+
+}  // namespace
+}  // namespace annsim::mpi

@@ -1,0 +1,186 @@
+/// Bounded-wait primitives: Request::wait_for and Comm::recv_for. These are
+/// what the failure-detecting master leans on — a timed-out wait must leave
+/// the posted receive intact (or cancellable) and must never steal a message
+/// that arrives after the caller gave up.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "annsim/mpi/mpi.hpp"
+
+namespace annsim::mpi {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::vector<std::byte> bytes_of(const std::string& s) {
+  const auto* p = reinterpret_cast<const std::byte*>(s.data());
+  return {p, p + s.size()};
+}
+
+std::string string_of(const std::vector<std::byte>& b) {
+  return {reinterpret_cast<const char*>(b.data()), b.size()};
+}
+
+TEST(MpiTimeout, RecvForReturnsMessageWhenAlreadyQueued) {
+  Runtime rt(2);
+  rt.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      c.send(1, 7, bytes_of("hello"));
+      c.barrier();
+    } else {
+      c.barrier();
+      auto m = c.recv_for(0, 7, 100ms);
+      ASSERT_TRUE(m.has_value());
+      EXPECT_EQ(m->source, 0);
+      EXPECT_EQ(m->tag, 7);
+      EXPECT_EQ(string_of(m->payload), "hello");
+    }
+  });
+}
+
+TEST(MpiTimeout, RecvForReturnsMessageArrivingMidWait) {
+  Runtime rt(2);
+  rt.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      std::this_thread::sleep_for(5ms);
+      c.send(1, 7, bytes_of("late"));
+    } else {
+      auto m = c.recv_for(0, 7, 2s);
+      ASSERT_TRUE(m.has_value());
+      EXPECT_EQ(string_of(m->payload), "late");
+    }
+  });
+}
+
+TEST(MpiTimeout, RecvForTimesOutOnSilentPeer) {
+  Runtime rt(2);
+  rt.run([&](Comm& c) {
+    if (c.rank() == 1) {
+      const auto t0 = std::chrono::steady_clock::now();
+      auto m = c.recv_for(0, 7, 2ms);
+      const auto elapsed = std::chrono::steady_clock::now() - t0;
+      EXPECT_FALSE(m.has_value());
+      EXPECT_GE(elapsed, 2ms);
+    }
+    c.barrier();  // rank 0 stays silent on tag 7 but joins the barrier
+  });
+}
+
+TEST(MpiTimeout, TimedOutRecvForDoesNotStealLaterMessage) {
+  Runtime rt(2);
+  rt.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      c.barrier();  // wait until rank 1's recv_for has given up
+      c.send(1, 7, bytes_of("after-timeout"));
+    } else {
+      auto m = c.recv_for(0, 7, 1ms);
+      EXPECT_FALSE(m.has_value());
+      c.barrier();
+      // The cancelled receive must not have consumed the later message.
+      auto direct = c.recv(0, 7);
+      EXPECT_EQ(string_of(direct.payload), "after-timeout");
+    }
+  });
+}
+
+TEST(MpiTimeout, WildcardRecvForMatchesAnySource) {
+  Runtime rt(3);
+  rt.run([&](Comm& c) {
+    if (c.rank() != 0) {
+      c.send(0, 9, bytes_of("w"));
+    } else {
+      for (int i = 0; i < 2; ++i) {
+        auto m = c.recv_for(kAnySource, 9, 2s);
+        ASSERT_TRUE(m.has_value());
+        EXPECT_NE(m->source, 0);
+      }
+    }
+  });
+}
+
+TEST(MpiTimeout, WaitForTrueOnCompletionFalseOnTimeout) {
+  Runtime rt(2);
+  rt.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      c.barrier();  // phase 1: stay silent
+      c.send(1, 5, bytes_of("finally"));
+    } else {
+      Request r = c.irecv(0, 5);
+      EXPECT_FALSE(r.wait_for(1ms));  // nothing sent yet
+      c.barrier();
+      // The timed-out request stays posted: a second wait can succeed.
+      EXPECT_TRUE(r.wait_for(2s));
+      auto m = r.take();
+      EXPECT_EQ(string_of(m.payload), "finally");
+    }
+  });
+}
+
+TEST(MpiTimeout, TimedOutRequestCanBeCancelled) {
+  Runtime rt(2);
+  rt.run([&](Comm& c) {
+    if (c.rank() == 1) {
+      Request r = c.irecv(0, 5);
+      EXPECT_FALSE(r.wait_for(1ms));
+      EXPECT_TRUE(r.cancel());
+    }
+    c.barrier();
+  });
+}
+
+TEST(MpiTimeout, WaitForZeroTimeoutActsAsTest) {
+  Runtime rt(2);
+  rt.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      c.send(1, 3, bytes_of("x"));
+      c.barrier();
+    } else {
+      c.barrier();
+      Request r = c.irecv(0, 3);
+      EXPECT_TRUE(r.wait_for(0us));  // already deliverable
+      (void)r.take();
+    }
+  });
+}
+
+TEST(MpiTimeout, WildcardCancelRaceNeverHangsOrDuplicates) {
+  // Stress the deliver/cancel race: rank 0 posts wildcard receives and
+  // cancels them on timeout while two senders blast messages. Every message
+  // must end up either taken by a successful wait or still queued — never
+  // lost in a cancelled request, never delivered twice.
+  constexpr int kPerSender = 200;
+  Runtime rt(3);
+  std::atomic<int> taken{0};
+  rt.run([&](Comm& c) {
+    if (c.rank() != 0) {
+      for (int i = 0; i < kPerSender; ++i) c.send(0, 1, bytes_of("s"));
+      c.barrier();
+    } else {
+      int got = 0;
+      while (got < 2 * kPerSender) {
+        Request r = c.irecv(kAnySource, 1);
+        if (r.wait_for(50us)) {
+          (void)r.take();
+          ++got;
+        } else if (!r.cancel()) {
+          // Completed between timeout and cancel: the message is ours.
+          (void)r.take();
+          ++got;
+        }
+      }
+      taken.store(got);
+      c.barrier();
+      EXPECT_FALSE(c.iprobe(kAnySource, 1));  // nothing stranded
+    }
+  });
+  EXPECT_EQ(taken.load(), 2 * kPerSender);
+}
+
+}  // namespace
+}  // namespace annsim::mpi

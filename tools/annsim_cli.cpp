@@ -44,7 +44,11 @@ using namespace annsim;
                "  annsim serve-bench <index.idx> <query.fvecs> <k> [--qps Q] "
                "[--requests N] [--max-batch B] [--max-delay-ms D] "
                "[--queue-cap C] [--block] [--deadline-ms X] [--closed-loop] "
-               "[--clients N] [--ef E]\n");
+               "[--clients N] [--ef E]\n"
+               "  annsim chaos-bench <SIFT|DEEP|GIST|SYN_1M|SYN_10M> <n_base> "
+               "<n_queries> <k> [--workers N] [--replication R] [--nprobe P] "
+               "[--kill-worker W] [--kill-after N] [--drop-p D] "
+               "[--timeout-ms T] [--fault-seed S] [--two-sided]\n");
   std::exit(2);
 }
 
@@ -269,6 +273,95 @@ int cmd_serve_bench(int argc, char** argv) {
   return 0;
 }
 
+/// Chaos run on a synthetic workload: the same engine searched fault-free,
+/// then again with a worker killed mid-batch, so the recall/latency cost of
+/// failover (or of degradation, at replication 1) is read off directly.
+int cmd_chaos_bench(int argc, char** argv) {
+  if (argc < 4) usage();
+  const std::string recipe = argv[0];
+  const std::size_t n_base = arg_num(argv[1]);
+  const std::size_t n_queries = arg_num(argv[2]);
+  const std::size_t k = arg_num(argv[3]);
+
+  core::EngineConfig cfg;
+  cfg.n_workers = arg_num(opt(argc, argv, "--workers", "8").c_str());
+  cfg.replication = arg_num(opt(argc, argv, "--replication", "2").c_str());
+  cfg.n_probe = arg_num(opt(argc, argv, "--nprobe", "4").c_str());
+  if (flag(argc, argv, "--two-sided")) cfg.one_sided = false;
+
+  const std::size_t kill_worker =
+      arg_num(opt(argc, argv, "--kill-worker", "1").c_str());
+  const std::uint64_t kill_after =
+      arg_num(opt(argc, argv, "--kill-after", "2").c_str());
+  const double drop_p = std::atof(opt(argc, argv, "--drop-p", "0").c_str());
+  const double timeout_ms =
+      std::atof(opt(argc, argv, "--timeout-ms", "100").c_str());
+  const std::uint64_t fault_seed =
+      arg_num(opt(argc, argv, "--fault-seed", "1").c_str());
+
+  auto w = data::make_by_name(recipe, n_base, n_queries, 42);
+  std::printf("chaos-bench: %zu x %zu-d, %zu queries, k=%zu, %zu workers, "
+              "r=%zu, %s\n",
+              w.base.size(), w.base.dim(), w.queries.size(), k, cfg.n_workers,
+              cfg.replication, cfg.one_sided ? "one-sided" : "two-sided");
+  auto gt = data::brute_force_knn(w.base, w.queries, k, simd::Metric::kL2);
+
+  core::DistributedAnnEngine clean(&w.base, cfg);
+  clean.build();
+  core::SearchStats base_st;
+  auto base_res = clean.search(w.queries, k, 0, &base_st);
+  const double base_recall = data::mean_recall(base_res, gt, k);
+  std::printf("fault-free: recall@%zu %.4f in %.3fs\n", k, base_recall,
+              base_st.total_seconds);
+
+  auto chaos_cfg = cfg;
+  chaos_cfg.result_timeout_ms = timeout_ms;
+  chaos_cfg.fault.seed = fault_seed;
+  chaos_cfg.fault.drop_probability = drop_p;
+  chaos_cfg.fault.kills.push_back(
+      {int(kill_worker) + 1, kill_after, mpi::kNeverFires});
+  std::printf("injecting: kill worker %zu after %llu ops, drop_p=%.2f, "
+              "detect timeout %.1fms, fault seed %llu\n",
+              kill_worker, static_cast<unsigned long long>(kill_after), drop_p,
+              timeout_ms, static_cast<unsigned long long>(fault_seed));
+
+  core::DistributedAnnEngine chaotic(&w.base, chaos_cfg);
+  chaotic.build();
+  core::SearchStats st;
+  auto res = chaotic.search(w.queries, k, 0, &st);
+  const double recall = data::mean_recall(res, gt, k);
+
+  double degraded_recall = 0.0;
+  if (st.degraded_queries > 0) {
+    data::KnnResults deg;
+    data::KnnResults deg_gt;
+    for (std::size_t q = 0; q < res.size(); ++q) {
+      if (q < st.coverage.size() && st.coverage[q].degraded()) {
+        deg.push_back(res[q]);
+        deg_gt.push_back(gt[q]);
+      }
+    }
+    degraded_recall = data::mean_recall(deg, deg_gt, k);
+  }
+
+  std::printf("under failure: recall@%zu %.4f in %.3fs (%+.1f%% time)\n", k,
+              recall, st.total_seconds,
+              (st.total_seconds - base_st.total_seconds) /
+                  base_st.total_seconds * 100.0);
+  std::printf("fault tolerance: %llu workers failed, %llu retries, %llu "
+              "failovers, %llu/%zu queries degraded",
+              static_cast<unsigned long long>(st.workers_failed),
+              static_cast<unsigned long long>(st.retries),
+              static_cast<unsigned long long>(st.failovers),
+              static_cast<unsigned long long>(st.degraded_queries),
+              res.size());
+  if (st.degraded_queries > 0) {
+    std::printf(" (degraded-only recall %.4f)", degraded_recall);
+  }
+  std::printf("\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -282,6 +375,7 @@ int main(int argc, char** argv) {
     if (cmd == "eval") return cmd_eval(argc - 2, argv + 2);
     if (cmd == "info") return cmd_info(argc - 2, argv + 2);
     if (cmd == "serve-bench") return cmd_serve_bench(argc - 2, argv + 2);
+    if (cmd == "chaos-bench") return cmd_chaos_bench(argc - 2, argv + 2);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
