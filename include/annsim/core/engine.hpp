@@ -62,7 +62,13 @@ struct EngineConfig {
   /// Fault schedule injected into the search runtime (chaos runs). Runtime
   /// ranks: 0 is the master, worker w is rank w + 1 — kill rules must name
   /// worker ranks. An enabled plan requires `result_timeout_ms > 0`, or the
-  /// master would hang waiting on a silent worker.
+  /// master would hang waiting on a silent worker. The engine marks the
+  /// End-of-Queries tag reliable (control plane): termination always reaches
+  /// live workers even under `drop_probability`, so a chaos run can degrade
+  /// results but never hang the batch. `KillRule::at_step` triggers on the
+  /// engine's query-dispatch clock: the master advances the runtime step once
+  /// per query as it begins dispatching that query's jobs, so `at_step = s`
+  /// kills the rank from (roughly) the s-th dispatched query onward.
   mpi::FaultPlan fault;
   /// Failure-detection deadline: a worker with outstanding jobs that shows
   /// no progress for this long is declared dead for the rest of the batch
@@ -187,7 +193,8 @@ class DistributedAnnEngine {
 
   void master_search(mpi::Comm& world, const data::Dataset& queries,
                      std::size_t k, std::size_t ef, data::KnnResults& results,
-                     SearchStats& stats, const QueryDoneFn& on_query_done);
+                     SearchStats& stats, const QueryDoneFn& on_query_done,
+                     mpi::FaultInjector* fault);
   void worker_search(mpi::Comm& world, std::size_t k);
   void master_search_owner(mpi::Comm& world, const data::Dataset& queries,
                            std::size_t k, std::size_t ef,

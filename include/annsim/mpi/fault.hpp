@@ -16,6 +16,11 @@
 ///    faults into barrier/bcast would deadlock every rank by construction;
 ///    the interesting failures — and the ones the engine's failover handles —
 ///    live on the request/response data plane.
+///  * User tags listed in `FaultPlan::reliable_tags` are treated like
+///    collective traffic: never dropped, delayed, or killed, and they do not
+///    consume the sender's op budget. This is the control plane — termination
+///    tokens whose loss no timeout can compensate for (a worker that never
+///    hears End-of-Queries spins forever, hanging the whole runtime).
 ///  * Window::get (a pure read) is not faulted: a dead rank reading remote
 ///    memory has no observable effect on its peers.
 ///  * Traffic counters record *attempted* sends: the sender paid the cost
@@ -51,6 +56,9 @@ struct FaultPlan {
   double delay_probability = 0.0;    ///< per user op, uniform in [0, 1]
   std::chrono::microseconds delay{0};  ///< sender-side stall for delayed ops
   std::vector<KillRule> kills;
+  /// Control-plane user tags (>= 0) the injector never touches — exempt from
+  /// drop, delay, and kill gating alike, like internal collective traffic.
+  std::vector<std::int32_t> reliable_tags;
 
   [[nodiscard]] bool enabled() const noexcept {
     return drop_probability > 0.0 || delay_probability > 0.0 || !kills.empty();
@@ -69,6 +77,9 @@ class FaultInjector {
   /// the rank is dead, just died, or lost the drop roll — and sleeps inline
   /// on delay rolls (the sender thread stalls, exactly like a slow link).
   bool allow_op(int global_rank);
+
+  /// Is `tag` on the plan's control plane (exempt from all gating)?
+  [[nodiscard]] bool is_reliable(std::int32_t tag) const noexcept;
 
   /// Advance the logical step clock that `KillRule::at_step` triggers on.
   /// The application defines what a step is (a batch, a phase, an epoch).

@@ -244,7 +244,14 @@ data::KnnResults DistributedAnnEngine::search(const data::Dataset& queries,
   st.jobs_per_worker.assign(config_.n_workers, 0);
 
   WallTimer timer;
-  mpi::Runtime rt(int(config_.n_workers) + 1, config_.fault);
+  mpi::FaultPlan fault_plan = config_.fault;
+  if (fault_plan.enabled()) {
+    // End-of-Queries is the termination control plane: a live worker that
+    // never hears it spins forever, hanging the batch past any result
+    // timeout. Faults may eat data-plane traffic, never EOQ.
+    fault_plan.reliable_tags.push_back(kTagEoq);
+  }
+  mpi::Runtime rt(int(config_.n_workers) + 1, fault_plan);
   if (config_.fault.enabled()) {
     // Log the seed so any chaos run is replayable bit-for-bit.
     ANNSIM_INFO("fault injection armed: seed=" << config_.fault.seed
@@ -262,7 +269,8 @@ data::KnnResults DistributedAnnEngine::search(const data::Dataset& queries,
       }
     } else {
       if (world.rank() == 0) {
-        master_search(world, queries, k, ef, results, st, on_query_done);
+        master_search(world, queries, k, ef, results, st, on_query_done,
+                      rt.fault_injector());
       } else {
         worker_search(world, k);
       }
@@ -285,7 +293,8 @@ void DistributedAnnEngine::master_search(mpi::Comm& world,
                                          std::size_t k, std::size_t ef,
                                          data::KnnResults& results,
                                          SearchStats& stats,
-                                         const QueryDoneFn& on_query_done) {
+                                         const QueryDoneFn& on_query_done,
+                                         mpi::FaultInjector* fault) {
   const std::size_t P = config_.n_workers;
   const std::size_t nq = queries.size();
   const auto& tree = *router_;
@@ -358,6 +367,9 @@ void DistributedAnnEngine::master_search(mpi::Comm& world,
   if (!config_.exact_routing) {
     // Single-pass F(q): best-first top-n_probe partitions.
     for (std::size_t q = 0; q < nq; ++q) {
+      // The engine's logical step = queries dispatched: KillRule::at_step
+      // rules fire as the clock sweeps past their trigger.
+      if (fault != nullptr) fault->advance_step();
       route_t.start();
       auto plan = tree.route_topk(queries.row(q),
                                   std::min(config_.n_probe, P));

@@ -32,6 +32,10 @@ FaultInjector::FaultInjector(FaultPlan plan, int n_ranks)
       plan_.delay_probability >= 0.0 && plan_.delay_probability <= 1.0,
       "fault.delay_probability must be within [0, 1]");
   ANNSIM_CHECK_MSG(plan_.delay.count() >= 0, "fault.delay cannot be negative");
+  for (const std::int32_t tag : plan_.reliable_tags) {
+    ANNSIM_CHECK_MSG(tag >= 0, "fault.reliable_tags entry "
+                                   << tag << " must be a user tag (>= 0)");
+  }
   ranks_ = std::make_unique<RankState[]>(std::size_t(n_ranks_));
   for (const KillRule& kill : plan_.kills) {
     ANNSIM_CHECK_MSG(kill.rank >= 0 && kill.rank < n_ranks_,
@@ -63,6 +67,11 @@ bool FaultInjector::allow_op(int global_rank) {
     std::this_thread::sleep_for(plan_.delay);
   }
   return true;
+}
+
+bool FaultInjector::is_reliable(std::int32_t tag) const noexcept {
+  return std::find(plan_.reliable_tags.begin(), plan_.reliable_tags.end(),
+                   tag) != plan_.reliable_tags.end();
 }
 
 bool FaultInjector::is_dead(int global_rank) const {

@@ -261,9 +261,10 @@ Request Comm::isend(int dest, Tag tag, std::span<const std::byte> payload) {
   }
 
   // Fault injection gates user messages only: a dead rank stays silent on
-  // the data plane, but internal collective traffic (tag < 0) is reliable —
-  // see fault.hpp for the failure model.
-  if (tag >= 0 && rt_->fault != nullptr &&
+  // the data plane, but internal collective traffic (tag < 0) and declared
+  // control-plane tags (FaultPlan::reliable_tags) are reliable — see
+  // fault.hpp for the failure model.
+  if (tag >= 0 && rt_->fault != nullptr && !rt_->fault->is_reliable(tag) &&
       !rt_->fault->allow_op(members_[std::size_t(my_index_)])) {
     return Request{};  // dropped: the envelope never reaches the mailbox
   }

@@ -199,6 +199,10 @@ void QueryServer::run_batch(std::vector<Pending> batch) {
 
   std::vector<char> completed(batch.size(), 0);
   std::vector<char> requeue(batch.size(), 0);
+  // Degraded partial answers held back for a retry. If re-admission finds the
+  // queue full the retry is forfeit and this response goes out instead — a
+  // retry must never push the bounded admission queue past its capacity.
+  std::vector<QueryResponse> fallback(batch.size());
   const auto backoff = std::chrono::duration_cast<Clock::duration>(
       std::chrono::duration<double, std::milli>(config_.retry_backoff_ms));
   // Fires on the engine's master thread as each query's merge finishes, so a
@@ -207,14 +211,6 @@ void QueryServer::run_batch(std::vector<Pending> batch) {
                           const core::QueryCoverage& cov) {
     Pending& p = batch[i];
     const auto now = Clock::now();
-    if (cov.degraded() && p.retries_used < config_.max_retries &&
-        now + backoff < p.deadline) {
-      // Workers died under this query and budget remains: hold the future and
-      // requeue once the search returns, behind the backoff gate.
-      requeue[i] = 1;
-      metrics_.on_retry();
-      return;
-    }
     QueryResponse resp;
     resp.batch_size = batch.size();
     resp.queue_ms = to_ms(dispatched - p.admitted);
@@ -223,6 +219,15 @@ void QueryServer::run_batch(std::vector<Pending> batch) {
     resp.partitions_planned = cov.partitions_planned;
     resp.neighbors.assign(nn.begin(),
                           nn.begin() + std::ptrdiff_t(std::min(p.k, nn.size())));
+    if (cov.degraded() && p.retries_used < config_.max_retries &&
+        now + backoff < p.deadline) {
+      // Workers died under this query and budget remains: hold the future and
+      // requeue once the search returns, behind the backoff gate.
+      resp.status = QueryStatus::kDegraded;
+      fallback[i] = std::move(resp);
+      requeue[i] = 1;
+      return;
+    }
     if (now > p.deadline) {
       // The search outlived the deadline: hand back what we computed, but
       // flagged — late answers must not masquerade as on-time ones.
@@ -262,6 +267,9 @@ void QueryServer::run_batch(std::vector<Pending> batch) {
     batch[i].promise.set_value(std::move(resp));
   }
   // Re-admit degraded requests whose retry budget allows another attempt.
+  // Retries count against queue_capacity like any submit: when the queue is
+  // full (or the server is draining) the degraded answer stands instead of
+  // overflowing the bound and starving kBlock waiters / kReject admissions.
   bool readmitted = false;
   {
     std::lock_guard lk(mu_);
@@ -269,8 +277,16 @@ void QueryServer::run_batch(std::vector<Pending> batch) {
     for (std::size_t i = 0; i < batch.size(); ++i) {
       if (!requeue[i]) continue;
       Pending& p = batch[i];
+      if (stopping_ || queue_.size() >= config_.queue_capacity) {
+        fallback[i].total_ms = to_ms(now - p.admitted);
+        metrics_.on_complete_degraded(fallback[i].total_ms,
+                                      fallback[i].queue_ms);
+        p.promise.set_value(std::move(fallback[i]));
+        continue;
+      }
       ++p.retries_used;
       p.not_before = now + backoff;
+      metrics_.on_retry();
       queue_.push_back(std::move(p));
       readmitted = true;
     }

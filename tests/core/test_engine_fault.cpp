@@ -181,6 +181,67 @@ TEST_P(EngineFaultSided, DegradedHookReportsCoverage) {
   EXPECT_EQ(hook_degraded, st.degraded_queries);
 }
 
+TEST_P(EngineFaultSided, MessageDropNeverHangsTermination) {
+  // The chaos-bench --drop-p scenario: probabilistic message drop can eat
+  // data-plane traffic (jobs, results, RMA merges) but must never eat the
+  // End-of-Queries control plane — a live worker that misses EOQ would spin
+  // forever and hang the batch past any result timeout.
+  const bool one_sided = GetParam();
+  auto w = data::make_sift_like(800, 15, 609);
+  auto cfg = chaos_config(4);
+  cfg.one_sided = one_sided;
+  cfg.replication = 2;
+  auto clean = fault_free_baseline(w, cfg, 10);
+
+  cfg.result_timeout_ms = 100.0;
+  cfg.fault.seed = 80;
+  cfg.fault.drop_probability = 0.25;
+  DistributedAnnEngine eng(&w.base, cfg);
+  eng.build();
+  SearchStats st;
+  auto res = eng.search(w.queries, 10, 0, &st);  // must return, not hang
+
+  ASSERT_EQ(st.coverage.size(), w.queries.size());
+  std::size_t degraded = 0;
+  for (std::size_t q = 0; q < w.queries.size(); ++q) {
+    if (st.coverage[q].degraded()) {
+      ++degraded;
+    } else {
+      // Recall loss is confined to queries reported degraded: full coverage
+      // means the result is bit-identical to the fault-free run.
+      EXPECT_EQ(res[q], clean[q]) << "query " << q;
+    }
+  }
+  EXPECT_EQ(st.degraded_queries, degraded);
+}
+
+TEST_P(EngineFaultSided, AtStepKillFiresOnQueryDispatchClock) {
+  // KillRule::at_step triggers on the engine's query-dispatch clock; at_step=1
+  // means the worker's sends die from the first dispatched query onward.
+  const bool one_sided = GetParam();
+  auto w = data::make_sift_like(800, 25, 610);
+  auto cfg = chaos_config(4);
+  cfg.one_sided = one_sided;
+  cfg.replication = 2;
+  auto clean = fault_free_baseline(w, cfg, 10);
+
+  cfg.result_timeout_ms = 250.0;
+  cfg.fault.seed = 81;
+  cfg.fault.kills.push_back({/*rank=*/2, mpi::kNeverFires, /*at_step=*/1});
+  DistributedAnnEngine eng(&w.base, cfg);
+  eng.build();
+  SearchStats st;
+  auto res = eng.search(w.queries, 10, 0, &st);  // must return, not hang
+
+  EXPECT_EQ(st.workers_failed, 1u);
+  EXPECT_GT(st.retries, 0u);
+  EXPECT_EQ(st.degraded_queries, 0u);  // a live replica covered every plan
+  ASSERT_EQ(res.size(), clean.size());
+  for (std::size_t q = 0; q < clean.size(); ++q) {
+    EXPECT_EQ(res[q], clean[q]) << "query " << q;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(BothTransports, EngineFaultSided,
                          ::testing::Values(true, false),
                          [](const ::testing::TestParamInfo<bool>& p) {

@@ -173,6 +173,56 @@ TEST(MpiFault, RmaMutationsFromDeadRankVanish) {
   EXPECT_EQ(rt.failed_ranks(), std::vector<int>{1});
 }
 
+TEST(MpiFault, ReliableTagsBypassDropAndKill) {
+  // Control-plane tags must survive both the drop roll and a fired kill rule:
+  // they behave like internal collective traffic (see fault.hpp).
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.drop_probability = 1.0;                       // eats every gated send
+  plan.kills.push_back({/*rank=*/0, /*after_ops=*/0, kNeverFires});  // dead on arrival
+  plan.reliable_tags.push_back(7);
+  Runtime rt(2, plan);
+  rt.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      c.send(1, 1, bytes_of("data"));      // gated: dropped
+      c.send(1, 7, bytes_of("control"));   // reliable: always delivered
+      c.barrier();
+    } else {
+      c.barrier();
+      EXPECT_FALSE(c.iprobe(0, 1));
+      Message m = c.recv(0, 7);
+      EXPECT_EQ(m.payload.size(), 7u);
+    }
+  });
+  EXPECT_EQ(rt.failed_ranks(), std::vector<int>{0});
+}
+
+TEST(MpiFault, ReliableSendsDoNotConsumeTheOpBudget) {
+  // after_ops counts gated ops only: interleaved reliable sends must not
+  // advance a rank toward its kill trigger.
+  FaultPlan plan;
+  plan.kills.push_back({/*rank=*/0, /*after_ops=*/2, kNeverFires});
+  plan.reliable_tags.push_back(9);
+  Runtime rt(2, plan);
+  rt.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      for (int i = 0; i < 4; ++i) {
+        c.send(1, 9, bytes_of("r"));  // reliable: free
+        c.send(1, 1, bytes_of("g"));  // gated: consumes the budget
+      }
+      c.barrier();
+    } else {
+      c.barrier();
+      int gated = 0, reliable = 0;
+      while (c.iprobe(0, 1)) { (void)c.recv(0, 1); ++gated; }
+      while (c.iprobe(0, 9)) { (void)c.recv(0, 9); ++reliable; }
+      EXPECT_EQ(gated, 2);     // first two gated ops, then dead
+      EXPECT_EQ(reliable, 4);  // every control message got through
+    }
+  });
+  EXPECT_EQ(rt.failed_ranks(), std::vector<int>{0});
+}
+
 TEST(MpiFault, PlanValidationRejectsBadFields) {
   {
     FaultPlan p;
@@ -187,6 +237,11 @@ TEST(MpiFault, PlanValidationRejectsBadFields) {
   {
     FaultPlan p;
     p.kills.push_back({/*rank=*/5, 0, kNeverFires});
+    EXPECT_THROW(FaultInjector(p, 2), Error);
+  }
+  {
+    FaultPlan p;
+    p.reliable_tags.push_back(-2);  // internal tags cannot be declared
     EXPECT_THROW(FaultInjector(p, 2), Error);
   }
 }

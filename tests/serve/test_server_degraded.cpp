@@ -8,8 +8,10 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <future>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "annsim/data/ground_truth.hpp"
@@ -146,6 +148,49 @@ TEST(ServerDegraded, RetryRespectsRequestDeadline) {
   }
   server.stop();
   EXPECT_EQ(server.metrics().retries, 0u);
+}
+
+TEST(ServerDegraded, RetryForfeitedWhenAdmissionQueueIsFull) {
+  // A degraded retry re-enters through the same bounded admission queue as
+  // any submit: when the queue is full the retry is forfeit and the degraded
+  // partial answer goes out, instead of overflowing queue_capacity.
+  auto w = data::make_sift_like(800, 4, 704);
+  auto cfg = engine_config();
+  cfg.result_timeout_ms = 50.0;
+  // Every worker is dead on arrival, so every query in every batch degrades
+  // (and every batch takes at least the detection timeout to come back).
+  for (int rank = 1; rank <= 4; ++rank) {
+    cfg.fault.kills.push_back({rank, /*after_ops=*/0, mpi::kNeverFires});
+  }
+  core::DistributedAnnEngine eng(&w.base, cfg);
+  eng.build();
+
+  ServerConfig sc;
+  sc.max_batch = 1;
+  sc.max_delay_ms = 0.0;
+  sc.queue_capacity = 1;
+  sc.max_retries = 1;
+  sc.retry_backoff_ms = 1.0;
+  QueryServer server(&eng, sc);
+
+  // q0 dispatches immediately (the queue drains to zero); while its batch is
+  // stuck in the engine for the 50ms detection timeout, q1 is admitted and
+  // fills the queue to capacity.
+  auto f0 = server.submit(qvec(w.queries, 0), 5);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  auto f1 = server.submit(qvec(w.queries, 1), 5);
+
+  // q0's retry finds the queue full and is forfeited; q1 retries once into an
+  // empty queue, degrades again, and surfaces after spending its budget.
+  auto r0 = f0.get();
+  auto r1 = f1.get();
+  EXPECT_EQ(r0.status, QueryStatus::kDegraded) << to_string(r0.status);
+  EXPECT_EQ(r1.status, QueryStatus::kDegraded) << to_string(r1.status);
+
+  server.stop();
+  const auto m = server.metrics();
+  EXPECT_EQ(m.degraded, 2u);
+  EXPECT_EQ(m.retries, 1u);  // only q1's retry was admitted
 }
 
 TEST(ServerDegraded, MetricsRenderingShowsDegradedAndRetries) {
