@@ -52,6 +52,64 @@ void BM_InnerProduct(benchmark::State& state) {
 }
 BENCHMARK(BM_InnerProduct)->Arg(96)->Arg(128);
 
+/// Scattered one-to-many distances, sized like an HNSW beam expansion
+/// (range(0) = neighbors per expansion, 128-d rows from a 16k corpus).
+/// Compare against BM_BeamExpansionPairwise to see the batching win.
+void BM_BeamExpansionBatched(benchmark::State& state) {
+  static auto w = data::make_sift_like(16384, 1, 21);
+  const auto n = std::size_t(state.range(0));
+  auto q = random_vec(w.base.dim(), 22);
+  Rng rng(23);
+  std::vector<std::uint32_t> ids(n);
+  std::vector<float> out(n);
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (auto& id : ids) id = std::uint32_t(rng.uniform_below(w.base.size()));
+    state.ResumeTiming();
+    simd::l2_sq_batch(q.data(), w.base.row(0), w.base.stride(), w.base.dim(),
+                      ids.data(), n, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) * std::int64_t(n));
+}
+BENCHMARK(BM_BeamExpansionBatched)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_BeamExpansionPairwise(benchmark::State& state) {
+  static auto w = data::make_sift_like(16384, 1, 21);
+  const auto n = std::size_t(state.range(0));
+  auto q = random_vec(w.base.dim(), 22);
+  Rng rng(23);
+  std::vector<std::uint32_t> ids(n);
+  std::vector<float> out(n);
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (auto& id : ids) id = std::uint32_t(rng.uniform_below(w.base.size()));
+    state.ResumeTiming();
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = simd::l2_sq(q.data(), w.base.row(ids[i]), w.base.dim());
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) * std::int64_t(n));
+}
+BENCHMARK(BM_BeamExpansionPairwise)->Arg(8)->Arg(32)->Arg(64);
+
+/// Contiguous one-to-many scan over the whole corpus — the BruteForceIndex
+/// inner loop (squared-L2 space, rows prefetched ahead).
+void BM_L2SqBatchContiguous(benchmark::State& state) {
+  static auto w = data::make_sift_like(8192, 1, 24);
+  auto q = random_vec(w.base.dim(), 25);
+  std::vector<float> out(w.base.size());
+  for (auto _ : state) {
+    simd::l2_sq_batch(q.data(), w.base.row(0), w.base.stride(), w.base.dim(),
+                      nullptr, w.base.size(), out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                          std::int64_t(w.base.size()));
+}
+BENCHMARK(BM_L2SqBatchContiguous);
+
 void BM_TopKPush(benchmark::State& state) {
   Rng rng(7);
   std::vector<float> values(4096);
@@ -82,6 +140,22 @@ void BM_BruteForceScan(benchmark::State& state) {
                           std::int64_t(w.base.size()));
 }
 BENCHMARK(BM_BruteForceScan);
+
+/// The actual BruteForceIndex path: blocked batched kernels in squared-L2
+/// space, sqrt deferred to the k emitted results (vs the per-row sqrt +
+/// dispatch of BM_BruteForceScan above).
+void BM_BruteForceIndexScan(benchmark::State& state) {
+  static auto w = data::make_sift_like(8192, 16, 11);
+  const hnsw::BruteForceIndex index(&w.base, simd::Metric::kL2);
+  std::size_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.search(w.queries.row(q % w.queries.size()), 10));
+    ++q;
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                          std::int64_t(w.base.size()));
+}
+BENCHMARK(BM_BruteForceIndexScan);
 
 hnsw::HnswIndex& shared_index() {
   static auto w = data::make_sift_like(16384, 64, 12);

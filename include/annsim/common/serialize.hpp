@@ -17,6 +17,8 @@ namespace annsim {
 /// Appends POD values / vectors to a growable byte buffer.
 class BinaryWriter {
  public:
+  void reserve(std::size_t bytes) { buf_.reserve(bytes); }
+
   template <typename T>
     requires std::is_trivially_copyable_v<T>
   void write(const T& value) {
@@ -76,6 +78,19 @@ class BinaryReader {
       pos_ += n * sizeof(T);
     }
     return out;
+  }
+
+  /// Copy exactly `out.size()` elements into caller-owned storage (no
+  /// length prefix, no allocation) — pairs with a preceding size read.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void read_into(std::span<T> out) {
+    ANNSIM_CHECK_MSG(pos_ + out.size_bytes() <= bytes_.size(),
+                     "BinaryReader underflow");
+    if (!out.empty()) {
+      std::memcpy(out.data(), bytes_.data() + pos_, out.size_bytes());
+      pos_ += out.size_bytes();
+    }
   }
 
   std::string read_string() {

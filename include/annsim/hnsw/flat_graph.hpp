@@ -1,0 +1,110 @@
+#pragma once
+/// \file flat_graph.hpp
+/// \brief Read-optimized frozen HNSW adjacency: one contiguous CSR-style
+/// LocalId slab with per-node/per-layer offsets and inline neighbor counts.
+///
+/// The mutable build-time graph (`vector<vector<LocalId>>` per node) is
+/// cache-hostile: every beam expansion chases two pointers and copies a heap
+/// vector. After construction the graph never changes, so `HnswIndex::freeze`
+/// compacts it into this immutable form. Beam expansion then iterates a
+/// `std::span` straight out of the slab — zero copies, zero locks, and the
+/// adjacency block of the next candidate can be software-prefetched.
+///
+/// Slab layout (LocalId = u32 throughout):
+///
+///   slab_:  [0][c|n0 n1 ... n_{c-1}][c'|...] ...
+///            ^   ^-- one block per (node, layer): count, then neighbors
+///            +-- sentinel empty block shared by never-inserted nodes
+///
+///   l0_off_[v]      -> slab index of v's layer-0 block (the hot path:
+///                      neighbors0(v) is two dependent loads, no branches)
+///   level_[v]       -> v's top layer (-1 = not inserted)
+///   upper_start_[v] -> index into upper_off_ of v's layer>=1 offsets
+///   upper_off_[...] -> slab indices for layers 1..level(v), contiguous
+///
+/// Invariants: neighbor order inside each block is exactly the order of the
+/// linked form it was frozen from (freezing never reorders), so flat-graph
+/// searches are bit-identical to linked-graph searches.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "annsim/common/serialize.hpp"
+#include "annsim/common/types.hpp"
+#include "annsim/simd/distance.hpp"
+
+namespace annsim::hnsw {
+
+class FlatGraph {
+ public:
+  FlatGraph() = default;
+
+  /// Prepare for `n` nodes added in id order via add_node(); `slab_hint` is
+  /// an estimate of total stored LocalIds (counts included).
+  void init(std::size_t n, std::size_t slab_hint);
+
+  /// Append node `next_id`'s adjacency (one vector per layer, layer 0 first).
+  /// Nodes must be added in increasing id order.
+  void add_node(std::span<const std::vector<LocalId>> layers);
+
+  /// Append node `next_id`'s adjacency straight from the ANN1 wire format
+  /// (u32 layer count, then per layer a u64-length-prefixed LocalId array) —
+  /// deserialization freezes directly without materializing linked lists.
+  void add_node(BinaryReader& r);
+
+  void set_entry(LocalId entry_point, int max_level) noexcept {
+    entry_point_ = entry_point;
+    max_level_ = max_level;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return level_.size(); }
+  [[nodiscard]] std::size_t n_inserted() const noexcept { return n_inserted_; }
+  /// Largest neighbor-list length in the graph (sizes search scratch).
+  [[nodiscard]] std::size_t max_degree() const noexcept { return max_degree_; }
+  [[nodiscard]] LocalId entry_point() const noexcept { return entry_point_; }
+  [[nodiscard]] int max_level() const noexcept { return max_level_; }
+  [[nodiscard]] int level(LocalId v) const noexcept { return level_[v]; }
+
+  /// Layer-0 neighbors of `v` — the beam-search hot path.
+  [[nodiscard]] std::span<const LocalId> neighbors0(LocalId v) const noexcept {
+    const std::uint64_t off = l0_off_[v];
+    return {slab_.data() + off + 1, slab_[off]};
+  }
+
+  /// Neighbors of `v` at any layer (empty span above v's level).
+  [[nodiscard]] std::span<const LocalId> neighbors(LocalId v, int layer) const noexcept {
+    if (layer == 0) return neighbors0(v);
+    if (layer > level_[v]) return {};
+    const std::uint64_t off = upper_off_[upper_start_[v] + std::size_t(layer) - 1];
+    return {slab_.data() + off + 1, slab_[off]};
+  }
+
+  /// Prefetch v's layer-0 block (count + leading neighbors).
+  void prefetch0(LocalId v) const noexcept {
+    simd::prefetch_line(slab_.data() + l0_off_[v]);
+  }
+
+  /// Serialize all per-node adjacency in the ANN1 wire format (the part of
+  /// to_bytes() after the header), matching the mutable form byte-for-byte.
+  void write_nodes(BinaryWriter& w) const;
+
+  /// Total heap bytes of the frozen representation (diagnostics).
+  [[nodiscard]] std::size_t memory_bytes() const noexcept;
+
+ private:
+  /// Begin a block for the next node id; returns that id.
+  std::size_t begin_node(std::size_t n_layers);
+
+  std::vector<LocalId> slab_;
+  std::vector<std::uint64_t> l0_off_;
+  std::vector<std::int32_t> level_;
+  std::vector<std::uint64_t> upper_start_;
+  std::vector<std::uint64_t> upper_off_;
+  std::size_t n_inserted_ = 0;
+  std::size_t max_degree_ = 0;
+  LocalId entry_point_ = kInvalidLocalId;
+  int max_level_ = -1;
+};
+
+}  // namespace annsim::hnsw

@@ -9,6 +9,16 @@
 /// selection (Algorithm 4 of the HNSW paper) that keeps the graph navigable.
 /// Insertions are thread-safe (per-node link locks + entry-point lock), as
 /// the paper relies on multi-threaded local construction.
+///
+/// The index has two graph representations:
+///  * a mutable linked form (`vector<vector<LocalId>>` per node) used during
+///    construction, searchable concurrently with inserts;
+///  * a read-optimized frozen form (`FlatGraph`, a contiguous CSR slab) that
+///    `build()` / `from_bytes()` switch to automatically. The frozen search
+///    path iterates adjacency spans with zero copies and zero locks, batches
+///    neighbor distance computations, software-prefetches upcoming vectors,
+///    and ranks candidates in squared-L2 space, deferring the `sqrt` to
+///    result emission. Results are identical to the mutable form's.
 
 #include <cstdint>
 #include <memory>
@@ -58,12 +68,22 @@ class HnswIndex {
   HnswIndex(const HnswIndex&) = delete;
   HnswIndex& operator=(const HnswIndex&) = delete;
 
-  /// Insert every dataset row; multi-threaded when a pool is supplied.
+  /// Insert every dataset row (multi-threaded when a pool is supplied), then
+  /// freeze() into the read-optimized flat graph.
   void build(ThreadPool* pool = nullptr);
 
   /// Insert one dataset row (thread-safe; rows may arrive in any order but
-  /// each row must be inserted exactly once).
+  /// each row must be inserted exactly once). Throws once the index is
+  /// frozen.
   void insert(LocalId node);
+
+  /// Compact the linked adjacency into the immutable FlatGraph and release
+  /// the mutable form. Requires quiescence: no concurrent insert() or
+  /// search() calls may be in flight. Idempotent; called by build().
+  void freeze();
+
+  /// True once the read-optimized frozen representation is active.
+  [[nodiscard]] bool is_frozen() const noexcept;
 
   /// k-NN search. `ef` = 0 uses params().ef_search; effective beam width is
   /// max(ef, k). Returned distances follow the DistanceComputer convention;
@@ -88,7 +108,9 @@ class HnswIndex {
   static HnswIndex load(const std::string& path, const data::Dataset* data);
 
   /// In-memory (de)serialization — used to ship replica indexes between
-  /// ranks during partition replication (§IV-C2).
+  /// ranks during partition replication (§IV-C2). `from_bytes` deserializes
+  /// straight into the frozen flat form (the linked graph is never
+  /// materialized), so replicas come up read-optimized.
   [[nodiscard]] std::vector<std::byte> to_bytes() const;
   static HnswIndex from_bytes(std::span<const std::byte> bytes,
                               const data::Dataset* data);

@@ -9,8 +9,21 @@
 ///    used uniformly across the library (true L2 norm for Metric::kL2, so the
 ///    VP-tree's triangle-inequality pruning and HNSW's candidate ordering use
 ///    the same numbers and partial results merge without conversion).
+///  * Hot loops (HNSW beam expansion, brute-force scans) work in the
+///    *search-space distance* instead: squared L2 for Metric::kL2, identical
+///    to the ranking distance otherwise. The mapping is strictly
+///    order-preserving, so candidate ordering and tie-breaking are unchanged;
+///    `DistanceComputer::to_ranking` converts at the result boundary, paying
+///    the `sqrt` once per emitted neighbor instead of once per expansion.
+///
+/// Dispatch (AVX2+FMA vs scalar) is resolved once per process; setting the
+/// environment variable ANNSIM_FORCE_SCALAR=1 before the first kernel call
+/// pins the scalar path (reported by `kernel_isa()` as "scalar(forced)") for
+/// differential benchmarking.
 
+#include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 namespace annsim::simd {
@@ -31,6 +44,9 @@ enum class Metric {
   return m == Metric::kL2 || m == Metric::kL1;
 }
 
+/// Signature shared by every pairwise kernel.
+using KernelFn = float (*)(const float*, const float*, std::size_t) noexcept;
+
 // ---- raw kernels (runtime-dispatched: AVX2+FMA when available) ----
 
 /// Squared Euclidean distance.
@@ -42,32 +58,118 @@ enum class Metric {
 /// Euclidean norm of a vector.
 [[nodiscard]] float l2_norm(const float* a, std::size_t dim) noexcept;
 
+/// The dispatched kernels as function pointers, for callers that hoist the
+/// dispatch out of their inner loop (one indirect call per distance instead
+/// of a call + switch).
+[[nodiscard]] KernelFn l2_sq_kernel() noexcept;
+[[nodiscard]] KernelFn inner_product_kernel() noexcept;
+[[nodiscard]] KernelFn l1_kernel() noexcept;
+
+// ---- one-to-many batched kernels ----
+//
+// Compute `out[i] = kernel(query, base + row_i * stride)` for i in [0, n),
+// where row_i = ids[i], or row_i = i when `ids == nullptr` (contiguous scan).
+// Rows are prefetched ahead of the computation, which is what makes these
+// faster than a plain loop when the rows are scattered (HNSW beam expansion)
+// or streamed (brute-force scan). Results are bit-identical to calling the
+// corresponding pairwise kernel per row.
+
+void l2_sq_batch(const float* query, const float* base, std::size_t stride,
+                 std::size_t dim, const std::uint32_t* ids, std::size_t n,
+                 float* out) noexcept;
+void ip_batch(const float* query, const float* base, std::size_t stride,
+              std::size_t dim, const std::uint32_t* ids, std::size_t n,
+              float* out) noexcept;
+void l1_batch(const float* query, const float* base, std::size_t stride,
+              std::size_t dim, const std::uint32_t* ids, std::size_t n,
+              float* out) noexcept;
+
 // ---- scalar reference kernels (exported for differential testing) ----
 
 [[nodiscard]] float l2_sq_scalar(const float* a, const float* b, std::size_t dim) noexcept;
 [[nodiscard]] float inner_product_scalar(const float* a, const float* b, std::size_t dim) noexcept;
 [[nodiscard]] float l1_scalar(const float* a, const float* b, std::size_t dim) noexcept;
 
-/// Which instruction set the dispatched kernels use ("avx2+fma" or "scalar").
+void l2_sq_batch_scalar(const float* query, const float* base, std::size_t stride,
+                        std::size_t dim, const std::uint32_t* ids, std::size_t n,
+                        float* out) noexcept;
+void ip_batch_scalar(const float* query, const float* base, std::size_t stride,
+                     std::size_t dim, const std::uint32_t* ids, std::size_t n,
+                     float* out) noexcept;
+void l1_batch_scalar(const float* query, const float* base, std::size_t stride,
+                     std::size_t dim, const std::uint32_t* ids, std::size_t n,
+                     float* out) noexcept;
+
+/// Which instruction set the dispatched kernels use ("avx2+fma", "scalar",
+/// or "scalar(forced)" when ANNSIM_FORCE_SCALAR pinned the scalar path).
 [[nodiscard]] std::string kernel_isa();
 
-/// Computes the ranking distance for a fixed metric and dimension.
-///
-/// Cheap to copy; hot loops should hoist `metric()`/`dim()` decisions by
-/// calling through operator() which switches once per call.
+/// True when ANNSIM_FORCE_SCALAR disabled the SIMD paths for this process.
+[[nodiscard]] bool scalar_forced() noexcept;
+
+// ---- software prefetch helpers ----
+
+/// Prefetch one cache line for reading.
+inline void prefetch_line(const void* p) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, 0 /*read*/, 3 /*high locality*/);
+#else
+  (void)p;
+#endif
+}
+
+/// Prefetch the leading cache lines of a `dim`-float vector (capped so very
+/// high-dimensional rows don't flood the prefetch queue).
+inline void prefetch_vector(const float* p, std::size_t dim) noexcept {
+  constexpr std::size_t kLine = 64 / sizeof(float);  // floats per cache line
+  constexpr std::size_t kMaxLines = 8;               // cap: 512 bytes ahead
+  const std::size_t lines = (dim + kLine - 1) / kLine;
+  const std::size_t limit = lines < kMaxLines ? lines : kMaxLines;
+  for (std::size_t l = 0; l < limit; ++l) prefetch_line(p + l * kLine);
+}
+
+/// Computes distances for a fixed metric and dimension. The metric dispatch
+/// and the SIMD kernel dispatch are both resolved once at construction into
+/// function pointers, so per-call cost is a single indirect call — no switch
+/// in the hot loop.
 class DistanceComputer {
  public:
-  DistanceComputer(Metric metric, std::size_t dim) noexcept
-      : metric_(metric), dim_(dim) {}
+  DistanceComputer(Metric metric, std::size_t dim) noexcept;
 
-  [[nodiscard]] float operator()(const float* a, const float* b) const noexcept;
+  /// Ranking distance (library-wide convention; true L2 norm for kL2).
+  [[nodiscard]] float operator()(const float* a, const float* b) const noexcept {
+    return to_ranking(search_fn_(a, b, dim_, raw_));
+  }
+
+  /// Search-space distance: squared L2 for kL2, identical to operator()
+  /// otherwise. Strictly order-preserving w.r.t. the ranking distance.
+  [[nodiscard]] float search_dist(const float* a, const float* b) const noexcept {
+    return search_fn_(a, b, dim_, raw_);
+  }
+
+  /// Convert a search-space distance to the ranking convention.
+  [[nodiscard]] float to_ranking(float d) const noexcept {
+    return metric_ == Metric::kL2 ? std::sqrt(d) : d;
+  }
+
+  /// Batched search-space distances: `out[i] = search_dist(query, row ids[i])`
+  /// (or row i when ids == nullptr). Rows live at `base + row * stride`.
+  /// Bit-identical to calling search_dist per row.
+  void search_dist_batch(const float* query, const float* base,
+                         std::size_t stride, const std::uint32_t* ids,
+                         std::size_t n, float* out) const noexcept;
 
   [[nodiscard]] Metric metric() const noexcept { return metric_; }
   [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
 
  private:
+  using SearchFn = float (*)(const float*, const float*, std::size_t,
+                             KernelFn) noexcept;
+
   Metric metric_;
   std::size_t dim_;
+  KernelFn raw_;        ///< dispatched primary kernel (ip kernel for cosine)
+  SearchFn search_fn_;  ///< metric-specific search-space distance
 };
 
 }  // namespace annsim::simd

@@ -9,7 +9,12 @@ namespace {
 
 class HnswLocalIndex final : public LocalIndex {
  public:
-  HnswLocalIndex(hnsw::HnswIndex index) : index_(std::move(index)) {}
+  HnswLocalIndex(hnsw::HnswIndex index) : index_(std::move(index)) {
+    // Both construction paths (build(), from_bytes()) already hand over a
+    // frozen index; freeze() is idempotent and makes the read-optimized
+    // flat form a guarantee of this wrapper rather than a convention.
+    index_.freeze();
+  }
 
   std::vector<Neighbor> search(const float* query, std::size_t k,
                                std::size_t ef) const override {
@@ -141,12 +146,10 @@ std::unique_ptr<LocalIndex> local_index_from_bytes(
     const LocalIndexParams& params) {
   ANNSIM_CHECK(data != nullptr);
   switch (params.kind) {
-    case LocalIndexKind::kHnsw: {
-      hnsw::HnswParams hp = params.hnsw;
-      hp.metric = params.metric;
+    case LocalIndexKind::kHnsw:
+      // Params (M, ef_construction, metric) travel inside the byte image.
       return std::make_unique<HnswLocalIndex>(
           hnsw::HnswIndex::from_bytes(bytes, data));
-    }
     case LocalIndexKind::kBruteForce:
       return std::make_unique<BruteForceLocalIndex>(data, params.metric);
     case LocalIndexKind::kVpTree:

@@ -1,0 +1,85 @@
+#include "annsim/hnsw/flat_graph.hpp"
+
+#include "annsim/common/error.hpp"
+
+namespace annsim::hnsw {
+
+void FlatGraph::init(std::size_t n, std::size_t slab_hint) {
+  slab_.clear();
+  slab_.reserve(slab_hint + 1);
+  slab_.push_back(0);  // shared sentinel block: never-inserted nodes point here
+  l0_off_.clear();
+  l0_off_.reserve(n);
+  level_.clear();
+  level_.reserve(n);
+  upper_start_.clear();
+  upper_start_.reserve(n);
+  upper_off_.clear();
+  n_inserted_ = 0;
+  max_degree_ = 0;
+  entry_point_ = kInvalidLocalId;
+  max_level_ = -1;
+}
+
+std::size_t FlatGraph::begin_node(std::size_t n_layers) {
+  const std::size_t v = level_.size();
+  level_.push_back(std::int32_t(n_layers) - 1);
+  l0_off_.push_back(0);  // sentinel unless a layer-0 block is appended below
+  upper_start_.push_back(upper_off_.size());
+  if (n_layers > 0) ++n_inserted_;
+  return v;
+}
+
+void FlatGraph::add_node(std::span<const std::vector<LocalId>> layers) {
+  const std::size_t v = begin_node(layers.size());
+  for (std::size_t l = 0; l < layers.size(); ++l) {
+    const std::uint64_t off = slab_.size();
+    if (l == 0) {
+      l0_off_[v] = off;
+    } else {
+      upper_off_.push_back(off);
+    }
+    slab_.push_back(LocalId(layers[l].size()));
+    slab_.insert(slab_.end(), layers[l].begin(), layers[l].end());
+    if (layers[l].size() > max_degree_) max_degree_ = layers[l].size();
+  }
+}
+
+void FlatGraph::add_node(BinaryReader& r) {
+  const auto n_layers = r.read<std::uint32_t>();
+  const std::size_t v = begin_node(n_layers);
+  for (std::uint32_t l = 0; l < n_layers; ++l) {
+    const auto count = r.read<std::uint64_t>();
+    const std::uint64_t off = slab_.size();
+    if (l == 0) {
+      l0_off_[v] = off;
+    } else {
+      upper_off_.push_back(off);
+    }
+    slab_.push_back(LocalId(count));
+    const std::size_t data_at = slab_.size();
+    slab_.resize(data_at + count);
+    r.read_into(std::span<LocalId>(slab_.data() + data_at, count));
+    if (count > max_degree_) max_degree_ = count;
+  }
+}
+
+void FlatGraph::write_nodes(BinaryWriter& w) const {
+  for (std::size_t v = 0; v < size(); ++v) {
+    const std::uint32_t n_layers = std::uint32_t(level_[v] + 1);
+    w.write(n_layers);
+    for (std::uint32_t l = 0; l < n_layers; ++l) {
+      w.write_span(neighbors(LocalId(v), int(l)));
+    }
+  }
+}
+
+std::size_t FlatGraph::memory_bytes() const noexcept {
+  return slab_.capacity() * sizeof(LocalId) +
+         l0_off_.capacity() * sizeof(std::uint64_t) +
+         level_.capacity() * sizeof(std::int32_t) +
+         upper_start_.capacity() * sizeof(std::uint64_t) +
+         upper_off_.capacity() * sizeof(std::uint64_t);
+}
+
+}  // namespace annsim::hnsw

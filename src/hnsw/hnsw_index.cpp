@@ -9,12 +9,16 @@
 #include "annsim/common/error.hpp"
 #include "annsim/common/serialize.hpp"
 #include "annsim/common/topk.hpp"
+#include "annsim/hnsw/flat_graph.hpp"
 
 namespace annsim::hnsw {
 
 namespace {
 
 /// Candidate ordered by distance to the query; min-heap via std::greater.
+/// Distances are in *search space* (squared L2 for Metric::kL2) — strictly
+/// order-preserving w.r.t. the ranking distance; conversion happens once at
+/// result emission.
 struct Cand {
   float dist;
   LocalId node;
@@ -44,68 +48,93 @@ class VisitedSet {
     return false;
   }
 
+  void prefetch(LocalId v) const noexcept { simd::prefetch_line(&stamp_[v]); }
+
  private:
   std::vector<std::uint32_t> stamp_;
   std::uint32_t epoch_ = 0;
 };
 
-/// Pool of VisitedSet so concurrent searches don't allocate per query.
-class VisitedPool {
- public:
-  explicit VisitedPool(std::size_t n) : n_(n) {}
+/// Per-search working memory: the visited set plus every buffer the beam
+/// search touches, so a warmed-up search performs no allocations per
+/// expansion (and, once pooled buffers reach steady-state capacity, none per
+/// search beyond the returned result vector).
+struct SearchScratch {
+  VisitedSet visited;
+  std::vector<LocalId> ids;     ///< unvisited-neighbor gather (flat path)
+  std::vector<float> dists;     ///< batched distances (flat path)
+  std::vector<Cand> frontier;   ///< min-heap storage (flat path)
+  std::vector<Cand> best;       ///< max-heap storage (flat path)
+  std::vector<LocalId> neigh_copy;  ///< locked-link snapshot (mutable path)
+};
 
-  std::unique_ptr<VisitedSet> acquire() {
+/// Pool of SearchScratch so concurrent searches don't allocate per query.
+class ScratchPool {
+ public:
+  explicit ScratchPool(std::size_t n) : n_(n) {}
+
+  std::unique_ptr<SearchScratch> acquire(std::size_t max_degree) {
+    std::unique_ptr<SearchScratch> s;
     {
       std::lock_guard lk(mu_);
       if (!free_.empty()) {
-        auto v = std::move(free_.back());
+        s = std::move(free_.back());
         free_.pop_back();
-        v->resize(n_);
-        return v;
       }
     }
-    auto v = std::make_unique<VisitedSet>();
-    v->resize(n_);
-    return v;
+    if (!s) s = std::make_unique<SearchScratch>();
+    s->visited.resize(n_);
+    if (s->ids.size() < max_degree) {
+      s->ids.resize(max_degree);
+      s->dists.resize(max_degree);
+    }
+    return s;
   }
 
-  void release(std::unique_ptr<VisitedSet> v) {
+  void release(std::unique_ptr<SearchScratch> s) {
     std::lock_guard lk(mu_);
-    free_.push_back(std::move(v));
+    free_.push_back(std::move(s));
   }
 
  private:
   std::size_t n_;
   std::mutex mu_;
-  std::vector<std::unique_ptr<VisitedSet>> free_;
+  std::vector<std::unique_ptr<SearchScratch>> free_;
 };
 
 }  // namespace
 
 struct HnswIndex::Impl {
   /// links[node][layer] = neighbor list; layer 0 capacity 2M, others M.
+  /// Populated only while the index is mutable; freeze() releases it.
   struct Node {
     std::vector<std::vector<LocalId>> layers;  // size = level + 1
     bool inserted = false;
   };
 
-  explicit Impl(std::size_t n)
-      : nodes(n), locks(std::make_unique<std::mutex[]>(n)), visited(n) {}
+  Impl(std::size_t n, bool mutable_graph)
+      : nodes(mutable_graph ? n : 0),
+        locks(mutable_graph ? std::make_unique<std::mutex[]>(n) : nullptr),
+        scratch(n) {}
 
   std::vector<Node> nodes;
   std::unique_ptr<std::mutex[]> locks;
-  mutable VisitedPool visited;
+  mutable ScratchPool scratch;
 
   std::mutex entry_mu;
   LocalId entry_point = kInvalidLocalId;
   int max_level = -1;
   std::atomic<std::size_t> n_inserted{0};
+
+  /// Read-optimized representation; valid once `frozen` is true.
+  FlatGraph flat;
+  std::atomic<bool> frozen{false};
 };
 
 HnswIndex::HnswIndex(const data::Dataset* data, HnswParams params)
     : data_(data),
       params_(params),
-      impl_(std::make_unique<Impl>(data->size())) {
+      impl_(std::make_unique<Impl>(data->size(), /*mutable_graph=*/true)) {
   ANNSIM_CHECK(data_ != nullptr);
   ANNSIM_CHECK(params_.M >= 2);
   ANNSIM_CHECK(params_.ef_construction >= params_.M);
@@ -126,45 +155,65 @@ std::size_t HnswIndex::size() const noexcept {
   return impl_->n_inserted.load(std::memory_order_relaxed);
 }
 
+bool HnswIndex::is_frozen() const noexcept {
+  return impl_->frozen.load(std::memory_order_acquire);
+}
+
 namespace {
 
-/// Beam search within one layer (Algorithm 2 of the HNSW paper). Returns up
-/// to `ef` nearest candidates as a max-heap-ordered vector (unsorted).
+/// How the mutable-path beam search reads neighbor lists.
+enum class LinkAccess {
+  kLocked,    ///< concurrent inserts possible: snapshot links under the lock
+  kUnlocked,  ///< graph complete: iterate the lists in place, zero-copy
+};
+
+/// Beam search within one layer of the *mutable* linked graph (Algorithm 2
+/// of the HNSW paper). Returns up to `ef` nearest candidates as a
+/// max-heap-ordered vector (unsorted), with search-space distances.
 std::vector<Cand> search_layer(const data::Dataset& data,
                                const simd::DistanceComputer& dist,
                                const HnswIndex::Impl* impl, const float* query,
                                std::span<const LocalId> entries, int layer,
-                               std::size_t ef, VisitedSet& visited,
-                               bool lock_links) {
+                               std::size_t ef, SearchScratch& scratch,
+                               LinkAccess access) {
+  VisitedSet& visited = scratch.visited;
   visited.new_epoch();
   std::priority_queue<Cand, std::vector<Cand>, std::greater<>> frontier;  // min
   std::priority_queue<Cand> best;                                         // max
 
   for (LocalId e : entries) {
     if (visited.test_and_set(e)) continue;
-    const float d = dist(query, data.row(e));
+    const float d = dist.search_dist(query, data.row(e));
     frontier.push({d, e});
     best.push({d, e});
     if (best.size() > ef) best.pop();
   }
 
-  std::vector<LocalId> neigh_copy;
   while (!frontier.empty()) {
     const Cand c = frontier.top();
     if (best.size() >= ef && c.dist > best.top().dist) break;
     frontier.pop();
 
-    const auto& node = impl->nodes[c.node];
-    if (std::size_t(layer) >= node.layers.size()) continue;
-    if (lock_links) {
+    std::span<const LocalId> neigh;
+    if (access == LinkAccess::kLocked) {
+      // Copy the links into a reused buffer under the node's lock (the list
+      // may be mutated by concurrent inserts). The buffer's capacity is
+      // retained across expansions, so steady-state cost is a memcpy.
       std::lock_guard lk(impl->locks[c.node]);
-      neigh_copy = node.layers[layer];
+      const auto& node = impl->nodes[c.node];
+      if (std::size_t(layer) >= node.layers.size()) continue;
+      scratch.neigh_copy.assign(node.layers[layer].begin(),
+                                node.layers[layer].end());
+      neigh = scratch.neigh_copy;
     } else {
-      neigh_copy = node.layers[layer];
+      // Graph is complete: read the list in place, no copy, no lock.
+      const auto& node = impl->nodes[c.node];
+      if (std::size_t(layer) >= node.layers.size()) continue;
+      neigh = node.layers[layer];
     }
-    for (LocalId nb : neigh_copy) {
+    for (LocalId nb : neigh) {
       if (visited.test_and_set(nb)) continue;
-      const float d = dist(query, data.row(nb));
+      const float d = dist.search_dist(query, data.row(nb));
       if (best.size() < ef || d < best.top().dist) {
         frontier.push({d, nb});
         best.push({d, nb});
@@ -182,9 +231,92 @@ std::vector<Cand> search_layer(const data::Dataset& data,
   return out;  // descending by distance
 }
 
+// ---- frozen-path heap helpers (vectors + std heap algorithms, so the
+// underlying storage lives in the pooled scratch and is reused) ----
+
+inline void min_push(std::vector<Cand>& h, Cand c) {
+  h.push_back(c);
+  std::push_heap(h.begin(), h.end(), std::greater<>{});
+}
+
+inline Cand min_pop(std::vector<Cand>& h) {
+  std::pop_heap(h.begin(), h.end(), std::greater<>{});
+  const Cand c = h.back();
+  h.pop_back();
+  return c;
+}
+
+inline void max_push(std::vector<Cand>& h, Cand c) {
+  h.push_back(c);
+  std::push_heap(h.begin(), h.end());
+}
+
+inline void max_pop(std::vector<Cand>& h) {
+  std::pop_heap(h.begin(), h.end());
+  h.pop_back();
+}
+
+/// Beam search within one layer of the *frozen* flat graph. Identical
+/// candidate selection to the linked search_layer, but: adjacency is an
+/// in-place span out of the CSR slab (no copy, no lock), neighbor distances
+/// are computed by the batched SIMD kernel, and visited stamps / vector rows
+/// / the next candidate's adjacency block are software-prefetched.
+/// Leaves up to `ef` nearest candidates in scratch.best (max-heap order).
+void search_layer_flat(const data::Dataset& data,
+                       const simd::DistanceComputer& dist, const FlatGraph& g,
+                       const float* query, std::span<const LocalId> entries,
+                       int layer, std::size_t ef, SearchScratch& scratch) {
+  VisitedSet& visited = scratch.visited;
+  visited.new_epoch();
+  auto& frontier = scratch.frontier;
+  auto& best = scratch.best;
+  frontier.clear();
+  best.clear();
+
+  const float* base = data.row(0);
+  const std::size_t stride = data.stride();
+
+  for (LocalId e : entries) {
+    if (visited.test_and_set(e)) continue;
+    const float d = dist.search_dist(query, data.row(e));
+    min_push(frontier, {d, e});
+    max_push(best, {d, e});
+    if (best.size() > ef) max_pop(best);
+  }
+
+  while (!frontier.empty()) {
+    if (best.size() >= ef && frontier.front().dist > best.front().dist) break;
+    const Cand c = min_pop(frontier);
+
+    const std::span<const LocalId> neigh = g.neighbors(c.node, layer);
+    // Pass 1: prefetch the visited stamps for the whole adjacency list.
+    for (LocalId nb : neigh) visited.prefetch(nb);
+    // Pass 2: gather unvisited neighbors for the batched kernel.
+    std::size_t m = 0;
+    for (LocalId nb : neigh) {
+      if (!visited.test_and_set(nb)) scratch.ids[m++] = nb;
+    }
+    if (m == 0) continue;
+    // One batched call computes all m distances, prefetching rows ahead.
+    dist.search_dist_batch(query, base, stride, scratch.ids.data(), m,
+                           scratch.dists.data());
+    for (std::size_t i = 0; i < m; ++i) {
+      const float d = scratch.dists[i];
+      if (best.size() < ef || d < best.front().dist) {
+        min_push(frontier, {d, scratch.ids[i]});
+        max_push(best, {d, scratch.ids[i]});
+        if (best.size() > ef) max_pop(best);
+      }
+    }
+    // Warm the next expansion's adjacency block while the heaps settle.
+    if (!frontier.empty()) g.prefetch0(frontier.front().node);
+  }
+}
+
 /// Heuristic neighbor selection (Algorithm 4 of the HNSW paper): scan
 /// candidates nearest-first, keep one only if it is closer to the query than
 /// to every already-kept neighbor; backfill with pruned candidates.
+/// Comparisons happen in search space (order-identical to ranking space).
 std::vector<LocalId> select_neighbors(const data::Dataset& data,
                                       const simd::DistanceComputer& dist,
                                       std::vector<Cand> candidates,
@@ -197,7 +329,7 @@ std::vector<LocalId> select_neighbors(const data::Dataset& data,
     if (kept.size() >= m) break;
     bool closer_to_kept = false;
     for (LocalId s : kept) {
-      if (dist(data.row(c.node), data.row(s)) < c.dist) {
+      if (dist.search_dist(data.row(c.node), data.row(s)) < c.dist) {
         closer_to_kept = true;
         break;
       }
@@ -220,6 +352,8 @@ std::vector<LocalId> select_neighbors(const data::Dataset& data,
 void HnswIndex::insert(LocalId node) {
   ANNSIM_CHECK(node < data_->size());
   Impl& im = *impl_;
+  ANNSIM_CHECK_MSG(!im.frozen.load(std::memory_order_acquire),
+                   "HnswIndex is frozen (read-only); no further inserts");
   ANNSIM_CHECK_MSG(!im.nodes[node].inserted, "node inserted twice: " << node);
 
   const simd::DistanceComputer dist(params_.metric, data_->dim());
@@ -249,26 +383,26 @@ void HnswIndex::insert(LocalId node) {
       im.entry_point = node;
       im.max_level = level;
       im.nodes[node].inserted = true;
-      im.n_inserted.fetch_add(1, std::memory_order_relaxed);
+      im.n_inserted.fetch_add(1, std::memory_order_release);
       return;
     }
   }
 
-  auto visited = im.visited.acquire();
+  auto scratch = im.scratch.acquire(0);
 
   // Greedy descent through layers above the node's level.
   std::vector<LocalId> eps{entry};
   for (int layer = top_level; layer > level; --layer) {
     auto res = search_layer(*data_, dist, impl_.get(), qv, eps, layer, 1,
-                            *visited, /*lock_links=*/true);
+                            *scratch, LinkAccess::kLocked);
     if (!res.empty()) eps = {res.back().node};  // nearest is last (descending)
   }
 
   // Connect at each layer from min(level, top_level) down to 0.
   for (int layer = std::min(level, top_level); layer >= 0; --layer) {
     auto candidates = search_layer(*data_, dist, impl_.get(), qv, eps, layer,
-                                   params_.ef_construction, *visited,
-                                   /*lock_links=*/true);
+                                   params_.ef_construction, *scratch,
+                                   LinkAccess::kLocked);
     const std::size_t m_layer = layer == 0 ? params_.M * 2 : params_.M;
     auto neighbors =
         select_neighbors(*data_, dist, candidates, params_.M);
@@ -288,8 +422,10 @@ void HnswIndex::insert(LocalId node) {
         std::vector<Cand> cands;
         cands.reserve(links.size() + 1);
         const float* nbv = data_->row(nb);
-        cands.push_back({dist(nbv, qv), node});
-        for (LocalId x : links) cands.push_back({dist(nbv, data_->row(x)), x});
+        cands.push_back({dist.search_dist(nbv, qv), node});
+        for (LocalId x : links) {
+          cands.push_back({dist.search_dist(nbv, data_->row(x)), x});
+        }
         links = select_neighbors(*data_, dist, std::move(cands), m_layer);
       }
     }
@@ -310,13 +446,18 @@ void HnswIndex::insert(LocalId node) {
     std::lock_guard lk(im.locks[node]);
     im.nodes[node].inserted = true;
   }
-  im.n_inserted.fetch_add(1, std::memory_order_relaxed);
-  im.visited.release(std::move(visited));
+  // Release so a searcher that observes the final count (acquire) sees every
+  // link this insert wrote and may then read the graph without locks.
+  im.n_inserted.fetch_add(1, std::memory_order_release);
+  im.scratch.release(std::move(scratch));
 }
 
 void HnswIndex::build(ThreadPool* pool) {
   const std::size_t n = data_->size();
-  if (n == 0) return;
+  if (n == 0) {
+    freeze();
+    return;
+  }
   if (pool != nullptr && pool->size() > 1) {
     // Seed the graph with one node to fix the entry point, then parallelize.
     insert(0);
@@ -324,35 +465,101 @@ void HnswIndex::build(ThreadPool* pool) {
   } else {
     for (std::size_t i = 0; i < n; ++i) insert(LocalId(i));
   }
+  freeze();
+}
+
+void HnswIndex::freeze() {
+  Impl& im = *impl_;
+  if (im.frozen.load(std::memory_order_acquire)) return;
+
+  std::size_t slab_hint = 0;
+  for (const auto& node : im.nodes) {
+    for (const auto& layer : node.layers) slab_hint += 1 + layer.size();
+  }
+  FlatGraph g;
+  g.init(im.nodes.size(), slab_hint);
+  for (const auto& node : im.nodes) {
+    g.add_node(std::span<const std::vector<LocalId>>(node.layers));
+  }
+  g.set_entry(im.entry_point, im.max_level);
+  im.flat = std::move(g);
+
+  // Drop the mutable linked form; the flat graph is now the only
+  // representation (inserts are rejected from here on).
+  im.nodes.clear();
+  im.nodes.shrink_to_fit();
+  im.frozen.store(true, std::memory_order_release);
 }
 
 std::vector<Neighbor> HnswIndex::search(const float* query, std::size_t k,
                                         std::size_t ef) const {
   ANNSIM_CHECK(k > 0);
   const Impl& im = *impl_;
-  if (im.entry_point == kInvalidLocalId) return {};
   if (ef == 0) ef = params_.ef_search;
   ef = std::max(ef, k);
-
   const simd::DistanceComputer dist(params_.metric, data_->dim());
-  auto visited = im.visited.acquire();
 
-  std::vector<LocalId> eps{im.entry_point};
-  for (int layer = im.max_level; layer > 0; --layer) {
+  // ---- frozen hot path: flat graph, batched kernels, deferred sqrt ----
+  if (im.frozen.load(std::memory_order_acquire)) {
+    const FlatGraph& g = im.flat;
+    LocalId ep = g.entry_point();
+    if (ep == kInvalidLocalId) return {};
+    auto scratch = im.scratch.acquire(g.max_degree());
+
+    std::span<const LocalId> eps{&ep, 1};
+    for (int layer = g.max_level(); layer > 0; --layer) {
+      search_layer_flat(*data_, dist, g, query, eps, layer, 1, *scratch);
+      if (!scratch->best.empty()) ep = scratch->best.front().node;
+    }
+    search_layer_flat(*data_, dist, g, query, eps, 0, ef, *scratch);
+
+    auto& best = scratch->best;
+    std::sort_heap(best.begin(), best.end());  // ascending (dist, node)
+    std::vector<Neighbor> out;
+    out.reserve(std::min(k, best.size()));
+    for (std::size_t i = 0; i < best.size() && out.size() < k; ++i) {
+      out.push_back({dist.to_ranking(best[i].dist), data_->id(best[i].node)});
+    }
+    im.scratch.release(std::move(scratch));
+    return out;
+  }
+
+  // ---- mutable fallback path (index still under construction) ----
+  LocalId entry;
+  int top_level;
+  {
+    // Snapshot under the lock: concurrent inserts mutate both fields.
+    std::lock_guard lk(const_cast<Impl&>(im).entry_mu);
+    entry = im.entry_point;
+    top_level = im.max_level;
+  }
+  if (entry == kInvalidLocalId) return {};
+
+  // Once every row is inserted no link can change again (rows insert exactly
+  // once); the acquire load pairs with the inserters' release increments, so
+  // the lists may be read in place without locks or copies.
+  const bool complete =
+      im.n_inserted.load(std::memory_order_acquire) == data_->size();
+  const LinkAccess access =
+      complete ? LinkAccess::kUnlocked : LinkAccess::kLocked;
+
+  auto scratch = im.scratch.acquire(0);
+  std::vector<LocalId> eps{entry};
+  for (int layer = top_level; layer > 0; --layer) {
     auto res = search_layer(*data_, dist, impl_.get(), query, eps, layer, 1,
-                            *visited, /*lock_links=*/false);
+                            *scratch, access);
     if (!res.empty()) eps = {res.back().node};
   }
   auto candidates = search_layer(*data_, dist, impl_.get(), query, eps, 0, ef,
-                                 *visited, /*lock_links=*/false);
-  im.visited.release(std::move(visited));
+                                 *scratch, access);
+  im.scratch.release(std::move(scratch));
 
   // candidates are descending by distance; take the k nearest.
   std::vector<Neighbor> out;
   out.reserve(std::min(k, candidates.size()));
   for (auto it = candidates.rbegin();
        it != candidates.rend() && out.size() < k; ++it) {
-    out.push_back({it->dist, data_->id(it->node)});
+    out.push_back({dist.to_ranking(it->dist), data_->id(it->node)});
   }
   return out;
 }
@@ -378,13 +585,26 @@ HnswStats HnswIndex::stats() const {
   s.max_level = im.max_level;
   s.nodes_per_level.assign(std::size_t(im.max_level + 1), 0);
   std::size_t deg0 = 0, n0 = 0;
-  for (const auto& node : im.nodes) {
-    if (node.layers.empty()) continue;
-    for (std::size_t l = 0; l < node.layers.size(); ++l) {
-      if (l < s.nodes_per_level.size()) ++s.nodes_per_level[l];
+  if (im.frozen.load(std::memory_order_acquire)) {
+    const FlatGraph& g = im.flat;
+    for (LocalId v = 0; v < LocalId(g.size()); ++v) {
+      const int level = g.level(v);
+      if (level < 0) continue;
+      for (int l = 0; l <= level; ++l) {
+        if (std::size_t(l) < s.nodes_per_level.size()) ++s.nodes_per_level[l];
+      }
+      deg0 += g.neighbors0(v).size();
+      ++n0;
     }
-    deg0 += node.layers[0].size();
-    ++n0;
+  } else {
+    for (const auto& node : im.nodes) {
+      if (node.layers.empty()) continue;
+      for (std::size_t l = 0; l < node.layers.size(); ++l) {
+        if (l < s.nodes_per_level.size()) ++s.nodes_per_level[l];
+      }
+      deg0 += node.layers[0].size();
+      ++n0;
+    }
   }
   s.avg_degree_level0 = n0 ? double(deg0) / double(n0) : 0.0;
   return s;
@@ -393,6 +613,7 @@ HnswStats HnswIndex::stats() const {
 std::vector<std::byte> HnswIndex::to_bytes() const {
   const Impl& im = *impl_;
   BinaryWriter w;
+  w.reserve(128);
   w.write(std::uint32_t{0x414E4E31});  // "ANN1"
   w.write(std::uint64_t(params_.M));
   w.write(std::uint64_t(params_.ef_construction));
@@ -403,10 +624,14 @@ std::vector<std::byte> HnswIndex::to_bytes() const {
   w.write(std::uint64_t(data_->size()));
   w.write(std::int32_t(im.max_level));
   w.write(std::uint32_t(im.entry_point));
-  for (const auto& node : im.nodes) {
-    w.write(std::uint32_t(node.layers.size()));
-    for (const auto& layer : node.layers) {
-      w.write_span(std::span<const LocalId>(layer));
+  if (im.frozen.load(std::memory_order_acquire)) {
+    im.flat.write_nodes(w);  // same wire format, emitted from the slab
+  } else {
+    for (const auto& node : im.nodes) {
+      w.write(std::uint32_t(node.layers.size()));
+      for (const auto& layer : node.layers) {
+        w.write_span(std::span<const LocalId>(layer));
+      }
     }
   }
   return w.take();
@@ -449,31 +674,44 @@ HnswIndex HnswIndex::from_bytes(std::span<const std::byte> bytes,
   const auto n = r.read<std::uint64_t>();
   ANNSIM_CHECK_MSG(n == data->size(), "HNSW file does not match dataset size");
 
-  auto impl = std::make_unique<Impl>(n);
+  // Deserialize straight into the frozen flat form: the linked graph (and
+  // its per-node locks) are never materialized for replicas.
+  auto impl = std::make_unique<Impl>(n, /*mutable_graph=*/false);
   impl->max_level = r.read<std::int32_t>();
   impl->entry_point = r.read<std::uint32_t>();
-  std::size_t inserted = 0;
-  for (std::uint64_t i = 0; i < n; ++i) {
-    const auto n_layers = r.read<std::uint32_t>();
-    auto& node = impl->nodes[i];
-    node.layers.resize(n_layers);
-    for (auto& layer : node.layers) layer = r.read_vector<LocalId>();
-    if (n_layers > 0) {
-      node.inserted = true;
-      ++inserted;
-    }
-  }
-  impl->n_inserted.store(inserted);
+  FlatGraph g;
+  g.init(n, r.remaining() / sizeof(LocalId));
+  for (std::uint64_t i = 0; i < n; ++i) g.add_node(r);
+  g.set_entry(impl->entry_point, impl->max_level);
+  impl->n_inserted.store(g.n_inserted());
+  impl->flat = std::move(g);
+  impl->frozen.store(true, std::memory_order_release);
   return HnswIndex(data, p, std::move(impl));
 }
 
 std::vector<Neighbor> BruteForceIndex::search(const float* query,
                                               std::size_t k) const {
   TopK topk(k);
-  for (std::size_t i = 0; i < data_->size(); ++i) {
-    topk.push(dist_(query, data_->row(i)), data_->id(i));
+  const std::size_t n = data_->size();
+  if (n == 0) return {};
+  const float* base = data_->row(0);
+  const std::size_t stride = data_->stride();
+
+  // Blocked one-to-many kernel over contiguous rows; ranking in search space
+  // (order-identical), converted once on the k results at the end.
+  constexpr std::size_t kBlock = 256;
+  float dists[kBlock];
+  for (std::size_t i0 = 0; i0 < n; i0 += kBlock) {
+    const std::size_t m = std::min(kBlock, n - i0);
+    dist_.search_dist_batch(query, base + i0 * stride, stride,
+                            /*ids=*/nullptr, m, dists);
+    for (std::size_t j = 0; j < m; ++j) {
+      topk.push(dists[j], data_->id(i0 + j));
+    }
   }
-  return topk.take_sorted();
+  auto out = topk.take_sorted();
+  for (auto& nb : out) nb.dist = dist_.to_ranking(nb.dist);
+  return out;
 }
 
 }  // namespace annsim::hnsw

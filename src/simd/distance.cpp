@@ -1,6 +1,7 @@
 #include "annsim/simd/distance.hpp"
 
 #include <cmath>
+#include <cstdlib>
 #include <immintrin.h>
 
 namespace annsim::simd {
@@ -102,21 +103,63 @@ bool cpu_has_avx2_fma() noexcept {
   return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
 }
 
-using Kernel = float (*)(const float*, const float*, std::size_t) noexcept;
+bool force_scalar_env() noexcept {
+  const char* v = std::getenv("ANNSIM_FORCE_SCALAR");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
 
 struct Dispatch {
-  Kernel l2_sq;
-  Kernel ip;
-  Kernel l1;
+  KernelFn l2_sq;
+  KernelFn ip;
+  KernelFn l1;
   bool avx2;
+  bool forced_scalar;
 };
 
 const Dispatch& dispatch() noexcept {
   static const Dispatch d = [] {
-    if (cpu_has_avx2_fma()) return Dispatch{l2_sq_avx2, ip_avx2, l1_avx2, true};
-    return Dispatch{l2_sq_scalar, inner_product_scalar, l1_scalar, false};
+    if (force_scalar_env()) {
+      return Dispatch{l2_sq_scalar, inner_product_scalar, l1_scalar, false, true};
+    }
+    if (cpu_has_avx2_fma()) {
+      return Dispatch{l2_sq_avx2, ip_avx2, l1_avx2, true, false};
+    }
+    return Dispatch{l2_sq_scalar, inner_product_scalar, l1_scalar, false, false};
   }();
   return d;
+}
+
+/// Shared one-to-many loop: resolves the row pointer (id list or contiguous),
+/// prefetches `kAhead` rows ahead of the computation, and calls the supplied
+/// kernel per row — so batched results are bit-identical to pairwise calls.
+template <typename RowOf>
+inline void batch_loop(KernelFn kernel, const float* query, const float* base,
+                       std::size_t stride, std::size_t dim, std::size_t n,
+                       float* out, RowOf row_of) noexcept {
+  constexpr std::size_t kAhead = 4;
+  const std::size_t warm = n < kAhead ? n : kAhead;
+  for (std::size_t i = 0; i < warm; ++i) {
+    prefetch_vector(base + row_of(i) * stride, dim);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + kAhead < n) {
+      prefetch_vector(base + row_of(i + kAhead) * stride, dim);
+    }
+    out[i] = kernel(query, base + row_of(i) * stride, dim);
+  }
+}
+
+inline void batch_dispatch(KernelFn kernel, const float* query, const float* base,
+                           std::size_t stride, std::size_t dim,
+                           const std::uint32_t* ids, std::size_t n,
+                           float* out) noexcept {
+  if (ids != nullptr) {
+    batch_loop(kernel, query, base, stride, dim, n, out,
+               [ids](std::size_t i) { return std::size_t(ids[i]); });
+  } else {
+    batch_loop(kernel, query, base, stride, dim, n, out,
+               [](std::size_t i) { return i; });
+  }
 }
 
 }  // namespace
@@ -139,7 +182,53 @@ float l2_norm(const float* a, std::size_t dim) noexcept {
   return std::sqrt(dispatch().ip(a, a, dim));
 }
 
-std::string kernel_isa() { return dispatch().avx2 ? "avx2+fma" : "scalar"; }
+KernelFn l2_sq_kernel() noexcept { return dispatch().l2_sq; }
+KernelFn inner_product_kernel() noexcept { return dispatch().ip; }
+KernelFn l1_kernel() noexcept { return dispatch().l1; }
+
+void l2_sq_batch(const float* query, const float* base, std::size_t stride,
+                 std::size_t dim, const std::uint32_t* ids, std::size_t n,
+                 float* out) noexcept {
+  batch_dispatch(dispatch().l2_sq, query, base, stride, dim, ids, n, out);
+}
+
+void ip_batch(const float* query, const float* base, std::size_t stride,
+              std::size_t dim, const std::uint32_t* ids, std::size_t n,
+              float* out) noexcept {
+  batch_dispatch(dispatch().ip, query, base, stride, dim, ids, n, out);
+}
+
+void l1_batch(const float* query, const float* base, std::size_t stride,
+              std::size_t dim, const std::uint32_t* ids, std::size_t n,
+              float* out) noexcept {
+  batch_dispatch(dispatch().l1, query, base, stride, dim, ids, n, out);
+}
+
+void l2_sq_batch_scalar(const float* query, const float* base, std::size_t stride,
+                        std::size_t dim, const std::uint32_t* ids, std::size_t n,
+                        float* out) noexcept {
+  batch_dispatch(l2_sq_scalar, query, base, stride, dim, ids, n, out);
+}
+
+void ip_batch_scalar(const float* query, const float* base, std::size_t stride,
+                     std::size_t dim, const std::uint32_t* ids, std::size_t n,
+                     float* out) noexcept {
+  batch_dispatch(inner_product_scalar, query, base, stride, dim, ids, n, out);
+}
+
+void l1_batch_scalar(const float* query, const float* base, std::size_t stride,
+                     std::size_t dim, const std::uint32_t* ids, std::size_t n,
+                     float* out) noexcept {
+  batch_dispatch(l1_scalar, query, base, stride, dim, ids, n, out);
+}
+
+std::string kernel_isa() {
+  const Dispatch& d = dispatch();
+  if (d.forced_scalar) return "scalar(forced)";
+  return d.avx2 ? "avx2+fma" : "scalar";
+}
+
+bool scalar_forced() noexcept { return dispatch().forced_scalar; }
 
 const char* metric_name(Metric m) noexcept {
   switch (m) {
@@ -151,19 +240,81 @@ const char* metric_name(Metric m) noexcept {
   return "?";
 }
 
-float DistanceComputer::operator()(const float* a, const float* b) const noexcept {
+// ---------------------------------------------------- DistanceComputer ---
+
+namespace {
+
+float search_passthrough(const float* a, const float* b, std::size_t dim,
+                         KernelFn raw) noexcept {
+  return raw(a, b, dim);
+}
+
+float search_one_minus_ip(const float* a, const float* b, std::size_t dim,
+                          KernelFn raw) noexcept {
+  return 1.0f - raw(a, b, dim);
+}
+
+float search_cosine(const float* a, const float* b, std::size_t dim,
+                    KernelFn raw) noexcept {
+  // `raw` is the inner-product kernel; norms reuse it on (v, v).
+  const float na = std::sqrt(raw(a, a, dim));
+  const float nb = std::sqrt(raw(b, b, dim));
+  if (na == 0.f || nb == 0.f) return 1.0f;
+  return 1.0f - raw(a, b, dim) / (na * nb);
+}
+
+}  // namespace
+
+DistanceComputer::DistanceComputer(Metric metric, std::size_t dim) noexcept
+    : metric_(metric), dim_(dim) {
   switch (metric_) {
-    case Metric::kL2: return std::sqrt(l2_sq(a, b, dim_));
-    case Metric::kL1: return l1(a, b, dim_);
-    case Metric::kInnerProduct: return 1.0f - inner_product(a, b, dim_);
-    case Metric::kCosine: {
-      const float na = l2_norm(a, dim_);
-      const float nb = l2_norm(b, dim_);
-      if (na == 0.f || nb == 0.f) return 1.0f;
-      return 1.0f - inner_product(a, b, dim_) / (na * nb);
-    }
+    case Metric::kL2:
+      raw_ = l2_sq_kernel();
+      search_fn_ = search_passthrough;
+      break;
+    case Metric::kL1:
+      raw_ = l1_kernel();
+      search_fn_ = search_passthrough;
+      break;
+    case Metric::kInnerProduct:
+      raw_ = inner_product_kernel();
+      search_fn_ = search_one_minus_ip;
+      break;
+    case Metric::kCosine:
+      raw_ = inner_product_kernel();
+      search_fn_ = search_cosine;
+      break;
   }
-  return 0.f;
+}
+
+void DistanceComputer::search_dist_batch(const float* query, const float* base,
+                                         std::size_t stride,
+                                         const std::uint32_t* ids, std::size_t n,
+                                         float* out) const noexcept {
+  switch (metric_) {
+    case Metric::kL2:
+      batch_dispatch(raw_, query, base, stride, dim_, ids, n, out);
+      return;
+    case Metric::kL1:
+      batch_dispatch(raw_, query, base, stride, dim_, ids, n, out);
+      return;
+    case Metric::kInnerProduct:
+      batch_dispatch(raw_, query, base, stride, dim_, ids, n, out);
+      for (std::size_t i = 0; i < n; ++i) out[i] = 1.0f - out[i];
+      return;
+    case Metric::kCosine:
+      // Per-row norms block a single-kernel batch; fall back to the pairwise
+      // path (still prefetched two rows ahead).
+      for (std::size_t i = 0; i < n; ++i) {
+        if (i + 2 < n) {
+          const std::size_t nxt = ids != nullptr ? ids[i + 2] : i + 2;
+          prefetch_vector(base + nxt * stride, dim_);
+        }
+        const std::size_t row = ids != nullptr ? ids[i] : i;
+        out[i] = search_dist(query, base + row * stride);
+      }
+      return;
+  }
 }
 
 }  // namespace annsim::simd

@@ -161,7 +161,182 @@ TEST(Metric, NamesAreStable) {
 
 TEST(KernelIsa, ReportsKnownString) {
   const auto isa = kernel_isa();
-  EXPECT_TRUE(isa == "avx2+fma" || isa == "scalar") << isa;
+  EXPECT_TRUE(isa == "avx2+fma" || isa == "scalar" || isa == "scalar(forced)")
+      << isa;
+}
+
+TEST(KernelIsa, ForcedScalarIsConsistent) {
+  // The CI release job runs this binary under ANNSIM_FORCE_SCALAR=1; in that
+  // mode the ISA string and the flag must agree, and the dispatched kernels
+  // must match the scalar references exactly (same code path).
+  if (scalar_forced()) {
+    EXPECT_EQ(kernel_isa(), "scalar(forced)");
+    Rng rng(99);
+    auto a = random_vec(257, rng);
+    auto b = random_vec(257, rng);
+    EXPECT_EQ(l2_sq(a.data(), b.data(), 257),
+              l2_sq_scalar(a.data(), b.data(), 257));
+    EXPECT_EQ(inner_product(a.data(), b.data(), 257),
+              inner_product_scalar(a.data(), b.data(), 257));
+    EXPECT_EQ(l1(a.data(), b.data(), 257), l1_scalar(a.data(), b.data(), 257));
+  } else {
+    EXPECT_NE(kernel_isa(), "scalar(forced)");
+  }
+}
+
+TEST(KernelIsa, HoistedKernelPointersMatchDispatch) {
+  Rng rng(11);
+  auto a = random_vec(100, rng);
+  auto b = random_vec(100, rng);
+  EXPECT_EQ(l2_sq_kernel()(a.data(), b.data(), 100), l2_sq(a.data(), b.data(), 100));
+  EXPECT_EQ(inner_product_kernel()(a.data(), b.data(), 100),
+            inner_product(a.data(), b.data(), 100));
+  EXPECT_EQ(l1_kernel()(a.data(), b.data(), 100), l1(a.data(), b.data(), 100));
+}
+
+/// A padded row-major matrix mimicking data::Dataset storage: stride > dim so
+/// the batch kernels must honor the stride, plus an id list for the scattered
+/// (beam-expansion) access pattern.
+struct BatchFixture {
+  std::size_t dim;
+  std::size_t stride;
+  std::size_t n_rows;
+  std::vector<float> base;
+  std::vector<float> query;
+  std::vector<std::uint32_t> ids;  // deliberately shuffled with repeats
+
+  BatchFixture(std::size_t d, std::size_t rows, std::uint64_t seed)
+      : dim(d), stride((d + 7) / 8 * 8 + 8), n_rows(rows) {
+    Rng rng(seed);
+    base.resize(n_rows * stride);
+    for (auto& x : base) x = float(rng.normal());
+    query = random_vec(dim, rng);
+    for (std::size_t i = 0; i < n_rows; ++i)
+      ids.push_back(std::uint32_t(rng.uniform_below(n_rows)));
+  }
+};
+
+/// Batched kernels must be bit-identical to the pairwise kernel per row —
+/// the flat-vs-linked HNSW differential guarantee depends on it.
+class BatchParity : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BatchParity, L2SqBatchMatchesPairwise) {
+  const std::size_t dim = GetParam();
+  BatchFixture fx(dim, 37, dim + 101);
+  std::vector<float> out(fx.n_rows);
+  // Scattered (id list) form.
+  l2_sq_batch(fx.query.data(), fx.base.data(), fx.stride, dim, fx.ids.data(),
+              fx.n_rows, out.data());
+  for (std::size_t i = 0; i < fx.n_rows; ++i) {
+    const float* row = fx.base.data() + fx.ids[i] * fx.stride;
+    EXPECT_EQ(out[i], l2_sq(fx.query.data(), row, dim)) << "row " << i;
+  }
+  // Contiguous (ids == nullptr) form.
+  l2_sq_batch(fx.query.data(), fx.base.data(), fx.stride, dim, nullptr,
+              fx.n_rows, out.data());
+  for (std::size_t i = 0; i < fx.n_rows; ++i) {
+    const float* row = fx.base.data() + i * fx.stride;
+    EXPECT_EQ(out[i], l2_sq(fx.query.data(), row, dim)) << "row " << i;
+  }
+}
+
+TEST_P(BatchParity, IpBatchMatchesPairwise) {
+  const std::size_t dim = GetParam();
+  BatchFixture fx(dim, 37, dim + 211);
+  std::vector<float> out(fx.n_rows);
+  ip_batch(fx.query.data(), fx.base.data(), fx.stride, dim, fx.ids.data(),
+           fx.n_rows, out.data());
+  for (std::size_t i = 0; i < fx.n_rows; ++i) {
+    const float* row = fx.base.data() + fx.ids[i] * fx.stride;
+    EXPECT_EQ(out[i], inner_product(fx.query.data(), row, dim)) << "row " << i;
+  }
+}
+
+TEST_P(BatchParity, L1BatchMatchesPairwise) {
+  const std::size_t dim = GetParam();
+  BatchFixture fx(dim, 37, dim + 307);
+  std::vector<float> out(fx.n_rows);
+  l1_batch(fx.query.data(), fx.base.data(), fx.stride, dim, fx.ids.data(),
+           fx.n_rows, out.data());
+  for (std::size_t i = 0; i < fx.n_rows; ++i) {
+    const float* row = fx.base.data() + fx.ids[i] * fx.stride;
+    EXPECT_EQ(out[i], l1(fx.query.data(), row, dim)) << "row " << i;
+  }
+}
+
+TEST_P(BatchParity, BatchScalarMatchesScalarReference) {
+  const std::size_t dim = GetParam();
+  BatchFixture fx(dim, 23, dim + 409);
+  std::vector<float> out(fx.n_rows);
+  l2_sq_batch_scalar(fx.query.data(), fx.base.data(), fx.stride, dim,
+                     fx.ids.data(), fx.n_rows, out.data());
+  for (std::size_t i = 0; i < fx.n_rows; ++i) {
+    const float* row = fx.base.data() + fx.ids[i] * fx.stride;
+    EXPECT_EQ(out[i], l2_sq_scalar(fx.query.data(), row, dim)) << "row " << i;
+  }
+}
+
+TEST_P(BatchParity, DispatchedBatchNearScalarBatch) {
+  const std::size_t dim = GetParam();
+  BatchFixture fx(dim, 23, dim + 503);
+  std::vector<float> simd_out(fx.n_rows), ref_out(fx.n_rows);
+  l2_sq_batch(fx.query.data(), fx.base.data(), fx.stride, dim, fx.ids.data(),
+              fx.n_rows, simd_out.data());
+  l2_sq_batch_scalar(fx.query.data(), fx.base.data(), fx.stride, dim,
+                     fx.ids.data(), fx.n_rows, ref_out.data());
+  for (std::size_t i = 0; i < fx.n_rows; ++i)
+    EXPECT_NEAR(simd_out[i], ref_out[i], 1e-3f * (1.f + std::fabs(ref_out[i])));
+}
+
+// Odd dims exercise every tail path of the AVX2 kernels; 0 rows and 0 dim are
+// the degenerate edges.
+INSTANTIATE_TEST_SUITE_P(Dims, BatchParity,
+                         ::testing::Values(1, 3, 7, 9, 17, 31, 33, 63, 65, 96,
+                                           127, 128, 257));
+
+TEST(BatchKernels, ZeroRowsIsANoop) {
+  const float q[4] = {1, 2, 3, 4};
+  l2_sq_batch(q, q, 4, 4, nullptr, 0, nullptr);  // must not touch out/base
+  ip_batch(q, q, 4, 4, nullptr, 0, nullptr);
+  l1_batch(q, q, 4, 4, nullptr, 0, nullptr);
+}
+
+TEST(DistanceComputer, SearchDistIsSquaredL2) {
+  Rng rng(12);
+  auto a = random_vec(48, rng);
+  auto b = random_vec(48, rng);
+  const DistanceComputer d(Metric::kL2, 48);
+  EXPECT_EQ(d.search_dist(a.data(), b.data()), l2_sq(a.data(), b.data(), 48));
+  EXPECT_FLOAT_EQ(d.to_ranking(d.search_dist(a.data(), b.data())),
+                  d(a.data(), b.data()));
+}
+
+TEST(DistanceComputer, SearchDistEqualsRankingForNonL2) {
+  Rng rng(13);
+  auto a = random_vec(48, rng);
+  auto b = random_vec(48, rng);
+  for (Metric m : {Metric::kL1, Metric::kInnerProduct, Metric::kCosine}) {
+    const DistanceComputer d(m, 48);
+    EXPECT_EQ(d.search_dist(a.data(), b.data()), d(a.data(), b.data()))
+        << metric_name(m);
+    EXPECT_EQ(d.to_ranking(2.5f), 2.5f) << metric_name(m);
+  }
+}
+
+TEST(DistanceComputer, SearchDistBatchMatchesPairwiseAllMetrics) {
+  BatchFixture fx(33, 29, 777);
+  std::vector<float> out(fx.n_rows);
+  for (Metric m : {Metric::kL2, Metric::kL1, Metric::kInnerProduct,
+                   Metric::kCosine}) {
+    const DistanceComputer d(m, fx.dim);
+    d.search_dist_batch(fx.query.data(), fx.base.data(), fx.stride,
+                        fx.ids.data(), fx.n_rows, out.data());
+    for (std::size_t i = 0; i < fx.n_rows; ++i) {
+      const float* row = fx.base.data() + fx.ids[i] * fx.stride;
+      EXPECT_EQ(out[i], d.search_dist(fx.query.data(), row))
+          << metric_name(m) << " row " << i;
+    }
+  }
 }
 
 }  // namespace
