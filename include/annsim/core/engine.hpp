@@ -25,6 +25,8 @@
 #include "annsim/data/ground_truth.hpp"
 #include "annsim/hnsw/hnsw_index.hpp"
 #include "annsim/mpi/mpi.hpp"
+#include "annsim/recovery/checkpoint.hpp"
+#include "annsim/recovery/health.hpp"
 #include "annsim/vptree/partition_vp_tree.hpp"
 
 namespace annsim::core {
@@ -71,11 +73,26 @@ struct EngineConfig {
   /// kills the rank from (roughly) the s-th dispatched query onward.
   mpi::FaultPlan fault;
   /// Failure-detection deadline: a worker with outstanding jobs that shows
-  /// no progress for this long is declared dead for the rest of the batch
-  /// and its jobs fail over to live replicas. 0 (default) disables detection
-  /// entirely — the search runs the exact pre-fault-tolerance code path.
-  /// Detection supports master-worker single-pass routing only.
+  /// no progress for this long is declared dead — not just for the batch but
+  /// until heal() revives it — and its jobs fail over to live replicas.
+  /// 0 (default) disables detection entirely — the search runs the exact
+  /// pre-fault-tolerance code path. Detection supports master-worker
+  /// single-pass routing only.
   double result_timeout_ms = 0.0;
+
+  // ---- self-healing (see recovery/) ----
+  /// Durable per-partition snapshot directory. Non-empty: build() (and
+  /// load()) checkpoint every partition, and heal() restores a revived
+  /// worker's replicas from disk instead of streaming them from peers.
+  /// Empty (default): no checkpoints; heal() streams from surviving
+  /// replicas.
+  std::string checkpoint_dir;
+  /// Heartbeat period for the liveness beacon each worker sends the master
+  /// on a reliable control-plane tag while detection is armed. The master
+  /// declares a worker dead when its heartbeats go silent for
+  /// `result_timeout_ms` — even if the worker has no outstanding jobs.
+  /// 0 (default) = result_timeout_ms / 4.
+  double heartbeat_interval_ms = 0.0;
 };
 
 struct BuildStats {
@@ -113,7 +130,12 @@ struct SearchStats {
   // ---- fault tolerance (nonzero only with result_timeout_ms > 0) ----
   std::uint64_t retries = 0;          ///< jobs re-dispatched after a death
   std::uint64_t failovers = 0;        ///< retried jobs a live replica completed
-  std::uint64_t workers_failed = 0;   ///< workers declared dead this batch
+  /// Workers *newly* declared dead this batch. A worker already dead in the
+  /// engine's ClusterHealth when the batch started is skipped at dispatch
+  /// and not counted again — the health record is the single source of
+  /// truth, so lifetime deaths are `health().workers[w].deaths`, not a sum
+  /// of per-batch counters.
+  std::uint64_t workers_failed = 0;
   std::uint64_t degraded_queries = 0; ///< queries with partial coverage
   /// Per-query coverage (filled when failure detection is armed).
   std::vector<QueryCoverage> coverage;
@@ -175,9 +197,40 @@ class DistributedAnnEngine {
 
   /// Persist the built index (router + every partition's data and local
   /// index) to one file; `load` restores a search-ready engine without the
-  /// original corpus.
+  /// original corpus. The engine file does not record a checkpoint
+  /// directory; pass `checkpoint_dir` to re-arm durable snapshots on the
+  /// loaded engine (it checkpoints every partition immediately).
   void save(const std::string& path) const;
-  static DistributedAnnEngine load(const std::string& path);
+  static DistributedAnnEngine load(const std::string& path,
+                                   const std::string& checkpoint_dir = "");
+
+  // ---- self-healing ----
+
+  /// Per-worker liveness as tracked by the heartbeat/deadline monitor,
+  /// persistent across search() batches. All-alive until a batch with
+  /// failure detection armed observes a death.
+  [[nodiscard]] const recovery::ClusterHealth& health() const noexcept {
+    return health_;
+  }
+  /// Live copies of partition `p` (replicas hosted by alive workers).
+  [[nodiscard]] std::size_t live_replicas(PartitionId p) const;
+  /// Partitions whose live-copy count is below the configured replication
+  /// factor, ascending. Non-empty means the cluster needs healing.
+  [[nodiscard]] std::vector<PartitionId> under_replicated_partitions() const;
+
+  /// Snapshot every partition into `config().checkpoint_dir` (no-op when
+  /// empty). build() calls this automatically, as does load() when given a
+  /// checkpoint directory; exposed so callers can re-checkpoint after
+  /// healing.
+  void save_checkpoints() const;
+
+  /// Repair the cluster: revive every dead worker (clearing its fault-plan
+  /// kill triggers) and restore its replicas — from the checkpoint store
+  /// when one is configured, otherwise by streaming each partition from a
+  /// surviving replica over the p2p data plane. Dispatch re-runs round-robin
+  /// workgroup assignment naturally, so restored copies serve the very next
+  /// batch. Safe to call with nothing to heal (reports zeros).
+  recovery::HealReport heal();
 
  private:
   DistributedAnnEngine() = default;  // for load()
@@ -194,8 +247,13 @@ class DistributedAnnEngine {
   void master_search(mpi::Comm& world, const data::Dataset& queries,
                      std::size_t k, std::size_t ef, data::KnnResults& results,
                      SearchStats& stats, const QueryDoneFn& on_query_done,
-                     mpi::FaultInjector* fault);
+                     mpi::FaultInjector* fault, std::vector<char>& alive,
+                     std::vector<std::uint64_t>& heartbeats);
   void worker_search(mpi::Comm& world, std::size_t k);
+  /// Lazily create (or return) the engine-owned fault injector shared by
+  /// every search runtime, so death flags and op budgets persist across
+  /// batches. Null when the config's fault plan is inert.
+  std::shared_ptr<mpi::FaultInjector> shared_injector();
   void master_search_owner(mpi::Comm& world, const data::Dataset& queries,
                            std::size_t k, std::size_t ef,
                            data::KnnResults& results, SearchStats& stats,
@@ -208,6 +266,10 @@ class DistributedAnnEngine {
   std::optional<vptree::PartitionVpTree> router_;
   std::vector<WorkerStore> workers_;  ///< indexed by worker id (0..P-1)
   BuildStats build_stats_;
+  /// Fault state shared across search runtimes (batches): a rank killed in
+  /// batch n stays dead in batch n+1 until heal() revives it.
+  std::shared_ptr<mpi::FaultInjector> injector_;
+  recovery::ClusterHealth health_;  ///< persistent liveness record
 };
 
 }  // namespace annsim::core

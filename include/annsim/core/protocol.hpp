@@ -25,6 +25,7 @@ inline constexpr mpi::Tag kTagOwnerBatch = 8;   ///< master -> owner: its query 
 inline constexpr mpi::Tag kTagExpect = 9;       ///< master -> worker: total jobs to expect
 inline constexpr mpi::Tag kTagDispatchCounts = 10;  ///< owner -> master: jobs per dest
 inline constexpr mpi::Tag kTagReplica = 11;     ///< worker -> worker: partition replica
+inline constexpr mpi::Tag kTagHeartbeat = 12;   ///< worker -> master: liveness beacon
 
 /// One dispatched search job: query `query_id` on partition `partition`.
 struct QueryJob {

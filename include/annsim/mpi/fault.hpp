@@ -16,11 +16,14 @@
 ///    faults into barrier/bcast would deadlock every rank by construction;
 ///    the interesting failures — and the ones the engine's failover handles —
 ///    live on the request/response data plane.
-///  * User tags listed in `FaultPlan::reliable_tags` are treated like
-///    collective traffic: never dropped, delayed, or killed, and they do not
-///    consume the sender's op budget. This is the control plane — termination
-///    tokens whose loss no timeout can compensate for (a worker that never
-///    hears End-of-Queries spins forever, hanging the whole runtime).
+///  * User tags listed in `FaultPlan::reliable_tags` ride a reliable fabric:
+///    never dropped or delayed, and they do not consume the sender's op
+///    budget. This is the control plane — termination tokens whose loss no
+///    timeout can compensate for (a worker that never hears End-of-Queries
+///    spins forever, hanging the whole runtime). Reliable is *not* the same
+///    as death-proof: a dead rank is silent on every user tag, reliable ones
+///    included — otherwise a killed worker would keep heartbeating and no
+///    health monitor could ever notice it died.
 ///  * Window::get (a pure read) is not faulted: a dead rank reading remote
 ///    memory has no observable effect on its peers.
 ///  * Traffic counters record *attempted* sends: the sender paid the cost
@@ -56,8 +59,9 @@ struct FaultPlan {
   double delay_probability = 0.0;    ///< per user op, uniform in [0, 1]
   std::chrono::microseconds delay{0};  ///< sender-side stall for delayed ops
   std::vector<KillRule> kills;
-  /// Control-plane user tags (>= 0) the injector never touches — exempt from
-  /// drop, delay, and kill gating alike, like internal collective traffic.
+  /// Control-plane user tags (>= 0) on the reliable fabric — exempt from
+  /// drop/delay rolls and the op budget, but still silenced once the sending
+  /// rank is dead (fail-silent means silent everywhere).
   std::vector<std::int32_t> reliable_tags;
 
   [[nodiscard]] bool enabled() const noexcept {
@@ -78,8 +82,19 @@ class FaultInjector {
   /// on delay rolls (the sender thread stalls, exactly like a slow link).
   bool allow_op(int global_rank);
 
-  /// Is `tag` on the plan's control plane (exempt from all gating)?
+  /// Gate a reliable-tag op: consumes no op budget and rolls no dice, but
+  /// returns false once the sender is dead (evaluating pending kill triggers
+  /// so a rank that idles on the control plane still dies on schedule).
+  bool allow_reliable_op(int global_rank);
+
+  /// Is `tag` on the plan's control plane (exempt from drop/delay/budget)?
   [[nodiscard]] bool is_reliable(std::int32_t tag) const noexcept;
+
+  /// Resurrect a rank: clears its death flag and disarms its kill triggers so
+  /// they cannot re-fire. Call only between run() phases (the rank threads
+  /// must be joined) — the recovery layer revives a worker, restores its
+  /// replicas, and only then starts the next runtime phase.
+  void revive(int global_rank);
 
   /// Advance the logical step clock that `KillRule::at_step` triggers on.
   /// The application defines what a step is (a batch, a phase, an epoch).
@@ -94,6 +109,7 @@ class FaultInjector {
   [[nodiscard]] std::vector<int> dead_ranks() const;
 
   [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+  [[nodiscard]] int n_ranks() const noexcept { return n_ranks_; }
 
  private:
   struct RankState {

@@ -261,6 +261,12 @@ class Runtime {
   /// (enabled() == false) behaves exactly like the plain constructor.
   /// Injector state (op counters, death flags) persists across run() calls.
   Runtime(int n_ranks, const FaultPlan& plan);
+  /// Construct with a pre-existing injector so fault state (death flags, op
+  /// counters, step clock) survives *across* Runtimes — the engine creates a
+  /// fresh Runtime per search batch, but a worker declared dead in batch 3
+  /// must still be dead in batch 4 unless somebody revived it. A null
+  /// injector behaves exactly like the plain constructor.
+  Runtime(int n_ranks, std::shared_ptr<FaultInjector> injector);
   ~Runtime();
 
   Runtime(const Runtime&) = delete;

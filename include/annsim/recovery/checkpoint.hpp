@@ -1,0 +1,73 @@
+#pragma once
+/// \file checkpoint.hpp
+/// \brief Durable per-partition snapshots for the self-healing engine.
+///
+/// LANNS-style deployments assume a segment can be *reloaded* from durable
+/// storage instead of rebuilt from raw vectors. The CheckpointStore gives the
+/// engine exactly that: one directory per partition holding the packed
+/// dataset bytes, the frozen local-index bytes (the wire format replicas
+/// already ship over kTagReplica), and a manifest with per-file sizes and
+/// checksums.
+///
+/// Durability contract:
+///  * save() is atomic: everything is written into a hidden staging directory
+///    and renamed into place in one step, so a crash mid-save leaves either
+///    the previous checkpoint or none — never a half-written one.
+///  * load() verifies the manifest magic/version, the recorded file sizes,
+///    and an FNV-1a checksum of every file. A truncated file, a flipped
+///    byte, or a missing manifest each fail with a specific error; a
+///    corrupted checkpoint can never deserialize into a silently wrong
+///    index.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace annsim::recovery {
+
+/// What a checkpointed partition is, independent of its payload bytes.
+struct CheckpointMeta {
+  std::uint32_t partition = 0;  ///< PartitionId this snapshot belongs to
+  std::uint64_t dim = 0;        ///< vector dimensionality
+  std::uint64_t count = 0;      ///< number of vectors in the partition
+  std::uint8_t index_kind = 0;  ///< LocalIndexKind the index bytes decode as
+};
+
+/// FNV-1a 64-bit over a byte span — dependency-free, stable across platforms.
+[[nodiscard]] std::uint64_t checksum64(std::span<const std::byte> bytes) noexcept;
+
+/// Filesystem-backed store of partition snapshots under one root directory.
+/// Layout: `<dir>/partition_<pid>/{manifest.bin, data.bin, index.bin}`.
+class CheckpointStore {
+ public:
+  /// Opens (creating if needed) the store rooted at `dir`.
+  explicit CheckpointStore(std::string dir);
+
+  /// Atomically write (or replace) the snapshot of one partition.
+  void save(const CheckpointMeta& meta, std::span<const std::byte> data_bytes,
+            std::span<const std::byte> index_bytes) const;
+
+  /// Does a committed snapshot exist for `partition`?
+  [[nodiscard]] bool has(std::uint32_t partition) const;
+
+  struct LoadedPartition {
+    CheckpointMeta meta;
+    std::vector<std::byte> data_bytes;   ///< pack_dataset() wire bytes
+    std::vector<std::byte> index_bytes;  ///< LocalIndex::to_bytes() wire bytes
+  };
+
+  /// Load and verify one partition; throws annsim::Error naming the failure
+  /// (missing manifest / truncated file / checksum mismatch).
+  [[nodiscard]] LoadedPartition load(std::uint32_t partition) const;
+
+  /// Partitions with a committed snapshot, ascending.
+  [[nodiscard]] std::vector<std::uint32_t> partitions() const;
+
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace annsim::recovery

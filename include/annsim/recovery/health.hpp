@@ -1,0 +1,67 @@
+#pragma once
+/// \file health.hpp
+/// \brief Cluster health bookkeeping for the self-healing engine.
+///
+/// The master tracks per-worker liveness *continuously*: heartbeats on a
+/// reliable control-plane tag feed a per-batch liveness view, and the engine
+/// folds every batch's outcome into one persistent ClusterHealth. A worker
+/// declared dead stays dead across batches until heal() revives it — there
+/// is exactly one source of truth, so SearchStats::workers_failed counts
+/// each death once instead of re-discovering it every batch.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace annsim::recovery {
+
+enum class WorkerState : std::uint8_t {
+  kAlive = 0,  ///< heartbeating; dispatch sends it jobs
+  kDead = 1,   ///< declared dead; dispatch skips it until revived
+};
+
+/// Lifetime health record of one worker, as observed by the master.
+struct WorkerHealth {
+  WorkerState state = WorkerState::kAlive;
+  std::uint64_t heartbeats = 0;  ///< heartbeats the master has received
+  std::uint64_t deaths = 0;      ///< alive -> dead transitions
+  std::uint64_t revivals = 0;    ///< dead -> alive transitions (heals)
+};
+
+/// Per-worker liveness for the whole cluster, persistent across batches.
+struct ClusterHealth {
+  std::vector<WorkerHealth> workers;
+
+  void reset(std::size_t n_workers) { workers.assign(n_workers, {}); }
+
+  [[nodiscard]] bool alive(std::size_t w) const {
+    return workers[w].state == WorkerState::kAlive;
+  }
+  [[nodiscard]] std::size_t alive_count() const noexcept;
+  [[nodiscard]] bool all_alive() const noexcept;
+  /// Indices of dead workers, ascending.
+  [[nodiscard]] std::vector<std::size_t> dead_workers() const;
+};
+
+/// Outcome of one DistributedAnnEngine::heal() pass.
+struct HealReport {
+  std::size_t workers_revived = 0;
+  std::size_t replicas_restored_from_checkpoint = 0;
+  std::size_t replicas_restored_from_peer = 0;
+  /// Replicas that could not be restored: no checkpoint on disk and no
+  /// surviving peer copy to stream from. The partition stays lost.
+  std::size_t replicas_unrecoverable = 0;
+  double seconds = 0.0;  ///< wall time of the heal pass
+
+  [[nodiscard]] std::size_t replicas_restored() const noexcept {
+    return replicas_restored_from_checkpoint + replicas_restored_from_peer;
+  }
+  [[nodiscard]] bool fully_healed() const noexcept {
+    return replicas_unrecoverable == 0;
+  }
+};
+
+[[nodiscard]] std::string to_string(const HealReport& r);
+
+}  // namespace annsim::recovery

@@ -78,6 +78,11 @@ struct ServerConfig {
   /// Wait this long before a degraded retry re-enters a batch, giving the
   /// engine's failover a fresh worker set time to absorb the load.
   double retry_backoff_ms = 0.0;
+  /// Self-healing: after a batch that leaves workers dead, run the engine's
+  /// heal() on the batch boundary (scheduler thread, between searches) so
+  /// the next batch dispatches to restored replicas. Degraded answers stop
+  /// occurring as soon as a heal restores full coverage.
+  bool auto_heal = false;
 };
 
 /// Thread-safe online front end over a built DistributedAnnEngine. The

@@ -29,6 +29,14 @@ struct MetricsReport {
   std::size_t retries = 0;        ///< degraded re-runs consumed (budget spend)
   std::size_t batches = 0;        ///< engine batch invocations
 
+  // ---- self-healing (auto_heal; zeros otherwise) ----
+  std::size_t heals = 0;             ///< engine heal() passes triggered
+  std::size_t workers_revived = 0;   ///< dead workers brought back, lifetime
+  std::size_t coverage_restored = 0; ///< heals that restored every replica
+  /// Partitions below the configured replication factor after the most
+  /// recent batch (snapshot, not cumulative). 0 means full coverage.
+  std::size_t under_replicated_partitions = 0;
+
   double wall_seconds = 0.0;      ///< first admission -> last completion
   double throughput_qps = 0.0;    ///< completed_ok / wall_seconds
 
@@ -65,6 +73,11 @@ class ServerMetrics {
   void on_complete_degraded(double latency_ms, double queue_wait_ms);
   /// A degraded result withheld and requeued for another attempt.
   void on_retry();
+  /// An engine heal() pass ran; `coverage_restored` = it repaired every
+  /// missing replica.
+  void on_heal(std::size_t workers_revived, bool coverage_restored);
+  /// Post-batch cluster snapshot: partitions below the replication factor.
+  void on_health(std::size_t under_replicated);
 
   [[nodiscard]] MetricsReport report() const;
 
@@ -77,6 +90,8 @@ class ServerMetrics {
   std::vector<double> batch_sizes_;
   std::size_t submitted_ = 0, completed_ok_ = 0, rejected_ = 0, expired_ = 0,
               failed_ = 0, degraded_ = 0, retries_ = 0, batches_ = 0;
+  std::size_t heals_ = 0, workers_revived_ = 0, coverage_restored_ = 0,
+              under_replicated_ = 0;
   bool saw_submit_ = false;
   Clock::time_point first_submit_{};
   Clock::time_point last_complete_{};

@@ -72,31 +72,46 @@ CalibratedCosts calibrate(const data::Dataset& base, const data::Dataset& querie
   const std::size_t dim = base.dim();
   const std::size_t nq = std::min(config.n_queries, queries.size());
 
+  // The two micro-measurements below are noise-hardened for loaded hosts
+  // (parallel test runs, CI): a timing window that straddles a scheduler
+  // preemption reads 10x slow, and on an oversubscribed machine *every* long
+  // window straddles one. So each cost is taken as the min over many short
+  // windows — each well under a timeslice, so only one of them has to land
+  // cleanly — and preemptions only ever add time, making the fastest window
+  // the closest to the true cost.
+
   // --- distance evaluation cost ---
   {
     const simd::DistanceComputer dist(config.hnsw.metric, dim);
     volatile float sink = 0.f;
-    const std::size_t reps = 20000;
-    WallTimer t;
-    for (std::size_t i = 0; i < reps; ++i) {
-      sink = sink + dist(base.row(i % config.small_n),
-                         base.row((i * 7 + 1) % config.small_n));
+    const std::size_t reps = 2000;  // ~70us per window at 128-d
+    constexpr int kTrials = 16;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      WallTimer t;
+      for (std::size_t i = 0; i < reps; ++i) {
+        const std::size_t j = std::size_t(trial) * reps + i;
+        sink = sink + dist(base.row(j % config.small_n),
+                           base.row((j * 7 + 1) % config.small_n));
+      }
+      const double per_eval = t.seconds() / double(reps);
+      if (trial == 0 || per_eval < out.dist_eval) out.dist_eval = per_eval;
     }
-    out.dist_eval = t.seconds() / double(reps);
   }
 
   // --- exact scan cost per point (distance + heap maintenance) ---
   {
     const simd::DistanceComputer dist(config.hnsw.metric, dim);
-    WallTimer t;
     for (std::size_t q = 0; q < nq; ++q) {
+      WallTimer t;
       TopK topk(config.k);
       for (std::size_t i = 0; i < config.small_n; ++i) {
         topk.push(dist(queries.row(q), base.row(i)), GlobalId(i));
       }
+      const double per_point = t.seconds() / double(config.small_n);
+      if (q == 0 || per_point < out.exact_scan_per_point) {
+        out.exact_scan_per_point = per_point;
+      }
     }
-    out.exact_scan_per_point =
-        t.seconds() / double(nq) / double(config.small_n);
   }
 
   // --- HNSW build + query at two sizes; fit c from the ln-n law ---

@@ -14,6 +14,7 @@
 #include "annsim/common/topk.hpp"
 #include "annsim/core/dataset_transfer.hpp"
 #include "annsim/core/protocol.hpp"
+#include "annsim/recovery/checkpoint.hpp"
 
 namespace annsim::core {
 
@@ -52,6 +53,9 @@ void validate_engine_config(const EngineConfig& config) {
   ANNSIM_CHECK_MSG(config.result_timeout_ms >= 0.0,
                    "result_timeout_ms cannot be negative (0 disables failure "
                    "detection)");
+  ANNSIM_CHECK_MSG(config.heartbeat_interval_ms >= 0.0,
+                   "heartbeat_interval_ms cannot be negative (0 means "
+                   "result_timeout_ms / 4)");
   if (config.result_timeout_ms > 0.0) {
     ANNSIM_CHECK_MSG(config.strategy == DispatchStrategy::kMasterWorker,
                      "result_timeout_ms (failure detection) requires the "
@@ -213,6 +217,9 @@ void DistributedAnnEngine::build() {
   build_stats_.replication_seconds =
       *std::max_element(repl_seconds.begin(), repl_seconds.end());
   build_stats_.partition_sizes = std::move(part_sizes);
+
+  health_.reset(P);
+  save_checkpoints();  // no-op unless checkpoint_dir is configured
 }
 
 // ------------------------------------------------------------------ plan ---
@@ -244,14 +251,10 @@ data::KnnResults DistributedAnnEngine::search(const data::Dataset& queries,
   st.jobs_per_worker.assign(config_.n_workers, 0);
 
   WallTimer timer;
-  mpi::FaultPlan fault_plan = config_.fault;
-  if (fault_plan.enabled()) {
-    // End-of-Queries is the termination control plane: a live worker that
-    // never hears it spins forever, hanging the batch past any result
-    // timeout. Faults may eat data-plane traffic, never EOQ.
-    fault_plan.reliable_tags.push_back(kTagEoq);
-  }
-  mpi::Runtime rt(int(config_.n_workers) + 1, fault_plan);
+  // One injector is shared across every search runtime so fault state (op
+  // budgets, death flags, the step clock) persists between batches: a rank
+  // killed in batch n is still silent in batch n+1 unless heal() revived it.
+  mpi::Runtime rt(int(config_.n_workers) + 1, shared_injector());
   if (config_.fault.enabled()) {
     // Log the seed so any chaos run is replayable bit-for-bit.
     ANNSIM_INFO("fault injection armed: seed=" << config_.fault.seed
@@ -260,6 +263,15 @@ data::KnnResults DistributedAnnEngine::search(const data::Dataset& queries,
                 << " kills=" << config_.fault.kills.size()
                 << " result_timeout_ms=" << config_.result_timeout_ms);
   }
+
+  // Liveness carries over from previous batches: already-dead workers are
+  // skipped at dispatch (and not re-counted in workers_failed).
+  const std::size_t P = config_.n_workers;
+  if (health_.workers.size() != P) health_.reset(P);
+  std::vector<char> alive(P, 1);
+  for (std::size_t w = 0; w < P; ++w) alive[w] = health_.alive(w) ? 1 : 0;
+  std::vector<std::uint64_t> heartbeats(P, 0);
+
   rt.run([&](mpi::Comm& world) {
     if (config_.strategy == DispatchStrategy::kMultipleOwner) {
       if (world.rank() == 0) {
@@ -270,16 +282,50 @@ data::KnnResults DistributedAnnEngine::search(const data::Dataset& queries,
     } else {
       if (world.rank() == 0) {
         master_search(world, queries, k, ef, results, st, on_query_done,
-                      rt.fault_injector());
+                      rt.fault_injector(), alive, heartbeats);
       } else {
         worker_search(world, k);
       }
     }
   });
+
+  // Fold the batch's outcome into the persistent health record — after
+  // rt.run() so every rank thread has been joined and touching worker
+  // stores cannot race. A newly dead worker's in-memory replicas die with
+  // it; heal() restores them from checkpoint or from a surviving peer.
+  if (config_.result_timeout_ms > 0.0 &&
+      config_.strategy == DispatchStrategy::kMasterWorker) {
+    for (std::size_t w = 0; w < P; ++w) {
+      health_.workers[w].heartbeats += heartbeats[w];
+      if (!alive[w] &&
+          health_.workers[w].state == recovery::WorkerState::kAlive) {
+        health_.workers[w].state = recovery::WorkerState::kDead;
+        ++health_.workers[w].deaths;
+        workers_[w].clear();
+      }
+    }
+  }
+
   st.total_seconds = timer.seconds();
   st.traffic = rt.total_traffic();
   if (stats != nullptr) *stats = st;
   return results;
+}
+
+std::shared_ptr<mpi::FaultInjector> DistributedAnnEngine::shared_injector() {
+  if (injector_ == nullptr && config_.fault.enabled()) {
+    mpi::FaultPlan plan = config_.fault;
+    // The control plane rides the reliable fabric: End-of-Queries (a worker
+    // that never hears it spins forever), heartbeats (a dropped beat would
+    // read as a death), and replica streams (healing must complete under
+    // drop_probability). Death still silences all three — see fault.hpp.
+    plan.reliable_tags.push_back(kTagEoq);
+    plan.reliable_tags.push_back(kTagHeartbeat);
+    plan.reliable_tags.push_back(kTagReplica);
+    injector_ = std::make_shared<mpi::FaultInjector>(
+        plan, int(config_.n_workers) + 1);
+  }
+  return injector_;
 }
 
 // Algorithm 3 (baseline) / Algorithm 5 (replication): the master routine.
@@ -288,13 +334,11 @@ data::KnnResults DistributedAnnEngine::search(const data::Dataset& queries,
 // live replicas of the same partition, and finalize queries that lose every
 // replica as degraded partial results. With the default timeout of 0 the
 // function runs the exact legacy code path.
-void DistributedAnnEngine::master_search(mpi::Comm& world,
-                                         const data::Dataset& queries,
-                                         std::size_t k, std::size_t ef,
-                                         data::KnnResults& results,
-                                         SearchStats& stats,
-                                         const QueryDoneFn& on_query_done,
-                                         mpi::FaultInjector* fault) {
+void DistributedAnnEngine::master_search(
+    mpi::Comm& world, const data::Dataset& queries, std::size_t k,
+    std::size_t ef, data::KnnResults& results, SearchStats& stats,
+    const QueryDoneFn& on_query_done, mpi::FaultInjector* fault,
+    std::vector<char>& alive, std::vector<std::uint64_t>& heartbeats) {
   const std::size_t P = config_.n_workers;
   const std::size_t nq = queries.size();
   const auto& tree = *router_;
@@ -316,16 +360,19 @@ void DistributedAnnEngine::master_search(mpi::Comm& world,
 
   // --- Algorithm 5 scaffolding: one round-robin pointer per workgroup
   // W_i = {p_i, p_{i+1 mod P}, ..., p_{i+r-1 mod P}}. Members declared dead
-  // are skipped; the first probe matches the legacy choice exactly, so a
-  // fault-free run dispatches identically whether or not detection is armed.
+  // (this batch or any earlier one — `alive` is seeded from the engine's
+  // ClusterHealth) are skipped; the first probe matches the legacy choice
+  // exactly, so a fault-free run dispatches identically whether or not
+  // detection is armed.
   std::vector<std::uint32_t> next(P, 0);
-  std::vector<char> alive(P, 1);
   auto dispatch_job = [&](std::uint32_t qid, PartitionId d) -> int {
     const auto r = std::uint32_t(config_.replication);
     for (std::uint32_t probe = 0; probe < r; ++probe) {
       const std::size_t member = (d + next[d]) % P;
       next[d] = (next[d] + 1) % r;
-      if (!alive[member]) continue;
+      // A member must be alive *and* actually hold the replica: a heal that
+      // found a partition unrecoverable revives the worker without it.
+      if (!alive[member] || workers_[member].count(d) == 0) continue;
       QueryJob job;
       job.query_id = qid;
       job.partition = d;
@@ -360,6 +407,18 @@ void DistributedAnnEngine::master_search(mpi::Comm& world,
   std::vector<std::uint32_t> remaining(nq, 0);   // pending jobs per query
   std::vector<std::uint32_t> searched(nq, 0);    // merged partitions per query
   std::vector<Clock::time_point> last_activity(P, Clock::now());
+  // Liveness beacons: while detection is armed every worker heartbeats on a
+  // reliable tag, so the master notices a death even when the worker has no
+  // outstanding jobs to time out on.
+  std::vector<Clock::time_point> last_heartbeat(P, Clock::now());
+  auto drain_heartbeats = [&](Clock::time_point now) {
+    while (world.iprobe(mpi::kAnySource, kTagHeartbeat)) {
+      const mpi::Message m = world.recv(mpi::kAnySource, kTagHeartbeat);
+      const std::size_t w = std::size_t(m.source) - 1;
+      ++heartbeats[w];
+      last_heartbeat[w] = now;
+    }
+  };
   if (detect) stats.coverage.assign(nq, {});
 
   std::uint64_t total_jobs = 0;
@@ -378,12 +437,14 @@ void DistributedAnnEngine::master_search(mpi::Comm& world,
       total_jobs += plan.partitions.size();
       for (PartitionId d : plan.partitions) {
         const int m = dispatch_job(std::uint32_t(q), d);
-        if (detect) {
-          // Nobody has been declared dead yet, so dispatch cannot fail.
+        if (!detect) continue;
+        if (m >= 0) {
           jobs[jkey(std::uint32_t(q), d)] = JobInfo{JobState::kPending, m, false};
           ++pending_per_worker[std::size_t(m)];
           ++remaining[q];
         }
+        // m < 0: every replica of d was dead before the batch started — the
+        // partition cannot be searched and the query will finalize short.
       }
     }
     // With detection armed, EOQ is deferred until every query finalizes so
@@ -480,10 +541,15 @@ void DistributedAnnEngine::master_search(mpi::Comm& world,
   };
   auto check_deadlines = [&](Clock::time_point now) {
     for (std::size_t w = 0; w < P; ++w) {
-      if (alive[w] && pending_per_worker[w] > 0 &&
-          now - last_activity[w] >= timeout) {
-        declare_dead(w);
-      }
+      if (!alive[w]) continue;
+      // Job-activity deadline: pending work with no visible progress. Kept
+      // alongside the heartbeat deadline because an alive-but-drop-starved
+      // worker heartbeats happily while its results never arrive.
+      const bool jobs_stalled =
+          pending_per_worker[w] > 0 && now - last_activity[w] >= timeout;
+      // Heartbeat deadline: the liveness beacon went silent.
+      const bool beacon_silent = now - last_heartbeat[w] >= timeout;
+      if (jobs_stalled || beacon_silent) declare_dead(w);
     }
   };
 
@@ -509,10 +575,21 @@ void DistributedAnnEngine::master_search(mpi::Comm& world,
     }
   } else if (!one_sided && detect) {
     for (std::size_t q = 0; q < nq; ++q) outstanding += remaining[q];
-    for (std::size_t w = 0; w < P; ++w) last_activity[w] = Clock::now();
+    // A query can lose every live replica already at dispatch (workers dead
+    // since an earlier batch); nothing of it is in flight, so finalize it
+    // now — degraded — or the collection loop would never visit it.
+    for (std::size_t q = 0; q < nq; ++q) {
+      if (remaining[q] == 0) finalize_query(q);
+    }
+    const auto arm_time = Clock::now();
+    for (std::size_t w = 0; w < P; ++w) {
+      last_activity[w] = arm_time;
+      last_heartbeat[w] = arm_time;
+    }
     while (outstanding > 0) {
       auto msg = world.recv_for(mpi::kAnySource, kTagResult, timeout);
       const auto now = Clock::now();
+      drain_heartbeats(now);
       if (msg.has_value()) {
         ScopedPhase p(merge_t);
         LocalResult r = decode_local_result(msg->payload);
@@ -537,12 +614,17 @@ void DistributedAnnEngine::master_search(mpi::Comm& world,
     // once its partition bit appears in the query's mask; a worker whose
     // pending jobs show no new bits for `timeout` is declared dead.
     for (std::size_t q = 0; q < nq; ++q) outstanding += remaining[q];
-    for (std::size_t w = 0; w < P; ++w) last_activity[w] = Clock::now();
+    const auto arm_time = Clock::now();
+    for (std::size_t w = 0; w < P; ++w) {
+      last_activity[w] = arm_time;
+      last_heartbeat[w] = arm_time;
+    }
     const auto poll = std::max(timeout / 8, std::chrono::microseconds(100));
     win.lock_shared(0);
     while (outstanding > 0) {
       bool progress = false;
       const auto now = Clock::now();
+      drain_heartbeats(now);
       for (std::size_t q = 0; q < nq; ++q) {
         if (remaining[q] == 0) continue;
         auto hdr_bytes =
@@ -741,12 +823,39 @@ void DistributedAnnEngine::worker_search(mpi::Comm& world, std::size_t k) {
     comm_s += my_comm;
   };
 
+  // Liveness beacon (armed with detection): beat on a reliable tag until the
+  // batch terminates. The fabric never drops a beat, so the only way the
+  // master stops hearing this worker is the worker actually dying — which is
+  // exactly what the injector does to a killed rank's sends, reliable or not.
+  std::thread beacon;
+  if (detect) {
+    const double interval_ms = config_.heartbeat_interval_ms > 0.0
+                                   ? config_.heartbeat_interval_ms
+                                   : config_.result_timeout_ms / 4.0;
+    const auto interval = std::chrono::microseconds(
+        std::max<std::int64_t>(std::int64_t(interval_ms * 1000.0), 100));
+    beacon = std::thread([&] {
+      const auto slice = std::min<std::chrono::microseconds>(
+          interval, std::chrono::microseconds(1000));
+      while (!done.load(std::memory_order_acquire)) {
+        (void)world.isend(0, kTagHeartbeat, {});
+        // Sleep the interval in slices so termination stays prompt.
+        const auto wake = std::chrono::steady_clock::now() + interval;
+        while (!done.load(std::memory_order_acquire) &&
+               std::chrono::steady_clock::now() < wake) {
+          std::this_thread::sleep_for(slice);
+        }
+      }
+    });
+  }
+
   std::vector<std::thread> team;
   team.reserve(config_.threads_per_worker);
   for (std::size_t t = 0; t < config_.threads_per_worker; ++t) {
     team.emplace_back(thread_main);
   }
   for (auto& t : team) t.join();
+  if (beacon.joinable()) beacon.join();
 
   if (one_sided) win.unlock(0);
 
@@ -757,6 +866,197 @@ void DistributedAnnEngine::worker_search(mpi::Comm& world, std::size_t k) {
   BinaryWriter w;
   w.write(notice);
   world.send(0, kTagDone, w.bytes());
+}
+
+// ------------------------------------------------------------ recovery ----
+
+std::size_t DistributedAnnEngine::live_replicas(PartitionId p) const {
+  std::size_t n = 0;
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    if (health_.workers.size() == workers_.size() && !health_.alive(w)) continue;
+    if (workers_[w].count(p) != 0) ++n;
+  }
+  return n;
+}
+
+std::vector<PartitionId> DistributedAnnEngine::under_replicated_partitions()
+    const {
+  std::vector<PartitionId> out;
+  for (std::size_t p = 0; p < config_.n_workers; ++p) {
+    if (live_replicas(PartitionId(p)) < config_.replication) {
+      out.push_back(PartitionId(p));
+    }
+  }
+  return out;
+}
+
+void DistributedAnnEngine::save_checkpoints() const {
+  if (config_.checkpoint_dir.empty()) return;
+  ANNSIM_CHECK_MSG(router_.has_value(), "engine not built yet");
+  const recovery::CheckpointStore store(config_.checkpoint_dir);
+  const std::size_t P = config_.n_workers;
+  for (std::size_t p = 0; p < P; ++p) {
+    // One snapshot per partition, taken from the first workgroup member
+    // still hosting a copy (the primary owner unless it has been lost).
+    const Replica* rep = nullptr;
+    for (std::size_t j = 0; j < config_.replication && rep == nullptr; ++j) {
+      const auto it = workers_[(p + j) % P].find(PartitionId(p));
+      if (it != workers_[(p + j) % P].end()) rep = &it->second;
+    }
+    if (rep == nullptr) continue;  // every copy lost; nothing to snapshot
+    recovery::CheckpointMeta meta;
+    meta.partition = std::uint32_t(p);
+    meta.dim = router_->dim();
+    meta.count = rep->data->size();
+    meta.index_kind = std::uint8_t(config_.local_index);
+    store.save(meta, pack_dataset(*rep->data), rep->index->to_bytes());
+  }
+}
+
+recovery::HealReport DistributedAnnEngine::heal() {
+  ANNSIM_CHECK_MSG(router_.has_value(), "engine not built yet");
+  WallTimer timer;
+  recovery::HealReport report;
+  const std::size_t P = config_.n_workers;
+  if (health_.workers.size() != P) health_.reset(P);
+  const std::vector<std::size_t> dead = health_.dead_workers();
+  if (dead.empty()) {
+    report.seconds = timer.seconds();
+    return report;
+  }
+
+  // 1. Resurrect the ranks: clear death flags and disarm fired kill rules so
+  //    the revived worker isn't re-killed by its own schedule next batch.
+  for (const std::size_t w : dead) {
+    if (injector_ != nullptr) injector_->revive(int(w) + 1);
+  }
+
+  // 2. Replicas each revived worker must get back: worker w belongs to the
+  //    workgroups of partitions {w, w-1, ..., w-r+1 mod P} (Algorithm 5).
+  struct RestoreJob {
+    std::size_t worker;
+    PartitionId partition;
+  };
+  std::vector<RestoreJob> plan;
+  for (const std::size_t w : dead) {
+    for (std::size_t j = 0; j < config_.replication; ++j) {
+      const auto p = PartitionId((w + P - j) % P);
+      if (workers_[w].count(p) == 0) plan.push_back({w, p});
+    }
+  }
+
+  LocalIndexParams lp;
+  lp.kind = config_.local_index;
+  lp.hnsw = config_.hnsw;
+  lp.ivfpq = config_.ivfpq;
+  lp.metric = config_.hnsw.metric;
+
+  // 3. Prefer the checkpoint store: a durable snapshot restores locally with
+  //    no cluster traffic at all (the LANNS model — reload, don't rebuild).
+  std::vector<RestoreJob> stream_plan;
+  if (!config_.checkpoint_dir.empty()) {
+    const recovery::CheckpointStore store(config_.checkpoint_dir);
+    for (const RestoreJob& job : plan) {
+      if (!store.has(job.partition)) {
+        stream_plan.push_back(job);
+        continue;
+      }
+      auto loaded = store.load(job.partition);
+      ANNSIM_CHECK_MSG(loaded.meta.dim == router_->dim(),
+                       "checkpoint dim " << loaded.meta.dim
+                                         << " does not match the router's "
+                                         << router_->dim());
+      ANNSIM_CHECK_MSG(
+          loaded.meta.index_kind == std::uint8_t(config_.local_index),
+          "checkpoint index kind does not match the engine config");
+      Replica rep;
+      rep.data = std::make_unique<data::Dataset>(
+          unpack_dataset(loaded.data_bytes, router_->dim()));
+      rep.index = local_index_from_bytes(loaded.index_bytes, rep.data.get(), lp);
+      workers_[job.worker].emplace(job.partition, std::move(rep));
+      ++report.replicas_restored_from_checkpoint;
+    }
+  } else {
+    stream_plan = std::move(plan);
+  }
+
+  // 4. No checkpoint: stream each missing replica from a surviving copy over
+  //    the p2p data plane (kTagReplica, reliable — re-replication completes
+  //    even while drop_probability is eating data-plane traffic).
+  struct Transfer {
+    std::size_t src;
+    std::size_t dst;
+    PartitionId partition;
+  };
+  std::vector<Transfer> transfers;
+  for (const RestoreJob& job : stream_plan) {
+    std::size_t src = P;  // sentinel: no usable source
+    for (std::size_t v = 0; v < P && src == P; ++v) {
+      if (v == job.worker || workers_[v].count(job.partition) == 0) continue;
+      if (!health_.alive(v)) continue;
+      // A source whose pending kill trigger already tripped would silently
+      // eat the stream; probe the reliable gate before trusting it.
+      if (injector_ != nullptr && !injector_->allow_reliable_op(int(v) + 1)) {
+        continue;
+      }
+      src = v;
+    }
+    if (src == P) {
+      ++report.replicas_unrecoverable;  // partition lost for good
+      continue;
+    }
+    transfers.push_back({src, job.worker, job.partition});
+  }
+  if (!transfers.empty()) {
+    const auto stream_timeout = std::chrono::microseconds(std::max<std::int64_t>(
+        std::int64_t(config_.result_timeout_ms * 1000.0), 1'000'000));
+    mpi::Runtime rt(int(P) + 1, shared_injector());
+    rt.run([&](mpi::Comm& world) {
+      if (world.rank() == 0) return;
+      const std::size_t me = std::size_t(world.rank()) - 1;
+      // Sends first (they never block in-process), then receives in plan
+      // order — per-source FIFO makes the pairing deterministic.
+      for (const Transfer& tr : transfers) {
+        if (tr.src != me) continue;
+        const Replica& rep = workers_[me].at(tr.partition);
+        BinaryWriter pack;
+        pack.write(tr.partition);
+        pack.write_vector(pack_dataset(*rep.data));
+        pack.write_vector(rep.index->to_bytes());
+        world.send(int(tr.dst) + 1, kTagReplica, pack.bytes());
+      }
+      for (const Transfer& tr : transfers) {
+        if (tr.dst != me) continue;
+        auto m = world.recv_for(int(tr.src) + 1, kTagReplica, stream_timeout);
+        ANNSIM_CHECK_MSG(m.has_value(), "replica stream of partition "
+                                            << tr.partition << " from worker "
+                                            << tr.src << " timed out");
+        BinaryReader rd(m->payload);
+        const auto pid = rd.read<PartitionId>();
+        ANNSIM_CHECK(pid == tr.partition);
+        const auto data_bytes = rd.read_vector<std::byte>();
+        const auto index_bytes = rd.read_vector<std::byte>();
+        Replica rep;
+        rep.data = std::make_unique<data::Dataset>(
+            unpack_dataset(data_bytes, router_->dim()));
+        rep.index = local_index_from_bytes(index_bytes, rep.data.get(), lp);
+        workers_[me].emplace(pid, std::move(rep));
+      }
+    });
+    report.replicas_restored_from_peer = transfers.size();
+  }
+
+  // 5. Mark the workers alive again; the next batch's dispatch re-runs the
+  //    round-robin workgroup assignment over the restored copies naturally.
+  for (const std::size_t w : dead) {
+    health_.workers[w].state = recovery::WorkerState::kAlive;
+    ++health_.workers[w].revivals;
+    ++report.workers_revived;
+  }
+
+  report.seconds = timer.seconds();
+  ANNSIM_INFO(recovery::to_string(report));
+  return report;
 }
 
 // ----------------------------------------------------------- persistence ---
@@ -817,7 +1117,8 @@ void DistributedAnnEngine::save(const std::string& path) const {
   ANNSIM_CHECK(out.good());
 }
 
-DistributedAnnEngine DistributedAnnEngine::load(const std::string& path) {
+DistributedAnnEngine DistributedAnnEngine::load(
+    const std::string& path, const std::string& checkpoint_dir) {
   std::ifstream in(path, std::ios::binary);
   ANNSIM_CHECK_MSG(in.good(), "cannot open for reading: " << path);
   in.seekg(0, std::ios::end);
@@ -888,6 +1189,10 @@ DistributedAnnEngine DistributedAnnEngine::load(const std::string& path) {
   eng.build_stats_.replication_seconds = r.read<double>();
   eng.build_stats_.partition_sizes = r.read_vector<std::size_t>();
   ANNSIM_CHECK_MSG(r.exhausted(), "trailing bytes in engine file");
+
+  eng.health_.reset(eng.config_.n_workers);
+  eng.config_.checkpoint_dir = checkpoint_dir;
+  eng.save_checkpoints();  // no-op without a checkpoint dir
   return eng;
 }
 

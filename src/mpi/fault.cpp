@@ -69,6 +69,31 @@ bool FaultInjector::allow_op(int global_rank) {
   return true;
 }
 
+bool FaultInjector::allow_reliable_op(int global_rank) {
+  ANNSIM_CHECK(global_rank >= 0 && global_rank < n_ranks_);
+  auto& rs = ranks_[std::size_t(global_rank)];
+  if (rs.dead.load(std::memory_order_acquire)) return false;
+  // Evaluate kill triggers without claiming an op index: a rank whose budget
+  // already ran out (or whose step came) is dead even if its next send
+  // happens to be a control-plane message.
+  if (rs.ops.load(std::memory_order_acquire) >= rs.kill_after_ops ||
+      step_.load(std::memory_order_acquire) >= rs.kill_at_step) {
+    rs.dead.store(true, std::memory_order_release);
+    return false;
+  }
+  return true;
+}
+
+void FaultInjector::revive(int global_rank) {
+  ANNSIM_CHECK(global_rank >= 0 && global_rank < n_ranks_);
+  auto& rs = ranks_[std::size_t(global_rank)];
+  // Plain writes are fine: revive() is specified to run between runtime
+  // phases, after every rank thread has been joined.
+  rs.kill_after_ops = kNeverFires;
+  rs.kill_at_step = kNeverFires;
+  rs.dead.store(false, std::memory_order_release);
+}
+
 bool FaultInjector::is_reliable(std::int32_t tag) const noexcept {
   return std::find(plan_.reliable_tags.begin(), plan_.reliable_tags.end(),
                    tag) != plan_.reliable_tags.end();

@@ -91,7 +91,9 @@ struct RuntimeState {
   std::atomic<std::uint64_t> next_comm_id{1};
   std::atomic<std::uint64_t> next_window_id{1};
   std::unique_ptr<AtomicTraffic[]> traffic;          ///< per global rank
-  std::unique_ptr<FaultInjector> fault;              ///< null = no injection
+  std::shared_ptr<FaultInjector> fault;              ///< null = no injection;
+                                                     ///< shared so fault state
+                                                     ///< can outlive a Runtime
 
   std::mutex win_mu;
   std::map<std::uint64_t, std::shared_ptr<WindowState>> windows;
@@ -260,13 +262,20 @@ Request Comm::isend(int dest, Tag tag, std::span<const std::byte> payload) {
     stats.collective_bytes.fetch_add(payload.size(), std::memory_order_relaxed);
   }
 
-  // Fault injection gates user messages only: a dead rank stays silent on
-  // the data plane, but internal collective traffic (tag < 0) and declared
-  // control-plane tags (FaultPlan::reliable_tags) are reliable — see
-  // fault.hpp for the failure model.
-  if (tag >= 0 && rt_->fault != nullptr && !rt_->fault->is_reliable(tag) &&
-      !rt_->fault->allow_op(members_[std::size_t(my_index_)])) {
-    return Request{};  // dropped: the envelope never reaches the mailbox
+  // Fault injection gates user messages only: internal collective traffic
+  // (tag < 0) is never touched. Control-plane tags
+  // (FaultPlan::reliable_tags) skip the drop/delay rolls and the op budget
+  // but are still silenced once the sender is dead — fail-silent means
+  // silent on every user tag, or heartbeat-based health monitoring could
+  // never observe a death. See fault.hpp for the failure model.
+  if (tag >= 0 && rt_->fault != nullptr) {
+    const int sender = members_[std::size_t(my_index_)];
+    const bool delivered = rt_->fault->is_reliable(tag)
+                               ? rt_->fault->allow_reliable_op(sender)
+                               : rt_->fault->allow_op(sender);
+    if (!delivered) {
+      return Request{};  // dropped: the envelope never reaches the mailbox
+    }
   }
 
   detail::deliver(*rt_->mailboxes[std::size_t(members_[std::size_t(dest)])],
@@ -562,7 +571,18 @@ Runtime::Runtime(int n_ranks) : state_(std::make_shared<detail::RuntimeState>())
 
 Runtime::Runtime(int n_ranks, const FaultPlan& plan) : Runtime(n_ranks) {
   if (plan.enabled()) {
-    state_->fault = std::make_unique<FaultInjector>(plan, n_ranks);
+    state_->fault = std::make_shared<FaultInjector>(plan, n_ranks);
+  }
+}
+
+Runtime::Runtime(int n_ranks, std::shared_ptr<FaultInjector> injector)
+    : Runtime(n_ranks) {
+  if (injector != nullptr) {
+    ANNSIM_CHECK_MSG(injector->n_ranks() == n_ranks,
+                     "shared FaultInjector covers " << injector->n_ranks()
+                                                    << " ranks but the runtime has "
+                                                    << n_ranks);
+    state_->fault = std::move(injector);
   }
 }
 

@@ -1,0 +1,171 @@
+#include "annsim/recovery/checkpoint.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "annsim/common/error.hpp"
+#include "annsim/common/serialize.hpp"
+
+namespace fs = std::filesystem;
+
+namespace annsim::recovery {
+
+namespace {
+
+constexpr std::uint32_t kManifestMagic = 0x414E4350;  // "ANCP"
+constexpr std::uint32_t kManifestVersion = 1;
+constexpr const char* kManifestFile = "manifest.bin";
+constexpr const char* kDataFile = "data.bin";
+constexpr const char* kIndexFile = "index.bin";
+
+std::string partition_dirname(std::uint32_t partition) {
+  return "partition_" + std::to_string(partition);
+}
+
+void write_file(const fs::path& path, std::span<const std::byte> bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ANNSIM_CHECK_MSG(out.good(), "cannot open " << path.string() << " for writing");
+  if (!bytes.empty()) {
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              std::streamsize(bytes.size()));
+  }
+  out.flush();
+  ANNSIM_CHECK_MSG(out.good(), "short write to " << path.string());
+}
+
+std::vector<std::byte> read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  ANNSIM_CHECK_MSG(in.good(), "cannot open " << path.string() << " for reading");
+  const auto size = std::streamsize(in.tellg());
+  in.seekg(0);
+  std::vector<std::byte> bytes(static_cast<std::size_t>(size));
+  if (size != 0) {
+    in.read(reinterpret_cast<char*>(bytes.data()), size);
+  }
+  ANNSIM_CHECK_MSG(in.good(), "short read from " << path.string());
+  return bytes;
+}
+
+/// One payload file's entry in the manifest.
+struct FileRecord {
+  std::uint64_t size = 0;
+  std::uint64_t checksum = 0;
+};
+
+}  // namespace
+
+std::uint64_t checksum64(std::span<const std::byte> bytes) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis
+  for (const std::byte b : bytes) {
+    h ^= std::uint64_t(std::to_integer<std::uint8_t>(b));
+    h *= 0x00000100000001b3ULL;  // FNV prime
+  }
+  return h;
+}
+
+CheckpointStore::CheckpointStore(std::string dir) : dir_(std::move(dir)) {
+  ANNSIM_CHECK_MSG(!dir_.empty(), "checkpoint dir cannot be empty");
+  fs::create_directories(dir_);
+}
+
+void CheckpointStore::save(const CheckpointMeta& meta,
+                           std::span<const std::byte> data_bytes,
+                           std::span<const std::byte> index_bytes) const {
+  BinaryWriter manifest;
+  manifest.write(kManifestMagic);
+  manifest.write(kManifestVersion);
+  manifest.write(meta.partition);
+  manifest.write(meta.dim);
+  manifest.write(meta.count);
+  manifest.write(meta.index_kind);
+  manifest.write(FileRecord{data_bytes.size(), checksum64(data_bytes)});
+  manifest.write(FileRecord{index_bytes.size(), checksum64(index_bytes)});
+
+  // Stage everything in a hidden sibling directory, then rename into place:
+  // readers either see the old committed snapshot or the complete new one.
+  const fs::path root(dir_);
+  const fs::path staging = root / ("." + partition_dirname(meta.partition) + ".staging");
+  const fs::path target = root / partition_dirname(meta.partition);
+  fs::remove_all(staging);
+  fs::create_directories(staging);
+  write_file(staging / kDataFile, data_bytes);
+  write_file(staging / kIndexFile, index_bytes);
+  write_file(staging / kManifestFile, manifest.bytes());
+  fs::remove_all(target);
+  fs::rename(staging, target);
+}
+
+bool CheckpointStore::has(std::uint32_t partition) const {
+  return fs::exists(fs::path(dir_) / partition_dirname(partition) / kManifestFile);
+}
+
+CheckpointStore::LoadedPartition CheckpointStore::load(
+    std::uint32_t partition) const {
+  const fs::path pdir = fs::path(dir_) / partition_dirname(partition);
+  ANNSIM_CHECK_MSG(fs::exists(pdir / kManifestFile),
+                   "checkpoint manifest missing for partition "
+                       << partition << " under " << dir_);
+
+  const auto manifest_bytes = read_file(pdir / kManifestFile);
+  BinaryReader manifest(manifest_bytes);
+  ANNSIM_CHECK_MSG(manifest.remaining() >= sizeof(kManifestMagic) &&
+                       manifest.read<std::uint32_t>() == kManifestMagic,
+                   "bad checkpoint manifest magic for partition " << partition);
+  const auto version = manifest.read<std::uint32_t>();
+  ANNSIM_CHECK_MSG(version == kManifestVersion,
+                   "unsupported checkpoint manifest version " << version);
+
+  LoadedPartition out;
+  out.meta.partition = manifest.read<std::uint32_t>();
+  out.meta.dim = manifest.read<std::uint64_t>();
+  out.meta.count = manifest.read<std::uint64_t>();
+  out.meta.index_kind = manifest.read<std::uint8_t>();
+  ANNSIM_CHECK_MSG(out.meta.partition == partition,
+                   "checkpoint manifest names partition "
+                       << out.meta.partition << " but was loaded as "
+                       << partition);
+  const auto data_rec = manifest.read<FileRecord>();
+  const auto index_rec = manifest.read<FileRecord>();
+
+  const auto verify = [&](const char* name, const FileRecord& rec) {
+    const fs::path p = pdir / name;
+    ANNSIM_CHECK_MSG(fs::exists(p), "checkpoint file " << name
+                                                       << " missing (truncated "
+                                                          "checkpoint) for "
+                                                          "partition "
+                                                       << partition);
+    auto bytes = read_file(p);
+    ANNSIM_CHECK_MSG(bytes.size() == rec.size,
+                     "checkpoint file " << name << " truncated for partition "
+                                        << partition << ": expected "
+                                        << rec.size << " bytes, found "
+                                        << bytes.size());
+    ANNSIM_CHECK_MSG(checksum64(bytes) == rec.checksum,
+                     "checkpoint checksum mismatch in "
+                         << name << " for partition " << partition);
+    return bytes;
+  };
+  out.data_bytes = verify(kDataFile, data_rec);
+  out.index_bytes = verify(kIndexFile, index_rec);
+  return out;
+}
+
+std::vector<std::uint32_t> CheckpointStore::partitions() const {
+  std::vector<std::uint32_t> out;
+  if (!fs::exists(dir_)) return out;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    if (!entry.is_directory()) continue;
+    const std::string name = entry.path().filename().string();
+    constexpr const char* kPrefix = "partition_";
+    if (name.rfind(kPrefix, 0) != 0) continue;
+    std::uint32_t pid = 0;
+    if (std::sscanf(name.c_str() + 10, "%u", &pid) != 1) continue;
+    if (has(pid)) out.push_back(pid);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace annsim::recovery

@@ -1,0 +1,39 @@
+#include "annsim/recovery/health.hpp"
+
+#include <cstdio>
+
+namespace annsim::recovery {
+
+std::size_t ClusterHealth::alive_count() const noexcept {
+  std::size_t n = 0;
+  for (const WorkerHealth& w : workers) {
+    if (w.state == WorkerState::kAlive) ++n;
+  }
+  return n;
+}
+
+bool ClusterHealth::all_alive() const noexcept {
+  return alive_count() == workers.size();
+}
+
+std::vector<std::size_t> ClusterHealth::dead_workers() const {
+  std::vector<std::size_t> out;
+  for (std::size_t w = 0; w < workers.size(); ++w) {
+    if (workers[w].state == WorkerState::kDead) out.push_back(w);
+  }
+  return out;
+}
+
+std::string to_string(const HealReport& r) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "heal: %zu workers revived, %zu replicas restored "
+                "(%zu checkpoint, %zu peer-stream), %zu unrecoverable, %.3fs",
+                r.workers_revived, r.replicas_restored(),
+                r.replicas_restored_from_checkpoint,
+                r.replicas_restored_from_peer, r.replicas_unrecoverable,
+                r.seconds);
+  return buf;
+}
+
+}  // namespace annsim::recovery

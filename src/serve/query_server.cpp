@@ -266,6 +266,18 @@ void QueryServer::run_batch(std::vector<Pending> batch) {
     resp.total_ms = to_ms(Clock::now() - batch[i].admitted);
     batch[i].promise.set_value(std::move(resp));
   }
+  // Self-healing on the batch boundary: search() has already folded this
+  // batch's health transitions into the engine, and the scheduler thread is
+  // the only one that touches the engine, so healing here cannot race a
+  // search. The next batch — including any retries re-admitted below —
+  // dispatches against the restored replicas.
+  if (config_.auto_heal) {
+    if (!engine_->health().dead_workers().empty()) {
+      const auto heal = engine_->heal();
+      metrics_.on_heal(heal.workers_revived, heal.fully_healed());
+    }
+    metrics_.on_health(engine_->under_replicated_partitions().size());
+  }
   // Re-admit degraded requests whose retry budget allows another attempt.
   // Retries count against queue_capacity like any submit: when the queue is
   // full (or the server is draining) the degraded answer stands instead of

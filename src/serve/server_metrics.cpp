@@ -60,6 +60,19 @@ void ServerMetrics::on_retry() {
   ++retries_;
 }
 
+void ServerMetrics::on_heal(std::size_t workers_revived,
+                            bool coverage_restored) {
+  std::lock_guard lk(mu_);
+  ++heals_;
+  workers_revived_ += workers_revived;
+  if (coverage_restored) ++coverage_restored_;
+}
+
+void ServerMetrics::on_health(std::size_t under_replicated) {
+  std::lock_guard lk(mu_);
+  under_replicated_ = under_replicated;
+}
+
 MetricsReport ServerMetrics::report() const {
   std::lock_guard lk(mu_);
   MetricsReport r;
@@ -71,6 +84,10 @@ MetricsReport ServerMetrics::report() const {
   r.degraded = degraded_;
   r.retries = retries_;
   r.batches = batches_;
+  r.heals = heals_;
+  r.workers_revived = workers_revived_;
+  r.coverage_restored = coverage_restored_;
+  r.under_replicated_partitions = under_replicated_;
   if (saw_submit_) {
     r.wall_seconds =
         std::chrono::duration<double>(last_complete_ - first_submit_).count();
@@ -108,7 +125,17 @@ std::string to_string(const MetricsReport& r) {
       r.latency_max_ms, r.queue_wait_mean_ms,
       annsim::to_string(r.batch_size).c_str(),
       annsim::to_string(r.queue_depth).c_str());
-  return buf;
+  std::string out = buf;
+  if (r.heals > 0 || r.under_replicated_partitions > 0) {
+    char heal_buf[192];
+    std::snprintf(heal_buf, sizeof(heal_buf),
+                  "\nhealing: %zu heals, %zu workers revived, %zu restored "
+                  "full coverage, %zu partitions under-replicated",
+                  r.heals, r.workers_revived, r.coverage_restored,
+                  r.under_replicated_partitions);
+    out += heal_buf;
+  }
+  return out;
 }
 
 }  // namespace annsim::serve

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstring>
+#include <memory>
 #include <span>
 #include <string>
 #include <thread>
@@ -173,19 +174,19 @@ TEST(MpiFault, RmaMutationsFromDeadRankVanish) {
   EXPECT_EQ(rt.failed_ranks(), std::vector<int>{1});
 }
 
-TEST(MpiFault, ReliableTagsBypassDropAndKill) {
-  // Control-plane tags must survive both the drop roll and a fired kill rule:
-  // they behave like internal collective traffic (see fault.hpp).
+TEST(MpiFault, ReliableTagsBypassDropButNotDeath) {
+  // Control-plane tags survive the drop roll like internal collective
+  // traffic, but reliable is not death-proof: a dead rank is silent on
+  // every user tag (see fault.hpp).
   FaultPlan plan;
   plan.seed = 11;
-  plan.drop_probability = 1.0;                       // eats every gated send
-  plan.kills.push_back({/*rank=*/0, /*after_ops=*/0, kNeverFires});  // dead on arrival
+  plan.drop_probability = 1.0;  // eats every gated send
   plan.reliable_tags.push_back(7);
   Runtime rt(2, plan);
   rt.run([&](Comm& c) {
     if (c.rank() == 0) {
       c.send(1, 1, bytes_of("data"));      // gated: dropped
-      c.send(1, 7, bytes_of("control"));   // reliable: always delivered
+      c.send(1, 7, bytes_of("control"));   // reliable: delivered (alive)
       c.barrier();
     } else {
       c.barrier();
@@ -194,12 +195,32 @@ TEST(MpiFault, ReliableTagsBypassDropAndKill) {
       EXPECT_EQ(m.payload.size(), 7u);
     }
   });
+  EXPECT_TRUE(rt.failed_ranks().empty());
+}
+
+TEST(MpiFault, DeadRankIsSilentOnReliableTags) {
+  // A crashed process loses its control plane along with everything else:
+  // reliable tags model a lossless fabric, not a worker that outlives death.
+  FaultPlan plan;
+  plan.kills.push_back({/*rank=*/0, /*after_ops=*/0, kNeverFires});
+  plan.reliable_tags.push_back(7);
+  Runtime rt(2, plan);
+  rt.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      c.send(1, 7, bytes_of("control"));  // reliable, but the sender is dead
+      c.barrier();
+    } else {
+      c.barrier();
+      EXPECT_FALSE(c.iprobe(0, 7));
+    }
+  });
   EXPECT_EQ(rt.failed_ranks(), std::vector<int>{0});
 }
 
 TEST(MpiFault, ReliableSendsDoNotConsumeTheOpBudget) {
   // after_ops counts gated ops only: interleaved reliable sends must not
-  // advance a rank toward its kill trigger.
+  // advance a rank toward its kill trigger. Once the gated budget is spent
+  // the rank is dead and its reliable sends go silent too.
   FaultPlan plan;
   plan.kills.push_back({/*rank=*/0, /*after_ops=*/2, kNeverFires});
   plan.reliable_tags.push_back(9);
@@ -207,7 +228,7 @@ TEST(MpiFault, ReliableSendsDoNotConsumeTheOpBudget) {
   rt.run([&](Comm& c) {
     if (c.rank() == 0) {
       for (int i = 0; i < 4; ++i) {
-        c.send(1, 9, bytes_of("r"));  // reliable: free
+        c.send(1, 9, bytes_of("r"));  // reliable: free while alive
         c.send(1, 1, bytes_of("g"));  // gated: consumes the budget
       }
       c.barrier();
@@ -217,7 +238,79 @@ TEST(MpiFault, ReliableSendsDoNotConsumeTheOpBudget) {
       while (c.iprobe(0, 1)) { (void)c.recv(0, 1); ++gated; }
       while (c.iprobe(0, 9)) { (void)c.recv(0, 9); ++reliable; }
       EXPECT_EQ(gated, 2);     // first two gated ops, then dead
-      EXPECT_EQ(reliable, 4);  // every control message got through
+      EXPECT_EQ(reliable, 2);  // control flows only while the rank lives
+    }
+  });
+  EXPECT_EQ(rt.failed_ranks(), std::vector<int>{0});
+}
+
+TEST(MpiFault, ReviveRestoresDeliveryAndDisarmsTheKill) {
+  FaultPlan plan;
+  plan.kills.push_back({/*rank=*/0, /*after_ops=*/0, kNeverFires});
+  auto inj = std::make_shared<FaultInjector>(plan, 2);
+  {
+    Runtime rt(2, inj);
+    rt.run([&](Comm& c) {
+      if (c.rank() == 0) {
+        c.send(1, 1, bytes_of("lost"));
+        c.barrier();
+      } else {
+        c.barrier();
+        EXPECT_FALSE(c.iprobe(0, 1));
+      }
+    });
+  }
+  EXPECT_TRUE(inj->is_dead(0));
+
+  inj->revive(0);
+  EXPECT_FALSE(inj->is_dead(0));
+
+  // The kill rule is disarmed, not re-armed: every post-revive send lands.
+  Runtime rt(2, inj);
+  rt.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      for (int i = 0; i < 8; ++i) c.send(1, 1, bytes_of("back"));
+      c.barrier();
+    } else {
+      c.barrier();
+      for (int i = 0; i < 8; ++i) (void)c.recv(0, 1);
+      EXPECT_FALSE(c.iprobe(0, 1));
+    }
+  });
+  EXPECT_TRUE(rt.failed_ranks().empty());
+}
+
+TEST(MpiFault, SharedInjectorPersistsDeathAcrossRuntimes) {
+  // An engine-owned injector carries death flags between search() batches:
+  // a rank killed in one Runtime stays dead in the next one.
+  FaultPlan plan;
+  plan.kills.push_back({/*rank=*/0, /*after_ops=*/1, kNeverFires});
+  auto inj = std::make_shared<FaultInjector>(plan, 2);
+  {
+    Runtime rt(2, inj);
+    rt.run([&](Comm& c) {
+      if (c.rank() == 0) {
+        c.send(1, 1, bytes_of("a"));  // delivered, spends the budget
+        c.send(1, 1, bytes_of("b"));  // kill fires
+        c.barrier();
+      } else {
+        c.barrier();
+        (void)c.recv(0, 1);
+        EXPECT_FALSE(c.iprobe(0, 1));
+      }
+    });
+  }
+  EXPECT_TRUE(inj->is_dead(0));
+
+  Runtime rt(2, inj);
+  EXPECT_EQ(rt.fault_injector(), inj.get());
+  rt.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      c.send(1, 1, bytes_of("still-dead"));
+      c.barrier();
+    } else {
+      c.barrier();
+      EXPECT_FALSE(c.iprobe(0, 1));
     }
   });
   EXPECT_EQ(rt.failed_ranks(), std::vector<int>{0});

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "annsim/common/error.hpp"
+#include "annsim/recovery/checkpoint.hpp"
+#include "annsim/recovery/health.hpp"
+
+namespace annsim::recovery {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<std::byte> some_bytes(std::size_t n, std::uint8_t salt) {
+  std::vector<std::byte> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = std::byte(std::uint8_t(i * 31 + salt));
+  }
+  return out;
+}
+
+/// Expect `fn` to throw annsim::Error whose message contains `needle`.
+template <typename Fn>
+void expect_error_containing(Fn&& fn, const std::string& needle) {
+  try {
+    fn();
+    FAIL() << "expected Error containing \"" << needle << "\"";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "got: " << e.what();
+  }
+}
+
+class Checkpoint : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("annsim_ckpt_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+               .string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  /// Path of one payload/manifest file of a committed partition.
+  [[nodiscard]] fs::path file_of(std::uint32_t pid, const char* name) const {
+    return fs::path(dir_) / ("partition_" + std::to_string(pid)) / name;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(Checkpoint, RoundTripPreservesBytesAndMeta) {
+  CheckpointStore store(dir_);
+  CheckpointMeta meta;
+  meta.partition = 3;
+  meta.dim = 16;
+  meta.count = 97;
+  meta.index_kind = 1;
+  const auto data = some_bytes(1024, 7);
+  const auto index = some_bytes(333, 9);
+  store.save(meta, data, index);
+
+  EXPECT_TRUE(store.has(3));
+  EXPECT_FALSE(store.has(4));
+  auto loaded = store.load(3);
+  EXPECT_EQ(loaded.meta.partition, 3u);
+  EXPECT_EQ(loaded.meta.dim, 16u);
+  EXPECT_EQ(loaded.meta.count, 97u);
+  EXPECT_EQ(loaded.meta.index_kind, 1u);
+  EXPECT_EQ(loaded.data_bytes, data);
+  EXPECT_EQ(loaded.index_bytes, index);
+}
+
+TEST_F(Checkpoint, PartitionsListsCommittedSnapshotsAscending) {
+  CheckpointStore store(dir_);
+  for (std::uint32_t pid : {5u, 0u, 12u}) {
+    CheckpointMeta meta;
+    meta.partition = pid;
+    store.save(meta, some_bytes(8, std::uint8_t(pid)), some_bytes(4, 1));
+  }
+  EXPECT_EQ(store.partitions(), (std::vector<std::uint32_t>{0, 5, 12}));
+}
+
+TEST_F(Checkpoint, SaveReplacesAtomically) {
+  CheckpointStore store(dir_);
+  CheckpointMeta meta;
+  meta.partition = 1;
+  store.save(meta, some_bytes(64, 1), some_bytes(64, 2));
+  // Overwrite with different payloads: the old snapshot is fully replaced
+  // and no staging directory is left behind.
+  const auto data2 = some_bytes(128, 3);
+  const auto index2 = some_bytes(32, 4);
+  store.save(meta, data2, index2);
+
+  auto loaded = store.load(1);
+  EXPECT_EQ(loaded.data_bytes, data2);
+  EXPECT_EQ(loaded.index_bytes, index2);
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    EXPECT_EQ(entry.path().filename().string().rfind(".", 0), std::string::npos)
+        << "staging left behind: " << entry.path();
+  }
+}
+
+TEST_F(Checkpoint, MissingManifestFailsWithSpecificError) {
+  CheckpointStore store(dir_);
+  CheckpointMeta meta;
+  meta.partition = 2;
+  store.save(meta, some_bytes(16, 1), some_bytes(16, 2));
+  fs::remove(file_of(2, "manifest.bin"));
+  EXPECT_FALSE(store.has(2));
+  expect_error_containing([&] { (void)store.load(2); },
+                          "checkpoint manifest missing for partition 2");
+}
+
+TEST_F(Checkpoint, TruncatedFileFailsWithSpecificError) {
+  CheckpointStore store(dir_);
+  CheckpointMeta meta;
+  meta.partition = 4;
+  store.save(meta, some_bytes(100, 1), some_bytes(50, 2));
+  fs::resize_file(file_of(4, "data.bin"), 60);
+  expect_error_containing([&] { (void)store.load(4); },
+                          "checkpoint file data.bin truncated for partition 4");
+}
+
+TEST_F(Checkpoint, FlippedByteFailsChecksum) {
+  CheckpointStore store(dir_);
+  CheckpointMeta meta;
+  meta.partition = 6;
+  store.save(meta, some_bytes(100, 1), some_bytes(50, 2));
+  {
+    // Flip one bit in the middle of index.bin; the size stays right, so only
+    // the checksum can catch it.
+    std::fstream f(file_of(6, "index.bin"),
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(25);
+    char c = 0;
+    f.read(&c, 1);
+    c = char(c ^ 0x40);
+    f.seekp(25);
+    f.write(&c, 1);
+  }
+  expect_error_containing(
+      [&] { (void)store.load(6); },
+      "checkpoint checksum mismatch in index.bin for partition 6");
+}
+
+TEST_F(Checkpoint, BadMagicRejected) {
+  CheckpointStore store(dir_);
+  CheckpointMeta meta;
+  meta.partition = 7;
+  store.save(meta, some_bytes(10, 1), some_bytes(10, 2));
+  {
+    std::fstream f(file_of(7, "manifest.bin"),
+                   std::ios::binary | std::ios::in | std::ios::out);
+    const char junk[4] = {'J', 'U', 'N', 'K'};
+    f.write(junk, 4);
+  }
+  expect_error_containing([&] { (void)store.load(7); },
+                          "bad checkpoint manifest magic");
+}
+
+TEST_F(Checkpoint, ChecksumIsStable) {
+  // FNV-1a with the standard offset/prime: pin a known vector so a silent
+  // algorithm change cannot invalidate old checkpoints undetected.
+  const std::string s = "annsim";
+  std::vector<std::byte> b(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) b[i] = std::byte(s[i]);
+  EXPECT_EQ(checksum64({}), 0xcbf29ce484222325ULL);
+  EXPECT_NE(checksum64(b), checksum64({}));
+  EXPECT_EQ(checksum64(b), checksum64(b));
+}
+
+TEST_F(Checkpoint, HealReportRendering) {
+  HealReport r;
+  r.workers_revived = 1;
+  r.replicas_restored_from_checkpoint = 2;
+  r.replicas_restored_from_peer = 1;
+  r.seconds = 0.25;
+  EXPECT_EQ(r.replicas_restored(), 3u);
+  EXPECT_TRUE(r.fully_healed());
+  const auto s = to_string(r);
+  EXPECT_NE(s.find("1 workers revived"), std::string::npos) << s;
+  EXPECT_NE(s.find("3 replicas restored"), std::string::npos) << s;
+  r.replicas_unrecoverable = 2;
+  EXPECT_FALSE(r.fully_healed());
+}
+
+}  // namespace
+}  // namespace annsim::recovery

@@ -9,9 +9,11 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <filesystem>
 #include <future>
 #include <string>
 #include <thread>
+#include <unistd.h>
 #include <vector>
 
 #include "annsim/data/ground_truth.hpp"
@@ -191,6 +193,67 @@ TEST(ServerDegraded, RetryForfeitedWhenAdmissionQueueIsFull) {
   const auto m = server.metrics();
   EXPECT_EQ(m.degraded, 2u);
   EXPECT_EQ(m.retries, 1u);  // only q1's retry was admitted
+}
+
+TEST(ServerDegraded, AutoHealRestoresCoverageBetweenBatches) {
+  // Self-healing across the serving plane: the first wave loses a worker and
+  // degrades (replication = 1, nothing to fail over to); auto_heal repairs
+  // the cluster from its checkpoints on the batch boundary, so a second wave
+  // answers clean.
+  auto w = data::make_sift_like(800, 24, 705);
+  const std::string ckpt =
+      (std::filesystem::temp_directory_path() /
+       ("annsim_serve_heal_" + std::to_string(::getpid())))
+          .string();
+  std::filesystem::remove_all(ckpt);
+
+  core::DistributedAnnEngine clean(&w.base, engine_config());
+  clean.build();
+  auto reference = clean.search(w.queries, 5);
+
+  auto cfg = faulty_config();
+  cfg.checkpoint_dir = ckpt;
+  core::DistributedAnnEngine eng(&w.base, cfg);
+  eng.build();
+
+  ServerConfig sc;
+  sc.max_batch = 24;  // the whole first wave rides in one batch
+  sc.max_delay_ms = 20.0;
+  sc.auto_heal = true;
+  QueryServer server(&eng, sc);
+
+  std::vector<std::future<QueryResponse>> wave1;
+  for (std::size_t i = 0; i < w.queries.size(); ++i) {
+    wave1.push_back(server.submit(qvec(w.queries, i), 5));
+  }
+  std::size_t degraded = 0;
+  for (auto& f : wave1) {
+    if (f.get().status == QueryStatus::kDegraded) ++degraded;
+  }
+  EXPECT_GT(degraded, 0u);  // the death was felt...
+
+  // ...but every wave-1 future has resolved, so its batch's boundary heal
+  // has run. The second wave must see a fully repaired cluster.
+  std::vector<std::future<QueryResponse>> wave2;
+  for (std::size_t i = 0; i < w.queries.size(); ++i) {
+    wave2.push_back(server.submit(qvec(w.queries, i), 5));
+  }
+  for (std::size_t i = 0; i < wave2.size(); ++i) {
+    auto r = wave2[i].get();
+    ASSERT_EQ(r.status, QueryStatus::kOk) << to_string(r.status);
+    EXPECT_EQ(r.partitions_searched, r.partitions_planned);
+    EXPECT_EQ(r.neighbors, reference[i]) << "query " << i;
+  }
+
+  server.stop();
+  const auto m = server.metrics();
+  EXPECT_GE(m.heals, 1u);
+  EXPECT_GE(m.workers_revived, 1u);
+  EXPECT_GE(m.coverage_restored, 1u);
+  EXPECT_EQ(m.under_replicated_partitions, 0u);
+  const std::string rendered = to_string(m);
+  EXPECT_NE(rendered.find("healing:"), std::string::npos) << rendered;
+  std::filesystem::remove_all(ckpt);
 }
 
 TEST(ServerDegraded, MetricsRenderingShowsDegradedAndRetries) {

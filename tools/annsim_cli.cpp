@@ -10,14 +10,18 @@
 ///   annsim eval /tmp/demo_res.ivecs /tmp/demo_gt.ivecs 10
 ///   annsim info /tmp/demo.idx
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "annsim/common/error.hpp"
 #include "annsim/common/timer.hpp"
 #include "annsim/core/engine.hpp"
+#include "annsim/recovery/health.hpp"
 #include "annsim/data/analysis.hpp"
 #include "annsim/data/ground_truth.hpp"
 #include "annsim/data/recipes.hpp"
@@ -48,7 +52,8 @@ using namespace annsim;
                "  annsim chaos-bench <SIFT|DEEP|GIST|SYN_1M|SYN_10M> <n_base> "
                "<n_queries> <k> [--workers N] [--replication R] [--nprobe P] "
                "[--kill-worker W] [--kill-after N] [--drop-p D] "
-               "[--timeout-ms T] [--fault-seed S] [--two-sided]\n");
+               "[--timeout-ms T] [--fault-seed S] [--two-sided] "
+               "[--heal-after-ms H] [--checkpoint-dir D] [--json PATH]\n");
   std::exit(2);
 }
 
@@ -276,6 +281,13 @@ int cmd_serve_bench(int argc, char** argv) {
 /// Chaos run on a synthetic workload: the same engine searched fault-free,
 /// then again with a worker killed mid-batch, so the recall/latency cost of
 /// failover (or of degradation, at replication 1) is read off directly.
+///
+/// With --heal-after-ms the run continues past the failure: the engine heals
+/// (rejoins the dead worker and re-replicates its partitions, from the
+/// --checkpoint-dir store when given, else by streaming from survivors) and
+/// the same batch runs once more. Exits non-zero if any post-heal query is
+/// still degraded or any partition stays under-replicated, so CI can gate
+/// on recovery actually restoring full coverage.
 int cmd_chaos_bench(int argc, char** argv) {
   if (argc < 4) usage();
   const std::string recipe = argv[0];
@@ -298,6 +310,10 @@ int cmd_chaos_bench(int argc, char** argv) {
       std::atof(opt(argc, argv, "--timeout-ms", "100").c_str());
   const std::uint64_t fault_seed =
       arg_num(opt(argc, argv, "--fault-seed", "1").c_str());
+  const double heal_after_ms =
+      std::atof(opt(argc, argv, "--heal-after-ms", "-1").c_str());
+  const std::string checkpoint_dir = opt(argc, argv, "--checkpoint-dir", "");
+  const std::string json_path = opt(argc, argv, "--json", "");
 
   auto w = data::make_by_name(recipe, n_base, n_queries, 42);
   std::printf("chaos-bench: %zu x %zu-d, %zu queries, k=%zu, %zu workers, "
@@ -318,6 +334,7 @@ int cmd_chaos_bench(int argc, char** argv) {
   chaos_cfg.result_timeout_ms = timeout_ms;
   chaos_cfg.fault.seed = fault_seed;
   chaos_cfg.fault.drop_probability = drop_p;
+  chaos_cfg.checkpoint_dir = checkpoint_dir;
   chaos_cfg.fault.kills.push_back(
       {int(kill_worker) + 1, kill_after, mpi::kNeverFires});
   std::printf("injecting: kill worker %zu after %llu ops, drop_p=%.2f, "
@@ -359,6 +376,74 @@ int cmd_chaos_bench(int argc, char** argv) {
     std::printf(" (degraded-only recall %.4f)", degraded_recall);
   }
   std::printf("\n");
+  if (heal_after_ms < 0) return 0;
+
+  // --- recovery: wait, heal, and prove the cluster answers at full
+  // coverage again. ---
+  if (heal_after_ms > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(heal_after_ms));
+  }
+  WallTimer heal_timer;
+  const auto heal = chaotic.heal();
+  const double time_to_heal_ms = heal_timer.seconds() * 1e3;
+  std::printf("%s\n", recovery::to_string(heal).c_str());
+
+  core::SearchStats post_st;
+  auto post_res = chaotic.search(w.queries, k, 0, &post_st);
+  const double post_recall = data::mean_recall(post_res, gt, k);
+  const auto under = chaotic.under_replicated_partitions();
+  std::printf("post-heal: recall@%zu %.4f in %.3fs, %llu/%zu queries "
+              "degraded, %zu partitions under-replicated\n",
+              k, post_recall, post_st.total_seconds,
+              static_cast<unsigned long long>(post_st.degraded_queries),
+              post_res.size(), under.size());
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    ANNSIM_CHECK_MSG(f != nullptr, "cannot open " << json_path);
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"workload\": \"%s\",\n"
+        "  \"n_base\": %zu,\n"
+        "  \"n_queries\": %zu,\n"
+        "  \"k\": %zu,\n"
+        "  \"workers\": %zu,\n"
+        "  \"replication\": %zu,\n"
+        "  \"restore_path\": \"%s\",\n"
+        "  \"time_to_heal_ms\": %.3f,\n"
+        "  \"workers_revived\": %zu,\n"
+        "  \"replicas_restored_from_checkpoint\": %zu,\n"
+        "  \"replicas_restored_from_peer\": %zu,\n"
+        "  \"replicas_unrecoverable\": %zu,\n"
+        "  \"degraded_before_heal\": %llu,\n"
+        "  \"degraded_after_heal\": %llu,\n"
+        "  \"under_replicated_after_heal\": %zu,\n"
+        "  \"recall_fault_free\": %.4f,\n"
+        "  \"recall_under_failure\": %.4f,\n"
+        "  \"recall_after_heal\": %.4f\n"
+        "}\n",
+        recipe.c_str(), w.base.size(), w.queries.size(), k, cfg.n_workers,
+        cfg.replication, checkpoint_dir.empty() ? "peer-stream" : "checkpoint",
+        time_to_heal_ms, heal.workers_revived,
+        heal.replicas_restored_from_checkpoint, heal.replicas_restored_from_peer,
+        heal.replicas_unrecoverable,
+        static_cast<unsigned long long>(st.degraded_queries),
+        static_cast<unsigned long long>(post_st.degraded_queries),
+        under.size(), base_recall, recall, post_recall);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (post_st.degraded_queries > 0 || !under.empty()) {
+    std::fprintf(stderr,
+                 "chaos-bench: recovery incomplete (%llu degraded queries, "
+                 "%zu under-replicated partitions after heal)\n",
+                 static_cast<unsigned long long>(post_st.degraded_queries),
+                 under.size());
+    return 1;
+  }
   return 0;
 }
 
