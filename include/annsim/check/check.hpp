@@ -1,0 +1,151 @@
+#pragma once
+/// \file check.hpp
+/// \brief annsim::check — vocabulary of the MPI usage-correctness verifier.
+///
+/// The simulated MPI runtime can be run with an opt-in verifier (MUST/ISP
+/// style) that tracks per-rank communication state and reports precise,
+/// rank/tag-attributed diagnostics for the bug classes that silently corrupt
+/// distributed results instead of crashing:
+///
+///   * request leaks — posted nonblocking receives destroyed or still pending
+///     at finalize without a completing wait/test/take or a cancel,
+///   * RMA epoch discipline — one-sided ops outside a lock_shared/unlock
+///     epoch, unlock without lock, epochs still open at finalize,
+///   * tag hygiene — plain point-to-point traffic on declared control-plane
+///     tags, and wildcard (kAnyTag) receives posted where a control-plane
+///     message could match (and be swallowed by data-plane code),
+///   * deadlock — a cycle in the cross-rank wait-for graph of blocked
+///     unbounded receives, with a full per-rank blocked-state dump,
+///   * unmatched sends — messages still sitting in a mailbox at finalize,
+///     histogrammed by (tag, destination).
+///
+/// This header is dependency-free on purpose: the runtime (annsim::mpi)
+/// includes it to expose `Runtime::configure_check` / `check_report`, and
+/// higher layers (engine, serving, CLI) consume `CheckReport` without pulling
+/// in runtime internals. The instrumentation itself lives inside
+/// `src/mpi/runtime.cpp`, where the mailbox/window state is visible.
+///
+/// Enabling: set `CheckOptions::enabled`, or export `ANNSIM_MPI_CHECK=1`
+/// (the environment can only turn checking ON — an explicit configuration is
+/// never silently disabled). With `fatal` (the default) the runtime throws at
+/// finalize when the report is non-clean, so an env-checked test suite fails
+/// loudly; verification-oriented callers set `fatal = false` and assert on
+/// the report instead. Deadlock detection always aborts the blocked ranks
+/// regardless of `fatal` — there is no useful way to "continue" a deadlock.
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace annsim::check {
+
+/// The checker's rule set. Stable numbering: reports are asserted on by
+/// tests and printed by the CLI.
+enum class Rule : int {
+  kRequestLeak = 0,     ///< (a) irecv never completed/taken/cancelled
+  kRmaOutsideEpoch,     ///< (b) get/put/get_accumulate without lock_shared
+  kRmaLockMisuse,       ///< (b) unlock without lock, nested lock_shared
+  kRmaEpochLeak,        ///< (b) epoch still open at finalize
+  kReservedTagSend,     ///< (c) plain send on a declared control-plane tag
+  kWildcardRecv,        ///< (c) kAnyTag recv posted while reserved tags exist
+  kDeadlock,            ///< (d) cycle in the blocked-recv wait-for graph
+  kUnmatchedSend,       ///< (e) message never received (finalize scan)
+};
+inline constexpr std::size_t kRuleCount = 8;
+
+/// Short stable identifier ("request-leak", "deadlock", ...).
+[[nodiscard]] const char* rule_name(Rule rule) noexcept;
+/// One-line human description of what the rule catches.
+[[nodiscard]] const char* rule_what(Rule rule) noexcept;
+
+/// One recorded violation, with enough op context to find the offending call
+/// site: which rank, which peer (dest for sends, source for receives, target
+/// for RMA; -1 when not applicable), which tag (kAnyTag receives report -1),
+/// and a free-form detail string ("posted irecv(source=2, tag=7) never
+/// completed", a deadlock dump, ...).
+struct Occurrence {
+  Rule rule = Rule::kRequestLeak;
+  int rank = -1;
+  int peer = -1;
+  std::int32_t tag = -1;
+  std::string detail;
+};
+
+/// Configuration of one runtime's verifier. Inert by default.
+struct CheckOptions {
+  /// Master switch. `ANNSIM_MPI_CHECK=1` in the environment force-enables
+  /// checking even when this is false (the reverse never happens).
+  bool enabled = false;
+  /// Throw annsim::Error from Runtime::run's finalize when the report is not
+  /// clean. Defaults to true so an env-checked CI suite cannot pass with
+  /// silent violations; set false to collect and assert on the report.
+  bool fatal = true;
+  /// Control-plane tags (>= 0). Plain send/isend on one of these raises
+  /// kReservedTagSend (use send_reserved/isend_reserved at legitimate
+  /// control-plane call sites), and any kAnyTag wildcard receive raises
+  /// kWildcardRecv while this list is non-empty (a control-plane message
+  /// could match the wildcard and be swallowed by data-plane code).
+  std::vector<std::int32_t> reserved_tags;
+  /// Tags exempt from the unmatched-send finalize rule. With failure
+  /// detection armed, data-plane traffic (results, done notices, heartbeats)
+  /// is by-design abandonable: a worker declared dead keeps sending into a
+  /// mailbox nobody drains. Such residue is still counted in
+  /// `CheckReport::best_effort_residue` but raises no violation.
+  std::vector<std::int32_t> best_effort_tags;
+  /// How long an unbounded recv/wait must stay blocked before it is entered
+  /// into the wait-for graph and a cycle scan runs. Large enough that
+  /// transient blocking (collective skew, slow peers) never qualifies;
+  /// a genuine deadlock waits forever, so detection latency is the only
+  /// cost of raising it.
+  std::chrono::milliseconds deadlock_after{250};
+  /// Per-rule cap on recorded occurrences (counts keep incrementing).
+  std::size_t max_occurrences = 16;
+};
+
+/// Structured diagnostics of one runtime (or, merged, of an engine's whole
+/// lifetime of runtimes). Tests assert on `count(rule)`; the CLI prints
+/// `to_string(report)`.
+struct CheckReport {
+  std::array<std::uint64_t, kRuleCount> counts{};
+  /// First-N occurrences per rule, in detection order.
+  std::vector<Occurrence> occurrences;
+  /// (tag, destination global rank) -> messages left unreceived at finalize.
+  std::map<std::pair<std::int32_t, int>, std::uint64_t> unmatched_histogram;
+  /// Unreceived messages on best-effort tags (not a violation, but visible).
+  std::uint64_t best_effort_residue = 0;
+  /// Runtimes folded into this report (1 straight from a Runtime).
+  std::uint64_t runs = 0;
+
+  [[nodiscard]] std::uint64_t count(Rule rule) const noexcept {
+    return counts[std::size_t(rule)];
+  }
+  [[nodiscard]] std::uint64_t total_violations() const noexcept {
+    std::uint64_t t = 0;
+    for (const auto c : counts) t += c;
+    return t;
+  }
+  [[nodiscard]] bool clean() const noexcept { return total_violations() == 0; }
+
+  /// First recorded occurrence of `rule`, or nullptr.
+  [[nodiscard]] const Occurrence* first(Rule rule) const noexcept;
+
+  /// Fold another runtime's report into this one (counts add, occurrences
+  /// append up to the per-rule cap, histograms merge).
+  void merge(const CheckReport& other, std::size_t max_occurrences = 16);
+};
+
+/// Multi-line summary: per-rule counts, first occurrences, unmatched
+/// histogram. Empty-report renders as a one-line "clean" notice.
+[[nodiscard]] std::string to_string(const CheckReport& report);
+
+/// Environment probes (cached after first call): ANNSIM_MPI_CHECK=1/true
+/// force-enables checking; ANNSIM_MPI_CHECK_FATAL=0 downgrades finalize
+/// violations to report-only even for env-enabled runs (1 forces fatal).
+[[nodiscard]] bool env_check_enabled() noexcept;
+[[nodiscard]] int env_check_fatal() noexcept;  ///< -1 unset, else 0/1
+
+}  // namespace annsim::check

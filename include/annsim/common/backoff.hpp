@@ -1,0 +1,55 @@
+#pragma once
+/// \file backoff.hpp
+/// \brief Exponential spin→yield→sleep backoff for polling loops.
+///
+/// The engine's master/worker loops poll Request::test() while juggling
+/// other work, so they cannot park in a blocking wait — but a naive spin
+/// burns a core per blocked rank, which multiplies badly under the checker's
+/// sliced waits and in TSan CI jobs. Backoff keeps the first polls cheap
+/// (pure spins, best latency when the message is already in flight), then
+/// yields the timeslice, then sleeps with exponentially growing intervals
+/// capped low enough that tail latency stays in the tens of microseconds.
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace annsim {
+
+class Backoff {
+ public:
+  /// `max_sleep` caps the exponential growth of the sleep phase.
+  explicit Backoff(std::chrono::microseconds max_sleep =
+                       std::chrono::microseconds(200)) noexcept
+      : max_sleep_(max_sleep) {}
+
+  /// Call once per failed poll. Phases: kSpins tight spins, then kYields
+  /// sched yields, then sleeps doubling from 25us up to `max_sleep`.
+  void pause() {
+    ++attempts_;
+    if (attempts_ <= kSpins) return;
+    if (attempts_ <= kSpins + kYields) {
+      std::this_thread::yield();
+      return;
+    }
+    std::this_thread::sleep_for(sleep_);
+    sleep_ = std::min(sleep_ * 2, max_sleep_);
+  }
+
+  /// Call after a successful poll so the next blocked stretch starts cheap.
+  void reset() noexcept {
+    attempts_ = 0;
+    sleep_ = kFirstSleep;
+  }
+
+ private:
+  static constexpr std::uint32_t kSpins = 64;
+  static constexpr std::uint32_t kYields = 16;
+  static constexpr std::chrono::microseconds kFirstSleep{25};
+
+  std::chrono::microseconds max_sleep_;
+  std::chrono::microseconds sleep_ = kFirstSleep;
+  std::uint32_t attempts_ = 0;
+};
+
+}  // namespace annsim

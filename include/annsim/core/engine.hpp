@@ -93,6 +93,17 @@ struct EngineConfig {
   /// `result_timeout_ms` — even if the worker has no outstanding jobs.
   /// 0 (default) = result_timeout_ms / 4.
   double heartbeat_interval_ms = 0.0;
+
+  // ---- usage-correctness checking (annsim::check) ----
+  /// Run every engine runtime (build, search batches, heal) under the MPI
+  /// usage verifier. ANNSIM_MPI_CHECK=1 in the environment force-enables
+  /// this too. The engine declares its control-plane tags (EOQ, done,
+  /// heartbeat) reserved and, when failure detection is armed, marks the
+  /// by-design-abandonable data-plane tags best-effort — see DESIGN.md §4.9.
+  bool mpi_check = false;
+  /// Checked runtimes throw on violations (fatal). Set false to collect
+  /// and inspect `DistributedAnnEngine::check_report()` instead.
+  bool check_fatal = true;
 };
 
 struct BuildStats {
@@ -232,6 +243,20 @@ class DistributedAnnEngine {
   /// batch. Safe to call with nothing to heal (reports zeros).
   recovery::HealReport heal();
 
+  /// Cumulative annsim::check report across every runtime this engine ran
+  /// (build, each search batch, heal). Empty unless checking is enabled via
+  /// `EngineConfig::mpi_check` or ANNSIM_MPI_CHECK=1.
+  [[nodiscard]] check::CheckReport check_report() const;
+
+  /// Arm (or disarm) the MPI usage checker on every runtime this engine
+  /// creates from now on. `fatal=false` accumulates violations into
+  /// check_report() instead of throwing at runtime finalize — the mode the
+  /// CLI benches use so a violation is reported once, at exit.
+  void set_mpi_check(bool enabled, bool fatal = true) noexcept {
+    config_.mpi_check = enabled;
+    config_.check_fatal = fatal;
+  }
+
  private:
   DistributedAnnEngine() = default;  // for load()
 
@@ -254,6 +279,11 @@ class DistributedAnnEngine {
   /// every search runtime, so death flags and op budgets persist across
   /// batches. Null when the config's fault plan is inert.
   std::shared_ptr<mpi::FaultInjector> shared_injector();
+  /// Install the verifier on an engine runtime per config_/environment
+  /// (reserved + best-effort tag sets included). No-op when checking is off.
+  void configure_runtime_check(mpi::Runtime& rt) const;
+  /// Fold a finished runtime's report into the engine-lifetime report.
+  void absorb_check_report(const mpi::Runtime& rt);
   void master_search_owner(mpi::Comm& world, const data::Dataset& queries,
                            std::size_t k, std::size_t ef,
                            data::KnnResults& results, SearchStats& stats,
@@ -270,6 +300,7 @@ class DistributedAnnEngine {
   /// batch n stays dead in batch n+1 until heal() revives it.
   std::shared_ptr<mpi::FaultInjector> injector_;
   recovery::ClusterHealth health_;  ///< persistent liveness record
+  check::CheckReport check_report_;  ///< merged across engine runtimes
 };
 
 }  // namespace annsim::core

@@ -35,6 +35,7 @@
 #include <span>
 #include <vector>
 
+#include "annsim/check/check.hpp"
 #include "annsim/common/serialize.hpp"
 #include "annsim/common/types.hpp"
 #include "annsim/mpi/fault.hpp"
@@ -172,8 +173,22 @@ class Comm {
   [[nodiscard]] std::optional<Message> recv_for(int source, Tag tag,
                                                 std::chrono::microseconds timeout);
   [[nodiscard]] Request irecv(int source = kAnySource, Tag tag = kAnyTag);
+  /// Post a receive matching any tag in `tags` (each >= 0, non-empty). The
+  /// safe alternative to a kAnyTag wildcard: a loop that owns several tags
+  /// names exactly those, so a message on any *other* tag — present or added
+  /// later — can never be swallowed by the wrong code path. The matched tag
+  /// is reported in the taken Message.
+  [[nodiscard]] Request irecv_tags(int source, std::vector<Tag> tags);
   /// Is a matching message waiting? (MPI_Iprobe)
   [[nodiscard]] bool iprobe(int source = kAnySource, Tag tag = kAnyTag);
+
+  // --- control-plane point-to-point ---
+  /// Like send/isend, but exempt from the checker's reserved-tag rule
+  /// (check::Rule::kReservedTagSend). Use at the few call sites that
+  /// legitimately emit control-plane traffic (EOQ, heartbeats, ...); plain
+  /// send/isend on a tag listed in CheckOptions::reserved_tags is flagged.
+  void send_reserved(int dest, Tag tag, std::span<const std::byte> payload);
+  Request isend_reserved(int dest, Tag tag, std::span<const std::byte> payload);
 
   // --- collectives (every member must call, in the same order) ---
   void barrier();
@@ -246,6 +261,15 @@ class Comm {
   Comm(std::shared_ptr<detail::RuntimeState> rt, std::uint64_t comm_id,
        std::vector<int> members, int my_index);
 
+  /// Shared implementation of all sends. `internal` marks collective traffic
+  /// (negative tags allowed, never fault-gated); `reserved_ok` suppresses the
+  /// checker's reserved-tag rule (send_reserved / isend_reserved).
+  Request isend_impl(int dest, Tag tag, std::span<const std::byte> payload,
+                     bool internal, bool reserved_ok);
+  /// Blocking receive on an internal collective tag — bypasses the
+  /// user-facing tag rules but keeps the checker's deadlock instrumentation.
+  Message recv_internal_(int source, Tag tag);
+
   std::shared_ptr<detail::RuntimeState> rt_;
   std::uint64_t comm_id_ = 0;
   std::vector<int> members_;  ///< global rank of each communicator index
@@ -287,6 +311,20 @@ class Runtime {
   [[nodiscard]] FaultInjector* fault_injector() noexcept;
   /// Ranks whose kill rule fired (empty without fault injection).
   [[nodiscard]] std::vector<int> failed_ranks() const;
+
+  // --- usage-correctness checking (annsim::check) ---
+  /// Install (or reconfigure) the MPI usage verifier. The environment is
+  /// folded in: ANNSIM_MPI_CHECK=1 force-enables even if `opts.enabled` is
+  /// false, and ANNSIM_MPI_CHECK_FATAL (when set) overrides `opts.fatal`.
+  /// With the checker off this is free; with it on, every run() finalizes
+  /// with a leak/unmatched-send/epoch scan and — when `fatal` — throws
+  /// annsim::Error carrying the report text if new violations were found.
+  /// Call before run(); reconfiguring resets nothing but the options.
+  void configure_check(const check::CheckOptions& opts);
+  /// True when a verifier is installed (explicitly or via the environment).
+  [[nodiscard]] bool check_enabled() const noexcept;
+  /// Snapshot of the cumulative report (all run() calls on this Runtime).
+  [[nodiscard]] check::CheckReport check_report() const;
 
  private:
   std::shared_ptr<detail::RuntimeState> state_;

@@ -1,0 +1,137 @@
+#include "annsim/check/check.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+namespace annsim::check {
+
+const char* rule_name(Rule rule) noexcept {
+  switch (rule) {
+    case Rule::kRequestLeak: return "request-leak";
+    case Rule::kRmaOutsideEpoch: return "rma-outside-epoch";
+    case Rule::kRmaLockMisuse: return "rma-lock-misuse";
+    case Rule::kRmaEpochLeak: return "rma-epoch-leak";
+    case Rule::kReservedTagSend: return "reserved-tag-send";
+    case Rule::kWildcardRecv: return "wildcard-recv";
+    case Rule::kDeadlock: return "deadlock";
+    case Rule::kUnmatchedSend: return "unmatched-send";
+  }
+  return "unknown";
+}
+
+const char* rule_what(Rule rule) noexcept {
+  switch (rule) {
+    case Rule::kRequestLeak:
+      return "nonblocking receive never completed, taken, or cancelled";
+    case Rule::kRmaOutsideEpoch:
+      return "one-sided op outside a lock_shared/unlock access epoch";
+    case Rule::kRmaLockMisuse:
+      return "unlock without lock, or nested lock_shared at one target";
+    case Rule::kRmaEpochLeak:
+      return "access epoch still open at finalize";
+    case Rule::kReservedTagSend:
+      return "plain p2p send on a declared control-plane tag";
+    case Rule::kWildcardRecv:
+      return "kAnyTag receive posted while control-plane tags are declared";
+    case Rule::kDeadlock:
+      return "cycle in the cross-rank blocked-receive wait-for graph";
+    case Rule::kUnmatchedSend:
+      return "message sent but never received (finalize scan)";
+  }
+  return "unknown";
+}
+
+const Occurrence* CheckReport::first(Rule rule) const noexcept {
+  for (const auto& o : occurrences) {
+    if (o.rule == rule) return &o;
+  }
+  return nullptr;
+}
+
+void CheckReport::merge(const CheckReport& other, std::size_t max_occurrences) {
+  for (std::size_t i = 0; i < kRuleCount; ++i) counts[i] += other.counts[i];
+  for (const auto& o : other.occurrences) {
+    std::size_t have = 0;
+    for (const auto& mine : occurrences) {
+      if (mine.rule == o.rule) ++have;
+    }
+    if (have < max_occurrences) occurrences.push_back(o);
+  }
+  for (const auto& [key, n] : other.unmatched_histogram) {
+    unmatched_histogram[key] += n;
+  }
+  best_effort_residue += other.best_effort_residue;
+  runs += other.runs;
+}
+
+std::string to_string(const CheckReport& report) {
+  std::ostringstream os;
+  if (report.clean()) {
+    os << "annsim::check: clean (" << report.runs << " run"
+       << (report.runs == 1 ? "" : "s");
+    if (report.best_effort_residue > 0) {
+      os << ", " << report.best_effort_residue
+         << " best-effort messages left unreceived";
+    }
+    os << ")";
+    return os.str();
+  }
+  os << "annsim::check: " << report.total_violations() << " violation"
+     << (report.total_violations() == 1 ? "" : "s") << " across " << report.runs
+     << " run" << (report.runs == 1 ? "" : "s") << "\n";
+  for (std::size_t i = 0; i < kRuleCount; ++i) {
+    if (report.counts[i] == 0) continue;
+    const auto rule = Rule(int(i));
+    os << "  [" << rule_name(rule) << "] x" << report.counts[i] << " — "
+       << rule_what(rule) << "\n";
+    for (const auto& o : report.occurrences) {
+      if (o.rule != rule) continue;
+      os << "    rank " << o.rank;
+      if (o.peer >= 0) os << " <-> " << o.peer;
+      if (o.tag != -1) os << " tag " << o.tag;
+      if (!o.detail.empty()) os << ": " << o.detail;
+      os << "\n";
+    }
+  }
+  if (!report.unmatched_histogram.empty()) {
+    os << "  unmatched-send histogram (tag -> dest: count):\n";
+    for (const auto& [key, n] : report.unmatched_histogram) {
+      os << "    tag " << key.first << " -> rank " << key.second << ": " << n
+         << "\n";
+    }
+  }
+  if (report.best_effort_residue > 0) {
+    os << "  (+" << report.best_effort_residue
+       << " unreceived messages on best-effort tags, not counted)\n";
+  }
+  std::string s = os.str();
+  if (!s.empty() && s.back() == '\n') s.pop_back();
+  return s;
+}
+
+namespace {
+
+int env_flag(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return -1;
+  if (std::strcmp(v, "1") == 0 || std::strcmp(v, "true") == 0 ||
+      std::strcmp(v, "on") == 0) {
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+bool env_check_enabled() noexcept {
+  static const int v = env_flag("ANNSIM_MPI_CHECK");
+  return v == 1;
+}
+
+int env_check_fatal() noexcept {
+  static const int v = env_flag("ANNSIM_MPI_CHECK_FATAL");
+  return v;
+}
+
+}  // namespace annsim::check

@@ -5,9 +5,11 @@
 #include <bit>
 #include <fstream>
 #include <chrono>
+#include <functional>
 #include <mutex>
 #include <thread>
 
+#include "annsim/common/backoff.hpp"
 #include "annsim/common/error.hpp"
 #include "annsim/common/log.hpp"
 #include "annsim/common/timer.hpp"
@@ -127,7 +129,17 @@ void DistributedAnnEngine::build() {
 
   WallTimer total_timer;
   mpi::Runtime rt(int(P) + 1);
-  rt.run([&](mpi::Comm& world) {
+  configure_runtime_check(rt);
+  auto run_checked = [&](const std::function<void(mpi::Comm&)>& body) {
+    try {
+      rt.run(body);
+    } catch (...) {
+      absorb_check_report(rt);
+      throw;
+    }
+    absorb_check_report(rt);
+  };
+  run_checked([&](mpi::Comm& world) {
     const int wr = world.rank();
     mpi::Comm grp = world.split(wr == 0 ? 0 : 1);
 
@@ -272,7 +284,17 @@ data::KnnResults DistributedAnnEngine::search(const data::Dataset& queries,
   for (std::size_t w = 0; w < P; ++w) alive[w] = health_.alive(w) ? 1 : 0;
   std::vector<std::uint64_t> heartbeats(P, 0);
 
-  rt.run([&](mpi::Comm& world) {
+  configure_runtime_check(rt);
+  auto run_checked = [&](const std::function<void(mpi::Comm&)>& body) {
+    try {
+      rt.run(body);
+    } catch (...) {
+      absorb_check_report(rt);
+      throw;
+    }
+    absorb_check_report(rt);
+  };
+  run_checked([&](mpi::Comm& world) {
     if (config_.strategy == DispatchStrategy::kMultipleOwner) {
       if (world.rank() == 0) {
         master_search_owner(world, queries, k, ef, results, st, on_query_done);
@@ -310,6 +332,34 @@ data::KnnResults DistributedAnnEngine::search(const data::Dataset& queries,
   st.traffic = rt.total_traffic();
   if (stats != nullptr) *stats = st;
   return results;
+}
+
+check::CheckReport DistributedAnnEngine::check_report() const {
+  return check_report_;
+}
+
+void DistributedAnnEngine::configure_runtime_check(mpi::Runtime& rt) const {
+  if (!config_.mpi_check && !check::env_check_enabled()) return;
+  check::CheckOptions o;
+  o.enabled = true;
+  o.fatal = config_.check_fatal;
+  // The engine's control plane: termination, completion notices, liveness
+  // beacons. Data-plane code must never send these plainly (or swallow them
+  // through a wildcard) — the reserved-tag and wildcard rules enforce it.
+  o.reserved_tags = {kTagEoq, kTagDone, kTagHeartbeat};
+  if (config_.result_timeout_ms > 0.0) {
+    // With failure detection armed, these are by-design abandonable: a
+    // worker declared dead (perhaps too eagerly) keeps sending results,
+    // done notices, and beacons that nobody will ever drain. Residue is
+    // still counted in the report, just not a violation.
+    o.best_effort_tags = {kTagResult, kTagDone, kTagHeartbeat};
+  }
+  rt.configure_check(o);
+}
+
+void DistributedAnnEngine::absorb_check_report(const mpi::Runtime& rt) {
+  if (!rt.check_enabled()) return;
+  check_report_.merge(rt.check_report());
 }
 
 std::shared_ptr<mpi::FaultInjector> DistributedAnnEngine::shared_injector() {
@@ -452,7 +502,7 @@ void DistributedAnnEngine::master_search(
     if (!detect) {
       for (std::size_t w = 0; w < P; ++w) {
         ScopedPhase p(dispatch_t);
-        (void)world.isend(int(w) + 1, kTagEoq, {});
+        (void)world.isend_reserved(int(w) + 1, kTagEoq, {});
       }
     }
   } else {
@@ -490,7 +540,7 @@ void DistributedAnnEngine::master_search(
     }
     for (std::size_t w = 0; w < P; ++w) {
       ScopedPhase p(dispatch_t);
-      (void)world.isend(int(w) + 1, kTagEoq, {});
+      (void)world.isend_reserved(int(w) + 1, kTagEoq, {});
     }
   }
 
@@ -659,7 +709,7 @@ void DistributedAnnEngine::master_search(
   if (detect) {
     for (std::size_t w = 0; w < P; ++w) {
       ScopedPhase p(dispatch_t);
-      (void)world.isend(int(w) + 1, kTagEoq, {});
+      (void)world.isend_reserved(int(w) + 1, kTagEoq, {});
     }
   }
 
@@ -770,8 +820,11 @@ void DistributedAnnEngine::worker_search(mpi::Comm& world, std::size_t k) {
   auto thread_main = [&] {
     double my_compute = 0.0, my_comm = 0.0;
     for (;;) {
-      mpi::Request req = world.irecv(0, mpi::kAnyTag);
-      int spins = 0;
+      // A tag set, not a wildcard: the worker names exactly what it is
+      // willing to consume, so a stray control message can never be
+      // swallowed as a query (annsim::check's wildcard-recv rule).
+      mpi::Request req = world.irecv_tags(0, {kTagQuery, kTagEoq});
+      Backoff backoff;
       bool cancelled = false;
       while (!req.test()) {
         if (done.load(std::memory_order_acquire)) {
@@ -781,11 +834,7 @@ void DistributedAnnEngine::worker_search(mpi::Comm& world, std::size_t k) {
           }
           // Completed concurrently with the flag: fall through and take it.
         }
-        if (++spins > 256) {
-          std::this_thread::sleep_for(std::chrono::microseconds(50));
-        } else {
-          std::this_thread::yield();
-        }
+        backoff.pause();
       }
       if (cancelled) break;
       mpi::Message m = req.take();
@@ -838,7 +887,7 @@ void DistributedAnnEngine::worker_search(mpi::Comm& world, std::size_t k) {
       const auto slice = std::min<std::chrono::microseconds>(
           interval, std::chrono::microseconds(1000));
       while (!done.load(std::memory_order_acquire)) {
-        (void)world.isend(0, kTagHeartbeat, {});
+        (void)world.isend_reserved(0, kTagHeartbeat, {});
         // Sleep the interval in slices so termination stays prompt.
         const auto wake = std::chrono::steady_clock::now() + interval;
         while (!done.load(std::memory_order_acquire) &&
@@ -865,7 +914,7 @@ void DistributedAnnEngine::worker_search(mpi::Comm& world, std::size_t k) {
   notice.comm_seconds = comm_s;
   BinaryWriter w;
   w.write(notice);
-  world.send(0, kTagDone, w.bytes());
+  world.send_reserved(0, kTagDone, w.bytes());
 }
 
 // ------------------------------------------------------------ recovery ----
@@ -1011,7 +1060,17 @@ recovery::HealReport DistributedAnnEngine::heal() {
     const auto stream_timeout = std::chrono::microseconds(std::max<std::int64_t>(
         std::int64_t(config_.result_timeout_ms * 1000.0), 1'000'000));
     mpi::Runtime rt(int(P) + 1, shared_injector());
-    rt.run([&](mpi::Comm& world) {
+    configure_runtime_check(rt);
+    auto run_checked = [&](const std::function<void(mpi::Comm&)>& body) {
+      try {
+        rt.run(body);
+      } catch (...) {
+        absorb_check_report(rt);
+        throw;
+      }
+      absorb_check_report(rt);
+    };
+    run_checked([&](mpi::Comm& world) {
       if (world.rank() == 0) return;
       const std::size_t me = std::size_t(world.rank()) - 1;
       // Sends first (they never block in-process), then receives in plan

@@ -3,6 +3,7 @@
 #include <mutex>
 #include <thread>
 
+#include "annsim/common/backoff.hpp"
 #include "annsim/common/error.hpp"
 #include "annsim/common/timer.hpp"
 #include "annsim/common/topk.hpp"
@@ -125,7 +126,7 @@ void DistributedAnnEngine::worker_search_owner(mpi::Comm& world,
     double my_compute = 0.0, my_comm = 0.0;
     for (;;) {
       mpi::Request req = world.irecv(mpi::kAnySource, kTagQuery);
-      int spins = 0;
+      Backoff backoff;
       bool cancelled = false;
       while (!req.test()) {
         const std::uint64_t exp = expected.load(std::memory_order_acquire);
@@ -136,11 +137,7 @@ void DistributedAnnEngine::worker_search_owner(mpi::Comm& world,
             break;
           }
         }
-        if (++spins > 256) {
-          std::this_thread::sleep_for(std::chrono::microseconds(50));
-        } else {
-          std::this_thread::yield();
-        }
+        backoff.pause();
       }
       if (cancelled) break;
       mpi::Message m = req.take();
@@ -264,7 +261,7 @@ void DistributedAnnEngine::worker_search_owner(mpi::Comm& world,
   notice.route_seconds = route_t.total_seconds();
   BinaryWriter w;
   w.write(notice);
-  world.send(0, kTagDone, w.bytes());
+  world.send_reserved(0, kTagDone, w.bytes());
 }
 
 }  // namespace annsim::core

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <thread>
 
+#include "annsim/common/backoff.hpp"
 #include "annsim/common/error.hpp"
 #include "annsim/common/timer.hpp"
 #include "annsim/common/topk.hpp"
@@ -157,7 +158,7 @@ void DistributedKdEngine::master_search(mpi::Comm& world,
   total_jobs += phase2_jobs;
   for (std::size_t w = 0; w < P; ++w) {
     ScopedPhase p(dispatch_t);
-    (void)world.isend(int(w) + 1, kTagEoq, {});
+    (void)world.isend_reserved(int(w) + 1, kTagEoq, {});
   }
   for (std::uint64_t i = 0; i < phase2_jobs; ++i) {
     mpi::Message m = world.recv(mpi::kAnySource, kTagResult);
@@ -198,8 +199,10 @@ void DistributedKdEngine::worker_search(mpi::Comm& world) {
   auto thread_main = [&] {
     double my_compute = 0.0;
     for (;;) {
-      mpi::Request req = world.irecv(0, mpi::kAnyTag);
-      int spins = 0;
+      // Tag set instead of a wildcard: name exactly what this loop is
+      // willing to consume (annsim::check's wildcard-recv rule).
+      mpi::Request req = world.irecv_tags(0, {kTagQuery, kTagEoq});
+      Backoff backoff;
       bool cancelled = false;
       while (!req.test()) {
         if (done.load(std::memory_order_acquire)) {
@@ -208,11 +211,7 @@ void DistributedKdEngine::worker_search(mpi::Comm& world) {
             break;
           }
         }
-        if (++spins > 256) {
-          std::this_thread::sleep_for(std::chrono::microseconds(50));
-        } else {
-          std::this_thread::yield();
-        }
+        backoff.pause();
       }
       if (cancelled) break;
       mpi::Message m = req.take();
@@ -249,7 +248,7 @@ void DistributedKdEngine::worker_search(mpi::Comm& world) {
   notice.compute_seconds = compute_s;
   BinaryWriter w;
   w.write(notice);
-  world.send(0, kTagDone, w.bytes());
+  world.send_reserved(0, kTagDone, w.bytes());
 }
 
 }  // namespace annsim::core

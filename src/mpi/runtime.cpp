@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <list>
 #include <map>
 #include <mutex>
+#include <set>
+#include <sstream>
 #include <thread>
 
 #include "annsim/common/error.hpp"
@@ -26,11 +29,13 @@ inline constexpr Tag kTagAlltoallv = -15;
 struct Envelope {
   std::uint64_t comm_id = 0;
   int source_local = kAnySource;  ///< sender's rank within the communicator
+  int source_global = kAnySource; ///< sender's global rank (diagnostics)
   Tag tag = kAnyTag;
   std::vector<std::byte> payload;
 };
 
 struct Mailbox;
+struct Checker;
 
 /// Shared state of one posted (i)recv.
 struct RecvState {
@@ -44,8 +49,17 @@ struct RecvState {
   std::uint64_t comm_id = 0;
   int source = kAnySource;  ///< comm-local source filter
   Tag tag = kAnyTag;
+  std::vector<Tag> tag_set; ///< non-empty => match any of these (irecv_tags)
 
   Mailbox* owner = nullptr;  ///< mailbox holding this pending recv
+
+  // --- annsim::check instrumentation (inert when checker == nullptr) ---
+  std::shared_ptr<Checker> checker;
+  int posted_rank = -1;                ///< poster's global rank
+  int posted_source_global = kAnySource;  ///< source filter as a global rank
+  bool observed = false;  ///< wait/test saw completion, take(), or cancel()
+
+  ~RecvState();
 };
 
 struct Mailbox {
@@ -85,6 +99,201 @@ struct AtomicTraffic {
   }
 };
 
+/// The MPI usage verifier (annsim::check). One per Runtime, shared into every
+/// RecvState it instruments. All mutable state behind `mu` except `aborted`,
+/// which blocked waiters poll without a lock.
+///
+/// Lock order: Checker::mu may be taken alone, and RecvState::mu may be taken
+/// *under* Checker::mu (cycle re-verification). The reverse never happens —
+/// Request::wait drops the state mutex before calling into the checker.
+struct Checker {
+  explicit Checker(check::CheckOptions o) : opts(std::move(o)) {
+    reserved.insert(opts.reserved_tags.begin(), opts.reserved_tags.end());
+    best_effort.insert(opts.best_effort_tags.begin(), opts.best_effort_tags.end());
+  }
+
+  check::CheckOptions opts;
+  std::set<Tag> reserved;
+  std::set<Tag> best_effort;
+
+  mutable std::mutex mu;
+  check::CheckReport report;  ///< cumulative across run() calls
+
+  /// One entry per unbounded wait blocked past `opts.deadlock_after`,
+  /// keyed by the RecvState being waited on. Edge: posted_rank -> waiting_on.
+  struct BlockedWait {
+    int rank = -1;        ///< waiter's global rank
+    int waiting_on = -1;  ///< awaited source's global rank (never kAnySource)
+    Tag tag = kAnyTag;
+    std::chrono::steady_clock::time_point since;
+    std::weak_ptr<RecvState> state;
+  };
+  std::map<const RecvState*, BlockedWait> blocked;
+  std::chrono::steady_clock::time_point last_scan{};
+
+  std::atomic<bool> aborted{false};
+  std::string deadlock_dump;  ///< written under mu before aborted flips
+
+  void violate(check::Rule rule, int rank, int peer, Tag tag,
+               std::string detail) {
+    std::lock_guard lk(mu);
+    violate_locked(rule, rank, peer, tag, std::move(detail));
+  }
+
+  void violate_locked(check::Rule rule, int rank, int peer, Tag tag,
+                      std::string detail) {
+    ++report.counts[std::size_t(rule)];
+    std::size_t have = 0;
+    for (const auto& o : report.occurrences) {
+      if (o.rule == rule) ++have;
+    }
+    if (have < opts.max_occurrences) {
+      report.occurrences.push_back(
+          check::Occurrence{rule, rank, peer, tag, std::move(detail)});
+    }
+  }
+
+  [[nodiscard]] bool is_reserved(Tag tag) const { return reserved.count(tag) > 0; }
+  [[nodiscard]] bool is_best_effort(Tag tag) const {
+    return best_effort.count(tag) > 0;
+  }
+
+  /// Enter a blocked unbounded wait into the wait-for graph. Any-source
+  /// waits carry no definite edge and are skipped (returns false).
+  bool register_blocked(const std::shared_ptr<RecvState>& state) {
+    if (state->posted_source_global == kAnySource) return false;
+    BlockedWait b;
+    b.rank = state->posted_rank;
+    b.waiting_on = state->posted_source_global;
+    b.tag = state->tag;
+    b.since = std::chrono::steady_clock::now();
+    b.state = state;
+    std::lock_guard lk(mu);
+    blocked[state.get()] = std::move(b);
+    return true;
+  }
+
+  void unregister_blocked(const RecvState* state) {
+    std::lock_guard lk(mu);
+    blocked.erase(state);
+  }
+
+  [[noreturn]] void throw_deadlock() const {
+    std::string dump;
+    {
+      std::lock_guard lk(mu);
+      dump = deadlock_dump;
+    }
+    throw Error("annsim::check: deadlock detected\n" + dump);
+  }
+
+  /// Throttled cycle scan over the wait-for graph. Called by blocked waiters
+  /// on their wakeup slices. On a confirmed cycle: record the violation,
+  /// write the dump, flip `aborted` — every checked wait then throws.
+  void maybe_scan() {
+    const auto now = std::chrono::steady_clock::now();
+    std::lock_guard lk(mu);
+    if (aborted.load(std::memory_order_relaxed)) return;
+    if (now - last_scan < std::chrono::milliseconds(50)) return;
+    last_scan = now;
+
+    // Prune entries whose wait already completed or whose state died: a
+    // delivered-but-not-yet-woken waiter must not look blocked (the message
+    // may have arrived microseconds ago), or a linear barrier could read as
+    // a phantom root<->member cycle.
+    for (auto it = blocked.begin(); it != blocked.end();) {
+      auto sp = it->second.state.lock();
+      bool live = false;
+      if (sp != nullptr) {
+        std::lock_guard slk(sp->mu);
+        live = !sp->completed && !sp->cancelled;
+      }
+      it = live ? std::next(it) : blocked.erase(it);
+    }
+    if (blocked.empty()) return;
+
+    // A rank may have several outgoing edges (engine ranks run thread
+    // teams); walk the digraph with a plain colored DFS.
+    std::map<int, std::vector<int>> adj;
+    for (const auto& [_, b] : blocked) adj[b.rank].push_back(b.waiting_on);
+
+    std::map<int, int> color;  // 0 white, 1 on stack, 2 done
+    std::vector<int> stack;
+    std::vector<int> cycle;
+    std::function<bool(int)> dfs = [&](int u) -> bool {
+      color[u] = 1;
+      stack.push_back(u);
+      for (int v : adj[u]) {
+        if (adj.find(v) == adj.end()) continue;  // v not blocked: no edge out
+        if (color[v] == 1) {
+          auto it = std::find(stack.begin(), stack.end(), v);
+          cycle.assign(it, stack.end());
+          return true;
+        }
+        if (color[v] == 0 && dfs(v)) return true;
+      }
+      color[u] = 2;
+      stack.pop_back();
+      return false;
+    };
+    for (const auto& [u, _] : adj) {
+      if (color[u] == 0 && dfs(u)) break;
+    }
+    if (cycle.empty()) return;
+
+    std::ostringstream os;
+    os << "  cycle:";
+    for (int r : cycle) os << " rank " << r << " ->";
+    os << " rank " << cycle.front() << "\n";
+    os << "  blocked unbounded receives at detection:\n";
+    for (const auto& [_, b] : blocked) {
+      const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          now - b.since)
+                          .count() +
+                      opts.deadlock_after.count();
+      os << "    rank " << b.rank << ": recv(source=" << b.waiting_on
+         << ", tag=" << b.tag << ") blocked ~" << ms << " ms\n";
+    }
+    deadlock_dump = os.str();
+    violate_locked(check::Rule::kDeadlock, cycle.front(),
+                   cycle.size() > 1 ? cycle[1] : cycle.front(), kAnyTag,
+                   deadlock_dump);
+    aborted.store(true, std::memory_order_release);
+  }
+
+  /// Hard stop every checked operation once a deadlock was diagnosed —
+  /// "continuing" a deadlocked program only manufactures secondary hangs.
+  void throw_if_aborted() const {
+    if (aborted.load(std::memory_order_acquire)) throw_deadlock();
+  }
+};
+
+RecvState::~RecvState() {
+  // A posted receive dying unobserved IS the request leak — whether the
+  // handle was dropped mid-run or sat pending until the finalize sweep
+  // cleared the mailboxes. Skip after a deadlock abort: the unwind drops
+  // handles everywhere and the leaks are fallout, not independent bugs.
+  if (checker != nullptr && !observed &&
+      !checker->aborted.load(std::memory_order_relaxed)) {
+    std::ostringstream os;
+    os << "posted irecv(source="
+       << (posted_source_global == kAnySource ? std::string("any")
+                                              : std::to_string(posted_source_global));
+    if (!tag_set.empty()) {
+      os << ", tags={";
+      for (std::size_t i = 0; i < tag_set.size(); ++i) {
+        os << (i != 0 ? "," : "") << tag_set[i];
+      }
+      os << "}";
+    } else {
+      os << ", tag=" << (tag == kAnyTag ? std::string("any") : std::to_string(tag));
+    }
+    os << ") never completed, taken, or cancelled";
+    checker->violate(check::Rule::kRequestLeak, posted_rank,
+                     posted_source_global, tag, os.str());
+  }
+}
+
 struct RuntimeState {
   int n_ranks = 0;
   std::vector<std::unique_ptr<Mailbox>> mailboxes;   ///< per global rank
@@ -94,6 +303,7 @@ struct RuntimeState {
   std::shared_ptr<FaultInjector> fault;              ///< null = no injection;
                                                      ///< shared so fault state
                                                      ///< can outlive a Runtime
+  std::shared_ptr<Checker> checker;                  ///< null = checking off
 
   std::mutex win_mu;
   std::map<std::uint64_t, std::shared_ptr<WindowState>> windows;
@@ -101,9 +311,10 @@ struct RuntimeState {
 
 namespace {
 
-bool matches(const Envelope& e, std::uint64_t comm_id, int source, Tag tag) {
-  if (e.comm_id != comm_id) return false;
-  if (source != kAnySource && e.source_local != source) return false;
+bool tag_matches(const Envelope& e, Tag tag, const std::vector<Tag>& tag_set) {
+  if (!tag_set.empty()) {
+    return std::find(tag_set.begin(), tag_set.end(), e.tag) != tag_set.end();
+  }
   // The tag wildcard spans user tags only: internal collective traffic
   // (negative tags) lives in its own context, as in real MPI, so a user's
   // iprobe/recv(kAnyTag) never observes an in-flight barrier token. Internal
@@ -111,6 +322,15 @@ bool matches(const Envelope& e, std::uint64_t comm_id, int source, Tag tag) {
   if (tag == kAnyTag) return e.tag >= 0;
   return e.tag == tag;
 }
+
+bool matches(const Envelope& e, std::uint64_t comm_id, int source, Tag tag,
+             const std::vector<Tag>& tag_set) {
+  if (e.comm_id != comm_id) return false;
+  if (source != kAnySource && e.source_local != source) return false;
+  return tag_matches(e, tag, tag_set);
+}
+
+const std::vector<Tag> kNoTagSet;
 
 /// Deliver an envelope to a mailbox: complete the first matching pending
 /// recv, or queue the message.
@@ -126,7 +346,8 @@ void deliver(Mailbox& box, Envelope env) {
   {
     std::lock_guard lk(box.mu);
     for (auto it = box.pending.begin(); it != box.pending.end(); ++it) {
-      if (matches(env, (*it)->comm_id, (*it)->source, (*it)->tag)) {
+      if (matches(env, (*it)->comm_id, (*it)->source, (*it)->tag,
+                  (*it)->tag_set)) {
         match = *it;
         box.pending.erase(it);
         break;
@@ -145,16 +366,18 @@ void deliver(Mailbox& box, Envelope env) {
 
 /// Post a recv: immediately complete against a queued message, or park it.
 std::shared_ptr<RecvState> post_recv(Mailbox& box, std::uint64_t comm_id,
-                                     int source, Tag tag) {
+                                     int source, Tag tag,
+                                     std::vector<Tag> tag_set) {
   auto state = std::make_shared<RecvState>();
   state->comm_id = comm_id;
   state->source = source;
   state->tag = tag;
+  state->tag_set = std::move(tag_set);
   state->owner = &box;
 
   std::lock_guard lk(box.mu);
   for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
-    if (matches(*it, comm_id, source, tag)) {
+    if (matches(*it, comm_id, source, tag, state->tag_set)) {
       state->msg = Message{it->source_local, it->tag, std::move(it->payload)};
       state->completed = true;
       box.queue.erase(it);
@@ -177,22 +400,66 @@ bool Request::valid() const noexcept { return state_ != nullptr; }
 
 bool Request::test() {
   if (!state_) return true;  // sends complete immediately
+  if (state_->checker) state_->checker->throw_if_aborted();
   std::lock_guard lk(state_->mu);
-  return state_->completed;
+  if (state_->completed) {
+    state_->observed = true;
+    return true;
+  }
+  return false;
 }
 
 void Request::wait() {
   if (!state_) return;
-  std::unique_lock lk(state_->mu);
-  state_->cv.wait(lk, [this] { return state_->completed || state_->cancelled; });
+  const auto chk = state_->checker;
+  if (!chk) {
+    std::unique_lock lk(state_->mu);
+    state_->cv.wait(lk,
+                    [this] { return state_->completed || state_->cancelled; });
+    return;
+  }
+
+  // Checked wait: sleep in slices so a rank blocked past the deadlock
+  // threshold can enter the wait-for graph, trigger cycle scans, and unwind
+  // when some scan diagnoses a deadlock. The state mutex is never held while
+  // calling into the checker (see Checker's lock-order note).
+  chk->throw_if_aborted();
+  const auto started = std::chrono::steady_clock::now();
+  const auto slice = std::chrono::milliseconds(20);
+  bool threshold_hit = false;
+  bool registered = false;
+  for (;;) {
+    bool done;
+    {
+      std::unique_lock lk(state_->mu);
+      done = state_->cv.wait_for(lk, slice, [this] {
+        return state_->completed || state_->cancelled;
+      });
+      if (done && state_->completed) state_->observed = true;
+    }
+    if (done) break;
+    if (chk->aborted.load(std::memory_order_acquire)) {
+      if (registered) chk->unregister_blocked(state_.get());
+      chk->throw_deadlock();
+    }
+    if (!threshold_hit &&
+        std::chrono::steady_clock::now() - started >= chk->opts.deadlock_after) {
+      threshold_hit = true;
+      registered = chk->register_blocked(state_);
+    }
+    if (threshold_hit) chk->maybe_scan();
+  }
+  if (registered) chk->unregister_blocked(state_.get());
 }
 
 bool Request::wait_for(std::chrono::microseconds timeout) {
   if (!state_) return true;  // sends complete immediately
+  if (state_->checker) state_->checker->throw_if_aborted();
   std::unique_lock lk(state_->mu);
   (void)state_->cv.wait_for(lk, timeout, [this] {
     return state_->completed || state_->cancelled;
   });
+  if (state_->completed && state_->checker) state_->observed = true;
   return state_->completed;
 }
 
@@ -211,6 +478,7 @@ bool Request::cancel() {
       }
     }
     state_->cancelled = true;
+    state_->observed = true;  // cancelling is proper cleanup, not a leak
   }
   state_->cv.notify_all();
   return true;
@@ -220,6 +488,7 @@ Message Request::take() {
   if (!state_) return {};
   std::lock_guard lk(state_->mu);
   ANNSIM_CHECK_MSG(state_->completed, "Request::take on incomplete request");
+  state_->observed = true;
   return std::move(state_->msg);
 }
 
@@ -241,19 +510,49 @@ void check_user_tag(Tag tag) {
 }  // namespace
 
 void Comm::send(int dest, Tag tag, std::span<const std::byte> payload) {
-  check_user_tag(tag);
   (void)isend(dest, tag, payload);
 }
 
 Request Comm::isend(int dest, Tag tag, std::span<const std::byte> payload) {
+  check_user_tag(tag);
+  return isend_impl(dest, tag, payload, /*internal=*/false,
+                    /*reserved_ok=*/false);
+}
+
+void Comm::send_reserved(int dest, Tag tag, std::span<const std::byte> payload) {
+  (void)isend_reserved(dest, tag, payload);
+}
+
+Request Comm::isend_reserved(int dest, Tag tag,
+                             std::span<const std::byte> payload) {
+  check_user_tag(tag);
+  return isend_impl(dest, tag, payload, /*internal=*/false,
+                    /*reserved_ok=*/true);
+}
+
+Request Comm::isend_impl(int dest, Tag tag, std::span<const std::byte> payload,
+                         bool internal, bool reserved_ok) {
   ANNSIM_CHECK_MSG(dest >= 0 && dest < size(), "isend: bad destination " << dest);
+  const int sender = members_[std::size_t(my_index_)];
+  if (auto* chk = rt_->checker.get(); chk != nullptr && !internal) {
+    chk->throw_if_aborted();
+    if (!reserved_ok && chk->is_reserved(tag)) {
+      std::ostringstream os;
+      os << "plain send on reserved control-plane tag " << tag << " to rank "
+         << members_[std::size_t(dest)] << " (use send_reserved/isend_reserved)";
+      chk->violate(check::Rule::kReservedTagSend, sender,
+                   members_[std::size_t(dest)], tag, os.str());
+    }
+  }
+
   detail::Envelope env;
   env.comm_id = comm_id_;
   env.source_local = my_index_;
+  env.source_global = sender;
   env.tag = tag;
   env.payload.assign(payload.begin(), payload.end());
 
-  auto& stats = rt_->traffic[std::size_t(members_[std::size_t(my_index_)])];
+  auto& stats = rt_->traffic[std::size_t(sender)];
   if (tag >= 0) {
     stats.p2p_messages.fetch_add(1, std::memory_order_relaxed);
     stats.p2p_bytes.fetch_add(payload.size(), std::memory_order_relaxed);
@@ -269,7 +568,6 @@ Request Comm::isend(int dest, Tag tag, std::span<const std::byte> payload) {
   // silent on every user tag, or heartbeat-based health monitoring could
   // never observe a death. See fault.hpp for the failure model.
   if (tag >= 0 && rt_->fault != nullptr) {
-    const int sender = members_[std::size_t(my_index_)];
     const bool delivered = rt_->fault->is_reliable(tag)
                                ? rt_->fault->allow_reliable_op(sender)
                                : rt_->fault->allow_op(sender);
@@ -302,7 +600,39 @@ Request Comm::irecv(int source, Tag tag) {
                    "irecv: bad source " << source);
   auto state = detail::post_recv(
       *rt_->mailboxes[std::size_t(members_[std::size_t(my_index_)])], comm_id_,
-      source, tag);
+      source, tag, {});
+  if (auto& chk = rt_->checker; chk != nullptr) {
+    state->checker = chk;
+    state->posted_rank = members_[std::size_t(my_index_)];
+    state->posted_source_global =
+        source == kAnySource ? kAnySource : members_[std::size_t(source)];
+    if (tag == kAnyTag && !chk->reserved.empty()) {
+      std::ostringstream os;
+      os << "kAnyTag wildcard receive posted while control-plane tags are "
+            "reserved (could swallow a reserved-tag message; use irecv_tags)";
+      chk->violate(check::Rule::kWildcardRecv, state->posted_rank,
+                   state->posted_source_global, kAnyTag, os.str());
+    }
+  }
+  return Request(std::move(state));
+}
+
+Request Comm::irecv_tags(int source, std::vector<Tag> tags) {
+  ANNSIM_CHECK_MSG(source == kAnySource || (source >= 0 && source < size()),
+                   "irecv_tags: bad source " << source);
+  ANNSIM_CHECK_MSG(!tags.empty(), "irecv_tags: empty tag set");
+  for (const Tag t : tags) {
+    ANNSIM_CHECK_MSG(t >= 0, "irecv_tags: tags must be >= 0, got " << t);
+  }
+  auto state = detail::post_recv(
+      *rt_->mailboxes[std::size_t(members_[std::size_t(my_index_)])], comm_id_,
+      source, kAnyTag, std::move(tags));
+  if (auto& chk = rt_->checker; chk != nullptr) {
+    state->checker = chk;
+    state->posted_rank = members_[std::size_t(my_index_)];
+    state->posted_source_global =
+        source == kAnySource ? kAnySource : members_[std::size_t(source)];
+  }
   return Request(std::move(state));
 }
 
@@ -310,9 +640,28 @@ bool Comm::iprobe(int source, Tag tag) {
   auto& box = *rt_->mailboxes[std::size_t(members_[std::size_t(my_index_)])];
   std::lock_guard lk(box.mu);
   for (const auto& env : box.queue) {
-    if (detail::matches(env, comm_id_, source, tag)) return true;
+    if (detail::matches(env, comm_id_, source, tag, detail::kNoTagSet)) {
+      return true;
+    }
   }
   return false;
+}
+
+/// Internal blocking receive for collectives: exact internal tag, no checker
+/// bookkeeping needed beyond what recv() already does — but it must NOT be
+/// routed through the user-facing recv() tag rules, so it posts directly.
+Message Comm::recv_internal_(int source, Tag tag) {
+  auto state = detail::post_recv(
+      *rt_->mailboxes[std::size_t(members_[std::size_t(my_index_)])], comm_id_,
+      source, tag, {});
+  if (auto& chk = rt_->checker; chk != nullptr) {
+    state->checker = chk;
+    state->posted_rank = members_[std::size_t(my_index_)];
+    state->posted_source_global = members_[std::size_t(source)];
+  }
+  Request r{std::move(state)};
+  r.wait();
+  return r.take();
 }
 
 void Comm::barrier() {
@@ -321,14 +670,16 @@ void Comm::barrier() {
   const std::span<const std::byte> empty(&dummy, 0);
   if (my_index_ == 0) {
     for (int i = 1; i < size(); ++i) {
-      (void)recv(i, detail::kTagBarrier);
+      (void)recv_internal_(i, detail::kTagBarrier);
     }
     for (int i = 1; i < size(); ++i) {
-      (void)isend(i, detail::kTagBarrierRelease, empty);
+      (void)isend_impl(i, detail::kTagBarrierRelease, empty, /*internal=*/true,
+                       /*reserved_ok=*/true);
     }
   } else {
-    (void)isend(0, detail::kTagBarrier, empty);
-    (void)recv(0, detail::kTagBarrierRelease);
+    (void)isend_impl(0, detail::kTagBarrier, empty, /*internal=*/true,
+                     /*reserved_ok=*/true);
+    (void)recv_internal_(0, detail::kTagBarrierRelease);
   }
 }
 
@@ -337,11 +688,12 @@ std::vector<std::byte> Comm::bcast(std::span<const std::byte> buf, int root) {
   if (my_index_ == root) {
     for (int i = 0; i < size(); ++i) {
       if (i == root) continue;
-      (void)isend(i, detail::kTagBcast, buf);
+      (void)isend_impl(i, detail::kTagBcast, buf, /*internal=*/true,
+                       /*reserved_ok=*/true);
     }
     return {buf.begin(), buf.end()};
   }
-  return recv(root, detail::kTagBcast).payload;
+  return recv_internal_(root, detail::kTagBcast).payload;
 }
 
 std::vector<std::vector<std::byte>> Comm::gather(std::span<const std::byte> buf,
@@ -352,11 +704,12 @@ std::vector<std::vector<std::byte>> Comm::gather(std::span<const std::byte> buf,
     out[std::size_t(root)].assign(buf.begin(), buf.end());
     for (int i = 0; i < size(); ++i) {
       if (i == root) continue;
-      out[std::size_t(i)] = recv(i, detail::kTagGather).payload;
+      out[std::size_t(i)] = recv_internal_(i, detail::kTagGather).payload;
     }
     return out;
   }
-  (void)isend(root, detail::kTagGather, buf);
+  (void)isend_impl(root, detail::kTagGather, buf, /*internal=*/true,
+                   /*reserved_ok=*/true);
   return {};
 }
 
@@ -368,11 +721,12 @@ std::vector<std::byte> Comm::scatter(
                      "scatter: need one buffer per rank");
     for (int i = 0; i < size(); ++i) {
       if (i == root) continue;
-      (void)isend(i, detail::kTagScatter, bufs[std::size_t(i)]);
+      (void)isend_impl(i, detail::kTagScatter, bufs[std::size_t(i)],
+                       /*internal=*/true, /*reserved_ok=*/true);
     }
     return bufs[std::size_t(root)];
   }
-  return recv(root, detail::kTagScatter).payload;
+  return recv_internal_(root, detail::kTagScatter).payload;
 }
 
 std::vector<std::vector<std::byte>> Comm::alltoallv(
@@ -381,11 +735,12 @@ std::vector<std::vector<std::byte>> Comm::alltoallv(
                    "alltoallv: need one buffer per rank");
   // All sends complete immediately (copied), so no deadlock risk.
   for (int i = 0; i < size(); ++i) {
-    (void)isend(i, detail::kTagAlltoallv, send_bufs[std::size_t(i)]);
+    (void)isend_impl(i, detail::kTagAlltoallv, send_bufs[std::size_t(i)],
+                     /*internal=*/true, /*reserved_ok=*/true);
   }
   std::vector<std::vector<std::byte>> out(static_cast<std::size_t>(size()));
   for (int i = 0; i < size(); ++i) {
-    out[std::size_t(i)] = recv(i, detail::kTagAlltoallv).payload;
+    out[std::size_t(i)] = recv_internal_(i, detail::kTagAlltoallv).payload;
   }
   return out;
 }
@@ -473,24 +828,65 @@ TrafficStats Comm::traffic() const {
 Window::Window(std::shared_ptr<detail::WindowState> state, int my_rank)
     : state_(std::move(state)), my_rank_(my_rank) {}
 
+namespace {
+
+detail::Checker* window_checker(const detail::WindowState& ws) {
+  return ws.rt->checker.get();
+}
+
+int window_global(const detail::WindowState& ws, int comm_rank) {
+  return ws.members[std::size_t(comm_rank)];
+}
+
+}  // namespace
+
 void Window::lock_shared(int target) {
   ANNSIM_CHECK(state_ != nullptr);
   auto& flag = state_->locked[std::size_t(my_rank_)][std::size_t(target)];
-  ANNSIM_CHECK_MSG(flag == 0, "Window: nested lock at target " << target);
+  if (flag != 0) {
+    if (auto* chk = window_checker(*state_)) {
+      chk->violate(check::Rule::kRmaLockMisuse, window_global(*state_, my_rank_),
+                   window_global(*state_, target), kAnyTag,
+                   "nested lock_shared at an already-locked target");
+      return;
+    }
+    ANNSIM_CHECK_MSG(false, "Window: nested lock at target " << target);
+  }
   flag = 1;
 }
 
 void Window::unlock(int target) {
   ANNSIM_CHECK(state_ != nullptr);
   auto& flag = state_->locked[std::size_t(my_rank_)][std::size_t(target)];
-  ANNSIM_CHECK_MSG(flag == 1, "Window: unlock without lock at target " << target);
+  if (flag != 1) {
+    if (auto* chk = window_checker(*state_)) {
+      chk->violate(check::Rule::kRmaLockMisuse, window_global(*state_, my_rank_),
+                   window_global(*state_, target), kAnyTag,
+                   "unlock without a matching lock_shared");
+      return;
+    }
+    ANNSIM_CHECK_MSG(false, "Window: unlock without lock at target " << target);
+  }
   flag = 0;
 }
 
 namespace {
 
-void check_epoch(const detail::WindowState& ws, int origin, int target) {
-  ANNSIM_CHECK_MSG(ws.locked[std::size_t(origin)][std::size_t(target)] == 1,
+/// Epoch discipline: hard failure without the checker (as before); with the
+/// checker the violation is recorded and the op proceeds — single-process
+/// memory makes that safe, and report-and-continue lets one run surface
+/// every offending call site instead of dying at the first.
+void check_epoch(const detail::WindowState& ws, int origin, int target,
+                 const char* op) {
+  if (ws.locked[std::size_t(origin)][std::size_t(target)] == 1) return;
+  if (auto* chk = window_checker(ws)) {
+    std::ostringstream os;
+    os << op << " outside a lock_shared/unlock access epoch";
+    chk->violate(check::Rule::kRmaOutsideEpoch, window_global(ws, origin),
+                 window_global(ws, target), kAnyTag, os.str());
+    return;
+  }
+  ANNSIM_CHECK_MSG(false,
                    "Window: RMA op outside an access epoch (call lock_shared)");
 }
 
@@ -510,7 +906,7 @@ bool rma_op_allowed(detail::WindowState& ws, int origin) {
 
 void Window::put(int target, std::size_t offset, std::span<const std::byte> data) {
   auto& ws = *state_;
-  check_epoch(ws, my_rank_, target);
+  check_epoch(ws, my_rank_, target, "put");
   auto& buf = ws.buffers[std::size_t(target)];
   ANNSIM_CHECK_MSG(offset + data.size() <= buf.size(), "Window::put out of range");
   account_rma(ws, my_rank_, data.size());
@@ -522,7 +918,7 @@ void Window::put(int target, std::size_t offset, std::span<const std::byte> data
 std::vector<std::byte> Window::get(int target, std::size_t offset,
                                    std::size_t len) {
   auto& ws = *state_;
-  check_epoch(ws, my_rank_, target);
+  check_epoch(ws, my_rank_, target, "get");
   auto& buf = ws.buffers[std::size_t(target)];
   ANNSIM_CHECK_MSG(offset + len <= buf.size(), "Window::get out of range");
   std::lock_guard lk(*ws.target_mu[std::size_t(target)]);
@@ -535,7 +931,7 @@ void Window::get_accumulate(int target, std::size_t offset,
                             std::span<const std::byte> origin_data,
                             const MergeOp& op, std::vector<std::byte>* prev_out) {
   auto& ws = *state_;
-  check_epoch(ws, my_rank_, target);
+  check_epoch(ws, my_rank_, target, "get_accumulate");
   auto& buf = ws.buffers[std::size_t(target)];
   ANNSIM_CHECK_MSG(offset + origin_data.size() <= buf.size(),
                    "Window::get_accumulate out of range");
@@ -567,6 +963,9 @@ Runtime::Runtime(int n_ranks) : state_(std::make_shared<detail::RuntimeState>())
     state_->mailboxes.push_back(std::make_unique<detail::Mailbox>());
   }
   state_->traffic = std::make_unique<detail::AtomicTraffic[]>(std::size_t(n_ranks));
+  if (check::env_check_enabled()) {
+    configure_check({});  // env folds the enable in; default options otherwise
+  }
 }
 
 Runtime::Runtime(int n_ranks, const FaultPlan& plan) : Runtime(n_ranks) {
@@ -590,10 +989,102 @@ Runtime::~Runtime() = default;
 
 int Runtime::size() const noexcept { return state_->n_ranks; }
 
+void Runtime::configure_check(const check::CheckOptions& opts) {
+  check::CheckOptions o = opts;
+  if (check::env_check_enabled()) o.enabled = true;
+  if (const int ef = check::env_check_fatal(); ef >= 0) o.fatal = (ef == 1);
+  if (!o.enabled) {
+    state_->checker.reset();
+    return;
+  }
+  state_->checker = std::make_shared<detail::Checker>(std::move(o));
+}
+
+bool Runtime::check_enabled() const noexcept {
+  return state_->checker != nullptr;
+}
+
+check::CheckReport Runtime::check_report() const {
+  if (state_->checker == nullptr) return {};
+  std::lock_guard lk(state_->checker->mu);
+  return state_->checker->report;
+}
+
+namespace detail {
+namespace {
+
+/// Post-join finalize sweep: request leaks (via RecvState dtors when the
+/// pending lists drop), unmatched sends, open RMA epochs. Only runs with the
+/// checker installed; without it, run() leaves mailboxes and windows exactly
+/// as before (messages may legally outlive a run for a caller that never
+/// finalizes). Returns the number of violations found across the whole
+/// Runtime lifetime so run() can decide whether *this* run added any.
+void finalize_checked_run(RuntimeState& st, Checker& chk) {
+  const bool aborted = chk.aborted.load(std::memory_order_acquire);
+
+  // Dropping the pending recvs here fires the request-leak detection in
+  // ~RecvState (which takes chk.mu) — destroy outside the mailbox locks.
+  std::vector<std::shared_ptr<RecvState>> doomed;
+  for (auto& box : st.mailboxes) {
+    std::lock_guard lk(box->mu);
+    for (auto& sp : box->pending) doomed.push_back(std::move(sp));
+    box->pending.clear();
+  }
+  doomed.clear();
+
+  std::lock_guard lk(chk.mu);
+  chk.report.runs += 1;
+
+  if (!aborted) {
+    // Unmatched sends: anything still queued was sent but never received.
+    for (int dest = 0; dest < st.n_ranks; ++dest) {
+      auto& box = *st.mailboxes[std::size_t(dest)];
+      std::lock_guard blk(box.mu);
+      for (const auto& env : box.queue) {
+        if (env.tag >= 0 && chk.is_best_effort(env.tag)) {
+          ++chk.report.best_effort_residue;
+          continue;
+        }
+        ++chk.report.unmatched_histogram[{env.tag, dest}];
+        std::ostringstream os;
+        os << "message from rank " << env.source_global << " to rank " << dest
+           << " on tag " << env.tag << " (" << env.payload.size()
+           << " bytes) never received";
+        chk.violate_locked(check::Rule::kUnmatchedSend, env.source_global, dest,
+                           env.tag, os.str());
+      }
+      box.queue.clear();
+    }
+
+    // Open access epochs: the windows die with this finalize, so an epoch
+    // still open now is "window destroyed while locked".
+    std::lock_guard wlk(st.win_mu);
+    for (const auto& [id, ws] : st.windows) {
+      for (std::size_t o = 0; o < ws->locked.size(); ++o) {
+        for (std::size_t t = 0; t < ws->locked[o].size(); ++t) {
+          if (ws->locked[o][t] == 0) continue;
+          std::ostringstream os;
+          os << "window " << id << ": access epoch at target "
+             << ws->members[t] << " still open at finalize";
+          chk.violate_locked(check::Rule::kRmaEpochLeak, ws->members[o],
+                             ws->members[t], kAnyTag, os.str());
+        }
+      }
+    }
+    st.windows.clear();
+  }
+}
+
+}  // namespace
+}  // namespace detail
+
 void Runtime::run(const std::function<void(Comm&)>& rank_main) {
   const int n = state_->n_ranks;
   std::vector<int> world(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) world[std::size_t(i)] = i;
+
+  const std::uint64_t violations_before =
+      state_->checker ? check_report().total_violations() : 0;
 
   std::exception_ptr first_error;
   std::mutex error_mu;
@@ -612,6 +1103,16 @@ void Runtime::run(const std::function<void(Comm&)>& rank_main) {
     });
   }
   for (auto& t : threads) t.join();
+
+  if (auto& chk = state_->checker; chk != nullptr) {
+    detail::finalize_checked_run(*state_, *chk);
+    if (first_error) std::rethrow_exception(first_error);
+    const auto report = check_report();
+    if (chk->opts.fatal && report.total_violations() > violations_before) {
+      throw Error(check::to_string(report));
+    }
+    return;
+  }
   if (first_error) std::rethrow_exception(first_error);
 }
 

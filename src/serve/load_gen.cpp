@@ -16,7 +16,10 @@ namespace {
 
 void tally(LoadGenReport& rep, const QueryResponse& resp) {
   switch (resp.status) {
-    case QueryStatus::kOk: ++rep.ok; break;
+    // A degraded answer is still an answer; the server's own metrics track
+    // the coverage shortfall separately.
+    case QueryStatus::kOk:
+    case QueryStatus::kDegraded: ++rep.ok; break;
     case QueryStatus::kRejected: ++rep.rejected; break;
     case QueryStatus::kDeadlineExpired: ++rep.expired; break;
     case QueryStatus::kShutdown:

@@ -38,7 +38,9 @@ TEST_P(LocalIndexKinds, SearchReturnsSortedGlobalIds) {
   ASSERT_EQ(res.size(), 5u);
   for (std::size_t i = 0; i < res.size(); ++i) {
     EXPECT_GE(res[i].id, 7000u);
-    if (i > 0) EXPECT_LE(res[i - 1].dist, res[i].dist);
+    if (i > 0) {
+      EXPECT_LE(res[i - 1].dist, res[i].dist);
+    }
   }
 }
 

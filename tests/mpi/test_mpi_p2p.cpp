@@ -117,10 +117,14 @@ TEST(MpiP2p, IrecvTestPollsUntilArrival) {
   Runtime rt(2);
   rt.run([&](Comm& c) {
     if (c.rank() == 0) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      // Deterministic handshake instead of a timing-based sleep: rank 1
+      // only signals ready after posting its irecv, so the payload always
+      // arrives at an already-posted (and polling) receive.
+      (void)c.recv(1, 8);
       c.send(1, 9, bytes_of("late"));
     } else {
       Request r = c.irecv(0, 9);
+      c.send(0, 8, {});
       // MPI_Test-style polling loop (Algorithm 4's idiom).
       while (!r.test()) std::this_thread::yield();
       Message m = r.take();

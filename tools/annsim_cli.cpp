@@ -48,12 +48,13 @@ using namespace annsim;
                "  annsim serve-bench <index.idx> <query.fvecs> <k> [--qps Q] "
                "[--requests N] [--max-batch B] [--max-delay-ms D] "
                "[--queue-cap C] [--block] [--deadline-ms X] [--closed-loop] "
-               "[--clients N] [--ef E]\n"
+               "[--clients N] [--ef E] [--mpi-check]\n"
                "  annsim chaos-bench <SIFT|DEEP|GIST|SYN_1M|SYN_10M> <n_base> "
                "<n_queries> <k> [--workers N] [--replication R] [--nprobe P] "
                "[--kill-worker W] [--kill-after N] [--drop-p D] "
                "[--timeout-ms T] [--fault-seed S] [--two-sided] "
-               "[--heal-after-ms H] [--checkpoint-dir D] [--json PATH]\n");
+               "[--heal-after-ms H] [--checkpoint-dir D] [--json PATH] "
+               "[--mpi-check]\n");
   std::exit(2);
 }
 
@@ -73,6 +74,16 @@ bool flag(int argc, char** argv, const char* name) {
     if (std::strcmp(argv[i], name) == 0) return true;
   }
   return false;
+}
+
+/// Print an engine's annsim::check report (when armed) and fold any
+/// violation into the exit code so CI can gate on `--mpi-check` runs.
+int check_exit(bool armed, const core::DistributedAnnEngine& engine,
+               const char* label, int rc) {
+  if (!armed) return rc;
+  const auto rep = engine.check_report();
+  std::printf("mpi-check [%s]: %s\n", label, check::to_string(rep).c_str());
+  return rep.clean() ? rc : 1;
 }
 
 int cmd_gen(int argc, char** argv) {
@@ -237,6 +248,9 @@ int cmd_serve_bench(int argc, char** argv) {
   auto engine = core::DistributedAnnEngine::load(argv[0]);
   auto queries = data::load_fvecs(argv[1]);
 
+  const bool mpi_check = flag(argc, argv, "--mpi-check");
+  if (mpi_check) engine.set_mpi_check(true, /*fatal=*/false);
+
   serve::ServerConfig sc;
   sc.max_batch = arg_num(opt(argc, argv, "--max-batch", "32").c_str());
   sc.max_delay_ms = std::atof(opt(argc, argv, "--max-delay-ms", "2").c_str());
@@ -275,7 +289,7 @@ int cmd_serve_bench(int argc, char** argv) {
               "%.3fs (offered %.0f q/s)\n",
               rep.ok, rep.rejected, rep.expired, rep.failed, rep.wall_seconds,
               rep.offered_qps);
-  return 0;
+  return check_exit(mpi_check, engine, "serve", 0);
 }
 
 /// Chaos run on a synthetic workload: the same engine searched fault-free,
@@ -300,6 +314,11 @@ int cmd_chaos_bench(int argc, char** argv) {
   cfg.replication = arg_num(opt(argc, argv, "--replication", "2").c_str());
   cfg.n_probe = arg_num(opt(argc, argv, "--nprobe", "4").c_str());
   if (flag(argc, argv, "--two-sided")) cfg.one_sided = false;
+  const bool mpi_check = flag(argc, argv, "--mpi-check");
+  if (mpi_check) {
+    cfg.mpi_check = true;
+    cfg.check_fatal = false;  // report once at exit, not mid-run
+  }
 
   const std::size_t kill_worker =
       arg_num(opt(argc, argv, "--kill-worker", "1").c_str());
@@ -376,7 +395,9 @@ int cmd_chaos_bench(int argc, char** argv) {
     std::printf(" (degraded-only recall %.4f)", degraded_recall);
   }
   std::printf("\n");
-  if (heal_after_ms < 0) return 0;
+  if (heal_after_ms < 0) {
+    return check_exit(mpi_check, chaotic, "chaos", 0);
+  }
 
   // --- recovery: wait, heal, and prove the cluster answers at full
   // coverage again. ---
@@ -442,9 +463,9 @@ int cmd_chaos_bench(int argc, char** argv) {
                  "%zu under-replicated partitions after heal)\n",
                  static_cast<unsigned long long>(post_st.degraded_queries),
                  under.size());
-    return 1;
+    return check_exit(mpi_check, chaotic, "chaos", 1);
   }
-  return 0;
+  return check_exit(mpi_check, chaotic, "chaos", 0);
 }
 
 }  // namespace

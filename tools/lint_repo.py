@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Repo-local lint rules that clang-tidy/cppcheck cannot express.
+
+Run from anywhere: paths are resolved relative to the repository root
+(the parent of this script's directory). Exit status is the number of
+files with findings (0 = clean), so ctest and CI can gate on it.
+
+Rules
+-----
+naked-tag-literal
+    p2p calls in the engine/serving/tools layers (src/core, src/serve,
+    tools) must name their tag (kTagQuery, ...), never pass an integer
+    literal. A literal tag silently collides with the protocol's named
+    tags and defeats annsim::check's reserved-tag rule. The MPI layer
+    itself and its tests are exempt: they define and exercise raw tags.
+
+sleep-in-test
+    tests/ must not use std::this_thread::sleep_for — timing-based tests
+    flake under sanitizers and loaded CI runners. Exempt: suites whose
+    subject *is* time (tests/des/, tests/check/ deadlock/backoff tests,
+    test_mpi_timeout, test_timer_log, test_server_degraded's detection
+    deadlines).
+
+missing-include-guard
+    every header under include/ and src/ must open with #pragma once
+    (or a classic include guard) before any non-comment content.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# --- rule: naked tag literals at engine/serve/tool call sites -------------
+TAG_CALL_DIRS = ["src/core", "src/serve", "tools"]
+# .send(dest, 3, ...) / .irecv(src, -1) / .iprobe(src, 7) ... with a bare
+# integer in tag position. Named constants (kTagQuery) do not match.
+TAG_CALL_RE = re.compile(
+    r"\.\s*(?:send|isend|send_reserved|isend_reserved|recv|irecv|recv_for|"
+    r"iprobe)\s*\(\s*(?:[^,()]|\([^()]*\))+,\s*(-?\d+)\s*[,)]"
+)
+
+# --- rule: sleep_for in tests ---------------------------------------------
+SLEEP_RE = re.compile(r"\bsleep_for\s*\(")
+SLEEP_ALLOW = [
+    "tests/des/",                        # discrete-event timing suites
+    "tests/check/",                      # deadlock detection needs real delays
+    "tests/mpi/test_mpi_timeout.cpp",    # subject is recv_for deadlines
+    "tests/common/test_timer_log.cpp",   # subject is the wall timer
+    "tests/serve/test_server_degraded.cpp",  # failure-detection deadlines
+]
+
+# --- rule: header guards ---------------------------------------------------
+HEADER_DIRS = ["include", "src"]
+GUARD_RE = re.compile(r"^\s*(#pragma\s+once|#ifndef\s+\w+)\s*$", re.M)
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving line breaks
+    so reported line numbers stay accurate."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if ch == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            i = j
+        elif ch == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j < 0 else j
+            out.append("\n" * text.count("\n", i, j + 2))
+            i = j + 2
+        elif ch in "\"'":
+            q = ch
+            j = i + 1
+            while j < n and text[j] != q:
+                j += 2 if text[j] == "\\" else 1
+            i = j + 1
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def line_of(text: str, pos: int) -> int:
+    return text.count("\n", 0, pos) + 1
+
+
+def check_naked_tags(findings: list[str]) -> None:
+    for d in TAG_CALL_DIRS:
+        for path in sorted((REPO / d).rglob("*.cpp")):
+            rel = path.relative_to(REPO)
+            text = strip_comments_and_strings(path.read_text())
+            for m in TAG_CALL_RE.finditer(text):
+                findings.append(
+                    f"{rel}:{line_of(text, m.start())}: [naked-tag-literal] "
+                    f"tag {m.group(1)} passed as a literal; use a named "
+                    f"kTag* constant from core/protocol.hpp"
+                )
+
+
+def check_test_sleeps(findings: list[str]) -> None:
+    for path in sorted((REPO / "tests").rglob("*.cpp")):
+        rel = str(path.relative_to(REPO))
+        if any(rel.startswith(a) or rel == a for a in SLEEP_ALLOW):
+            continue
+        text = strip_comments_and_strings(path.read_text())
+        for m in SLEEP_RE.finditer(text):
+            findings.append(
+                f"{rel}:{line_of(text, m.start())}: [sleep-in-test] "
+                f"timing-based sleep in a test; synchronize with a "
+                f"handshake message or condition instead"
+            )
+
+
+def check_header_guards(findings: list[str]) -> None:
+    for d in HEADER_DIRS:
+        for path in sorted((REPO / d).rglob("*.hpp")):
+            rel = path.relative_to(REPO)
+            text = strip_comments_and_strings(path.read_text())
+            if not GUARD_RE.search(text):
+                findings.append(
+                    f"{rel}:1: [missing-include-guard] header lacks "
+                    f"#pragma once (or an include guard)"
+                )
+
+
+def main() -> int:
+    findings: list[str] = []
+    check_naked_tags(findings)
+    check_test_sleeps(findings)
+    check_header_guards(findings)
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"lint_repo: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("lint_repo: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
