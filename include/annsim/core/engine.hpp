@@ -16,7 +16,10 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
+#include <span>
 #include <vector>
 
 #include "annsim/core/local_index.hpp"
@@ -57,6 +60,9 @@ struct EngineConfig {
   LocalIndexKind local_index = LocalIndexKind::kHnsw;
   hnsw::HnswParams hnsw;
   pq::IvfPqParams ivfpq;  ///< used when local_index == kIvfPq
+  /// Mutable-delta capacity per replica (local_index == kSegmented): how many
+  /// streamed inserts a partition absorbs before compact() must re-freeze.
+  std::size_t segment_delta_capacity = 1024;
   PartitionerConfig partitioner;
   std::uint64_t seed = 123;
 
@@ -152,6 +158,22 @@ struct SearchStats {
   std::vector<QueryCoverage> coverage;
 };
 
+/// Outcome of one streaming write round (engine insert()/remove()).
+/// Counters are summed across workers, so with replication r a row that
+/// reached every replica contributes r to `inserted_replicas`.
+struct WriteStats {
+  /// Global ids assigned to the inserted rows, in input order. Ids come from
+  /// a monotone stream counter that starts past the build corpus, so they
+  /// never collide with existing ids.
+  std::vector<GlobalId> assigned_ids;
+  std::uint64_t inserted_replicas = 0;  ///< per-replica insert absorptions
+  std::uint64_t erased_replicas = 0;    ///< per-replica tombstones placed
+  /// Rows whose owning partition had no live replica at send time — the
+  /// write is lost (the id is still consumed). Nonzero only mid-outage.
+  std::uint64_t dropped_rows = 0;
+  std::uint64_t max_delta_fill = 0;  ///< fullest delta seen in the acks
+};
+
 /// Per-query completion hook for batched search: invoked by the master as
 /// soon as query `qid`'s final merged result is known (before `search`
 /// returns). In two-sided mode this fires as each query's last partial
@@ -193,6 +215,31 @@ class DistributedAnnEngine {
                                         std::size_t k, std::size_t ef = 0,
                                         SearchStats* stats = nullptr,
                                         const QueryDoneFn& on_query_done = {});
+
+  // ---- streaming writes (local_index == kSegmented only) ----
+
+  /// Insert a batch of vectors into the live index. The master routes each
+  /// row to its nearest partition (same VP-tree as queries) and ships it to
+  /// every live replica of that partition over the reserved write tags; the
+  /// replicas absorb it into their mutable delta. Returns the assigned
+  /// global ids — immediately searchable. Thread-safe against concurrent
+  /// search() batches; write rounds themselves serialize.
+  WriteStats insert(const data::Dataset& rows);
+
+  /// Delete by global id: broadcast to every live worker, which tombstones
+  /// the id on each hosted replica that holds it. Deleted ids stop appearing
+  /// in results immediately; space is reclaimed by compact().
+  WriteStats remove(std::span<const GlobalId> ids);
+
+  /// Re-freeze every replica's delta + segments into one frozen segment
+  /// (hot-swapped under the searches). Returns the number of replica
+  /// compactions that did work. Safe to run from a background thread while
+  /// search() batches are in flight.
+  std::uint64_t compact();
+
+  /// Fullest mutable delta across all hosted replicas — the serving plane's
+  /// compaction trigger.
+  [[nodiscard]] std::size_t max_delta_fill() const;
 
   /// The master's routing tree (valid after build()).
   [[nodiscard]] const vptree::PartitionVpTree& router() const;
@@ -284,6 +331,13 @@ class DistributedAnnEngine {
   void configure_runtime_check(mpi::Runtime& rt) const;
   /// Fold a finished runtime's report into the engine-lifetime report.
   void absorb_check_report(const mpi::Runtime& rt);
+  /// One write round over the p2p plane: routes `rows` (when non-null) and
+  /// broadcasts `deletes`. Shared implementation of insert()/remove().
+  WriteStats apply_writes(const data::Dataset* rows,
+                          std::span<const GlobalId> deletes);
+  /// Liveness snapshot for the write plane, derived from the fault injector
+  /// (not ClusterHealth, which belongs to the search plane's thread).
+  std::vector<char> write_plane_alive(const mpi::FaultInjector* injector) const;
   void master_search_owner(mpi::Comm& world, const data::Dataset& queries,
                            std::size_t k, std::size_t ef,
                            data::KnnResults& results, SearchStats& stats,
@@ -301,6 +355,27 @@ class DistributedAnnEngine {
   std::shared_ptr<mpi::FaultInjector> injector_;
   recovery::ClusterHealth health_;  ///< persistent liveness record
   check::CheckReport check_report_;  ///< merged across engine runtimes
+  /// Next global id handed to a streamed insert. Starts one past the largest
+  /// build-corpus id and never reuses a value, even across save/load.
+  GlobalId next_stream_id_ = 0;
+
+  /// Synchronization for concurrent search / write / compact / heal.
+  /// Heap-allocated so the engine stays movable (load() returns by value).
+  ///   - topology: shared while a runtime reads `workers_` (search, write,
+  ///     compact rounds), exclusive when the stores mutate (post-batch death
+  ///     fold clearing a dead worker's store, heal() restoring it).
+  ///   - write_api: serializes insert/remove/compact rounds end to end
+  ///     (protects next_stream_id_ and keeps one write round in flight).
+  ///   - check / injector: guard check_report_ merges and lazy injector
+  ///     creation, which writes and searches may race on.
+  struct Sync {
+    std::shared_mutex topology;
+    std::mutex write_api;
+    std::mutex check;
+    std::mutex injector;
+    std::mutex checkpoint;
+  };
+  std::unique_ptr<Sync> sync_ = std::make_unique<Sync>();
 };
 
 }  // namespace annsim::core

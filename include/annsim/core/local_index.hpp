@@ -22,6 +22,10 @@
 #include "annsim/simd/distance.hpp"
 #include "annsim/vptree/vp_tree.hpp"
 
+namespace annsim::segment {
+class SegmentedIndex;
+}
+
 namespace annsim::core {
 
 /// Which algorithm serves local k-NN inside each partition.
@@ -31,6 +35,7 @@ enum class LocalIndexKind : std::uint8_t {
                     ///< when combined with exact_routing)
   kVpTree = 2,      ///< exact metric-tree search
   kIvfPq = 3,       ///< compressed (IVF-PQ): tiny memory, recall ceiling
+  kSegmented = 4,   ///< live-mutable: frozen segments + delta + tombstones
 };
 
 [[nodiscard]] const char* local_index_kind_name(LocalIndexKind kind) noexcept;
@@ -52,14 +57,47 @@ class LocalIndex {
 
   /// Serialize the index structure (not the vectors) for replica shipping.
   [[nodiscard]] virtual std::vector<std::byte> to_bytes() const = 0;
+
+  // ---- write plane (live mutability) ----------------------------------
+  //
+  // Frozen kinds reject writes with a typed Error naming the kind; only
+  // kSegmented overrides these. The engine gates its insert()/remove() API
+  // on supports_writes() so the failure surfaces at the master, not deep
+  // inside a worker thread.
+
+  /// True when insert()/erase()/compact() are implemented.
+  [[nodiscard]] virtual bool supports_writes() const noexcept { return false; }
+
+  /// Absorb one vector under `id`. Throws for read-only kinds.
+  virtual void insert(std::span<const float> vec, GlobalId id);
+
+  /// Tombstone `id`; returns false when the id is not live here.
+  /// Throws for read-only kinds.
+  virtual bool erase(GlobalId id);
+
+  /// Re-freeze delta + segments; returns false when a no-op.
+  /// Throws for read-only kinds.
+  virtual bool compact(ThreadPool* pool = nullptr);
+
+  /// Rows waiting in the mutable delta tier (0 for read-only kinds).
+  [[nodiscard]] virtual std::size_t delta_fill() const { return 0; }
+
+  /// The underlying segmented index when kind() == kSegmented, else null —
+  /// the hook checkpointing uses to snapshot segment parts incrementally.
+  [[nodiscard]] virtual const segment::SegmentedIndex* segmented()
+      const noexcept {
+    return nullptr;
+  }
 };
 
 /// Construction parameters shared by every kind.
 struct LocalIndexParams {
   LocalIndexKind kind = LocalIndexKind::kHnsw;
-  hnsw::HnswParams hnsw;    ///< used when kind == kHnsw
+  hnsw::HnswParams hnsw;    ///< used when kind == kHnsw or kSegmented
   pq::IvfPqParams ivfpq;    ///< used when kind == kIvfPq (L2 only)
   simd::Metric metric = simd::Metric::kL2;
+  /// Delta capacity per segmented replica (kind == kSegmented).
+  std::size_t segment_delta_capacity = 1024;
 };
 
 /// Build a fresh index over `data` (runs the build immediately). A pool

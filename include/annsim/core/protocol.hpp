@@ -27,6 +27,16 @@ inline constexpr mpi::Tag kTagDispatchCounts = 10;  ///< owner -> master: jobs p
 inline constexpr mpi::Tag kTagReplica = 11;     ///< worker -> worker: partition replica
 inline constexpr mpi::Tag kTagHeartbeat = 12;   ///< worker -> master: liveness beacon
 
+// Write-plane control tags (streaming mutability). All four are reserved:
+// they carry state-changing orders whose loss would silently diverge the
+// replicas, so plain send() on them is a checker violation and the fault
+// injector treats them as reliable (never dropped or delayed — though a dead
+// worker still never receives them).
+inline constexpr mpi::Tag kTagInsert = 13;    ///< master -> worker: rows to absorb
+inline constexpr mpi::Tag kTagDelete = 14;    ///< master -> worker: ids to tombstone
+inline constexpr mpi::Tag kTagWriteAck = 15;  ///< worker -> master: write/compact ack
+inline constexpr mpi::Tag kTagCompact = 16;   ///< master -> worker: compaction order
+
 /// One dispatched search job: query `query_id` on partition `partition`.
 struct QueryJob {
   std::uint32_t query_id = 0;
@@ -57,6 +67,42 @@ struct DoneNotice {
   double comm_seconds = 0.0;     ///< time spent in send/accumulate calls
   double route_seconds = 0.0;    ///< owner-side routing (multiple-owner mode)
 };
+
+// ---- write plane ------------------------------------------------------
+
+/// Streaming inserts bound for one worker: each row is addressed to a hosted
+/// partition's segmented replica. One batch per worker per write round.
+struct WriteBatch {
+  struct Row {
+    PartitionId partition = kInvalidPartition;
+    GlobalId id = kInvalidGlobalId;
+    std::vector<float> vec;
+  };
+  std::vector<Row> rows;
+};
+
+[[nodiscard]] std::vector<std::byte> encode_write_batch(const WriteBatch& b);
+[[nodiscard]] WriteBatch decode_write_batch(std::span<const std::byte> bytes);
+
+/// Ids to tombstone. Broadcast to every alive worker (the master has no
+/// id -> partition map; a worker not hosting an id simply ignores it).
+struct DeleteBatch {
+  std::vector<GlobalId> ids;
+};
+
+[[nodiscard]] std::vector<std::byte> encode_delete_batch(const DeleteBatch& b);
+[[nodiscard]] DeleteBatch decode_delete_batch(std::span<const std::byte> bytes);
+
+/// Worker's acknowledgement of one write round or compaction order.
+struct WriteAck {
+  std::uint64_t inserted = 0;        ///< rows absorbed into delta tiers
+  std::uint64_t erased = 0;          ///< tombstones that hit a live id
+  std::uint64_t max_delta_fill = 0;  ///< fullest delta across hosted replicas
+  std::uint64_t compactions = 0;     ///< replicas compacted by this order
+};
+
+[[nodiscard]] std::vector<std::byte> encode_write_ack(const WriteAck& a);
+[[nodiscard]] WriteAck decode_write_ack(std::span<const std::byte> bytes);
 
 // ---- one-sided result window -----------------------------------------
 //

@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "annsim/common/error.hpp"
 #include "annsim/common/rng.hpp"
 #include "annsim/common/thread_pool.hpp"
 #include "annsim/common/types.hpp"
@@ -47,6 +48,16 @@ struct HnswParams {
   double level_mult = 0.0;
   std::uint64_t seed = 1337;
   simd::Metric metric = simd::Metric::kL2;
+};
+
+/// Thrown by HnswIndex::insert once the index has been frozen into its
+/// read-only flat form. A typed error (rather than a generic check failure)
+/// so writable wrappers — notably segment::SegmentedIndex, whose delta must
+/// never be frozen while it is still absorbing inserts — can distinguish
+/// "index is in the wrong lifecycle state" from genuine precondition bugs.
+class FrozenIndexError : public Error {
+ public:
+  explicit FrozenIndexError(const std::string& what) : Error(what) {}
 };
 
 /// Graph statistics for diagnostics and tests.

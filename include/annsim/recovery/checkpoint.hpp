@@ -18,10 +18,22 @@
 ///    byte, or a missing manifest each fail with a specific error; a
 ///    corrupted checkpoint can never deserialize into a silently wrong
 ///    index.
+///
+/// Segmented partitions (live mutability) checkpoint *incrementally* through
+/// save_segmented(): each frozen segment persists once as an immutable
+/// `seg_<id>.bin` (segment ids are never reused, so id equality implies byte
+/// equality and the file is skipped when already present), while the small
+/// mutable delta rewrites every round as a generation-versioned
+/// `delta_<g>.bin`. The manifest rename is the commit point: a crash between
+/// payload writes and the manifest rename leaves the previous manifest
+/// referencing the previous generation — still fully intact. Stale delta
+/// generations and segments merged away by compaction are garbage-collected
+/// after the commit.
 
 #include <cstdint>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace annsim::recovery {
@@ -48,17 +60,40 @@ class CheckpointStore {
   void save(const CheckpointMeta& meta, std::span<const std::byte> data_bytes,
             std::span<const std::byte> index_bytes) const;
 
+  /// What an incremental save actually wrote — the point of the segmented
+  /// manifest is that `segments_skipped` dominates once the index stabilizes.
+  struct SaveReport {
+    std::size_t segments_written = 0;
+    std::size_t segments_skipped = 0;  ///< already durable; not re-written
+  };
+
+  /// Incremental snapshot of a segmented partition from its
+  /// SegmentedIndex::snapshot_parts() pieces: immutable `seg_<id>.bin` files
+  /// (skipped when already present), a fresh `delta_<g>.bin` generation, and
+  /// an atomically renamed manifest as the commit. load() reassembles the
+  /// byte-identical full image. Mixing save() and save_segmented() on the
+  /// same partition is fine — each commit fully replaces the manifest.
+  SaveReport save_segmented(
+      const CheckpointMeta& meta, std::span<const std::byte> header,
+      std::span<const std::pair<std::uint64_t, std::vector<std::byte>>>
+          segments,
+      std::span<const std::byte> delta) const;
+
   /// Does a committed snapshot exist for `partition`?
   [[nodiscard]] bool has(std::uint32_t partition) const;
 
   struct LoadedPartition {
     CheckpointMeta meta;
-    std::vector<std::byte> data_bytes;   ///< pack_dataset() wire bytes
+    /// pack_dataset() wire bytes; empty for segmented snapshots (the index
+    /// image owns its vectors — unpack_dataset({}) yields the empty husk).
+    std::vector<std::byte> data_bytes;
     std::vector<std::byte> index_bytes;  ///< LocalIndex::to_bytes() wire bytes
   };
 
   /// Load and verify one partition; throws annsim::Error naming the failure
-  /// (missing manifest / truncated file / checksum mismatch).
+  /// (missing manifest / truncated file / checksum mismatch). Transparent
+  /// across formats: a segmented manifest reassembles the parts into the
+  /// exact bytes SegmentedIndex::to_bytes() would have produced.
   [[nodiscard]] LoadedPartition load(std::uint32_t partition) const;
 
   /// Partitions with a committed snapshot, ascending.

@@ -20,6 +20,7 @@
 /// callers. Admission is bounded: when the queue is full the server either
 /// rejects (default, load-shedding) or blocks the submitter (backpressure).
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
@@ -83,6 +84,11 @@ struct ServerConfig {
   /// the next batch dispatches to restored replicas. Degraded answers stop
   /// occurring as soon as a heal restores full coverage.
   bool auto_heal = false;
+  /// Live-mutability: when any replica's mutable delta reaches this fill
+  /// (checked on each batch boundary), kick off engine compact() on a
+  /// background thread so re-freezing overlaps serving instead of stalling
+  /// it. 0 (default) disables; requires a segmented engine when set.
+  std::size_t compact_at_fill = 0;
 };
 
 /// Thread-safe online front end over a built DistributedAnnEngine. The
@@ -129,6 +135,9 @@ class QueryServer {
   /// Complete every queued request whose deadline has passed. Caller holds mu_.
   void expire_overdue_locked(Clock::time_point now);
   void run_batch(std::vector<Pending> batch);
+  /// Batch-boundary compaction trigger: start a background engine compact()
+  /// when the delta fill crosses config_.compact_at_fill and none is running.
+  void maybe_compact();
 
   core::DistributedAnnEngine* engine_;
   ServerConfig config_;
@@ -143,6 +152,11 @@ class QueryServer {
 
   ServerMetrics metrics_;
   std::thread scheduler_;
+
+  /// Background compaction: at most one in flight; the engine's own locking
+  /// lets it overlap the scheduler's search batches (hot-swap views).
+  std::thread compactor_;
+  std::atomic<bool> compacting_{false};
 };
 
 }  // namespace annsim::serve

@@ -17,6 +17,7 @@
 #include "annsim/core/dataset_transfer.hpp"
 #include "annsim/core/protocol.hpp"
 #include "annsim/recovery/checkpoint.hpp"
+#include "annsim/segment/segmented_index.hpp"
 
 namespace annsim::core {
 
@@ -51,6 +52,11 @@ void validate_engine_config(const EngineConfig& config) {
   if (config.local_index == LocalIndexKind::kIvfPq) {
     ANNSIM_CHECK_MSG(config.hnsw.metric == simd::Metric::kL2,
                      "IVF-PQ local indexes support L2 only");
+  }
+  if (config.local_index == LocalIndexKind::kSegmented) {
+    ANNSIM_CHECK_MSG(config.segment_delta_capacity >= 1,
+                     "segment_delta_capacity must be nonzero: the mutable "
+                     "delta needs room for at least one streamed insert");
   }
   ANNSIM_CHECK_MSG(config.result_timeout_ms >= 0.0,
                    "result_timeout_ms cannot be negative (0 disables failure "
@@ -174,6 +180,7 @@ void DistributedAnnEngine::build() {
     lp.hnsw.seed = Rng(config_.seed).split(w).next();
     lp.ivfpq = config_.ivfpq;
     lp.metric = config_.hnsw.metric;
+    lp.segment_delta_capacity = config_.segment_delta_capacity;
     if (config_.parallel_local_build && config_.threads_per_worker > 1) {
       // The paper's hybrid model: each MPI process builds its local index
       // with an OpenMP-style thread team.
@@ -184,6 +191,13 @@ void DistributedAnnEngine::build() {
     }
     hnsw_seconds[w] = hnsw_timer.seconds();
     part_sizes[w] = primary.data->size();
+    if (config_.local_index == LocalIndexKind::kSegmented) {
+      // A segmented index owns a copy of its rows, so keep the replica's
+      // Dataset an empty husk (dim only) rather than storing them twice;
+      // replication and checkpointing ship the index image, which is
+      // self-contained.
+      primary.data = std::make_unique<data::Dataset>(0, base_->dim());
+    }
 
     // §IV-C2: replicate partition w onto its workgroup
     // W_w = {w, w+1, ..., w+r-1 mod P}.
@@ -212,6 +226,7 @@ void DistributedAnnEngine::build() {
         rep_lp.hnsw = config_.hnsw;
         rep_lp.ivfpq = config_.ivfpq;
         rep_lp.metric = config_.hnsw.metric;
+        rep_lp.segment_delta_capacity = config_.segment_delta_capacity;
         rep.index = local_index_from_bytes(index_bytes, rep.data.get(), rep_lp);
         workers_[w].emplace(pid, std::move(rep));
       }
@@ -231,6 +246,11 @@ void DistributedAnnEngine::build() {
   build_stats_.partition_sizes = std::move(part_sizes);
 
   health_.reset(P);
+  // Streamed inserts draw ids from one monotone counter that starts past
+  // every build-corpus id, so a live insert can never shadow a built row.
+  GlobalId max_id = 0;
+  for (const GlobalId id : base_->ids()) max_id = std::max(max_id, id);
+  next_stream_id_ = base_->size() == 0 ? 0 : max_id + 1;
   save_checkpoints();  // no-op unless checkpoint_dir is configured
 }
 
@@ -294,22 +314,28 @@ data::KnnResults DistributedAnnEngine::search(const data::Dataset& queries,
     }
     absorb_check_report(rt);
   };
-  run_checked([&](mpi::Comm& world) {
-    if (config_.strategy == DispatchStrategy::kMultipleOwner) {
-      if (world.rank() == 0) {
-        master_search_owner(world, queries, k, ef, results, st, on_query_done);
+  {
+    // Reads of the worker stores (every rank thread touches workers_) run
+    // under the shared topology lock so a concurrent write/compact round can
+    // interleave but heal()'s store mutations cannot.
+    std::shared_lock topology(sync_->topology);
+    run_checked([&](mpi::Comm& world) {
+      if (config_.strategy == DispatchStrategy::kMultipleOwner) {
+        if (world.rank() == 0) {
+          master_search_owner(world, queries, k, ef, results, st, on_query_done);
+        } else {
+          worker_search_owner(world, queries, k, ef);
+        }
       } else {
-        worker_search_owner(world, queries, k, ef);
+        if (world.rank() == 0) {
+          master_search(world, queries, k, ef, results, st, on_query_done,
+                        rt.fault_injector(), alive, heartbeats);
+        } else {
+          worker_search(world, k);
+        }
       }
-    } else {
-      if (world.rank() == 0) {
-        master_search(world, queries, k, ef, results, st, on_query_done,
-                      rt.fault_injector(), alive, heartbeats);
-      } else {
-        worker_search(world, k);
-      }
-    }
-  });
+    });
+  }
 
   // Fold the batch's outcome into the persistent health record — after
   // rt.run() so every rank thread has been joined and touching worker
@@ -317,6 +343,7 @@ data::KnnResults DistributedAnnEngine::search(const data::Dataset& queries,
   // it; heal() restores them from checkpoint or from a surviving peer.
   if (config_.result_timeout_ms > 0.0 &&
       config_.strategy == DispatchStrategy::kMasterWorker) {
+    std::unique_lock topology(sync_->topology);  // workers_[w].clear() below
     for (std::size_t w = 0; w < P; ++w) {
       health_.workers[w].heartbeats += heartbeats[w];
       if (!alive[w] &&
@@ -335,6 +362,7 @@ data::KnnResults DistributedAnnEngine::search(const data::Dataset& queries,
 }
 
 check::CheckReport DistributedAnnEngine::check_report() const {
+  std::lock_guard lock(sync_->check);
   return check_report_;
 }
 
@@ -346,36 +374,307 @@ void DistributedAnnEngine::configure_runtime_check(mpi::Runtime& rt) const {
   // The engine's control plane: termination, completion notices, liveness
   // beacons. Data-plane code must never send these plainly (or swallow them
   // through a wildcard) — the reserved-tag and wildcard rules enforce it.
-  o.reserved_tags = {kTagEoq, kTagDone, kTagHeartbeat};
+  o.reserved_tags = {kTagEoq,    kTagDone,   kTagHeartbeat,
+                     kTagInsert, kTagDelete, kTagWriteAck, kTagCompact};
   if (config_.result_timeout_ms > 0.0) {
     // With failure detection armed, these are by-design abandonable: a
     // worker declared dead (perhaps too eagerly) keeps sending results,
     // done notices, and beacons that nobody will ever drain. Residue is
-    // still counted in the report, just not a violation.
-    o.best_effort_tags = {kTagResult, kTagDone, kTagHeartbeat};
+    // still counted in the report, just not a violation. The write plane's
+    // tags join the list because a rank killed mid-round leaves its batch
+    // (or its ack) undrained by design.
+    o.best_effort_tags = {kTagResult, kTagDone,     kTagHeartbeat, kTagInsert,
+                          kTagDelete, kTagWriteAck, kTagCompact};
   }
   rt.configure_check(o);
 }
 
 void DistributedAnnEngine::absorb_check_report(const mpi::Runtime& rt) {
   if (!rt.check_enabled()) return;
+  std::lock_guard lock(sync_->check);
   check_report_.merge(rt.check_report());
 }
 
 std::shared_ptr<mpi::FaultInjector> DistributedAnnEngine::shared_injector() {
+  // Searches (scheduler thread) and writes/compactions (writer or background
+  // threads) may race on first use; the lock makes creation once-only.
+  std::lock_guard lock(sync_->injector);
   if (injector_ == nullptr && config_.fault.enabled()) {
     mpi::FaultPlan plan = config_.fault;
     // The control plane rides the reliable fabric: End-of-Queries (a worker
     // that never hears it spins forever), heartbeats (a dropped beat would
     // read as a death), and replica streams (healing must complete under
-    // drop_probability). Death still silences all three — see fault.hpp.
+    // drop_probability). The write plane's four tags are control plane too:
+    // a dropped insert would silently fork replicas of the same partition.
+    // Death still silences all of them — see fault.hpp.
     plan.reliable_tags.push_back(kTagEoq);
     plan.reliable_tags.push_back(kTagHeartbeat);
     plan.reliable_tags.push_back(kTagReplica);
+    plan.reliable_tags.push_back(kTagInsert);
+    plan.reliable_tags.push_back(kTagDelete);
+    plan.reliable_tags.push_back(kTagWriteAck);
+    plan.reliable_tags.push_back(kTagCompact);
     injector_ = std::make_shared<mpi::FaultInjector>(
         plan, int(config_.n_workers) + 1);
   }
   return injector_;
+}
+
+// ---------------------------------------------------------------- writes ---
+//
+// Streaming mutability (segmented local indexes only). A write round is a
+// small SPMD phase on the same simulated runtime as searches: the master
+// routes each row through the VP-tree to its nearest partition, ships one
+// WriteBatch + one DeleteBatch to every live worker on the reserved write
+// tags, and collects one WriteAck each. Rounds serialize behind
+// sync_->write_api and hold the topology lock shared, so search batches
+// (also shared) overlap freely while heal() (exclusive) can never observe a
+// half-applied round.
+
+std::vector<char> DistributedAnnEngine::write_plane_alive(
+    const mpi::FaultInjector* injector) const {
+  // ClusterHealth belongs to the search plane's thread; the injector's death
+  // flags are atomics and give the same answer sooner (a kill is visible
+  // here before any batch observes the silence).
+  std::vector<char> alive(config_.n_workers, 1);
+  if (injector != nullptr) {
+    for (std::size_t w = 0; w < config_.n_workers; ++w) {
+      alive[w] = injector->is_dead(int(w) + 1) ? 0 : 1;
+    }
+  }
+  return alive;
+}
+
+WriteStats DistributedAnnEngine::insert(const data::Dataset& rows) {
+  return apply_writes(&rows, {});
+}
+
+WriteStats DistributedAnnEngine::remove(std::span<const GlobalId> ids) {
+  return apply_writes(nullptr, ids);
+}
+
+WriteStats DistributedAnnEngine::apply_writes(
+    const data::Dataset* rows, std::span<const GlobalId> deletes) {
+  ANNSIM_CHECK_MSG(router_.has_value(), "engine not built yet");
+  ANNSIM_CHECK_MSG(config_.local_index == LocalIndexKind::kSegmented,
+                   "streaming writes need local_index=segmented; '"
+                       << local_index_kind_name(config_.local_index)
+                       << "' replicas are frozen");
+  ANNSIM_CHECK_MSG(config_.strategy == DispatchStrategy::kMasterWorker,
+                   "streaming writes support master-worker dispatch only");
+  if (rows != nullptr) {
+    ANNSIM_CHECK_MSG(rows->dim() == router_->dim(),
+                     "insert dim " << rows->dim() << " != index dim "
+                                   << router_->dim());
+  }
+
+  std::lock_guard api(sync_->write_api);
+  const std::size_t P = config_.n_workers;
+  const std::size_t r = config_.replication;
+  WriteStats ws;
+
+  auto injector = shared_injector();
+  const std::vector<char> alive = write_plane_alive(injector.get());
+
+  // Route every row to its nearest partition and fan it out to the live
+  // members of that partition's workgroup {p, ..., p+r-1 mod P} — the same
+  // round-robin assignment dispatch uses, so reads find the row wherever
+  // they fail over.
+  std::vector<WriteBatch> batches(P);
+  if (rows != nullptr) {
+    ws.assigned_ids.reserve(rows->size());
+    for (std::size_t i = 0; i < rows->size(); ++i) {
+      const GlobalId id = next_stream_id_++;
+      ws.assigned_ids.push_back(id);
+      const PartitionId p = router_->route_topk(rows->row(i), 1).partitions[0];
+      const float* v = rows->row(i);
+      bool delivered = false;
+      for (std::size_t j = 0; j < r; ++j) {
+        const std::size_t w = (std::size_t(p) + j) % P;
+        if (!alive[w]) continue;
+        batches[w].rows.push_back(
+            {p, id, std::vector<float>(v, v + rows->dim())});
+        delivered = true;
+      }
+      if (!delivered) ++ws.dropped_rows;
+    }
+  }
+  DeleteBatch dels;
+  dels.ids.assign(deletes.begin(), deletes.end());
+  const std::vector<std::byte> del_bytes = encode_delete_batch(dels);
+
+  // A concurrent chaos search can advance the kill clock mid-round, and a
+  // dead rank is silent on every tag (reliable ones included) — so with an
+  // injector armed every blocking recv becomes recv_for.
+  const auto round_timeout = std::chrono::microseconds(std::llround(
+      std::max(config_.result_timeout_ms, 1000.0) * 1000.0));
+
+  std::vector<WriteAck> acks(P);
+  std::vector<char> acked(P, 0);
+  mpi::Runtime rt(int(P) + 1, injector);
+  configure_runtime_check(rt);
+  {
+    std::shared_lock topology(sync_->topology);
+    try {
+      rt.run([&](mpi::Comm& world) {
+        const int rank = world.rank();
+        if (rank == 0) {
+          // Both tags always go out (possibly empty) so the worker's recv
+          // pairing is fixed regardless of round content.
+          for (std::size_t w = 0; w < P; ++w) {
+            if (!alive[w]) continue;
+            (void)world.isend_reserved(int(w) + 1, kTagInsert,
+                                       encode_write_batch(batches[w]));
+            (void)world.isend_reserved(int(w) + 1, kTagDelete, del_bytes);
+          }
+          for (std::size_t w = 0; w < P; ++w) {
+            if (!alive[w]) continue;
+            std::optional<mpi::Message> m;
+            if (injector != nullptr) {
+              m = world.recv_for(int(w) + 1, kTagWriteAck, round_timeout);
+            } else {
+              m = world.recv(int(w) + 1, kTagWriteAck);
+            }
+            // A missing ack means the worker died mid-round; the search
+            // plane will observe the silence and fold the death.
+            if (!m.has_value()) continue;
+            acks[w] = decode_write_ack(m->payload);
+            acked[w] = 1;
+          }
+          return;
+        }
+        const std::size_t w = std::size_t(rank) - 1;
+        if (!alive[w]) return;
+        std::optional<mpi::Message> mi, md;
+        if (injector != nullptr) {
+          mi = world.recv_for(0, kTagInsert, round_timeout);
+          if (mi.has_value()) {
+            md = world.recv_for(0, kTagDelete, round_timeout);
+          }
+        } else {
+          mi = world.recv(0, kTagInsert);
+          md = world.recv(0, kTagDelete);
+        }
+        if (!mi.has_value() || !md.has_value()) return;  // killed mid-round
+        const WriteBatch batch = decode_write_batch(mi->payload);
+        const DeleteBatch dele = decode_delete_batch(md->payload);
+        WriteAck ack;
+        WorkerStore& store = workers_[w];
+        for (const auto& row : batch.rows) {
+          auto it = store.find(row.partition);
+          // A missing partition means an observed death cleared this store
+          // and heal() has not run yet; the row lands on the other replicas.
+          if (it == store.end()) continue;
+          it->second.index->insert(row.vec, row.id);
+          ++ack.inserted;
+        }
+        for (const GlobalId id : dele.ids) {
+          for (auto& [pid, rep] : store) {
+            if (rep.index->erase(id)) ++ack.erased;
+          }
+        }
+        for (const auto& [pid, rep] : store) {
+          ack.max_delta_fill = std::max(ack.max_delta_fill,
+                                        std::uint64_t(rep.index->delta_fill()));
+        }
+        world.send_reserved(0, kTagWriteAck, encode_write_ack(ack));
+      });
+    } catch (...) {
+      absorb_check_report(rt);
+      throw;
+    }
+    absorb_check_report(rt);
+  }
+
+  for (std::size_t w = 0; w < P; ++w) {
+    if (!acked[w]) continue;
+    ws.inserted_replicas += acks[w].inserted;
+    ws.erased_replicas += acks[w].erased;
+    ws.max_delta_fill = std::max(ws.max_delta_fill, acks[w].max_delta_fill);
+  }
+  // Keep durable snapshots current so a heal mid-stream replays the writes
+  // (incremental: frozen segment files are skipped, only deltas rewrite).
+  if (!config_.checkpoint_dir.empty()) save_checkpoints();
+  return ws;
+}
+
+std::uint64_t DistributedAnnEngine::compact() {
+  ANNSIM_CHECK_MSG(router_.has_value(), "engine not built yet");
+  ANNSIM_CHECK_MSG(config_.local_index == LocalIndexKind::kSegmented,
+                   "compact() needs local_index=segmented; '"
+                       << local_index_kind_name(config_.local_index)
+                       << "' has no delta tier");
+  std::lock_guard api(sync_->write_api);
+  const std::size_t P = config_.n_workers;
+
+  auto injector = shared_injector();
+  const std::vector<char> alive = write_plane_alive(injector.get());
+  const auto round_timeout = std::chrono::microseconds(std::llround(
+      std::max(config_.result_timeout_ms, 1000.0) * 1000.0));
+
+  std::uint64_t total = 0;
+  mpi::Runtime rt(int(P) + 1, injector);
+  configure_runtime_check(rt);
+  {
+    std::shared_lock topology(sync_->topology);
+    try {
+      rt.run([&](mpi::Comm& world) {
+        const int rank = world.rank();
+        if (rank == 0) {
+          for (std::size_t w = 0; w < P; ++w) {
+            if (!alive[w]) continue;
+            (void)world.isend_reserved(int(w) + 1, kTagCompact, {});
+          }
+          for (std::size_t w = 0; w < P; ++w) {
+            if (!alive[w]) continue;
+            std::optional<mpi::Message> m;
+            if (injector != nullptr) {
+              m = world.recv_for(int(w) + 1, kTagWriteAck, round_timeout);
+            } else {
+              m = world.recv(int(w) + 1, kTagWriteAck);
+            }
+            if (!m.has_value()) continue;
+            total += decode_write_ack(m->payload).compactions;
+          }
+          return;
+        }
+        const std::size_t w = std::size_t(rank) - 1;
+        if (!alive[w]) return;
+        std::optional<mpi::Message> m;
+        if (injector != nullptr) {
+          m = world.recv_for(0, kTagCompact, round_timeout);
+        } else {
+          m = world.recv(0, kTagCompact);
+        }
+        if (!m.has_value()) return;  // killed mid-round
+        WriteAck ack;
+        for (auto& [pid, rep] : workers_[w]) {
+          // Single-threaded rebuild keeps compaction deterministic; searches
+          // keep serving the old view until the hot-swap publish.
+          if (rep.index->compact(nullptr)) ++ack.compactions;
+        }
+        world.send_reserved(0, kTagWriteAck, encode_write_ack(ack));
+      });
+    } catch (...) {
+      absorb_check_report(rt);
+      throw;
+    }
+    absorb_check_report(rt);
+  }
+
+  if (total > 0 && !config_.checkpoint_dir.empty()) save_checkpoints();
+  return total;
+}
+
+std::size_t DistributedAnnEngine::max_delta_fill() const {
+  std::shared_lock topology(sync_->topology);
+  std::size_t fill = 0;
+  for (const WorkerStore& store : workers_) {
+    for (const auto& [pid, rep] : store) {
+      fill = std::max(fill, rep.index->delta_fill());
+    }
+  }
+  return fill;
 }
 
 // Algorithm 3 (baseline) / Algorithm 5 (replication): the master routine.
@@ -942,28 +1241,61 @@ std::vector<PartitionId> DistributedAnnEngine::under_replicated_partitions()
 void DistributedAnnEngine::save_checkpoints() const {
   if (config_.checkpoint_dir.empty()) return;
   ANNSIM_CHECK_MSG(router_.has_value(), "engine not built yet");
+  // One checkpointer at a time (a background compaction and a heal may both
+  // want to snapshot), reading a stable topology.
+  std::lock_guard ckpt(sync_->checkpoint);
+  std::shared_lock topology(sync_->topology);
   const recovery::CheckpointStore store(config_.checkpoint_dir);
   const std::size_t P = config_.n_workers;
+  // A dead worker's in-memory replica froze at the moment of death and may
+  // be missing writes (and, worse, tombstones) the surviving copy kept
+  // absorbing — snapshotting it would let a later heal-from-checkpoint
+  // resurrect deleted ids. Prefer copies on live workers; fall back to a
+  // dead host only when no live copy exists.
+  std::shared_ptr<mpi::FaultInjector> inj;
+  {
+    std::lock_guard lock(sync_->injector);
+    inj = injector_;
+  }
+  const std::vector<char> alive = write_plane_alive(inj.get());
   for (std::size_t p = 0; p < P; ++p) {
-    // One snapshot per partition, taken from the first workgroup member
-    // still hosting a copy (the primary owner unless it has been lost).
     const Replica* rep = nullptr;
+    const Replica* stale = nullptr;
     for (std::size_t j = 0; j < config_.replication && rep == nullptr; ++j) {
-      const auto it = workers_[(p + j) % P].find(PartitionId(p));
-      if (it != workers_[(p + j) % P].end()) rep = &it->second;
+      const std::size_t w = (p + j) % P;
+      const auto it = workers_[w].find(PartitionId(p));
+      if (it == workers_[w].end()) continue;
+      if (alive[w]) {
+        rep = &it->second;
+      } else if (stale == nullptr) {
+        stale = &it->second;
+      }
     }
+    if (rep == nullptr) rep = stale;
     if (rep == nullptr) continue;  // every copy lost; nothing to snapshot
     recovery::CheckpointMeta meta;
     meta.partition = std::uint32_t(p);
     meta.dim = router_->dim();
-    meta.count = rep->data->size();
     meta.index_kind = std::uint8_t(config_.local_index);
-    store.save(meta, pack_dataset(*rep->data), rep->index->to_bytes());
+    if (const segment::SegmentedIndex* seg = rep->index->segmented()) {
+      // Segmented replicas checkpoint incrementally: immutable segment
+      // files are written once and skipped thereafter; only the small
+      // delta (plus tombstones) rewrites per round.
+      meta.count = rep->index->size();
+      const auto parts = seg->snapshot_parts();
+      store.save_segmented(meta, parts.header, parts.segments, parts.delta);
+    } else {
+      meta.count = rep->data->size();
+      store.save(meta, pack_dataset(*rep->data), rep->index->to_bytes());
+    }
   }
 }
 
 recovery::HealReport DistributedAnnEngine::heal() {
   ANNSIM_CHECK_MSG(router_.has_value(), "engine not built yet");
+  // Exclusive: healing rebuilds worker stores in place, which must not
+  // overlap a search/write/compact round reading them.
+  std::unique_lock topology(sync_->topology);
   WallTimer timer;
   recovery::HealReport report;
   const std::size_t P = config_.n_workers;
@@ -999,6 +1331,7 @@ recovery::HealReport DistributedAnnEngine::heal() {
   lp.hnsw = config_.hnsw;
   lp.ivfpq = config_.ivfpq;
   lp.metric = config_.hnsw.metric;
+  lp.segment_delta_capacity = config_.segment_delta_capacity;
 
   // 3. Prefer the checkpoint store: a durable snapshot restores locally with
   //    no cluster traffic at all (the LANNS model — reload, don't rebuild).
@@ -1122,6 +1455,7 @@ recovery::HealReport DistributedAnnEngine::heal() {
 
 void DistributedAnnEngine::save(const std::string& path) const {
   ANNSIM_CHECK_MSG(router_.has_value(), "engine not built yet");
+  std::shared_lock topology(sync_->topology);
   BinaryWriter w;
   w.write(std::uint32_t{0x414E4945});  // "ANIE"
   w.write(std::uint64_t(config_.n_workers));
@@ -1147,6 +1481,8 @@ void DistributedAnnEngine::save(const std::string& path) const {
   w.write(config_.ivfpq.pq.seed);
   w.write(std::uint64_t(config_.ivfpq.coarse_iters));
   w.write(config_.ivfpq.seed);
+  w.write(std::uint64_t(config_.segment_delta_capacity));
+  w.write(next_stream_id_);  // id stream survives save/load, never reused
 
   BinaryWriter tree;
   router_->serialize(tree);
@@ -1215,6 +1551,8 @@ DistributedAnnEngine DistributedAnnEngine::load(
   eng.config_.ivfpq.pq.seed = r.read<std::uint64_t>();
   eng.config_.ivfpq.coarse_iters = r.read<std::uint64_t>();
   eng.config_.ivfpq.seed = r.read<std::uint64_t>();
+  eng.config_.segment_delta_capacity = r.read<std::uint64_t>();
+  eng.next_stream_id_ = r.read<GlobalId>();
 
   auto tree_bytes = r.read_vector<std::byte>();
   BinaryReader tr(tree_bytes);
@@ -1228,6 +1566,7 @@ DistributedAnnEngine DistributedAnnEngine::load(
   lp.hnsw = eng.config_.hnsw;
   lp.ivfpq = eng.config_.ivfpq;
   lp.metric = eng.config_.hnsw.metric;
+  lp.segment_delta_capacity = eng.config_.segment_delta_capacity;
   for (auto& store : eng.workers_) {
     const auto n_replicas = r.read<std::uint64_t>();
     for (std::uint64_t i = 0; i < n_replicas; ++i) {

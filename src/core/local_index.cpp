@@ -2,8 +2,30 @@
 
 #include "annsim/common/error.hpp"
 #include "annsim/common/serialize.hpp"
+#include "annsim/segment/segmented_index.hpp"
 
 namespace annsim::core {
+
+namespace {
+
+[[noreturn]] void throw_read_only(LocalIndexKind kind, const char* op) {
+  std::ostringstream os;
+  os << "LocalIndex::" << op << ": '" << local_index_kind_name(kind)
+     << "' is a read-only index kind; streaming writes need kind=segmented";
+  throw Error(os.str());
+}
+
+}  // namespace
+
+void LocalIndex::insert(std::span<const float> /*vec*/, GlobalId /*id*/) {
+  throw_read_only(kind(), "insert");
+}
+
+bool LocalIndex::erase(GlobalId /*id*/) { throw_read_only(kind(), "erase"); }
+
+bool LocalIndex::compact(ThreadPool* /*pool*/) {
+  throw_read_only(kind(), "compact");
+}
 
 namespace {
 
@@ -104,6 +126,51 @@ class IvfPqLocalIndex final : public LocalIndex {
   pq::IvfPqIndex index_;
 };
 
+/// Adapter exposing segment::SegmentedIndex through the LocalIndex plug
+/// point. Unlike the read-only kinds it *owns* its data (segments reference
+/// their own frozen Datasets; the delta pre-allocates), so the partition
+/// Dataset handed to the factories is copied once at build and unused on the
+/// from_bytes path — replicas ship the full image in the index bytes.
+class SegmentedLocalIndex final : public LocalIndex {
+ public:
+  explicit SegmentedLocalIndex(std::unique_ptr<segment::SegmentedIndex> idx)
+      : idx_(std::move(idx)) {}
+
+  std::vector<Neighbor> search(const float* query, std::size_t k,
+                               std::size_t ef) const override {
+    return idx_->search(query, k, ef);
+  }
+
+  LocalIndexKind kind() const noexcept override {
+    return LocalIndexKind::kSegmented;
+  }
+  std::size_t size() const noexcept override { return idx_->size(); }
+
+  std::vector<std::byte> to_bytes() const override { return idx_->to_bytes(); }
+
+  bool supports_writes() const noexcept override { return true; }
+  void insert(std::span<const float> vec, GlobalId id) override {
+    idx_->insert(vec, id);
+  }
+  bool erase(GlobalId id) override { return idx_->erase(id); }
+  bool compact(ThreadPool* pool) override { return idx_->compact(pool); }
+  std::size_t delta_fill() const override { return idx_->delta_fill(); }
+  const segment::SegmentedIndex* segmented() const noexcept override {
+    return idx_.get();
+  }
+
+ private:
+  std::unique_ptr<segment::SegmentedIndex> idx_;
+};
+
+segment::SegmentedParams segmented_params(const LocalIndexParams& params) {
+  segment::SegmentedParams sp;
+  sp.hnsw = params.hnsw;
+  sp.hnsw.metric = params.metric;
+  sp.delta_capacity = params.segment_delta_capacity;
+  return sp;
+}
+
 }  // namespace
 
 const char* local_index_kind_name(LocalIndexKind kind) noexcept {
@@ -112,6 +179,7 @@ const char* local_index_kind_name(LocalIndexKind kind) noexcept {
     case LocalIndexKind::kBruteForce: return "bruteforce";
     case LocalIndexKind::kVpTree: return "vptree";
     case LocalIndexKind::kIvfPq: return "ivfpq";
+    case LocalIndexKind::kSegmented: return "segmented";
   }
   return "?";
 }
@@ -136,6 +204,10 @@ std::unique_ptr<LocalIndex> build_local_index(const data::Dataset* data,
       ANNSIM_CHECK_MSG(params.metric == simd::Metric::kL2,
                        "IVF-PQ local index supports L2 only");
       return std::make_unique<IvfPqLocalIndex>(data, params.ivfpq);
+    case LocalIndexKind::kSegmented:
+      return std::make_unique<SegmentedLocalIndex>(
+          std::make_unique<segment::SegmentedIndex>(
+              data->slice(0, data->size()), segmented_params(params), pool));
   }
   ANNSIM_CHECK_MSG(false, "unknown local index kind");
   return nullptr;
@@ -156,6 +228,16 @@ std::unique_ptr<LocalIndex> local_index_from_bytes(
       return std::make_unique<VpTreeLocalIndex>(data, params.metric);
     case LocalIndexKind::kIvfPq:
       return std::make_unique<IvfPqLocalIndex>(data, params.ivfpq);
+    case LocalIndexKind::kSegmented: {
+      // The image is self-contained (it owns its vectors); `data` is the
+      // replica's empty placeholder Dataset, used only to sanity-check dim.
+      auto idx = segment::SegmentedIndex::from_bytes(bytes);
+      ANNSIM_CHECK_MSG(data->dim() == 0 || data->dim() == idx->dim(),
+                       "segmented image dim " << idx->dim()
+                                              << " != replica dim "
+                                              << data->dim());
+      return std::make_unique<SegmentedLocalIndex>(std::move(idx));
+    }
   }
   ANNSIM_CHECK_MSG(false, "unknown local index kind");
   return nullptr;

@@ -48,6 +48,65 @@ LocalResult decode_local_result(std::span<const std::byte> bytes) {
   return out;
 }
 
+std::vector<std::byte> encode_write_batch(const WriteBatch& b) {
+  BinaryWriter w;
+  w.write(std::uint64_t(b.rows.size()));
+  for (const auto& row : b.rows) {
+    w.write(row.partition);
+    w.write(row.id);
+    w.write_vector(row.vec);
+  }
+  return w.take();
+}
+
+WriteBatch decode_write_batch(std::span<const std::byte> bytes) {
+  BinaryReader r(bytes);
+  WriteBatch out;
+  const auto n = r.read<std::uint64_t>();
+  out.rows.resize(n);
+  for (auto& row : out.rows) {
+    row.partition = r.read<PartitionId>();
+    row.id = r.read<GlobalId>();
+    row.vec = r.read_vector<float>();
+  }
+  ANNSIM_CHECK(r.exhausted());
+  return out;
+}
+
+std::vector<std::byte> encode_delete_batch(const DeleteBatch& b) {
+  BinaryWriter w;
+  w.write_vector(b.ids);
+  return w.take();
+}
+
+DeleteBatch decode_delete_batch(std::span<const std::byte> bytes) {
+  BinaryReader r(bytes);
+  DeleteBatch out;
+  out.ids = r.read_vector<GlobalId>();
+  ANNSIM_CHECK(r.exhausted());
+  return out;
+}
+
+std::vector<std::byte> encode_write_ack(const WriteAck& a) {
+  BinaryWriter w;
+  w.write(a.inserted);
+  w.write(a.erased);
+  w.write(a.max_delta_fill);
+  w.write(a.compactions);
+  return w.take();
+}
+
+WriteAck decode_write_ack(std::span<const std::byte> bytes) {
+  BinaryReader r(bytes);
+  WriteAck out;
+  out.inserted = r.read<std::uint64_t>();
+  out.erased = r.read<std::uint64_t>();
+  out.max_delta_fill = r.read<std::uint64_t>();
+  out.compactions = r.read<std::uint64_t>();
+  ANNSIM_CHECK(r.exhausted());
+  return out;
+}
+
 bool mask_contains(std::span<const std::uint64_t> mask,
                    PartitionId p) noexcept {
   const std::size_t word = std::size_t(p) / 64;

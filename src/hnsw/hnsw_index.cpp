@@ -5,6 +5,7 @@
 #include <cmath>
 #include <fstream>
 #include <queue>
+#include <sstream>
 
 #include "annsim/common/error.hpp"
 #include "annsim/common/serialize.hpp"
@@ -352,8 +353,13 @@ std::vector<LocalId> select_neighbors(const data::Dataset& data,
 void HnswIndex::insert(LocalId node) {
   ANNSIM_CHECK(node < data_->size());
   Impl& im = *impl_;
-  ANNSIM_CHECK_MSG(!im.frozen.load(std::memory_order_acquire),
-                   "HnswIndex is frozen (read-only); no further inserts");
+  if (im.frozen.load(std::memory_order_acquire)) [[unlikely]] {
+    std::ostringstream os;
+    os << "HnswIndex::insert(" << node << "): index is frozen (read-only "
+       << "FlatGraph form, " << im.n_inserted.load(std::memory_order_acquire)
+       << " nodes); inserts are only legal in the mutable linked form";
+    throw FrozenIndexError(os.str());
+  }
   ANNSIM_CHECK_MSG(!im.nodes[node].inserted, "node inserted twice: " << node);
 
   const simd::DistanceComputer dist(params_.metric, data_->dim());

@@ -15,13 +15,22 @@ namespace annsim::recovery {
 namespace {
 
 constexpr std::uint32_t kManifestMagic = 0x414E4350;  // "ANCP"
-constexpr std::uint32_t kManifestVersion = 1;
+constexpr std::uint32_t kManifestVersion = 1;            ///< monolithic layout
+constexpr std::uint32_t kManifestVersionSegmented = 2;   ///< incremental layout
 constexpr const char* kManifestFile = "manifest.bin";
 constexpr const char* kDataFile = "data.bin";
 constexpr const char* kIndexFile = "index.bin";
 
 std::string partition_dirname(std::uint32_t partition) {
   return "partition_" + std::to_string(partition);
+}
+
+std::string segment_filename(std::uint64_t seg_id) {
+  return "seg_" + std::to_string(seg_id) + ".bin";
+}
+
+std::string delta_filename(std::uint64_t generation) {
+  return "delta_" + std::to_string(generation) + ".bin";
 }
 
 void write_file(const fs::path& path, std::span<const std::byte> bytes) {
@@ -97,6 +106,95 @@ void CheckpointStore::save(const CheckpointMeta& meta,
   fs::rename(staging, target);
 }
 
+namespace {
+
+/// Atomic single-file replace: write a hidden sibling, rename over `path`.
+void write_file_atomic(const fs::path& path, std::span<const std::byte> bytes) {
+  const fs::path tmp = path.parent_path() / ("." + path.filename().string() +
+                                             ".tmp");
+  write_file(tmp, bytes);
+  fs::rename(tmp, path);
+}
+
+}  // namespace
+
+CheckpointStore::SaveReport CheckpointStore::save_segmented(
+    const CheckpointMeta& meta, std::span<const std::byte> header,
+    std::span<const std::pair<std::uint64_t, std::vector<std::byte>>> segments,
+    std::span<const std::byte> delta) const {
+  const fs::path pdir = fs::path(dir_) / partition_dirname(meta.partition);
+  fs::create_directories(pdir);
+
+  // The delta rewrites every save; bump its generation past whatever the
+  // committed manifest references so the old generation's bytes stay intact
+  // until the new manifest rename commits.
+  std::uint64_t generation = 0;
+  if (fs::exists(pdir / kManifestFile)) {
+    const auto old_bytes = read_file(pdir / kManifestFile);
+    BinaryReader old(old_bytes);
+    if (old.remaining() >= 2 * sizeof(std::uint32_t) &&
+        old.read<std::uint32_t>() == kManifestMagic &&
+        old.read<std::uint32_t>() == kManifestVersionSegmented) {
+      old.read<std::uint32_t>();  // partition
+      old.read<std::uint64_t>();  // dim
+      old.read<std::uint64_t>();  // count
+      old.read<std::uint8_t>();   // index_kind
+      (void)old.read_vector<std::byte>();  // header blob
+      generation = old.read<std::uint64_t>() + 1;
+    }
+  }
+
+  SaveReport report;
+  for (const auto& [seg_id, blob] : segments) {
+    const fs::path seg_path = pdir / segment_filename(seg_id);
+    // Segment ids are never reused, so an existing file already holds these
+    // exact bytes — the incremental win. (Integrity is still verified at
+    // load time against the manifest checksum.)
+    if (fs::exists(seg_path)) {
+      ++report.segments_skipped;
+      continue;
+    }
+    write_file_atomic(seg_path, blob);
+    ++report.segments_written;
+  }
+  write_file_atomic(pdir / delta_filename(generation), delta);
+
+  BinaryWriter manifest;
+  manifest.write(kManifestMagic);
+  manifest.write(kManifestVersionSegmented);
+  manifest.write(meta.partition);
+  manifest.write(meta.dim);
+  manifest.write(meta.count);
+  manifest.write(meta.index_kind);
+  manifest.write_vector(std::vector<std::byte>(header.begin(), header.end()));
+  manifest.write(generation);
+  manifest.write(FileRecord{delta.size(), checksum64(delta)});
+  manifest.write(std::uint64_t(segments.size()));
+  for (const auto& [seg_id, blob] : segments) {
+    manifest.write(seg_id);
+    manifest.write(FileRecord{blob.size(), checksum64(blob)});
+  }
+  // Commit point: readers see the old manifest (old generation, old segment
+  // set) until this rename lands.
+  write_file_atomic(pdir / kManifestFile, manifest.bytes());
+
+  // Post-commit GC: drop delta generations other than the committed one and
+  // segment files the manifest no longer references (merged away by
+  // compaction). A crash here only leaves harmless extra files. Also clear
+  // any v1 payload left behind by a monolithic save of this partition.
+  for (const auto& entry : fs::directory_iterator(pdir)) {
+    const std::string name = entry.path().filename().string();
+    if (name == kManifestFile) continue;
+    bool keep = false;
+    if (name == delta_filename(generation)) keep = true;
+    for (const auto& [seg_id, blob] : segments) {
+      if (name == segment_filename(seg_id)) keep = true;
+    }
+    if (!keep) fs::remove(entry.path());
+  }
+  return report;
+}
+
 bool CheckpointStore::has(std::uint32_t partition) const {
   return fs::exists(fs::path(dir_) / partition_dirname(partition) / kManifestFile);
 }
@@ -114,8 +212,9 @@ CheckpointStore::LoadedPartition CheckpointStore::load(
                        manifest.read<std::uint32_t>() == kManifestMagic,
                    "bad checkpoint manifest magic for partition " << partition);
   const auto version = manifest.read<std::uint32_t>();
-  ANNSIM_CHECK_MSG(version == kManifestVersion,
-                   "unsupported checkpoint manifest version " << version);
+  ANNSIM_CHECK_MSG(
+      version == kManifestVersion || version == kManifestVersionSegmented,
+      "unsupported checkpoint manifest version " << version);
 
   LoadedPartition out;
   out.meta.partition = manifest.read<std::uint32_t>();
@@ -126,10 +225,8 @@ CheckpointStore::LoadedPartition CheckpointStore::load(
                    "checkpoint manifest names partition "
                        << out.meta.partition << " but was loaded as "
                        << partition);
-  const auto data_rec = manifest.read<FileRecord>();
-  const auto index_rec = manifest.read<FileRecord>();
 
-  const auto verify = [&](const char* name, const FileRecord& rec) {
+  const auto verify = [&](const std::string& name, const FileRecord& rec) {
     const fs::path p = pdir / name;
     ANNSIM_CHECK_MSG(fs::exists(p), "checkpoint file " << name
                                                        << " missing (truncated "
@@ -147,8 +244,34 @@ CheckpointStore::LoadedPartition CheckpointStore::load(
                          << name << " for partition " << partition);
     return bytes;
   };
-  out.data_bytes = verify(kDataFile, data_rec);
-  out.index_bytes = verify(kIndexFile, index_rec);
+
+  if (version == kManifestVersion) {
+    const auto data_rec = manifest.read<FileRecord>();
+    const auto index_rec = manifest.read<FileRecord>();
+    out.data_bytes = verify(kDataFile, data_rec);
+    out.index_bytes = verify(kIndexFile, index_rec);
+    return out;
+  }
+
+  // Segmented manifest: verify each part, then reassemble the byte-identical
+  // SegmentedIndex::to_bytes() image (header | n_segments | id+blob... |
+  // delta). data_bytes stays empty — the image owns its vectors.
+  const auto header = manifest.read_vector<std::byte>();
+  const auto generation = manifest.read<std::uint64_t>();
+  const auto delta_rec = manifest.read<FileRecord>();
+  const auto n_segments = manifest.read<std::uint64_t>();
+
+  BinaryWriter image;
+  image.write_vector(header);
+  image.write(n_segments);
+  for (std::uint64_t i = 0; i < n_segments; ++i) {
+    const auto seg_id = manifest.read<std::uint64_t>();
+    const auto seg_rec = manifest.read<FileRecord>();
+    image.write(seg_id);
+    image.write_vector(verify(segment_filename(seg_id), seg_rec));
+  }
+  image.write_vector(verify(delta_filename(generation), delta_rec));
+  out.index_bytes = image.take();
   return out;
 }
 

@@ -43,6 +43,10 @@ QueryServer::QueryServer(core::DistributedAnnEngine* engine,
                    "max_delay_ms cannot be negative");
   ANNSIM_CHECK_MSG(config_.retry_backoff_ms >= 0.0,
                    "retry_backoff_ms cannot be negative");
+  ANNSIM_CHECK_MSG(
+      config_.compact_at_fill == 0 ||
+          engine_->config().local_index == core::LocalIndexKind::kSegmented,
+      "compact_at_fill requires a segmented engine (local_index=segmented)");
   dim_ = engine_->router().dim();
   max_delay_ = std::chrono::duration<double, std::milli>(config_.max_delay_ms);
   scheduler_ = std::thread([this] { scheduler_main(); });
@@ -278,6 +282,10 @@ void QueryServer::run_batch(std::vector<Pending> batch) {
     }
     metrics_.on_health(engine_->under_replicated_partitions().size());
   }
+  // Live mutability: when the write stream has filled any delta past the
+  // threshold, re-freeze in the background — the engine's view hot-swap
+  // keeps this batch boundary (and every following batch) non-blocking.
+  maybe_compact();
   // Re-admit degraded requests whose retry budget allows another attempt.
   // Retries count against queue_capacity like any submit: when the queue is
   // full (or the server is draining) the degraded answer stands instead of
@@ -306,6 +314,23 @@ void QueryServer::run_batch(std::vector<Pending> batch) {
   if (readmitted) cv_work_.notify_one();
 }
 
+void QueryServer::maybe_compact() {
+  if (config_.compact_at_fill == 0) return;
+  if (compacting_.load(std::memory_order_acquire)) return;
+  // Reap the previous run so at most one joinable thread is outstanding.
+  if (compactor_.joinable()) compactor_.join();
+  if (engine_->max_delta_fill() < config_.compact_at_fill) return;
+  compacting_.store(true, std::memory_order_release);
+  compactor_ = std::thread([this] {
+    try {
+      (void)engine_->compact();
+    } catch (const std::exception& e) {
+      ANNSIM_ERROR("serve: background compaction failed: " << e.what());
+    }
+    compacting_.store(false, std::memory_order_release);
+  });
+}
+
 void QueryServer::stop() {
   {
     std::lock_guard lk(mu_);
@@ -314,6 +339,7 @@ void QueryServer::stop() {
   cv_work_.notify_all();
   cv_space_.notify_all();
   if (scheduler_.joinable()) scheduler_.join();
+  if (compactor_.joinable()) compactor_.join();
   // The scheduler drains everything admitted before it exits; this sweep only
   // catches a submit that raced with stop().
   std::deque<Pending> leftover;

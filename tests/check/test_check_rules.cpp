@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "annsim/common/error.hpp"
+#include "annsim/core/protocol.hpp"
 #include "annsim/mpi/mpi.hpp"
 
 namespace {
@@ -197,6 +198,50 @@ TEST(CheckRules, ReservedTagSend) {
   EXPECT_EQ(occ->peer, 1);
   EXPECT_EQ(occ->tag, 7);
 }
+
+/// Each write-plane control tag is reserved engine-wide: a naked send on it
+/// must be flagged, the sanctioned send_reserved must stay clean. One test
+/// per tag so a regression names the exact tag it dropped from the set.
+class ReservedWriteTag : public ::testing::TestWithParam<mpi::Tag> {};
+
+TEST_P(ReservedWriteTag, NakedSendIsFlaggedSanctionedSendIsNot) {
+  const mpi::Tag tag = GetParam();
+  mpi::Runtime rt(2);
+  CheckOptions o = lenient();
+  o.reserved_tags = {tag};
+  rt.configure_check(o);
+  rt.run([tag](mpi::Comm& world) {
+    if (world.rank() == 0) {
+      world.send(1, tag, std::span<const std::byte>{});           // flagged
+      world.send_reserved(1, tag, std::span<const std::byte>{});  // sanctioned
+    } else {
+      (void)world.recv(0, tag);
+      (void)world.recv(0, tag);
+    }
+  });
+  const CheckReport report = rt.check_report();
+  EXPECT_EQ(report.count(Rule::kReservedTagSend), 1u)
+      << annsim::check::to_string(report);
+  const auto* occ = report.first(Rule::kReservedTagSend);
+  ASSERT_NE(occ, nullptr);
+  EXPECT_EQ(occ->rank, 0);
+  EXPECT_EQ(occ->peer, 1);
+  EXPECT_EQ(occ->tag, tag);
+}
+
+INSTANTIATE_TEST_SUITE_P(WritePlane, ReservedWriteTag,
+                         ::testing::Values(annsim::core::kTagInsert,
+                                           annsim::core::kTagDelete,
+                                           annsim::core::kTagWriteAck,
+                                           annsim::core::kTagCompact),
+                         [](const auto& pinfo) {
+                           switch (pinfo.param) {
+                             case annsim::core::kTagInsert: return "Insert";
+                             case annsim::core::kTagDelete: return "Delete";
+                             case annsim::core::kTagWriteAck: return "WriteAck";
+                             default: return "Compact";
+                           }
+                         });
 
 TEST(CheckRules, WildcardRecvWhileTagsReserved) {
   mpi::Runtime rt(2);

@@ -233,6 +233,30 @@ TEST_P(HnswMSweep, BuildsAndSearchesAtEveryM) {
 
 INSTANTIATE_TEST_SUITE_P(PaperMs, HnswMSweep, ::testing::Values(8, 16, 32, 64));
 
+TEST(Hnsw, InsertAfterFreezeThrowsTypedError) {
+  auto w = data::make_sift_like(100, 2, 33);
+  HnswIndex index(&w.base, fast_params());
+  index.build();  // build() freezes into the flat read-optimized graph
+  ASSERT_TRUE(index.is_frozen());
+
+  // The violation carries its own type so callers needing mutability (the
+  // segmented delta) can distinguish "this index froze" from generic errors
+  // and roll over to a fresh delta instead of failing the write.
+  EXPECT_THROW(index.insert(LocalId(0)), FrozenIndexError);
+  try {
+    index.insert(LocalId(0));
+    FAIL() << "insert after freeze must throw";
+  } catch (const Error& e) {
+    EXPECT_NE(dynamic_cast<const FrozenIndexError*>(&e), nullptr)
+        << "FrozenIndexError must stay catchable through the Error base";
+  }
+
+  // Deserialized replicas come up frozen and enforce the same contract.
+  auto clone = HnswIndex::from_bytes(index.to_bytes(), &w.base);
+  ASSERT_TRUE(clone.is_frozen());
+  EXPECT_THROW(clone.insert(LocalId(0)), FrozenIndexError);
+}
+
 TEST(BruteForceIndex, MatchesGroundTruth) {
   auto w = data::make_deep_like(300, 10, 11);
   BruteForceIndex index(&w.base, simd::Metric::kL2);

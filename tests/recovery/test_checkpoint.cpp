@@ -8,8 +8,10 @@
 #include <vector>
 
 #include "annsim/common/error.hpp"
+#include "annsim/data/recipes.hpp"
 #include "annsim/recovery/checkpoint.hpp"
 #include "annsim/recovery/health.hpp"
+#include "annsim/segment/segmented_index.hpp"
 
 namespace annsim::recovery {
 namespace {
@@ -174,6 +176,226 @@ TEST_F(Checkpoint, ChecksumIsStable) {
   EXPECT_EQ(checksum64({}), 0xcbf29ce484222325ULL);
   EXPECT_NE(checksum64(b), checksum64({}));
   EXPECT_EQ(checksum64(b), checksum64(b));
+}
+
+// ---- segmented (incremental) snapshots ----
+
+segment::SegmentedParams segmented_params() {
+  segment::SegmentedParams p;
+  p.hnsw.M = 8;
+  p.hnsw.ef_construction = 48;
+  p.delta_capacity = 16;
+  return p;
+}
+
+CheckpointMeta segmented_meta(const segment::SegmentedIndex& idx,
+                              std::uint32_t pid) {
+  CheckpointMeta meta;
+  meta.partition = pid;
+  meta.dim = idx.dim();
+  meta.count = idx.size();
+  meta.index_kind = 3;
+  return meta;
+}
+
+/// save_segmented() from a live index's snapshot_parts().
+CheckpointStore::SaveReport save_parts(const CheckpointStore& store,
+                                       const segment::SegmentedIndex& idx,
+                                       std::uint32_t pid) {
+  const auto parts = idx.snapshot_parts();
+  return store.save_segmented(segmented_meta(idx, pid), parts.header,
+                              parts.segments, parts.delta);
+}
+
+TEST_F(Checkpoint, SegmentedSaveRoundTripsTheExactImage) {
+  auto w = data::make_sift_like(200, 4, 61);
+  segment::SegmentedIndex idx(w.base.slice(0, w.base.size()),
+                              segmented_params());
+  idx.insert(w.queries.row_span(0), GlobalId(9000));
+  ASSERT_TRUE(idx.erase(GlobalId(3)));
+
+  CheckpointStore store(dir_);
+  save_parts(store, idx, 9);
+
+  ASSERT_TRUE(store.has(9));
+  const auto loaded = store.load(9);
+  EXPECT_EQ(loaded.meta.partition, 9u);
+  EXPECT_EQ(loaded.meta.dim, idx.dim());
+  EXPECT_EQ(loaded.meta.count, idx.size());
+  // Segmented snapshots carry their vectors inside the index image.
+  EXPECT_TRUE(loaded.data_bytes.empty());
+  EXPECT_EQ(loaded.index_bytes, idx.to_bytes());
+  const auto clone = segment::SegmentedIndex::from_bytes(loaded.index_bytes);
+  ASSERT_NE(clone, nullptr);
+  EXPECT_TRUE(clone->contains(GlobalId(9000)));
+  EXPECT_FALSE(clone->contains(GlobalId(3)));
+}
+
+TEST_F(Checkpoint, SegmentedResaveSkipsDurableSegments) {
+  auto w = data::make_sift_like(150, 4, 62);
+  segment::SegmentedIndex idx(w.base.slice(0, w.base.size()),
+                              segmented_params());
+  CheckpointStore store(dir_);
+
+  const auto first = save_parts(store, idx, 0);
+  EXPECT_EQ(first.segments_written, 1u);
+  EXPECT_EQ(first.segments_skipped, 0u);
+
+  // Delta-only mutation: the frozen segment is already durable.
+  ASSERT_TRUE(idx.erase(GlobalId(7)));
+  const auto second = save_parts(store, idx, 0);
+  EXPECT_EQ(second.segments_written, 0u);
+  EXPECT_EQ(second.segments_skipped, 1u);
+
+  // A minor compaction freezes the delta into one NEW segment: exactly that
+  // one is written, the old one is skipped.
+  idx.insert(w.queries.row_span(1), GlobalId(9100));
+  ASSERT_TRUE(idx.compact());
+  const auto third = save_parts(store, idx, 0);
+  EXPECT_EQ(third.segments_written, 1u);
+  EXPECT_EQ(third.segments_skipped, 1u);
+}
+
+TEST_F(Checkpoint, SegmentedDeltaGenerationsAreGarbageCollected) {
+  auto w = data::make_sift_like(100, 4, 63);
+  segment::SegmentedIndex idx(w.base.slice(0, w.base.size()),
+                              segmented_params());
+  CheckpointStore store(dir_);
+  for (std::size_t round = 0; round < 3; ++round) {
+    idx.insert(w.queries.row_span(round % 4), GlobalId(9200 + round));
+    save_parts(store, idx, 2);
+  }
+  // Generations 0 and 1 were superseded and collected; only the committed
+  // delta_2.bin remains next to the manifest.
+  std::size_t deltas = 0;
+  for (const auto& entry :
+       fs::directory_iterator(fs::path(dir_) / "partition_2")) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("delta_", 0) == 0) {
+      ++deltas;
+      EXPECT_EQ(name, "delta_2.bin");
+    }
+  }
+  EXPECT_EQ(deltas, 1u);
+  EXPECT_EQ(store.load(2).index_bytes, idx.to_bytes());
+}
+
+TEST_F(Checkpoint, SegmentedGcDropsSegmentsMergedAway) {
+  auto w = data::make_sift_like(100, 4, 64);
+  segment::SegmentedIndex idx(w.base.slice(0, w.base.size()),
+                              segmented_params());
+  idx.insert(w.queries.row_span(0), GlobalId(9300));
+  ASSERT_TRUE(idx.compact());  // minor: second frozen segment
+  CheckpointStore store(dir_);
+  save_parts(store, idx, 5);
+
+  // Tombstone pressure forces a major merge: both old segments are replaced
+  // by one new one, and the next save's GC drops their files.
+  for (GlobalId id = 0; id < 30; ++id) {
+    ASSERT_TRUE(idx.erase(id));
+  }
+  ASSERT_TRUE(idx.compact());
+  ASSERT_EQ(idx.stats().n_segments, 1u);
+  save_parts(store, idx, 5);
+
+  std::size_t seg_files = 0;
+  for (const auto& entry :
+       fs::directory_iterator(fs::path(dir_) / "partition_5")) {
+    if (entry.path().filename().string().rfind("seg_", 0) == 0) ++seg_files;
+  }
+  EXPECT_EQ(seg_files, 1u);
+  EXPECT_EQ(store.load(5).index_bytes, idx.to_bytes());
+}
+
+TEST_F(Checkpoint, SegmentedCorruptionIsDetected) {
+  auto w = data::make_sift_like(100, 4, 65);
+  segment::SegmentedIndex idx(w.base.slice(0, w.base.size()),
+                              segmented_params());
+  CheckpointStore store(dir_);
+  save_parts(store, idx, 8);
+
+  // Locate the one segment file; flip a byte in its middle.
+  fs::path seg_path;
+  for (const auto& entry :
+       fs::directory_iterator(fs::path(dir_) / "partition_8")) {
+    if (entry.path().filename().string().rfind("seg_", 0) == 0) {
+      seg_path = entry.path();
+    }
+  }
+  ASSERT_FALSE(seg_path.empty());
+  {
+    std::fstream f(seg_path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(64);
+    char c = 0;
+    f.read(&c, 1);
+    c = char(c ^ 0x08);
+    f.seekp(64);
+    f.write(&c, 1);
+  }
+  expect_error_containing(
+      [&] { (void)store.load(8); },
+      "checkpoint checksum mismatch in " + seg_path.filename().string());
+
+  // Flip the byte back (re-saves skip existing segment files, so a corrupted
+  // segment stays corrupted — integrity is load's job), then truncate the
+  // delta: caught by the size check before the checksum even runs.
+  {
+    std::fstream f(seg_path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(64);
+    char c = 0;
+    f.read(&c, 1);
+    c = char(c ^ 0x08);
+    f.seekp(64);
+    f.write(&c, 1);
+  }
+  ASSERT_NO_THROW((void)store.load(8));
+  idx.insert(w.queries.row_span(0), GlobalId(9400));  // non-empty delta
+  save_parts(store, idx, 8);
+  const auto loaded = store.load(8);
+  fs::path delta_path;
+  for (const auto& entry :
+       fs::directory_iterator(fs::path(dir_) / "partition_8")) {
+    if (entry.path().filename().string().rfind("delta_", 0) == 0) {
+      delta_path = entry.path();
+    }
+  }
+  ASSERT_FALSE(delta_path.empty());
+  fs::resize_file(delta_path, fs::file_size(delta_path) / 2);
+  expect_error_containing(
+      [&] { (void)store.load(8); },
+      "checkpoint file " + delta_path.filename().string() + " truncated");
+}
+
+TEST_F(Checkpoint, FormatsReplaceEachOtherCleanly) {
+  auto w = data::make_sift_like(100, 4, 66);
+  segment::SegmentedIndex idx(w.base.slice(0, w.base.size()),
+                              segmented_params());
+  CheckpointStore store(dir_);
+
+  // Monolithic save first, then segmented of the same partition: the v1
+  // payload files must be garbage-collected at the segmented commit.
+  CheckpointMeta meta = segmented_meta(idx, 1);
+  store.save(meta, some_bytes(64, 1), some_bytes(64, 2));
+  EXPECT_TRUE(fs::exists(file_of(1, "data.bin")));
+  save_parts(store, idx, 1);
+  EXPECT_FALSE(fs::exists(file_of(1, "data.bin")));
+  EXPECT_FALSE(fs::exists(file_of(1, "index.bin")));
+  EXPECT_EQ(store.load(1).index_bytes, idx.to_bytes());
+
+  // And back: a monolithic save fully replaces the segmented layout.
+  const auto data = some_bytes(48, 3);
+  const auto index = some_bytes(24, 4);
+  store.save(meta, data, index);
+  const auto loaded = store.load(1);
+  EXPECT_EQ(loaded.data_bytes, data);
+  EXPECT_EQ(loaded.index_bytes, index);
+  for (const auto& entry :
+       fs::directory_iterator(fs::path(dir_) / "partition_1")) {
+    const std::string name = entry.path().filename().string();
+    EXPECT_TRUE(name == "manifest.bin" || name == "data.bin" ||
+                name == "index.bin")
+        << "stale segmented file survived: " << name;
+  }
 }
 
 TEST_F(Checkpoint, HealReportRendering) {

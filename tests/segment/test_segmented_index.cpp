@@ -1,0 +1,249 @@
+/// SegmentedIndex unit tests: the live-mutability contract.
+///  * searches see frozen segments + delta minus tombstones, immediately;
+///  * the delta absorbs inserts up to capacity then auto-compacts;
+///  * compaction is tiered — minor folds only the delta (O(delta)), major
+///    (fanout / tombstone pressure, or forced by a re-insert) merges
+///    everything and purges tombstones;
+///  * the serialized image round-trips whole (to_bytes/from_bytes) and in
+///    parts (snapshot_parts/from_parts), byte-identically.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "annsim/common/serialize.hpp"
+#include "annsim/data/ground_truth.hpp"
+#include "annsim/data/recipes.hpp"
+#include "annsim/segment/segmented_index.hpp"
+
+namespace annsim::segment {
+namespace {
+
+SegmentedParams small_params(std::size_t delta_capacity = 64) {
+  SegmentedParams p;
+  p.hnsw.M = 8;
+  p.hnsw.ef_construction = 48;
+  p.hnsw.ef_search = 48;
+  p.delta_capacity = delta_capacity;
+  return p;
+}
+
+/// Fraction of queries whose true nearest neighbor (per brute force over
+/// `base`) appears in the index's top-k.
+double recall_at(const SegmentedIndex& idx, const data::Dataset& base,
+                 const data::Dataset& queries, std::size_t k) {
+  const auto gt = data::brute_force_knn(base, queries, k, simd::Metric::kL2);
+  double hits = 0.0;
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const auto res = idx.search(queries.row(q), k);
+    for (const auto& nb : res) {
+      if (nb.id == gt[q][0].id) {
+        hits += 1.0;
+        break;
+      }
+    }
+  }
+  return hits / double(queries.size());
+}
+
+bool result_contains(const std::vector<Neighbor>& res, GlobalId id) {
+  return std::any_of(res.begin(), res.end(),
+                     [&](const Neighbor& nb) { return nb.id == id; });
+}
+
+TEST(SegmentedIndex, InitialBuildMatchesBruteForce) {
+  auto w = data::make_sift_like(500, 25, 71);
+  SegmentedIndex idx(w.base.slice(0, w.base.size()), small_params());
+  EXPECT_EQ(idx.size(), 500u);
+  EXPECT_EQ(idx.stats().n_segments, 1u);
+  EXPECT_GE(recall_at(idx, w.base, w.queries, 10), 0.9);
+}
+
+TEST(SegmentedIndex, InsertIsVisibleImmediately) {
+  auto w = data::make_sift_like(200, 5, 72);
+  SegmentedIndex idx(w.base.slice(0, w.base.size()), small_params());
+  const std::vector<float> v(w.queries.row_span(0).begin(),
+                             w.queries.row_span(0).end());
+  idx.insert(v, GlobalId(9000));
+  EXPECT_EQ(idx.size(), 201u);
+  EXPECT_TRUE(idx.contains(GlobalId(9000)));
+  EXPECT_EQ(idx.delta_fill(), 1u);
+  const auto res = idx.search(v.data(), 1);
+  ASSERT_EQ(res.size(), 1u);
+  EXPECT_EQ(res[0].id, GlobalId(9000));
+}
+
+TEST(SegmentedIndex, EraseHidesIdEverywhere) {
+  auto w = data::make_sift_like(200, 10, 73);
+  SegmentedIndex idx(w.base.slice(0, w.base.size()), small_params());
+  ASSERT_TRUE(idx.erase(GlobalId(17)));
+  EXPECT_FALSE(idx.erase(GlobalId(17)));  // already gone
+  EXPECT_FALSE(idx.contains(GlobalId(17)));
+  EXPECT_EQ(idx.size(), 199u);
+  // Query with the erased row itself: its physical row still sits in the
+  // frozen segment but must never surface.
+  const auto res = idx.search(w.base.row(17), 10);
+  EXPECT_FALSE(result_contains(res, GlobalId(17)));
+  // ... including after a compaction folds the tombstone away.
+  idx.compact();
+  EXPECT_FALSE(result_contains(idx.search(w.base.row(17), 10), GlobalId(17)));
+}
+
+TEST(SegmentedIndex, DeltaOverflowAutoCompacts) {
+  auto w = data::make_sift_like(100, 5, 74);
+  SegmentedIndex idx(w.base.slice(0, w.base.size()), small_params(8));
+  for (std::size_t i = 0; i < 20; ++i) {
+    std::vector<float> v(w.base.row_span(i % 100).begin(),
+                         w.base.row_span(i % 100).end());
+    v[0] += 1.0f + float(i);
+    idx.insert(v, GlobalId(1000 + i));
+    EXPECT_LE(idx.delta_fill(), 8u);
+    const auto res = idx.search(v.data(), 1);
+    ASSERT_FALSE(res.empty());
+    EXPECT_EQ(res[0].id, GlobalId(1000 + i));
+  }
+  EXPECT_EQ(idx.size(), 120u);
+  EXPECT_GT(idx.stats().compactions, 0u);
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_TRUE(idx.contains(GlobalId(1000 + i)));
+  }
+}
+
+TEST(SegmentedIndex, MinorCompactionFreezesDeltaOnly) {
+  auto w = data::make_sift_like(200, 5, 75);
+  SegmentedIndex idx(w.base.slice(0, w.base.size()), small_params());
+  for (std::size_t i = 0; i < 10; ++i) {
+    idx.insert(w.queries.row_span(i % 5), GlobalId(2000 + i));
+  }
+  ASSERT_TRUE(idx.erase(GlobalId(3)));  // tombstone against the frozen tier
+  ASSERT_TRUE(idx.compact());
+  const auto st = idx.stats();
+  EXPECT_EQ(st.n_segments, 2u);  // original + freshly frozen delta
+  EXPECT_EQ(st.delta_used, 0u);
+  // Minor compaction leaves the frozen rows (and the tombstone filtering
+  // them) in place.
+  EXPECT_EQ(st.tombstones, 1u);
+  EXPECT_FALSE(result_contains(idx.search(w.base.row(3), 10), GlobalId(3)));
+  EXPECT_EQ(idx.size(), 209u);
+}
+
+TEST(SegmentedIndex, FanoutPressureEscalatesToMajor) {
+  auto w = data::make_sift_like(64, 5, 76);
+  SegmentedIndex idx(w.base.slice(0, w.base.size()), small_params(4));
+  // Each overflowing batch of 4 minor-compacts into its own segment; the
+  // count must never exceed the fanout bound because a major merge kicks in.
+  for (std::size_t i = 0; i < 64; ++i) {
+    std::vector<float> v(w.base.row_span(i).begin(), w.base.row_span(i).end());
+    v[1] += 2.0f;
+    idx.insert(v, GlobalId(500 + i));
+    EXPECT_LE(idx.stats().n_segments, SegmentedIndex::kMajorFanout);
+  }
+  EXPECT_EQ(idx.size(), 128u);
+}
+
+TEST(SegmentedIndex, TombstonePressureEscalatesToMajor) {
+  auto w = data::make_sift_like(100, 5, 77);
+  SegmentedIndex idx(w.base.slice(0, w.base.size()), small_params());
+  for (std::size_t i = 0; i < 30; ++i) {
+    ASSERT_TRUE(idx.erase(GlobalId(i)));
+  }
+  ASSERT_TRUE(idx.compact());  // 30% tombstoned -> major, purges the set
+  const auto st = idx.stats();
+  EXPECT_EQ(st.n_segments, 1u);
+  EXPECT_EQ(st.tombstones, 0u);
+  EXPECT_EQ(st.segment_rows, 70u);  // physically gone, not just hidden
+  EXPECT_EQ(idx.size(), 70u);
+}
+
+TEST(SegmentedIndex, ReinsertOfErasedIdServesTheNewVector) {
+  auto w = data::make_sift_like(100, 5, 78);
+  SegmentedIndex idx(w.base.slice(0, w.base.size()), small_params());
+  ASSERT_TRUE(idx.erase(GlobalId(42)));
+  std::vector<float> v(w.queries.row_span(0).begin(),
+                       w.queries.row_span(0).end());
+  idx.insert(v, GlobalId(42));
+  EXPECT_TRUE(idx.contains(GlobalId(42)));
+  EXPECT_EQ(idx.size(), 100u);
+  const auto res = idx.search(v.data(), 1);
+  ASSERT_EQ(res.size(), 1u);
+  EXPECT_EQ(res[0].id, GlobalId(42));
+  EXPECT_NEAR(res[0].dist, 0.0f, 1e-3f);  // serves the NEW vector
+  // The forced major purge physically removed the old copy and its
+  // tombstone; only the fresh delta row carries id 42 now.
+  const auto st = idx.stats();
+  EXPECT_EQ(st.n_segments, 1u);
+  EXPECT_EQ(st.segment_rows, 99u);
+  EXPECT_EQ(st.delta_used, 1u);
+  EXPECT_EQ(st.tombstones, 0u);
+}
+
+TEST(SegmentedIndex, ToBytesRoundTripsSearchState) {
+  auto w = data::make_sift_like(300, 20, 79);
+  SegmentedIndex idx(w.base.slice(0, w.base.size()), small_params(16));
+  for (std::size_t i = 0; i < 24; ++i) {
+    idx.insert(w.queries.row_span(i % 20), GlobalId(4000 + i));
+  }
+  for (std::size_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(idx.erase(GlobalId(i * 7)));
+  }
+  const auto bytes = idx.to_bytes();
+  const auto clone = SegmentedIndex::from_bytes(bytes);
+  ASSERT_NE(clone, nullptr);
+  EXPECT_EQ(clone->size(), idx.size());
+  EXPECT_EQ(clone->dim(), idx.dim());
+  EXPECT_EQ(clone->stats().n_segments, idx.stats().n_segments);
+  EXPECT_EQ(clone->stats().tombstones, idx.stats().tombstones);
+  for (std::size_t q = 0; q < w.queries.size(); ++q) {
+    EXPECT_EQ(clone->search(w.queries.row(q), 10),
+              idx.search(w.queries.row(q), 10))
+        << "query " << q;
+  }
+  // The clone stays writable: the reloaded delta keeps absorbing.
+  clone->insert(w.queries.row_span(0), GlobalId(9999));
+  EXPECT_TRUE(clone->contains(GlobalId(9999)));
+}
+
+TEST(SegmentedIndex, SnapshotPartsReassembleTheExactImage) {
+  auto w = data::make_sift_like(200, 8, 80);
+  SegmentedIndex idx(w.base.slice(0, w.base.size()), small_params(16));
+  for (std::size_t i = 0; i < 20; ++i) {
+    idx.insert(w.queries.row_span(i % 8), GlobalId(6000 + i));
+  }
+  ASSERT_TRUE(idx.erase(GlobalId(11)));
+
+  const auto parts = idx.snapshot_parts();
+  BinaryWriter image;
+  image.write_vector(parts.header);
+  image.write(std::uint64_t(parts.segments.size()));
+  for (const auto& [seg_id, blob] : parts.segments) {
+    image.write(seg_id);
+    image.write_vector(blob);
+  }
+  image.write_vector(parts.delta);
+  EXPECT_EQ(image.bytes(), idx.to_bytes());
+
+  const auto clone =
+      SegmentedIndex::from_parts(parts.header, parts.segments, parts.delta);
+  ASSERT_NE(clone, nullptr);
+  EXPECT_EQ(clone->to_bytes(), idx.to_bytes());
+}
+
+TEST(SegmentedIndex, SegmentBlobsAreStableAcrossSnapshots) {
+  auto w = data::make_sift_like(150, 4, 81);
+  SegmentedIndex idx(w.base.slice(0, w.base.size()), small_params());
+  idx.insert(w.queries.row_span(0), GlobalId(7000));
+  const auto first = idx.snapshot_parts();
+  ASSERT_TRUE(idx.erase(GlobalId(5)));  // mutates delta blob, not segments
+  const auto second = idx.snapshot_parts();
+  ASSERT_EQ(first.segments.size(), second.segments.size());
+  for (std::size_t i = 0; i < first.segments.size(); ++i) {
+    EXPECT_EQ(first.segments[i].first, second.segments[i].first);
+    EXPECT_EQ(first.segments[i].second, second.segments[i].second);
+  }
+  EXPECT_NE(first.delta, second.delta);
+}
+
+}  // namespace
+}  // namespace annsim::segment

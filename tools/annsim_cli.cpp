@@ -10,15 +10,20 @@
 ///   annsim eval /tmp/demo_res.ivecs /tmp/demo_gt.ivecs 10
 ///   annsim info /tmp/demo.idx
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <future>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "annsim/common/error.hpp"
+#include "annsim/common/rng.hpp"
 #include "annsim/common/timer.hpp"
 #include "annsim/core/engine.hpp"
 #include "annsim/recovery/health.hpp"
@@ -40,7 +45,8 @@ using namespace annsim;
                "  annsim gt <base.fvecs> <query.fvecs> <k> <out.ivecs>\n"
                "  annsim build <base.fvecs> <out.idx> [--workers N] "
                "[--replication R] [--nprobe P] [--M m] [--efc e] [--local "
-               "hnsw|bruteforce|vptree|ivfpq] [--two-sided]\n"
+               "hnsw|bruteforce|vptree|ivfpq|segmented] [--delta-cap C] "
+               "[--two-sided]\n"
                "  annsim search <index.idx> <query.fvecs> <k> <out.ivecs> "
                "[--ef E]\n"
                "  annsim eval <result.ivecs> <gt.ivecs> <k>\n"
@@ -48,13 +54,20 @@ using namespace annsim;
                "  annsim serve-bench <index.idx> <query.fvecs> <k> [--qps Q] "
                "[--requests N] [--max-batch B] [--max-delay-ms D] "
                "[--queue-cap C] [--block] [--deadline-ms X] [--closed-loop] "
-               "[--clients N] [--ef E] [--mpi-check]\n"
+               "[--clients N] [--ef E] [--write-ratio X] [--compact-at-fill F] "
+               "[--mpi-check]\n"
                "  annsim chaos-bench <SIFT|DEEP|GIST|SYN_1M|SYN_10M> <n_base> "
                "<n_queries> <k> [--workers N] [--replication R] [--nprobe P] "
                "[--kill-worker W] [--kill-after N] [--drop-p D] "
                "[--timeout-ms T] [--fault-seed S] [--two-sided] "
                "[--heal-after-ms H] [--checkpoint-dir D] [--json PATH] "
-               "[--mpi-check]\n");
+               "[--mpi-check]\n"
+               "  annsim mutate-bench <SIFT|DEEP|GIST|SYN_1M|SYN_10M> <n_base> "
+               "<n_queries> <k> [--workers N] [--replication R] [--nprobe P] "
+               "[--write-ratio X] [--qps Q] [--requests N] [--delta-cap C] "
+               "[--compact-at-fill F] [--kill-worker W] [--kill-after N] "
+               "[--timeout-ms T] [--checkpoint-dir D] [--recall-tol T] "
+               "[--json PATH] [--mpi-check]\n");
   std::exit(2);
 }
 
@@ -135,6 +148,7 @@ core::LocalIndexKind parse_local(const std::string& s) {
   if (s == "bruteforce") return core::LocalIndexKind::kBruteForce;
   if (s == "vptree") return core::LocalIndexKind::kVpTree;
   if (s == "ivfpq") return core::LocalIndexKind::kIvfPq;
+  if (s == "segmented") return core::LocalIndexKind::kSegmented;
   std::fprintf(stderr, "unknown local index kind: %s\n", s.c_str());
   std::exit(2);
 }
@@ -149,6 +163,8 @@ int cmd_build(int argc, char** argv) {
   cfg.hnsw.M = arg_num(opt(argc, argv, "--M", "16").c_str());
   cfg.hnsw.ef_construction = arg_num(opt(argc, argv, "--efc", "200").c_str());
   cfg.local_index = parse_local(opt(argc, argv, "--local", "hnsw"));
+  cfg.segment_delta_capacity =
+      arg_num(opt(argc, argv, "--delta-cap", "1024").c_str());
   if (flag(argc, argv, "--two-sided")) cfg.one_sided = false;
 
   std::printf("building: %zu points x %zu-d, %zu workers, r=%zu, local=%s\n",
@@ -243,6 +259,12 @@ int cmd_info(int argc, char** argv) {
 /// Online serving benchmark: drive a loaded index with a Poisson (open-loop)
 /// or N-client (closed-loop) request stream through the QueryServer's
 /// micro-batching tier and print the latency/throughput telemetry.
+///
+/// With --write-ratio X (requires a segmented index) a writer thread streams
+/// live inserts/deletes alongside the reads at X/(1-X) of the read rate, and
+/// --compact-at-fill arms the server's background compaction, so the printed
+/// latency percentiles reflect serving *while* the index mutates and
+/// re-freezes underneath it.
 int cmd_serve_bench(int argc, char** argv) {
   if (argc < 3) usage();
   auto engine = core::DistributedAnnEngine::load(argv[0]);
@@ -251,11 +273,22 @@ int cmd_serve_bench(int argc, char** argv) {
   const bool mpi_check = flag(argc, argv, "--mpi-check");
   if (mpi_check) engine.set_mpi_check(true, /*fatal=*/false);
 
+  const double write_ratio =
+      std::atof(opt(argc, argv, "--write-ratio", "0").c_str());
+  ANNSIM_CHECK_MSG(write_ratio >= 0.0 && write_ratio < 1.0,
+                   "--write-ratio must be in [0, 1)");
+  ANNSIM_CHECK_MSG(
+      write_ratio == 0.0 ||
+          engine.config().local_index == core::LocalIndexKind::kSegmented,
+      "--write-ratio needs an index built with --local segmented");
+
   serve::ServerConfig sc;
   sc.max_batch = arg_num(opt(argc, argv, "--max-batch", "32").c_str());
   sc.max_delay_ms = std::atof(opt(argc, argv, "--max-delay-ms", "2").c_str());
   sc.queue_capacity = arg_num(opt(argc, argv, "--queue-cap", "1024").c_str());
   sc.ef = arg_num(opt(argc, argv, "--ef", "0").c_str());
+  sc.compact_at_fill =
+      arg_num(opt(argc, argv, "--compact-at-fill", "0").c_str());
   if (flag(argc, argv, "--block")) sc.overflow = serve::OverflowPolicy::kBlock;
 
   serve::LoadGenConfig lg;
@@ -281,7 +314,52 @@ int cmd_serve_bench(int argc, char** argv) {
               lg.deadline_ms);
 
   serve::QueryServer server(&engine, sc);
+
+  // Mixed read/write mode: stream perturbed copies of the query vectors in
+  // as new points (and periodically delete a slice of them back out) while
+  // run_load drives the read side.
+  std::atomic<bool> reads_done{false};
+  std::uint64_t w_inserted = 0, w_erased = 0, w_dropped = 0, w_peak_fill = 0;
+  std::thread writer;
+  if (write_ratio > 0.0) {
+    writer = std::thread([&] {
+      Rng rng(99);
+      const std::size_t dim = queries.dim();
+      const double wps = lg.qps * write_ratio / (1.0 - write_ratio);
+      constexpr std::size_t kBatchRows = 8;
+      const double period_s = double(kBatchRows) / std::max(1.0, wps);
+      std::vector<GlobalId> last_ids;
+      WallTimer t;
+      for (std::size_t round = 0; !reads_done.load(std::memory_order_acquire);
+           ++round) {
+        data::Dataset batch(kBatchRows, dim);
+        for (std::size_t i = 0; i < kBatchRows; ++i) {
+          const auto src = queries.row_span(rng.uniform_below(queries.size()));
+          std::vector<float> v(src.begin(), src.end());
+          for (float& x : v) x += float(rng.normal(0.0, 0.05));
+          batch.set_row(i, v);
+        }
+        const auto ws = engine.insert(batch);
+        w_inserted += ws.inserted_replicas;
+        w_dropped += ws.dropped_rows;
+        w_peak_fill = std::max(w_peak_fill, ws.max_delta_fill);
+        if (round % 4 == 3 && !last_ids.empty()) {
+          const auto dws = engine.remove(last_ids);
+          w_erased += dws.erased_replicas;
+        }
+        last_ids = ws.assigned_ids;
+        const double next_at = double(round + 1) * period_s;
+        while (t.seconds() < next_at &&
+               !reads_done.load(std::memory_order_acquire)) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      }
+    });
+  }
+
   const auto rep = serve::run_load(server, queries, lg);
+  reads_done.store(true, std::memory_order_release);
+  if (writer.joinable()) writer.join();
   server.stop();
 
   std::printf("%s\n", serve::to_string(rep.metrics).c_str());
@@ -289,6 +367,15 @@ int cmd_serve_bench(int argc, char** argv) {
               "%.3fs (offered %.0f q/s)\n",
               rep.ok, rep.rejected, rep.expired, rep.failed, rep.wall_seconds,
               rep.offered_qps);
+  if (write_ratio > 0.0) {
+    std::printf("write plane: %llu replica inserts, %llu replica erases, "
+                "%llu dropped rows, peak delta fill %llu, final fill %zu\n",
+                static_cast<unsigned long long>(w_inserted),
+                static_cast<unsigned long long>(w_erased),
+                static_cast<unsigned long long>(w_dropped),
+                static_cast<unsigned long long>(w_peak_fill),
+                engine.max_delta_fill());
+  }
   return check_exit(mpi_check, engine, "serve", 0);
 }
 
@@ -468,6 +555,365 @@ int cmd_chaos_bench(int argc, char** argv) {
   return check_exit(mpi_check, chaotic, "chaos", 0);
 }
 
+/// Live-mutability benchmark on a synthetic workload. The tail of the corpus
+/// is held back from the offline build and streamed in through the engine's
+/// write plane while an open-loop read stream runs through the QueryServer —
+/// with background compaction armed and (by default) one worker killed and
+/// auto-healed mid-run. Two gates make it CI-able:
+///
+///  * read latency stays steady: the run is cut into time windows and the
+///    worst window p999 must stay within 2x the median window (plus a small
+///    additive floor), so a compaction or kill+heal stall shows up as a
+///    failure, and
+///  * the mutated index converges: after a final compaction, recall@k of the
+///    live engine over the *final* corpus (base - deletes + stream) must be
+///    within --recall-tol of a fresh offline build of that same corpus, and
+///    no deleted id may ever resurface in a result list.
+int cmd_mutate_bench(int argc, char** argv) {
+  if (argc < 4) usage();
+  const std::string recipe = argv[0];
+  const std::size_t n_base = arg_num(argv[1]);
+  const std::size_t n_queries = arg_num(argv[2]);
+  const std::size_t k = arg_num(argv[3]);
+
+  core::EngineConfig cfg;
+  cfg.local_index = core::LocalIndexKind::kSegmented;
+  cfg.n_workers = arg_num(opt(argc, argv, "--workers", "8").c_str());
+  cfg.replication = arg_num(opt(argc, argv, "--replication", "2").c_str());
+  cfg.n_probe = arg_num(opt(argc, argv, "--nprobe", "4").c_str());
+  cfg.segment_delta_capacity =
+      arg_num(opt(argc, argv, "--delta-cap", "256").c_str());
+  cfg.result_timeout_ms =
+      std::atof(opt(argc, argv, "--timeout-ms", "100").c_str());
+  cfg.checkpoint_dir = opt(argc, argv, "--checkpoint-dir", "");
+  const bool mpi_check = flag(argc, argv, "--mpi-check");
+  if (mpi_check) {
+    cfg.mpi_check = true;
+    cfg.check_fatal = false;
+  }
+
+  const double write_ratio =
+      std::atof(opt(argc, argv, "--write-ratio", "0.1").c_str());
+  ANNSIM_CHECK_MSG(write_ratio > 0.0 && write_ratio < 1.0,
+                   "--write-ratio must be in (0, 1)");
+  const double qps = std::atof(opt(argc, argv, "--qps", "500").c_str());
+  const std::size_t n_requests =
+      arg_num(opt(argc, argv, "--requests", "4000").c_str());
+  const std::size_t compact_at =
+      arg_num(opt(argc, argv, "--compact-at-fill", "32").c_str());
+  const std::size_t kill_worker =
+      arg_num(opt(argc, argv, "--kill-worker", "1").c_str());
+  const std::uint64_t kill_after =
+      arg_num(opt(argc, argv, "--kill-after", "200").c_str());  // 0 = no kill
+  const double recall_tol =
+      std::atof(opt(argc, argv, "--recall-tol", "0.03").c_str());
+  const std::string json_path = opt(argc, argv, "--json", "");
+  if (kill_after > 0) {
+    cfg.fault.seed = 1;
+    cfg.fault.kills.push_back(
+        {int(kill_worker) + 1, kill_after, mpi::kNeverFires});
+  }
+
+  // Workload: hold the corpus tail out of the offline build and stream it in
+  // live. Because the engine hands out ids sequentially from max(base id)+1,
+  // the streamed rows keep their original global ids and one ground truth
+  // covers offline and live alike.
+  std::size_t n_stream = std::size_t(
+      double(n_requests) * write_ratio / (1.0 - write_ratio));
+  n_stream = std::min(n_stream, n_base / 2);
+  ANNSIM_CHECK_MSG(n_stream > 0, "write stream is empty; raise --requests");
+  const std::size_t n_build = n_base - n_stream;
+
+  auto w = data::make_by_name(recipe, n_base, n_queries, 42);
+  auto build_base = w.base.slice(0, n_build);
+  auto stream = w.base.slice(n_build, n_base);
+
+  // Deletes target rows frozen into the offline build, so tombstones must
+  // punch through immutable segments, survive compaction, failover, and
+  // checkpoint replay.
+  Rng rng(7);
+  const std::size_t n_delete = std::max<std::size_t>(1, n_stream / 5);
+  std::vector<char> deleted(n_build, 0);
+  std::vector<GlobalId> del_ids;
+  while (del_ids.size() < n_delete) {
+    const std::uint64_t id = rng.uniform_below(n_build);
+    if (deleted[id]) continue;
+    deleted[id] = 1;
+    del_ids.push_back(GlobalId(id));
+  }
+  std::sort(del_ids.begin(), del_ids.end());
+
+  data::Dataset final_corpus;
+  {
+    std::vector<std::size_t> keep;
+    keep.reserve(n_build - n_delete);
+    for (std::size_t i = 0; i < n_build; ++i) {
+      if (!deleted[i]) keep.push_back(i);
+    }
+    final_corpus = w.base.subset(keep);
+    final_corpus.append(stream);
+  }
+
+  std::printf("mutate-bench: %zu x %zu-d offline + %zu streamed - %zu "
+              "deleted, %zu queries, k=%zu, %zu workers, r=%zu\n",
+              n_build, w.base.dim(), n_stream, n_delete, n_queries, k,
+              cfg.n_workers, cfg.replication);
+  auto gt = data::brute_force_knn(final_corpus, w.queries, k, simd::Metric::kL2);
+
+  core::DistributedAnnEngine engine(&build_base, cfg);
+  engine.build();
+
+  serve::ServerConfig sc;
+  sc.max_batch = 32;
+  sc.max_delay_ms = 2.0;
+  sc.queue_capacity = 4096;
+  sc.auto_heal = kill_after > 0;
+  sc.compact_at_fill = compact_at;
+  serve::QueryServer server(&engine, sc);
+
+  // Writer: stream the held-out rows in rounds across the first ~60% of the
+  // read window (one delete burst at the midpoint), so compactions and the
+  // kill+heal all land while reads are still flowing.
+  std::uint64_t w_inserted = 0, w_erased = 0, w_dropped = 0, w_peak_fill = 0;
+  std::uint64_t id_mismatches = 0;
+  const double read_window_s = double(n_requests) / std::max(1.0, qps);
+  std::thread writer([&] {
+    constexpr std::size_t kRounds = 16;
+    const std::size_t per_round = (n_stream + kRounds - 1) / kRounds;
+    const double write_window_s = read_window_s * 0.6;
+    GlobalId expect = GlobalId(n_build);
+    WallTimer t;
+    std::size_t off = 0;
+    for (std::size_t rd = 0; rd < kRounds && off < n_stream; ++rd) {
+      const double at = write_window_s * double(rd) / double(kRounds);
+      while (t.seconds() < at) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      const std::size_t end = std::min(off + per_round, n_stream);
+      auto batch = stream.slice(off, end);
+      const auto ws = engine.insert(batch);
+      w_inserted += ws.inserted_replicas;
+      w_dropped += ws.dropped_rows;
+      w_peak_fill = std::max(w_peak_fill, ws.max_delta_fill);
+      for (const GlobalId id : ws.assigned_ids) {
+        if (id != expect++) ++id_mismatches;
+      }
+      if (rd == kRounds / 2) {
+        const auto dws = engine.remove(del_ids);
+        w_erased += dws.erased_replicas;
+      }
+      off = end;
+    }
+    if (w_erased == 0) {  // stream drained before the midpoint round
+      const auto dws = engine.remove(del_ids);
+      w_erased += dws.erased_replicas;
+    }
+  });
+
+  // Open-loop read stream, uniformly paced; per-request latencies are kept
+  // with their submit times so p999 can be windowed over the run.
+  std::vector<std::future<serve::QueryResponse>> futs(n_requests);
+  std::vector<double> at_s(n_requests);
+  WallTimer wall;
+  for (std::size_t i = 0; i < n_requests; ++i) {
+    const double at = double(i) / std::max(1.0, qps);
+    while (wall.seconds() < at) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    const auto q = w.queries.row_span(i % w.queries.size());
+    at_s[i] = wall.seconds();
+    futs[i] = server.submit(std::vector<float>(q.begin(), q.end()), k);
+  }
+  std::size_t ok = 0, degraded = 0, failed = 0;
+  struct Obs {
+    double at;
+    double ms;
+  };
+  std::vector<Obs> obs;
+  obs.reserve(n_requests);
+  for (std::size_t i = 0; i < n_requests; ++i) {
+    const auto r = futs[i].get();
+    if (r.status == serve::QueryStatus::kOk) {
+      ++ok;
+      obs.push_back({at_s[i], r.total_ms});
+    } else if (r.status == serve::QueryStatus::kDegraded) {
+      ++degraded;
+      obs.push_back({at_s[i], r.total_ms});
+    } else {
+      ++failed;
+    }
+  }
+  const double run_s = wall.seconds();
+  writer.join();
+  server.stop();
+
+  // Windowed tail latency: worst window p999 vs the median window. Windows
+  // span the *submission* interval (completions can drag past it), so every
+  // window holds ~n/kWindows requests.
+  constexpr std::size_t kWindows = 8;
+  const double win_s = std::max(at_s.back(), 1e-9) / double(kWindows);
+  std::vector<std::vector<double>> windows(kWindows);
+  for (const auto& o : obs) {
+    const auto idx = std::min(kWindows - 1, std::size_t(o.at / win_s));
+    windows[idx].push_back(o.ms);
+  }
+  const auto pctl = [](std::vector<double>& v, double p) {
+    std::sort(v.begin(), v.end());
+    const auto idx = std::min(
+        v.size() - 1, std::size_t(std::ceil(p * double(v.size()))) - 1);
+    return v[idx];
+  };
+  std::vector<double> p999s;
+  for (auto& win : windows) {
+    if (win.size() >= 20) p999s.push_back(pctl(win, 0.999));
+  }
+  ANNSIM_CHECK_MSG(p999s.size() >= 2, "too few latency samples per window; "
+                                      "raise --requests or lower --qps");
+  std::vector<double> sorted_p999s = p999s;
+  std::sort(sorted_p999s.begin(), sorted_p999s.end());
+  const double p999_med = sorted_p999s[sorted_p999s.size() / 2];
+  const double p999_max = sorted_p999s.back();
+  // Spike budget: 2x the median window plus a small floor — plus, when a
+  // kill is injected, one failure-detection timeout: a batch in flight when
+  // the worker goes silent unavoidably waits out --timeout-ms before
+  // failover, and that is a configured SLA, not a stall regression. What
+  // the gate catches is anything *beyond* detection + failover leaking into
+  // the tail (e.g. serving stalled behind a compaction).
+  const double p999_budget =
+      2.0 * p999_med + 2.0 + (kill_after > 0 ? cfg.result_timeout_ms : 0.0);
+  const bool p999_ok = p999_max <= p999_budget;
+
+  // Drain the stream's leftovers: heal anything still dead (auto-heal runs
+  // on batch boundaries, so a kill in the last batch can outlive the load),
+  // then fold every delta into frozen segments.
+  const auto heal_rep = engine.heal();
+  const std::uint64_t compactions = engine.compact();
+
+  core::SearchStats live_st;
+  auto live_res = engine.search(w.queries, k, 0, &live_st);
+  const double recall_live = data::mean_recall(live_res, gt, k);
+  std::size_t resurrected = 0;
+  for (const auto& row : live_res) {
+    for (const auto& nb : row) {
+      if (nb.id < GlobalId(n_build) && deleted[nb.id]) ++resurrected;
+    }
+  }
+
+  auto offline_cfg = cfg;
+  offline_cfg.fault = {};
+  offline_cfg.result_timeout_ms = 0;
+  offline_cfg.checkpoint_dir.clear();
+  core::DistributedAnnEngine offline(&final_corpus, offline_cfg);
+  offline.build();
+  auto off_res = offline.search(w.queries, k);
+  const double recall_offline = data::mean_recall(off_res, gt, k);
+  // One-sided: the live engine must not trail a fresh offline build by more
+  // than the tolerance. (It routinely *beats* it — many smaller frozen
+  // segments per partition are searched more exhaustively than one big one.)
+  const double recall_gap = recall_offline - recall_live;
+
+  const bool write_ok = w_dropped == 0 && id_mismatches == 0;
+  const bool recall_ok = recall_gap <= recall_tol;
+  const bool resurrect_ok = resurrected == 0;
+
+  std::printf("reads: %zu ok, %zu degraded, %zu failed in %.3fs "
+              "(offered %.0f q/s)\n", ok, degraded, failed, run_s, qps);
+  std::printf("writes: %llu replica inserts, %llu replica erases, %llu "
+              "dropped, peak delta fill %llu, %llu final compactions\n",
+              static_cast<unsigned long long>(w_inserted),
+              static_cast<unsigned long long>(w_erased),
+              static_cast<unsigned long long>(w_dropped),
+              static_cast<unsigned long long>(w_peak_fill),
+              static_cast<unsigned long long>(compactions));
+  std::printf("p999 by window (ms):");
+  for (const double p : p999s) std::printf(" %.2f", p);
+  std::printf("  median %.2f, max %.2f, budget %.2f -> %s\n", p999_med,
+              p999_max, p999_budget, p999_ok ? "steady" : "SPIKE");
+  std::printf("recall@%zu: live %.4f vs fresh offline %.4f (offline-live gap "
+              "%+.4f, tol %.2f) -> %s\n",
+              k, recall_live, recall_offline, recall_gap, recall_tol,
+              recall_ok ? "converged" : "DIVERGED");
+  std::printf("deleted ids resurfacing: %zu%s, workers revived at end: %zu\n",
+              resurrected, resurrect_ok ? "" : " (RESURRECTED)",
+              heal_rep.workers_revived);
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    ANNSIM_CHECK_MSG(f != nullptr, "cannot open " << json_path);
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"workload\": \"%s\",\n"
+        "  \"n_build\": %zu,\n"
+        "  \"n_stream\": %zu,\n"
+        "  \"n_deletes\": %zu,\n"
+        "  \"n_queries\": %zu,\n"
+        "  \"k\": %zu,\n"
+        "  \"workers\": %zu,\n"
+        "  \"replication\": %zu,\n"
+        "  \"write_ratio\": %.3f,\n"
+        "  \"qps\": %.0f,\n"
+        "  \"requests\": %zu,\n"
+        "  \"delta_capacity\": %zu,\n"
+        "  \"compact_at_fill\": %zu,\n"
+        "  \"kill_worker\": %zu,\n"
+        "  \"kill_after\": %llu,\n"
+        "  \"restore_path\": \"%s\",\n"
+        "  \"reads_ok\": %zu,\n"
+        "  \"reads_degraded\": %zu,\n"
+        "  \"reads_failed\": %zu,\n"
+        "  \"inserted_replicas\": %llu,\n"
+        "  \"erased_replicas\": %llu,\n"
+        "  \"dropped_rows\": %llu,\n"
+        "  \"peak_delta_fill\": %llu,\n"
+        "  \"final_compactions\": %llu,\n"
+        "  \"p999_window_ms\": [",
+        recipe.c_str(), n_build, n_stream, n_delete, n_queries, k,
+        cfg.n_workers, cfg.replication, write_ratio, qps, n_requests,
+        cfg.segment_delta_capacity, compact_at, kill_worker,
+        static_cast<unsigned long long>(kill_after),
+        cfg.checkpoint_dir.empty() ? "peer-stream" : "checkpoint", ok,
+        degraded, failed, static_cast<unsigned long long>(w_inserted),
+        static_cast<unsigned long long>(w_erased),
+        static_cast<unsigned long long>(w_dropped),
+        static_cast<unsigned long long>(w_peak_fill),
+        static_cast<unsigned long long>(compactions));
+    for (std::size_t i = 0; i < p999s.size(); ++i) {
+      std::fprintf(f, "%s%.3f", i == 0 ? "" : ", ", p999s[i]);
+    }
+    std::fprintf(
+        f,
+        "],\n"
+        "  \"p999_median_ms\": %.3f,\n"
+        "  \"p999_max_ms\": %.3f,\n"
+        "  \"p999_budget_ms\": %.3f,\n"
+        "  \"p999_steady\": %s,\n"
+        "  \"recall_live\": %.4f,\n"
+        "  \"recall_offline\": %.4f,\n"
+        "  \"recall_gap\": %.4f,\n"
+        "  \"recall_converged\": %s,\n"
+        "  \"deleted_resurfaced\": %zu\n"
+        "}\n",
+        p999_med, p999_max, p999_budget, p999_ok ? "true" : "false", recall_live,
+        recall_offline, recall_gap, recall_ok ? "true" : "false", resurrected);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  int rc = 0;
+  if (!write_ok || !p999_ok || !recall_ok || !resurrect_ok) {
+    std::fprintf(stderr,
+                 "mutate-bench: gate failed (writes %s, p999 %s, recall %s, "
+                 "tombstones %s)\n",
+                 write_ok ? "ok" : "DROPPED", p999_ok ? "ok" : "SPIKE",
+                 recall_ok ? "ok" : "DIVERGED",
+                 resurrect_ok ? "ok" : "RESURRECTED");
+    rc = 1;
+  }
+  rc = check_exit(mpi_check, offline, "mutate-offline", rc);
+  return check_exit(mpi_check, engine, "mutate", rc);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -482,6 +928,7 @@ int main(int argc, char** argv) {
     if (cmd == "info") return cmd_info(argc - 2, argv + 2);
     if (cmd == "serve-bench") return cmd_serve_bench(argc - 2, argv + 2);
     if (cmd == "chaos-bench") return cmd_chaos_bench(argc - 2, argv + 2);
+    if (cmd == "mutate-bench") return cmd_mutate_bench(argc - 2, argv + 2);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
