@@ -185,6 +185,17 @@ using QueryDoneFn =
     std::function<void(std::size_t qid, const std::vector<Neighbor>& result,
                        const QueryCoverage& coverage)>;
 
+/// Per-query search-effort override, the engine half of brownout: under
+/// overload the serving plane shrinks a query's beam width and fan-out
+/// instead of shedding it. Both fields are caps — they can only reduce work
+/// relative to the batch-level `ef` / `n_probe`, never raise the plan's
+/// fan-out — and 0 means "no override" so a default-constructed entry is
+/// full effort.
+struct EffortOverride {
+  std::uint32_t ef = 0;          ///< per-partition beam width; 0 = batch ef
+  std::uint32_t max_probes = 0;  ///< cap on |F(q)|; 0 = config n_probe
+};
+
 /// Throws annsim::Error with a field-specific message when `config` is
 /// unusable (zero workers/probes, replication outside [1, n_workers], ...).
 /// Called from the engine constructor and again from build().
@@ -211,10 +222,14 @@ class DistributedAnnEngine {
   /// Batched k-NN search (Algorithms 3-5). `ef` = 0 uses the index default.
   /// `on_query_done`, when set, reports each query's completion to online
   /// callers (the serving plane) before the batch as a whole returns.
+  /// `efforts`, when non-empty, must hold one EffortOverride per query and
+  /// caps that query's beam width / partition fan-out (brownout search;
+  /// master-worker dispatch only).
   [[nodiscard]] data::KnnResults search(const data::Dataset& queries,
                                         std::size_t k, std::size_t ef = 0,
                                         SearchStats* stats = nullptr,
-                                        const QueryDoneFn& on_query_done = {});
+                                        const QueryDoneFn& on_query_done = {},
+                                        std::span<const EffortOverride> efforts = {});
 
   // ---- streaming writes (local_index == kSegmented only) ----
 
@@ -320,7 +335,8 @@ class DistributedAnnEngine {
                      std::size_t k, std::size_t ef, data::KnnResults& results,
                      SearchStats& stats, const QueryDoneFn& on_query_done,
                      mpi::FaultInjector* fault, std::vector<char>& alive,
-                     std::vector<std::uint64_t>& heartbeats);
+                     std::vector<std::uint64_t>& heartbeats,
+                     std::span<const EffortOverride> efforts);
   void worker_search(mpi::Comm& world, std::size_t k);
   /// Lazily create (or return) the engine-owned fault injector shared by
   /// every search runtime, so death flags and op budgets persist across

@@ -58,6 +58,14 @@ struct FaultPlan {
   double drop_probability = 0.0;     ///< per user op, uniform in [0, 1]
   double delay_probability = 0.0;    ///< per user op, uniform in [0, 1]
   std::chrono::microseconds delay{0};  ///< sender-side stall for delayed ops
+  /// Per best-effort op: the fabric delivers the message twice. Reliable tags
+  /// are exempt (the control plane is exactly-once by construction), so
+  /// duplicates only ever land on data-plane tags whose receivers must
+  /// already tolerate retransmission (failover re-dispatch looks identical).
+  double duplicate_probability = 0.0;
+  /// Per best-effort op: the message overtakes everything queued ahead of it
+  /// at the receiver (delivered out of order). Reliable tags are exempt.
+  double reorder_probability = 0.0;
   std::vector<KillRule> kills;
   /// Control-plane user tags (>= 0) on the reliable fabric — exempt from
   /// drop/delay rolls and the op budget, but still silenced once the sending
@@ -65,8 +73,18 @@ struct FaultPlan {
   std::vector<std::int32_t> reliable_tags;
 
   [[nodiscard]] bool enabled() const noexcept {
-    return drop_probability > 0.0 || delay_probability > 0.0 || !kills.empty();
+    return drop_probability > 0.0 || delay_probability > 0.0 ||
+           duplicate_probability > 0.0 || reorder_probability > 0.0 ||
+           !kills.empty();
   }
+};
+
+/// Verdict for one best-effort op: how the fabric treats the message.
+enum class Delivery : std::uint8_t {
+  kDrop,       ///< message vanishes (drop roll lost, or sender dead)
+  kDeliver,    ///< normal in-order delivery
+  kDuplicate,  ///< delivered twice (retransmission)
+  kReorder,    ///< overtakes messages already queued at the receiver
 };
 
 /// Runtime state of one plan: per-rank op counters, death flags, and the
@@ -81,6 +99,13 @@ class FaultInjector {
   /// the rank is dead, just died, or lost the drop roll — and sleeps inline
   /// on delay rolls (the sender thread stalls, exactly like a slow link).
   bool allow_op(int global_rank);
+
+  /// Like allow_op, but additionally rolls the duplicate/reorder dice so the
+  /// p2p send path can mis-deliver best-effort messages. Drop wins over
+  /// duplicate wins over reorder (a dropped message cannot also arrive
+  /// twice). RMA mutations keep using allow_op: an accumulate is applied
+  /// in-place, so "duplicate" and "reorder" have no meaning there.
+  Delivery classify_op(int global_rank);
 
   /// Gate a reliable-tag op: consumes no op budget and rolls no dice, but
   /// returns false once the sender is dead (evaluating pending kill triggers

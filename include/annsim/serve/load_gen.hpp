@@ -3,10 +3,16 @@
 /// \brief Load generators for the serving plane: open-loop Poisson arrivals
 /// at a configured QPS (the standard tail-latency methodology — arrivals do
 /// not slow down when the server does) and a closed-loop mode (N clients,
-/// each submit-then-wait) for saturation throughput.
+/// each submit-then-wait) for saturation throughput. Traffic can be split
+/// across priority classes, and an overload ramp drives the server through a
+/// sequence of rate multipliers to map goodput past the saturation knee.
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
 
 #include "annsim/data/dataset.hpp"
 #include "annsim/serve/query_server.hpp"
@@ -21,12 +27,37 @@ struct LoadGenConfig {
   std::size_t k = 10;
   double deadline_ms = 0.0;    ///< per-request deadline; <= 0 disables
   std::uint64_t seed = 1;      ///< Poisson inter-arrival stream seed
+  /// Traffic fraction per priority class {interactive, batch, best-effort}.
+  /// Entries must be >= 0 and sum to > 0 (normalized internally). Default:
+  /// everything interactive, the pre-overload-control behaviour.
+  std::array<double, kPriorityClasses> class_mix = {1.0, 0.0, 0.0};
+  /// Optional per-response hook, invoked from the tallying thread with the
+  /// index of the query (into the pool, pre-modulo) and its response. Lets a
+  /// bench compute recall against ground truth for browned-out answers.
+  std::function<void(std::size_t, const QueryResponse&)> on_response;
+};
+
+/// Client-side outcome counts and latency sample for one priority class.
+struct ClassTally {
+  std::size_t sent = 0;
+  std::size_t ok = 0;        ///< kOk + kDegraded: an answer, in deadline
+  std::size_t rejected = 0;
+  std::size_t expired = 0;   ///< kDeadlineExpired (late answer)
+  std::size_t shed = 0;      ///< culled by overload control
+  std::size_t failed = 0;
+  std::vector<double> latencies_ms;  ///< total_ms of each served (ok) response
+  double p999_ms = 0.0;              ///< client-side tail of served responses
+  /// ok / sent — the deadline-hit rate when cfg.deadline_ms > 0 (sheds and
+  /// rejections count as misses: the client did not get an answer in time).
+  double hit_rate = 0.0;
 };
 
 struct LoadGenReport {
   double wall_seconds = 0.0;       ///< submission start -> last response
   double offered_qps = 0.0;        ///< n_requests / wall (open loop: ~cfg.qps)
-  std::size_t ok = 0, rejected = 0, expired = 0, failed = 0;
+  std::size_t ok = 0, rejected = 0, expired = 0, shed = 0, failed = 0;
+  std::array<ClassTally, kPriorityClasses> by_class;
+  double min_effort_factor = 1.0;  ///< lowest brownout effort seen client-side
   MetricsReport metrics;           ///< server-side telemetry snapshot
 };
 
@@ -35,5 +66,22 @@ struct LoadGenReport {
 [[nodiscard]] LoadGenReport run_load(QueryServer& server,
                                      const data::Dataset& queries,
                                      const LoadGenConfig& cfg);
+
+/// One stage of an overload ramp: `base` with qps scaled by `multiplier`.
+struct RampStage {
+  double multiplier = 1.0;   ///< offered load as a multiple of base.qps
+  LoadGenReport report;
+};
+
+/// Run `base` (open-loop) once per multiplier, back to back against the same
+/// server, e.g. {0.5, 1.0, 1.5, 2.0} sweeps from comfortable load to 2x
+/// saturation. Each stage's report carries its own client-side tallies; the
+/// embedded server metrics snapshot is cumulative across stages. Stage seeds
+/// are derived from base.seed so arrival streams differ per stage but stay
+/// reproducible.
+[[nodiscard]] std::vector<RampStage> run_ramp(QueryServer& server,
+                                              const data::Dataset& queries,
+                                              const LoadGenConfig& base,
+                                              std::span<const double> multipliers);
 
 }  // namespace annsim::serve

@@ -19,6 +19,14 @@
 /// requests complete with a timeout status instead of blocking their
 /// callers. Admission is bounded: when the queue is full the server either
 /// rejects (default, load-shedding) or blocks the submitter (backpressure).
+///
+/// Overload control (DESIGN.md §4.11) keeps goodput bounded past capacity:
+/// deadline-aware admission (EDF dequeue, expired-on-arrival and
+/// won't-make-it culling from a windowed service-time EWMA), brownout search
+/// (a load-proportional controller that shrinks per-query effort — HNSW ef
+/// and partitions probed — when queue delay crosses a CoDel-style target),
+/// priority classes (interactive degrades last), and a circuit breaker that
+/// fast-fails admissions while the engine cannot meet deadlines.
 
 #include <atomic>
 #include <chrono>
@@ -44,9 +52,24 @@ enum class QueryStatus : std::uint8_t {
   kError,         ///< engine failure while serving the batch
   kDegraded,      ///< answered, but workers failed mid-batch and the retry
                   ///< budget ran out: partial coverage (see partitions_*)
+  kShed,          ///< culled by overload control before any worker touched
+                  ///< it: expired on arrival, won't-make-it, evicted by a
+                  ///< higher class, or fast-failed by an open breaker
 };
 
 [[nodiscard]] const char* to_string(QueryStatus s) noexcept;
+
+/// Request priority class. Overload control degrades strictly bottom-up:
+/// best-effort sheds and browns out first, batch next, interactive last.
+enum class PriorityClass : std::uint8_t {
+  kInteractive = 0,  ///< user-facing; degrades last
+  kBatch = 1,        ///< offline pipelines that still want answers
+  kBestEffort = 2,   ///< opportunistic traffic; first to shed
+};
+
+inline constexpr std::size_t kPriorityClasses = 3;
+
+[[nodiscard]] const char* to_string(PriorityClass c) noexcept;
 
 struct QueryResponse {
   QueryStatus status = QueryStatus::kShutdown;
@@ -58,6 +81,9 @@ struct QueryResponse {
   /// degraded answer; both 0 when the engine runs without failure detection).
   std::uint32_t partitions_searched = 0;
   std::uint32_t partitions_planned = 0;
+  /// Brownout effort this request was served at: 1.0 = full ef / fan-out,
+  /// lower = the controller traded recall for latency under pressure.
+  double effort_factor = 1.0;
 };
 
 /// What to do with a submit() when the admission queue is full.
@@ -89,6 +115,32 @@ struct ServerConfig {
   /// background thread so re-freezing overlaps serving instead of stalling
   /// it. 0 (default) disables; requires a segmented engine when set.
   std::size_t compact_at_fill = 0;
+
+  // ---- overload control (DESIGN.md §4.11; all off by default) ----
+  /// Deadline-aware admission: dequeue earliest-deadline-first (within each
+  /// priority class), cull requests that are expired on arrival or that the
+  /// service-time EWMA says cannot make their deadline (kShed), evict the
+  /// lowest class from a full queue for a higher-class arrival, and flush a
+  /// batch early when the tightest queued deadline demands it.
+  bool deadline_scheduling = false;
+  /// Brownout target for measured queue delay (CoDel-style): when a batch
+  /// dispatches with its oldest request having queued longer than this, the
+  /// controller raises pressure and shrinks per-query search effort
+  /// (bottom-up by class); when delay falls below half the target, pressure
+  /// decays and full effort returns. <= 0 disables brownout.
+  double brownout_target_ms = 0.0;
+  /// Lowest effort factor brownout may dispatch (scales ef and partitions
+  /// probed). Must be in (0, 1].
+  double brownout_floor = 0.25;
+  /// Circuit breaker: trip when the deadline-miss + failure fraction over a
+  /// window of `breaker_window` outcomes reaches this ratio. While open, new
+  /// admissions fast-fail (kShed) until `breaker_open_ms` elapses; then up
+  /// to `breaker_probes` half-open probes test recovery — one probe failure
+  /// re-opens, all probes succeeding closes. <= 0 disables the breaker.
+  double breaker_threshold = 0.0;
+  std::size_t breaker_window = 64;  ///< outcomes per trip evaluation (>= 1)
+  double breaker_open_ms = 50.0;    ///< open -> half-open delay (>= 0)
+  std::size_t breaker_probes = 8;   ///< half-open probe admissions (>= 1)
 };
 
 /// Thread-safe online front end over a built DistributedAnnEngine. The
@@ -105,10 +157,12 @@ class QueryServer {
 
   /// Submit one query from any thread. `deadline_ms` <= 0 means no deadline.
   /// The returned future completes exactly once — with results, a timeout,
-  /// a rejection, or a shutdown status; it never blocks forever.
-  [[nodiscard]] std::future<QueryResponse> submit(std::vector<float> query,
-                                                  std::size_t k,
-                                                  double deadline_ms = 0.0);
+  /// a rejection, a shed, or a shutdown status; it never blocks forever.
+  /// `cls` is the request's priority class: under overload, lower classes
+  /// shed and brown out before higher ones.
+  [[nodiscard]] std::future<QueryResponse> submit(
+      std::vector<float> query, std::size_t k, double deadline_ms = 0.0,
+      PriorityClass cls = PriorityClass::kInteractive);
 
   /// Stop accepting requests, drain everything already admitted, and join
   /// the scheduler. Idempotent; called by the destructor.
@@ -123,12 +177,27 @@ class QueryServer {
   struct Pending {
     std::vector<float> query;
     std::size_t k = 0;
+    PriorityClass cls = PriorityClass::kInteractive;
     Clock::time_point admitted{};
     Clock::time_point deadline = Clock::time_point::max();
     std::promise<QueryResponse> promise;
     std::size_t retries_used = 0;  ///< degraded re-runs consumed so far
     /// Backoff gate: the scheduler skips this request until the gate opens.
     Clock::time_point not_before = Clock::time_point::min();
+    std::uint64_t seq = 0;  ///< admission order, the EDF tie-break
+    bool breaker_probe = false;  ///< admitted as a half-open recovery probe
+    double effort = 1.0;  ///< brownout factor assigned at batch formation
+  };
+
+  /// Per-engine circuit breaker (DESIGN.md §4.11). Own mutex: outcomes are
+  /// recorded from the engine's completion hook, which must not take mu_.
+  struct Breaker {
+    enum class State : std::uint8_t { kClosed, kOpen, kHalfOpen };
+    std::mutex mu;
+    State state = State::kClosed;
+    Clock::time_point open_until{};
+    std::size_t window_total = 0, window_failures = 0;
+    std::size_t probes_issued = 0, probes_done = 0;
   };
 
   void scheduler_main();
@@ -138,6 +207,16 @@ class QueryServer {
   /// Batch-boundary compaction trigger: start a background engine compact()
   /// when the delta fill crosses config_.compact_at_fill and none is running.
   void maybe_compact();
+  /// Breaker admission gate. Returns false when the request must fast-fail;
+  /// otherwise sets `*probe` when the admission is a half-open probe.
+  bool breaker_admit(Clock::time_point now, bool* probe);
+  /// Fold one request outcome (deadline made vs missed/failed) into the
+  /// breaker window; trips, re-opens, or closes the breaker as warranted.
+  void breaker_record(bool success, bool probe);
+  /// Brownout effort factor for `cls` at the current pressure. 1.0 = full.
+  [[nodiscard]] double effort_factor(PriorityClass cls) const;
+  /// Complete `p` as shed (kShed) without touching any worker.
+  void shed_request(Pending&& p, Clock::time_point now);
 
   core::DistributedAnnEngine* engine_;
   ServerConfig config_;
@@ -149,6 +228,18 @@ class QueryServer {
   std::condition_variable cv_space_;  ///< blocked submitters (kBlock policy)
   std::deque<Pending> queue_;
   bool stopping_ = false;
+  std::uint64_t next_seq_ = 0;  ///< admission counter (under mu_)
+
+  // ---- overload controller state ----
+  /// Windowed EWMA of per-query drain cost (batch wall ms / batch size) and
+  /// of whole-batch service time; 0 until the first batch lands. Guarded by
+  /// mu_ — read at admission, written on the batch boundary.
+  double ewma_query_ms_ = 0.0;
+  double ewma_batch_ms_ = 0.0;
+  /// Brownout pressure in [0, 1]; atomic so the effort computation in
+  /// run_batch (after mu_ is dropped) reads it without re-locking.
+  std::atomic<double> pressure_{0.0};
+  Breaker breaker_;
 
   ServerMetrics metrics_;
   std::thread scheduler_;

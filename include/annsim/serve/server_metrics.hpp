@@ -23,11 +23,31 @@ struct MetricsReport {
   std::size_t submitted = 0;      ///< admitted into the queue
   std::size_t completed_ok = 0;   ///< answered within deadline
   std::size_t rejected = 0;       ///< bounced by backpressure (queue full)
-  std::size_t expired = 0;        ///< deadline passed before/after dispatch
+  /// Deadline misses, total: expired_in_queue + completed_late. Kept as the
+  /// sum so pre-split dashboards and tests keep reading one number.
+  std::size_t expired = 0;
+  /// Culled while still queued — the deadline (or an overload cull) fired
+  /// before any worker touched the request. High is *good* under overload:
+  /// it means shedding happened before cycles were burned.
+  std::size_t expired_in_queue = 0;
+  /// The search ran to completion but finished past the deadline — worker
+  /// time spent on an answer the client had already given up on. Overload
+  /// control exists to drive this to zero.
+  std::size_t completed_late = 0;
   std::size_t failed = 0;         ///< engine error or shutdown drop
   std::size_t degraded = 0;       ///< answered with partial coverage
   std::size_t retries = 0;        ///< degraded re-runs consumed (budget spend)
   std::size_t batches = 0;        ///< engine batch invocations
+
+  // ---- overload control (zeros unless armed; see DESIGN.md §4.11) ----
+  /// Admission-time culls: expired on arrival, won't-make-it (EWMA says the
+  /// deadline is unreachable), or evicted by a higher-priority arrival.
+  std::size_t shed = 0;
+  std::size_t breaker_rejections = 0;  ///< fast-failed while the breaker was open
+  std::size_t breaker_trips = 0;       ///< closed/half-open -> open transitions
+  std::size_t browned_out = 0;   ///< queries dispatched below full effort
+  double brownout_pressure = 0.0;   ///< controller pressure snapshot in [0, 1]
+  double brownout_min_factor = 1.0; ///< lowest effort factor ever dispatched
 
   // ---- self-healing (auto_heal; zeros otherwise) ----
   std::size_t heals = 0;             ///< engine heal() passes triggered
@@ -62,7 +82,20 @@ class ServerMetrics {
 
   void on_submit(std::size_t queue_depth_after_admission);
   void on_reject();
-  void on_expire();
+  /// Deadline fired while the request was still queued (pre-dispatch cull).
+  void on_expire_in_queue();
+  /// The search finished after the deadline (late completion).
+  void on_complete_late();
+  /// Admission-time overload cull (expired on arrival / won't-make-it /
+  /// evicted for a higher class).
+  void on_shed();
+  /// Fast-fail because the circuit breaker was open.
+  void on_breaker_reject();
+  void on_breaker_trip();
+  /// A batch went out with `n` queries below full effort at `factor`.
+  void on_brownout(std::size_t n, double factor);
+  /// Brownout controller pressure after the latest batch boundary.
+  void on_pressure(double pressure);
   void on_fail();
   void on_batch(std::size_t batch_size);
   /// An in-deadline completion; latencies in milliseconds.
@@ -88,8 +121,12 @@ class ServerMetrics {
   RunningStats queue_wait_ms_;
   std::vector<double> queue_depths_;
   std::vector<double> batch_sizes_;
-  std::size_t submitted_ = 0, completed_ok_ = 0, rejected_ = 0, expired_ = 0,
-              failed_ = 0, degraded_ = 0, retries_ = 0, batches_ = 0;
+  std::size_t submitted_ = 0, completed_ok_ = 0, rejected_ = 0,
+              expired_in_queue_ = 0, completed_late_ = 0, failed_ = 0,
+              degraded_ = 0, retries_ = 0, batches_ = 0;
+  std::size_t shed_ = 0, breaker_rejections_ = 0, breaker_trips_ = 0,
+              browned_out_ = 0;
+  double pressure_ = 0.0, min_factor_ = 1.0;
   std::size_t heals_ = 0, workers_revived_ = 0, coverage_restored_ = 0,
               under_replicated_ = 0;
   bool saw_submit_ = false;

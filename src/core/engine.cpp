@@ -80,6 +80,12 @@ void validate_engine_config(const EngineConfig& config) {
                    "fault.delay_probability must be within [0, 1]");
   ANNSIM_CHECK_MSG(config.fault.delay.count() >= 0,
                    "fault.delay cannot be negative");
+  ANNSIM_CHECK_MSG(config.fault.duplicate_probability >= 0.0 &&
+                       config.fault.duplicate_probability <= 1.0,
+                   "fault.duplicate_probability must be within [0, 1]");
+  ANNSIM_CHECK_MSG(config.fault.reorder_probability >= 0.0 &&
+                       config.fault.reorder_probability <= 1.0,
+                   "fault.reorder_probability must be within [0, 1]");
   if (config.fault.enabled()) {
     ANNSIM_CHECK_MSG(config.result_timeout_ms > 0.0,
                      "fault injection without failure detection would hang the "
@@ -270,13 +276,20 @@ std::vector<std::vector<PartitionId>> DistributedAnnEngine::plan_queries(
 
 // ---------------------------------------------------------------- search ---
 
-data::KnnResults DistributedAnnEngine::search(const data::Dataset& queries,
-                                              std::size_t k, std::size_t ef,
-                                              SearchStats* stats,
-                                              const QueryDoneFn& on_query_done) {
+data::KnnResults DistributedAnnEngine::search(
+    const data::Dataset& queries, std::size_t k, std::size_t ef,
+    SearchStats* stats, const QueryDoneFn& on_query_done,
+    std::span<const EffortOverride> efforts) {
   ANNSIM_CHECK_MSG(router_.has_value(), "engine not built yet");
   ANNSIM_CHECK(queries.dim() == router_->dim());
   ANNSIM_CHECK(k >= 1);
+  ANNSIM_CHECK_MSG(efforts.empty() || efforts.size() == queries.size(),
+                   "efforts must be empty or hold one override per query (got "
+                       << efforts.size() << " for " << queries.size()
+                       << " queries)");
+  ANNSIM_CHECK_MSG(
+      efforts.empty() || config_.strategy == DispatchStrategy::kMasterWorker,
+      "per-query effort overrides require the master-worker dispatch strategy");
 
   data::KnnResults results(queries.size());
   SearchStats st;
@@ -329,7 +342,7 @@ data::KnnResults DistributedAnnEngine::search(const data::Dataset& queries,
       } else {
         if (world.rank() == 0) {
           master_search(world, queries, k, ef, results, st, on_query_done,
-                        rt.fault_injector(), alive, heartbeats);
+                        rt.fault_injector(), alive, heartbeats, efforts);
         } else {
           worker_search(world, k);
         }
@@ -687,7 +700,8 @@ void DistributedAnnEngine::master_search(
     mpi::Comm& world, const data::Dataset& queries, std::size_t k,
     std::size_t ef, data::KnnResults& results, SearchStats& stats,
     const QueryDoneFn& on_query_done, mpi::FaultInjector* fault,
-    std::vector<char>& alive, std::vector<std::uint64_t>& heartbeats) {
+    std::vector<char>& alive, std::vector<std::uint64_t>& heartbeats,
+    std::span<const EffortOverride> efforts) {
   const std::size_t P = config_.n_workers;
   const std::size_t nq = queries.size();
   const auto& tree = *router_;
@@ -714,6 +728,23 @@ void DistributedAnnEngine::master_search(
   // exactly, so a fault-free run dispatches identically whether or not
   // detection is armed.
   std::vector<std::uint32_t> next(P, 0);
+  // Brownout effort caps: a per-query override can shrink the beam width and
+  // the routing fan-out, never widen them (both are min'd against the batch
+  // defaults). Empty span = every query at full effort, the legacy path.
+  auto query_ef = [&](std::uint32_t qid) -> std::uint32_t {
+    if (!efforts.empty() && efforts[qid].ef != 0) {
+      const auto cap = efforts[qid].ef;
+      return ef == 0 ? cap : std::min(cap, std::uint32_t(ef));
+    }
+    return std::uint32_t(ef);
+  };
+  auto query_probes = [&](std::size_t qid) -> std::size_t {
+    std::size_t n = std::min(config_.n_probe, P);
+    if (!efforts.empty() && efforts[qid].max_probes != 0) {
+      n = std::min(n, std::size_t(efforts[qid].max_probes));
+    }
+    return n;
+  };
   auto dispatch_job = [&](std::uint32_t qid, PartitionId d) -> int {
     const auto r = std::uint32_t(config_.replication);
     for (std::uint32_t probe = 0; probe < r; ++probe) {
@@ -726,7 +757,7 @@ void DistributedAnnEngine::master_search(
       job.query_id = qid;
       job.partition = d;
       job.k = std::uint32_t(k);
-      job.ef = std::uint32_t(ef);
+      job.ef = query_ef(qid);
       job.reply_to = 0;
       const float* qv = queries.row(qid);
       job.query.assign(qv, qv + queries.dim());
@@ -779,8 +810,7 @@ void DistributedAnnEngine::master_search(
       // rules fire as the clock sweeps past their trigger.
       if (fault != nullptr) fault->advance_step();
       route_t.start();
-      auto plan = tree.route_topk(queries.row(q),
-                                  std::min(config_.n_probe, P));
+      auto plan = tree.route_topk(queries.row(q), query_probes(q));
       route_t.stop();
       expected[q] = std::uint32_t(plan.partitions.size());
       total_jobs += plan.partitions.size();

@@ -32,6 +32,12 @@ FaultInjector::FaultInjector(FaultPlan plan, int n_ranks)
       plan_.delay_probability >= 0.0 && plan_.delay_probability <= 1.0,
       "fault.delay_probability must be within [0, 1]");
   ANNSIM_CHECK_MSG(plan_.delay.count() >= 0, "fault.delay cannot be negative");
+  ANNSIM_CHECK_MSG(
+      plan_.duplicate_probability >= 0.0 && plan_.duplicate_probability <= 1.0,
+      "fault.duplicate_probability must be within [0, 1]");
+  ANNSIM_CHECK_MSG(
+      plan_.reorder_probability >= 0.0 && plan_.reorder_probability <= 1.0,
+      "fault.reorder_probability must be within [0, 1]");
   for (const std::int32_t tag : plan_.reliable_tags) {
     ANNSIM_CHECK_MSG(tag >= 0, "fault.reliable_tags entry "
                                    << tag << " must be a user tag (>= 0)");
@@ -49,24 +55,39 @@ FaultInjector::FaultInjector(FaultPlan plan, int n_ranks)
 }
 
 bool FaultInjector::allow_op(int global_rank) {
+  return classify_op(global_rank) != Delivery::kDrop;
+}
+
+Delivery FaultInjector::classify_op(int global_rank) {
   ANNSIM_CHECK(global_rank >= 0 && global_rank < n_ranks_);
   auto& rs = ranks_[std::size_t(global_rank)];
   const std::uint64_t op = rs.ops.fetch_add(1, std::memory_order_acq_rel);
-  if (rs.dead.load(std::memory_order_acquire)) return false;
+  if (rs.dead.load(std::memory_order_acquire)) return Delivery::kDrop;
   if (op >= rs.kill_after_ops ||
       step_.load(std::memory_order_acquire) >= rs.kill_at_step) {
     rs.dead.store(true, std::memory_order_release);
-    return false;
+    return Delivery::kDrop;
   }
   if (plan_.drop_probability > 0.0 &&
       u01(plan_.seed, global_rank, op, 1) < plan_.drop_probability) {
-    return false;
+    return Delivery::kDrop;
   }
   if (plan_.delay_probability > 0.0 && plan_.delay.count() > 0 &&
       u01(plan_.seed, global_rank, op, 2) < plan_.delay_probability) {
     std::this_thread::sleep_for(plan_.delay);
   }
-  return true;
+  // Mis-delivery rolls are independent of the drop/delay stream (distinct
+  // salts), so enabling duplicates does not perturb which ops get dropped —
+  // a chaos run stays comparable as rules are layered on.
+  if (plan_.duplicate_probability > 0.0 &&
+      u01(plan_.seed, global_rank, op, 3) < plan_.duplicate_probability) {
+    return Delivery::kDuplicate;
+  }
+  if (plan_.reorder_probability > 0.0 &&
+      u01(plan_.seed, global_rank, op, 4) < plan_.reorder_probability) {
+    return Delivery::kReorder;
+  }
+  return Delivery::kDeliver;
 }
 
 bool FaultInjector::allow_reliable_op(int global_rank) {

@@ -341,7 +341,7 @@ const std::vector<Tag> kNoTagSet;
 /// irecv could be unlinked from `pending` here, then "successfully"
 /// cancelled, and the envelope would vanish with it (a latent hang for
 /// whichever rank is owed that message).
-void deliver(Mailbox& box, Envelope env) {
+void deliver(Mailbox& box, Envelope env, bool overtake = false) {
   std::shared_ptr<RecvState> match;
   {
     std::lock_guard lk(box.mu);
@@ -354,7 +354,15 @@ void deliver(Mailbox& box, Envelope env) {
       }
     }
     if (!match) {
-      box.queue.push_back(std::move(env));
+      // `overtake` models fault-injected reordering: the message jumps the
+      // queue ahead of everything not yet matched, so the receiver sees it
+      // out of send order. With a matching recv already pending there is
+      // nothing to overtake — the message completes immediately either way.
+      if (overtake) {
+        box.queue.push_front(std::move(env));
+      } else {
+        box.queue.push_back(std::move(env));
+      }
       return;
     }
     std::lock_guard mlk(match->mu);
@@ -567,17 +575,25 @@ Request Comm::isend_impl(int dest, Tag tag, std::span<const std::byte> payload,
   // but are still silenced once the sender is dead — fail-silent means
   // silent on every user tag, or heartbeat-based health monitoring could
   // never observe a death. See fault.hpp for the failure model.
+  auto verdict = Delivery::kDeliver;
   if (tag >= 0 && rt_->fault != nullptr) {
-    const bool delivered = rt_->fault->is_reliable(tag)
-                               ? rt_->fault->allow_reliable_op(sender)
-                               : rt_->fault->allow_op(sender);
-    if (!delivered) {
+    if (rt_->fault->is_reliable(tag)) {
+      verdict = rt_->fault->allow_reliable_op(sender) ? Delivery::kDeliver
+                                                      : Delivery::kDrop;
+    } else {
+      verdict = rt_->fault->classify_op(sender);
+    }
+    if (verdict == Delivery::kDrop) {
       return Request{};  // dropped: the envelope never reaches the mailbox
     }
   }
 
-  detail::deliver(*rt_->mailboxes[std::size_t(members_[std::size_t(dest)])],
-                  std::move(env));
+  auto& box = *rt_->mailboxes[std::size_t(members_[std::size_t(dest)])];
+  if (verdict == Delivery::kDuplicate) {
+    detail::deliver(box, env);  // retransmission: same bytes arrive twice
+  }
+  detail::deliver(box, std::move(env),
+                  /*overtake=*/verdict == Delivery::kReorder);
   return Request{};  // in-process: the send buffer is copied, so complete
 }
 

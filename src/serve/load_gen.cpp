@@ -8,23 +8,64 @@
 
 #include "annsim/common/error.hpp"
 #include "annsim/common/rng.hpp"
+#include "annsim/common/stats.hpp"
 #include "annsim/common/timer.hpp"
 
 namespace annsim::serve {
 
 namespace {
 
-void tally(LoadGenReport& rep, const QueryResponse& resp) {
+void tally(LoadGenReport& rep, PriorityClass cls, const QueryResponse& resp) {
+  ClassTally& ct = rep.by_class[std::size_t(cls)];
+  ++ct.sent;
+  rep.min_effort_factor = std::min(rep.min_effort_factor, resp.effort_factor);
   switch (resp.status) {
     // A degraded answer is still an answer; the server's own metrics track
     // the coverage shortfall separately.
     case QueryStatus::kOk:
-    case QueryStatus::kDegraded: ++rep.ok; break;
-    case QueryStatus::kRejected: ++rep.rejected; break;
-    case QueryStatus::kDeadlineExpired: ++rep.expired; break;
+    case QueryStatus::kDegraded:
+      ++rep.ok;
+      ++ct.ok;
+      ct.latencies_ms.push_back(resp.total_ms);
+      break;
+    case QueryStatus::kRejected:
+      ++rep.rejected;
+      ++ct.rejected;
+      break;
+    case QueryStatus::kDeadlineExpired:
+      ++rep.expired;
+      ++ct.expired;
+      break;
+    case QueryStatus::kShed:
+      ++rep.shed;
+      ++ct.shed;
+      break;
     case QueryStatus::kShutdown:
-    case QueryStatus::kError: ++rep.failed; break;
+    case QueryStatus::kError:
+      ++rep.failed;
+      ++ct.failed;
+      break;
   }
+}
+
+void finalize(LoadGenReport& rep) {
+  for (auto& ct : rep.by_class) {
+    if (!ct.latencies_ms.empty()) {
+      ct.p999_ms = percentile(ct.latencies_ms, 99.9);
+    }
+    if (ct.sent > 0) ct.hit_rate = double(ct.ok) / double(ct.sent);
+  }
+}
+
+/// Deterministic class draw from the cumulative mix. `u` in [0, 1).
+PriorityClass pick_class(const std::array<double, kPriorityClasses>& mix,
+                         double total, double u) {
+  double acc = 0.0;
+  for (std::size_t c = 0; c < kPriorityClasses; ++c) {
+    acc += mix[c] / total;
+    if (u < acc) return PriorityClass(c);
+  }
+  return PriorityClass::kInteractive;
 }
 
 }  // namespace
@@ -33,6 +74,14 @@ LoadGenReport run_load(QueryServer& server, const data::Dataset& queries,
                        const LoadGenConfig& cfg) {
   ANNSIM_CHECK_MSG(!queries.empty(), "load generator needs a query pool");
   ANNSIM_CHECK(cfg.n_requests >= 1);
+  double mix_total = 0.0;
+  for (std::size_t c = 0; c < kPriorityClasses; ++c) {
+    ANNSIM_CHECK_MSG(cfg.class_mix[c] >= 0.0,
+                     "load_gen.class_mix[" << c << "] must be >= 0, got "
+                                           << cfg.class_mix[c]);
+    mix_total += cfg.class_mix[c];
+  }
+  ANNSIM_CHECK_MSG(mix_total > 0.0, "load_gen.class_mix must sum to > 0");
 
   auto query_vec = [&](std::size_t i) {
     const float* qv = queries.row(i % queries.size());
@@ -48,16 +97,27 @@ LoadGenReport run_load(QueryServer& server, const data::Dataset& queries,
     // and queueing collapse instead of hiding them (coordinated omission).
     ANNSIM_CHECK_MSG(cfg.qps > 0, "open-loop load needs qps > 0");
     Rng rng(cfg.seed);
+    // Separate stream for class draws so changing the mix leaves the
+    // arrival-time sequence untouched (comparable runs).
+    Rng class_rng(cfg.seed ^ 0x9e3779b97f4a7c15ULL);
     std::vector<std::future<QueryResponse>> futures;
+    std::vector<PriorityClass> classes;
     futures.reserve(cfg.n_requests);
+    classes.reserve(cfg.n_requests);
     auto next = std::chrono::steady_clock::now();
     for (std::size_t i = 0; i < cfg.n_requests; ++i) {
       std::this_thread::sleep_until(next);
-      futures.push_back(server.submit(query_vec(i), cfg.k, cfg.deadline_ms));
+      const auto cls = pick_class(cfg.class_mix, mix_total, class_rng.uniform());
+      classes.push_back(cls);
+      futures.push_back(server.submit(query_vec(i), cfg.k, cfg.deadline_ms, cls));
       next += std::chrono::duration_cast<std::chrono::steady_clock::duration>(
           std::chrono::duration<double>(rng.exponential(cfg.qps)));
     }
-    for (auto& f : futures) tally(rep, f.get());
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      const auto resp = futures[i].get();
+      tally(rep, classes[i], resp);
+      if (cfg.on_response) cfg.on_response(i, resp);
+    }
   } else {
     // Closed loop: n_clients threads, each submit-then-wait. Measures
     // saturation throughput at concurrency = n_clients.
@@ -68,15 +128,38 @@ LoadGenReport run_load(QueryServer& server, const data::Dataset& queries,
     for (std::size_t c = 0; c < cfg.n_clients; ++c) {
       clients.emplace_back([&, c] {
         LoadGenReport local;
+        Rng class_rng(cfg.seed ^ (0x9e3779b97f4a7c15ULL + c));
         for (std::size_t i = c; i < cfg.n_requests; i += cfg.n_clients) {
-          auto fut = server.submit(query_vec(i), cfg.k, cfg.deadline_ms);
-          tally(local, fut.get());
+          const auto cls = pick_class(cfg.class_mix, mix_total, class_rng.uniform());
+          auto fut = server.submit(query_vec(i), cfg.k, cfg.deadline_ms, cls);
+          const auto resp = fut.get();
+          tally(local, cls, resp);
+          if (cfg.on_response) {
+            std::lock_guard lk(agg_mu);
+            cfg.on_response(i, resp);
+          }
         }
         std::lock_guard lk(agg_mu);
         rep.ok += local.ok;
         rep.rejected += local.rejected;
         rep.expired += local.expired;
+        rep.shed += local.shed;
         rep.failed += local.failed;
+        rep.min_effort_factor =
+            std::min(rep.min_effort_factor, local.min_effort_factor);
+        for (std::size_t k = 0; k < kPriorityClasses; ++k) {
+          ClassTally& dst = rep.by_class[k];
+          ClassTally& src = local.by_class[k];
+          dst.sent += src.sent;
+          dst.ok += src.ok;
+          dst.rejected += src.rejected;
+          dst.expired += src.expired;
+          dst.shed += src.shed;
+          dst.failed += src.failed;
+          dst.latencies_ms.insert(dst.latencies_ms.end(),
+                                  src.latencies_ms.begin(),
+                                  src.latencies_ms.end());
+        }
       });
     }
     for (auto& t : clients) t.join();
@@ -85,8 +168,32 @@ LoadGenReport run_load(QueryServer& server, const data::Dataset& queries,
   rep.wall_seconds = wall.seconds();
   rep.offered_qps =
       rep.wall_seconds > 0 ? double(cfg.n_requests) / rep.wall_seconds : 0.0;
+  finalize(rep);
   rep.metrics = server.metrics();
   return rep;
+}
+
+std::vector<RampStage> run_ramp(QueryServer& server,
+                                const data::Dataset& queries,
+                                const LoadGenConfig& base,
+                                std::span<const double> multipliers) {
+  ANNSIM_CHECK_MSG(base.open_loop, "overload ramp requires open-loop load");
+  ANNSIM_CHECK_MSG(!multipliers.empty(), "overload ramp needs >= 1 stage");
+  std::vector<RampStage> stages;
+  stages.reserve(multipliers.size());
+  for (std::size_t s = 0; s < multipliers.size(); ++s) {
+    ANNSIM_CHECK_MSG(multipliers[s] > 0.0,
+                     "ramp multiplier " << s << " must be > 0, got "
+                                        << multipliers[s]);
+    LoadGenConfig cfg = base;
+    cfg.qps = base.qps * multipliers[s];
+    cfg.seed = base.seed + 1000 * (s + 1);
+    RampStage stage;
+    stage.multiplier = multipliers[s];
+    stage.report = run_load(server, queries, cfg);
+    stages.push_back(std::move(stage));
+  }
+  return stages;
 }
 
 }  // namespace annsim::serve

@@ -1,5 +1,6 @@
 #include "annsim/serve/server_metrics.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace annsim::serve {
@@ -20,10 +21,44 @@ void ServerMetrics::on_reject() {
   ++rejected_;
 }
 
-void ServerMetrics::on_expire() {
+void ServerMetrics::on_expire_in_queue() {
   std::lock_guard lk(mu_);
-  ++expired_;
+  ++expired_in_queue_;
   last_complete_ = Clock::now();
+}
+
+void ServerMetrics::on_complete_late() {
+  std::lock_guard lk(mu_);
+  ++completed_late_;
+  last_complete_ = Clock::now();
+}
+
+void ServerMetrics::on_shed() {
+  std::lock_guard lk(mu_);
+  ++shed_;
+  last_complete_ = Clock::now();
+}
+
+void ServerMetrics::on_breaker_reject() {
+  std::lock_guard lk(mu_);
+  ++breaker_rejections_;
+  last_complete_ = Clock::now();
+}
+
+void ServerMetrics::on_breaker_trip() {
+  std::lock_guard lk(mu_);
+  ++breaker_trips_;
+}
+
+void ServerMetrics::on_brownout(std::size_t n, double factor) {
+  std::lock_guard lk(mu_);
+  browned_out_ += n;
+  min_factor_ = std::min(min_factor_, factor);
+}
+
+void ServerMetrics::on_pressure(double pressure) {
+  std::lock_guard lk(mu_);
+  pressure_ = pressure;
 }
 
 void ServerMetrics::on_fail() {
@@ -79,7 +114,15 @@ MetricsReport ServerMetrics::report() const {
   r.submitted = submitted_;
   r.completed_ok = completed_ok_;
   r.rejected = rejected_;
-  r.expired = expired_;
+  r.expired_in_queue = expired_in_queue_;
+  r.completed_late = completed_late_;
+  r.expired = expired_in_queue_ + completed_late_;
+  r.shed = shed_;
+  r.breaker_rejections = breaker_rejections_;
+  r.breaker_trips = breaker_trips_;
+  r.browned_out = browned_out_;
+  r.brownout_pressure = pressure_;
+  r.brownout_min_factor = min_factor_;
   r.failed = failed_;
   r.degraded = degraded_;
   r.retries = retries_;
@@ -111,21 +154,31 @@ std::string to_string(const MetricsReport& r) {
   char buf[640];
   std::snprintf(
       buf, sizeof(buf),
-      "requests: %zu submitted, %zu ok, %zu rejected, %zu expired, %zu failed, "
-      "%zu degraded (%zu retries)\n"
+      "requests: %zu submitted, %zu ok, %zu rejected, %zu expired "
+      "(%zu in queue, %zu late), %zu failed, %zu degraded (%zu retries)\n"
       "throughput: %.0f q/s over %.3fs (%zu batches)\n"
       "latency ms: mean %.3f p50 %.3f p95 %.3f p99 %.3f p999 %.3f max %.3f "
       "(queue wait mean %.3f)\n"
       "batch size: %s\n"
       "queue depth: %s",
-      r.submitted, r.completed_ok, r.rejected, r.expired, r.failed, r.degraded,
-      r.retries,
+      r.submitted, r.completed_ok, r.rejected, r.expired, r.expired_in_queue,
+      r.completed_late, r.failed, r.degraded, r.retries,
       r.throughput_qps, r.wall_seconds, r.batches, r.latency_mean_ms,
       r.latency_p50_ms, r.latency_p95_ms, r.latency_p99_ms, r.latency_p999_ms,
       r.latency_max_ms, r.queue_wait_mean_ms,
       annsim::to_string(r.batch_size).c_str(),
       annsim::to_string(r.queue_depth).c_str());
   std::string out = buf;
+  if (r.shed > 0 || r.breaker_trips > 0 || r.breaker_rejections > 0 ||
+      r.browned_out > 0 || r.brownout_pressure > 0.0) {
+    char ov_buf[224];
+    std::snprintf(ov_buf, sizeof(ov_buf),
+                  "\noverload: %zu shed, %zu breaker rejections (%zu trips), "
+                  "%zu browned out (min effort %.2f, pressure %.2f)",
+                  r.shed, r.breaker_rejections, r.breaker_trips, r.browned_out,
+                  r.brownout_min_factor, r.brownout_pressure);
+    out += ov_buf;
+  }
   if (r.heals > 0 || r.under_replicated_partitions > 0) {
     char heal_buf[192];
     std::snprintf(heal_buf, sizeof(heal_buf),

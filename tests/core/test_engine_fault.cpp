@@ -215,6 +215,62 @@ TEST_P(EngineFaultSided, MessageDropNeverHangsTermination) {
   EXPECT_EQ(st.degraded_queries, degraded);
 }
 
+TEST_P(EngineFaultSided, DuplicateDeliveryIsIdempotentOnTheDataPlane) {
+  // Retransmitted jobs and results look exactly like failover re-dispatch:
+  // the merge path must absorb the second copy without double-counting, so
+  // a heavy duplicate rate leaves every result bit-identical to the
+  // fault-free run and nothing degraded.
+  const bool one_sided = GetParam();
+  auto w = data::make_sift_like(800, 25, 611);
+  auto cfg = chaos_config(4);
+  cfg.one_sided = one_sided;
+  cfg.replication = 2;
+  auto clean = fault_free_baseline(w, cfg, 10);
+
+  cfg.result_timeout_ms = 250.0;
+  cfg.fault.seed = 82;
+  cfg.fault.duplicate_probability = 0.5;
+  DistributedAnnEngine eng(&w.base, cfg);
+  eng.build();
+  SearchStats st;
+  auto res = eng.search(w.queries, 10, 0, &st);  // must return, not hang
+
+  EXPECT_EQ(st.workers_failed, 0u);
+  EXPECT_EQ(st.degraded_queries, 0u);
+  ASSERT_EQ(res.size(), clean.size());
+  for (std::size_t q = 0; q < clean.size(); ++q) {
+    EXPECT_EQ(res[q], clean[q]) << "query " << q;
+  }
+}
+
+TEST_P(EngineFaultSided, ReorderedDeliveryLeavesResultsBitEqual) {
+  // Out-of-order delivery shuffles which job a worker sees next and which
+  // result the master merges first; top-k merges are order-independent and
+  // the End-of-Queries control plane rides reliable tags (exempt from the
+  // reorder roll), so results match the fault-free run exactly.
+  const bool one_sided = GetParam();
+  auto w = data::make_sift_like(800, 25, 612);
+  auto cfg = chaos_config(4);
+  cfg.one_sided = one_sided;
+  cfg.replication = 2;
+  auto clean = fault_free_baseline(w, cfg, 10);
+
+  cfg.result_timeout_ms = 250.0;
+  cfg.fault.seed = 83;
+  cfg.fault.reorder_probability = 0.5;
+  DistributedAnnEngine eng(&w.base, cfg);
+  eng.build();
+  SearchStats st;
+  auto res = eng.search(w.queries, 10, 0, &st);  // must return, not hang
+
+  EXPECT_EQ(st.workers_failed, 0u);
+  EXPECT_EQ(st.degraded_queries, 0u);
+  ASSERT_EQ(res.size(), clean.size());
+  for (std::size_t q = 0; q < clean.size(); ++q) {
+    EXPECT_EQ(res[q], clean[q]) << "query " << q;
+  }
+}
+
 TEST_P(EngineFaultSided, AtStepKillFiresOnQueryDispatchClock) {
   // KillRule::at_step triggers on the engine's query-dispatch clock; at_step=1
   // means the worker's sends die from the first dispatched query onward.
@@ -284,6 +340,12 @@ TEST(EngineFault, ConfigValidationNamesTheField) {
   { auto c = chaos_config(); c.fault.drop_probability = 2.0;
     c.result_timeout_ms = 10.0;
     expect_msg(c, "fault.drop_probability must be within [0, 1]"); }
+  { auto c = chaos_config(); c.fault.duplicate_probability = 2.0;
+    c.result_timeout_ms = 10.0;
+    expect_msg(c, "fault.duplicate_probability must be within [0, 1]"); }
+  { auto c = chaos_config(); c.fault.reorder_probability = -1.0;
+    c.result_timeout_ms = 10.0;
+    expect_msg(c, "fault.reorder_probability must be within [0, 1]"); }
   { auto c = chaos_config();  // enabled plan but detection left off
     c.fault.kills.push_back({/*rank=*/1, /*after_ops=*/0, mpi::kNeverFires});
     expect_msg(c, "set result_timeout_ms > 0"); }

@@ -316,6 +316,74 @@ TEST(MpiFault, SharedInjectorPersistsDeathAcrossRuntimes) {
   EXPECT_EQ(rt.failed_ranks(), std::vector<int>{0});
 }
 
+TEST(MpiFault, DuplicateDeliveryArrivesTwiceButControlPlaneStaysExactlyOnce) {
+  // duplicate_probability == 1 retransmits every best-effort op: the same
+  // bytes land twice, back to back. Reliable tags ride the exactly-once
+  // control plane and are exempt from the roll.
+  FaultPlan plan;
+  plan.seed = 21;
+  plan.duplicate_probability = 1.0;
+  plan.reliable_tags.push_back(7);
+  Runtime rt(2, plan);
+  rt.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      for (int i = 0; i < 3; ++i) {
+        c.send(1, 1, bytes_of("m" + std::to_string(i)));
+      }
+      c.send(1, 7, bytes_of("control"));
+      c.barrier();
+    } else {
+      c.barrier();
+      std::vector<std::string> got;
+      while (c.iprobe(0, 1)) {
+        Message m = c.recv(0, 1);
+        got.emplace_back(reinterpret_cast<const char*>(m.payload.data()),
+                         m.payload.size());
+      }
+      // Each send delivered twice, retransmission adjacent to the original
+      // and bit-identical to it.
+      const std::vector<std::string> want = {"m0", "m0", "m1", "m1",
+                                             "m2", "m2"};
+      EXPECT_EQ(got, want);
+      int control = 0;
+      while (c.iprobe(0, 7)) { (void)c.recv(0, 7); ++control; }
+      EXPECT_EQ(control, 1);
+    }
+  });
+  EXPECT_TRUE(rt.failed_ranks().empty());
+  // Duplication is fabric-side: the sender paid for three attempts, not six.
+  EXPECT_EQ(rt.per_rank_traffic()[0].p2p_messages, 4u);
+}
+
+TEST(MpiFault, ReorderDeliveryOvertakesEverythingQueuedAhead) {
+  // reorder_probability == 1 makes every message jump the receiver's queue,
+  // so a backlog drains in reverse send order. A recv already pending sees
+  // the message immediately either way (nothing to overtake).
+  FaultPlan plan;
+  plan.seed = 22;
+  plan.reorder_probability = 1.0;
+  Runtime rt(2, plan);
+  rt.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      for (int i = 0; i < 3; ++i) {
+        c.send(1, 1, bytes_of("m" + std::to_string(i)));
+      }
+      c.barrier();
+    } else {
+      c.barrier();  // all three are queued before the first recv posts
+      std::vector<std::string> got;
+      while (c.iprobe(0, 1)) {
+        Message m = c.recv(0, 1);
+        got.emplace_back(reinterpret_cast<const char*>(m.payload.data()),
+                         m.payload.size());
+      }
+      const std::vector<std::string> want = {"m2", "m1", "m0"};
+      EXPECT_EQ(got, want);
+    }
+  });
+  EXPECT_TRUE(rt.failed_ranks().empty());
+}
+
 TEST(MpiFault, PlanValidationRejectsBadFields) {
   {
     FaultPlan p;
@@ -325,6 +393,16 @@ TEST(MpiFault, PlanValidationRejectsBadFields) {
   {
     FaultPlan p;
     p.delay_probability = -0.1;
+    EXPECT_THROW(FaultInjector(p, 2), Error);
+  }
+  {
+    FaultPlan p;
+    p.duplicate_probability = 1.5;
+    EXPECT_THROW(FaultInjector(p, 2), Error);
+  }
+  {
+    FaultPlan p;
+    p.reorder_probability = -0.5;
     EXPECT_THROW(FaultInjector(p, 2), Error);
   }
   {

@@ -30,7 +30,7 @@ TEST(ServerMetrics, CountersAndDistributionsAddUp) {
   for (std::size_t i = 0; i < 10; ++i) m.on_submit(/*depth=*/i + 1);
   m.on_reject();
   m.on_reject();
-  m.on_expire();
+  m.on_expire_in_queue();
   m.on_fail();
   m.on_batch(4);
   m.on_batch(6);
@@ -42,6 +42,8 @@ TEST(ServerMetrics, CountersAndDistributionsAddUp) {
   EXPECT_EQ(r.submitted, 10u);
   EXPECT_EQ(r.rejected, 2u);
   EXPECT_EQ(r.expired, 1u);
+  EXPECT_EQ(r.expired_in_queue, 1u);
+  EXPECT_EQ(r.completed_late, 0u);
   EXPECT_EQ(r.failed, 1u);
   EXPECT_EQ(r.batches, 2u);
   EXPECT_EQ(r.completed_ok, 8u);
@@ -65,6 +67,46 @@ TEST(ServerMetrics, CountersAndDistributionsAddUp) {
   if (r.wall_seconds > 0.0) {
     EXPECT_NEAR(r.throughput_qps, 8.0 / r.wall_seconds, 1e-6);
   }
+}
+
+TEST(ServerMetrics, ExpiredSplitsIntoQueueAndLateButSumsForBackCompat) {
+  ServerMetrics m;
+  m.on_expire_in_queue();
+  m.on_expire_in_queue();
+  m.on_complete_late();
+  const MetricsReport r = m.report();
+  EXPECT_EQ(r.expired_in_queue, 2u);
+  EXPECT_EQ(r.completed_late, 1u);
+  EXPECT_EQ(r.expired, 3u);  // pre-split consumers keep reading the sum
+}
+
+TEST(ServerMetrics, OverloadCountersFlowIntoReportAndRendering) {
+  ServerMetrics m;
+  m.on_shed();
+  m.on_shed();
+  m.on_breaker_reject();
+  m.on_breaker_trip();
+  m.on_brownout(/*n=*/5, /*factor=*/0.5);
+  m.on_brownout(/*n=*/3, /*factor=*/0.25);
+  m.on_pressure(0.75);
+  const MetricsReport r = m.report();
+  EXPECT_EQ(r.shed, 2u);
+  EXPECT_EQ(r.breaker_rejections, 1u);
+  EXPECT_EQ(r.breaker_trips, 1u);
+  EXPECT_EQ(r.browned_out, 8u);
+  EXPECT_DOUBLE_EQ(r.brownout_min_factor, 0.25);  // lowest ever dispatched
+  EXPECT_DOUBLE_EQ(r.brownout_pressure, 0.75);
+  const std::string s = to_string(r);
+  EXPECT_NE(s.find("overload"), std::string::npos);
+  EXPECT_NE(s.find("shed"), std::string::npos);
+  EXPECT_NE(s.find("browned out"), std::string::npos);
+}
+
+TEST(ServerMetrics, OverloadSectionOmittedWhenQuiet) {
+  ServerMetrics m;
+  m.on_submit(1);
+  m.on_complete_ok(1.0, 0.1);
+  EXPECT_EQ(to_string(m.report()).find("overload"), std::string::npos);
 }
 
 TEST(ServerMetrics, ConcurrentRecordingLosesNothing) {

@@ -55,7 +55,8 @@ using namespace annsim;
                "[--requests N] [--max-batch B] [--max-delay-ms D] "
                "[--queue-cap C] [--block] [--deadline-ms X] [--closed-loop] "
                "[--clients N] [--ef E] [--write-ratio X] [--compact-at-fill F] "
-               "[--mpi-check]\n"
+               "[--overload-ramp] [--deadline-sched] [--brownout-target-ms T] "
+               "[--breaker-threshold X] [--mpi-check]\n"
                "  annsim chaos-bench <SIFT|DEEP|GIST|SYN_1M|SYN_10M> <n_base> "
                "<n_queries> <k> [--workers N] [--replication R] [--nprobe P] "
                "[--kill-worker W] [--kill-after N] [--drop-p D] "
@@ -67,7 +68,13 @@ using namespace annsim;
                "[--write-ratio X] [--qps Q] [--requests N] [--delta-cap C] "
                "[--compact-at-fill F] [--kill-worker W] [--kill-after N] "
                "[--timeout-ms T] [--checkpoint-dir D] [--recall-tol T] "
-               "[--json PATH] [--mpi-check]\n");
+               "[--json PATH] [--mpi-check]\n"
+               "  annsim overload-bench <SIFT|DEEP|GIST|SYN_1M|SYN_10M> "
+               "<n_base> <n_queries> <k> [--workers N] [--nprobe P] "
+               "[--deadline-ms D] [--requests N] [--max-batch B] "
+               "[--max-delay-ms D] [--queue-cap C] [--brownout-target-ms T] "
+               "[--brownout-floor F] [--breaker-threshold X] [--json PATH] "
+               "[--mpi-check]\n");
   std::exit(2);
 }
 
@@ -290,6 +297,13 @@ int cmd_serve_bench(int argc, char** argv) {
   sc.compact_at_fill =
       arg_num(opt(argc, argv, "--compact-at-fill", "0").c_str());
   if (flag(argc, argv, "--block")) sc.overflow = serve::OverflowPolicy::kBlock;
+  sc.deadline_scheduling = flag(argc, argv, "--deadline-sched");
+  sc.brownout_target_ms =
+      std::atof(opt(argc, argv, "--brownout-target-ms", "0").c_str());
+  sc.brownout_floor =
+      std::atof(opt(argc, argv, "--brownout-floor", "0.25").c_str());
+  sc.breaker_threshold =
+      std::atof(opt(argc, argv, "--breaker-threshold", "0").c_str());
 
   serve::LoadGenConfig lg;
   lg.open_loop = !flag(argc, argv, "--closed-loop");
@@ -357,16 +371,39 @@ int cmd_serve_bench(int argc, char** argv) {
     });
   }
 
-  const auto rep = serve::run_load(server, queries, lg);
+  serve::LoadGenReport rep;
+  if (flag(argc, argv, "--overload-ramp")) {
+    // Sweep offered load from half the nominal rate to 2x, back to back
+    // against the same server, with a mixed-class stream so the overload
+    // controls have classes to discriminate between.
+    ANNSIM_CHECK_MSG(lg.open_loop, "--overload-ramp requires open-loop load");
+    lg.class_mix = {0.5, 0.3, 0.2};
+    static constexpr double kMults[] = {0.5, 1.0, 1.5, 2.0};
+    auto stages = serve::run_ramp(server, queries, lg, kMults);
+    for (const auto& stage : stages) {
+      const auto& r = stage.report;
+      const auto& ia = r.by_class[std::size_t(serve::PriorityClass::kInteractive)];
+      std::printf("ramp %.1fx (%.0f q/s offered): goodput %.0f q/s, "
+                  "interactive hit %.3f p999 %.2fms, %zu shed, %zu expired, "
+                  "min effort %.2f\n",
+                  stage.multiplier, r.offered_qps,
+                  r.wall_seconds > 0 ? double(r.ok) / r.wall_seconds : 0.0,
+                  ia.hit_rate, ia.p999_ms, r.shed, r.expired,
+                  r.min_effort_factor);
+    }
+    rep = std::move(stages.back().report);
+  } else {
+    rep = serve::run_load(server, queries, lg);
+  }
   reads_done.store(true, std::memory_order_release);
   if (writer.joinable()) writer.join();
   server.stop();
 
   std::printf("%s\n", serve::to_string(rep.metrics).c_str());
-  std::printf("client-side: %zu ok, %zu rejected, %zu expired, %zu failed in "
-              "%.3fs (offered %.0f q/s)\n",
-              rep.ok, rep.rejected, rep.expired, rep.failed, rep.wall_seconds,
-              rep.offered_qps);
+  std::printf("client-side: %zu ok, %zu rejected, %zu expired, %zu shed, "
+              "%zu failed in %.3fs (offered %.0f q/s)\n",
+              rep.ok, rep.rejected, rep.expired, rep.shed, rep.failed,
+              rep.wall_seconds, rep.offered_qps);
   if (write_ratio > 0.0) {
     std::printf("write plane: %llu replica inserts, %llu replica erases, "
                 "%llu dropped rows, peak delta fill %llu, final fill %zu\n",
@@ -914,6 +951,264 @@ int cmd_mutate_bench(int argc, char** argv) {
   return check_exit(mpi_check, engine, "mutate", rc);
 }
 
+/// Overload benchmark on a synthetic workload (DESIGN.md §4.11). Measures
+/// saturation capacity closed-loop, then drives an open-loop mixed-class
+/// ramp at {0.5, 1, 1.5, 2}x capacity twice against the same engine: once
+/// with overload control off (the collapse baseline) and once with
+/// deadline-aware admission + brownout + circuit breaker armed. Three gates
+/// make it CI-able:
+///
+///  * goodput holds: in-deadline completions/s at 2x capacity must stay
+///    >= 70% of the best control-on stage (no congestion collapse),
+///  * interactive survives: the interactive class's deadline-hit rate at 2x
+///    must stay >= 95% (shedding lands on lower classes first), and
+///  * answers stay useful: mean recall of served answers at 2x — including
+///    browned-out ones — must stay above the --recall-floor.
+int cmd_overload_bench(int argc, char** argv) {
+  if (argc < 4) usage();
+  const std::string recipe = argv[0];
+  const std::size_t n_base = arg_num(argv[1]);
+  const std::size_t n_queries = arg_num(argv[2]);
+  const std::size_t k = arg_num(argv[3]);
+
+  core::EngineConfig cfg;
+  cfg.n_workers = arg_num(opt(argc, argv, "--workers", "8").c_str());
+  cfg.n_probe = arg_num(opt(argc, argv, "--nprobe", "4").c_str());
+  const bool mpi_check = flag(argc, argv, "--mpi-check");
+  if (mpi_check) {
+    cfg.mpi_check = true;
+    cfg.check_fatal = false;
+  }
+
+  const double deadline_ms =
+      std::atof(opt(argc, argv, "--deadline-ms", "50").c_str());
+  ANNSIM_CHECK_MSG(deadline_ms > 0, "--deadline-ms must be > 0");
+  const std::size_t n_requests =
+      arg_num(opt(argc, argv, "--requests", "1500").c_str());
+  const double recall_floor =
+      std::atof(opt(argc, argv, "--recall-floor", "0.5").c_str());
+  const std::string json_path = opt(argc, argv, "--json", "");
+
+  serve::ServerConfig base_sc;
+  base_sc.max_batch = arg_num(opt(argc, argv, "--max-batch", "32").c_str());
+  base_sc.max_delay_ms =
+      std::atof(opt(argc, argv, "--max-delay-ms", "2").c_str());
+  base_sc.queue_capacity =
+      arg_num(opt(argc, argv, "--queue-cap", "256").c_str());
+
+  auto w = data::make_by_name(recipe, n_base, n_queries, 42);
+  std::printf("overload-bench: %zu x %zu-d, %zu queries, k=%zu, %zu workers, "
+              "deadline %.1fms\n",
+              w.base.size(), w.base.dim(), w.queries.size(), k, cfg.n_workers,
+              deadline_ms);
+  auto gt = data::brute_force_knn(w.base, w.queries, k, simd::Metric::kL2);
+
+  core::DistributedAnnEngine engine(&w.base, cfg);
+  engine.build();
+
+  // --- capacity: closed-loop saturation throughput, no deadline. ---
+  double capacity_qps = 0.0;
+  {
+    serve::QueryServer server(&engine, base_sc);
+    serve::LoadGenConfig lg;
+    lg.open_loop = false;
+    // Enough in-flight clients to keep two full batches queued — fewer and
+    // the probe measures small-batch throughput, understating capacity so
+    // far that the "2x" ramp stages never actually saturate the server.
+    lg.n_clients = 2 * base_sc.max_batch;
+    lg.n_requests = std::max<std::size_t>(500, n_requests / 2);
+    lg.k = k;
+    const auto rep = serve::run_load(server, w.queries, lg);
+    server.stop();
+    capacity_qps =
+        rep.wall_seconds > 0 ? double(rep.ok) / rep.wall_seconds : 0.0;
+  }
+  ANNSIM_CHECK_MSG(capacity_qps > 0, "capacity measurement produced 0 qps");
+  std::printf("capacity: %.0f q/s (closed-loop saturation)\n", capacity_qps);
+
+  static constexpr double kMults[] = {0.5, 1.0, 1.5, 2.0};
+  constexpr std::size_t kInteractiveIdx =
+      std::size_t(serve::PriorityClass::kInteractive);
+
+  serve::LoadGenConfig lg;
+  lg.open_loop = true;
+  lg.qps = capacity_qps;
+  lg.n_requests = n_requests;
+  lg.k = k;
+  lg.deadline_ms = deadline_ms;
+  lg.class_mix = {0.5, 0.3, 0.2};
+
+  auto goodput = [](const serve::LoadGenReport& r) {
+    return r.wall_seconds > 0 ? double(r.ok) / r.wall_seconds : 0.0;
+  };
+
+  // --- control off: FIFO batching, no culling, no brownout, no breaker. ---
+  std::vector<serve::RampStage> off_stages;
+  {
+    serve::QueryServer server(&engine, base_sc);
+    off_stages = serve::run_ramp(server, w.queries, lg, kMults);
+    server.stop();
+    for (const auto& stage : off_stages) {
+      const auto& ia = stage.report.by_class[kInteractiveIdx];
+      std::printf("control off %.1fx: goodput %.0f q/s, interactive hit %.3f, "
+                  "%zu expired, %zu rejected\n",
+                  stage.multiplier, goodput(stage.report), ia.hit_rate,
+                  stage.report.expired, stage.report.rejected);
+    }
+  }
+
+  // --- control on: same ramp with the full overload stack armed, plus a
+  // recall probe over every served answer. ---
+  serve::ServerConfig on_sc = base_sc;
+  on_sc.deadline_scheduling = true;
+  on_sc.brownout_target_ms =
+      std::atof(opt(argc, argv, "--brownout-target-ms",
+                    std::to_string(deadline_ms / 4).c_str()).c_str());
+  on_sc.brownout_floor =
+      std::atof(opt(argc, argv, "--brownout-floor", "0.25").c_str());
+  on_sc.breaker_threshold =
+      std::atof(opt(argc, argv, "--breaker-threshold", "0.9").c_str());
+
+  std::vector<double> served_recalls, browned_recalls;
+  lg.on_response = [&](std::size_t i, const serve::QueryResponse& resp) {
+    if (resp.status != serve::QueryStatus::kOk &&
+        resp.status != serve::QueryStatus::kDegraded) {
+      return;
+    }
+    const double r = data::recall_at_k(resp.neighbors,
+                                       gt[i % w.queries.size()], k);
+    served_recalls.push_back(r);
+    if (resp.effort_factor < 1.0) browned_recalls.push_back(r);
+  };
+
+  std::vector<serve::RampStage> on_stages;
+  serve::MetricsReport on_metrics;
+  {
+    serve::QueryServer server(&engine, on_sc);
+    on_stages = serve::run_ramp(server, w.queries, lg, kMults);
+    on_metrics = server.metrics();
+    server.stop();
+    for (const auto& stage : on_stages) {
+      const auto& r = stage.report;
+      const auto& ia = r.by_class[kInteractiveIdx];
+      std::printf("control on  %.1fx: goodput %.0f q/s, interactive hit %.3f "
+                  "p999 %.2fms, %zu shed, %zu expired, min effort %.2f\n",
+                  stage.multiplier, goodput(r), ia.hit_rate, ia.p999_ms,
+                  r.shed, r.expired, r.min_effort_factor);
+    }
+  }
+  std::printf("%s\n", serve::to_string(on_metrics).c_str());
+
+  auto mean_of = [](const std::vector<double>& v) {
+    if (v.empty()) return 0.0;
+    double s = 0.0;
+    for (double x : v) s += x;
+    return s / double(v.size());
+  };
+  const double recall_served = mean_of(served_recalls);
+  const double recall_browned = mean_of(browned_recalls);
+  std::printf("served recall@%zu: %.4f overall, %.4f over %zu browned-out "
+              "answers (min effort %.2f)\n",
+              k, recall_served, recall_browned, browned_recalls.size(),
+              on_metrics.brownout_min_factor);
+
+  double peak_goodput = 0.0;
+  for (const auto& stage : on_stages) {
+    peak_goodput = std::max(peak_goodput, goodput(stage.report));
+  }
+  const auto& at2x = on_stages.back().report;
+  const auto& at2x_ia = at2x.by_class[kInteractiveIdx];
+  const double goodput_2x = goodput(at2x);
+  const double goodput_ratio = peak_goodput > 0 ? goodput_2x / peak_goodput : 0;
+
+  const bool goodput_ok = goodput_ratio >= 0.70;
+  const bool hit_ok = at2x_ia.hit_rate >= 0.95;
+  // Served answers at any load must have completed inside the deadline; a
+  // p999 past it means late answers leaked through as "ok".
+  const bool p999_ok = at2x_ia.p999_ms <= deadline_ms * 1.05;
+  const bool recall_ok = served_recalls.empty()
+                             ? false
+                             : recall_served >= recall_floor &&
+                               (browned_recalls.empty() ||
+                                recall_browned >= recall_floor);
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    ANNSIM_CHECK_MSG(f != nullptr, "cannot open " << json_path);
+    std::fprintf(f,
+                 "{\n"
+                 "  \"workload\": \"%s\",\n"
+                 "  \"n_base\": %zu,\n"
+                 "  \"n_queries\": %zu,\n"
+                 "  \"k\": %zu,\n"
+                 "  \"workers\": %zu,\n"
+                 "  \"deadline_ms\": %.1f,\n"
+                 "  \"capacity_qps\": %.1f,\n"
+                 "  \"stages\": [\n",
+                 recipe.c_str(), w.base.size(), w.queries.size(), k,
+                 cfg.n_workers, deadline_ms, capacity_qps);
+    for (std::size_t s = 0; s < on_stages.size(); ++s) {
+      const auto& off = off_stages[s].report;
+      const auto& on = on_stages[s].report;
+      const auto& off_ia = off.by_class[kInteractiveIdx];
+      const auto& on_ia = on.by_class[kInteractiveIdx];
+      std::fprintf(
+          f,
+          "    {\"multiplier\": %.1f, \"offered_qps\": %.1f,\n"
+          "     \"off\": {\"goodput_qps\": %.1f, \"interactive_hit_rate\": "
+          "%.4f, \"interactive_p999_ms\": %.3f, \"expired\": %zu, "
+          "\"rejected\": %zu},\n"
+          "     \"on\": {\"goodput_qps\": %.1f, \"interactive_hit_rate\": "
+          "%.4f, \"interactive_p999_ms\": %.3f, \"shed\": %zu, \"expired\": "
+          "%zu, \"min_effort\": %.2f}}%s\n",
+          on_stages[s].multiplier, on.offered_qps, goodput(off),
+          off_ia.hit_rate, off_ia.p999_ms, off.expired, off.rejected,
+          goodput(on), on_ia.hit_rate, on_ia.p999_ms, on.shed, on.expired,
+          on.min_effort_factor, s + 1 < on_stages.size() ? "," : "");
+    }
+    std::fprintf(
+        f,
+        "  ],\n"
+        "  \"peak_goodput_qps\": %.1f,\n"
+        "  \"goodput_at_2x_qps\": %.1f,\n"
+        "  \"goodput_ratio_at_2x\": %.4f,\n"
+        "  \"interactive_hit_rate_at_2x\": %.4f,\n"
+        "  \"interactive_p999_at_2x_ms\": %.3f,\n"
+        "  \"recall_served\": %.4f,\n"
+        "  \"recall_browned_out\": %.4f,\n"
+        "  \"browned_out_answers\": %zu,\n"
+        "  \"brownout_min_factor\": %.2f,\n"
+        "  \"breaker_trips\": %zu,\n"
+        "  \"shed_total\": %zu,\n"
+        "  \"goodput_holds\": %s,\n"
+        "  \"interactive_survives\": %s,\n"
+        "  \"p999_bounded\": %s,\n"
+        "  \"recall_floor_holds\": %s\n"
+        "}\n",
+        peak_goodput, goodput_2x, goodput_ratio, at2x_ia.hit_rate,
+        at2x_ia.p999_ms, recall_served, recall_browned, browned_recalls.size(),
+        on_metrics.brownout_min_factor, on_metrics.breaker_trips,
+        on_metrics.shed, goodput_ok ? "true" : "false",
+        hit_ok ? "true" : "false", p999_ok ? "true" : "false",
+        recall_ok ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  int rc = 0;
+  if (!goodput_ok || !hit_ok || !p999_ok || !recall_ok) {
+    std::fprintf(stderr,
+                 "overload-bench: gate failed (goodput %s %.0f%%, interactive "
+                 "%s %.1f%%, p999 %s %.2fms, recall %s %.3f)\n",
+                 goodput_ok ? "ok" : "COLLAPSED", goodput_ratio * 100.0,
+                 hit_ok ? "ok" : "STARVED", at2x_ia.hit_rate * 100.0,
+                 p999_ok ? "ok" : "UNBOUNDED", at2x_ia.p999_ms,
+                 recall_ok ? "ok" : "BELOW FLOOR", recall_served);
+    rc = 1;
+  }
+  return check_exit(mpi_check, engine, "overload", rc);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -929,6 +1224,7 @@ int main(int argc, char** argv) {
     if (cmd == "serve-bench") return cmd_serve_bench(argc - 2, argv + 2);
     if (cmd == "chaos-bench") return cmd_chaos_bench(argc - 2, argv + 2);
     if (cmd == "mutate-bench") return cmd_mutate_bench(argc - 2, argv + 2);
+    if (cmd == "overload-bench") return cmd_overload_bench(argc - 2, argv + 2);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -24,6 +24,14 @@ sleep-in-test
 missing-include-guard
     every header under include/ and src/ must open with #pragma once
     (or a classic include guard) before any non-comment content.
+
+sleep-in-serve
+    the serving plane (src/serve, include/annsim/serve) must not call
+    std::this_thread::sleep_for directly — a raw sleep on the scheduler
+    or a retry path stalls every queued request behind it. Poll with
+    common/backoff.hpp (spin -> yield -> bounded sleep) or block on a
+    condition variable with a deadline instead. sleep_until in the load
+    generator is exempt: paced open-loop arrival times are the subject.
 """
 
 from __future__ import annotations
@@ -51,11 +59,15 @@ SLEEP_ALLOW = [
     "tests/mpi/test_mpi_timeout.cpp",    # subject is recv_for deadlines
     "tests/common/test_timer_log.cpp",   # subject is the wall timer
     "tests/serve/test_server_degraded.cpp",  # failure-detection deadlines
+    "tests/serve/test_server_overload.cpp",  # breaker open-period deadlines
 ]
 
 # --- rule: header guards ---------------------------------------------------
 HEADER_DIRS = ["include", "src"]
 GUARD_RE = re.compile(r"^\s*(#pragma\s+once|#ifndef\s+\w+)\s*$", re.M)
+
+# --- rule: raw sleeps in the serving plane --------------------------------
+SERVE_DIRS = ["src/serve", "include/annsim/serve"]
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -130,11 +142,25 @@ def check_header_guards(findings: list[str]) -> None:
                 )
 
 
+def check_serve_sleeps(findings: list[str]) -> None:
+    for d in SERVE_DIRS:
+        for path in sorted((REPO / d).rglob("*.[ch]pp")):
+            rel = path.relative_to(REPO)
+            text = strip_comments_and_strings(path.read_text())
+            for m in SLEEP_RE.finditer(text):
+                findings.append(
+                    f"{rel}:{line_of(text, m.start())}: [sleep-in-serve] "
+                    f"raw sleep_for on the serving plane stalls queued "
+                    f"requests; use common/backoff.hpp or a deadline wait"
+                )
+
+
 def main() -> int:
     findings: list[str] = []
     check_naked_tags(findings)
     check_test_sleeps(findings)
     check_header_guards(findings)
+    check_serve_sleeps(findings)
     for f in findings:
         print(f)
     if findings:
