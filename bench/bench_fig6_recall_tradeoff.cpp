@@ -8,6 +8,7 @@
 /// The time axis comes from the DES at 1024 cores, with the per-M local
 /// search cost measured on a real HNSW index and rescaled by the ln-n law.
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
@@ -93,7 +94,10 @@ int main() {
   // --- §V-F's closing comparison: compressed single-node indexes (IVF-PQ,
   // refs [13][14]) answer quickly in little memory, but their recall
   // *plateaus* below the uncompressed system's — quantization error is a
-  // floor no probe budget crosses.
+  // floor no probe budget crosses. Unless, that is, the candidate list is
+  // re-ranked with exact distances before emission: the codes then only have
+  // to get the true neighbors *into* the overfetched candidate set, not
+  // order them — the same recovery the SQ8 tier's float re-rank cache runs.
   bench::print_header(
       "Fig 6 addendum (§V-F): IVF-PQ recall ceiling on the same corpus");
   auto gt_ids = data::brute_force_knn(w.base, w.queries, 10, simd::Metric::kL2);
@@ -115,19 +119,36 @@ int main() {
     }
     return sum / double(results.size());
   };
-  std::printf("%10s %10s   (codes: %zu bytes/vector vs %zu raw)\n", "nprobe",
-              "recall", ip.pq.m, w.base.dim() * sizeof(float));
+  // Exact re-rank of an overfetched candidate list: take 4k coded
+  // candidates, re-score them against the raw floats, keep the top k.
+  auto rerank = [&](const float* query, std::vector<Neighbor> cands) {
+    for (auto& nb : cands) {
+      nb.dist = std::sqrt(
+          simd::l2_sq(query, w.base.row(std::size_t(nb.id)), w.base.dim()));
+    }
+    std::sort(cands.begin(), cands.end());
+    if (cands.size() > 10) cands.resize(10);
+    return cands;
+  };
+  std::printf("%10s %10s %14s   (codes: %zu bytes/vector vs %zu raw)\n",
+              "nprobe", "recall", "recall+rerank", ip.pq.m,
+              w.base.dim() * sizeof(float));
   for (std::size_t nprobe : {1u, 4u, 16u, 64u}) {
     data::KnnResults results(w.queries.size());
+    data::KnnResults reranked(w.queries.size());
     for (std::size_t q = 0; q < w.queries.size(); ++q) {
       results[q] = ivf.search(w.queries.row(q), 10, nprobe);
+      reranked[q] = rerank(w.queries.row(q), ivf.search(w.queries.row(q), 40, nprobe));
     }
-    std::printf("%10zu %10.3f%s\n", nprobe, id_recall(results),
+    std::printf("%10zu %10.3f %14.3f%s\n", nprobe, id_recall(results),
+                id_recall(reranked),
                 nprobe == ip.nlist ? "   <- ceiling: every list scanned" : "");
   }
   std::printf(
       "\nPaper: \"Compression methods ... cannot achieve near perfect "
-      "recalls\";\nthe uncompressed engine above reaches %.3f at M = 64.\n",
+      "recalls\";\nthe uncompressed engine above reaches %.3f at M = 64.\n"
+      "Exact re-ranking lifts the coded plateau: ordering error is gone and\n"
+      "only candidate-generation misses remain.\n",
       recall_at_m64);
   return 0;
 }

@@ -63,6 +63,13 @@ struct EngineConfig {
   /// Mutable-delta capacity per replica (local_index == kSegmented): how many
   /// streamed inserts a partition absorbs before compact() must re-freeze.
   std::size_t segment_delta_capacity = 1024;
+  /// local_index == kSegmented only: frozen segments store SQ8 code rows
+  /// (1 byte/dim) plus an exact float re-rank cache instead of full floats.
+  /// ~4x smaller resident partitions and checkpoints; L2 / InnerProduct only.
+  bool quantize_frozen = false;
+  /// Fraction of each quantized segment's rows kept as exact floats for
+  /// re-ranking (the recall-recovery knob; ~0.01-0.05 is the useful range).
+  double float_cache_fraction = 0.02;
   PartitionerConfig partitioner;
   std::uint64_t seed = 123;
 
@@ -174,6 +181,24 @@ struct WriteStats {
   std::uint64_t max_delta_fill = 0;  ///< fullest delta seen in the acks
 };
 
+/// Aggregate quantized-tier (SQ8) footprint across all hosted replicas.
+/// Meaningful when local_index == kSegmented with quantize_frozen; all zero
+/// otherwise. Totals double-count with replication, like partition_sizes().
+struct CompressionStats {
+  std::size_t quant_rows = 0;            ///< rows stored as SQ8 codes
+  std::size_t quant_resident_bytes = 0;  ///< codes + re-rank caches + codebooks
+  std::size_t quant_float_bytes = 0;     ///< full-float equivalent footprint
+  std::size_t quant_cached_rows = 0;     ///< rows with an exact float copy
+  std::uint64_t rerank_exact = 0;        ///< candidates re-scored exactly
+  std::uint64_t rerank_coded = 0;        ///< candidates kept at SQ8 distance
+  /// quant_float_bytes / quant_resident_bytes (0 when nothing is quantized).
+  [[nodiscard]] double compression_ratio() const noexcept {
+    return quant_resident_bytes == 0
+               ? 0.0
+               : double(quant_float_bytes) / double(quant_resident_bytes);
+  }
+};
+
 /// Per-query completion hook for batched search: invoked by the master as
 /// soon as query `qid`'s final merged result is known (before `search`
 /// returns). In two-sided mode this fires as each query's last partial
@@ -255,6 +280,9 @@ class DistributedAnnEngine {
   /// Fullest mutable delta across all hosted replicas — the serving plane's
   /// compaction trigger.
   [[nodiscard]] std::size_t max_delta_fill() const;
+
+  /// Quantized-tier footprint summed over every hosted segmented replica.
+  [[nodiscard]] CompressionStats compression_stats() const;
 
   /// The master's routing tree (valid after build()).
   [[nodiscard]] const vptree::PartitionVpTree& router() const;

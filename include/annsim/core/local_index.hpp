@@ -98,6 +98,11 @@ struct LocalIndexParams {
   simd::Metric metric = simd::Metric::kL2;
   /// Delta capacity per segmented replica (kind == kSegmented).
   std::size_t segment_delta_capacity = 1024;
+  /// kSegmented only: store frozen segments as SQ8 codes with an exact float
+  /// re-rank cache (see segment::SegmentedParams). L2 / InnerProduct only.
+  bool quantize_frozen = false;
+  /// Fraction of quantized rows kept as exact floats for re-ranking.
+  double float_cache_fraction = 0.02;
 };
 
 /// Build a fresh index over `data` (runs the build immediately). A pool

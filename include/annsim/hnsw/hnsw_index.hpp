@@ -32,6 +32,7 @@
 #include "annsim/common/types.hpp"
 #include "annsim/data/dataset.hpp"
 #include "annsim/data/ground_truth.hpp"
+#include "annsim/hnsw/flat_graph.hpp"
 #include "annsim/simd/distance.hpp"
 
 namespace annsim::hnsw {
@@ -95,6 +96,12 @@ class HnswIndex {
 
   /// True once the read-optimized frozen representation is active.
   [[nodiscard]] bool is_frozen() const noexcept;
+
+  /// The frozen CSR adjacency (requires is_frozen()). The quantized tier
+  /// reuses this exact topology to traverse SQ8 code rows: the graph is
+  /// built once on the full-float rows at freeze time, then searched with
+  /// the asymmetric uint8 kernels.
+  [[nodiscard]] const FlatGraph& flat_graph() const;
 
   /// k-NN search. `ef` = 0 uses params().ef_search; effective beam width is
   /// max(ef, k). Returned distances follow the DistanceComputer convention;

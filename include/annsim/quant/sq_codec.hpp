@@ -1,0 +1,67 @@
+#pragma once
+/// \file sq_codec.hpp
+/// \brief SQ8 scalar quantizer: per-dimension min/max affine codec mapping
+/// float rows to uint8 code rows (4x smaller) and back.
+///
+/// Encoding of dimension d:  code = round((v - min_d) / scale_d), clamped to
+/// [0, 255], with scale_d = (max_d - min_d) / 255 trained over the corpus.
+/// Decoding: v' = min_d + scale_d * code. The worst-case per-dimension
+/// reconstruction error of an in-range value is scale_d / 2 (round-to-
+/// nearest); out-of-range values (possible when encoding rows the codec was
+/// not trained on) clamp to the trained range.
+///
+/// The codec stores `mins`/`scales` padded to the code stride so the fused
+/// decode+distance kernels (simd::l2_sq_batch_u8 / ip_batch_u8) can read them
+/// alongside the code rows. Code rows are padded to kCodeAlign bytes so code
+/// slabs built from code_stride() keep every row cache-line-friendly.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "annsim/common/aligned_buffer.hpp"
+#include "annsim/common/serialize.hpp"
+#include "annsim/data/dataset.hpp"
+
+namespace annsim::quant {
+
+class SqCodec {
+ public:
+  /// Code rows are padded to a multiple of this many bytes.
+  static constexpr std::size_t kCodeAlign = 32;
+
+  SqCodec() = default;
+
+  /// Train over every row of `rows`: per-dimension min/max sweep. A constant
+  /// dimension (max == min) gets scale 0 and decodes exactly.
+  static SqCodec train(const data::Dataset& rows);
+
+  [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
+  /// Bytes per code row (dim padded to kCodeAlign; padding encodes as 0 and
+  /// decodes to 0 contribution — scale and min are 0 in the padded tail).
+  [[nodiscard]] std::size_t code_stride() const noexcept {
+    return (dim_ + kCodeAlign - 1) / kCodeAlign * kCodeAlign;
+  }
+
+  /// Quantize one `dim()`-float row into `code_stride()` bytes (padding
+  /// zeroed).
+  void encode(std::span<const float> row, std::uint8_t* code) const noexcept;
+  /// Reconstruct one row: `out` receives `dim()` floats.
+  void decode(const std::uint8_t* code, float* out) const noexcept;
+
+  [[nodiscard]] const float* mins() const noexcept { return mins_.data(); }
+  [[nodiscard]] const float* scales() const noexcept { return scales_.data(); }
+
+  /// Largest per-dimension round-trip error bound: max_d(scale_d) / 2.
+  [[nodiscard]] float max_abs_error() const noexcept;
+
+  void serialize(BinaryWriter& w) const;
+  static SqCodec deserialize(BinaryReader& r);
+
+ private:
+  std::size_t dim_ = 0;
+  AlignedBuffer<float> mins_;    ///< code_stride() entries, padded with 0
+  AlignedBuffer<float> scales_;  ///< code_stride() entries, padded with 0
+};
+
+}  // namespace annsim::quant

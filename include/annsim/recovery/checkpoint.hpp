@@ -29,6 +29,12 @@
 /// referencing the previous generation — still fully intact. Stale delta
 /// generations and segments merged away by compaction are garbage-collected
 /// after the commit.
+///
+/// Quantized partitions (quantize_frozen) ride the same machinery unchanged:
+/// a quantized segment's blob is its SQ8 codes + codebook + graph + cached
+/// float rows (~4x smaller than the float form), the header is version 2,
+/// and the `seg_<id>.bin` immutability contract holds exactly as above — a
+/// segment is quantized at freeze time and never rewritten after.
 
 #include <cstdint>
 #include <span>

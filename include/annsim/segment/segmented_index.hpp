@@ -45,6 +45,7 @@
 #include "annsim/common/types.hpp"
 #include "annsim/data/dataset.hpp"
 #include "annsim/hnsw/hnsw_index.hpp"
+#include "annsim/quant/sq_segment.hpp"
 
 namespace annsim::segment {
 
@@ -56,6 +57,14 @@ struct SegmentedParams {
   /// compaction. Storage is pre-allocated, so this is also the delta's
   /// fixed memory footprint.
   std::size_t delta_capacity = 1024;
+  /// Store frozen segments as SQ8 code rows (quant::SqSegment) instead of
+  /// full floats. The delta always stays full-float — quantization happens
+  /// at freeze time, when the codec can be trained on the exact rows it will
+  /// encode. Only kL2 / kInnerProduct metrics are supported when set.
+  bool quantize_frozen = false;
+  /// Fraction of each quantized segment's rows kept as exact floats for
+  /// re-ranking (see quant::SqSegmentParams::float_cache_fraction).
+  double float_cache_fraction = 0.02;
 };
 
 struct SegmentedStats {
@@ -65,6 +74,13 @@ struct SegmentedStats {
   std::size_t delta_capacity = 0;
   std::size_t tombstones = 0;
   std::uint64_t compactions = 0;
+  // Quantized-tier diagnostics (all zero when quantize_frozen is off).
+  std::size_t quant_rows = 0;            ///< rows stored as SQ8 codes
+  std::size_t quant_resident_bytes = 0;  ///< codes + re-rank cache + codebook
+  std::size_t quant_float_bytes = 0;     ///< what full floats would occupy
+  std::size_t quant_cached_rows = 0;     ///< rows with an exact float copy
+  std::uint64_t rerank_exact = 0;        ///< candidates re-scored exactly
+  std::uint64_t rerank_coded = 0;        ///< candidates kept at SQ8 distance
 };
 
 class SegmentedIndex {
@@ -150,17 +166,27 @@ class SegmentedIndex {
       std::span<const std::byte> delta);
 
  private:
-  /// Immutable (Dataset, frozen HnswIndex) pair. unique_ptr keeps the
-  /// Dataset's address stable for the index that references it.
+  /// Immutable frozen segment: either a (Dataset, frozen HnswIndex) pair
+  /// (full-float tier; unique_ptr keeps the Dataset's address stable for the
+  /// index that references it) or a quant::SqSegment (SQ8 tier: code rows +
+  /// the same frozen topology + exact re-rank cache), per quantize_frozen.
   struct Segment {
     std::uint64_t id = 0;
     std::unique_ptr<data::Dataset> data;
     std::unique_ptr<hnsw::HnswIndex> index;
+    std::unique_ptr<quant::SqSegment> quant;
     /// Serialized form, filled once on first snapshot: the segment is
     /// immutable, so the bytes never go stale, and per-round incremental
     /// checkpoints stop paying O(index) re-serialization.
     mutable std::once_flag wire_once;
     mutable std::vector<std::byte> wire;
+
+    [[nodiscard]] std::size_t rows() const noexcept {
+      return quant ? quant->size() : data->size();
+    }
+    [[nodiscard]] std::span<const GlobalId> row_ids() const noexcept {
+      return quant ? quant->ids() : data->ids();
+    }
   };
 
   /// Mutable write-absorbing tier. `data` is pre-sized to delta_capacity so
@@ -186,8 +212,13 @@ class SegmentedIndex {
   [[nodiscard]] std::shared_ptr<const View> snapshot() const;
   void publish(std::shared_ptr<const View> v);
   [[nodiscard]] std::shared_ptr<Delta> make_delta() const;
+  /// Freeze `rows` into a new segment (quantizing when quantize_frozen).
+  /// `heat`, when row-aligned with `rows`, carries measured access counts
+  /// into the quantized tier's re-rank cache selection (major compactions
+  /// harvest them from the segments being merged).
   [[nodiscard]] std::shared_ptr<const Segment> freeze_rows(
-      data::Dataset rows, ThreadPool* pool);
+      data::Dataset rows, ThreadPool* pool,
+      std::span<const std::uint64_t> heat = {});
   /// compact() body; caller holds write_mu_.
   /// Caller holds write_mu_. `force_major` skips the tier decision and runs
   /// the full merge (re-inserting an erased id must purge its old frozen

@@ -84,6 +84,38 @@ void l1_batch(const float* query, const float* base, std::size_t stride,
               std::size_t dim, const std::uint32_t* ids, std::size_t n,
               float* out) noexcept;
 
+// ---- uint8 (SQ8) asymmetric kernels ----
+//
+// Operate on scalar-quantized rows: each code byte decodes as
+// `v[d] = mins[d] + scales[d] * code[d]` (per-dimension min/max affine,
+// annsim::quant::SqCodec). The decode is fused into the distance loop, so
+// code rows are never materialized as floats — the 4x smaller rows are what
+// the memory system streams. The query stays full-float (asymmetric
+// distance: only the stored side is quantized).
+
+/// Squared Euclidean distance between a float query and an SQ8 code row.
+[[nodiscard]] float l2_sq_u8(const float* query, const std::uint8_t* code,
+                             const float* mins, const float* scales,
+                             std::size_t dim) noexcept;
+/// Dot product <query, decode(code)>.
+[[nodiscard]] float ip_u8(const float* query, const std::uint8_t* code,
+                          const float* mins, const float* scales,
+                          std::size_t dim) noexcept;
+
+// One-to-many batched forms, mirroring the float batch kernels: `stride` is
+// in *bytes* (code rows are byte-addressed), `ids` selects rows (nullptr =
+// contiguous scan), rows are prefetched ahead. Results are bit-identical to
+// calling the corresponding pairwise kernel per row.
+
+void l2_sq_batch_u8(const float* query, const std::uint8_t* base,
+                    std::size_t stride, std::size_t dim, const float* mins,
+                    const float* scales, const std::uint32_t* ids,
+                    std::size_t n, float* out) noexcept;
+void ip_batch_u8(const float* query, const std::uint8_t* base,
+                 std::size_t stride, std::size_t dim, const float* mins,
+                 const float* scales, const std::uint32_t* ids, std::size_t n,
+                 float* out) noexcept;
+
 // ---- scalar reference kernels (exported for differential testing) ----
 
 [[nodiscard]] float l2_sq_scalar(const float* a, const float* b, std::size_t dim) noexcept;
@@ -99,6 +131,23 @@ void ip_batch_scalar(const float* query, const float* base, std::size_t stride,
 void l1_batch_scalar(const float* query, const float* base, std::size_t stride,
                      std::size_t dim, const std::uint32_t* ids, std::size_t n,
                      float* out) noexcept;
+
+[[nodiscard]] float l2_sq_u8_scalar(const float* query, const std::uint8_t* code,
+                                    const float* mins, const float* scales,
+                                    std::size_t dim) noexcept;
+[[nodiscard]] float ip_u8_scalar(const float* query, const std::uint8_t* code,
+                                 const float* mins, const float* scales,
+                                 std::size_t dim) noexcept;
+
+void l2_sq_batch_u8_scalar(const float* query, const std::uint8_t* base,
+                           std::size_t stride, std::size_t dim,
+                           const float* mins, const float* scales,
+                           const std::uint32_t* ids, std::size_t n,
+                           float* out) noexcept;
+void ip_batch_u8_scalar(const float* query, const std::uint8_t* base,
+                        std::size_t stride, std::size_t dim, const float* mins,
+                        const float* scales, const std::uint32_t* ids,
+                        std::size_t n, float* out) noexcept;
 
 /// Which instruction set the dispatched kernels use ("avx2+fma", "scalar",
 /// or "scalar(forced)" when ANNSIM_FORCE_SCALAR pinned the scalar path).
@@ -123,6 +172,16 @@ inline void prefetch_line(const void* p) noexcept {
 inline void prefetch_vector(const float* p, std::size_t dim) noexcept {
   constexpr std::size_t kLine = 64 / sizeof(float);  // floats per cache line
   constexpr std::size_t kMaxLines = 8;               // cap: 512 bytes ahead
+  const std::size_t lines = (dim + kLine - 1) / kLine;
+  const std::size_t limit = lines < kMaxLines ? lines : kMaxLines;
+  for (std::size_t l = 0; l < limit; ++l) prefetch_line(p + l * kLine);
+}
+
+/// Prefetch the leading cache lines of a `dim`-byte SQ8 code row (same cap
+/// as prefetch_vector; code rows are 4x denser, so fewer lines are touched).
+inline void prefetch_code(const std::uint8_t* p, std::size_t dim) noexcept {
+  constexpr std::size_t kLine = 64;  // bytes per cache line
+  constexpr std::size_t kMaxLines = 8;
   const std::size_t lines = (dim + kLine - 1) / kLine;
   const std::size_t limit = lines < kMaxLines ? lines : kMaxLines;
   for (std::size_t l = 0; l < limit; ++l) prefetch_line(p + l * kLine);

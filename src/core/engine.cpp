@@ -58,6 +58,17 @@ void validate_engine_config(const EngineConfig& config) {
                      "segment_delta_capacity must be nonzero: the mutable "
                      "delta needs room for at least one streamed insert");
   }
+  if (config.quantize_frozen) {
+    ANNSIM_CHECK_MSG(config.local_index == LocalIndexKind::kSegmented,
+                     "quantize_frozen requires the segmented local index "
+                     "(quantization happens when segments freeze)");
+    ANNSIM_CHECK_MSG(config.hnsw.metric == simd::Metric::kL2 ||
+                         config.hnsw.metric == simd::Metric::kInnerProduct,
+                     "quantize_frozen supports L2 and InnerProduct only");
+    ANNSIM_CHECK_MSG(config.float_cache_fraction >= 0.0 &&
+                         config.float_cache_fraction <= 1.0,
+                     "float_cache_fraction must be within [0, 1]");
+  }
   ANNSIM_CHECK_MSG(config.result_timeout_ms >= 0.0,
                    "result_timeout_ms cannot be negative (0 disables failure "
                    "detection)");
@@ -187,6 +198,8 @@ void DistributedAnnEngine::build() {
     lp.ivfpq = config_.ivfpq;
     lp.metric = config_.hnsw.metric;
     lp.segment_delta_capacity = config_.segment_delta_capacity;
+    lp.quantize_frozen = config_.quantize_frozen;
+    lp.float_cache_fraction = config_.float_cache_fraction;
     if (config_.parallel_local_build && config_.threads_per_worker > 1) {
       // The paper's hybrid model: each MPI process builds its local index
       // with an OpenMP-style thread team.
@@ -233,6 +246,8 @@ void DistributedAnnEngine::build() {
         rep_lp.ivfpq = config_.ivfpq;
         rep_lp.metric = config_.hnsw.metric;
         rep_lp.segment_delta_capacity = config_.segment_delta_capacity;
+        rep_lp.quantize_frozen = config_.quantize_frozen;
+        rep_lp.float_cache_fraction = config_.float_cache_fraction;
         rep.index = local_index_from_bytes(index_bytes, rep.data.get(), rep_lp);
         workers_[w].emplace(pid, std::move(rep));
       }
@@ -688,6 +703,25 @@ std::size_t DistributedAnnEngine::max_delta_fill() const {
     }
   }
   return fill;
+}
+
+CompressionStats DistributedAnnEngine::compression_stats() const {
+  std::shared_lock topology(sync_->topology);
+  CompressionStats cs;
+  for (const WorkerStore& store : workers_) {
+    for (const auto& [pid, rep] : store) {
+      const segment::SegmentedIndex* seg = rep.index->segmented();
+      if (seg == nullptr) continue;
+      const segment::SegmentedStats s = seg->stats();
+      cs.quant_rows += s.quant_rows;
+      cs.quant_resident_bytes += s.quant_resident_bytes;
+      cs.quant_float_bytes += s.quant_float_bytes;
+      cs.quant_cached_rows += s.quant_cached_rows;
+      cs.rerank_exact += s.rerank_exact;
+      cs.rerank_coded += s.rerank_coded;
+    }
+  }
+  return cs;
 }
 
 // Algorithm 3 (baseline) / Algorithm 5 (replication): the master routine.
@@ -1362,6 +1396,8 @@ recovery::HealReport DistributedAnnEngine::heal() {
   lp.ivfpq = config_.ivfpq;
   lp.metric = config_.hnsw.metric;
   lp.segment_delta_capacity = config_.segment_delta_capacity;
+  lp.quantize_frozen = config_.quantize_frozen;
+  lp.float_cache_fraction = config_.float_cache_fraction;
 
   // 3. Prefer the checkpoint store: a durable snapshot restores locally with
   //    no cluster traffic at all (the LANNS model — reload, don't rebuild).
@@ -1512,6 +1548,8 @@ void DistributedAnnEngine::save(const std::string& path) const {
   w.write(std::uint64_t(config_.ivfpq.coarse_iters));
   w.write(config_.ivfpq.seed);
   w.write(std::uint64_t(config_.segment_delta_capacity));
+  w.write(std::uint8_t(config_.quantize_frozen ? 1 : 0));
+  w.write(config_.float_cache_fraction);
   w.write(next_stream_id_);  // id stream survives save/load, never reused
 
   BinaryWriter tree;
@@ -1582,6 +1620,8 @@ DistributedAnnEngine DistributedAnnEngine::load(
   eng.config_.ivfpq.coarse_iters = r.read<std::uint64_t>();
   eng.config_.ivfpq.seed = r.read<std::uint64_t>();
   eng.config_.segment_delta_capacity = r.read<std::uint64_t>();
+  eng.config_.quantize_frozen = r.read<std::uint8_t>() != 0;
+  eng.config_.float_cache_fraction = r.read<double>();
   eng.next_stream_id_ = r.read<GlobalId>();
 
   auto tree_bytes = r.read_vector<std::byte>();
@@ -1597,6 +1637,8 @@ DistributedAnnEngine DistributedAnnEngine::load(
   lp.ivfpq = eng.config_.ivfpq;
   lp.metric = eng.config_.hnsw.metric;
   lp.segment_delta_capacity = eng.config_.segment_delta_capacity;
+  lp.quantize_frozen = eng.config_.quantize_frozen;
+  lp.float_cache_fraction = eng.config_.float_cache_fraction;
   for (auto& store : eng.workers_) {
     const auto n_replicas = r.read<std::uint64_t>();
     for (std::uint64_t i = 0; i < n_replicas; ++i) {

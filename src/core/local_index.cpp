@@ -168,6 +168,8 @@ segment::SegmentedParams segmented_params(const LocalIndexParams& params) {
   sp.hnsw = params.hnsw;
   sp.hnsw.metric = params.metric;
   sp.delta_capacity = params.segment_delta_capacity;
+  sp.quantize_frozen = params.quantize_frozen;
+  sp.float_cache_fraction = params.float_cache_fraction;
   return sp;
 }
 

@@ -160,6 +160,12 @@ bool HnswIndex::is_frozen() const noexcept {
   return impl_->frozen.load(std::memory_order_acquire);
 }
 
+const FlatGraph& HnswIndex::flat_graph() const {
+  ANNSIM_CHECK_MSG(is_frozen(),
+                   "HnswIndex::flat_graph: index is not frozen yet");
+  return impl_->flat;
+}
+
 namespace {
 
 /// How the mutable-path beam search reads neighbor lists.

@@ -1,0 +1,500 @@
+#include "annsim/quant/sq_segment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+
+#include "annsim/common/error.hpp"
+#include "annsim/common/serialize.hpp"
+
+namespace annsim::quant {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x414E5131;  // "ANQ1"
+constexpr std::uint32_t kNotCached = 0xFFFFFFFFu;
+/// Dataset row padding (floats); the cache slab mirrors it so cached rows
+/// take aligned SIMD loads exactly like float-tier rows.
+constexpr std::size_t kFloatPad = 8;
+
+std::size_t float_stride(std::size_t dim) noexcept {
+  return (dim + kFloatPad - 1) / kFloatPad * kFloatPad;
+}
+
+/// Beam-search candidate, ordered by (dist, node) like the float hot path.
+struct Cand {
+  float dist;
+  std::uint32_t node;
+  friend bool operator<(const Cand& a, const Cand& b) noexcept {
+    return a.dist < b.dist || (a.dist == b.dist && a.node < b.node);
+  }
+  friend bool operator>(const Cand& a, const Cand& b) noexcept { return b < a; }
+};
+
+inline void min_push(std::vector<Cand>& h, Cand c) {
+  h.push_back(c);
+  std::push_heap(h.begin(), h.end(), std::greater<>{});
+}
+
+inline Cand min_pop(std::vector<Cand>& h) {
+  std::pop_heap(h.begin(), h.end(), std::greater<>{});
+  const Cand c = h.back();
+  h.pop_back();
+  return c;
+}
+
+inline void max_push(std::vector<Cand>& h, Cand c) {
+  h.push_back(c);
+  std::push_heap(h.begin(), h.end());
+}
+
+inline void max_pop(std::vector<Cand>& h) {
+  std::pop_heap(h.begin(), h.end());
+  h.pop_back();
+}
+
+}  // namespace
+
+/// Per-search working memory; pooled so steady-state searches allocate
+/// nothing (matching the float tier's zero-alloc frozen path).
+struct SqSegment::Scratch {
+  std::vector<std::uint32_t> stamp;  ///< epoch-stamped visited set
+  std::uint32_t epoch = 0;
+  std::vector<std::uint32_t> ids;  ///< unvisited-neighbor gather
+  std::vector<float> dists;        ///< batched kernel output
+  std::vector<Cand> frontier;      ///< min-heap storage
+  std::vector<Cand> best;          ///< max-heap storage
+
+  void begin(std::size_t n, std::size_t lanes) {
+    if (stamp.size() < n) stamp.resize(n, 0);
+    if (ids.size() < lanes) {
+      ids.resize(lanes);
+      dists.resize(lanes);
+    }
+    if (++epoch == 0) {  // wrapped: reset all stamps
+      std::fill(stamp.begin(), stamp.end(), 0);
+      epoch = 1;
+    }
+  }
+  bool test_and_set(std::uint32_t v) noexcept {
+    if (stamp[v] == epoch) return true;
+    stamp[v] = epoch;
+    return false;
+  }
+};
+
+SqSegment::~SqSegment() = default;
+
+std::unique_ptr<SqSegment::Scratch> SqSegment::ScratchPool::acquire(
+    std::size_t n, std::size_t lanes) {
+  std::unique_ptr<Scratch> s;
+  {
+    std::lock_guard lk(mu_);
+    if (!free_.empty()) {
+      s = std::move(free_.back());
+      free_.pop_back();
+    }
+  }
+  if (!s) s = std::make_unique<Scratch>();
+  s->begin(n, lanes);
+  return s;
+}
+
+void SqSegment::ScratchPool::release(std::unique_ptr<Scratch> s) {
+  std::lock_guard lk(mu_);
+  free_.push_back(std::move(s));
+}
+
+std::unique_ptr<SqSegment> SqSegment::build(const data::Dataset& rows,
+                                            const SqSegmentParams& params,
+                                            ThreadPool* pool,
+                                            std::span<const std::uint64_t> heat) {
+  ANNSIM_CHECK_MSG(!rows.empty(), "SqSegment::build: empty row set");
+  ANNSIM_CHECK_MSG(params.hnsw.metric == simd::Metric::kL2 ||
+                       params.hnsw.metric == simd::Metric::kInnerProduct,
+                   "SqSegment supports L2 and InnerProduct only (no uint8 "
+                   "kernels for "
+                       << simd::metric_name(params.hnsw.metric) << ")");
+  ANNSIM_CHECK_MSG(params.float_cache_fraction >= 0.0 &&
+                       params.float_cache_fraction <= 1.0,
+                   "float_cache_fraction must be within [0, 1]");
+  ANNSIM_CHECK_MSG(heat.empty() || heat.size() == rows.size(),
+                   "SqSegment::build: heat size " << heat.size()
+                                                  << " != rows " << rows.size());
+
+  std::unique_ptr<SqSegment> seg(new SqSegment());
+  seg->params_ = params;
+  seg->n_ = rows.size();
+  seg->ids_.assign(rows.ids().begin(), rows.ids().end());
+
+  // 1. Codebook + code slab.
+  seg->codec_ = SqCodec::train(rows);
+  const std::size_t cstride = seg->codec_.code_stride();
+  seg->codes_.reset(seg->n_ * cstride);
+  for (std::size_t i = 0; i < seg->n_; ++i) {
+    seg->codec_.encode(rows.row_span(i), seg->codes_.data() + i * cstride);
+  }
+
+  // 2. Graph on the floats (identical topology to the float tier), then keep
+  // only the frozen CSR form.
+  hnsw::HnswIndex index(&rows, params.hnsw);
+  index.build(pool);
+  seg->graph_ = index.flat_graph();
+
+  // 3. Exact re-rank cache while the floats are still in hand.
+  seg->select_cache(rows, heat);
+
+  seg->access_ = std::vector<std::atomic<std::uint32_t>>(seg->n_);
+  return seg;
+}
+
+void SqSegment::select_cache(const data::Dataset& rows,
+                             std::span<const std::uint64_t> heat) {
+  cache_stride_ = float_stride(dim());
+  cache_slot_.assign(n_, kNotCached);
+  const double f =
+      std::clamp(params_.float_cache_fraction, 0.0, 1.0);
+  n_cached_ = std::min(n_, std::size_t(std::ceil(f * double(n_))));
+  if (n_cached_ == 0) {
+    cache_rows_.reset(0);
+    return;
+  }
+
+  // Hotness score: measured traffic dominates when available; graph hubness
+  // (upper-layer membership, then layer-0 degree) breaks ties and covers the
+  // cold-build case — hubs are what every beam expansion touches first.
+  std::vector<std::uint64_t> score(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    const auto v = LocalId(i);
+    const std::uint64_t hub =
+        (std::uint64_t(std::max(graph_.level(v), 0)) << 20) |
+        std::uint64_t(graph_.neighbors0(v).size());
+    score[i] = ((heat.empty() ? 0 : heat[i]) << 32) + hub;
+  }
+  std::vector<std::uint32_t> order(n_);
+  std::iota(order.begin(), order.end(), 0);
+  std::partial_sort(order.begin(), order.begin() + std::ptrdiff_t(n_cached_),
+                    order.end(), [&](std::uint32_t a, std::uint32_t b) {
+                      return score[a] > score[b] ||
+                             (score[a] == score[b] && a < b);
+                    });
+
+  cache_rows_.reset(n_cached_ * cache_stride_);
+  for (std::size_t slot = 0; slot < n_cached_; ++slot) {
+    const std::uint32_t row = order[slot];
+    cache_slot_[row] = std::uint32_t(slot);
+    auto src = rows.row_span(row);
+    std::copy(src.begin(), src.end(),
+              cache_rows_.data() + slot * cache_stride_);
+  }
+}
+
+float SqSegment::code_dist(const float* query, std::size_t row) const noexcept {
+  const std::uint8_t* code = codes_.data() + row * codec_.code_stride();
+  if (params_.hnsw.metric == simd::Metric::kL2) {
+    return simd::l2_sq_u8(query, code, codec_.mins(), codec_.scales(), dim());
+  }
+  return 1.0f - simd::ip_u8(query, code, codec_.mins(), codec_.scales(), dim());
+}
+
+void SqSegment::code_dist_batch(const float* query, const std::uint32_t* rows,
+                                std::size_t m, float* out) const noexcept {
+  const std::size_t cstride = codec_.code_stride();
+  if (params_.hnsw.metric == simd::Metric::kL2) {
+    simd::l2_sq_batch_u8(query, codes_.data(), cstride, dim(), codec_.mins(),
+                         codec_.scales(), rows, m, out);
+    return;
+  }
+  simd::ip_batch_u8(query, codes_.data(), cstride, dim(), codec_.mins(),
+                    codec_.scales(), rows, m, out);
+  for (std::size_t i = 0; i < m; ++i) out[i] = 1.0f - out[i];
+}
+
+std::vector<Neighbor> SqSegment::rerank_emit(
+    const float* query, std::span<const std::uint32_t> cand_rows,
+    std::span<const float> cand_dists, std::size_t k) const {
+  const bool l2 = params_.hnsw.metric == simd::Metric::kL2;
+  std::uint64_t exact = 0;
+  std::vector<Cand> ranked;
+  ranked.reserve(cand_rows.size());
+  for (std::size_t i = 0; i < cand_rows.size(); ++i) {
+    const std::uint32_t row = cand_rows[i];
+    access_[row].fetch_add(1, std::memory_order_relaxed);
+    float d = cand_dists[i];
+    const std::uint32_t slot = cache_slot_[row];
+    if (slot != kNotCached) {
+      const float* fr = cache_rows_.data() + slot * cache_stride_;
+      d = l2 ? simd::l2_sq(query, fr, dim())
+             : 1.0f - simd::inner_product(query, fr, dim());
+      ++exact;
+    }
+    ranked.push_back({d, row});
+  }
+  rerank_exact_.fetch_add(exact, std::memory_order_relaxed);
+  rerank_coded_.fetch_add(ranked.size() - exact, std::memory_order_relaxed);
+
+  const std::size_t take = std::min(k, ranked.size());
+  // Tie-break on global id so emission order is deterministic across the
+  // row-permutation a compaction may apply.
+  auto cmp = [&](const Cand& a, const Cand& b) {
+    return a.dist < b.dist ||
+           (a.dist == b.dist && ids_[a.node] < ids_[b.node]);
+  };
+  std::partial_sort(ranked.begin(), ranked.begin() + std::ptrdiff_t(take),
+                    ranked.end(), cmp);
+  std::vector<Neighbor> out;
+  out.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    const float d = l2 ? std::sqrt(ranked[i].dist) : ranked[i].dist;
+    out.push_back({d, ids_[ranked[i].node]});
+  }
+  return out;
+}
+
+std::vector<Neighbor> SqSegment::search(const float* query, std::size_t k,
+                                        std::size_t ef) const {
+  ANNSIM_CHECK(k > 0);
+  if (n_ == 0) return {};
+  if (ef == 0) ef = params_.hnsw.ef_search;
+  ef = std::max(ef, k);
+  LocalId ep = graph_.entry_point();
+  if (ep == kInvalidLocalId) return {};
+
+  auto s = scratch_.acquire(n_, graph_.max_degree());
+  const std::uint8_t* base = codes_.data();
+  const std::size_t cstride = codec_.code_stride();
+
+  // Beam search over one layer, code distances throughout. Mirrors the float
+  // tier's search_layer_flat: span adjacency, batched kernel, prefetch.
+  auto run_layer = [&](LocalId entry, int layer, std::size_t beam) {
+    ++s->epoch;
+    if (s->epoch == 0) {
+      std::fill(s->stamp.begin(), s->stamp.end(), 0);
+      s->epoch = 1;
+    }
+    s->frontier.clear();
+    s->best.clear();
+    s->test_and_set(entry);
+    const float d0 = code_dist(query, entry);
+    min_push(s->frontier, {d0, entry});
+    max_push(s->best, {d0, entry});
+
+    while (!s->frontier.empty()) {
+      if (s->best.size() >= beam &&
+          s->frontier.front().dist > s->best.front().dist) {
+        break;
+      }
+      const Cand c = min_pop(s->frontier);
+      const std::span<const LocalId> neigh = graph_.neighbors(c.node, layer);
+      for (LocalId nb : neigh) simd::prefetch_line(&s->stamp[nb]);
+      std::size_t m = 0;
+      for (LocalId nb : neigh) {
+        if (!s->test_and_set(nb)) s->ids[m++] = nb;
+      }
+      if (m == 0) continue;
+      code_dist_batch(query, s->ids.data(), m, s->dists.data());
+      for (std::size_t i = 0; i < m; ++i) {
+        const float d = s->dists[i];
+        if (s->best.size() < beam || d < s->best.front().dist) {
+          min_push(s->frontier, {d, s->ids[i]});
+          max_push(s->best, {d, s->ids[i]});
+          if (s->best.size() > beam) max_pop(s->best);
+        }
+      }
+      if (!s->frontier.empty()) {
+        graph_.prefetch0(s->frontier.front().node);
+        simd::prefetch_code(base + s->frontier.front().node * cstride, dim());
+      }
+    }
+  };
+
+  for (int layer = graph_.max_level(); layer > 0; --layer) {
+    run_layer(ep, layer, 1);
+    if (!s->best.empty()) ep = s->best.front().node;
+  }
+  run_layer(ep, 0, ef);
+
+  // Hand the whole beam to the re-ranker (ef candidates; overfetch relative
+  // to k is what lets exact re-scoring reorder past the SQ8 error).
+  std::vector<std::uint32_t> cand_rows;
+  std::vector<float> cand_dists;
+  cand_rows.reserve(s->best.size());
+  cand_dists.reserve(s->best.size());
+  for (const Cand& c : s->best) {
+    cand_rows.push_back(c.node);
+    cand_dists.push_back(c.dist);
+  }
+  auto out = rerank_emit(query, cand_rows, cand_dists, k);
+  scratch_.release(std::move(s));
+  return out;
+}
+
+std::vector<Neighbor> SqSegment::scan(const float* query, std::size_t k) const {
+  ANNSIM_CHECK(k > 0);
+  if (n_ == 0) return {};
+  // Overfetch so the exact re-rank can reorder past the SQ8 error band.
+  const std::size_t fetch = std::min(n_, std::max(k * 4, k + 16));
+  constexpr std::size_t kBlock = 256;
+
+  auto s = scratch_.acquire(n_, std::max<std::size_t>(kBlock, graph_.max_degree()));
+  const std::size_t cstride = codec_.code_stride();
+  s->best.clear();
+  for (std::size_t start = 0; start < n_; start += kBlock) {
+    const std::size_t m = std::min(kBlock, n_ - start);
+    if (params_.hnsw.metric == simd::Metric::kL2) {
+      simd::l2_sq_batch_u8(query, codes_.data() + start * cstride, cstride,
+                           dim(), codec_.mins(), codec_.scales(), nullptr, m,
+                           s->dists.data());
+    } else {
+      simd::ip_batch_u8(query, codes_.data() + start * cstride, cstride, dim(),
+                        codec_.mins(), codec_.scales(), nullptr, m,
+                        s->dists.data());
+      for (std::size_t i = 0; i < m; ++i) s->dists[i] = 1.0f - s->dists[i];
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      const Cand c{s->dists[i], std::uint32_t(start + i)};
+      if (s->best.size() < fetch) {
+        max_push(s->best, c);
+      } else if (c < s->best.front()) {
+        max_pop(s->best);
+        max_push(s->best, c);
+      }
+    }
+  }
+
+  std::vector<std::uint32_t> cand_rows;
+  std::vector<float> cand_dists;
+  cand_rows.reserve(s->best.size());
+  cand_dists.reserve(s->best.size());
+  for (const Cand& c : s->best) {
+    cand_rows.push_back(c.node);
+    cand_dists.push_back(c.dist);
+  }
+  auto out = rerank_emit(query, cand_rows, cand_dists, k);
+  scratch_.release(std::move(s));
+  return out;
+}
+
+void SqSegment::reconstruct(std::size_t row, float* out) const {
+  ANNSIM_CHECK(row < n_);
+  const std::uint32_t slot = cache_slot_[row];
+  if (slot != kNotCached) {
+    std::memcpy(out, cache_rows_.data() + slot * cache_stride_,
+                dim() * sizeof(float));
+    return;
+  }
+  codec_.decode(codes_.data() + row * codec_.code_stride(), out);
+}
+
+std::size_t SqSegment::memory_bytes() const noexcept {
+  return codes_.size() + cache_rows_.size() * sizeof(float) +
+         cache_slot_.size() * sizeof(std::uint32_t) +
+         2 * codec_.code_stride() * sizeof(float);
+}
+
+std::size_t SqSegment::float_bytes() const noexcept {
+  return n_ * float_stride(dim()) * sizeof(float);
+}
+
+std::vector<std::uint64_t> SqSegment::access_counts() const {
+  std::vector<std::uint64_t> out(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    out[i] = access_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+SqSegmentCounters SqSegment::counters() const noexcept {
+  return {rerank_exact_.load(std::memory_order_relaxed),
+          rerank_coded_.load(std::memory_order_relaxed)};
+}
+
+std::vector<std::byte> SqSegment::to_bytes() const {
+  BinaryWriter w;
+  w.write(kMagic);
+  w.write(std::uint64_t(n_));
+  codec_.serialize(w);
+  w.write_span(std::span<const GlobalId>(ids_));
+
+  // Codes travel dim-tight: the stride padding is a storage concern.
+  std::vector<std::uint8_t> packed(n_ * dim());
+  const std::size_t cstride = codec_.code_stride();
+  for (std::size_t i = 0; i < n_; ++i) {
+    std::memcpy(packed.data() + i * dim(), codes_.data() + i * cstride, dim());
+  }
+  w.write_vector(packed);
+
+  w.write(std::int32_t(graph_.max_level()));
+  w.write(graph_.entry_point());
+  graph_.write_nodes(w);
+
+  // Cached rows in ascending row order so identical logical state yields
+  // identical bytes regardless of build-time selection order.
+  std::vector<std::uint32_t> cached;
+  cached.reserve(n_cached_);
+  for (std::uint32_t row = 0; row < n_; ++row) {
+    if (cache_slot_[row] != kNotCached) cached.push_back(row);
+  }
+  w.write_vector(cached);
+  std::vector<float> cache_packed(cached.size() * dim());
+  for (std::size_t i = 0; i < cached.size(); ++i) {
+    std::memcpy(cache_packed.data() + i * dim(),
+                cache_rows_.data() + cache_slot_[cached[i]] * cache_stride_,
+                dim() * sizeof(float));
+  }
+  w.write_vector(cache_packed);
+  return w.take();
+}
+
+std::unique_ptr<SqSegment> SqSegment::from_bytes(
+    std::span<const std::byte> bytes, const SqSegmentParams& params) {
+  BinaryReader r(bytes);
+  ANNSIM_CHECK_MSG(r.read<std::uint32_t>() == kMagic,
+                   "SqSegment: bad image magic");
+  std::unique_ptr<SqSegment> seg(new SqSegment());
+  seg->params_ = params;
+  seg->n_ = std::size_t(r.read<std::uint64_t>());
+  seg->codec_ = SqCodec::deserialize(r);
+  seg->ids_ = r.read_vector<GlobalId>();
+  ANNSIM_CHECK_MSG(seg->ids_.size() == seg->n_,
+                   "SqSegment: id count mismatch");
+
+  const auto packed = r.read_vector<std::uint8_t>();
+  const std::size_t dim = seg->codec_.dim();
+  ANNSIM_CHECK_MSG(packed.size() == seg->n_ * dim,
+                   "SqSegment: code slab size mismatch");
+  const std::size_t cstride = seg->codec_.code_stride();
+  seg->codes_.reset(seg->n_ * cstride);
+  for (std::size_t i = 0; i < seg->n_; ++i) {
+    std::memcpy(seg->codes_.data() + i * cstride, packed.data() + i * dim, dim);
+  }
+
+  const auto max_level = r.read<std::int32_t>();
+  const auto entry = r.read<LocalId>();
+  seg->graph_.init(seg->n_, 0);
+  for (std::size_t i = 0; i < seg->n_; ++i) seg->graph_.add_node(r);
+  seg->graph_.set_entry(entry, max_level);
+
+  const auto cached = r.read_vector<std::uint32_t>();
+  const auto cache_packed = r.read_vector<float>();
+  ANNSIM_CHECK_MSG(cache_packed.size() == cached.size() * dim,
+                   "SqSegment: re-rank cache size mismatch");
+  seg->cache_stride_ = float_stride(dim);
+  seg->cache_slot_.assign(seg->n_, kNotCached);
+  seg->n_cached_ = cached.size();
+  seg->cache_rows_.reset(seg->n_cached_ * seg->cache_stride_);
+  for (std::size_t slot = 0; slot < cached.size(); ++slot) {
+    const std::uint32_t row = cached[slot];
+    ANNSIM_CHECK_MSG(row < seg->n_, "SqSegment: cached row out of range");
+    seg->cache_slot_[row] = std::uint32_t(slot);
+    std::memcpy(seg->cache_rows_.data() + slot * seg->cache_stride_,
+                cache_packed.data() + slot * dim, dim * sizeof(float));
+  }
+  ANNSIM_CHECK_MSG(r.exhausted(), "SqSegment: trailing bytes after image");
+
+  seg->access_ = std::vector<std::atomic<std::uint32_t>>(seg->n_);
+  return seg;
+}
+
+}  // namespace annsim::quant

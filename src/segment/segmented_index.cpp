@@ -12,7 +12,16 @@ namespace annsim::segment {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x414E5347;  // "ANSG"
-constexpr std::uint32_t kVersion = 1;
+/// v1: full-float segments, header ends at next_segment_id. Written whenever
+/// quantize_frozen is off so non-quantized images stay byte-identical to
+/// every build that came before (the checkpoint store's immutable seg_<id>
+/// blobs depend on that).
+constexpr std::uint32_t kVersionFloat = 1;
+/// v2: header appends float_cache_fraction (its presence implies
+/// quantize_frozen); each segment blob is prefixed with a kind byte.
+constexpr std::uint32_t kVersionQuant = 2;
+constexpr std::uint8_t kSegKindFloat = 0;
+constexpr std::uint8_t kSegKindSq8 = 1;
 
 /// Rows of a Dataset packed dim-tight (the SIMD padding is a storage
 /// concern, not a wire concern).
@@ -33,6 +42,16 @@ SegmentedIndex::SegmentedIndex(SegmentedParams params, std::size_t dim)
                              "(pass Dataset(0, dim) for a delta-only index)");
   ANNSIM_CHECK_MSG(params_.delta_capacity >= 1,
                    "delta_capacity must be nonzero");
+  if (params_.quantize_frozen) {
+    ANNSIM_CHECK_MSG(params_.hnsw.metric == simd::Metric::kL2 ||
+                         params_.hnsw.metric == simd::Metric::kInnerProduct,
+                     "quantize_frozen requires an L2 or InnerProduct metric "
+                     "(no uint8 kernels for "
+                         << simd::metric_name(params_.hnsw.metric) << ")");
+    ANNSIM_CHECK_MSG(params_.float_cache_fraction >= 0.0 &&
+                         params_.float_cache_fraction <= 1.0,
+                     "float_cache_fraction must be within [0, 1]");
+  }
 }
 
 SegmentedIndex::SegmentedIndex(data::Dataset base, SegmentedParams params,
@@ -70,9 +89,20 @@ std::shared_ptr<SegmentedIndex::Delta> SegmentedIndex::make_delta() const {
 }
 
 std::shared_ptr<const SegmentedIndex::Segment> SegmentedIndex::freeze_rows(
-    data::Dataset rows, ThreadPool* pool) {
+    data::Dataset rows, ThreadPool* pool,
+    std::span<const std::uint64_t> heat) {
   auto seg = std::make_shared<Segment>();
   seg->id = next_segment_id_++;
+  if (params_.quantize_frozen) {
+    // Quantize on freeze: the codec trains on exactly the rows it encodes,
+    // the graph is built on the floats, and the full-float rows are dropped
+    // when `rows` goes out of scope — only codes + re-rank cache stay.
+    quant::SqSegmentParams qp;
+    qp.hnsw = params_.hnsw;
+    qp.float_cache_fraction = params_.float_cache_fraction;
+    seg->quant = quant::SqSegment::build(rows, qp, pool, heat);
+    return seg;
+  }
   seg->data = std::make_unique<data::Dataset>(std::move(rows));
   seg->index = std::make_unique<hnsw::HnswIndex>(seg->data.get(), params_.hnsw);
   seg->index->build(pool);
@@ -96,7 +126,8 @@ std::vector<Neighbor> SegmentedIndex::search(const float* query, std::size_t k,
     }
   };
   for (const auto& seg : v->segments) {
-    offer(seg->index->search(query, k_eff, ef));
+    offer(seg->quant ? seg->quant->search(query, k_eff, ef)
+                     : seg->index->search(query, k_eff, ef));
   }
   if (v->delta->used.load(std::memory_order_acquire) > 0) {
     offer(v->delta->index->search(query, k_eff, ef));
@@ -194,7 +225,7 @@ bool SegmentedIndex::compact_locked(ThreadPool* pool, bool force_major) {
   // experiences; the O(index) major merge only runs when the segment count
   // or the tombstone debt would otherwise grow without bound.
   std::size_t frozen_rows = 0;
-  for (const auto& seg : v->segments) frozen_rows += seg->data->size();
+  for (const auto& seg : v->segments) frozen_rows += seg->rows();
   const bool too_many_segments =
       v->segments.size() + (used > 0 ? 1 : 0) > kMajorFanout;
   const bool tomb_heavy = !tombs.empty() && tombs.size() * 4 >= frozen_rows;
@@ -226,7 +257,7 @@ bool SegmentedIndex::compact_locked(ThreadPool* pool, bool force_major) {
 
   std::size_t n_live = 0;
   for (const auto& seg : v->segments) {
-    for (GlobalId id : seg->data->ids()) {
+    for (GlobalId id : seg->row_ids()) {
       if (!tombs.contains(id)) ++n_live;
     }
   }
@@ -235,21 +266,42 @@ bool SegmentedIndex::compact_locked(ThreadPool* pool, bool force_major) {
   }
 
   data::Dataset merged(n_live, dim_);
+  // Row-aligned access counts harvested from the quantized segments being
+  // merged: the fresh segment's re-rank cache is re-selected from measured
+  // traffic, not hubness guesses. Float segments and delta rows carry 0.
+  std::vector<std::uint64_t> heat;
+  if (params_.quantize_frozen) heat.reserve(n_live);
   std::size_t w = 0;
   auto take = [&](const data::Dataset& ds, std::size_t count) {
     for (std::size_t i = 0; i < count; ++i) {
       if (tombs.contains(ds.id(i))) continue;
       merged.set_row(w, ds.row_span(i));
       merged.set_id(w, ds.id(i));
+      if (params_.quantize_frozen) heat.push_back(0);
       ++w;
     }
   };
-  for (const auto& seg : v->segments) take(*seg->data, seg->data->size());
+  std::vector<float> tmp(dim_);
+  for (const auto& seg : v->segments) {
+    if (seg->quant) {
+      const auto counts = seg->quant->access_counts();
+      for (std::size_t i = 0; i < seg->quant->size(); ++i) {
+        if (tombs.contains(seg->quant->id(i))) continue;
+        seg->quant->reconstruct(i, tmp.data());
+        merged.set_row(w, std::span<const float>(tmp.data(), dim_));
+        merged.set_id(w, seg->quant->id(i));
+        heat.push_back(counts[i]);
+        ++w;
+      }
+    } else {
+      take(*seg->data, seg->data->size());
+    }
+  }
   take(*v->delta->data, used);
 
   auto nv = std::make_shared<View>();
   nv->tombs = std::make_shared<const std::unordered_set<GlobalId>>();
-  if (n_live > 0) nv->segments.push_back(freeze_rows(std::move(merged), pool));
+  if (n_live > 0) nv->segments.push_back(freeze_rows(std::move(merged), pool, heat));
   nv->delta = make_delta();
   publish(std::move(nv));
   compactions_.fetch_add(1, std::memory_order_relaxed);
@@ -274,7 +326,18 @@ SegmentedStats SegmentedIndex::stats() const {
   const auto v = snapshot();
   SegmentedStats s;
   s.n_segments = v->segments.size();
-  for (const auto& seg : v->segments) s.segment_rows += seg->data->size();
+  for (const auto& seg : v->segments) {
+    s.segment_rows += seg->rows();
+    if (seg->quant) {
+      s.quant_rows += seg->quant->size();
+      s.quant_resident_bytes += seg->quant->memory_bytes();
+      s.quant_float_bytes += seg->quant->float_bytes();
+      s.quant_cached_rows += seg->quant->cached_rows();
+      const auto c = seg->quant->counters();
+      s.rerank_exact += c.rerank_exact;
+      s.rerank_coded += c.rerank_coded;
+    }
+  }
   s.delta_used = v->delta->used.load(std::memory_order_acquire);
   s.delta_capacity = params_.delta_capacity;
   s.tombstones = v->tombs->size();
@@ -299,7 +362,8 @@ SegmentedIndex::SnapshotParts SegmentedIndex::snapshot_parts() const {
   {
     BinaryWriter w;
     w.write<std::uint32_t>(kMagic);
-    w.write<std::uint32_t>(kVersion);
+    w.write<std::uint32_t>(params_.quantize_frozen ? kVersionQuant
+                                                   : kVersionFloat);
     w.write<std::uint64_t>(dim_);
     w.write<std::uint32_t>(static_cast<std::uint32_t>(params_.hnsw.metric));
     w.write<std::uint64_t>(params_.hnsw.M);
@@ -309,6 +373,9 @@ SegmentedIndex::SnapshotParts SegmentedIndex::snapshot_parts() const {
     w.write<std::uint64_t>(params_.hnsw.seed);
     w.write<std::uint64_t>(params_.delta_capacity);
     w.write<std::uint64_t>(next_segment_id_);
+    if (params_.quantize_frozen) {
+      w.write<double>(params_.float_cache_fraction);
+    }
     parts.header = w.take();
   }
 
@@ -318,6 +385,17 @@ SegmentedIndex::SnapshotParts SegmentedIndex::snapshot_parts() const {
     // this runs hot).
     std::call_once(seg->wire_once, [&] {
       BinaryWriter w;
+      if (params_.quantize_frozen) {
+        // v2 blobs carry a kind byte. Quantized images ship codes + codebook
+        // + graph + cached floats — about 4x smaller than the float form.
+        if (seg->quant) {
+          w.write<std::uint8_t>(kSegKindSq8);
+          w.write_vector(seg->quant->to_bytes());
+          seg->wire = w.take();
+          return;
+        }
+        w.write<std::uint8_t>(kSegKindFloat);
+      }
       const std::size_t count = seg->data->size();
       w.write<std::uint64_t>(count);
       w.write_span(seg->data->ids());
@@ -382,7 +460,7 @@ std::unique_ptr<SegmentedIndex> SegmentedIndex::from_parts(
   ANNSIM_CHECK_MSG(magic == kMagic,
                    "SegmentedIndex: bad header magic " << magic);
   const auto version = h.read<std::uint32_t>();
-  ANNSIM_CHECK_MSG(version == kVersion,
+  ANNSIM_CHECK_MSG(version == kVersionFloat || version == kVersionQuant,
                    "SegmentedIndex: unsupported version " << version);
   const auto dim = h.read<std::uint64_t>();
   SegmentedParams params;
@@ -394,6 +472,10 @@ std::unique_ptr<SegmentedIndex> SegmentedIndex::from_parts(
   params.hnsw.seed = h.read<std::uint64_t>();
   params.delta_capacity = h.read<std::uint64_t>();
   const auto next_segment_id = h.read<std::uint64_t>();
+  if (version == kVersionQuant) {
+    params.quantize_frozen = true;
+    params.float_cache_fraction = h.read<double>();
+  }
   ANNSIM_CHECK_MSG(h.exhausted(),
                    "SegmentedIndex: trailing bytes in header blob");
 
@@ -407,6 +489,22 @@ std::unique_ptr<SegmentedIndex> SegmentedIndex::from_parts(
                      "SegmentedIndex: segment id " << seg_id
                                                    << " from the future");
     BinaryReader r(blob);
+    auto seg = std::make_shared<Segment>();
+    seg->id = seg_id;
+    if (version == kVersionQuant &&
+        r.read<std::uint8_t>() == kSegKindSq8) {
+      quant::SqSegmentParams qp;
+      qp.hnsw = params.hnsw;
+      qp.float_cache_fraction = params.float_cache_fraction;
+      const auto quant_bytes = r.read_vector<std::byte>();
+      ANNSIM_CHECK_MSG(r.exhausted(), "SegmentedIndex: trailing segment bytes");
+      seg->quant = quant::SqSegment::from_bytes(quant_bytes, qp);
+      ANNSIM_CHECK_MSG(seg->quant->dim() == dim,
+                       "SegmentedIndex: segment " << seg_id
+                                                  << " dimension mismatch");
+      v->segments.push_back(std::move(seg));
+      continue;
+    }
     const auto count = r.read<std::uint64_t>();
     const auto ids = r.read_vector<GlobalId>();
     const auto packed = r.read_vector<float>();
@@ -415,8 +513,6 @@ std::unique_ptr<SegmentedIndex> SegmentedIndex::from_parts(
     ANNSIM_CHECK_MSG(ids.size() == count && packed.size() == count * dim,
                      "SegmentedIndex: segment " << seg_id
                                                 << " row/id count mismatch");
-    auto seg = std::make_shared<Segment>();
-    seg->id = seg_id;
     seg->data = std::make_unique<data::Dataset>(count, std::size_t(dim));
     for (std::size_t i = 0; i < count; ++i) {
       seg->data->set_row(i, std::span<const float>(&packed[i * dim], dim));
@@ -450,7 +546,7 @@ std::unique_ptr<SegmentedIndex> SegmentedIndex::from_parts(
       tombs.begin(), tombs.end());
 
   for (const auto& seg : v->segments) {
-    for (GlobalId id : seg->data->ids()) {
+    for (GlobalId id : seg->row_ids()) {
       if (!v->tombs->contains(id)) idx->live_.insert(id);
     }
   }

@@ -29,6 +29,28 @@ float l1_scalar(const float* a, const float* b, std::size_t dim) noexcept {
   return acc;
 }
 
+float l2_sq_u8_scalar(const float* query, const std::uint8_t* code,
+                      const float* mins, const float* scales,
+                      std::size_t dim) noexcept {
+  float acc = 0.f;
+  for (std::size_t i = 0; i < dim; ++i) {
+    const float dec = mins[i] + scales[i] * float(code[i]);
+    const float d = query[i] - dec;
+    acc += d * d;
+  }
+  return acc;
+}
+
+float ip_u8_scalar(const float* query, const std::uint8_t* code,
+                   const float* mins, const float* scales,
+                   std::size_t dim) noexcept {
+  float acc = 0.f;
+  for (std::size_t i = 0; i < dim; ++i) {
+    acc += query[i] * (mins[i] + scales[i] * float(code[i]));
+  }
+  return acc;
+}
+
 // ------------------------------------------------------------- AVX2+FMA ---
 
 namespace {
@@ -99,6 +121,53 @@ __attribute__((target("avx2,fma"))) float l1_avx2(const float* a, const float* b
   return s;
 }
 
+// SQ8 asymmetric kernels: widen 8 code bytes to epi32, convert to ps, fuse
+// the affine decode (code * scale + min) into an fmadd, then proceed exactly
+// like the float kernels. The row side streams 1 byte/dim instead of 4.
+
+__attribute__((target("avx2,fma"))) float l2_sq_u8_avx2(
+    const float* query, const std::uint8_t* code, const float* mins,
+    const float* scales, std::size_t dim) noexcept {
+  __m256 acc = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 8 <= dim; i += 8) {
+    const __m128i c8 =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(code + i));
+    const __m256 cf = _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(c8));
+    const __m256 dec = _mm256_fmadd_ps(cf, _mm256_loadu_ps(scales + i),
+                                       _mm256_loadu_ps(mins + i));
+    const __m256 d = _mm256_sub_ps(_mm256_loadu_ps(query + i), dec);
+    acc = _mm256_fmadd_ps(d, d, acc);
+  }
+  float s = hsum256(acc);
+  for (; i < dim; ++i) {
+    const float dec = mins[i] + scales[i] * float(code[i]);
+    const float d = query[i] - dec;
+    s += d * d;
+  }
+  return s;
+}
+
+__attribute__((target("avx2,fma"))) float ip_u8_avx2(
+    const float* query, const std::uint8_t* code, const float* mins,
+    const float* scales, std::size_t dim) noexcept {
+  __m256 acc = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 8 <= dim; i += 8) {
+    const __m128i c8 =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(code + i));
+    const __m256 cf = _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(c8));
+    const __m256 dec = _mm256_fmadd_ps(cf, _mm256_loadu_ps(scales + i),
+                                       _mm256_loadu_ps(mins + i));
+    acc = _mm256_fmadd_ps(_mm256_loadu_ps(query + i), dec, acc);
+  }
+  float s = hsum256(acc);
+  for (; i < dim; ++i) {
+    s += query[i] * (mins[i] + scales[i] * float(code[i]));
+  }
+  return s;
+}
+
 bool cpu_has_avx2_fma() noexcept {
   return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
 }
@@ -108,10 +177,15 @@ bool force_scalar_env() noexcept {
   return v != nullptr && v[0] != '\0' && v[0] != '0';
 }
 
+using KernelU8Fn = float (*)(const float*, const std::uint8_t*, const float*,
+                             const float*, std::size_t) noexcept;
+
 struct Dispatch {
   KernelFn l2_sq;
   KernelFn ip;
   KernelFn l1;
+  KernelU8Fn l2_sq_u8;
+  KernelU8Fn ip_u8;
   bool avx2;
   bool forced_scalar;
 };
@@ -119,12 +193,18 @@ struct Dispatch {
 const Dispatch& dispatch() noexcept {
   static const Dispatch d = [] {
     if (force_scalar_env()) {
-      return Dispatch{l2_sq_scalar, inner_product_scalar, l1_scalar, false, true};
+      return Dispatch{l2_sq_scalar,    inner_product_scalar, l1_scalar,
+                      l2_sq_u8_scalar, ip_u8_scalar,         false,
+                      true};
     }
     if (cpu_has_avx2_fma()) {
-      return Dispatch{l2_sq_avx2, ip_avx2, l1_avx2, true, false};
+      return Dispatch{l2_sq_avx2,    ip_avx2,    l1_avx2,
+                      l2_sq_u8_avx2, ip_u8_avx2, true,
+                      false};
     }
-    return Dispatch{l2_sq_scalar, inner_product_scalar, l1_scalar, false, false};
+    return Dispatch{l2_sq_scalar,    inner_product_scalar, l1_scalar,
+                    l2_sq_u8_scalar, ip_u8_scalar,         false,
+                    false};
   }();
   return d;
 }
@@ -159,6 +239,41 @@ inline void batch_dispatch(KernelFn kernel, const float* query, const float* bas
   } else {
     batch_loop(kernel, query, base, stride, dim, n, out,
                [](std::size_t i) { return i; });
+  }
+}
+
+/// u8 variant of batch_loop: `stride` is in bytes, prefetch follows the 4x
+/// denser code rows. Same per-row kernel call, so batched == pairwise bitwise.
+template <typename RowOf>
+inline void batch_loop_u8(KernelU8Fn kernel, const float* query,
+                          const std::uint8_t* base, std::size_t stride,
+                          std::size_t dim, const float* mins,
+                          const float* scales, std::size_t n, float* out,
+                          RowOf row_of) noexcept {
+  constexpr std::size_t kAhead = 4;
+  const std::size_t warm = n < kAhead ? n : kAhead;
+  for (std::size_t i = 0; i < warm; ++i) {
+    prefetch_code(base + row_of(i) * stride, dim);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + kAhead < n) {
+      prefetch_code(base + row_of(i + kAhead) * stride, dim);
+    }
+    out[i] = kernel(query, base + row_of(i) * stride, mins, scales, dim);
+  }
+}
+
+inline void batch_dispatch_u8(KernelU8Fn kernel, const float* query,
+                              const std::uint8_t* base, std::size_t stride,
+                              std::size_t dim, const float* mins,
+                              const float* scales, const std::uint32_t* ids,
+                              std::size_t n, float* out) noexcept {
+  if (ids != nullptr) {
+    batch_loop_u8(kernel, query, base, stride, dim, mins, scales, n, out,
+                  [ids](std::size_t i) { return std::size_t(ids[i]); });
+  } else {
+    batch_loop_u8(kernel, query, base, stride, dim, mins, scales, n, out,
+                  [](std::size_t i) { return i; });
   }
 }
 
@@ -220,6 +335,49 @@ void l1_batch_scalar(const float* query, const float* base, std::size_t stride,
                      std::size_t dim, const std::uint32_t* ids, std::size_t n,
                      float* out) noexcept {
   batch_dispatch(l1_scalar, query, base, stride, dim, ids, n, out);
+}
+
+float l2_sq_u8(const float* query, const std::uint8_t* code, const float* mins,
+               const float* scales, std::size_t dim) noexcept {
+  return dispatch().l2_sq_u8(query, code, mins, scales, dim);
+}
+
+float ip_u8(const float* query, const std::uint8_t* code, const float* mins,
+            const float* scales, std::size_t dim) noexcept {
+  return dispatch().ip_u8(query, code, mins, scales, dim);
+}
+
+void l2_sq_batch_u8(const float* query, const std::uint8_t* base,
+                    std::size_t stride, std::size_t dim, const float* mins,
+                    const float* scales, const std::uint32_t* ids,
+                    std::size_t n, float* out) noexcept {
+  batch_dispatch_u8(dispatch().l2_sq_u8, query, base, stride, dim, mins,
+                    scales, ids, n, out);
+}
+
+void ip_batch_u8(const float* query, const std::uint8_t* base,
+                 std::size_t stride, std::size_t dim, const float* mins,
+                 const float* scales, const std::uint32_t* ids, std::size_t n,
+                 float* out) noexcept {
+  batch_dispatch_u8(dispatch().ip_u8, query, base, stride, dim, mins, scales,
+                    ids, n, out);
+}
+
+void l2_sq_batch_u8_scalar(const float* query, const std::uint8_t* base,
+                           std::size_t stride, std::size_t dim,
+                           const float* mins, const float* scales,
+                           const std::uint32_t* ids, std::size_t n,
+                           float* out) noexcept {
+  batch_dispatch_u8(l2_sq_u8_scalar, query, base, stride, dim, mins, scales,
+                    ids, n, out);
+}
+
+void ip_batch_u8_scalar(const float* query, const std::uint8_t* base,
+                        std::size_t stride, std::size_t dim, const float* mins,
+                        const float* scales, const std::uint32_t* ids,
+                        std::size_t n, float* out) noexcept {
+  batch_dispatch_u8(ip_u8_scalar, query, base, stride, dim, mins, scales, ids,
+                    n, out);
 }
 
 std::string kernel_isa() {

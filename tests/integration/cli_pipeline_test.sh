@@ -33,4 +33,18 @@ awk -v r="$RECALL2" 'BEGIN { exit !(r > 0.9999) }' || {
   exit 1
 }
 
-echo "CLI pipeline OK (recall $RECALL, exact $RECALL2)"
+# Quantized configuration: --quantize sq8 stores frozen segments as SQ8
+# codes with an exact re-rank cache; recall must survive the compression
+# and the index must save/load/search round-trip.
+QUANT_BUILD="$("$CLI" build "$DIR/demo_base.fvecs" "$DIR/quant.idx" \
+  --workers 4 --M 12 --efc 80 --quantize sq8 --float-cache 0.02)"
+echo "$QUANT_BUILD" | grep -q "sq8"
+"$CLI" search "$DIR/quant.idx" "$DIR/demo_query.fvecs" 10 "$DIR/res3.ivecs"
+RECALL3="$("$CLI" eval "$DIR/res3.ivecs" "$DIR/gt.ivecs" 10 |
+  sed -n 's/recall@10 = \([0-9.]*\).*/\1/p')"
+awk -v r="$RECALL3" 'BEGIN { exit !(r > 0.85) }' || {
+  echo "FAIL: quantized recall $RECALL3 too low"
+  exit 1
+}
+
+echo "CLI pipeline OK (recall $RECALL, exact $RECALL2, quantized $RECALL3)"

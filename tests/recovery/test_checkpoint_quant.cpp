@@ -1,0 +1,211 @@
+/// Quantized checkpoints: SQ8 segments through the durable store.
+///  * a quantized segmented image round-trips byte-identically and the
+///    immutable seg_<id>.bin skip logic still applies (quantized segments
+///    are frozen-at-freeze, never rewritten);
+///  * a flipped byte inside a quantized segment's codebook region fails the
+///    checksum — a corrupted codec can never decode into a silently wrong
+///    index;
+///  * a dead worker hosting quantized replicas heals back from the
+///    checkpoint store to full coverage, bit-identical to a fault-free run.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "annsim/common/error.hpp"
+#include "annsim/core/engine.hpp"
+#include "annsim/data/ground_truth.hpp"
+#include "annsim/data/recipes.hpp"
+#include "annsim/recovery/checkpoint.hpp"
+#include "annsim/segment/segmented_index.hpp"
+
+namespace annsim::recovery {
+namespace {
+
+namespace fs = std::filesystem;
+
+segment::SegmentedParams quant_params() {
+  segment::SegmentedParams p;
+  p.hnsw.M = 8;
+  p.hnsw.ef_construction = 48;
+  p.delta_capacity = 16;
+  p.quantize_frozen = true;
+  p.float_cache_fraction = 0.05;
+  return p;
+}
+
+CheckpointMeta meta_of(const segment::SegmentedIndex& idx, std::uint32_t pid) {
+  CheckpointMeta meta;
+  meta.partition = pid;
+  meta.dim = idx.dim();
+  meta.count = idx.size();
+  meta.index_kind = 3;
+  return meta;
+}
+
+CheckpointStore::SaveReport save_parts(const CheckpointStore& store,
+                                       const segment::SegmentedIndex& idx,
+                                       std::uint32_t pid) {
+  const auto parts = idx.snapshot_parts();
+  return store.save_segmented(meta_of(idx, pid), parts.header, parts.segments,
+                              parts.delta);
+}
+
+class QuantCheckpoint : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("annsim_qckpt_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+               .string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+TEST_F(QuantCheckpoint, QuantizedImageRoundTripsByteIdentically) {
+  auto w = data::make_sift_like(250, 4, 71);
+  segment::SegmentedIndex idx(w.base.slice(0, w.base.size()), quant_params());
+  idx.insert(w.queries.row_span(0), GlobalId(9000));
+  ASSERT_TRUE(idx.erase(GlobalId(3)));
+
+  CheckpointStore store(dir_);
+  const auto rep = save_parts(store, idx, 4);
+  EXPECT_EQ(rep.segments_written, 1u);
+
+  ASSERT_TRUE(store.has(4));
+  const auto loaded = store.load(4);
+  EXPECT_TRUE(loaded.data_bytes.empty());  // vectors live inside the image
+  EXPECT_EQ(loaded.index_bytes, idx.to_bytes());
+  const auto clone = segment::SegmentedIndex::from_bytes(loaded.index_bytes);
+  ASSERT_NE(clone, nullptr);
+  EXPECT_TRUE(clone->params().quantize_frozen);
+  EXPECT_EQ(clone->stats().quant_rows, idx.stats().quant_rows);
+  EXPECT_TRUE(clone->contains(GlobalId(9000)));
+  EXPECT_FALSE(clone->contains(GlobalId(3)));
+  // The quantized blob earns its keep: far smaller than the float rows.
+  EXPECT_LT(loaded.index_bytes.size(),
+            idx.size() * idx.dim() * sizeof(float));
+}
+
+TEST_F(QuantCheckpoint, QuantizedSegmentsStayImmutableAcrossResaves) {
+  auto w = data::make_sift_like(150, 4, 72);
+  segment::SegmentedIndex idx(w.base.slice(0, w.base.size()), quant_params());
+  CheckpointStore store(dir_);
+
+  const auto first = save_parts(store, idx, 0);
+  EXPECT_EQ(first.segments_written, 1u);
+
+  // Delta-only mutation: the durable quantized segment is skipped, proving
+  // its bytes never went stale (quantize-at-freeze, never rewritten).
+  ASSERT_TRUE(idx.erase(GlobalId(7)));
+  const auto second = save_parts(store, idx, 0);
+  EXPECT_EQ(second.segments_written, 0u);
+  EXPECT_EQ(second.segments_skipped, 1u);
+
+  // A minor compaction freezes (and quantizes) the delta into one NEW
+  // segment: exactly that one is written.
+  idx.insert(w.queries.row_span(1), GlobalId(9100));
+  ASSERT_TRUE(idx.compact());
+  const auto third = save_parts(store, idx, 0);
+  EXPECT_EQ(third.segments_written, 1u);
+  EXPECT_EQ(third.segments_skipped, 1u);
+  EXPECT_EQ(store.load(0).index_bytes, idx.to_bytes());
+}
+
+TEST_F(QuantCheckpoint, CodebookByteFlipFailsChecksum) {
+  auto w = data::make_sift_like(120, 4, 73);
+  segment::SegmentedIndex idx(w.base.slice(0, w.base.size()), quant_params());
+  CheckpointStore store(dir_);
+  save_parts(store, idx, 8);
+  ASSERT_NO_THROW((void)store.load(8));
+
+  fs::path seg_path;
+  for (const auto& entry :
+       fs::directory_iterator(fs::path(dir_) / "partition_8")) {
+    if (entry.path().filename().string().rfind("seg_", 0) == 0) {
+      seg_path = entry.path();
+    }
+  }
+  ASSERT_FALSE(seg_path.empty());
+  // Flip one byte in the codebook region (the codec's mins/scales live right
+  // after the magic + row count at the head of the quantized blob). The
+  // store-level checksum must catch it before any decode runs.
+  {
+    std::fstream f(seg_path, std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(f.good());
+    f.seekg(48);
+    char c = 0;
+    f.read(&c, 1);
+    c = char(c ^ 0x20);
+    f.seekp(48);
+    f.write(&c, 1);
+  }
+  EXPECT_THROW((void)store.load(8), Error);
+}
+
+TEST_F(QuantCheckpoint, HealRestoresQuantizedReplicaFromCheckpoint) {
+  auto w = data::make_sift_like(800, 25, 74);
+  core::EngineConfig cfg;
+  cfg.n_workers = 4;
+  cfg.replication = 2;
+  cfg.n_probe = 2;
+  cfg.threads_per_worker = 1;
+  cfg.hnsw.M = 8;
+  cfg.hnsw.ef_construction = 48;
+  cfg.partitioner.vantage_candidates = 8;
+  cfg.partitioner.vantage_sample = 32;
+  cfg.local_index = core::LocalIndexKind::kSegmented;
+  cfg.quantize_frozen = true;
+  cfg.float_cache_fraction = 0.05;
+
+  // Fault-free baseline with the same quantized config.
+  data::KnnResults clean;
+  {
+    core::DistributedAnnEngine eng(&w.base, cfg);
+    eng.build();
+    clean = eng.search(w.queries, 10);
+  }
+
+  cfg.checkpoint_dir = dir_;
+  cfg.result_timeout_ms = 250.0;
+  cfg.fault.seed = 90;
+  // Worker 1 (runtime rank 2) delivers three results, then crashes.
+  cfg.fault.kills.push_back({/*rank=*/2, /*after_ops=*/3, mpi::kNeverFires});
+  core::DistributedAnnEngine eng(&w.base, cfg);
+  eng.build();
+  CheckpointStore store(dir_);
+  EXPECT_EQ(store.partitions().size(), cfg.n_workers);
+
+  core::SearchStats st;
+  (void)eng.search(w.queries, 10, 0, &st);
+  EXPECT_FALSE(eng.health().alive(1));
+
+  const auto heal = eng.heal();
+  EXPECT_EQ(heal.workers_revived, 1u);
+  EXPECT_EQ(heal.replicas_restored_from_checkpoint, 2u);
+  EXPECT_TRUE(heal.fully_healed());
+
+  // Full coverage and bit-identical answers: the healed quantized replicas
+  // carry the same codes, codebooks, and re-rank caches as the originals.
+  EXPECT_TRUE(eng.health().all_alive());
+  core::SearchStats st2;
+  const auto res = eng.search(w.queries, 10, 0, &st2);
+  EXPECT_EQ(st2.degraded_queries, 0u);
+  ASSERT_EQ(res.size(), clean.size());
+  for (std::size_t q = 0; q < clean.size(); ++q) {
+    EXPECT_EQ(res[q], clean[q]) << "query " << q;
+  }
+  const auto cs = eng.compression_stats();
+  EXPECT_EQ(cs.quant_rows, 800u * cfg.replication);
+  EXPECT_GT(cs.compression_ratio(), 3.0);
+}
+
+}  // namespace
+}  // namespace annsim::recovery

@@ -1,0 +1,182 @@
+/// Quantized SegmentedIndex tests: the SQ8 tier wired into live mutability.
+///  * quantize_frozen stores frozen segments as codes (stats expose the
+///    compression) while the delta stays full-float;
+///  * inserts/erases/compaction behave identically to the float tier;
+///  * the serialized image round-trips byte-identically (version 2 wire) and
+///    non-quantized indexes keep the version 1 bytes;
+///  * major compaction re-selects the re-rank cache from measured traffic.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "annsim/data/ground_truth.hpp"
+#include "annsim/data/recipes.hpp"
+#include "annsim/segment/segmented_index.hpp"
+
+namespace annsim::segment {
+namespace {
+
+SegmentedParams quant_params(std::size_t delta_capacity = 64,
+                             double fraction = 0.02) {
+  SegmentedParams p;
+  p.hnsw.M = 8;
+  p.hnsw.ef_construction = 48;
+  p.hnsw.ef_search = 48;
+  p.delta_capacity = delta_capacity;
+  p.quantize_frozen = true;
+  p.float_cache_fraction = fraction;
+  return p;
+}
+
+double recall_at(const SegmentedIndex& idx, const data::Dataset& base,
+                 const data::Dataset& queries, std::size_t k) {
+  const auto gt = data::brute_force_knn(base, queries, k, simd::Metric::kL2);
+  double hits = 0.0;
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const auto res = idx.search(queries.row(q), k);
+    for (const auto& nb : res) {
+      if (nb.id == gt[q][0].id) {
+        hits += 1.0;
+        break;
+      }
+    }
+  }
+  return hits / double(queries.size());
+}
+
+TEST(SegmentedQuant, BuildQuantizesFrozenAndKeepsRecall) {
+  auto w = data::make_sift_like(600, 25, 91);
+  SegmentedIndex idx(w.base.slice(0, w.base.size()), quant_params());
+  const auto st = idx.stats();
+  EXPECT_EQ(st.quant_rows, 600u);
+  EXPECT_GT(st.quant_resident_bytes, 0u);
+  EXPECT_GT(st.quant_float_bytes, st.quant_resident_bytes * 3);
+  EXPECT_GT(st.quant_cached_rows, 0u);
+  EXPECT_GE(recall_at(idx, w.base, w.queries, 10), 0.9);
+}
+
+TEST(SegmentedQuant, DeltaStaysFullFloat) {
+  auto w = data::make_sift_like(200, 5, 92);
+  SegmentedIndex idx(w.base.slice(0, w.base.size()), quant_params());
+  const auto before = idx.stats();
+  const std::vector<float> v(w.queries.row_span(0).begin(),
+                             w.queries.row_span(0).end());
+  idx.insert(v, GlobalId(9000));
+  // The insert landed in the float delta: quantized row count unchanged,
+  // and the new id is searchable at exact (unquantized) distance.
+  EXPECT_EQ(idx.stats().quant_rows, before.quant_rows);
+  const auto res = idx.search(v.data(), 1);
+  ASSERT_EQ(res.size(), 1u);
+  EXPECT_EQ(res[0].id, GlobalId(9000));
+  EXPECT_NEAR(res[0].dist, 0.f, 1e-5f);
+}
+
+TEST(SegmentedQuant, CompactionQuantizesDeltaRows) {
+  auto w = data::make_sift_like(128, 5, 93);
+  SegmentedIndex idx(w.base.slice(0, w.base.size()), quant_params(32));
+  for (std::size_t i = 0; i < 16; ++i) {
+    const std::vector<float> v(w.queries.row_span(i % w.queries.size()).begin(),
+                               w.queries.row_span(i % w.queries.size()).end());
+    idx.insert(v, GlobalId(5000 + i));
+  }
+  ASSERT_TRUE(idx.compact());
+  const auto st = idx.stats();
+  EXPECT_EQ(st.quant_rows, 128u + 16u);  // every frozen row is coded
+  EXPECT_EQ(idx.delta_fill(), 0u);
+  EXPECT_TRUE(idx.contains(GlobalId(5000)));
+}
+
+TEST(SegmentedQuant, EraseAndMajorCompactPurge) {
+  auto w = data::make_sift_like(300, 10, 94);
+  SegmentedIndex idx(w.base.slice(0, w.base.size()), quant_params(16));
+  for (GlobalId id = 0; id < 100; ++id) EXPECT_TRUE(idx.erase(id));
+  EXPECT_EQ(idx.size(), 200u);
+  for (const auto q : {0u, 3u, 7u}) {
+    for (const auto& nb : idx.search(w.queries.row(q), 10))
+      EXPECT_GE(nb.id, GlobalId(100));
+  }
+  // Tombstones exceed a quarter of frozen rows -> compact() goes major and
+  // rebuilds one quantized segment without the dead rows.
+  ASSERT_TRUE(idx.compact());
+  const auto st = idx.stats();
+  EXPECT_EQ(st.n_segments, 1u);
+  EXPECT_EQ(st.quant_rows, 200u);
+  EXPECT_EQ(st.tombstones, 0u);
+}
+
+TEST(SegmentedQuant, SearchTrafficSurvivesMajorCompaction) {
+  // Pre-compaction searches bump per-row access counters; the major merge
+  // harvests them, so the rebuilt segment still caches and still answers.
+  auto w = data::make_sift_like(400, 25, 95);
+  SegmentedIndex idx(w.base.slice(0, w.base.size()), quant_params(16));
+  for (std::size_t q = 0; q < w.queries.size(); ++q)
+    (void)idx.search(w.queries.row(q), 10);
+  const auto st_before = idx.stats();
+  EXPECT_GT(st_before.rerank_exact + st_before.rerank_coded, 0u);
+  for (GlobalId id = 0; id < 150; ++id) EXPECT_TRUE(idx.erase(id));
+  ASSERT_TRUE(idx.compact());  // major: tombstone pressure
+  const auto st = idx.stats();
+  EXPECT_EQ(st.quant_rows, 250u);
+  EXPECT_GT(st.quant_cached_rows, 0u);
+  // Ground truth over the survivors only — the erased rows are gone.
+  const auto survivors = w.base.slice(150, w.base.size());
+  EXPECT_GE(recall_at(idx, survivors, w.queries, 10), 0.85);
+}
+
+TEST(SegmentedQuant, WireRoundTripsByteIdentically) {
+  auto w = data::make_sift_like(250, 10, 96);
+  SegmentedIndex idx(w.base.slice(0, w.base.size()), quant_params(16));
+  const std::vector<float> v(w.queries.row_span(0).begin(),
+                             w.queries.row_span(0).end());
+  idx.insert(v, GlobalId(7777));
+  idx.erase(GlobalId(3));
+
+  const auto bytes = idx.to_bytes();
+  const auto back = SegmentedIndex::from_bytes(bytes);
+  ASSERT_TRUE(back);
+  EXPECT_TRUE(back->params().quantize_frozen);
+  EXPECT_EQ(back->size(), idx.size());
+  EXPECT_EQ(back->stats().quant_rows, idx.stats().quant_rows);
+  EXPECT_EQ(back->to_bytes(), bytes);
+  for (std::size_t q = 0; q < w.queries.size(); ++q) {
+    const auto a = idx.search(w.queries.row(q), 10);
+    const auto b = back->search(w.queries.row(q), 10);
+    ASSERT_EQ(a.size(), b.size()) << "query " << q;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].id, b[i].id) << "query " << q << " rank " << i;
+      EXPECT_EQ(a[i].dist, b[i].dist) << "query " << q << " rank " << i;
+    }
+  }
+}
+
+TEST(SegmentedQuant, PartsRoundTripMatchesFullImage) {
+  auto w = data::make_sift_like(200, 5, 97);
+  SegmentedIndex idx(w.base.slice(0, w.base.size()), quant_params(16));
+  const auto parts = idx.snapshot_parts();
+  const auto back =
+      SegmentedIndex::from_parts(parts.header, parts.segments, parts.delta);
+  ASSERT_TRUE(back);
+  EXPECT_EQ(back->to_bytes(), idx.to_bytes());
+}
+
+TEST(SegmentedQuant, FloatIndexKeepsVersion1Bytes) {
+  // The non-quantized wire image must not grow a version bump: its header
+  // bytes are the contract the incremental checkpoint store's immutable
+  // seg_<id>.bin files were written under.
+  auto w = data::make_sift_like(100, 1, 98);
+  SegmentedParams fp = quant_params();
+  fp.quantize_frozen = false;
+  SegmentedIndex idx(w.base.slice(0, w.base.size()), fp);
+  const auto st = idx.stats();
+  EXPECT_EQ(st.quant_rows, 0u);
+  EXPECT_EQ(st.quant_resident_bytes, 0u);
+  const auto back = SegmentedIndex::from_bytes(idx.to_bytes());
+  ASSERT_TRUE(back);
+  EXPECT_FALSE(back->params().quantize_frozen);
+}
+
+}  // namespace
+}  // namespace annsim::segment

@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "annsim/common/rng.hpp"
+#include "annsim/simd/distance.hpp"
+
+namespace annsim::simd {
+namespace {
+
+std::vector<float> random_vec(std::size_t dim, Rng& rng) {
+  std::vector<float> v(dim);
+  for (auto& x : v) x = float(rng.normal());
+  return v;
+}
+
+/// A padded SQ8 code slab mimicking the SqSegment code plane: `stride` is in
+/// BYTES and exceeds dim (the codec pads rows to kCodeAlign), mins/scales are
+/// padded with zeros so the tail contributes nothing, and the id list is
+/// shuffled with repeats for the scattered (beam-expansion) access pattern.
+struct U8Fixture {
+  std::size_t dim;
+  std::size_t stride;
+  std::size_t n_rows;
+  std::vector<std::uint8_t> codes;
+  std::vector<float> mins;
+  std::vector<float> scales;
+  std::vector<float> query;
+  std::vector<std::uint32_t> ids;
+
+  U8Fixture(std::size_t d, std::size_t rows, std::uint64_t seed)
+      : dim(d), stride((d + 31) / 32 * 32 + 32), n_rows(rows) {
+    Rng rng(seed);
+    codes.resize(n_rows * stride);
+    for (auto& c : codes) c = std::uint8_t(rng.uniform_below(256));
+    mins.assign(stride, 0.f);
+    scales.assign(stride, 0.f);
+    for (std::size_t j = 0; j < dim; ++j) {
+      mins[j] = float(rng.normal());
+      scales[j] = float(rng.uniform()) * 0.05f;  // scales are non-negative
+    }
+    query = random_vec(dim, rng);
+    for (std::size_t i = 0; i < n_rows; ++i)
+      ids.push_back(std::uint32_t(rng.uniform_below(n_rows)));
+  }
+
+  [[nodiscard]] const std::uint8_t* row(std::size_t i) const {
+    return codes.data() + i * stride;
+  }
+  /// Decode a code row exactly as the kernels are specified to.
+  [[nodiscard]] std::vector<float> decoded(std::size_t i) const {
+    std::vector<float> out(dim);
+    for (std::size_t j = 0; j < dim; ++j)
+      out[j] = mins[j] + scales[j] * float(row(i)[j]);
+    return out;
+  }
+};
+
+/// Dispatched uint8 kernels must agree with the scalar reference across dims
+/// that exercise every SIMD tail path.
+class U8KernelParity : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(U8KernelParity, L2MatchesScalarReference) {
+  const std::size_t dim = GetParam();
+  U8Fixture fx(dim, 8, dim + 11);
+  for (std::size_t i = 0; i < fx.n_rows; ++i) {
+    const float simd_v = l2_sq_u8(fx.query.data(), fx.row(i), fx.mins.data(),
+                                  fx.scales.data(), dim);
+    const float ref = l2_sq_u8_scalar(fx.query.data(), fx.row(i),
+                                      fx.mins.data(), fx.scales.data(), dim);
+    EXPECT_NEAR(simd_v, ref, 1e-3f * (1.f + std::fabs(ref))) << "row " << i;
+  }
+}
+
+TEST_P(U8KernelParity, IpMatchesScalarReference) {
+  const std::size_t dim = GetParam();
+  U8Fixture fx(dim, 8, dim + 13);
+  for (std::size_t i = 0; i < fx.n_rows; ++i) {
+    const float simd_v = ip_u8(fx.query.data(), fx.row(i), fx.mins.data(),
+                               fx.scales.data(), dim);
+    const float ref = ip_u8_scalar(fx.query.data(), fx.row(i), fx.mins.data(),
+                                   fx.scales.data(), dim);
+    EXPECT_NEAR(simd_v, ref, 1e-3f * (1.f + std::fabs(ref))) << "row " << i;
+  }
+}
+
+/// The u8 kernels compute the distance to the *decoded* row. The scalar
+/// reference must match a plain float kernel run on the materialized decode —
+/// that equivalence is what makes the asymmetric distance meaningful.
+TEST_P(U8KernelParity, ScalarReferenceMatchesDecodedFloatKernel) {
+  const std::size_t dim = GetParam();
+  U8Fixture fx(dim, 6, dim + 17);
+  for (std::size_t i = 0; i < fx.n_rows; ++i) {
+    const auto dec = fx.decoded(i);
+    EXPECT_NEAR(l2_sq_u8_scalar(fx.query.data(), fx.row(i), fx.mins.data(),
+                                fx.scales.data(), dim),
+                l2_sq_scalar(fx.query.data(), dec.data(), dim),
+                1e-3f * (1.f + l2_sq_scalar(fx.query.data(), dec.data(), dim)))
+        << "row " << i;
+    EXPECT_NEAR(
+        ip_u8_scalar(fx.query.data(), fx.row(i), fx.mins.data(),
+                     fx.scales.data(), dim),
+        inner_product_scalar(fx.query.data(), dec.data(), dim),
+        1e-3f * (1.f + std::fabs(inner_product_scalar(fx.query.data(),
+                                                      dec.data(), dim))))
+        << "row " << i;
+  }
+}
+
+// Odd dims exercise every tail path; 96/128 are the SIFT-shaped fast paths.
+INSTANTIATE_TEST_SUITE_P(Dims, U8KernelParity,
+                         ::testing::Values(1, 3, 7, 9, 17, 31, 33, 63, 65, 96,
+                                           127, 128, 257));
+
+/// Batched uint8 kernels must be bit-identical to the pairwise kernel per
+/// row — rerank_emit's determinism depends on it.
+class U8BatchParity : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(U8BatchParity, L2BatchMatchesPairwise) {
+  const std::size_t dim = GetParam();
+  U8Fixture fx(dim, 37, dim + 101);
+  std::vector<float> out(fx.n_rows);
+  // Scattered (id list) form.
+  l2_sq_batch_u8(fx.query.data(), fx.codes.data(), fx.stride, dim,
+                 fx.mins.data(), fx.scales.data(), fx.ids.data(), fx.n_rows,
+                 out.data());
+  for (std::size_t i = 0; i < fx.n_rows; ++i) {
+    EXPECT_EQ(out[i], l2_sq_u8(fx.query.data(), fx.row(fx.ids[i]),
+                               fx.mins.data(), fx.scales.data(), dim))
+        << "row " << i;
+  }
+  // Contiguous (ids == nullptr) form.
+  l2_sq_batch_u8(fx.query.data(), fx.codes.data(), fx.stride, dim,
+                 fx.mins.data(), fx.scales.data(), nullptr, fx.n_rows,
+                 out.data());
+  for (std::size_t i = 0; i < fx.n_rows; ++i) {
+    EXPECT_EQ(out[i], l2_sq_u8(fx.query.data(), fx.row(i), fx.mins.data(),
+                               fx.scales.data(), dim))
+        << "row " << i;
+  }
+}
+
+TEST_P(U8BatchParity, IpBatchMatchesPairwise) {
+  const std::size_t dim = GetParam();
+  U8Fixture fx(dim, 37, dim + 211);
+  std::vector<float> out(fx.n_rows);
+  ip_batch_u8(fx.query.data(), fx.codes.data(), fx.stride, dim, fx.mins.data(),
+              fx.scales.data(), fx.ids.data(), fx.n_rows, out.data());
+  for (std::size_t i = 0; i < fx.n_rows; ++i) {
+    EXPECT_EQ(out[i], ip_u8(fx.query.data(), fx.row(fx.ids[i]), fx.mins.data(),
+                            fx.scales.data(), dim))
+        << "row " << i;
+  }
+}
+
+TEST_P(U8BatchParity, BatchScalarMatchesScalarReference) {
+  const std::size_t dim = GetParam();
+  U8Fixture fx(dim, 23, dim + 409);
+  std::vector<float> out(fx.n_rows);
+  l2_sq_batch_u8_scalar(fx.query.data(), fx.codes.data(), fx.stride, dim,
+                        fx.mins.data(), fx.scales.data(), fx.ids.data(),
+                        fx.n_rows, out.data());
+  for (std::size_t i = 0; i < fx.n_rows; ++i) {
+    EXPECT_EQ(out[i], l2_sq_u8_scalar(fx.query.data(), fx.row(fx.ids[i]),
+                                      fx.mins.data(), fx.scales.data(), dim))
+        << "row " << i;
+  }
+  ip_batch_u8_scalar(fx.query.data(), fx.codes.data(), fx.stride, dim,
+                     fx.mins.data(), fx.scales.data(), fx.ids.data(), fx.n_rows,
+                     out.data());
+  for (std::size_t i = 0; i < fx.n_rows; ++i) {
+    EXPECT_EQ(out[i], ip_u8_scalar(fx.query.data(), fx.row(fx.ids[i]),
+                                   fx.mins.data(), fx.scales.data(), dim))
+        << "row " << i;
+  }
+}
+
+TEST_P(U8BatchParity, DispatchedBatchNearScalarBatch) {
+  const std::size_t dim = GetParam();
+  U8Fixture fx(dim, 23, dim + 503);
+  std::vector<float> simd_out(fx.n_rows), ref_out(fx.n_rows);
+  l2_sq_batch_u8(fx.query.data(), fx.codes.data(), fx.stride, dim,
+                 fx.mins.data(), fx.scales.data(), fx.ids.data(), fx.n_rows,
+                 simd_out.data());
+  l2_sq_batch_u8_scalar(fx.query.data(), fx.codes.data(), fx.stride, dim,
+                        fx.mins.data(), fx.scales.data(), fx.ids.data(),
+                        fx.n_rows, ref_out.data());
+  for (std::size_t i = 0; i < fx.n_rows; ++i)
+    EXPECT_NEAR(simd_out[i], ref_out[i], 1e-3f * (1.f + std::fabs(ref_out[i])));
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, U8BatchParity,
+                         ::testing::Values(1, 3, 7, 9, 17, 31, 33, 63, 65, 96,
+                                           127, 128, 257));
+
+TEST(U8Kernels, ZeroRowsIsANoop) {
+  const float q[4] = {1, 2, 3, 4};
+  const std::uint8_t c[4] = {0, 1, 2, 3};
+  l2_sq_batch_u8(q, c, 4, 4, q, q, nullptr, 0, nullptr);
+  ip_batch_u8(q, c, 4, 4, q, q, nullptr, 0, nullptr);
+}
+
+TEST(U8Kernels, ZeroScaleDimsDecodeToMins) {
+  // All-zero scales decode every row to `mins` regardless of code bytes —
+  // the constant-dimension case the codec produces.
+  const std::size_t dim = 33;
+  Rng rng(7);
+  std::vector<float> mins(64, 0.f), scales(64, 0.f), query(dim);
+  for (std::size_t j = 0; j < dim; ++j) mins[j] = float(rng.normal());
+  for (auto& x : query) x = float(rng.normal());
+  std::vector<std::uint8_t> code(64);
+  for (auto& c : code) c = std::uint8_t(rng.uniform_below(256));
+  EXPECT_NEAR(l2_sq_u8(query.data(), code.data(), mins.data(), scales.data(), dim),
+              l2_sq(query.data(), mins.data(), dim),
+              1e-3f * (1.f + l2_sq(query.data(), mins.data(), dim)));
+}
+
+TEST(U8Kernels, ForcedScalarIsExact) {
+  // Under ANNSIM_FORCE_SCALAR=1 the dispatched u8 kernels must BE the scalar
+  // references (same code path, bit-identical), mirroring the float kernels.
+  if (!scalar_forced()) GTEST_SKIP() << "SIMD path active";
+  U8Fixture fx(127, 9, 999);
+  for (std::size_t i = 0; i < fx.n_rows; ++i) {
+    EXPECT_EQ(l2_sq_u8(fx.query.data(), fx.row(i), fx.mins.data(),
+                       fx.scales.data(), fx.dim),
+              l2_sq_u8_scalar(fx.query.data(), fx.row(i), fx.mins.data(),
+                              fx.scales.data(), fx.dim));
+    EXPECT_EQ(ip_u8(fx.query.data(), fx.row(i), fx.mins.data(),
+                    fx.scales.data(), fx.dim),
+              ip_u8_scalar(fx.query.data(), fx.row(i), fx.mins.data(),
+                           fx.scales.data(), fx.dim));
+  }
+}
+
+}  // namespace
+}  // namespace annsim::simd

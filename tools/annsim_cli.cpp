@@ -46,7 +46,7 @@ using namespace annsim;
                "  annsim build <base.fvecs> <out.idx> [--workers N] "
                "[--replication R] [--nprobe P] [--M m] [--efc e] [--local "
                "hnsw|bruteforce|vptree|ivfpq|segmented] [--delta-cap C] "
-               "[--two-sided]\n"
+               "[--quantize sq8] [--float-cache F] [--two-sided]\n"
                "  annsim search <index.idx> <query.fvecs> <k> <out.ivecs> "
                "[--ef E]\n"
                "  annsim eval <result.ivecs> <gt.ivecs> <k>\n"
@@ -56,7 +56,7 @@ using namespace annsim;
                "[--queue-cap C] [--block] [--deadline-ms X] [--closed-loop] "
                "[--clients N] [--ef E] [--write-ratio X] [--compact-at-fill F] "
                "[--overload-ramp] [--deadline-sched] [--brownout-target-ms T] "
-               "[--breaker-threshold X] [--mpi-check]\n"
+               "[--breaker-threshold X] [--quantize] [--mpi-check]\n"
                "  annsim chaos-bench <SIFT|DEEP|GIST|SYN_1M|SYN_10M> <n_base> "
                "<n_queries> <k> [--workers N] [--replication R] [--nprobe P] "
                "[--kill-worker W] [--kill-after N] [--drop-p D] "
@@ -172,11 +172,27 @@ int cmd_build(int argc, char** argv) {
   cfg.local_index = parse_local(opt(argc, argv, "--local", "hnsw"));
   cfg.segment_delta_capacity =
       arg_num(opt(argc, argv, "--delta-cap", "1024").c_str());
+  const std::string quantize = opt(argc, argv, "--quantize", "");
+  if (!quantize.empty()) {
+    ANNSIM_CHECK_MSG(quantize == "sq8",
+                     "--quantize supports 'sq8' only, got '" << quantize << "'");
+    // Quantization lives in the segmented tier's freeze path; pick it
+    // automatically unless the user asked for an incompatible kind.
+    if (flag(argc, argv, "--local")) {
+      ANNSIM_CHECK_MSG(cfg.local_index == core::LocalIndexKind::kSegmented,
+                       "--quantize sq8 requires --local segmented");
+    }
+    cfg.local_index = core::LocalIndexKind::kSegmented;
+    cfg.quantize_frozen = true;
+    cfg.float_cache_fraction =
+        std::atof(opt(argc, argv, "--float-cache", "0.02").c_str());
+  }
   if (flag(argc, argv, "--two-sided")) cfg.one_sided = false;
 
-  std::printf("building: %zu points x %zu-d, %zu workers, r=%zu, local=%s\n",
+  std::printf("building: %zu points x %zu-d, %zu workers, r=%zu, local=%s%s\n",
               base.size(), base.dim(), cfg.n_workers, cfg.replication,
-              core::local_index_kind_name(cfg.local_index));
+              core::local_index_kind_name(cfg.local_index),
+              cfg.quantize_frozen ? "+sq8" : "");
   core::DistributedAnnEngine engine(&base, cfg);
   engine.build();
   const auto& bs = engine.build_stats();
@@ -184,6 +200,14 @@ int cmd_build(int argc, char** argv) {
               "%.2fs)\n",
               bs.total_seconds, bs.vp_tree_seconds, bs.hnsw_seconds,
               bs.replication_seconds);
+  if (cfg.quantize_frozen) {
+    const auto cs = engine.compression_stats();
+    std::printf("sq8: %zu rows quantized, %.1f MiB resident vs %.1f MiB "
+                "full-float (%.2fx), %zu rows float-cached\n",
+                cs.quant_rows, double(cs.quant_resident_bytes) / (1024.0 * 1024.0),
+                double(cs.quant_float_bytes) / (1024.0 * 1024.0),
+                cs.compression_ratio(), cs.quant_cached_rows);
+  }
   engine.save(argv[1]);
   std::printf("wrote %s\n", argv[1]);
   return 0;
@@ -279,6 +303,13 @@ int cmd_serve_bench(int argc, char** argv) {
 
   const bool mpi_check = flag(argc, argv, "--mpi-check");
   if (mpi_check) engine.set_mpi_check(true, /*fatal=*/false);
+
+  const bool want_quant = flag(argc, argv, "--quantize");
+  if (want_quant) {
+    ANNSIM_CHECK_MSG(engine.config().quantize_frozen,
+                     "--quantize: index was not built with SQ8 quantization "
+                     "(rebuild with `annsim build ... --quantize sq8`)");
+  }
 
   const double write_ratio =
       std::atof(opt(argc, argv, "--write-ratio", "0").c_str());
@@ -412,6 +443,17 @@ int cmd_serve_bench(int argc, char** argv) {
                 static_cast<unsigned long long>(w_dropped),
                 static_cast<unsigned long long>(w_peak_fill),
                 engine.max_delta_fill());
+  }
+  if (want_quant) {
+    const auto cs = engine.compression_stats();
+    std::printf("sq8 plane: %zu rows, %.1f MiB resident vs %.1f MiB "
+                "full-float (%.2fx), re-rank %llu exact / %llu coded\n",
+                cs.quant_rows,
+                double(cs.quant_resident_bytes) / (1024.0 * 1024.0),
+                double(cs.quant_float_bytes) / (1024.0 * 1024.0),
+                cs.compression_ratio(),
+                static_cast<unsigned long long>(cs.rerank_exact),
+                static_cast<unsigned long long>(cs.rerank_coded));
   }
   return check_exit(mpi_check, engine, "serve", 0);
 }

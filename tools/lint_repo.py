@@ -32,6 +32,14 @@ sleep-in-serve
     common/backoff.hpp (spin -> yield -> bounded sleep) or block on a
     condition variable with a deadline instead. sleep_until in the load
     generator is exempt: paced open-loop arrival times are the subject.
+
+raw-buffer-in-quant
+    the quantized tier (src/quant, include/annsim/quant) must not
+    allocate raw buffers (new[], malloc, aligned_alloc): code slabs and
+    float caches go through common/aligned_buffer.hpp, which owns the
+    alignment the fused uint8 kernels assume and frees with the matching
+    deallocator. A raw new[] here either loses the 64-byte alignment or
+    leaks it into a unique_ptr with the wrong deleter.
 """
 
 from __future__ import annotations
@@ -68,6 +76,13 @@ GUARD_RE = re.compile(r"^\s*(#pragma\s+once|#ifndef\s+\w+)\s*$", re.M)
 
 # --- rule: raw sleeps in the serving plane --------------------------------
 SERVE_DIRS = ["src/serve", "include/annsim/serve"]
+
+# --- rule: raw buffer allocation in the quantized tier --------------------
+QUANT_DIRS = ["src/quant", "include/annsim/quant"]
+RAW_BUFFER_RE = re.compile(
+    r"\bnew\s+[\w:]+(?:\s*<[^<>]*>)?\s*\[|\b(?:malloc|calloc|aligned_alloc|"
+    r"posix_memalign)\s*\("
+)
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -155,12 +170,26 @@ def check_serve_sleeps(findings: list[str]) -> None:
                 )
 
 
+def check_quant_raw_buffers(findings: list[str]) -> None:
+    for d in QUANT_DIRS:
+        for path in sorted((REPO / d).rglob("*.[ch]pp")):
+            rel = path.relative_to(REPO)
+            text = strip_comments_and_strings(path.read_text())
+            for m in RAW_BUFFER_RE.finditer(text):
+                findings.append(
+                    f"{rel}:{line_of(text, m.start())}: [raw-buffer-in-quant] "
+                    f"raw buffer allocation in the quantized tier; use "
+                    f"common/aligned_buffer.hpp for code slabs and caches"
+                )
+
+
 def main() -> int:
     findings: list[str] = []
     check_naked_tags(findings)
     check_test_sleeps(findings)
     check_header_guards(findings)
     check_serve_sleeps(findings)
+    check_quant_raw_buffers(findings)
     for f in findings:
         print(f)
     if findings:
