@@ -30,6 +30,7 @@
 #include "annsim/mpi/mpi.hpp"
 #include "annsim/recovery/checkpoint.hpp"
 #include "annsim/recovery/health.hpp"
+#include "annsim/recovery/write_log.hpp"
 #include "annsim/vptree/partition_vp_tree.hpp"
 
 namespace annsim::core {
@@ -100,6 +101,21 @@ struct EngineConfig {
   /// Empty (default): no checkpoints; heal() streams from surviving
   /// replicas.
   std::string checkpoint_dir;
+  /// Per-worker write-ahead-log directory (`<wal_dir>/worker_<w>/`).
+  /// Non-empty: every insert/delete is CRC-framed and fsynced to the
+  /// worker's log *before* that worker acks the round on kTagWriteAck, so an
+  /// acked write survives any crash — heal() and load() replay the log tail
+  /// past each checkpoint's LSN watermark. Empty (default): no WAL; writes
+  /// are durable only as of the last checkpoint.
+  std::string wal_dir;
+  /// Group commit: one fsync per worker per write round instead of one per
+  /// record. Same durability contract (the ack waits for the sync either
+  /// way); this is the knob that keeps the mutate-bench p999 budget intact.
+  bool wal_group_commit = true;
+  /// Checkpoint every Nth write round (1 = every round, the pre-WAL
+  /// behavior). With a WAL the tail between checkpoints is replayable, so
+  /// larger values trade checkpoint I/O for replay length.
+  std::size_t checkpoint_every_rounds = 1;
   /// Heartbeat period for the liveness beacon each worker sends the master
   /// on a reliable control-plane tag while detection is armed. The master
   /// declares a worker dead when its heartbeats go silent for
@@ -179,6 +195,15 @@ struct WriteStats {
   /// write is lost (the id is still consumed). Nonzero only mid-outage.
   std::uint64_t dropped_rows = 0;
   std::uint64_t max_delta_fill = 0;  ///< fullest delta seen in the acks
+  /// Parallel to assigned_ids: true iff at least one worker the row was
+  /// shipped to acked the round (ack ⇒ WAL-durable when a wal_dir is set).
+  /// Rows acked by nobody must be treated as lost by durability-gating
+  /// callers; rows in a round whose every target died mid-commit stay false.
+  std::vector<char> row_acked;
+  /// True iff every targeted worker acked this round. With a WAL, false
+  /// means some log commit did not complete — the unacked rows may or may
+  /// not survive a crash.
+  bool all_acked = true;
 };
 
 /// Aggregate quantized-tier (SQ8) footprint across all hosted replicas.
@@ -300,10 +325,26 @@ class DistributedAnnEngine {
   /// index) to one file; `load` restores a search-ready engine without the
   /// original corpus. The engine file does not record a checkpoint
   /// directory; pass `checkpoint_dir` to re-arm durable snapshots on the
-  /// loaded engine (it checkpoints every partition immediately).
+  /// loaded engine (it checkpoints every partition immediately). Pass
+  /// `wal_dir` to re-attach the write-ahead logs: the logs are recovered
+  /// (torn tails truncated) and any records past the engine file's LSN are
+  /// replayed into the segmented replicas before the engine is returned —
+  /// the crash-restart path that makes every acked write reappear.
   void save(const std::string& path) const;
   static DistributedAnnEngine load(const std::string& path,
-                                   const std::string& checkpoint_dir = "");
+                                   const std::string& checkpoint_dir = "",
+                                   const std::string& wal_dir = "");
+
+  /// Attach per-worker write-ahead logs under `dir` (see
+  /// EngineConfig::wal_dir). Existing logs are recovered and replayed into
+  /// the live replicas, so calling this on a freshly built engine is a
+  /// no-op beyond arming durability. Requires local_index == kSegmented.
+  void enable_wal(const std::string& dir, bool group_commit = true);
+
+  /// Is `id` present (and not tombstoned) in any hosted segmented replica?
+  /// The WAL replay path uses this for idempotence; exposed because
+  /// durability tests and benches want the same ground truth.
+  [[nodiscard]] bool contains(GlobalId id) const;
 
   // ---- self-healing ----
 
@@ -382,6 +423,17 @@ class DistributedAnnEngine {
   /// Liveness snapshot for the write plane, derived from the fault injector
   /// (not ClusterHealth, which belongs to the search plane's thread).
   std::vector<char> write_plane_alive(const mpi::FaultInjector* injector) const;
+  /// Open (recovering if present) each worker's WAL under config_.wal_dir.
+  /// No-op when wal_dir is empty or the logs are already open.
+  void open_wals();
+  /// Replay worker `w`'s WAL records with lsn > `after_lsn` into its hosted
+  /// replicas (idempotent: inserts skip ids already present). When
+  /// `only_partition` is set, records for other partitions are skipped —
+  /// the per-replica filter heal() uses after a checkpoint restore. Returns
+  /// records applied. Caller holds the topology lock.
+  std::size_t replay_wal_into_worker(
+      std::size_t w, std::uint64_t after_lsn,
+      std::optional<PartitionId> only_partition = std::nullopt);
   void master_search_owner(mpi::Comm& world, const data::Dataset& queries,
                            std::size_t k, std::size_t ef,
                            data::KnnResults& results, SearchStats& stats,
@@ -402,6 +454,21 @@ class DistributedAnnEngine {
   /// Next global id handed to a streamed insert. Starts one past the largest
   /// build-corpus id and never reuses a value, even across save/load.
   GlobalId next_stream_id_ = 0;
+  /// Next write-ahead-log sequence number the master will assign. Global and
+  /// monotone across all workers (every replica of one row logs the same
+  /// LSN), persisted by save(), advanced past the replayed tail by load().
+  std::uint64_t next_lsn_ = 1;
+  /// Per-worker write-ahead logs (empty until wal_dir is configured).
+  /// Indexed by worker id, parallel to workers_.
+  std::vector<std::unique_ptr<recovery::WriteLog>> wals_;
+  /// Highest LSN issued against each partition (deletes broadcast, so they
+  /// bump every partition). heal() compares a revived worker's synced log
+  /// position against this to decide whether its own WAL tail is current
+  /// enough to replay, or whether the replica must stream from a peer that
+  /// saw the writes the dead worker missed.
+  std::vector<std::uint64_t> partition_last_lsn_;
+  /// Write rounds since the last checkpoint (drives checkpoint_every_rounds).
+  std::size_t rounds_since_checkpoint_ = 0;
 
   /// Synchronization for concurrent search / write / compact / heal.
   /// Heap-allocated so the engine stays movable (load() returns by value).

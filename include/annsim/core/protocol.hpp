@@ -76,6 +76,10 @@ struct WriteBatch {
   struct Row {
     PartitionId partition = kInvalidPartition;
     GlobalId id = kInvalidGlobalId;
+    /// Master-assigned global log sequence number. Every replica of one row
+    /// logs the same LSN, so a checkpoint watermark taken on any worker is
+    /// comparable with any worker's WAL at replay time.
+    std::uint64_t lsn = 0;
     std::vector<float> vec;
   };
   std::vector<Row> rows;
@@ -88,6 +92,10 @@ struct WriteBatch {
 /// id -> partition map; a worker not hosting an id simply ignores it).
 struct DeleteBatch {
   std::vector<GlobalId> ids;
+  /// Parallel to `ids`: the master-assigned LSN of each tombstone (same
+  /// value on every worker, see WriteBatch::Row::lsn). Empty batches from
+  /// pre-WAL callers decode as all-zero.
+  std::vector<std::uint64_t> lsns;
 };
 
 [[nodiscard]] std::vector<std::byte> encode_delete_batch(const DeleteBatch& b);

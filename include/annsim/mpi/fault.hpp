@@ -37,6 +37,7 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 namespace annsim::mpi {
@@ -49,6 +50,26 @@ struct KillRule {
   int rank = -1;                           ///< global runtime rank to kill
   std::uint64_t after_ops = kNeverFires;   ///< deliver this many user ops, then die
   std::uint64_t at_step = kNeverFires;     ///< die once the logical step clock reaches this
+};
+
+/// What the disk does to the write-ahead-log frame the fault fires on. All
+/// four kinds are terminal: the rank dies at the fault, so nothing past the
+/// corrupted frame was ever acked — recovery may truncate at the first bad
+/// frame without losing an acknowledged write.
+enum class DiskFaultKind : std::uint8_t {
+  kCrashAtLsn,  ///< process dies before the frame reaches the page cache
+  kShortWrite,  ///< power loss mid-write: a prefix of the frame lands
+  kTornWrite,   ///< frame-sized region allocated, tail half never written
+  kFlipByte,    ///< media corruption: one payload byte bit-flipped
+};
+
+/// One disk-fault schedule entry: fires on the first WAL frame of `rank`
+/// whose LSN reaches `at_lsn`, then marks the rank dead (fail-silent, like a
+/// KillRule) so the MPI and disk planes agree the worker is gone.
+struct DiskFaultRule {
+  int rank = -1;
+  std::uint64_t at_lsn = kNeverFires;
+  DiskFaultKind kind = DiskFaultKind::kCrashAtLsn;
 };
 
 /// A reproducible fault schedule for one Runtime. Default-constructed plans
@@ -67,6 +88,10 @@ struct FaultPlan {
   /// at the receiver (delivered out of order). Reliable tags are exempt.
   double reorder_probability = 0.0;
   std::vector<KillRule> kills;
+  /// Disk-fault plane: deterministic WAL corruption keyed by LSN rather than
+  /// op index (the write path consults it from commit(), where the op budget
+  /// does not apply).
+  std::vector<DiskFaultRule> disk_faults;
   /// Control-plane user tags (>= 0) on the reliable fabric — exempt from
   /// drop/delay rolls and the op budget, but still silenced once the sending
   /// rank is dead (fail-silent means silent everywhere).
@@ -75,7 +100,7 @@ struct FaultPlan {
   [[nodiscard]] bool enabled() const noexcept {
     return drop_probability > 0.0 || delay_probability > 0.0 ||
            duplicate_probability > 0.0 || reorder_probability > 0.0 ||
-           !kills.empty();
+           !kills.empty() || !disk_faults.empty();
   }
 };
 
@@ -115,10 +140,19 @@ class FaultInjector {
   /// Is `tag` on the plan's control plane (exempt from drop/delay/budget)?
   [[nodiscard]] bool is_reliable(std::int32_t tag) const noexcept;
 
-  /// Resurrect a rank: clears its death flag and disarms its kill triggers so
-  /// they cannot re-fire. Call only between run() phases (the rank threads
-  /// must be joined) — the recovery layer revives a worker, restores its
-  /// replicas, and only then starts the next runtime phase.
+  /// Consult the disk-fault plane for `global_rank` about the WAL frame at
+  /// `lsn`. Fires at most once per rule: the first frame whose LSN reaches
+  /// `at_lsn` gets the fault kind back and the rank is marked dead (all disk
+  /// faults are terminal). Returns nullopt on the fast path. Thread-safe and
+  /// deterministic: the WAL serializes commits, and LSNs are globally
+  /// monotone, so the firing frame is a pure function of the plan.
+  std::optional<DiskFaultKind> disk_fault_at(int global_rank,
+                                             std::uint64_t lsn);
+
+  /// Resurrect a rank: clears its death flag and disarms its kill triggers
+  /// (MPI and disk alike) so they cannot re-fire. Call only between run()
+  /// phases (the rank threads must be joined) — the recovery layer revives a
+  /// worker, restores its replicas, and only then starts the next phase.
   void revive(int global_rank);
 
   /// Advance the logical step clock that `KillRule::at_step` triggers on.
@@ -142,6 +176,8 @@ class FaultInjector {
     std::atomic<bool> dead{false};
     std::uint64_t kill_after_ops = kNeverFires;
     std::uint64_t kill_at_step = kNeverFires;
+    std::atomic<std::uint64_t> disk_fault_lsn{kNeverFires};
+    DiskFaultKind disk_fault_kind = DiskFaultKind::kCrashAtLsn;
   };
 
   FaultPlan plan_;

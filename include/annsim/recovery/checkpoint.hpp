@@ -59,7 +59,10 @@ struct CheckpointMeta {
 /// Layout: `<dir>/partition_<pid>/{manifest.bin, data.bin, index.bin}`.
 class CheckpointStore {
  public:
-  /// Opens (creating if needed) the store rooted at `dir`.
+  /// Opens (creating if needed) the store rooted at `dir`, sweeping any
+  /// hidden staging directories / `.tmp` siblings a crash mid-commit left
+  /// behind — they were never part of a committed snapshot, and letting them
+  /// accumulate would shadow GC forever.
   explicit CheckpointStore(std::string dir);
 
   /// Atomically write (or replace) the snapshot of one partition.
@@ -79,11 +82,16 @@ class CheckpointStore {
   /// an atomically renamed manifest as the commit. load() reassembles the
   /// byte-identical full image. Mixing save() and save_segmented() on the
   /// same partition is fine — each commit fully replaces the manifest.
+  ///
+  /// `wal_watermark` is the highest write-ahead-log LSN whose effects this
+  /// snapshot is guaranteed to contain. Recovery replays only WAL records
+  /// with lsn > watermark, and the engine GCs log files fully covered by it
+  /// once the manifest rename commits.
   SaveReport save_segmented(
       const CheckpointMeta& meta, std::span<const std::byte> header,
       std::span<const std::pair<std::uint64_t, std::vector<std::byte>>>
           segments,
-      std::span<const std::byte> delta) const;
+      std::span<const std::byte> delta, std::uint64_t wal_watermark = 0) const;
 
   /// Does a committed snapshot exist for `partition`?
   [[nodiscard]] bool has(std::uint32_t partition) const;
@@ -94,6 +102,9 @@ class CheckpointStore {
     /// image owns its vectors — unpack_dataset({}) yields the empty husk).
     std::vector<std::byte> data_bytes;
     std::vector<std::byte> index_bytes;  ///< LocalIndex::to_bytes() wire bytes
+    /// Highest WAL LSN already reflected in this snapshot (0 when the
+    /// snapshot predates the WAL or was written without one).
+    std::uint64_t wal_watermark = 0;
   };
 
   /// Load and verify one partition; throws annsim::Error naming the failure

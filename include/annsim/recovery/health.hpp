@@ -52,6 +52,12 @@ struct HealReport {
   /// Replicas that could not be restored: no checkpoint on disk and no
   /// surviving peer copy to stream from. The partition stays lost.
   std::size_t replicas_unrecoverable = 0;
+  /// Write-ahead-log records replayed past checkpoint watermarks during this
+  /// heal (0 when the engine runs without a WAL or nothing trailed).
+  std::size_t wal_replayed_records = 0;
+  /// Bytes of torn/short/bit-flipped WAL tail truncated while recovering the
+  /// revived workers' logs.
+  std::size_t wal_truncated_tail_bytes = 0;
   double seconds = 0.0;  ///< wall time of the heal pass
 
   [[nodiscard]] std::size_t replicas_restored() const noexcept {

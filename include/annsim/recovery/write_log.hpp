@@ -1,0 +1,149 @@
+#pragma once
+/// \file write_log.hpp
+/// \brief Per-replica write-ahead log: the durability half of the write plane.
+///
+/// Every worker owns one WriteLog. The engine's write path appends a frame
+/// per insert/delete (stamped with the master-assigned global LSN), then
+/// calls commit() once per dispatch round — one fsync covers the whole batch
+/// (group commit) — and only acks on `kTagWriteAck` after commit() returns
+/// true. The contract that falls out: **ack ⇒ the record is replayable**.
+///
+/// On-disk format (all little-endian, matching BinaryWriter):
+///
+///     file   := header frame*
+///     header := magic:u32 = 0x414E574C ("ANWL")  version:u32 = 1
+///     frame  := crc32c:u32  len:u32  payload[len]
+///     payload:= lsn:u64  type:u8  partition:u32  id:u64  n_floats:u32
+///               floats[n_floats]
+///
+/// The CRC covers the payload only, so a torn/short/bit-flipped tail is
+/// detected at the first bad frame and recover() truncates there instead of
+/// failing the replica — everything before the last valid frame was synced
+/// before it was acked, so nothing acked is lost.
+///
+/// Files are `wal_<first_lsn>.log` inside the log directory, rotated once
+/// they exceed `segment_bytes`; gc(watermark) deletes closed files whose
+/// records are all covered by a checkpoint's LSN watermark.
+///
+/// Disk faults are injected through the per-commit `FaultFn` hook (wired to
+/// `FaultInjector::disk_fault_at`), never stored: the engine is movable and
+/// a captured `this` would dangle. A fired fault corrupts/truncates the
+/// in-flight frame deterministically and marks the log crashed; a crashed
+/// log refuses further appends until recover() runs (heal does this when it
+/// revives the worker).
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "annsim/common/types.hpp"
+#include "annsim/mpi/fault.hpp"  // DiskFaultKind (enum only, no runtime dep)
+#include "annsim/recovery/durable_file.hpp"
+
+namespace annsim::recovery {
+
+inline constexpr std::uint32_t kWalMagic = 0x414E574C;  // "ANWL"
+inline constexpr std::uint32_t kWalVersion = 1;
+
+/// CRC32C (Castagnoli, poly 0x82F63B78), software table implementation.
+[[nodiscard]] std::uint32_t crc32c(std::span<const std::byte> bytes) noexcept;
+
+enum class WalRecordType : std::uint8_t {
+  kInsert = 1,
+  kDelete = 2,
+  kCompactMark = 3,
+};
+
+/// One decoded log record. `vec` is populated for inserts only.
+struct WalRecord {
+  std::uint64_t lsn = 0;
+  WalRecordType type = WalRecordType::kInsert;
+  PartitionId partition = kInvalidPartition;
+  GlobalId id = kInvalidGlobalId;
+  std::vector<float> vec;
+};
+
+struct WalOptions {
+  /// Rotate to a fresh log file once the active one exceeds this size.
+  std::uint64_t segment_bytes = 1u << 20;
+  /// One fsync per commit() (true) vs one per frame (false, for comparison).
+  bool group_commit = true;
+};
+
+class WriteLog {
+ public:
+  /// Consulted once per in-flight frame during commit(); returning a kind
+  /// fires that fault on the frame and kills the log (crashed state).
+  using FaultFn =
+      std::function<std::optional<mpi::DiskFaultKind>(std::uint64_t lsn)>;
+
+  /// Opens (creating the directory if needed) and immediately recovers:
+  /// scans existing files, truncates any invalid tail, and positions the
+  /// append cursor after the last valid frame.
+  explicit WriteLog(std::string dir, WalOptions options = {});
+
+  WriteLog(const WriteLog&) = delete;
+  WriteLog& operator=(const WriteLog&) = delete;
+
+  /// Buffer one record. No bytes reach disk until commit(). Appends on a
+  /// crashed log are dropped (the worker is dead; nothing gets acked).
+  void append_insert(std::uint64_t lsn, PartitionId partition, GlobalId id,
+                     std::span<const float> vec);
+  void append_delete(std::uint64_t lsn, PartitionId partition, GlobalId id);
+  void append_compact_mark(std::uint64_t lsn, PartitionId partition);
+
+  /// Flush all buffered frames and fsync (one sync for the batch under
+  /// group commit). Returns true iff every frame is durable — the caller
+  /// must not ack otherwise. `fault` may corrupt an in-flight frame; the
+  /// log then enters the crashed state and returns false.
+  bool commit(const FaultFn& fault = nullptr);
+
+  /// Re-scan the log after a crash: validate every frame, truncate the
+  /// first torn/short/bit-flipped tail, clear the crashed flag. Returns the
+  /// number of tail bytes discarded by this pass.
+  std::uint64_t recover();
+
+  /// All valid records with lsn > after_lsn, in LSN order.
+  [[nodiscard]] std::vector<WalRecord> read_tail(std::uint64_t after_lsn) const;
+
+  /// Delete closed log files fully covered by the checkpoint watermark
+  /// (every record's lsn <= watermark). Returns files removed.
+  std::size_t gc(std::uint64_t watermark);
+
+  /// Highest LSN made durable by a successful commit (or found by recover).
+  [[nodiscard]] std::uint64_t last_synced_lsn() const;
+
+  /// Total tail bytes truncated by recover() over this object's lifetime.
+  [[nodiscard]] std::uint64_t truncated_tail_bytes() const;
+
+  /// True after a disk fault fired; cleared by recover().
+  [[nodiscard]] bool crashed() const;
+
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+
+ private:
+  struct PendingFrame {
+    std::uint64_t lsn = 0;
+    std::vector<std::byte> bytes;  // full frame: crc + len + payload
+  };
+
+  void buffer_frame(const WalRecord& rec);
+  std::uint64_t recover_locked();
+  [[nodiscard]] std::vector<std::string> sorted_log_files() const;
+  void open_active_for(std::uint64_t first_lsn);
+
+  std::string dir_;
+  WalOptions options_;
+  mutable std::mutex mu_;
+  DurableFile active_;
+  std::vector<PendingFrame> pending_;
+  std::uint64_t last_synced_lsn_ = 0;
+  std::uint64_t truncated_tail_bytes_ = 0;
+  bool crashed_ = false;
+};
+
+}  // namespace annsim::recovery

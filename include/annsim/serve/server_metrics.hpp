@@ -53,6 +53,12 @@ struct MetricsReport {
   std::size_t heals = 0;             ///< engine heal() passes triggered
   std::size_t workers_revived = 0;   ///< dead workers brought back, lifetime
   std::size_t coverage_restored = 0; ///< heals that restored every replica
+  /// WAL records replayed past checkpoint watermarks across all heals
+  /// (zeros unless the engine runs with a wal_dir).
+  std::size_t wal_replayed_records = 0;
+  /// Corrupt WAL tail bytes truncated while recovering revived workers'
+  /// logs, across all heals.
+  std::size_t wal_truncated_tail_bytes = 0;
   /// Partitions below the configured replication factor after the most
   /// recent batch (snapshot, not cumulative). 0 means full coverage.
   std::size_t under_replicated_partitions = 0;
@@ -107,8 +113,11 @@ class ServerMetrics {
   /// A degraded result withheld and requeued for another attempt.
   void on_retry();
   /// An engine heal() pass ran; `coverage_restored` = it repaired every
-  /// missing replica.
-  void on_heal(std::size_t workers_revived, bool coverage_restored);
+  /// missing replica. The WAL counters carry the heal's replay/truncation
+  /// tallies (0 when the engine runs without a wal_dir).
+  void on_heal(std::size_t workers_revived, bool coverage_restored,
+               std::size_t wal_replayed_records = 0,
+               std::size_t wal_truncated_tail_bytes = 0);
   /// Post-batch cluster snapshot: partitions below the replication factor.
   void on_health(std::size_t under_replicated);
 
@@ -129,6 +138,7 @@ class ServerMetrics {
   double pressure_ = 0.0, min_factor_ = 1.0;
   std::size_t heals_ = 0, workers_revived_ = 0, coverage_restored_ = 0,
               under_replicated_ = 0;
+  std::size_t wal_replayed_records_ = 0, wal_truncated_tail_bytes_ = 0;
   bool saw_submit_ = false;
   Clock::time_point first_submit_{};
   Clock::time_point last_complete_{};

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <bit>
+#include <filesystem>
 #include <fstream>
 #include <chrono>
 #include <functional>
@@ -108,7 +109,24 @@ void validate_engine_config(const EngineConfig& config) {
                                            << config.n_workers
                                            << "] (rank 0 is the master)");
     }
+    for (const mpi::DiskFaultRule& df : config.fault.disk_faults) {
+      ANNSIM_CHECK_MSG(df.rank >= 1 && df.rank <= int(config.n_workers),
+                       "fault.disk_faults rank "
+                           << df.rank << " must name a worker rank in [1, "
+                           << config.n_workers << "] (rank 0 is the master)");
+    }
+    ANNSIM_CHECK_MSG(config.fault.disk_faults.empty() || !config.wal_dir.empty(),
+                     "fault.disk_faults target the write-ahead log: set "
+                     "wal_dir");
   }
+  if (!config.wal_dir.empty()) {
+    ANNSIM_CHECK_MSG(config.local_index == LocalIndexKind::kSegmented,
+                     "wal_dir (durable writes) requires the segmented local "
+                     "index — only segmented replicas accept replayed writes");
+  }
+  ANNSIM_CHECK_MSG(config.checkpoint_every_rounds >= 1,
+                   "checkpoint_every_rounds must be nonzero (1 = every write "
+                   "round)");
 }
 
 DistributedAnnEngine::DistributedAnnEngine(const data::Dataset* base,
@@ -144,6 +162,7 @@ void DistributedAnnEngine::build() {
   const std::size_t n = base_->size();
   workers_.clear();
   workers_.resize(P);
+  partition_last_lsn_.assign(P, 0);
 
   std::vector<double> vp_seconds(P, 0.0), hnsw_seconds(P, 0.0),
       repl_seconds(P, 0.0);
@@ -272,6 +291,7 @@ void DistributedAnnEngine::build() {
   GlobalId max_id = 0;
   for (const GlobalId id : base_->ids()) max_id = std::max(max_id, id);
   next_stream_id_ = base_->size() == 0 ? 0 : max_id + 1;
+  open_wals();         // no-op unless wal_dir is configured
   save_checkpoints();  // no-op unless checkpoint_dir is configured
 }
 
@@ -509,10 +529,17 @@ WriteStats DistributedAnnEngine::apply_writes(
   // round-robin assignment dispatch uses, so reads find the row wherever
   // they fail over.
   std::vector<WriteBatch> batches(P);
+  // Which workers each row was shipped to — after the round, a row counts as
+  // acked (durable, with a WAL) iff at least one of them acked.
+  std::vector<std::vector<std::size_t>> row_targets;
   if (rows != nullptr) {
     ws.assigned_ids.reserve(rows->size());
+    row_targets.resize(rows->size());
     for (std::size_t i = 0; i < rows->size(); ++i) {
       const GlobalId id = next_stream_id_++;
+      // One LSN per logical row: every replica logs the same sequence
+      // number, so checkpoint watermarks compare across workers.
+      const std::uint64_t lsn = next_lsn_++;
       ws.assigned_ids.push_back(id);
       const PartitionId p = router_->route_topk(rows->row(i), 1).partitions[0];
       const float* v = rows->row(i);
@@ -521,14 +548,31 @@ WriteStats DistributedAnnEngine::apply_writes(
         const std::size_t w = (std::size_t(p) + j) % P;
         if (!alive[w]) continue;
         batches[w].rows.push_back(
-            {p, id, std::vector<float>(v, v + rows->dim())});
+            {p, id, lsn, std::vector<float>(v, v + rows->dim())});
+        row_targets[i].push_back(w);
         delivered = true;
       }
-      if (!delivered) ++ws.dropped_rows;
+      if (delivered) {
+        partition_last_lsn_[std::size_t(p)] =
+            std::max(partition_last_lsn_[std::size_t(p)], lsn);
+      } else {
+        ++ws.dropped_rows;
+      }
     }
   }
   DeleteBatch dels;
   dels.ids.assign(deletes.begin(), deletes.end());
+  dels.lsns.reserve(dels.ids.size());
+  for (std::size_t i = 0; i < dels.ids.size(); ++i) {
+    dels.lsns.push_back(next_lsn_++);
+  }
+  if (!dels.lsns.empty()) {
+    // Deletes broadcast to every workgroup — any partition may hold a hit,
+    // so the whole ring advances to the round's last delete LSN.
+    for (auto& last : partition_last_lsn_) {
+      last = std::max(last, dels.lsns.back());
+    }
+  }
   const std::vector<std::byte> del_bytes = encode_delete_batch(dels);
 
   // A concurrent chaos search can advance the kill clock mid-round, and a
@@ -588,22 +632,63 @@ WriteStats DistributedAnnEngine::apply_writes(
         const DeleteBatch dele = decode_delete_batch(md->payload);
         WriteAck ack;
         WorkerStore& store = workers_[w];
+        recovery::WriteLog* wal = w < wals_.size() ? wals_[w].get() : nullptr;
         for (const auto& row : batch.rows) {
           auto it = store.find(row.partition);
           // A missing partition means an observed death cleared this store
           // and heal() has not run yet; the row lands on the other replicas.
           if (it == store.end()) continue;
           it->second.index->insert(row.vec, row.id);
+          if (wal != nullptr) {
+            wal->append_insert(row.lsn, row.partition, row.id, row.vec);
+          }
           ++ack.inserted;
         }
-        for (const GlobalId id : dele.ids) {
+        for (std::size_t d = 0; d < dele.ids.size(); ++d) {
+          const GlobalId id = dele.ids[d];
           for (auto& [pid, rep] : store) {
-            if (rep.index->erase(id)) ++ack.erased;
+            if (rep.index->erase(id)) {
+              if (wal != nullptr) wal->append_delete(dele.lsns[d], pid, id);
+              ++ack.erased;
+            }
           }
         }
         for (const auto& [pid, rep] : store) {
           ack.max_delta_fill = std::max(ack.max_delta_fill,
                                         std::uint64_t(rep.index->delta_fill()));
+        }
+        // Round watermark: a mark frame at the highest LSN this worker was
+        // sent, even when none of its frames reached it (rows for cleared
+        // partitions, deletes with no local hit). The synced mark is the
+        // worker's proof of currency — heal() compares last_synced_lsn()
+        // against each partition's last issued LSN to decide whether this
+        // log can replay the tail or the replica must stream from a peer.
+        if (wal != nullptr) {
+          std::uint64_t round_mark = 0;
+          for (const auto& row : batch.rows) {
+            round_mark = std::max(round_mark, row.lsn);
+          }
+          if (!dele.lsns.empty()) {
+            round_mark = std::max(round_mark, dele.lsns.back());
+          }
+          if (round_mark > 0) {
+            wal->append_compact_mark(round_mark, PartitionId(0));
+          }
+        }
+        // Durability point: group-commit the round's log frames (one fsync)
+        // before acking. A failed commit — disk fault fired — means the
+        // worker dies silently; the master's recv_for observes the missing
+        // ack exactly like an MPI death.
+        if (wal != nullptr) {
+          mpi::FaultInjector* inj = injector.get();
+          const int wal_rank = rank;
+          const bool committed = wal->commit(
+              [inj, wal_rank](
+                  std::uint64_t lsn) -> std::optional<mpi::DiskFaultKind> {
+                if (inj == nullptr) return std::nullopt;
+                return inj->disk_fault_at(wal_rank, lsn);
+              });
+          if (!committed) return;  // acked ⇒ durable, so no ack here
         }
         world.send_reserved(0, kTagWriteAck, encode_write_ack(ack));
       });
@@ -615,14 +700,32 @@ WriteStats DistributedAnnEngine::apply_writes(
   }
 
   for (std::size_t w = 0; w < P; ++w) {
-    if (!acked[w]) continue;
-    ws.inserted_replicas += acks[w].inserted;
-    ws.erased_replicas += acks[w].erased;
-    ws.max_delta_fill = std::max(ws.max_delta_fill, acks[w].max_delta_fill);
+    if (acked[w]) {
+      ws.inserted_replicas += acks[w].inserted;
+      ws.erased_replicas += acks[w].erased;
+      ws.max_delta_fill = std::max(ws.max_delta_fill, acks[w].max_delta_fill);
+    } else if (alive[w]) {
+      ws.all_acked = false;  // targeted but silent: died (or crashed) mid-round
+    }
+  }
+  ws.row_acked.assign(ws.assigned_ids.size(), 0);
+  for (std::size_t i = 0; i < row_targets.size(); ++i) {
+    for (const std::size_t w : row_targets[i]) {
+      if (acked[w]) {
+        ws.row_acked[i] = 1;
+        break;
+      }
+    }
   }
   // Keep durable snapshots current so a heal mid-stream replays the writes
   // (incremental: frozen segment files are skipped, only deltas rewrite).
-  if (!config_.checkpoint_dir.empty()) save_checkpoints();
+  // With a WAL the un-checkpointed tail is replayable, so the cadence can
+  // stretch to every Nth round.
+  if (!config_.checkpoint_dir.empty() &&
+      ++rounds_since_checkpoint_ >= config_.checkpoint_every_rounds) {
+    save_checkpoints();
+    rounds_since_checkpoint_ = 0;
+  }
   return ws;
 }
 
@@ -641,6 +744,12 @@ std::uint64_t DistributedAnnEngine::compact() {
       std::max(config_.result_timeout_ms, 1000.0) * 1000.0));
 
   std::uint64_t total = 0;
+  // One LSN for the whole compaction order: the compact-mark frames let
+  // replay distinguish "records absorbed into a re-frozen segment" from a
+  // genuinely missing tail.
+  const std::uint64_t compact_lsn = next_lsn_++;
+  BinaryWriter compact_payload;
+  compact_payload.write(compact_lsn);
   mpi::Runtime rt(int(P) + 1, injector);
   configure_runtime_check(rt);
   {
@@ -651,7 +760,8 @@ std::uint64_t DistributedAnnEngine::compact() {
         if (rank == 0) {
           for (std::size_t w = 0; w < P; ++w) {
             if (!alive[w]) continue;
-            (void)world.isend_reserved(int(w) + 1, kTagCompact, {});
+            (void)world.isend_reserved(int(w) + 1, kTagCompact,
+                                       compact_payload.bytes());
           }
           for (std::size_t w = 0; w < P; ++w) {
             if (!alive[w]) continue;
@@ -675,11 +785,28 @@ std::uint64_t DistributedAnnEngine::compact() {
           m = world.recv(0, kTagCompact);
         }
         if (!m.has_value()) return;  // killed mid-round
+        BinaryReader rd(m->payload);
+        const auto order_lsn = rd.read<std::uint64_t>();
         WriteAck ack;
+        recovery::WriteLog* wal = w < wals_.size() ? wals_[w].get() : nullptr;
         for (auto& [pid, rep] : workers_[w]) {
           // Single-threaded rebuild keeps compaction deterministic; searches
           // keep serving the old view until the hot-swap publish.
-          if (rep.index->compact(nullptr)) ++ack.compactions;
+          if (rep.index->compact(nullptr)) {
+            if (wal != nullptr) wal->append_compact_mark(order_lsn, pid);
+            ++ack.compactions;
+          }
+        }
+        if (wal != nullptr) {
+          mpi::FaultInjector* inj = injector.get();
+          const int wal_rank = rank;
+          const bool committed = wal->commit(
+              [inj, wal_rank](
+                  std::uint64_t lsn) -> std::optional<mpi::DiskFaultKind> {
+                if (inj == nullptr) return std::nullopt;
+                return inj->disk_fault_at(wal_rank, lsn);
+              });
+          if (!committed) return;
         }
         world.send_reserved(0, kTagWriteAck, encode_write_ack(ack));
       });
@@ -1322,20 +1449,30 @@ void DistributedAnnEngine::save_checkpoints() const {
     inj = injector_;
   }
   const std::vector<char> alive = write_plane_alive(inj.get());
+  // Committed per-partition watermarks from this pass, for post-commit WAL GC.
+  std::vector<std::uint64_t> part_watermark(P, 0);
+  std::vector<char> part_committed(P, 0);
   for (std::size_t p = 0; p < P; ++p) {
     const Replica* rep = nullptr;
+    std::size_t rep_w = P;
     const Replica* stale = nullptr;
+    std::size_t stale_w = P;
     for (std::size_t j = 0; j < config_.replication && rep == nullptr; ++j) {
       const std::size_t w = (p + j) % P;
       const auto it = workers_[w].find(PartitionId(p));
       if (it == workers_[w].end()) continue;
       if (alive[w]) {
         rep = &it->second;
+        rep_w = w;
       } else if (stale == nullptr) {
         stale = &it->second;
+        stale_w = w;
       }
     }
-    if (rep == nullptr) rep = stale;
+    if (rep == nullptr) {
+      rep = stale;
+      rep_w = stale_w;
+    }
     if (rep == nullptr) continue;  // every copy lost; nothing to snapshot
     recovery::CheckpointMeta meta;
     meta.partition = std::uint32_t(p);
@@ -1345,13 +1482,42 @@ void DistributedAnnEngine::save_checkpoints() const {
       // Segmented replicas checkpoint incrementally: immutable segment
       // files are written once and skipped thereafter; only the small
       // delta (plus tombstones) rewrites per round.
+      //
+      // The watermark is the snapshot source's last *synced* LSN: the
+      // worker applies a record before logging it and logs before syncing,
+      // so synced ⇒ applied ⇒ in this snapshot. Under-claiming is safe
+      // (replay is idempotent); over-claiming would lose records, and the
+      // apply-log-sync order rules it out.
+      std::uint64_t watermark = 0;
+      if (rep_w < wals_.size() && wals_[rep_w] != nullptr) {
+        watermark = wals_[rep_w]->last_synced_lsn();
+      }
       meta.count = rep->index->size();
       const auto parts = seg->snapshot_parts();
-      store.save_segmented(meta, parts.header, parts.segments, parts.delta);
+      store.save_segmented(meta, parts.header, parts.segments, parts.delta,
+                           watermark);
+      part_watermark[p] = watermark;
+      part_committed[p] = 1;
     } else {
       meta.count = rep->data->size();
       store.save(meta, pack_dataset(*rep->data), rep->index->to_bytes());
     }
+  }
+  // Post-commit WAL GC: a worker's log file is droppable once every
+  // partition the worker hosts has a committed checkpoint at or past the
+  // file's last record. An unsnapshotted hosted partition (watermark 0)
+  // blocks GC for that worker entirely — conservative, and only reachable
+  // when every copy of a partition is already lost.
+  for (std::size_t w = 0; w < P && w < wals_.size(); ++w) {
+    if (wals_[w] == nullptr) continue;
+    std::uint64_t gc_mark = ~std::uint64_t{0};
+    bool hosts_any = false;
+    for (const auto& [pid, hosted] : workers_[w]) {
+      hosts_any = true;
+      gc_mark = std::min(
+          gc_mark, part_committed[pid] ? part_watermark[pid] : std::uint64_t{0});
+    }
+    if (hosts_any && gc_mark > 0) (void)wals_[w]->gc(gc_mark);
   }
 }
 
@@ -1374,6 +1540,12 @@ recovery::HealReport DistributedAnnEngine::heal() {
   //    the revived worker isn't re-killed by its own schedule next batch.
   for (const std::size_t w : dead) {
     if (injector_ != nullptr) injector_->revive(int(w) + 1);
+    // A disk fault may have left the worker's WAL with a torn or corrupt
+    // tail; recover() truncates back to the last valid frame and clears the
+    // crashed flag so the log accepts appends again.
+    if (w < wals_.size() && wals_[w] != nullptr) {
+      report.wal_truncated_tail_bytes += wals_[w]->recover();
+    }
   }
 
   // 2. Replicas each revived worker must get back: worker w belongs to the
@@ -1402,6 +1574,19 @@ recovery::HealReport DistributedAnnEngine::heal() {
   // 3. Prefer the checkpoint store: a durable snapshot restores locally with
   //    no cluster traffic at all (the LANNS model — reload, don't rebuild).
   std::vector<RestoreJob> stream_plan;
+  // True when a surviving, reliably-reachable peer still hosts the
+  // partition — the same scan the streaming phase uses to pick a source.
+  const auto usable_peer = [&](const RestoreJob& job) {
+    for (std::size_t v = 0; v < P; ++v) {
+      if (v == job.worker || workers_[v].count(job.partition) == 0) continue;
+      if (!health_.alive(v)) continue;
+      if (injector_ != nullptr && !injector_->allow_reliable_op(int(v) + 1)) {
+        continue;
+      }
+      return true;
+    }
+    return false;
+  };
   if (!config_.checkpoint_dir.empty()) {
     const recovery::CheckpointStore store(config_.checkpoint_dir);
     for (const RestoreJob& job : plan) {
@@ -1409,7 +1594,36 @@ recovery::HealReport DistributedAnnEngine::heal() {
         stream_plan.push_back(job);
         continue;
       }
-      auto loaded = store.load(job.partition);
+      // Checkpoint + own-WAL replay only reconstructs what this worker was
+      // alive to log. Writes the cluster acked after it died — late inserts,
+      // and deletes whose tombstones would otherwise vanish, resurrecting
+      // the rows — exist only on the surviving peers' replicas. Replay the
+      // local log when it covers the partition's last issued LSN (it is
+      // "longer" than anything a peer could add); otherwise stream the
+      // current state from a peer, keeping the stale checkpoint only as a
+      // last resort when every peer is gone.
+      if (job.worker < wals_.size() && wals_[job.worker] != nullptr &&
+          job.partition < partition_last_lsn_.size() &&
+          wals_[job.worker]->last_synced_lsn() <
+              partition_last_lsn_[job.partition] &&
+          usable_peer(job)) {
+        stream_plan.push_back(job);
+        continue;
+      }
+      recovery::CheckpointStore::LoadedPartition loaded;
+      try {
+        loaded = store.load(job.partition);
+      } catch (const Error& e) {
+        // A flipped byte or truncated file in the on-disk checkpoint
+        // (checksum mismatch, short read) must not sink the replica:
+        // name the failing partition and fall back to streaming it from
+        // a surviving peer instead.
+        ANNSIM_WARN("checkpoint for partition "
+                    << job.partition << " is corrupt (" << e.what()
+                    << "); falling back to peer-stream heal");
+        stream_plan.push_back(job);
+        continue;
+      }
       ANNSIM_CHECK_MSG(loaded.meta.dim == router_->dim(),
                        "checkpoint dim " << loaded.meta.dim
                                          << " does not match the router's "
@@ -1423,6 +1637,13 @@ recovery::HealReport DistributedAnnEngine::heal() {
       rep.index = local_index_from_bytes(loaded.index_bytes, rep.data.get(), lp);
       workers_[job.worker].emplace(job.partition, std::move(rep));
       ++report.replicas_restored_from_checkpoint;
+      // The checkpoint only covers records up to its committed watermark;
+      // replay the worker's own WAL tail past it (filtered to this
+      // partition) so acked writes that landed between the last checkpoint
+      // and the crash survive. Peer-streamed replicas skip this — the
+      // surviving peer is already current.
+      report.wal_replayed_records += replay_wal_into_worker(
+          job.worker, loaded.wal_watermark, job.partition);
     }
   } else {
     stream_plan = std::move(plan);
@@ -1517,6 +1738,103 @@ recovery::HealReport DistributedAnnEngine::heal() {
   return report;
 }
 
+// ------------------------------------------------------------ durability ---
+
+void DistributedAnnEngine::open_wals() {
+  if (config_.wal_dir.empty()) return;
+  const std::size_t P = config_.n_workers;
+  if (wals_.size() == P) return;  // already attached
+  recovery::WalOptions opt;
+  opt.group_commit = config_.wal_group_commit;
+  wals_.clear();
+  wals_.reserve(P);
+  for (std::size_t w = 0; w < P; ++w) {
+    const auto dir = std::filesystem::path(config_.wal_dir) /
+                     ("worker_" + std::to_string(w));
+    wals_.push_back(std::make_unique<recovery::WriteLog>(dir.string(), opt));
+  }
+}
+
+void DistributedAnnEngine::enable_wal(const std::string& dir,
+                                      bool group_commit) {
+  ANNSIM_CHECK_MSG(router_.has_value(), "engine not built yet");
+  ANNSIM_CHECK_MSG(!dir.empty(), "enable_wal: directory must be non-empty");
+  ANNSIM_CHECK_MSG(config_.local_index == LocalIndexKind::kSegmented,
+                   "the write-ahead log requires the segmented local index");
+  std::lock_guard write_api(sync_->write_api);
+  std::unique_lock topology(sync_->topology);
+  config_.wal_dir = dir;
+  config_.wal_group_commit = group_commit;
+  wals_.clear();
+  open_wals();
+  // Replay anything a previous process left behind (no-op on fresh dirs):
+  // records past the current LSN edge re-enter the replicas idempotently.
+  const std::uint64_t edge = next_lsn_ > 0 ? next_lsn_ - 1 : 0;
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    (void)replay_wal_into_worker(w, edge);
+  }
+}
+
+bool DistributedAnnEngine::contains(GlobalId id) const {
+  ANNSIM_CHECK_MSG(router_.has_value(), "engine not built yet");
+  std::shared_lock topology(sync_->topology);
+  for (const WorkerStore& store : workers_) {
+    for (const auto& [pid, rep] : store) {
+      const segment::SegmentedIndex* seg = rep.index->segmented();
+      if (seg != nullptr && seg->contains(id)) return true;
+    }
+  }
+  return false;
+}
+
+std::size_t DistributedAnnEngine::replay_wal_into_worker(
+    std::size_t w, std::uint64_t after_lsn,
+    std::optional<PartitionId> only_partition) {
+  if (w >= wals_.size() || wals_[w] == nullptr) return 0;
+  const std::vector<recovery::WalRecord> tail = wals_[w]->read_tail(after_lsn);
+  if (tail.empty()) return 0;
+  WorkerStore& store = workers_[w];
+  std::size_t replayed = 0;
+  for (const recovery::WalRecord& rec : tail) {
+    // Advance the global streams past everything the log proves was acked,
+    // even for records we skip below — a fresh write must never reuse an
+    // LSN or a global id that a replayed record already owns.
+    next_lsn_ = std::max(next_lsn_, rec.lsn + 1);
+    if (rec.type != recovery::WalRecordType::kCompactMark &&
+        rec.partition < partition_last_lsn_.size()) {
+      partition_last_lsn_[rec.partition] =
+          std::max(partition_last_lsn_[rec.partition], rec.lsn);
+    }
+    if (only_partition.has_value() && PartitionId(rec.partition) != *only_partition) {
+      continue;
+    }
+    switch (rec.type) {
+      case recovery::WalRecordType::kInsert: {
+        next_stream_id_ = std::max(next_stream_id_, rec.id + 1);
+        ++replayed;
+        auto it = store.find(PartitionId(rec.partition));
+        if (it == store.end()) break;  // replica lost; peers carry the row
+        const segment::SegmentedIndex* seg = it->second.index->segmented();
+        // Idempotent by global id: a record at or below the snapshot's
+        // watermark (or replayed twice) is already live in the replica.
+        if (seg != nullptr && seg->contains(rec.id)) break;
+        it->second.index->insert(rec.vec, rec.id);
+        break;
+      }
+      case recovery::WalRecordType::kDelete: {
+        ++replayed;
+        auto it = store.find(PartitionId(rec.partition));
+        // erase() is naturally idempotent: a second pass is a miss.
+        if (it != store.end()) (void)it->second.index->erase(rec.id);
+        break;
+      }
+      case recovery::WalRecordType::kCompactMark:
+        break;  // ordering mark only; compaction state rebuilds lazily
+    }
+  }
+  return replayed;
+}
+
 // ----------------------------------------------------------- persistence ---
 
 void DistributedAnnEngine::save(const std::string& path) const {
@@ -1551,6 +1869,7 @@ void DistributedAnnEngine::save(const std::string& path) const {
   w.write(std::uint8_t(config_.quantize_frozen ? 1 : 0));
   w.write(config_.float_cache_fraction);
   w.write(next_stream_id_);  // id stream survives save/load, never reused
+  w.write(next_lsn_);        // LSN stream too: WAL replay resumes past it
 
   BinaryWriter tree;
   router_->serialize(tree);
@@ -1581,7 +1900,8 @@ void DistributedAnnEngine::save(const std::string& path) const {
 }
 
 DistributedAnnEngine DistributedAnnEngine::load(
-    const std::string& path, const std::string& checkpoint_dir) {
+    const std::string& path, const std::string& checkpoint_dir,
+    const std::string& wal_dir) {
   std::ifstream in(path, std::ios::binary);
   ANNSIM_CHECK_MSG(in.good(), "cannot open for reading: " << path);
   in.seekg(0, std::ios::end);
@@ -1623,6 +1943,7 @@ DistributedAnnEngine DistributedAnnEngine::load(
   eng.config_.quantize_frozen = r.read<std::uint8_t>() != 0;
   eng.config_.float_cache_fraction = r.read<double>();
   eng.next_stream_id_ = r.read<GlobalId>();
+  eng.next_lsn_ = r.read<std::uint64_t>();
 
   auto tree_bytes = r.read_vector<std::byte>();
   BinaryReader tr(tree_bytes);
@@ -1631,6 +1952,7 @@ DistributedAnnEngine DistributedAnnEngine::load(
   const auto n_workers = r.read<std::uint64_t>();
   ANNSIM_CHECK(n_workers == eng.config_.n_workers);
   eng.workers_.resize(n_workers);
+  eng.partition_last_lsn_.assign(n_workers, 0);
   LocalIndexParams lp;
   lp.kind = eng.config_.local_index;
   lp.hnsw = eng.config_.hnsw;
@@ -1662,6 +1984,19 @@ DistributedAnnEngine DistributedAnnEngine::load(
 
   eng.health_.reset(eng.config_.n_workers);
   eng.config_.checkpoint_dir = checkpoint_dir;
+  if (!wal_dir.empty()) {
+    // Re-attach the WALs and replay any records past the engine file's LSN
+    // edge: writes acked after the save() but before the crash live only in
+    // the logs, and the ack contract says they must come back.
+    ANNSIM_CHECK_MSG(eng.config_.local_index == LocalIndexKind::kSegmented,
+                     "wal_dir requires the segmented local index");
+    eng.config_.wal_dir = wal_dir;
+    eng.open_wals();
+    const std::uint64_t edge = eng.next_lsn_ > 0 ? eng.next_lsn_ - 1 : 0;
+    for (std::size_t w = 0; w < eng.workers_.size(); ++w) {
+      (void)eng.replay_wal_into_worker(w, edge);
+    }
+  }
   eng.save_checkpoints();  // no-op without a checkpoint dir
   return eng;
 }

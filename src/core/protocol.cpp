@@ -54,6 +54,7 @@ std::vector<std::byte> encode_write_batch(const WriteBatch& b) {
   for (const auto& row : b.rows) {
     w.write(row.partition);
     w.write(row.id);
+    w.write(row.lsn);
     w.write_vector(row.vec);
   }
   return w.take();
@@ -67,6 +68,7 @@ WriteBatch decode_write_batch(std::span<const std::byte> bytes) {
   for (auto& row : out.rows) {
     row.partition = r.read<PartitionId>();
     row.id = r.read<GlobalId>();
+    row.lsn = r.read<std::uint64_t>();
     row.vec = r.read_vector<float>();
   }
   ANNSIM_CHECK(r.exhausted());
@@ -74,8 +76,11 @@ WriteBatch decode_write_batch(std::span<const std::byte> bytes) {
 }
 
 std::vector<std::byte> encode_delete_batch(const DeleteBatch& b) {
+  ANNSIM_CHECK_MSG(b.lsns.empty() || b.lsns.size() == b.ids.size(),
+                   "DeleteBatch.lsns must be empty or parallel to ids");
   BinaryWriter w;
   w.write_vector(b.ids);
+  w.write_vector(b.lsns);
   return w.take();
 }
 
@@ -83,7 +88,11 @@ DeleteBatch decode_delete_batch(std::span<const std::byte> bytes) {
   BinaryReader r(bytes);
   DeleteBatch out;
   out.ids = r.read_vector<GlobalId>();
+  out.lsns = r.read_vector<std::uint64_t>();
   ANNSIM_CHECK(r.exhausted());
+  ANNSIM_CHECK_MSG(out.lsns.empty() || out.lsns.size() == out.ids.size(),
+                   "DeleteBatch.lsns must be empty or parallel to ids");
+  if (out.lsns.empty()) out.lsns.assign(out.ids.size(), 0);
   return out;
 }
 

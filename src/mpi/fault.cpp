@@ -52,6 +52,19 @@ FaultInjector::FaultInjector(FaultPlan plan, int n_ranks)
     rs.kill_after_ops = std::min(rs.kill_after_ops, kill.after_ops);
     rs.kill_at_step = std::min(rs.kill_at_step, kill.at_step);
   }
+  for (const DiskFaultRule& df : plan_.disk_faults) {
+    ANNSIM_CHECK_MSG(df.rank >= 0 && df.rank < n_ranks_,
+                     "fault.disk_faults rank " << df.rank
+                                               << " outside runtime ranks [0, "
+                                               << n_ranks_ << ")");
+    auto& rs = ranks_[std::size_t(df.rank)];
+    // Earliest rule wins when several target the same rank — the rank dies
+    // at the first fault, so later rules could never fire anyway.
+    if (df.at_lsn < rs.disk_fault_lsn.load(std::memory_order_relaxed)) {
+      rs.disk_fault_lsn.store(df.at_lsn, std::memory_order_relaxed);
+      rs.disk_fault_kind = df.kind;
+    }
+  }
 }
 
 bool FaultInjector::allow_op(int global_rank) {
@@ -105,6 +118,21 @@ bool FaultInjector::allow_reliable_op(int global_rank) {
   return true;
 }
 
+std::optional<DiskFaultKind> FaultInjector::disk_fault_at(int global_rank,
+                                                          std::uint64_t lsn) {
+  ANNSIM_CHECK(global_rank >= 0 && global_rank < n_ranks_);
+  auto& rs = ranks_[std::size_t(global_rank)];
+  std::uint64_t armed = rs.disk_fault_lsn.load(std::memory_order_acquire);
+  if (lsn < armed) return std::nullopt;
+  // Fire exactly once: the CAS loser observes kNeverFires and stands down.
+  if (!rs.disk_fault_lsn.compare_exchange_strong(armed, kNeverFires,
+                                                 std::memory_order_acq_rel)) {
+    return std::nullopt;
+  }
+  rs.dead.store(true, std::memory_order_release);
+  return rs.disk_fault_kind;
+}
+
 void FaultInjector::revive(int global_rank) {
   ANNSIM_CHECK(global_rank >= 0 && global_rank < n_ranks_);
   auto& rs = ranks_[std::size_t(global_rank)];
@@ -112,6 +140,7 @@ void FaultInjector::revive(int global_rank) {
   // phases, after every rank thread has been joined.
   rs.kill_after_ops = kNeverFires;
   rs.kill_at_step = kNeverFires;
+  rs.disk_fault_lsn.store(kNeverFires, std::memory_order_release);
   rs.dead.store(false, std::memory_order_release);
 }
 

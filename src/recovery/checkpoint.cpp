@@ -7,6 +7,7 @@
 
 #include "annsim/common/error.hpp"
 #include "annsim/common/serialize.hpp"
+#include "annsim/recovery/durable_file.hpp"
 
 namespace fs = std::filesystem;
 
@@ -17,6 +18,7 @@ namespace {
 constexpr std::uint32_t kManifestMagic = 0x414E4350;  // "ANCP"
 constexpr std::uint32_t kManifestVersion = 1;            ///< monolithic layout
 constexpr std::uint32_t kManifestVersionSegmented = 2;   ///< incremental layout
+constexpr std::uint32_t kManifestVersionWal = 3;  ///< incremental + watermark
 constexpr const char* kManifestFile = "manifest.bin";
 constexpr const char* kDataFile = "data.bin";
 constexpr const char* kIndexFile = "index.bin";
@@ -33,15 +35,16 @@ std::string delta_filename(std::uint64_t generation) {
   return "delta_" + std::to_string(generation) + ".bin";
 }
 
+/// Create-and-fill a fresh file (callers stage into paths that do not exist
+/// yet). Routed through DurableFile so the bytes are fsynced before the
+/// enclosing staging-rename / manifest-rename commit point.
 void write_file(const fs::path& path, std::span<const std::byte> bytes) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  ANNSIM_CHECK_MSG(out.good(), "cannot open " << path.string() << " for writing");
-  if (!bytes.empty()) {
-    out.write(reinterpret_cast<const char*>(bytes.data()),
-              std::streamsize(bytes.size()));
-  }
-  out.flush();
-  ANNSIM_CHECK_MSG(out.good(), "short write to " << path.string());
+  ANNSIM_CHECK_MSG(!fs::exists(path),
+                   "refusing to overwrite " << path.string()
+                                            << " (stage into fresh files)");
+  DurableFile f = DurableFile::open_append(path.string());
+  f.append(bytes);
+  f.sync();
 }
 
 std::vector<std::byte> read_file(const fs::path& path) {
@@ -77,6 +80,27 @@ std::uint64_t checksum64(std::span<const std::byte> bytes) noexcept {
 CheckpointStore::CheckpointStore(std::string dir) : dir_(std::move(dir)) {
   ANNSIM_CHECK_MSG(!dir_.empty(), "checkpoint dir cannot be empty");
   fs::create_directories(dir_);
+  // Sweep debris from a crash mid-commit: hidden staging directories (v1
+  // saves) and hidden `.tmp` siblings (segmented saves). Nothing hidden is
+  // ever part of a committed snapshot — the rename out of hiding *is* the
+  // commit — so removal is always safe, and leaving them would accumulate
+  // forever and shadow post-commit GC.
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    const std::string name = entry.path().filename().string();
+    if (entry.is_directory() && name.starts_with(".") &&
+        name.ends_with(".staging")) {
+      fs::remove_all(entry.path());
+      continue;
+    }
+    if (!entry.is_directory()) continue;
+    for (const auto& file : fs::directory_iterator(entry.path())) {
+      const std::string fname = file.path().filename().string();
+      if (file.is_regular_file() && fname.starts_with(".") &&
+          fname.ends_with(".tmp")) {
+        fs::remove(file.path());
+      }
+    }
+  }
 }
 
 void CheckpointStore::save(const CheckpointMeta& meta,
@@ -95,7 +119,10 @@ void CheckpointStore::save(const CheckpointMeta& meta,
   // Stage everything in a hidden sibling directory, then rename into place:
   // readers either see the old committed snapshot or the complete new one.
   const fs::path root(dir_);
-  const fs::path staging = root / ("." + partition_dirname(meta.partition) + ".staging");
+  std::string staging_name = ".";
+  staging_name += partition_dirname(meta.partition);
+  staging_name += ".staging";
+  const fs::path staging = root / staging_name;
   const fs::path target = root / partition_dirname(meta.partition);
   fs::remove_all(staging);
   fs::create_directories(staging);
@@ -104,16 +131,15 @@ void CheckpointStore::save(const CheckpointMeta& meta,
   write_file(staging / kManifestFile, manifest.bytes());
   fs::remove_all(target);
   fs::rename(staging, target);
+  // The directory-entry rename is the commit; fsync the root so it sticks.
+  DurableFile::sync_dir(dir_);
 }
 
 namespace {
 
 /// Atomic single-file replace: write a hidden sibling, rename over `path`.
 void write_file_atomic(const fs::path& path, std::span<const std::byte> bytes) {
-  const fs::path tmp = path.parent_path() / ("." + path.filename().string() +
-                                             ".tmp");
-  write_file(tmp, bytes);
-  fs::rename(tmp, path);
+  DurableFile::write_atomic(path.string(), bytes);
 }
 
 }  // namespace
@@ -121,26 +147,33 @@ void write_file_atomic(const fs::path& path, std::span<const std::byte> bytes) {
 CheckpointStore::SaveReport CheckpointStore::save_segmented(
     const CheckpointMeta& meta, std::span<const std::byte> header,
     std::span<const std::pair<std::uint64_t, std::vector<std::byte>>> segments,
-    std::span<const std::byte> delta) const {
+    std::span<const std::byte> delta, std::uint64_t wal_watermark) const {
   const fs::path pdir = fs::path(dir_) / partition_dirname(meta.partition);
   fs::create_directories(pdir);
 
   // The delta rewrites every save; bump its generation past whatever the
   // committed manifest references so the old generation's bytes stay intact
-  // until the new manifest rename commits.
+  // until the new manifest rename commits. Both segmented layouts (v2 and
+  // the v3 watermark extension) are accepted here.
   std::uint64_t generation = 0;
   if (fs::exists(pdir / kManifestFile)) {
     const auto old_bytes = read_file(pdir / kManifestFile);
     BinaryReader old(old_bytes);
     if (old.remaining() >= 2 * sizeof(std::uint32_t) &&
-        old.read<std::uint32_t>() == kManifestMagic &&
-        old.read<std::uint32_t>() == kManifestVersionSegmented) {
-      old.read<std::uint32_t>();  // partition
-      old.read<std::uint64_t>();  // dim
-      old.read<std::uint64_t>();  // count
-      old.read<std::uint8_t>();   // index_kind
-      (void)old.read_vector<std::byte>();  // header blob
-      generation = old.read<std::uint64_t>() + 1;
+        old.read<std::uint32_t>() == kManifestMagic) {
+      const auto old_version = old.read<std::uint32_t>();
+      if (old_version == kManifestVersionSegmented ||
+          old_version == kManifestVersionWal) {
+        old.read<std::uint32_t>();  // partition
+        old.read<std::uint64_t>();  // dim
+        old.read<std::uint64_t>();  // count
+        old.read<std::uint8_t>();   // index_kind
+        if (old_version == kManifestVersionWal) {
+          old.read<std::uint64_t>();  // wal watermark
+        }
+        (void)old.read_vector<std::byte>();  // header blob
+        generation = old.read<std::uint64_t>() + 1;
+      }
     }
   }
 
@@ -161,11 +194,12 @@ CheckpointStore::SaveReport CheckpointStore::save_segmented(
 
   BinaryWriter manifest;
   manifest.write(kManifestMagic);
-  manifest.write(kManifestVersionSegmented);
+  manifest.write(kManifestVersionWal);
   manifest.write(meta.partition);
   manifest.write(meta.dim);
   manifest.write(meta.count);
   manifest.write(meta.index_kind);
+  manifest.write(wal_watermark);
   manifest.write_vector(std::vector<std::byte>(header.begin(), header.end()));
   manifest.write(generation);
   manifest.write(FileRecord{delta.size(), checksum64(delta)});
@@ -212,15 +246,19 @@ CheckpointStore::LoadedPartition CheckpointStore::load(
                        manifest.read<std::uint32_t>() == kManifestMagic,
                    "bad checkpoint manifest magic for partition " << partition);
   const auto version = manifest.read<std::uint32_t>();
-  ANNSIM_CHECK_MSG(
-      version == kManifestVersion || version == kManifestVersionSegmented,
-      "unsupported checkpoint manifest version " << version);
+  ANNSIM_CHECK_MSG(version == kManifestVersion ||
+                       version == kManifestVersionSegmented ||
+                       version == kManifestVersionWal,
+                   "unsupported checkpoint manifest version " << version);
 
   LoadedPartition out;
   out.meta.partition = manifest.read<std::uint32_t>();
   out.meta.dim = manifest.read<std::uint64_t>();
   out.meta.count = manifest.read<std::uint64_t>();
   out.meta.index_kind = manifest.read<std::uint8_t>();
+  if (version == kManifestVersionWal) {
+    out.wal_watermark = manifest.read<std::uint64_t>();
+  }
   ANNSIM_CHECK_MSG(out.meta.partition == partition,
                    "checkpoint manifest names partition "
                        << out.meta.partition << " but was loaded as "

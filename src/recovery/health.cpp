@@ -25,14 +25,16 @@ std::vector<std::size_t> ClusterHealth::dead_workers() const {
 }
 
 std::string to_string(const HealReport& r) {
-  char buf[256];
+  char buf[320];
   std::snprintf(buf, sizeof(buf),
                 "heal: %zu workers revived, %zu replicas restored "
-                "(%zu checkpoint, %zu peer-stream), %zu unrecoverable, %.3fs",
+                "(%zu checkpoint, %zu peer-stream), %zu unrecoverable, "
+                "%zu wal records replayed, %zu wal tail bytes truncated, "
+                "%.3fs",
                 r.workers_revived, r.replicas_restored(),
                 r.replicas_restored_from_checkpoint,
                 r.replicas_restored_from_peer, r.replicas_unrecoverable,
-                r.seconds);
+                r.wal_replayed_records, r.wal_truncated_tail_bytes, r.seconds);
   return buf;
 }
 

@@ -96,11 +96,15 @@ void ServerMetrics::on_retry() {
 }
 
 void ServerMetrics::on_heal(std::size_t workers_revived,
-                            bool coverage_restored) {
+                            bool coverage_restored,
+                            std::size_t wal_replayed_records,
+                            std::size_t wal_truncated_tail_bytes) {
   std::lock_guard lk(mu_);
   ++heals_;
   workers_revived_ += workers_revived;
   if (coverage_restored) ++coverage_restored_;
+  wal_replayed_records_ += wal_replayed_records;
+  wal_truncated_tail_bytes_ += wal_truncated_tail_bytes;
 }
 
 void ServerMetrics::on_health(std::size_t under_replicated) {
@@ -130,6 +134,8 @@ MetricsReport ServerMetrics::report() const {
   r.heals = heals_;
   r.workers_revived = workers_revived_;
   r.coverage_restored = coverage_restored_;
+  r.wal_replayed_records = wal_replayed_records_;
+  r.wal_truncated_tail_bytes = wal_truncated_tail_bytes_;
   r.under_replicated_partitions = under_replicated_;
   if (saw_submit_) {
     r.wall_seconds =
@@ -180,12 +186,14 @@ std::string to_string(const MetricsReport& r) {
     out += ov_buf;
   }
   if (r.heals > 0 || r.under_replicated_partitions > 0) {
-    char heal_buf[192];
+    char heal_buf[256];
     std::snprintf(heal_buf, sizeof(heal_buf),
                   "\nhealing: %zu heals, %zu workers revived, %zu restored "
-                  "full coverage, %zu partitions under-replicated",
+                  "full coverage, %zu partitions under-replicated, %zu wal "
+                  "records replayed, %zu wal tail bytes truncated",
                   r.heals, r.workers_revived, r.coverage_restored,
-                  r.under_replicated_partitions);
+                  r.under_replicated_partitions, r.wal_replayed_records,
+                  r.wal_truncated_tail_bytes);
     out += heal_buf;
   }
   return out;

@@ -1,0 +1,354 @@
+/// Engine write-durability tests: the WAL-backed ack contract end to end.
+/// What is pinned down:
+///  * ack => replayable: after a seeded disk fault kills a worker mid-round,
+///    every insert the engine acked is still found after heal(), and every
+///    acked delete stays dead — even when the only durable copy briefly
+///    lived on the survivors;
+///  * heal prefers the revived worker's own WAL tail when it covers the
+///    partition's last issued LSN, and falls back to streaming from a
+///    current peer when the worker's log went stale while it was dead —
+///    a stale checkpoint + short log must never resurrect acked deletes;
+///  * load(path, checkpoint_dir, wal_dir) replays the log tail past the
+///    saved engine image, so a process restart recovers writes that were
+///    acked after the last save();
+///  * a corrupted delta blob in a segmented checkpoint fails the restore of
+///    exactly that partition and heal falls back to peer streaming.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <unistd.h>
+#include <unordered_set>
+#include <vector>
+
+#include "annsim/core/engine.hpp"
+#include "annsim/data/recipes.hpp"
+#include "annsim/recovery/checkpoint.hpp"
+
+namespace annsim::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+EngineConfig wal_config(std::size_t workers = 4) {
+  EngineConfig cfg;
+  cfg.n_workers = workers;
+  cfg.replication = 2;
+  cfg.n_probe = 2;
+  cfg.threads_per_worker = 1;
+  cfg.local_index = LocalIndexKind::kSegmented;
+  cfg.segment_delta_capacity = 64;
+  cfg.hnsw.M = 8;
+  cfg.hnsw.ef_construction = 48;
+  cfg.partitioner.vantage_candidates = 8;
+  cfg.partitioner.vantage_sample = 32;
+  return cfg;
+}
+
+/// Unique per-test scratch tree with checkpoint/ and wal/ subdirectories.
+class WalScratch {
+ public:
+  WalScratch() {
+    root_ = (fs::temp_directory_path() /
+             ("annsim_engwal_" + std::to_string(::getpid()) + "_" +
+              ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+                .string();
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+  ~WalScratch() { fs::remove_all(root_); }
+  [[nodiscard]] std::string checkpoints() const { return root_ + "/ckpt"; }
+  [[nodiscard]] std::string wal() const { return root_ + "/wal"; }
+  [[nodiscard]] std::string engine_file() const { return root_ + "/eng.idx"; }
+
+ private:
+  std::string root_;
+};
+
+/// Ids of `ws.assigned_ids` whose row the engine acked (>= 1 replica durable).
+std::vector<GlobalId> acked_ids(const WriteStats& ws) {
+  std::vector<GlobalId> out;
+  for (std::size_t i = 0; i < ws.assigned_ids.size(); ++i) {
+    if (i < ws.row_acked.size() && ws.row_acked[i]) {
+      out.push_back(ws.assigned_ids[i]);
+    }
+  }
+  return out;
+}
+
+void expect_none_returned(const data::KnnResults& res,
+                          const std::unordered_set<GlobalId>& banned,
+                          const char* when) {
+  for (std::size_t q = 0; q < res.size(); ++q) {
+    for (const auto& nb : res[q]) {
+      EXPECT_FALSE(banned.contains(nb.id))
+          << "deleted id " << nb.id << " resurfaced in query " << q << " "
+          << when;
+    }
+  }
+}
+
+TEST(EngineWal, TornWriteMidRoundLosesNoAckedWrite) {
+  WalScratch scratch;
+  auto w = data::make_sift_like(600, 20, 901);
+  auto cfg = wal_config(4);
+  cfg.checkpoint_dir = scratch.checkpoints();
+  cfg.wal_dir = scratch.wal();
+  cfg.result_timeout_ms = 250.0;
+  cfg.fault.seed = 95;
+  // Worker 1 (runtime rank 2) suffers a torn frame on LSN 12 — mid second
+  // insert round — and goes fail-silent from there.
+  cfg.fault.disk_faults.push_back({/*rank=*/2, /*at_lsn=*/12,
+                                   mpi::DiskFaultKind::kTornWrite});
+  DistributedAnnEngine eng(&w.base, cfg);
+  eng.build();
+
+  auto stream1 = data::make_sift_like(8, 1, 902).base;
+  auto stream2 = data::make_sift_like(8, 1, 903).base;
+  const auto ws1 = eng.insert(stream1);  // LSNs 1..8, fault not yet armed
+  const auto ws2 = eng.insert(stream2);  // LSNs 9..16: fault fires at 12
+
+  // The fault leaves the rank fail-silent; a search batch observes the
+  // silence and folds the death into the health record.
+  SearchStats det;
+  (void)eng.search(w.queries, 10, 0, &det);
+  EXPECT_EQ(det.workers_failed, 1u);
+  ASSERT_FALSE(eng.health().alive(1));
+
+  // Deletes issued while worker 1 is dead: the survivors log + ack them.
+  std::vector<GlobalId> dels{3, 40, 77, 150, 222};
+  const auto dws = eng.remove(dels);
+  EXPECT_TRUE(dws.all_acked);
+
+  std::vector<GlobalId> acked = acked_ids(ws1);
+  for (const GlobalId id : acked_ids(ws2)) acked.push_back(id);
+  ASSERT_FALSE(acked.empty());
+  // Acked before heal: at least one live replica holds each row already.
+  for (const GlobalId id : acked) {
+    EXPECT_TRUE(eng.contains(id)) << "acked id " << id << " lost before heal";
+  }
+
+  const auto heal = eng.heal();
+  EXPECT_EQ(heal.workers_revived, 1u);
+  EXPECT_TRUE(heal.fully_healed());
+  // The torn frame is a corrupt tail on worker 1's log; recovery drops it.
+  EXPECT_GT(heal.wal_truncated_tail_bytes, 0u);
+
+  // The durability gate: nothing acked lost, nothing deleted resurrected —
+  // on any replica, including the one just rebuilt.
+  for (const GlobalId id : acked) {
+    EXPECT_TRUE(eng.contains(id)) << "acked id " << id << " lost after heal";
+  }
+  std::unordered_set<GlobalId> banned(dels.begin(), dels.end());
+  for (const GlobalId id : dels) {
+    EXPECT_FALSE(eng.contains(id)) << "acked delete " << id << " resurrected";
+  }
+  SearchStats st;
+  const auto res = eng.search(w.queries, 10, 0, &st);
+  EXPECT_EQ(st.workers_failed, 0u);
+  EXPECT_EQ(st.degraded_queries, 0u);
+  expect_none_returned(res, banned, "after heal");
+}
+
+TEST(EngineWal, StaleLogAndCheckpointPreferPeerStream) {
+  WalScratch scratch;
+  auto w = data::make_sift_like(600, 20, 904);
+  auto cfg = wal_config(4);
+  cfg.checkpoint_dir = scratch.checkpoints();
+  cfg.wal_dir = scratch.wal();
+  // Checkpoints only at build time: everything written afterwards exists in
+  // the WALs and the live replicas alone — the adversarial case for heal.
+  cfg.checkpoint_every_rounds = 1000;
+  cfg.result_timeout_ms = 250.0;
+  cfg.fault.seed = 96;
+  // Worker 1 crashes before its very first frame reaches disk: its log
+  // stays empty while the cluster keeps acking writes without it.
+  cfg.fault.disk_faults.push_back({/*rank=*/2, /*at_lsn=*/1,
+                                   mpi::DiskFaultKind::kCrashAtLsn});
+  DistributedAnnEngine eng(&w.base, cfg);
+  eng.build();
+
+  auto stream = data::make_sift_like(12, 1, 905).base;
+  const auto ws = eng.insert(stream);  // kills worker 1 at LSN 1
+  SearchStats det;
+  (void)eng.search(w.queries, 10, 0, &det);
+  EXPECT_EQ(det.workers_failed, 1u);
+  ASSERT_FALSE(eng.health().alive(1));
+  std::vector<GlobalId> dels{5, 17, 120, 301, 444, 590};
+  const auto dws = eng.remove(dels);
+  EXPECT_TRUE(dws.all_acked);
+
+  // Worker 1's own log (empty) is behind every partition it hosts, and both
+  // its partitions still have a live peer: heal must stream current state,
+  // not restore the build-time checkpoint that predates every write above —
+  // that stale image would resurrect all six deletes.
+  const auto heal = eng.heal();
+  EXPECT_EQ(heal.workers_revived, 1u);
+  EXPECT_EQ(heal.replicas_restored_from_checkpoint, 0u);
+  EXPECT_EQ(heal.replicas_restored_from_peer, 2u);
+  EXPECT_TRUE(heal.fully_healed());
+
+  for (const GlobalId id : acked_ids(ws)) {
+    EXPECT_TRUE(eng.contains(id)) << "acked id " << id << " lost after heal";
+  }
+  for (const GlobalId id : dels) {
+    EXPECT_FALSE(eng.contains(id)) << "acked delete " << id << " resurrected";
+  }
+  std::unordered_set<GlobalId> banned(dels.begin(), dels.end());
+  expect_none_returned(eng.search(w.queries, 10), banned, "after heal");
+}
+
+TEST(EngineWal, CurrentLogReplaysInsteadOfStreaming) {
+  WalScratch scratch;
+  auto w = data::make_sift_like(600, 20, 906);
+  auto cfg = wal_config(4);
+  cfg.checkpoint_dir = scratch.checkpoints();
+  cfg.wal_dir = scratch.wal();
+  cfg.checkpoint_every_rounds = 1000;  // build-time checkpoints only
+  cfg.result_timeout_ms = 250.0;
+  cfg.fault.seed = 97;
+  // Worker 1 dies on the SEARCH plane, after every write round committed:
+  // its log covers the last LSN issued against its partitions, so heal can
+  // take the cheap path — restore the (stale, build-time) checkpoint and
+  // replay its own WAL tail locally, no peer stream needed.
+  cfg.fault.kills.push_back({/*rank=*/2, /*after_ops=*/3, mpi::kNeverFires});
+  DistributedAnnEngine eng(&w.base, cfg);
+  eng.build();
+  auto stream = data::make_sift_like(12, 1, 907).base;
+  const auto ws = eng.insert(stream);
+  std::vector<GlobalId> dels{9, 33, 140, 287, 402, 555};
+  const auto dws = eng.remove(dels);
+  EXPECT_TRUE(dws.all_acked);
+
+  SearchStats st;
+  (void)eng.search(w.queries, 10, 0, &st);
+  EXPECT_EQ(st.workers_failed, 1u);
+  ASSERT_FALSE(eng.health().alive(1));
+
+  const auto heal = eng.heal();
+  EXPECT_EQ(heal.workers_revived, 1u);
+  EXPECT_TRUE(heal.fully_healed());
+  // Both of worker 1's partitions restore from the checkpoint + its own
+  // WAL tail — the log is current, so no peer stream and a real replay.
+  EXPECT_EQ(heal.replicas_restored_from_checkpoint, 2u);
+  EXPECT_EQ(heal.replicas_restored_from_peer, 0u);
+  EXPECT_GT(heal.wal_replayed_records, 0u);
+
+  for (const GlobalId id : acked_ids(ws)) {
+    EXPECT_TRUE(eng.contains(id)) << "acked id " << id << " lost after heal";
+  }
+  for (const GlobalId id : dels) {
+    EXPECT_FALSE(eng.contains(id)) << "acked delete " << id << " resurrected";
+  }
+  std::unordered_set<GlobalId> banned(dels.begin(), dels.end());
+  SearchStats st2;
+  const auto res = eng.search(w.queries, 10, 0, &st2);
+  EXPECT_EQ(st2.workers_failed, 0u);
+  EXPECT_EQ(st2.degraded_queries, 0u);
+  expect_none_returned(res, banned, "after heal");
+}
+
+TEST(EngineWal, LoadReplaysWalTailPastTheSavedImage) {
+  WalScratch scratch;
+  auto w = data::make_sift_like(600, 10, 908);
+  std::vector<GlobalId> acked;
+  std::vector<GlobalId> dels{7, 42, 299};
+  {
+    auto cfg = wal_config(4);
+    cfg.checkpoint_dir = scratch.checkpoints();
+    cfg.wal_dir = scratch.wal();
+    DistributedAnnEngine eng(&w.base, cfg);
+    eng.build();
+    eng.save(scratch.engine_file());
+
+    // Writes acked AFTER the save: the engine image on disk predates them,
+    // only the WALs carry them across the "process restart" below.
+    auto stream = data::make_sift_like(10, 1, 909).base;
+    acked = acked_ids(eng.insert(stream));
+    ASSERT_EQ(acked.size(), 10u);
+    const auto dws = eng.remove(dels);
+    EXPECT_TRUE(dws.all_acked);
+  }  // engine destroyed: everything in memory is gone
+
+  auto eng = DistributedAnnEngine::load(scratch.engine_file(),
+                                        scratch.checkpoints(), scratch.wal());
+  for (const GlobalId id : acked) {
+    EXPECT_TRUE(eng.contains(id)) << "acked id " << id << " lost across load";
+  }
+  for (const GlobalId id : dels) {
+    EXPECT_FALSE(eng.contains(id))
+        << "acked delete " << id << " resurrected across load";
+  }
+  // The LSN and id streams resume past the replayed tail: fresh inserts can
+  // never reuse an id a replayed record already owns.
+  auto more = data::make_sift_like(2, 1, 910).base;
+  const auto ws = eng.insert(more);
+  ASSERT_EQ(ws.assigned_ids.size(), 2u);
+  EXPECT_GT(ws.assigned_ids[0], acked.back());
+  std::unordered_set<GlobalId> banned(dels.begin(), dels.end());
+  expect_none_returned(eng.search(w.queries, 10), banned, "after load");
+}
+
+TEST(EngineWal, CorruptDeltaBlobFallsBackToPeerStream) {
+  WalScratch scratch;
+  auto w = data::make_sift_like(600, 20, 911);
+  auto cfg = wal_config(4);
+  cfg.checkpoint_dir = scratch.checkpoints();
+  cfg.result_timeout_ms = 250.0;
+  cfg.fault.seed = 98;
+  // Worker 1 (runtime rank 2) dies three ops into the search batch below.
+  cfg.fault.kills.push_back({/*rank=*/2, /*after_ops=*/3, mpi::kNeverFires});
+  DistributedAnnEngine eng(&w.base, cfg);
+  eng.build();
+  // A write round re-checkpoints every partition with a non-empty delta
+  // blob — the file this test is about to corrupt.
+  auto stream = data::make_sift_like(40, 1, 912).base;
+  (void)eng.insert(stream);
+
+  SearchStats st;
+  (void)eng.search(w.queries, 10, 0, &st);
+  EXPECT_EQ(st.workers_failed, 1u);
+  ASSERT_FALSE(eng.health().alive(1));
+
+  // Flip one mid-file byte of partition 1's delta generation: the size
+  // stays right, only the checksum can catch it at restore time.
+  fs::path delta_path;
+  for (const auto& entry : fs::directory_iterator(
+           fs::path(scratch.checkpoints()) / "partition_1")) {
+    if (entry.path().filename().string().rfind("delta_", 0) == 0) {
+      delta_path = entry.path();
+    }
+  }
+  ASSERT_FALSE(delta_path.empty());
+  const auto size = fs::file_size(delta_path);
+  ASSERT_GT(size, 2u);
+  {
+    std::fstream f(delta_path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(std::streamoff(size / 2));
+    char c = 0;
+    f.read(&c, 1);
+    c = char(c ^ 0x20);
+    f.seekp(std::streamoff(size / 2));
+    f.write(&c, 1);
+  }
+
+  // Heal must not sink on the corrupt partition: partition 0 restores from
+  // its (intact) checkpoint, partition 1 detects the bad delta and streams
+  // from the surviving peer instead.
+  const auto heal = eng.heal();
+  EXPECT_EQ(heal.workers_revived, 1u);
+  EXPECT_EQ(heal.replicas_restored_from_checkpoint, 1u);
+  EXPECT_EQ(heal.replicas_restored_from_peer, 1u);
+  EXPECT_EQ(heal.replicas_unrecoverable, 0u);
+  EXPECT_TRUE(heal.fully_healed());
+
+  SearchStats st2;
+  (void)eng.search(w.queries, 10, 0, &st2);
+  EXPECT_EQ(st2.workers_failed, 0u);
+  EXPECT_EQ(st2.degraded_queries, 0u);
+}
+
+}  // namespace
+}  // namespace annsim::core

@@ -447,5 +447,100 @@ TEST(MpiFault, ThreadTeamRacesOnOneRankKillExactlyOnce) {
   EXPECT_EQ(rt.failed_ranks(), std::vector<int>{0});
 }
 
+TEST(MpiFault, DiskFaultFiresOnceAtLsnAndKillsTheRank) {
+  FaultPlan plan;
+  plan.disk_faults.push_back(
+      {/*rank=*/2, /*at_lsn=*/10, DiskFaultKind::kTornWrite});
+  EXPECT_TRUE(plan.enabled());  // disk faults alone arm the injector
+  FaultInjector inj(plan, 4);
+
+  // Below the trigger: the fast path, nothing fires, nobody dies.
+  EXPECT_EQ(inj.disk_fault_at(2, 9), std::nullopt);
+  EXPECT_FALSE(inj.is_dead(2));
+  // Other ranks never consult this rule.
+  EXPECT_EQ(inj.disk_fault_at(1, 10), std::nullopt);
+  EXPECT_FALSE(inj.is_dead(1));
+
+  // The first frame whose LSN reaches the trigger gets the fault kind back
+  // and the rank is dead from that point on (all disk faults are terminal).
+  const auto kind = inj.disk_fault_at(2, 10);
+  ASSERT_TRUE(kind.has_value());
+  EXPECT_EQ(*kind, DiskFaultKind::kTornWrite);
+  EXPECT_TRUE(inj.is_dead(2));
+
+  // Fires exactly once: later frames see a disarmed rule.
+  EXPECT_EQ(inj.disk_fault_at(2, 11), std::nullopt);
+  EXPECT_EQ(inj.disk_fault_at(2, 10), std::nullopt);
+}
+
+TEST(MpiFault, DiskFaultFiresOnTheFirstLsnPastTheTrigger) {
+  // LSNs are global while each worker logs only its own subset, so the
+  // armed LSN may never appear verbatim in this rank's stream: the rule
+  // fires on the first frame at or past it.
+  FaultPlan plan;
+  plan.disk_faults.push_back(
+      {/*rank=*/1, /*at_lsn=*/10, DiskFaultKind::kFlipByte});
+  FaultInjector inj(plan, 3);
+  EXPECT_EQ(inj.disk_fault_at(1, 7), std::nullopt);
+  const auto kind = inj.disk_fault_at(1, 13);
+  ASSERT_TRUE(kind.has_value());
+  EXPECT_EQ(*kind, DiskFaultKind::kFlipByte);
+  EXPECT_TRUE(inj.is_dead(1));
+}
+
+TEST(MpiFault, ReviveDisarmsAFiredDiskFault) {
+  FaultPlan plan;
+  plan.disk_faults.push_back(
+      {/*rank=*/1, /*at_lsn=*/5, DiskFaultKind::kCrashAtLsn});
+  FaultInjector inj(plan, 3);
+  ASSERT_TRUE(inj.disk_fault_at(1, 5).has_value());
+  ASSERT_TRUE(inj.is_dead(1));
+
+  // Heal revives the rank; the spent rule must not re-fire on the next
+  // frame the recovered log commits.
+  inj.revive(1);
+  EXPECT_FALSE(inj.is_dead(1));
+  EXPECT_EQ(inj.disk_fault_at(1, 6), std::nullopt);
+  EXPECT_EQ(inj.disk_fault_at(1, 1000), std::nullopt);
+  EXPECT_FALSE(inj.is_dead(1));
+}
+
+TEST(MpiFault, ReviveDisarmsAPendingDiskFault) {
+  FaultPlan plan;
+  plan.disk_faults.push_back(
+      {/*rank=*/2, /*at_lsn=*/50, DiskFaultKind::kShortWrite});
+  FaultInjector inj(plan, 4);
+  // Revive before the trigger ever fires: the schedule is cleared, the rank
+  // cannot be re-killed by its own (stale) plan after a heal.
+  inj.revive(2);
+  EXPECT_EQ(inj.disk_fault_at(2, 50), std::nullopt);
+  EXPECT_EQ(inj.disk_fault_at(2, 100), std::nullopt);
+  EXPECT_FALSE(inj.is_dead(2));
+}
+
+TEST(MpiFault, DiskFaultScheduleIsDeterministicAcrossInjectors) {
+  FaultPlan plan;
+  plan.seed = 1234;
+  plan.disk_faults.push_back(
+      {/*rank=*/1, /*at_lsn=*/20, DiskFaultKind::kTornWrite});
+  // Two injectors fed the same monotone LSN stream fire on the same frame
+  // with the same kind — a chaos run replays from its logged plan.
+  for (int run = 0; run < 2; ++run) {
+    FaultInjector inj(plan, 3);
+    std::optional<DiskFaultKind> fired;
+    std::uint64_t fired_at = 0;
+    for (std::uint64_t lsn = 1; lsn <= 40; ++lsn) {
+      const auto k = inj.disk_fault_at(1, lsn);
+      if (k.has_value()) {
+        fired = k;
+        fired_at = lsn;
+      }
+    }
+    ASSERT_TRUE(fired.has_value()) << "run " << run;
+    EXPECT_EQ(*fired, DiskFaultKind::kTornWrite) << "run " << run;
+    EXPECT_EQ(fired_at, 20u) << "run " << run;
+  }
+}
+
 }  // namespace
 }  // namespace annsim::mpi

@@ -398,17 +398,69 @@ TEST_F(Checkpoint, FormatsReplaceEachOtherCleanly) {
   }
 }
 
+TEST_F(Checkpoint, StartupSweepsStaleStagingDebris) {
+  // A crash mid-commit can leave a hidden staging directory (v1 saves) or a
+  // hidden .tmp sibling (segmented saves) behind. Opening the store sweeps
+  // both, and never touches committed snapshots.
+  {
+    CheckpointStore store(dir_);
+    CheckpointMeta meta;
+    meta.partition = 3;
+    store.save(meta, some_bytes(32, 1), some_bytes(16, 2));
+  }
+  const fs::path staging = fs::path(dir_) / ".partition_9.staging";
+  fs::create_directories(staging);
+  {
+    std::ofstream junk(staging / "data.bin", std::ios::binary);
+    junk << "half-written";
+  }
+  const fs::path tmp_sibling =
+      fs::path(dir_) / "partition_3" / ".manifest.bin.tmp";
+  {
+    std::ofstream junk(tmp_sibling, std::ios::binary);
+    junk << "torn";
+  }
+
+  CheckpointStore reopened(dir_);
+  EXPECT_FALSE(fs::exists(staging));
+  EXPECT_FALSE(fs::exists(tmp_sibling));
+  EXPECT_TRUE(reopened.has(3));
+  EXPECT_EQ(reopened.load(3).data_bytes, some_bytes(32, 1));
+}
+
+TEST_F(Checkpoint, SegmentedWatermarkRoundTrips) {
+  auto w = data::make_sift_like(120, 4, 67);
+  segment::SegmentedIndex idx(w.base.slice(0, w.base.size()),
+                              segmented_params());
+  CheckpointStore store(dir_);
+
+  // Default watermark is 0 (no WAL): pre-WAL snapshots stay loadable.
+  save_parts(store, idx, 4);
+  EXPECT_EQ(store.load(4).wal_watermark, 0u);
+
+  // A re-save with a watermark commits it in the manifest; heal replays the
+  // worker's log strictly past this LSN after restoring the snapshot.
+  const auto parts = idx.snapshot_parts();
+  store.save_segmented(segmented_meta(idx, 4), parts.header, parts.segments,
+                       parts.delta, /*wal_watermark=*/12345);
+  EXPECT_EQ(store.load(4).wal_watermark, 12345u);
+}
+
 TEST_F(Checkpoint, HealReportRendering) {
   HealReport r;
   r.workers_revived = 1;
   r.replicas_restored_from_checkpoint = 2;
   r.replicas_restored_from_peer = 1;
+  r.wal_replayed_records = 5;
+  r.wal_truncated_tail_bytes = 545;
   r.seconds = 0.25;
   EXPECT_EQ(r.replicas_restored(), 3u);
   EXPECT_TRUE(r.fully_healed());
   const auto s = to_string(r);
   EXPECT_NE(s.find("1 workers revived"), std::string::npos) << s;
   EXPECT_NE(s.find("3 replicas restored"), std::string::npos) << s;
+  EXPECT_NE(s.find("5 wal records replayed"), std::string::npos) << s;
+  EXPECT_NE(s.find("545 wal tail bytes truncated"), std::string::npos) << s;
   r.replicas_unrecoverable = 2;
   EXPECT_FALSE(r.fully_healed());
 }

@@ -1,0 +1,334 @@
+/// Write-ahead-log unit tests: the frame format, the crash-recovery scan,
+/// and the durability primitives underneath it. The contract being pinned:
+///  * a committed frame round-trips byte-exact through read_tail();
+///  * recover() truncates a torn / short / bit-flipped tail at the first bad
+///    frame and never discards a frame that a successful commit() covered;
+///  * an injected disk fault fails the commit (no ack), crashes the log, and
+///    recover() brings it back accepting appends;
+///  * rotation splits the stream across `wal_<first_lsn>.log` files and
+///    gc(watermark) drops exactly the closed files a checkpoint covers;
+///  * DurableFile::write_atomic leaves either the old or the new bytes,
+///    never a prefix, and no staging sibling behind.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "annsim/mpi/fault.hpp"
+#include "annsim/recovery/durable_file.hpp"
+#include "annsim/recovery/write_log.hpp"
+
+namespace annsim::recovery {
+namespace {
+
+namespace fs = std::filesystem;
+
+class WriteLogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("annsim_wal_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+               .string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] std::vector<fs::path> log_files() const {
+    std::vector<fs::path> out;
+    for (const auto& entry : fs::directory_iterator(dir_)) {
+      if (entry.path().filename().string().rfind("wal_", 0) == 0) {
+        out.push_back(entry.path());
+      }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  /// XOR one byte at `offset` from the end of the last log file in place.
+  void flip_tail_byte(std::uint64_t offset_from_end) const {
+    const auto files = log_files();
+    ASSERT_FALSE(files.empty());
+    const fs::path& p = files.back();
+    const auto size = fs::file_size(p);
+    ASSERT_GT(size, offset_from_end);
+    std::fstream f(p, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(std::streamoff(size - 1 - offset_from_end));
+    char c = 0;
+    f.read(&c, 1);
+    c = char(c ^ 0x10);
+    f.seekp(std::streamoff(size - 1 - offset_from_end));
+    f.write(&c, 1);
+  }
+
+  std::string dir_;
+};
+
+std::vector<float> vec_of(float a, float b) { return {a, b}; }
+
+TEST_F(WriteLogTest, Crc32cMatchesTheCastagnoliReference) {
+  // The canonical check vector for CRC32C: "123456789" -> 0xE3069283. Pin it
+  // so a silent polynomial or init/final-xor change cannot invalidate every
+  // log on disk undetected.
+  const std::string s = "123456789";
+  std::vector<std::byte> b(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) b[i] = std::byte(s[i]);
+  EXPECT_EQ(crc32c(b), 0xE3069283u);
+  EXPECT_EQ(crc32c({}), 0u);
+}
+
+TEST_F(WriteLogTest, CommittedFramesRoundTrip) {
+  WriteLog log(dir_);
+  log.append_insert(1, PartitionId(2), GlobalId(100), vec_of(0.5f, -1.25f));
+  log.append_delete(2, PartitionId(0), GlobalId(7));
+  log.append_compact_mark(3, PartitionId(1));
+  EXPECT_EQ(log.last_synced_lsn(), 0u);  // nothing durable before commit
+  ASSERT_TRUE(log.commit());
+  EXPECT_EQ(log.last_synced_lsn(), 3u);
+
+  const auto tail = log.read_tail(0);
+  ASSERT_EQ(tail.size(), 3u);
+  EXPECT_EQ(tail[0].lsn, 1u);
+  EXPECT_EQ(tail[0].type, WalRecordType::kInsert);
+  EXPECT_EQ(tail[0].partition, PartitionId(2));
+  EXPECT_EQ(tail[0].id, GlobalId(100));
+  EXPECT_EQ(tail[0].vec, vec_of(0.5f, -1.25f));
+  EXPECT_EQ(tail[1].lsn, 2u);
+  EXPECT_EQ(tail[1].type, WalRecordType::kDelete);
+  EXPECT_TRUE(tail[1].vec.empty());
+  EXPECT_EQ(tail[2].type, WalRecordType::kCompactMark);
+
+  // read_tail is exclusive of after_lsn.
+  EXPECT_EQ(log.read_tail(1).size(), 2u);
+  EXPECT_EQ(log.read_tail(3).size(), 0u);
+}
+
+TEST_F(WriteLogTest, ReopenRecoversAndAppendsContinue) {
+  {
+    WriteLog log(dir_);
+    log.append_insert(1, PartitionId(0), GlobalId(1), vec_of(1, 2));
+    ASSERT_TRUE(log.commit());
+  }
+  WriteLog reopened(dir_);
+  EXPECT_EQ(reopened.last_synced_lsn(), 1u);
+  EXPECT_EQ(reopened.truncated_tail_bytes(), 0u);
+  reopened.append_insert(2, PartitionId(0), GlobalId(2), vec_of(3, 4));
+  ASSERT_TRUE(reopened.commit());
+  EXPECT_EQ(reopened.read_tail(0).size(), 2u);
+}
+
+TEST_F(WriteLogTest, FlippedTailByteIsTruncatedKeepingEarlierFrames) {
+  {
+    WriteLog log(dir_);
+    log.append_insert(1, PartitionId(0), GlobalId(1), vec_of(1, 2));
+    log.append_insert(2, PartitionId(0), GlobalId(2), vec_of(3, 4));
+    ASSERT_TRUE(log.commit());
+  }
+  // Flip a byte inside the last frame's payload: size is unchanged, so only
+  // the CRC can catch it.
+  flip_tail_byte(2);
+  WriteLog reopened(dir_);
+  EXPECT_GT(reopened.truncated_tail_bytes(), 0u);
+  const auto tail = reopened.read_tail(0);
+  ASSERT_EQ(tail.size(), 1u);  // frame 2 gone, frame 1 intact
+  EXPECT_EQ(tail[0].lsn, 1u);
+  EXPECT_EQ(reopened.last_synced_lsn(), 1u);
+}
+
+TEST_F(WriteLogTest, ShortTailIsTruncatedKeepingEarlierFrames) {
+  {
+    WriteLog log(dir_);
+    log.append_insert(1, PartitionId(0), GlobalId(1), vec_of(1, 2));
+    log.append_insert(2, PartitionId(0), GlobalId(2), vec_of(3, 4));
+    ASSERT_TRUE(log.commit());
+  }
+  const auto files = log_files();
+  ASSERT_EQ(files.size(), 1u);
+  // Chop the last 5 bytes: a power-loss prefix of the final frame.
+  fs::resize_file(files[0], fs::file_size(files[0]) - 5);
+  WriteLog reopened(dir_);
+  EXPECT_GT(reopened.truncated_tail_bytes(), 0u);
+  ASSERT_EQ(reopened.read_tail(0).size(), 1u);
+  EXPECT_EQ(reopened.last_synced_lsn(), 1u);
+  // The truncated tail is gone from disk too: appends after recovery start
+  // at the last valid frame, and a re-scan finds nothing more to drop.
+  reopened.append_insert(2, PartitionId(0), GlobalId(2), vec_of(5, 6));
+  ASSERT_TRUE(reopened.commit());
+  WriteLog again(dir_);
+  EXPECT_EQ(again.truncated_tail_bytes(), 0u);
+  EXPECT_EQ(again.read_tail(0).size(), 2u);
+}
+
+TEST_F(WriteLogTest, InjectedFaultFailsCommitAndRecoverRestoresService) {
+  for (const auto kind :
+       {mpi::DiskFaultKind::kCrashAtLsn, mpi::DiskFaultKind::kShortWrite,
+        mpi::DiskFaultKind::kTornWrite, mpi::DiskFaultKind::kFlipByte}) {
+    fs::remove_all(dir_);
+    WriteLog log(dir_);
+    log.append_insert(1, PartitionId(0), GlobalId(1), vec_of(1, 2));
+    ASSERT_TRUE(log.commit());
+
+    log.append_insert(2, PartitionId(0), GlobalId(2), vec_of(3, 4));
+    const bool ok = log.commit([&](std::uint64_t lsn) {
+      return lsn == 2 ? std::optional(kind) : std::nullopt;
+    });
+    EXPECT_FALSE(ok) << int(kind);  // the caller must not ack
+    EXPECT_TRUE(log.crashed()) << int(kind);
+    EXPECT_EQ(log.last_synced_lsn(), 1u) << int(kind);
+
+    // A crashed log drops appends — the worker is dead, nothing is acked.
+    log.append_insert(3, PartitionId(0), GlobalId(3), vec_of(5, 6));
+    EXPECT_FALSE(log.commit()) << int(kind);
+
+    // Heal-time recovery: truncate whatever the fault left behind and start
+    // accepting appends again. Frame 1 always survives (it was acked).
+    (void)log.recover();
+    EXPECT_FALSE(log.crashed()) << int(kind);
+    auto tail = log.read_tail(0);
+    ASSERT_GE(tail.size(), 1u) << int(kind);
+    EXPECT_EQ(tail[0].lsn, 1u) << int(kind);
+    log.append_insert(4, PartitionId(0), GlobalId(4), vec_of(7, 8));
+    EXPECT_TRUE(log.commit()) << int(kind);
+    EXPECT_EQ(log.last_synced_lsn(), 4u) << int(kind);
+  }
+}
+
+TEST_F(WriteLogTest, FaultBeforeTheFrameKeepsEarlierFramesOfTheSameCommit) {
+  WriteLog log(dir_);
+  log.append_insert(1, PartitionId(0), GlobalId(1), vec_of(1, 2));
+  log.append_insert(2, PartitionId(0), GlobalId(2), vec_of(3, 4));
+  log.append_insert(3, PartitionId(0), GlobalId(3), vec_of(5, 6));
+  const bool ok = log.commit([&](std::uint64_t lsn) {
+    return lsn == 3 ? std::optional(mpi::DiskFaultKind::kTornWrite)
+                    : std::nullopt;
+  });
+  EXPECT_FALSE(ok);
+  (void)log.recover();
+  // Frames 1 and 2 preceded the faulted frame and were written + synced on
+  // the fault path: the batch fails as a unit (no ack) but recovery keeps
+  // every valid prefix frame.
+  const auto tail = log.read_tail(0);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[1].lsn, 2u);
+}
+
+TEST_F(WriteLogTest, RotationSplitsFilesAndReadTailSpansThem) {
+  WalOptions opt;
+  opt.segment_bytes = 4096;  // the floor; a dim-512 insert frame is ~2 KiB
+  const std::vector<float> fat(512, 1.5f);
+  WriteLog log(dir_, opt);
+  for (std::uint64_t lsn = 1; lsn <= 12; ++lsn) {
+    log.append_insert(lsn, PartitionId(0), GlobalId(lsn), fat);
+    ASSERT_TRUE(log.commit());
+  }
+  EXPECT_GT(log_files().size(), 1u);
+  const auto tail = log.read_tail(0);
+  ASSERT_EQ(tail.size(), 12u);
+  for (std::uint64_t lsn = 1; lsn <= 12; ++lsn) {
+    EXPECT_EQ(tail[lsn - 1].lsn, lsn);
+  }
+  // Reopen across the rotated set: the scan stitches the same stream.
+  WriteLog reopened(dir_, opt);
+  EXPECT_EQ(reopened.last_synced_lsn(), 12u);
+  EXPECT_EQ(reopened.read_tail(6).size(), 6u);
+}
+
+TEST_F(WriteLogTest, GcDropsOnlyClosedFullyCoveredFiles) {
+  WalOptions opt;
+  opt.segment_bytes = 4096;
+  const std::vector<float> fat(512, 1.5f);
+  WriteLog log(dir_, opt);
+  for (std::uint64_t lsn = 1; lsn <= 12; ++lsn) {
+    log.append_insert(lsn, PartitionId(0), GlobalId(lsn), fat);
+    ASSERT_TRUE(log.commit());
+  }
+  const std::size_t before = log_files().size();
+  ASSERT_GT(before, 2u);
+
+  // Watermark 0: nothing is covered, nothing is dropped.
+  EXPECT_EQ(log.gc(0), 0u);
+  EXPECT_EQ(log_files().size(), before);
+
+  // A mid-stream watermark drops the closed files whose every record is
+  // covered; records past the watermark all survive.
+  const std::size_t dropped = log.gc(6);
+  EXPECT_GT(dropped, 0u);
+  EXPECT_EQ(log_files().size(), before - dropped);
+  const auto tail = log.read_tail(6);
+  ASSERT_EQ(tail.size(), 6u);
+  EXPECT_EQ(tail[0].lsn, 7u);
+
+  // Covering everything still keeps the active file: the append cursor (and
+  // the log's idea of last_synced_lsn) lives there.
+  (void)log.gc(12);
+  EXPECT_GE(log_files().size(), 1u);
+  EXPECT_EQ(log.last_synced_lsn(), 12u);
+  log.append_insert(13, PartitionId(0), GlobalId(13), vec_of(1, 2));
+  EXPECT_TRUE(log.commit());
+}
+
+TEST_F(WriteLogTest, BadHeaderMagicInvalidatesTheFile) {
+  {
+    WriteLog log(dir_);
+    log.append_insert(1, PartitionId(0), GlobalId(1), vec_of(1, 2));
+    ASSERT_TRUE(log.commit());
+  }
+  const auto files = log_files();
+  ASSERT_EQ(files.size(), 1u);
+  {
+    std::fstream f(files[0], std::ios::binary | std::ios::in | std::ios::out);
+    const char junk[4] = {'J', 'U', 'N', 'K'};
+    f.write(junk, 4);
+  }
+  WriteLog reopened(dir_);
+  EXPECT_EQ(reopened.read_tail(0).size(), 0u);
+  EXPECT_EQ(reopened.last_synced_lsn(), 0u);
+}
+
+// ---- DurableFile ----
+
+TEST_F(WriteLogTest, WriteAtomicReplacesWholeFileAndLeavesNoStaging) {
+  fs::create_directories(dir_);
+  const std::string path = dir_ + "/blob.bin";
+  std::vector<std::byte> v1(64, std::byte{0xAA});
+  std::vector<std::byte> v2(32, std::byte{0xBB});
+  DurableFile::write_atomic(path, v1);
+  EXPECT_EQ(fs::file_size(path), 64u);
+  DurableFile::write_atomic(path, v2);
+  EXPECT_EQ(fs::file_size(path), 32u);
+  std::ifstream in(path, std::ios::binary);
+  char c = 0;
+  in.read(&c, 1);
+  EXPECT_EQ(std::byte(c), std::byte{0xBB});
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    EXPECT_EQ(entry.path().filename().string().rfind(".", 0),
+              std::string::npos)
+        << "staging sibling left behind: " << entry.path();
+  }
+}
+
+TEST_F(WriteLogTest, AppendSyncSizeLifecycle) {
+  fs::create_directories(dir_);
+  const std::string path = dir_ + "/appendlog.bin";
+  auto f = DurableFile::open_append(path);
+  ASSERT_TRUE(f.is_open());
+  std::vector<std::byte> chunk(16, std::byte{0x01});
+  f.append(chunk);
+  f.append(chunk);
+  EXPECT_EQ(f.size(), 32u);
+  f.sync();
+  f.close();
+  EXPECT_FALSE(f.is_open());
+  // Reopen appends at the end, not over.
+  auto g = DurableFile::open_append(path);
+  g.append(chunk);
+  EXPECT_EQ(g.size(), 48u);
+}
+
+}  // namespace
+}  // namespace annsim::recovery

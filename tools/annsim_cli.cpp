@@ -61,13 +61,15 @@ using namespace annsim;
                "<n_queries> <k> [--workers N] [--replication R] [--nprobe P] "
                "[--kill-worker W] [--kill-after N] [--drop-p D] "
                "[--timeout-ms T] [--fault-seed S] [--two-sided] "
-               "[--heal-after-ms H] [--checkpoint-dir D] [--json PATH] "
-               "[--mpi-check]\n"
+               "[--heal-after-ms H] [--checkpoint-dir D] [--wal-dir D] "
+               "[--json PATH] [--mpi-check]\n"
                "  annsim mutate-bench <SIFT|DEEP|GIST|SYN_1M|SYN_10M> <n_base> "
                "<n_queries> <k> [--workers N] [--replication R] [--nprobe P] "
                "[--write-ratio X] [--qps Q] [--requests N] [--delta-cap C] "
                "[--compact-at-fill F] [--kill-worker W] [--kill-after N] "
-               "[--timeout-ms T] [--checkpoint-dir D] [--recall-tol T] "
+               "[--timeout-ms T] [--checkpoint-dir D] [--wal-dir D] "
+               "[--no-group-commit] [--checkpoint-every N] [--crash-at-lsn L] "
+               "[--disk-fault crash|short|torn|flip] [--recall-tol T] "
                "[--json PATH] [--mpi-check]\n"
                "  annsim overload-bench <SIFT|DEEP|GIST|SYN_1M|SYN_10M> "
                "<n_base> <n_queries> <k> [--workers N] [--nprobe P] "
@@ -498,7 +500,11 @@ int cmd_chaos_bench(int argc, char** argv) {
   const double heal_after_ms =
       std::atof(opt(argc, argv, "--heal-after-ms", "-1").c_str());
   const std::string checkpoint_dir = opt(argc, argv, "--checkpoint-dir", "");
+  const std::string wal_dir = opt(argc, argv, "--wal-dir", "");
   const std::string json_path = opt(argc, argv, "--json", "");
+  // The WAL hangs off the segmented local index; arming it switches the
+  // whole bench (baseline included, for a like-for-like recall comparison).
+  if (!wal_dir.empty()) cfg.local_index = core::LocalIndexKind::kSegmented;
 
   auto w = data::make_by_name(recipe, n_base, n_queries, 42);
   std::printf("chaos-bench: %zu x %zu-d, %zu queries, k=%zu, %zu workers, "
@@ -520,6 +526,7 @@ int cmd_chaos_bench(int argc, char** argv) {
   chaos_cfg.fault.seed = fault_seed;
   chaos_cfg.fault.drop_probability = drop_p;
   chaos_cfg.checkpoint_dir = checkpoint_dir;
+  chaos_cfg.wal_dir = wal_dir;
   chaos_cfg.fault.kills.push_back(
       {int(kill_worker) + 1, kill_after, mpi::kNeverFires});
   std::printf("injecting: kill worker %zu after %llu ops, drop_p=%.2f, "
@@ -604,6 +611,8 @@ int cmd_chaos_bench(int argc, char** argv) {
         "  \"replicas_restored_from_checkpoint\": %zu,\n"
         "  \"replicas_restored_from_peer\": %zu,\n"
         "  \"replicas_unrecoverable\": %zu,\n"
+        "  \"wal_replayed_records\": %zu,\n"
+        "  \"wal_truncated_tail_bytes\": %zu,\n"
         "  \"degraded_before_heal\": %llu,\n"
         "  \"degraded_after_heal\": %llu,\n"
         "  \"under_replicated_after_heal\": %zu,\n"
@@ -615,7 +624,8 @@ int cmd_chaos_bench(int argc, char** argv) {
         cfg.replication, checkpoint_dir.empty() ? "peer-stream" : "checkpoint",
         time_to_heal_ms, heal.workers_revived,
         heal.replicas_restored_from_checkpoint, heal.replicas_restored_from_peer,
-        heal.replicas_unrecoverable,
+        heal.replicas_unrecoverable, heal.wal_replayed_records,
+        heal.wal_truncated_tail_bytes,
         static_cast<unsigned long long>(st.degraded_queries),
         static_cast<unsigned long long>(post_st.degraded_queries),
         under.size(), base_recall, recall, post_recall);
@@ -665,6 +675,10 @@ int cmd_mutate_bench(int argc, char** argv) {
   cfg.result_timeout_ms =
       std::atof(opt(argc, argv, "--timeout-ms", "100").c_str());
   cfg.checkpoint_dir = opt(argc, argv, "--checkpoint-dir", "");
+  cfg.wal_dir = opt(argc, argv, "--wal-dir", "");
+  cfg.wal_group_commit = !flag(argc, argv, "--no-group-commit");
+  cfg.checkpoint_every_rounds =
+      arg_num(opt(argc, argv, "--checkpoint-every", "1").c_str());
   const bool mpi_check = flag(argc, argv, "--mpi-check");
   if (mpi_check) {
     cfg.mpi_check = true;
@@ -692,6 +706,32 @@ int cmd_mutate_bench(int argc, char** argv) {
     cfg.fault.kills.push_back(
         {int(kill_worker) + 1, kill_after, mpi::kNeverFires});
   }
+  // Disk-fault plane: corrupt --kill-worker's WAL at a chosen LSN instead of
+  // (or on top of) the message-plane kill. All disk faults are terminal, so
+  // the same detect -> heal -> replay path runs, now against a damaged log.
+  const std::uint64_t crash_at_lsn =
+      arg_num(opt(argc, argv, "--crash-at-lsn", "0").c_str());  // 0 = off
+  const std::string disk_fault_name = opt(argc, argv, "--disk-fault", "crash");
+  if (crash_at_lsn > 0) {
+    ANNSIM_CHECK_MSG(!cfg.wal_dir.empty(),
+                     "--crash-at-lsn needs --wal-dir: disk faults target the "
+                     "write-ahead log");
+    mpi::DiskFaultKind kind = mpi::DiskFaultKind::kCrashAtLsn;
+    if (disk_fault_name == "crash") {
+      kind = mpi::DiskFaultKind::kCrashAtLsn;
+    } else if (disk_fault_name == "short") {
+      kind = mpi::DiskFaultKind::kShortWrite;
+    } else if (disk_fault_name == "torn") {
+      kind = mpi::DiskFaultKind::kTornWrite;
+    } else if (disk_fault_name == "flip") {
+      kind = mpi::DiskFaultKind::kFlipByte;
+    } else {
+      usage();
+    }
+    cfg.fault.seed = 1;
+    cfg.fault.disk_faults.push_back({int(kill_worker) + 1, crash_at_lsn, kind});
+  }
+  const bool any_kill = kill_after > 0 || crash_at_lsn > 0;
 
   // Workload: hold the corpus tail out of the offline build and stream it in
   // live. Because the engine hands out ids sequentially from max(base id)+1,
@@ -746,7 +786,7 @@ int cmd_mutate_bench(int argc, char** argv) {
   sc.max_batch = 32;
   sc.max_delay_ms = 2.0;
   sc.queue_capacity = 4096;
-  sc.auto_heal = kill_after > 0;
+  sc.auto_heal = any_kill;
   sc.compact_at_fill = compact_at;
   serve::QueryServer server(&engine, sc);
 
@@ -755,6 +795,10 @@ int cmd_mutate_bench(int argc, char** argv) {
   // kill+heal all land while reads are still flowing.
   std::uint64_t w_inserted = 0, w_erased = 0, w_dropped = 0, w_peak_fill = 0;
   std::uint64_t id_mismatches = 0;
+  // Durability ledger: ids the engine *acked* (ack => WAL-durable when a
+  // wal_dir is armed). Only acked writes are owed back after kill+replay.
+  std::vector<GlobalId> acked_ids;
+  bool deletes_acked = false;
   const double read_window_s = double(n_requests) / std::max(1.0, qps);
   std::thread writer([&] {
     constexpr std::size_t kRounds = 16;
@@ -777,15 +821,22 @@ int cmd_mutate_bench(int argc, char** argv) {
       for (const GlobalId id : ws.assigned_ids) {
         if (id != expect++) ++id_mismatches;
       }
+      for (std::size_t i = 0; i < ws.assigned_ids.size(); ++i) {
+        if (i < ws.row_acked.size() && ws.row_acked[i]) {
+          acked_ids.push_back(ws.assigned_ids[i]);
+        }
+      }
       if (rd == kRounds / 2) {
         const auto dws = engine.remove(del_ids);
         w_erased += dws.erased_replicas;
+        deletes_acked = dws.all_acked;
       }
       off = end;
     }
     if (w_erased == 0) {  // stream drained before the midpoint round
       const auto dws = engine.remove(del_ids);
       w_erased += dws.erased_replicas;
+      deletes_acked = dws.all_acked;
     }
   });
 
@@ -854,12 +905,18 @@ int cmd_mutate_bench(int argc, char** argv) {
   const double p999_max = sorted_p999s.back();
   // Spike budget: 2x the median window plus a small floor — plus, when a
   // kill is injected, one failure-detection timeout: a batch in flight when
-  // the worker goes silent unavoidably waits out --timeout-ms before
-  // failover, and that is a configured SLA, not a stall regression. What
-  // the gate catches is anything *beyond* detection + failover leaking into
-  // the tail (e.g. serving stalled behind a compaction).
+  // the worker goes silent unavoidably waits out the detection SLA before
+  // failover, and that is configured behavior, not a stall regression. A
+  // disk fault always fires mid write round, where the engine's ack wait is
+  // floored at 1s (see apply_writes' round_timeout), so the budget uses the
+  // write plane's actual SLA rather than --timeout-ms alone. What the gate
+  // catches is anything *beyond* detection + failover leaking into the
+  // tail (e.g. serving stalled behind a compaction or a WAL group commit).
+  const double detect_ms =
+      crash_at_lsn > 0 ? std::max(cfg.result_timeout_ms, 1000.0)
+                       : cfg.result_timeout_ms;
   const double p999_budget =
-      2.0 * p999_med + 2.0 + (kill_after > 0 ? cfg.result_timeout_ms : 0.0);
+      2.0 * p999_med + 2.0 + (any_kill ? detect_ms : 0.0);
   const bool p999_ok = p999_max <= p999_budget;
 
   // Drain the stream's leftovers: heal anything still dead (auto-heal runs
@@ -867,6 +924,31 @@ int cmd_mutate_bench(int argc, char** argv) {
   // then fold every delta into frozen segments.
   const auto heal_rep = engine.heal();
   const std::uint64_t compactions = engine.compact();
+
+  // WAL replay/truncation totals: mid-run auto-heals (tallied by the server)
+  // plus the final drain heal above.
+  const auto serve_metrics = server.metrics();
+  const std::size_t wal_replayed =
+      serve_metrics.wal_replayed_records + heal_rep.wal_replayed_records;
+  const std::size_t wal_truncated = serve_metrics.wal_truncated_tail_bytes +
+                                    heal_rep.wal_truncated_tail_bytes;
+
+  // Durability gate: after the kill (message or disk fault) and the heal's
+  // checkpoint-restore + WAL replay, every *acked* insert must still be
+  // live and no acked delete may resurface. Acked-but-lost is the one
+  // failure a write-ahead log exists to rule out.
+  std::uint64_t lost_acked_writes = 0;
+  std::uint64_t resurrected_acked_deletes = 0;
+  if (!cfg.wal_dir.empty()) {
+    for (const GlobalId id : acked_ids) {
+      if (!engine.contains(id)) ++lost_acked_writes;
+    }
+    if (deletes_acked) {
+      for (const GlobalId id : del_ids) {
+        if (engine.contains(id)) ++resurrected_acked_deletes;
+      }
+    }
+  }
 
   core::SearchStats live_st;
   auto live_res = engine.search(w.queries, k, 0, &live_st);
@@ -882,6 +964,8 @@ int cmd_mutate_bench(int argc, char** argv) {
   offline_cfg.fault = {};
   offline_cfg.result_timeout_ms = 0;
   offline_cfg.checkpoint_dir.clear();
+  // The reference build must not attach to (and replay!) the live run's WAL.
+  offline_cfg.wal_dir.clear();
   core::DistributedAnnEngine offline(&final_corpus, offline_cfg);
   offline.build();
   auto off_res = offline.search(w.queries, k);
@@ -894,6 +978,8 @@ int cmd_mutate_bench(int argc, char** argv) {
   const bool write_ok = w_dropped == 0 && id_mismatches == 0;
   const bool recall_ok = recall_gap <= recall_tol;
   const bool resurrect_ok = resurrected == 0;
+  const bool durable_ok =
+      lost_acked_writes == 0 && resurrected_acked_deletes == 0;
 
   std::printf("reads: %zu ok, %zu degraded, %zu failed in %.3fs "
               "(offered %.0f q/s)\n", ok, degraded, failed, run_s, qps);
@@ -915,6 +1001,16 @@ int cmd_mutate_bench(int argc, char** argv) {
   std::printf("deleted ids resurfacing: %zu%s, workers revived at end: %zu\n",
               resurrected, resurrect_ok ? "" : " (RESURRECTED)",
               heal_rep.workers_revived);
+  if (!cfg.wal_dir.empty()) {
+    std::printf("durability: %zu acked inserts, %llu lost, %llu acked deletes "
+                "resurrected, %zu wal records replayed, %zu wal tail bytes "
+                "truncated -> %s\n",
+                acked_ids.size(),
+                static_cast<unsigned long long>(lost_acked_writes),
+                static_cast<unsigned long long>(resurrected_acked_deletes),
+                wal_replayed, wal_truncated,
+                durable_ok ? "durable" : "LOST ACKED WRITES");
+  }
 
   if (!json_path.empty()) {
     std::FILE* f = std::fopen(json_path.c_str(), "w");
@@ -938,6 +1034,10 @@ int cmd_mutate_bench(int argc, char** argv) {
         "  \"kill_worker\": %zu,\n"
         "  \"kill_after\": %llu,\n"
         "  \"restore_path\": \"%s\",\n"
+        "  \"wal\": %s,\n"
+        "  \"wal_group_commit\": %s,\n"
+        "  \"crash_at_lsn\": %llu,\n"
+        "  \"disk_fault\": \"%s\",\n"
         "  \"reads_ok\": %zu,\n"
         "  \"reads_degraded\": %zu,\n"
         "  \"reads_failed\": %zu,\n"
@@ -951,7 +1051,11 @@ int cmd_mutate_bench(int argc, char** argv) {
         cfg.n_workers, cfg.replication, write_ratio, qps, n_requests,
         cfg.segment_delta_capacity, compact_at, kill_worker,
         static_cast<unsigned long long>(kill_after),
-        cfg.checkpoint_dir.empty() ? "peer-stream" : "checkpoint", ok,
+        cfg.checkpoint_dir.empty() ? "peer-stream" : "checkpoint",
+        cfg.wal_dir.empty() ? "false" : "true",
+        cfg.wal_group_commit ? "true" : "false",
+        static_cast<unsigned long long>(crash_at_lsn),
+        crash_at_lsn > 0 ? disk_fault_name.c_str() : "none", ok,
         degraded, failed, static_cast<unsigned long long>(w_inserted),
         static_cast<unsigned long long>(w_erased),
         static_cast<unsigned long long>(w_dropped),
@@ -971,22 +1075,31 @@ int cmd_mutate_bench(int argc, char** argv) {
         "  \"recall_offline\": %.4f,\n"
         "  \"recall_gap\": %.4f,\n"
         "  \"recall_converged\": %s,\n"
-        "  \"deleted_resurfaced\": %zu\n"
+        "  \"deleted_resurfaced\": %zu,\n"
+        "  \"acked_inserts\": %zu,\n"
+        "  \"lost_acked_writes\": %llu,\n"
+        "  \"resurrected_acked_deletes\": %llu,\n"
+        "  \"wal_replayed_records\": %zu,\n"
+        "  \"wal_truncated_tail_bytes\": %zu\n"
         "}\n",
         p999_med, p999_max, p999_budget, p999_ok ? "true" : "false", recall_live,
-        recall_offline, recall_gap, recall_ok ? "true" : "false", resurrected);
+        recall_offline, recall_gap, recall_ok ? "true" : "false", resurrected,
+        acked_ids.size(), static_cast<unsigned long long>(lost_acked_writes),
+        static_cast<unsigned long long>(resurrected_acked_deletes),
+        wal_replayed, wal_truncated);
     std::fclose(f);
     std::printf("wrote %s\n", json_path.c_str());
   }
 
   int rc = 0;
-  if (!write_ok || !p999_ok || !recall_ok || !resurrect_ok) {
+  if (!write_ok || !p999_ok || !recall_ok || !resurrect_ok || !durable_ok) {
     std::fprintf(stderr,
                  "mutate-bench: gate failed (writes %s, p999 %s, recall %s, "
-                 "tombstones %s)\n",
+                 "tombstones %s, durability %s)\n",
                  write_ok ? "ok" : "DROPPED", p999_ok ? "ok" : "SPIKE",
                  recall_ok ? "ok" : "DIVERGED",
-                 resurrect_ok ? "ok" : "RESURRECTED");
+                 resurrect_ok ? "ok" : "RESURRECTED",
+                 durable_ok ? "ok" : "LOST");
     rc = 1;
   }
   rc = check_exit(mpi_check, offline, "mutate-offline", rc);

@@ -40,6 +40,16 @@ raw-buffer-in-quant
     alignment the fused uint8 kernels assume and frees with the matching
     deallocator. A raw new[] here either loses the 64-byte alignment or
     leaks it into a unique_ptr with the wrong deleter.
+
+raw-write-in-recovery
+    the recovery plane (src/recovery, include/annsim/recovery) must not
+    open files for writing with std::ofstream or fopen: durability code
+    that skips DurableFile silently loses the fsync-before-ack and
+    atomic-rename guarantees the WAL and checkpoint store are built on.
+    All writes go through recovery/durable_file.hpp; durable_file.cpp
+    itself (the one wrapper over the raw syscalls) is exempt. Reads
+    (std::ifstream) are fine — torn data is detected by CRC, not
+    prevented by the reader.
 """
 
 from __future__ import annotations
@@ -83,6 +93,11 @@ RAW_BUFFER_RE = re.compile(
     r"\bnew\s+[\w:]+(?:\s*<[^<>]*>)?\s*\[|\b(?:malloc|calloc|aligned_alloc|"
     r"posix_memalign)\s*\("
 )
+
+# --- rule: raw file writes in the recovery plane --------------------------
+RECOVERY_DIRS = ["src/recovery", "include/annsim/recovery"]
+RECOVERY_WRITE_ALLOW = ["src/recovery/durable_file.cpp"]
+RAW_WRITE_RE = re.compile(r"\bstd::ofstream\b|\bofstream\b|\bfopen\s*\(")
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -183,6 +198,22 @@ def check_quant_raw_buffers(findings: list[str]) -> None:
                 )
 
 
+def check_recovery_raw_writes(findings: list[str]) -> None:
+    for d in RECOVERY_DIRS:
+        for path in sorted((REPO / d).rglob("*.[ch]pp")):
+            rel = str(path.relative_to(REPO))
+            if rel in RECOVERY_WRITE_ALLOW:
+                continue
+            text = strip_comments_and_strings(path.read_text())
+            for m in RAW_WRITE_RE.finditer(text):
+                findings.append(
+                    f"{rel}:{line_of(text, m.start())}: "
+                    f"[raw-write-in-recovery] raw file write in the recovery "
+                    f"plane skips fsync/atomic-rename; go through "
+                    f"recovery/durable_file.hpp"
+                )
+
+
 def main() -> int:
     findings: list[str] = []
     check_naked_tags(findings)
@@ -190,6 +221,7 @@ def main() -> int:
     check_header_guards(findings)
     check_serve_sleeps(findings)
     check_quant_raw_buffers(findings)
+    check_recovery_raw_writes(findings)
     for f in findings:
         print(f)
     if findings:
