@@ -52,4 +52,15 @@ class Backoff {
   std::uint32_t attempts_ = 0;
 };
 
+/// The repo's one sanctioned blocking sleep. Code under src/ that genuinely
+/// must wait wall-clock time — window polls, liveness beacons, injected
+/// fault latency — routes through here instead of calling
+/// std::this_thread::sleep_for directly: the `raw-sleep-in-src` lint bans
+/// raw sleeps so every wall-clock wait is auditable at this single choke
+/// point (and greppable when a schedule-exploration run wonders where real
+/// time leaks in).
+inline void sleep_approx(std::chrono::microseconds d) {
+  std::this_thread::sleep_for(d);
+}
+
 }  // namespace annsim

@@ -388,6 +388,17 @@ class DistributedAnnEngine {
     config_.check_fatal = fatal;
   }
 
+  /// Install a schedule controller (annsim::explore) on every runtime this
+  /// engine creates from now on: message deliveries, timed waits, and RMA
+  /// ops route through its choice points, so an armed controller decides the
+  /// interleaving. Pass nullptr to detach. Controlled runs require
+  /// `threads_per_worker == 1` and `result_timeout_ms == 0` — every engine
+  /// thread must be a tracked rank, or helper threads would race around the
+  /// controller instead of being scheduled by it.
+  void set_schedule(std::shared_ptr<mpi::ScheduleController> schedule) noexcept {
+    schedule_ = std::move(schedule);
+  }
+
  private:
   DistributedAnnEngine() = default;  // for load()
 
@@ -449,6 +460,8 @@ class DistributedAnnEngine {
   /// Fault state shared across search runtimes (batches): a rank killed in
   /// batch n stays dead in batch n+1 until heal() revives it.
   std::shared_ptr<mpi::FaultInjector> injector_;
+  /// Schedule controller installed on every engine runtime (null = free-run).
+  std::shared_ptr<mpi::ScheduleController> schedule_;
   recovery::ClusterHealth health_;  ///< persistent liveness record
   check::CheckReport check_report_;  ///< merged across engine runtimes
   /// Next global id handed to a streamed insert. Starts one past the largest

@@ -1,0 +1,176 @@
+#pragma once
+/// \file explore.hpp
+/// \brief Schedule-exploration strategies, replay tokens, and the exhaustive
+///        DFS driver (annsim::explore).
+///
+/// Sits on top of mpi::ScheduleController (mpi/schedule.hpp). Three ways to
+/// walk the schedule space:
+///
+///  * RandomStrategy — seeded uniform pick at every branch point; hundreds of
+///    seeds sample the space cheaply (the CI sweep).
+///  * PctStrategy — PCT-style priority scheduling: each channel gets a random
+///    priority, the highest-priority eligible event always wins, and at `d-1`
+///    random change points the running channel's priority is demoted. Finds
+///    bugs of ordering depth <= d with known probability.
+///  * DfsDriver — exhaustive enumeration by repeated re-execution with
+///    sleep-set pruning (DPOR-lite): commuting event pairs (different
+///    destination ranks) are never explored in both orders. Tractable for
+///    2-partition/2-replica configs; the CI gate runs it to completion.
+///
+/// Every controlled run serializes to a compact replay token
+/// (`X1.<strategy>.<seed>.<depth>.<choices>.<digest>`); feeding the token back
+/// replays the exact decision sequence and the digest proves the re-executed
+/// event sequence is identical, byte for byte.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "annsim/common/rng.hpp"
+#include "annsim/mpi/schedule.hpp"
+
+namespace annsim::explore {
+
+using mpi::ChoiceEvent;
+using mpi::ChoiceKind;
+using mpi::ScheduleController;
+using mpi::ScheduleOptions;
+using mpi::ScheduleStrategy;
+using mpi::ScheduleTrace;
+
+/// Seeded uniform random walk over branch points.
+class RandomStrategy final : public ScheduleStrategy {
+ public:
+  explicit RandomStrategy(std::uint64_t seed);
+  std::size_t pick(const std::vector<ChoiceEvent>& eligible) override;
+
+ private:
+  Rng rng_;
+};
+
+/// PCT-style priority schedules. `depth` is the PCT `d` parameter: the number
+/// of priority change points is `d - 1`, drawn uniformly over the first
+/// `expected_steps` branch decisions. `depth <= 1` degenerates to a pure
+/// priority schedule (no change points).
+class PctStrategy final : public ScheduleStrategy {
+ public:
+  PctStrategy(std::uint64_t seed, int depth, std::uint64_t expected_steps = 512);
+  std::size_t pick(const std::vector<ChoiceEvent>& eligible) override;
+
+ private:
+  Rng rng_;
+  std::uint64_t decisions_ = 0;
+  std::vector<std::uint64_t> change_points_;  ///< sorted decision indices
+  std::size_t next_change_ = 0;
+  std::int64_t demote_counter_ = -1;  ///< demoted priorities count downward
+  std::vector<std::pair<std::uint64_t, std::int64_t>> priorities_;  ///< key -> prio
+};
+
+/// Replays a recorded decision sequence. In strict mode any divergence — a
+/// choice index out of range, or more branch points than were recorded —
+/// throws annsim::Error, because a faithful replay must re-encounter exactly
+/// the recorded branch points. Non-strict falls back to index 0.
+class ForcedStrategy final : public ScheduleStrategy {
+ public:
+  explicit ForcedStrategy(std::vector<std::uint8_t> choices, bool strict = true);
+  std::size_t pick(const std::vector<ChoiceEvent>& eligible) override;
+
+ private:
+  std::vector<std::uint8_t> choices_;
+  std::size_t pos_ = 0;
+  bool strict_;
+};
+
+// --------------------------------------------------------- replay tokens ---
+
+/// Decoded form of a replay token.
+struct ReplayToken {
+  char strategy = 'r';  ///< 'r' random, 'p' pct, 'd' dfs, 'f' forced
+  std::uint64_t seed = 0;
+  int depth = 0;  ///< PCT depth (0 for other strategies)
+  std::vector<std::uint8_t> choices;
+  std::uint64_t digest = 0;  ///< expected event-sequence digest
+};
+
+/// `X1.<strategy>.<seed:hex>.<depth>.<choices:2-hex-per-entry>.<digest:hex>`.
+[[nodiscard]] std::string encode_replay_token(char strategy, std::uint64_t seed,
+                                              int depth,
+                                              const ScheduleTrace& trace);
+/// std::nullopt on any malformed token.
+[[nodiscard]] std::optional<ReplayToken> decode_replay_token(
+    const std::string& token);
+
+// ------------------------------------------------------ controlled runs ---
+
+/// One controlled execution: arm, run `body`, disarm. Exceptions out of
+/// `body` (oracle failures, schedule deadlocks unwinding rank threads) are
+/// captured into `error`, never propagated — the caller decides whether a
+/// failing schedule is fatal after printing its replay token.
+struct RunOutcome {
+  ScheduleTrace trace;
+  std::string error;  ///< empty <=> the schedule ran clean
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+RunOutcome run_controlled(ScheduleController& ctrl,
+                          std::shared_ptr<ScheduleStrategy> strategy,
+                          const std::function<void()>& body,
+                          ScheduleOptions opts = {});
+
+// ------------------------------------------------- exhaustive enumeration ---
+
+/// True when the two events commute: executing them in either order reaches
+/// the same state, so exploring both orders is redundant. Deliveries and
+/// timeouts conflict only on the same destination rank (they race for that
+/// rank's mailbox/wait); RMA ops conflict only on the same target window
+/// rank; RMA never conflicts with message traffic (controlled threads park
+/// before every window op, so a run slice never touches both planes).
+[[nodiscard]] bool independent(const ChoiceEvent& a, const ChoiceEvent& b);
+
+/// Exhaustive schedule enumeration by repeated re-execution with sleep-set
+/// pruning. Usage:
+///
+///   DfsDriver dfs(max_schedules);
+///   do {
+///     auto out = run_controlled(ctrl, dfs.strategy(), body);
+///     // ... check oracles, record out.trace ...
+///   } while (dfs.advance());
+///
+/// Each advance() backtracks to the deepest branch point with an unexplored,
+/// non-slept alternative. The driver verifies on every replayed prefix that
+/// the eligible sets match the previous execution — a mismatch means the
+/// program under test is not schedule-deterministic, and throws.
+class DfsDriver {
+ public:
+  explicit DfsDriver(std::size_t max_schedules = 100000);
+
+  /// Strategy for the next execution (resets the replay cursor).
+  [[nodiscard]] std::shared_ptr<ScheduleStrategy> strategy();
+  /// Record the just-finished execution; true while schedules remain.
+  bool advance();
+
+  [[nodiscard]] std::size_t schedules_run() const { return schedules_; }
+  /// True when max_schedules stopped the walk before the space was exhausted.
+  [[nodiscard]] bool truncated() const { return truncated_; }
+
+ private:
+  friend class DfsStrategy;
+  std::size_t decide(const std::vector<ChoiceEvent>& eligible);
+
+  struct Node {
+    std::vector<ChoiceEvent> eligible;
+    std::vector<ChoiceEvent> sleep;  ///< initial sleep set + explored siblings
+    std::size_t chosen = 0;
+    bool exhausted = false;  ///< every alternative slept at creation
+  };
+  std::vector<Node> path_;
+  std::size_t depth_ = 0;
+  std::size_t schedules_ = 0;
+  std::size_t max_schedules_;
+  bool truncated_ = false;
+};
+
+}  // namespace annsim::explore

@@ -42,6 +42,8 @@
 
 namespace annsim::mpi {
 
+class ScheduleController;  // schedule.hpp — controlled scheduling (explore)
+
 inline constexpr int kAnySource = -1;
 using Tag = std::int32_t;
 inline constexpr Tag kAnyTag = -1;
@@ -304,6 +306,16 @@ class Runtime {
   [[nodiscard]] TrafficStats total_traffic() const;
   /// One entry per rank.
   [[nodiscard]] std::vector<TrafficStats> per_rank_traffic() const;
+
+  // --- controlled scheduling (annsim::explore) ---
+  /// Install a schedule controller (see mpi/schedule.hpp). While the
+  /// controller is armed, run() serializes its rank threads onto the
+  /// controller's scheduler: every message delivery, bounded-wait timeout,
+  /// and one-sided op becomes an explicit choice point, making the whole
+  /// execution deterministic and replayable. With the controller disarmed
+  /// (or null) behavior is unchanged. Call before run().
+  void set_schedule(std::shared_ptr<ScheduleController> schedule);
+  [[nodiscard]] std::shared_ptr<ScheduleController> schedule() const noexcept;
 
   /// The installed fault injector, or nullptr when constructed without a
   /// plan (or with an inert one). Use it to advance the logical step clock

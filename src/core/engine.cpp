@@ -99,7 +99,25 @@ void validate_engine_config(const EngineConfig& config) {
                        config.fault.reorder_probability <= 1.0,
                    "fault.reorder_probability must be within [0, 1]");
   if (config.fault.enabled()) {
-    ANNSIM_CHECK_MSG(config.result_timeout_ms > 0.0,
+    // Only plans that can actually fire need the failure detector: a killed
+    // (or dropped-on) worker is silent, and the non-detect search master
+    // blocks forever on the missing result. Plans whose every trigger sits at
+    // kNeverFires merely arm the injector plumbing — annsim::explore uses
+    // such plans to turn the write plane's recv_for deadlines into schedule
+    // choice points — and cannot silence anyone, so they are safe without
+    // detection (the write plane's recv_for keeps its 1s floor regardless).
+    bool can_fire = config.fault.drop_probability > 0.0 ||
+                    config.fault.delay_probability > 0.0 ||
+                    config.fault.duplicate_probability > 0.0 ||
+                    config.fault.reorder_probability > 0.0;
+    for (const mpi::KillRule& kill : config.fault.kills) {
+      can_fire = can_fire || kill.after_ops != mpi::kNeverFires ||
+                 kill.at_step != mpi::kNeverFires;
+    }
+    for (const mpi::DiskFaultRule& df : config.fault.disk_faults) {
+      can_fire = can_fire || df.at_lsn != mpi::kNeverFires;
+    }
+    ANNSIM_CHECK_MSG(!can_fire || config.result_timeout_ms > 0.0,
                      "fault injection without failure detection would hang the "
                      "master: set result_timeout_ms > 0");
     for (const mpi::KillRule& kill : config.fault.kills) {
@@ -415,6 +433,9 @@ check::CheckReport DistributedAnnEngine::check_report() const {
 }
 
 void DistributedAnnEngine::configure_runtime_check(mpi::Runtime& rt) const {
+  // Every engine runtime flows through here right after construction, so the
+  // schedule controller rides along with the checker install.
+  if (schedule_ != nullptr) rt.set_schedule(schedule_);
   if (!config_.mpi_check && !check::env_check_enabled()) return;
   check::CheckOptions o;
   o.enabled = true;
@@ -424,13 +445,18 @@ void DistributedAnnEngine::configure_runtime_check(mpi::Runtime& rt) const {
   // through a wildcard) — the reserved-tag and wildcard rules enforce it.
   o.reserved_tags = {kTagEoq,    kTagDone,   kTagHeartbeat,
                      kTagInsert, kTagDelete, kTagWriteAck, kTagCompact};
-  if (config_.result_timeout_ms > 0.0) {
+  if (config_.result_timeout_ms > 0.0 || config_.fault.enabled()) {
     // With failure detection armed, these are by-design abandonable: a
     // worker declared dead (perhaps too eagerly) keeps sending results,
     // done notices, and beacons that nobody will ever drain. Residue is
     // still counted in the report, just not a violation. The write plane's
     // tags join the list because a rank killed mid-round leaves its batch
-    // (or its ack) undrained by design.
+    // (or its ack) undrained by design. The injector alone (no detection)
+    // is already enough to abandon: every write-plane recv becomes a
+    // recv_for, and an expired deadline — wall-clock or schedule-forced —
+    // walks away from the peer's in-flight batch or ack. Found by
+    // annsim::explore: gating this list on detection only made every
+    // schedule that fires a round timeout a false unmatched-send violation.
     o.best_effort_tags = {kTagResult, kTagDone,     kTagHeartbeat, kTagInsert,
                           kTagDelete, kTagWriteAck, kTagCompact};
   }
@@ -1188,7 +1214,7 @@ void DistributedAnnEngine::master_search(
       }
       if (outstanding == 0) break;
       check_deadlines(now);
-      if (!progress) std::this_thread::sleep_for(poll);
+      if (!progress) sleep_approx(poll);
     }
     win.unlock(0);
   }
@@ -1382,18 +1408,26 @@ void DistributedAnnEngine::worker_search(mpi::Comm& world, std::size_t k) {
         const auto wake = std::chrono::steady_clock::now() + interval;
         while (!done.load(std::memory_order_acquire) &&
                std::chrono::steady_clock::now() < wake) {
-          std::this_thread::sleep_for(slice);
+          sleep_approx(slice);
         }
       }
     });
   }
 
-  std::vector<std::thread> team;
-  team.reserve(config_.threads_per_worker);
-  for (std::size_t t = 0; t < config_.threads_per_worker; ++t) {
-    team.emplace_back(thread_main);
+  if (config_.threads_per_worker == 1) {
+    // A one-thread team runs inline on the rank thread itself. This is what
+    // keeps the worker schedulable under annsim::explore: a spawned team
+    // member would be an untracked helper racing around the controller,
+    // whereas the rank thread parks at every choice point.
+    thread_main();
+  } else {
+    std::vector<std::thread> team;
+    team.reserve(config_.threads_per_worker);
+    for (std::size_t t = 0; t < config_.threads_per_worker; ++t) {
+      team.emplace_back(thread_main);
+    }
+    for (auto& t : team) t.join();
   }
-  for (auto& t : team) t.join();
   if (beacon.joinable()) beacon.join();
 
   if (one_sided) win.unlock(0);

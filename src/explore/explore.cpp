@@ -1,0 +1,315 @@
+#include "annsim/explore/explore.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <climits>
+#include <sstream>
+#include <string_view>
+
+#include "annsim/common/error.hpp"
+
+namespace annsim::explore {
+
+// ------------------------------------------------------- RandomStrategy ---
+
+RandomStrategy::RandomStrategy(std::uint64_t seed) : rng_(seed) {}
+
+std::size_t RandomStrategy::pick(const std::vector<ChoiceEvent>& eligible) {
+  return std::size_t(rng_.uniform_below(eligible.size()));
+}
+
+// ---------------------------------------------------------- PctStrategy ---
+
+namespace {
+
+/// Priority key: events from the same channel keep the same priority for
+/// their whole lifetime, so a demotion sticks to the channel, not to one
+/// message. Timeouts and RMA ops key on the waiting/origin rank.
+std::uint64_t pct_key(const ChoiceEvent& ev) {
+  return (std::uint64_t(std::uint8_t(ev.kind)) << 56) ^
+         (std::uint64_t(std::uint32_t(ev.source)) << 28) ^
+         std::uint64_t(std::uint32_t(ev.dest));
+}
+
+}  // namespace
+
+PctStrategy::PctStrategy(std::uint64_t seed, int depth,
+                         std::uint64_t expected_steps)
+    : rng_(seed) {
+  const int changes = std::max(0, depth - 1);
+  for (int i = 0; i < changes; ++i) {
+    change_points_.push_back(rng_.uniform_below(std::max<std::uint64_t>(
+                                 expected_steps, std::uint64_t(changes) + 1)) +
+                             1);
+  }
+  std::sort(change_points_.begin(), change_points_.end());
+}
+
+std::size_t PctStrategy::pick(const std::vector<ChoiceEvent>& eligible) {
+  ++decisions_;
+  std::size_t best = 0;
+  std::int64_t best_prio = INT64_MIN;
+  for (std::size_t i = 0; i < eligible.size(); ++i) {
+    const std::uint64_t key = pct_key(eligible[i]);
+    auto it = std::find_if(priorities_.begin(), priorities_.end(),
+                           [&](const auto& p) { return p.first == key; });
+    if (it == priorities_.end()) {
+      // Fresh channel: a random priority in the high band (>= 0), so demoted
+      // channels (negative band) always lose to never-demoted ones.
+      priorities_.emplace_back(key, std::int64_t(rng_.uniform_below(1u << 30)));
+      it = std::prev(priorities_.end());
+    }
+    if (it->second > best_prio) {
+      best_prio = it->second;
+      best = i;
+    }
+  }
+  if (next_change_ < change_points_.size() &&
+      decisions_ >= change_points_[next_change_]) {
+    ++next_change_;
+    const std::uint64_t key = pct_key(eligible[best]);
+    for (auto& p : priorities_) {
+      if (p.first == key) p.second = demote_counter_--;
+    }
+  }
+  return best;
+}
+
+// ------------------------------------------------------- ForcedStrategy ---
+
+ForcedStrategy::ForcedStrategy(std::vector<std::uint8_t> choices, bool strict)
+    : choices_(std::move(choices)), strict_(strict) {}
+
+std::size_t ForcedStrategy::pick(const std::vector<ChoiceEvent>& eligible) {
+  if (pos_ >= choices_.size()) {
+    if (strict_) {
+      throw Error(
+          "replay divergence: execution hit branch point #" +
+          std::to_string(pos_ + 1) + " but the trace recorded only " +
+          std::to_string(choices_.size()));
+    }
+    return 0;
+  }
+  const std::size_t c = choices_[pos_++];
+  if (c >= eligible.size()) {
+    if (strict_) {
+      throw Error("replay divergence: recorded choice " + std::to_string(c) +
+                  " at branch point #" + std::to_string(pos_) +
+                  " but only " + std::to_string(eligible.size()) +
+                  " events are eligible");
+    }
+    return 0;
+  }
+  return c;
+}
+
+// --------------------------------------------------------- replay tokens ---
+
+namespace {
+
+constexpr char kHex[] = "0123456789abcdef";
+
+std::string hex_u64(std::uint64_t v) {
+  std::string out;
+  do {
+    out.push_back(kHex[v & 0xf]);
+    v >>= 4;
+  } while (v != 0);
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+bool parse_hex_u64(std::string_view s, std::uint64_t& out) {
+  if (s.empty() || s.size() > 16) return false;
+  auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), out, 16);
+  return ec == std::errc{} && p == s.data() + s.size();
+}
+
+}  // namespace
+
+std::string encode_replay_token(char strategy, std::uint64_t seed, int depth,
+                                const ScheduleTrace& trace) {
+  std::string out = "X1.";
+  out.push_back(strategy);
+  out.push_back('.');
+  out += hex_u64(seed);
+  out.push_back('.');
+  out += std::to_string(depth);
+  out.push_back('.');
+  for (const std::uint8_t c : trace.choices) {
+    out.push_back(kHex[c >> 4]);
+    out.push_back(kHex[c & 0xf]);
+  }
+  out.push_back('.');
+  out += hex_u64(trace.digest);
+  return out;
+}
+
+std::optional<ReplayToken> decode_replay_token(const std::string& token) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const auto dot = token.find('.', start);
+    parts.push_back(token.substr(start, dot - start));
+    if (dot == std::string::npos) break;
+    start = dot + 1;
+  }
+  if (parts.size() != 6 || parts[0] != "X1" || parts[1].size() != 1) {
+    return std::nullopt;
+  }
+  ReplayToken t;
+  t.strategy = parts[1][0];
+  if (t.strategy != 'r' && t.strategy != 'p' && t.strategy != 'd' &&
+      t.strategy != 'f') {
+    return std::nullopt;
+  }
+  if (!parse_hex_u64(parts[2], t.seed)) return std::nullopt;
+  try {
+    t.depth = std::stoi(parts[3]);
+  } catch (...) {
+    return std::nullopt;
+  }
+  const std::string& ch = parts[4];
+  if (ch.size() % 2 != 0) return std::nullopt;
+  for (std::size_t i = 0; i < ch.size(); i += 2) {
+    std::uint64_t b = 0;
+    if (!parse_hex_u64(std::string_view(ch).substr(i, 2), b)) return std::nullopt;
+    t.choices.push_back(std::uint8_t(b));
+  }
+  if (!parse_hex_u64(parts[5], t.digest)) return std::nullopt;
+  return t;
+}
+
+// ------------------------------------------------------ controlled runs ---
+
+RunOutcome run_controlled(ScheduleController& ctrl,
+                          std::shared_ptr<ScheduleStrategy> strategy,
+                          const std::function<void()>& body,
+                          ScheduleOptions opts) {
+  RunOutcome out;
+  ctrl.arm(std::move(strategy), opts);
+  try {
+    body();
+  } catch (const std::exception& e) {
+    out.error = e.what();
+  }
+  out.trace = ctrl.disarm();
+  if (out.error.empty() && !out.trace.error.empty()) {
+    out.error = out.trace.error;
+  }
+  return out;
+}
+
+// ------------------------------------------------- exhaustive enumeration ---
+
+bool independent(const ChoiceEvent& a, const ChoiceEvent& b) {
+  const bool a_rma = a.kind == ChoiceKind::kRma;
+  const bool b_rma = b.kind == ChoiceKind::kRma;
+  if (a_rma != b_rma) return true;
+  // Two RMA grants conflict at a shared target; two message-plane events
+  // (deliver/timeout) conflict at a shared destination rank. ChoiceEvent
+  // sets dest == source for timeouts, so one rule covers both kinds.
+  return a.dest != b.dest;
+}
+
+/// The strategy face of DfsDriver: forwards every branch decision.
+/// Namespace scope (not anonymous) so DfsDriver's friend declaration names
+/// this exact type.
+class DfsStrategy final : public ScheduleStrategy {
+ public:
+  explicit DfsStrategy(DfsDriver* driver) : driver_(driver) {}
+  std::size_t pick(const std::vector<ChoiceEvent>& eligible) override {
+    return driver_->decide(eligible);
+  }
+
+ private:
+  DfsDriver* driver_;
+};
+
+namespace {
+
+bool in_sleep(const std::vector<ChoiceEvent>& sleep, const ChoiceEvent& ev) {
+  return std::find(sleep.begin(), sleep.end(), ev) != sleep.end();
+}
+
+}  // namespace
+
+DfsDriver::DfsDriver(std::size_t max_schedules)
+    : max_schedules_(max_schedules) {}
+
+std::shared_ptr<ScheduleStrategy> DfsDriver::strategy() {
+  depth_ = 0;
+  return std::make_shared<DfsStrategy>(this);
+}
+
+std::size_t DfsDriver::decide(const std::vector<ChoiceEvent>& eligible) {
+  if (depth_ < path_.size()) {
+    // Replaying the committed prefix: the program must present the exact
+    // eligible set it presented last time, or it is not deterministic and
+    // nothing the explorer reports can be trusted.
+    Node& node = path_[depth_];
+    if (node.eligible != eligible) {
+      std::ostringstream os;
+      os << "exploration divergence at branch point #" << depth_
+         << ": eligible set changed across re-execution (was "
+         << node.eligible.size() << " events, now " << eligible.size()
+         << ") — the program under test is not schedule-deterministic";
+      throw Error(os.str());
+    }
+    ++depth_;
+    return node.chosen;
+  }
+
+  Node node;
+  node.eligible = eligible;
+  if (!path_.empty()) {
+    // Sleep-set inheritance: events that commute with the parent's chosen
+    // transition stay asleep in the child (their orders were or will be
+    // covered on the sibling branch).
+    const Node& parent = path_.back();
+    const ChoiceEvent& taken = parent.eligible[parent.chosen];
+    for (const ChoiceEvent& ev : parent.sleep) {
+      if (independent(ev, taken)) node.sleep.push_back(ev);
+    }
+  }
+  node.chosen = 0;
+  node.exhausted = true;
+  for (std::size_t i = 0; i < eligible.size(); ++i) {
+    if (!in_sleep(node.sleep, eligible[i])) {
+      node.chosen = i;
+      node.exhausted = false;
+      break;
+    }
+  }
+  const std::size_t pick = node.chosen;
+  path_.push_back(std::move(node));
+  ++depth_;
+  return pick;
+}
+
+bool DfsDriver::advance() {
+  ++schedules_;
+  if (schedules_ >= max_schedules_) {
+    truncated_ = !path_.empty();
+    return false;
+  }
+  while (!path_.empty()) {
+    Node& node = path_.back();
+    if (!node.exhausted) {
+      node.sleep.push_back(node.eligible[node.chosen]);
+      bool found = false;
+      for (std::size_t i = node.chosen + 1; i < node.eligible.size(); ++i) {
+        if (!in_sleep(node.sleep, node.eligible[i])) {
+          node.chosen = i;
+          found = true;
+          break;
+        }
+      }
+      if (found) return true;
+    }
+    path_.pop_back();
+  }
+  return false;
+}
+
+}  // namespace annsim::explore

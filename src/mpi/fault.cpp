@@ -1,8 +1,8 @@
 #include "annsim/mpi/fault.hpp"
 
 #include <algorithm>
-#include <thread>
 
+#include "annsim/common/backoff.hpp"
 #include "annsim/common/error.hpp"
 #include "annsim/common/rng.hpp"
 
@@ -87,7 +87,8 @@ Delivery FaultInjector::classify_op(int global_rank) {
   }
   if (plan_.delay_probability > 0.0 && plan_.delay.count() > 0 &&
       u01(plan_.seed, global_rank, op, 2) < plan_.delay_probability) {
-    std::this_thread::sleep_for(plan_.delay);
+    sleep_approx(
+        std::chrono::duration_cast<std::chrono::microseconds>(plan_.delay));
   }
   // Mis-delivery rolls are independent of the drop/delay stream (distinct
   // salts), so enabling duplicates does not perturb which ops get dropped —

@@ -12,6 +12,7 @@
 #include <thread>
 
 #include "annsim/common/error.hpp"
+#include "annsim/mpi/schedule.hpp"
 
 namespace annsim::mpi {
 
@@ -59,6 +60,9 @@ struct RecvState {
   int posted_source_global = kAnySource;  ///< source filter as a global rank
   bool observed = false;  ///< wait/test saw completion, take(), or cancel()
 
+  // --- controlled scheduling (inert when sched == nullptr or disarmed) ---
+  std::shared_ptr<ScheduleController> sched;
+
   ~RecvState();
 };
 
@@ -74,6 +78,7 @@ struct WindowState {
   std::vector<std::vector<char>> locked;              ///< [origin][target] epoch flags
   RuntimeState* rt = nullptr;
   std::vector<int> members;                           ///< global rank per comm rank
+  std::uint64_t id = 0;                               ///< window id (choice points)
 };
 
 /// Per-rank traffic counters. Atomic because a rank's whole thread team (the
@@ -304,6 +309,7 @@ struct RuntimeState {
                                                      ///< shared so fault state
                                                      ///< can outlive a Runtime
   std::shared_ptr<Checker> checker;                  ///< null = checking off
+  std::shared_ptr<ScheduleController> sched;         ///< null = free-running
 
   std::mutex win_mu;
   std::map<std::uint64_t, std::shared_ptr<WindowState>> windows;
@@ -406,9 +412,29 @@ Request::Request(std::shared_ptr<detail::RecvState> state)
 
 bool Request::valid() const noexcept { return state_ != nullptr; }
 
+namespace {
+
+/// Completion predicate shared by the controlled wait paths. Takes the state
+/// mutex — legal from inside the scheduler (lock order: controller mutex,
+/// then mailbox, then recv-state).
+std::function<bool()> resolved_pred(detail::RecvState* s) {
+  return [s] {
+    std::lock_guard lk(s->mu);
+    return s->completed || s->cancelled;
+  };
+}
+
+}  // namespace
+
 bool Request::test() {
   if (!state_) return true;  // sends complete immediately
   if (state_->checker) state_->checker->throw_if_aborted();
+  if (auto& sc = state_->sched; sc != nullptr && sc->controls_this_thread()) {
+    // A controlled thread polling in a `while (!test())` loop would spin
+    // forever: nothing progresses until it parks. Treat the poll as the
+    // blocking choice point it really is — park until the request resolves.
+    (void)sc->wait_point(state_->posted_rank, resolved_pred(state_.get()));
+  }
   std::lock_guard lk(state_->mu);
   if (state_->completed) {
     state_->observed = true;
@@ -419,6 +445,13 @@ bool Request::test() {
 
 void Request::wait() {
   if (!state_) return;
+  if (auto& sc = state_->sched; sc != nullptr) {
+    if (sc->wait_point(state_->posted_rank, resolved_pred(state_.get()))) {
+      std::lock_guard lk(state_->mu);
+      if (state_->completed) state_->observed = true;
+      return;
+    }
+  }
   const auto chk = state_->checker;
   if (!chk) {
     std::unique_lock lk(state_->mu);
@@ -463,6 +496,19 @@ void Request::wait() {
 bool Request::wait_for(std::chrono::microseconds timeout) {
   if (!state_) return true;  // sends complete immediately
   if (state_->checker) state_->checker->throw_if_aborted();
+  if (auto& sc = state_->sched; sc != nullptr) {
+    // Under control, the real duration is virtualized away: the schedule
+    // decides whether this wait completes or its timeout event fires — both
+    // orders get explored regardless of wall-clock timing.
+    const auto out =
+        sc->timed_wait_point(state_->posted_rank, resolved_pred(state_.get()));
+    if (out == ScheduleController::TimedOutcome::kTimedOut) return false;
+    if (out == ScheduleController::TimedOutcome::kReady) {
+      std::lock_guard lk(state_->mu);
+      if (state_->completed) state_->observed = true;
+      return state_->completed;
+    }
+  }
   std::unique_lock lk(state_->mu);
   (void)state_->cv.wait_for(lk, timeout, [this] {
     return state_->completed || state_->cancelled;
@@ -589,11 +635,41 @@ Request Comm::isend_impl(int dest, Tag tag, std::span<const std::byte> payload,
   }
 
   auto& box = *rt_->mailboxes[std::size_t(members_[std::size_t(dest)])];
+  if (auto& sc = rt_->sched; sc != nullptr && sc->controls_this_thread()) {
+    // Controlled run: the envelope enters its (sender, dest, comm) channel
+    // and a scheduler decision moves it into the mailbox later. The fault
+    // verdict above was already taken — deterministically, since a rank's op
+    // counter advances in its own program order — so drops never reach here
+    // and duplicates queue twice.
+    ChoiceEvent ev;
+    ev.kind = ChoiceKind::kDeliver;
+    ev.source = sender;
+    ev.dest = members_[std::size_t(dest)];
+    ev.tag = tag;
+    ev.comm_id = comm_id_;
+    if (verdict == Delivery::kDuplicate) {
+      (void)sc->submit(ev, [bx = &box, env] {
+        auto copy = env;
+        detail::deliver(*bx, std::move(copy));
+      });
+    }
+    const bool overtake = verdict == Delivery::kReorder;
+    (void)sc->submit(ev, [bx = &box, env = std::move(env), overtake]() mutable {
+      detail::deliver(*bx, std::move(env), overtake);
+    });
+    return Request{};
+  }
   if (verdict == Delivery::kDuplicate) {
     detail::deliver(box, env);  // retransmission: same bytes arrive twice
   }
   detail::deliver(box, std::move(env),
                   /*overtake=*/verdict == Delivery::kReorder);
+  if (auto& sc = rt_->sched; sc != nullptr) {
+    // An untracked thread (engine helper, beacon) delivered directly while a
+    // controlled run may be quiescent: let the scheduler re-scan its parked
+    // predicates so a wait this delivery resolved actually wakes.
+    sc->poke();
+  }
   return Request{};  // in-process: the send buffer is copied, so complete
 }
 
@@ -617,11 +693,12 @@ Request Comm::irecv(int source, Tag tag) {
   auto state = detail::post_recv(
       *rt_->mailboxes[std::size_t(members_[std::size_t(my_index_)])], comm_id_,
       source, tag, {});
+  state->sched = rt_->sched;
+  state->posted_rank = members_[std::size_t(my_index_)];
+  state->posted_source_global =
+      source == kAnySource ? kAnySource : members_[std::size_t(source)];
   if (auto& chk = rt_->checker; chk != nullptr) {
     state->checker = chk;
-    state->posted_rank = members_[std::size_t(my_index_)];
-    state->posted_source_global =
-        source == kAnySource ? kAnySource : members_[std::size_t(source)];
     if (tag == kAnyTag && !chk->reserved.empty()) {
       std::ostringstream os;
       os << "kAnyTag wildcard receive posted while control-plane tags are "
@@ -643,11 +720,12 @@ Request Comm::irecv_tags(int source, std::vector<Tag> tags) {
   auto state = detail::post_recv(
       *rt_->mailboxes[std::size_t(members_[std::size_t(my_index_)])], comm_id_,
       source, kAnyTag, std::move(tags));
+  state->sched = rt_->sched;
+  state->posted_rank = members_[std::size_t(my_index_)];
+  state->posted_source_global =
+      source == kAnySource ? kAnySource : members_[std::size_t(source)];
   if (auto& chk = rt_->checker; chk != nullptr) {
     state->checker = chk;
-    state->posted_rank = members_[std::size_t(my_index_)];
-    state->posted_source_global =
-        source == kAnySource ? kAnySource : members_[std::size_t(source)];
   }
   return Request(std::move(state));
 }
@@ -670,10 +748,11 @@ Message Comm::recv_internal_(int source, Tag tag) {
   auto state = detail::post_recv(
       *rt_->mailboxes[std::size_t(members_[std::size_t(my_index_)])], comm_id_,
       source, tag, {});
+  state->sched = rt_->sched;
+  state->posted_rank = members_[std::size_t(my_index_)];
+  state->posted_source_global = members_[std::size_t(source)];
   if (auto& chk = rt_->checker; chk != nullptr) {
     state->checker = chk;
-    state->posted_rank = members_[std::size_t(my_index_)];
-    state->posted_source_global = members_[std::size_t(source)];
   }
   Request r{std::move(state)};
   r.wait();
@@ -822,6 +901,7 @@ Window Comm::create_window(std::size_t local_bytes) {
       ws->target_mu[std::size_t(i)] = std::make_unique<std::mutex>();
     }
     win_id = rt_->next_window_id.fetch_add(1, std::memory_order_relaxed);
+    ws->id = win_id;
     std::lock_guard lk(rt_->win_mu);
     rt_->windows[win_id] = std::move(ws);
   }
@@ -918,6 +998,16 @@ bool rma_op_allowed(detail::WindowState& ws, int origin) {
          ws.rt->fault->allow_op(ws.members[std::size_t(origin)]);
 }
 
+/// Controlled-scheduling choice point: a tracked thread parks here until the
+/// scheduler grants its turn at `target`, which serializes concurrent RMA
+/// traffic into an explorable order. Free-running threads pass through.
+void rma_choice_point(detail::WindowState& ws, int origin, int target) {
+  if (auto& sc = ws.rt->sched; sc != nullptr) {
+    (void)sc->rma_point(ws.members[std::size_t(origin)],
+                        ws.members[std::size_t(target)], ws.id);
+  }
+}
+
 }  // namespace
 
 void Window::put(int target, std::size_t offset, std::span<const std::byte> data) {
@@ -927,6 +1017,7 @@ void Window::put(int target, std::size_t offset, std::span<const std::byte> data
   ANNSIM_CHECK_MSG(offset + data.size() <= buf.size(), "Window::put out of range");
   account_rma(ws, my_rank_, data.size());
   if (!rma_op_allowed(ws, my_rank_)) return;
+  rma_choice_point(ws, my_rank_, target);
   std::lock_guard lk(*ws.target_mu[std::size_t(target)]);
   std::copy(data.begin(), data.end(), buf.begin() + std::ptrdiff_t(offset));
 }
@@ -937,6 +1028,7 @@ std::vector<std::byte> Window::get(int target, std::size_t offset,
   check_epoch(ws, my_rank_, target, "get");
   auto& buf = ws.buffers[std::size_t(target)];
   ANNSIM_CHECK_MSG(offset + len <= buf.size(), "Window::get out of range");
+  rma_choice_point(ws, my_rank_, target);
   std::lock_guard lk(*ws.target_mu[std::size_t(target)]);
   account_rma(ws, my_rank_, len);
   return {buf.begin() + std::ptrdiff_t(offset),
@@ -953,6 +1045,7 @@ void Window::get_accumulate(int target, std::size_t offset,
                    "Window::get_accumulate out of range");
   account_rma(ws, my_rank_, origin_data.size());
   if (!rma_op_allowed(ws, my_rank_)) return;
+  rma_choice_point(ws, my_rank_, target);
   std::lock_guard lk(*ws.target_mu[std::size_t(target)]);
   const std::span<std::byte> region(buf.data() + offset, origin_data.size());
   if (prev_out != nullptr) prev_out->assign(region.begin(), region.end());
@@ -1105,10 +1198,17 @@ void Runtime::run(const std::function<void(Comm&)>& rank_main) {
   std::exception_ptr first_error;
   std::mutex error_mu;
 
+  // Claim the whole rank cohort with the schedule controller *before* any
+  // thread spawns: the scheduler must never fire on a partial view of the
+  // ranks (a lone early thread parking would look like full quiescence).
+  const auto sched = state_->sched;
+  const bool controlled = sched != nullptr && sched->begin_run(n);
+
   std::vector<std::thread> threads;
   threads.reserve(std::size_t(n));
   for (int i = 0; i < n; ++i) {
     threads.emplace_back([&, i] {
+      if (controlled) sched->attach_thread();
       Comm comm(state_, /*comm_id=*/0, world, i);
       try {
         rank_main(comm);
@@ -1116,6 +1216,7 @@ void Runtime::run(const std::function<void(Comm&)>& rank_main) {
         std::lock_guard lk(error_mu);
         if (!first_error) first_error = std::current_exception();
       }
+      if (controlled) sched->finish_thread();
     });
   }
   for (auto& t : threads) t.join();
@@ -1147,6 +1248,14 @@ std::vector<TrafficStats> Runtime::per_rank_traffic() const {
     out.push_back(state_->traffic[std::size_t(i)].snapshot());
   }
   return out;
+}
+
+void Runtime::set_schedule(std::shared_ptr<ScheduleController> schedule) {
+  state_->sched = std::move(schedule);
+}
+
+std::shared_ptr<ScheduleController> Runtime::schedule() const noexcept {
+  return state_->sched;
 }
 
 FaultInjector* Runtime::fault_injector() noexcept { return state_->fault.get(); }

@@ -1,0 +1,75 @@
+/// Backoff phase contract: the first kSpins+kYields pauses never sleep (cheap
+/// fast path), the sleep phase actually sleeps and grows toward max_sleep,
+/// and reset() restarts the cheap phase. Timing asserts use generous one-sided
+/// bounds only — CI machines stall, so upper bounds stay loose and lower
+/// bounds come from the sleep durations the class guarantees.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "annsim/common/backoff.hpp"
+
+namespace annsim {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using std::chrono::microseconds;
+
+double elapsed_us(Clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
+}
+
+TEST(Backoff, SpinPhaseIsCheap) {
+  Backoff b;
+  const auto t0 = Clock::now();
+  for (int i = 0; i < 64; ++i) b.pause();  // kSpins=64: pure cpu-relax
+  // 64 relax instructions are sub-microsecond; 50ms allows four orders of
+  // magnitude of scheduler noise. The yield phase is deliberately NOT
+  // bounded here: sched_yield latency is unbounded on an oversubscribed
+  // runner, so asserting its wall-clock would flake exactly when CI is
+  // busiest.
+  EXPECT_LT(elapsed_us(t0), 50'000.0);
+  for (int i = 0; i < 16; ++i) b.pause();  // kYields=16: smoke, no bound
+}
+
+TEST(Backoff, SleepPhaseActuallySleeps) {
+  Backoff b(microseconds(200));
+  for (int i = 0; i < 80; ++i) b.pause();  // exhaust spin+yield phases
+  const auto t0 = Clock::now();
+  // Sleeps: 25, 50, 100, 200, 200 us — at least 575us of requested sleep.
+  for (int i = 0; i < 5; ++i) b.pause();
+  EXPECT_GE(elapsed_us(t0), 300.0);  // well above noise, below the 575 target
+}
+
+TEST(Backoff, MaxSleepCapsGrowth) {
+  // With a tiny cap the doubling stops immediately: 14 capped sleeps request
+  // 350us total, while uncapped doubling would request 25us * 2^14 ~ 410ms
+  // for the tail alone — so the 200ms ceiling fails iff the cap is ignored,
+  // with two orders of magnitude of load noise to spare.
+  Backoff b(microseconds(25));
+  for (int i = 0; i < 80; ++i) b.pause();
+  const auto t0 = Clock::now();
+  for (int i = 0; i < 14; ++i) b.pause();
+  const double us = elapsed_us(t0);
+  EXPECT_GE(us, 175.0);
+  EXPECT_LT(us, 200'000.0);
+}
+
+TEST(Backoff, ResetRestartsTheCheapPhase) {
+  Backoff b;
+  for (int i = 0; i < 85; ++i) b.pause();  // deep into the sleep phase
+  b.reset();
+  const auto t0 = Clock::now();
+  for (int i = 0; i < 64; ++i) b.pause();  // back inside the spin phase
+  EXPECT_LT(elapsed_us(t0), 50'000.0);
+}
+
+TEST(Backoff, SleepApproxSleepsAtLeastTheRequest) {
+  const auto t0 = Clock::now();
+  sleep_approx(microseconds(500));
+  EXPECT_GE(elapsed_us(t0), 450.0);
+}
+
+}  // namespace
+}  // namespace annsim

@@ -82,6 +82,70 @@ TEST_F(WriteLogTest, Crc32cMatchesTheCastagnoliReference) {
   EXPECT_EQ(crc32c({}), 0u);
 }
 
+TEST_F(WriteLogTest, Crc32cSingleByteAndRfc3720Vectors) {
+  // Single-byte inputs exercise the table edges the 9-byte vector never
+  // touches; the 32-zero vector is RFC 3720's iSCSI check value.
+  const auto one = [](unsigned char c) {
+    const std::byte b{c};
+    return crc32c({&b, 1});
+  };
+  EXPECT_EQ(one('a'), 0xC1D04330u);
+  EXPECT_EQ(one(0x00), 0x527D5351u);
+  EXPECT_EQ(one(0xFF), 0xFF000000u);
+  const std::vector<std::byte> zeros(32, std::byte{0});
+  EXPECT_EQ(crc32c(zeros), 0x8A9136AAu);
+}
+
+TEST_F(WriteLogTest, FrameEndingExactlyOnThe4KiBBoundaryRoundTrips) {
+  // Land the last committed byte exactly on a page boundary — the classic
+  // off-by-one zone for torn-tail scans. Layout arithmetic, kept in step
+  // with the frame format: file header 8, frame overhead 8 (crc + len),
+  // insert payload 25 + 4*dim (lsn u64, type u8, partition u32, id u64,
+  // n_floats u32), delete payload 25.
+  const std::size_t kDim = 989;  // 8 + (33 + 4*989) + 3*33 == 4096
+  WriteLog log(dir_);
+  log.append_insert(1, PartitionId(0), GlobalId(10),
+                    std::vector<float>(kDim, 0.25f));
+  log.append_delete(2, PartitionId(0), GlobalId(11));
+  log.append_delete(3, PartitionId(0), GlobalId(12));
+  log.append_delete(4, PartitionId(0), GlobalId(13));
+  ASSERT_TRUE(log.commit());
+  const auto files = log_files();
+  ASSERT_EQ(files.size(), 1u);
+  ASSERT_EQ(fs::file_size(files.front()), 4096u)
+      << "frame layout changed: retune kDim so the commit ends on the page";
+
+  // A fresh open rescans the file; the boundary-ending tail must be kept
+  // whole and appends must continue past it.
+  WriteLog reopened(dir_);
+  const auto tail = reopened.read_tail(0);
+  ASSERT_EQ(tail.size(), 4u);
+  EXPECT_EQ(tail[0].vec.size(), kDim);
+  EXPECT_EQ(reopened.last_synced_lsn(), 4u);
+  reopened.append_insert(5, PartitionId(1), GlobalId(14), vec_of(1.0f, 2.0f));
+  ASSERT_TRUE(reopened.commit());
+  EXPECT_EQ(reopened.read_tail(0).size(), 5u);
+}
+
+TEST_F(WriteLogTest, FrameSpanningThe4KiBBoundaryRecoversFromATornTail) {
+  // One frame straddling the page boundary (payload alone is a full page),
+  // then a small frame behind it. Tearing the small frame must truncate to
+  // the straddling frame's end — a mid-page cut, not a page-aligned one.
+  WriteLog log(dir_);
+  log.append_insert(1, PartitionId(2), GlobalId(20),
+                    std::vector<float>(1024, -0.5f));
+  ASSERT_TRUE(log.commit());
+  log.append_insert(2, PartitionId(2), GlobalId(21), vec_of(3.0f, 4.0f));
+  ASSERT_TRUE(log.commit());
+
+  flip_tail_byte(0);  // corrupt the last frame's final payload byte
+  WriteLog recovered(dir_);
+  const auto tail = recovered.read_tail(0);
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(tail[0].id, GlobalId(20));
+  EXPECT_EQ(tail[0].vec.size(), 1024u);
+}
+
 TEST_F(WriteLogTest, CommittedFramesRoundTrip) {
   WriteLog log(dir_);
   log.append_insert(1, PartitionId(2), GlobalId(100), vec_of(0.5f, -1.25f));

@@ -18,8 +18,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <future>
+#include <memory>
 #include <string>
 #include <thread>
+#include <unistd.h>
 #include <vector>
 
 #include "annsim/common/error.hpp"
@@ -31,6 +33,8 @@
 #include "annsim/data/ground_truth.hpp"
 #include "annsim/data/recipes.hpp"
 #include "annsim/data/vecs_io.hpp"
+#include "annsim/explore/explore.hpp"
+#include "annsim/explore/scenario.hpp"
 #include "annsim/serve/load_gen.hpp"
 
 namespace {
@@ -76,7 +80,12 @@ using namespace annsim;
                "[--deadline-ms D] [--requests N] [--max-batch B] "
                "[--max-delay-ms D] [--queue-cap C] [--brownout-target-ms T] "
                "[--brownout-floor F] [--breaker-threshold X] [--json PATH] "
-               "[--mpi-check]\n");
+               "[--mpi-check]\n"
+               "  annsim explore-bench [--mix write|query|compact|heal|mixed|"
+               "all] [--strategy random|pct|dfs] [--seeds N] [--seed S] "
+               "[--pct-depth D] [--max-schedules N] [--workers N] "
+               "[--replication R] [--rows N] [--write-rows N] [--no-faults] "
+               "[--replay TOKEN] [--scratch DIR] [--mpi-check]\n");
   std::exit(2);
 }
 
@@ -1364,6 +1373,116 @@ int cmd_overload_bench(int argc, char** argv) {
   return check_exit(mpi_check, engine, "overload", rc);
 }
 
+/// Systematic schedule exploration over the engine scenarios (annsim::explore).
+/// Every failing schedule prints its replay token; `--replay TOKEN` re-executes
+/// that exact schedule and verifies the event digest byte for byte.
+int cmd_explore_bench(int argc, char** argv) {
+  using namespace annsim::explore;
+
+  const std::string mix_arg = opt(argc, argv, "--mix", "all");
+  const std::string strat = opt(argc, argv, "--strategy", "random");
+  const std::size_t seeds = arg_num(opt(argc, argv, "--seeds", "20").c_str());
+  const std::uint64_t seed0 =
+      arg_num(opt(argc, argv, "--seed", "0").c_str());
+  const int pct_depth =
+      int(arg_num(opt(argc, argv, "--pct-depth", "3").c_str()));
+  const std::size_t max_schedules =
+      arg_num(opt(argc, argv, "--max-schedules", "20000").c_str());
+  const std::string replay_token = opt(argc, argv, "--replay", "");
+
+  ScenarioConfig cfg;
+  cfg.workers = arg_num(opt(argc, argv, "--workers", "2").c_str());
+  cfg.replication = arg_num(opt(argc, argv, "--replication", "2").c_str());
+  cfg.base_rows = arg_num(opt(argc, argv, "--rows", "32").c_str());
+  cfg.write_rows = arg_num(opt(argc, argv, "--write-rows", "2").c_str());
+  cfg.arm_faults = !flag(argc, argv, "--no-faults");
+  cfg.mpi_check = true;  // --mpi-check accepted for symmetry; always armed
+  const std::string scratch_base =
+      opt(argc, argv, "--scratch", "/tmp/annsim_explore_bench");
+
+  std::vector<Mix> mixes;
+  if (mix_arg == "all") {
+    mixes = {Mix::kWrite, Mix::kQuery, Mix::kCompact, Mix::kHeal, Mix::kMixed};
+  } else {
+    const auto mix = parse_mix(mix_arg);
+    if (!mix.has_value()) usage();
+    mixes = {*mix};
+  }
+
+  auto ctrl = std::make_shared<mpi::ScheduleController>();
+  std::size_t runs = 0;
+  std::size_t failures = 0;
+
+  const auto report = [&](Mix mix, char strategy_char, std::uint64_t seed,
+                          int depth, const ScenarioResult& res) {
+    ++runs;
+    const std::string token =
+        encode_replay_token(strategy_char, seed, depth, res.outcome.trace);
+    if (res.ok()) return;
+    ++failures;
+    std::fprintf(stderr,
+                 "FAIL mix=%s token=%s\n  %s\n  replay: annsim explore-bench "
+                 "--mix %s%s --replay %s\n",
+                 mix_name(mix), token.c_str(), res.outcome.error.c_str(),
+                 mix_name(mix), cfg.arm_faults ? "" : " --no-faults",
+                 token.c_str());
+  };
+
+  for (const Mix mix : mixes) {
+    auto mix_cfg = cfg;
+    mix_cfg.mix = mix;
+    mix_cfg.scratch_dir = scratch_base + "_" + mix_name(mix) + "_" +
+                          std::to_string(::getpid());
+
+    if (!replay_token.empty()) {
+      const auto decoded = decode_replay_token(replay_token);
+      if (!decoded.has_value()) {
+        std::fprintf(stderr, "explore-bench: malformed replay token\n");
+        return 2;
+      }
+      const auto res = run_scenario(
+          mix_cfg, ctrl, std::make_shared<ForcedStrategy>(decoded->choices));
+      report(mix, 'f', decoded->seed, decoded->depth, res);
+      const bool digest_ok = res.outcome.trace.digest == decoded->digest;
+      std::printf("replay mix=%s schedules=1 digest=%s\n", mix_name(mix),
+                  digest_ok ? "match" : "MISMATCH");
+      if (!digest_ok) ++failures;
+      continue;
+    }
+
+    if (strat == "dfs") {
+      // Exhaustive enumeration only terminates on the pure delivery-order
+      // space, so the injector's timeout choice points stay disarmed here.
+      mix_cfg.arm_faults = false;
+      DfsDriver dfs(max_schedules);
+      do {
+        report(mix, 'd', 0, 0, run_scenario(mix_cfg, ctrl, dfs.strategy()));
+      } while (dfs.advance());
+      std::printf("dfs mix=%s schedules=%zu%s\n", mix_name(mix),
+                  dfs.schedules_run(),
+                  dfs.truncated() ? " (TRUNCATED at cap)" : " (exhaustive)");
+      if (dfs.truncated()) ++failures;
+    } else if (strat == "pct") {
+      for (std::uint64_t s = seed0; s < seed0 + seeds; ++s) {
+        report(mix, 'p', s, pct_depth,
+               run_scenario(mix_cfg, ctrl,
+                            std::make_shared<PctStrategy>(s, pct_depth)));
+      }
+    } else if (strat == "random") {
+      for (std::uint64_t s = seed0; s < seed0 + seeds; ++s) {
+        report(mix, 'r', s, 0,
+               run_scenario(mix_cfg, ctrl, std::make_shared<RandomStrategy>(s)));
+      }
+    } else {
+      usage();
+    }
+  }
+
+  std::printf("explore-bench: %zu schedule(s), %zu failure(s)\n", runs,
+              failures);
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1380,6 +1499,7 @@ int main(int argc, char** argv) {
     if (cmd == "chaos-bench") return cmd_chaos_bench(argc - 2, argv + 2);
     if (cmd == "mutate-bench") return cmd_mutate_bench(argc - 2, argv + 2);
     if (cmd == "overload-bench") return cmd_overload_bench(argc - 2, argv + 2);
+    if (cmd == "explore-bench") return cmd_explore_bench(argc - 2, argv + 2);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -41,6 +41,15 @@ raw-buffer-in-quant
     deallocator. A raw new[] here either loses the 64-byte alignment or
     leaks it into a unique_ptr with the wrong deleter.
 
+raw-sleep-in-src
+    no file under src/ or include/annsim/ may call
+    std::this_thread::sleep_for directly. Every wall-clock wait goes
+    through common/backoff.hpp (Backoff::pause or sleep_approx): the
+    schedule explorer (annsim::explore) can only make waits deterministic
+    when they are funneled through one auditable choke point, and a raw
+    sleep in a polling loop is invisible to it. backoff.hpp itself is the
+    single sanctioned caller.
+
 raw-write-in-recovery
     the recovery plane (src/recovery, include/annsim/recovery) must not
     open files for writing with std::ofstream or fopen: durability code
@@ -93,6 +102,10 @@ RAW_BUFFER_RE = re.compile(
     r"\bnew\s+[\w:]+(?:\s*<[^<>]*>)?\s*\[|\b(?:malloc|calloc|aligned_alloc|"
     r"posix_memalign)\s*\("
 )
+
+# --- rule: raw sleeps anywhere under src/ or include/annsim ---------------
+SRC_SLEEP_DIRS = ["src", "include/annsim"]
+SRC_SLEEP_ALLOW = ["include/annsim/common/backoff.hpp"]
 
 # --- rule: raw file writes in the recovery plane --------------------------
 RECOVERY_DIRS = ["src/recovery", "include/annsim/recovery"]
@@ -198,6 +211,22 @@ def check_quant_raw_buffers(findings: list[str]) -> None:
                 )
 
 
+def check_src_sleeps(findings: list[str]) -> None:
+    for d in SRC_SLEEP_DIRS:
+        for path in sorted((REPO / d).rglob("*.[ch]pp")):
+            rel = str(path.relative_to(REPO))
+            if rel in SRC_SLEEP_ALLOW:
+                continue
+            text = strip_comments_and_strings(path.read_text())
+            for m in SLEEP_RE.finditer(text):
+                findings.append(
+                    f"{rel}:{line_of(text, m.start())}: [raw-sleep-in-src] "
+                    f"raw sleep_for is invisible to the schedule explorer; "
+                    f"wait through common/backoff.hpp (sleep_approx or "
+                    f"Backoff::pause)"
+                )
+
+
 def check_recovery_raw_writes(findings: list[str]) -> None:
     for d in RECOVERY_DIRS:
         for path in sorted((REPO / d).rglob("*.[ch]pp")):
@@ -221,6 +250,7 @@ def main() -> int:
     check_header_guards(findings)
     check_serve_sleeps(findings)
     check_quant_raw_buffers(findings)
+    check_src_sleeps(findings)
     check_recovery_raw_writes(findings)
     for f in findings:
         print(f)
